@@ -1,0 +1,125 @@
+//! Microbenchmarks of the substrates: the DES engine, resource
+//! refinement, directive matching, mapping application, and histograms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use histpc::history;
+use histpc::prelude::*;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("poisson_c_one_sim_second", |b| {
+        b.iter(|| {
+            let wl = PoissonWorkload::new(PoissonVersion::C);
+            let mut e = wl.build_engine();
+            e.run_until(SimTime::from_secs(1));
+            black_box(e.totals().end_time())
+        })
+    });
+    g.bench_function("poisson_d_8procs_one_sim_second", |b| {
+        b.iter(|| {
+            let wl = PoissonWorkload::new(PoissonVersion::D);
+            let mut e = wl.build_engine();
+            e.run_until(SimTime::from_secs(1));
+            black_box(e.totals().end_time())
+        })
+    });
+    g.finish();
+}
+
+fn bench_resources(c: &mut Criterion) {
+    let wl = PoissonWorkload::new(PoissonVersion::C);
+    let collector = Collector::new(wl.app_spec(), CollectorConfig::default());
+    let space = collector.space().clone();
+    let whole = space.whole_program();
+    let children = space.refine(&whole);
+    let mut g = c.benchmark_group("resources");
+    g.bench_function("refine_whole_program", |b| {
+        b.iter(|| black_box(space.refine(&whole).len()))
+    });
+    g.bench_function("refine_two_levels", |b| {
+        b.iter(|| {
+            let mut count = 0;
+            for child in &children {
+                count += space.refine(child).len();
+            }
+            black_box(count)
+        })
+    });
+    g.bench_function("focus_parse_format", |b| {
+        let text = "</Code/exchng2.f/exchng2,/Machine,/Process/poisson:3,/SyncObject/Message/3_0>";
+        b.iter(|| {
+            let f = Focus::parse(black_box(text)).unwrap();
+            black_box(f.to_string())
+        })
+    });
+    g.finish();
+}
+
+fn bench_directives(c: &mut Criterion) {
+    // A realistic directive set: harvested from a short base run.
+    let wl = SyntheticWorkload::balanced(4, 6, 0.2)
+        .with_hotspot(0, 1, 2.0)
+        .with_ring(256);
+    let config = SearchConfig {
+        window: SimDuration::from_millis(800),
+        sample: SimDuration::from_millis(100),
+        max_time: SimDuration::from_secs(60),
+        ..SearchConfig::default()
+    };
+    let d = Session::new().diagnose(&wl, &config, "bench");
+    let directives = history::extract(
+        &d.record,
+        &ExtractionOptions::priorities_and_safe_prunes(),
+    );
+    let space = d.postmortem.space().clone();
+    let probe = space
+        .whole_program()
+        .with_selection(ResourceName::parse("/Code/app.c/f1").unwrap());
+    let mut g = c.benchmark_group("directives");
+    g.bench_function("priority_lookup", |b| {
+        b.iter(|| black_box(directives.priority_of("CPUbound", &probe)))
+    });
+    g.bench_function("prune_matching", |b| {
+        b.iter(|| black_box(directives.is_pruned("CPUbound", &probe)))
+    });
+    g.bench_function("parse_directive_file", |b| {
+        let text = directives.to_text();
+        b.iter(|| black_box(SearchDirectives::parse(&text).unwrap().len()))
+    });
+    let mut mappings = MappingSet::new();
+    for i in 1..=4 {
+        mappings.add(
+            ResourceName::parse(&format!("/Machine/n{i:02}")).unwrap(),
+            ResourceName::parse(&format!("/Machine/m{i:02}")).unwrap(),
+        );
+    }
+    g.bench_function("apply_mappings", |b| {
+        b.iter(|| black_box(mappings.apply_to_directives(&directives).len()))
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.bench_function("add_10k_intervals_with_folds", |b| {
+        b.iter(|| {
+            let mut h = histpc::instr::TimeHistogram::standard();
+            for i in 0..10_000u64 {
+                let t = SimTime(i * 50_000);
+                h.add(t, t + SimDuration(40_000), 1.0);
+            }
+            black_box(h.total())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_resources,
+    bench_directives,
+    bench_histogram
+);
+criterion_main!(benches);

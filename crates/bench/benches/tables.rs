@@ -1,0 +1,137 @@
+//! End-to-end benchmarks: one benchmark per table/figure of the paper.
+//!
+//! Each benchmark regenerates (a representative slice of) the
+//! corresponding experiment, so `cargo bench` exercises every artifact's
+//! code path and tracks the tool's own cost. The printable tables come
+//! from the `table1`..`table4`, `fig*` and `exp_combination` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use histpc::history;
+use histpc::prelude::*;
+use histpc_bench as bench;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured<'c>(
+    c: &'c mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    g
+}
+
+/// Table 1: the base diagnosis and the combined directed diagnosis.
+fn bench_table1(c: &mut Criterion) {
+    let base = bench::base_diagnosis(PoissonVersion::C);
+    let directives = history::extract(
+        &base.record,
+        &ExtractionOptions::priorities_and_safe_prunes(),
+    );
+    let mut g = configured(c, "table1");
+    g.bench_function("base_diagnosis_poisson_c", |b| {
+        b.iter(|| black_box(bench::base_diagnosis(PoissonVersion::C).report.pairs_tested))
+    });
+    g.bench_function("directed_diagnosis_poisson_c", |b| {
+        b.iter(|| {
+            black_box(
+                bench::directed_diagnosis(PoissonVersion::C, directives.clone())
+                    .report
+                    .pairs_tested,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Table 2: one sweep point at the paper's optimal threshold.
+fn bench_table2(c: &mut Criterion) {
+    let mut g = configured(c, "table2");
+    g.bench_function("threshold_point_12pct", |b| {
+        b.iter(|| {
+            let wl = PoissonWorkload::new(PoissonVersion::C);
+            let mut directives = SearchDirectives::none();
+            directives.add_threshold(ThresholdDirective {
+                hypothesis: "ExcessiveSyncWaitingTime".into(),
+                value: 0.12,
+            });
+            let d = Session::new().diagnose(
+                &wl,
+                &bench::exp_config().with_directives(directives),
+                "bench",
+            );
+            black_box(d.report.bottleneck_count())
+        })
+    });
+    g.finish();
+}
+
+/// Table 3: one cross-version cell (A's directives guiding C).
+fn bench_table3(c: &mut Criterion) {
+    let a = bench::base_diagnosis(PoissonVersion::A);
+    let c_probe = bench::base_diagnosis(PoissonVersion::C);
+    let session = Session::new();
+    let mut g = configured(c, "table3");
+    g.bench_function("cross_version_a_to_c", |b| {
+        b.iter(|| {
+            let directives = session.harvest_mapped(
+                &a.record,
+                &c_probe.record.resources,
+                &ExtractionOptions::priorities_and_safe_prunes(),
+                &MappingSet::new(),
+            );
+            black_box(
+                bench::directed_diagnosis(PoissonVersion::C, directives)
+                    .report
+                    .bottleneck_count(),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Table 4: extraction and classification of priority sets.
+fn bench_table4(c: &mut Criterion) {
+    let a = bench::base_diagnosis(PoissonVersion::A);
+    let c_probe = bench::base_diagnosis(PoissonVersion::C);
+    let session = Session::new();
+    let mut g = configured(c, "table4");
+    g.bench_function("extract_and_map_priorities", |b| {
+        b.iter(|| {
+            let d = session.harvest_mapped(
+                &a.record,
+                &c_probe.record.resources,
+                &ExtractionOptions::priorities_only(),
+                &MappingSet::new(),
+            );
+            black_box(d.priorities.len())
+        })
+    });
+    g.finish();
+}
+
+/// Figures: hierarchy rendering, SHG snapshot, execution map.
+fn bench_figures(c: &mut Criterion) {
+    let mut g = configured(c, "figures");
+    g.bench_function("fig1_hierarchies", |b| {
+        b.iter(|| black_box(bench::fig1_hierarchies().len()))
+    });
+    g.bench_function("fig2_shg_snapshot", |b| {
+        b.iter(|| black_box(bench::fig2_shg_snapshot(SimTime::from_secs(6)).len()))
+    });
+    g.bench_function("fig3_mappings", |b| {
+        b.iter(|| black_box(bench::fig3_mappings().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_table4,
+    bench_figures
+);
+criterion_main!(benches);

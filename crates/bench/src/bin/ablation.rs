@@ -1,0 +1,137 @@
+//! Ablation study over the design parameters DESIGN.md calls out:
+//! instrumentation insertion delay, the cost-throttle halt threshold, the
+//! settled-pair cost factor, and the conclusion window. For each setting
+//! the harness runs a base and a directed diagnosis of Poisson 2-D and
+//! reports the diagnosis times and the directive speedup — showing which
+//! mechanism each part of the paper's effect depends on.
+
+use histpc::history;
+use histpc::prelude::*;
+
+struct Row {
+    label: String,
+    base: Option<SimTime>,
+    directed: Option<SimTime>,
+    pairs_base: usize,
+    pairs_directed: usize,
+}
+
+fn run_pair(config: &SearchConfig) -> Row {
+    let wl = PoissonWorkload::new(PoissonVersion::C);
+    let session = Session::new();
+    let base = session.diagnose(&wl, config, "base");
+    let truth: Vec<(String, Focus)> = base
+        .report
+        .bottleneck_set()
+        .into_iter()
+        .filter(|(_, f)| f.selection("Machine").is_none_or(|m| m.is_root()))
+        .collect();
+    let directives = history::extract(
+        &base.record,
+        &ExtractionOptions::priorities_and_safe_prunes(),
+    );
+    let directed = session.diagnose(
+        &wl,
+        &config.clone().with_directives(directives),
+        "directed",
+    );
+    Row {
+        label: String::new(),
+        base: base.report.time_to_find(&truth, 1.0),
+        directed: directed.report.time_to_find(&truth, 1.0),
+        pairs_base: base.report.pairs_tested,
+        pairs_directed: directed.report.pairs_tested,
+    }
+}
+
+fn fmt(t: Option<SimTime>) -> String {
+    t.map(|t| format!("{:.1}", t.as_secs_f64()))
+        .unwrap_or_else(|| "-".into())
+}
+
+fn print_rows(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>8} {:>8}",
+        "setting", "base (s)", "dir. (s)", "reduction", "pairs", "pairs'"
+    );
+    for r in rows {
+        let red = match (r.base, r.directed) {
+            (Some(b), Some(d)) if b.as_micros() > 0 => {
+                format!("{:.1}%", 100.0 * (1.0 - d.as_secs_f64() / b.as_secs_f64()))
+            }
+            _ => "-".into(),
+        };
+        println!(
+            "{:<28} {:>10} {:>10} {:>12} {:>8} {:>8}",
+            r.label,
+            fmt(r.base),
+            fmt(r.directed),
+            red,
+            r.pairs_base,
+            r.pairs_directed
+        );
+    }
+}
+
+fn base_config() -> SearchConfig {
+    SearchConfig {
+        window: SimDuration::from_secs(2),
+        sample: SimDuration::from_millis(250),
+        max_time: SimDuration::from_secs(900),
+        ..SearchConfig::default()
+    }
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+
+    // 1. Insertion delay: how much of the diagnosis time is the physical
+    //    latency of placing instrumentation?
+    let mut rows = Vec::new();
+    for ms in [0u64, 80, 400] {
+        let mut config = base_config();
+        config.collector.insertion_delay = SimDuration::from_millis(ms);
+        let mut row = run_pair(&config);
+        row.label = format!("insertion_delay = {ms} ms");
+        rows.push(row);
+    }
+    print_rows("Ablation: instrumentation insertion delay", &rows);
+
+    // 2. Cost halt threshold: the budget that serializes the base search.
+    let mut rows = Vec::new();
+    for halt in [0.025, 0.05, 0.10, 0.20] {
+        let mut config = base_config();
+        config.collector.cost.halt_threshold = halt;
+        config.collector.cost.resume_threshold = halt * 0.7;
+        let mut row = run_pair(&config);
+        row.label = format!("halt_threshold = {halt}");
+        rows.push(row);
+    }
+    print_rows("Ablation: cost halt threshold", &rows);
+
+    // 3. Settled-pair cost: what persistent High-priority pairs cost to
+    //    keep. At 1.0 (no settling) priority-directed searches starve.
+    let mut rows = Vec::new();
+    for settle in [0.01, 0.25, 1.0] {
+        let mut config = base_config();
+        config.collector.cost.settle_factor = settle;
+        let mut row = run_pair(&config);
+        row.label = format!("settle_factor = {settle}");
+        rows.push(row);
+    }
+    print_rows("Ablation: settled-pair cost factor", &rows);
+
+    // 4. Conclusion window: trades diagnosis latency against stability.
+    let mut rows = Vec::new();
+    for secs in [1u64, 2, 5] {
+        let mut config = base_config();
+        config.window = SimDuration::from_secs(secs);
+        let mut row = run_pair(&config);
+        row.label = format!("window = {secs} s");
+        rows.push(row);
+    }
+    print_rows("Ablation: conclusion window", &rows);
+
+    eprintln!("\n(generated in {:?})", t0.elapsed());
+}

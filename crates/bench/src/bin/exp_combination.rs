@@ -1,0 +1,6 @@
+//! Regenerates the paper's §4.3 text experiments (a1 vs a2; A∩B vs A∪B).
+fn main() {
+    let t0 = std::time::Instant::now();
+    println!("{}", histpc_bench::run_combination().render());
+    eprintln!("(generated in {:?})", t0.elapsed());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 1 (Tester resource hierarchies).
+fn main() {
+    println!("{}", histpc_bench::fig1_hierarchies());
+}

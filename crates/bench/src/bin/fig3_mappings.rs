@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 3 (execution map + mapping directives).
+fn main() {
+    println!("{}", histpc_bench::fig3_mappings());
+}

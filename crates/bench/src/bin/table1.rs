@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 1.
+fn main() {
+    let t0 = std::time::Instant::now();
+    let table = histpc_bench::run_table1();
+    println!("{}", table.render());
+    eprintln!("(generated in {:?})", t0.elapsed());
+}

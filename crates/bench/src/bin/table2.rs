@@ -1,0 +1,18 @@
+//! Regenerates the paper's Table 2 (threshold sweep), including the
+//! secondary PVM ocean-circulation study mentioned in §4.2.
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mpi = histpc_bench::run_table2();
+    println!("{}", mpi.render());
+    println!(
+        "Best (most efficient) synchronization threshold: {:.0}%\n",
+        mpi.best_threshold() * 100.0
+    );
+    let pvm = histpc_bench::run_table2_ocean();
+    println!("{}", pvm.render());
+    println!(
+        "Best (most efficient) synchronization threshold: {:.0}%",
+        pvm.best_threshold() * 100.0
+    );
+    eprintln!("(generated in {:?})", t0.elapsed());
+}

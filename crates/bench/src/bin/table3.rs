@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 3 (directives across code versions).
+fn main() {
+    let t0 = std::time::Instant::now();
+    let table = histpc_bench::run_table3();
+    println!("{}", table.render());
+    eprintln!("(generated in {:?})", t0.elapsed());
+}

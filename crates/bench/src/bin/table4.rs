@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 4 (similarity of extracted priorities).
+fn main() {
+    let t0 = std::time::Instant::now();
+    let table = histpc_bench::run_table4();
+    println!("{}", table.render());
+    eprintln!("(generated in {:?})", t0.elapsed());
+}

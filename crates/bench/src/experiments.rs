@@ -1,0 +1,734 @@
+//! Shared experiment machinery for the paper's evaluation section.
+
+use histpc::prelude::*;
+use histpc::history;
+
+/// The canonical experiment configuration: 2 s conclusion windows,
+/// 250 ms sampling, generous time limit.
+pub fn exp_config() -> SearchConfig {
+    SearchConfig {
+        window: SimDuration::from_secs(2),
+        sample: SimDuration::from_millis(250),
+        max_time: SimDuration::from_secs(900),
+        ..SearchConfig::default()
+    }
+}
+
+/// Runs the unmodified Performance Consultant on a Poisson version.
+pub fn base_diagnosis(version: PoissonVersion) -> Diagnosis {
+    let wl = PoissonWorkload::new(version);
+    Session::new().diagnose(&wl, &exp_config(), &format!("base-{}", version.label()))
+}
+
+/// Runs a directed diagnosis of a Poisson version.
+pub fn directed_diagnosis(version: PoissonVersion, directives: SearchDirectives) -> Diagnosis {
+    let wl = PoissonWorkload::new(version);
+    Session::new().diagnose(
+        &wl,
+        &exp_config().with_directives(directives),
+        &format!("directed-{}", version.label()),
+    )
+}
+
+/// The evaluation's reference bottleneck set for a base run: every true
+/// (hypothesis, focus) whose Machine selection is the hierarchy root.
+///
+/// Machine-constrained foci duplicate Process-constrained ones under
+/// MPI-1's one-process-per-node model (the basis of the paper's
+/// redundant-hierarchy prune), so the reference set is de-duplicated to
+/// process form — otherwise pruned runs could never reach "100%".
+pub fn truth_of(d: &Diagnosis) -> Vec<(String, Focus)> {
+    d.report
+        .bottleneck_set()
+        .into_iter()
+        .filter(|(_, f)| f.selection("Machine").is_none_or(|m| m.is_root()))
+        .collect()
+}
+
+/// Formats an optional time as seconds.
+pub fn fmt_time(t: Option<SimTime>) -> String {
+    match t {
+        Some(t) => format!("{:.1}", t.as_secs_f64()),
+        None => "-".to_string(),
+    }
+}
+
+/// Formats a reduction percentage against a base value.
+pub fn fmt_reduction(t: Option<SimTime>, base: Option<SimTime>) -> String {
+    match (t, base) {
+        (Some(t), Some(b)) if b.as_micros() > 0 => {
+            let red = 100.0 * (1.0 - t.as_secs_f64() / b.as_secs_f64());
+            format!("({red:+.1}%)", red = -red)
+        }
+        _ => String::new(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 1: time to find all true bottlenecks with search directives
+// ---------------------------------------------------------------------
+
+/// One directive configuration of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table1Config {
+    /// The unmodified Performance Consultant.
+    NoDirectives,
+    /// All prunes (general + historic, including previously-false pairs).
+    PrunesOnly,
+    /// General prunes only (not application-specific).
+    GeneralPrunesOnly,
+    /// Historic prunes only (false pairs, trivial functions, redundant
+    /// hierarchies).
+    HistoricPrunesOnly,
+    /// Priorities only.
+    PrioritiesOnly,
+    /// Priorities plus the safe prunes.
+    PrioritiesAndPrunes,
+}
+
+impl Table1Config {
+    /// All configurations, in the paper's column order.
+    pub const ALL: [Table1Config; 6] = [
+        Table1Config::NoDirectives,
+        Table1Config::PrunesOnly,
+        Table1Config::GeneralPrunesOnly,
+        Table1Config::HistoricPrunesOnly,
+        Table1Config::PrioritiesOnly,
+        Table1Config::PrioritiesAndPrunes,
+    ];
+
+    /// The column heading.
+    pub fn label(self) -> &'static str {
+        match self {
+            Table1Config::NoDirectives => "No Directives",
+            Table1Config::PrunesOnly => "All Prunes",
+            Table1Config::GeneralPrunesOnly => "General Prunes",
+            Table1Config::HistoricPrunesOnly => "Historic Prunes",
+            Table1Config::PrioritiesOnly => "Priorities Only",
+            Table1Config::PrioritiesAndPrunes => "Prior. & Prunes",
+        }
+    }
+
+    /// The extraction options for this configuration (None = no
+    /// directives at all).
+    pub fn extraction(self) -> Option<ExtractionOptions> {
+        match self {
+            Table1Config::NoDirectives => None,
+            Table1Config::PrunesOnly => Some(ExtractionOptions::all_prunes()),
+            Table1Config::GeneralPrunesOnly => Some(ExtractionOptions::general_prunes_only()),
+            Table1Config::HistoricPrunesOnly => Some(ExtractionOptions::historic_prunes_only()),
+            Table1Config::PrioritiesOnly => Some(ExtractionOptions::priorities_only()),
+            Table1Config::PrioritiesAndPrunes => {
+                Some(ExtractionOptions::priorities_and_safe_prunes())
+            }
+        }
+    }
+}
+
+/// The result of the Table 1 experiment.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// The percentile fractions measured (0.25, 0.50, 0.75, 1.0).
+    pub fractions: [f64; 4],
+    /// Per configuration: the time to find each fraction of the
+    /// reference bottleneck set.
+    pub times: Vec<(Table1Config, [Option<SimTime>; 4])>,
+    /// Size of the reference bottleneck set.
+    pub truth_size: usize,
+}
+
+/// Runs the Table 1 experiment on Poisson 2-D (version C).
+pub fn run_table1() -> Table1 {
+    let base = base_diagnosis(PoissonVersion::C);
+    let truth = truth_of(&base);
+    let fractions = [0.25, 0.5, 0.75, 1.0];
+    let mut times = Vec::new();
+    for config in Table1Config::ALL {
+        let report = match config.extraction() {
+            None => base.report.clone(),
+            Some(opts) => {
+                let directives = history::extract(&base.record, &opts);
+                directed_diagnosis(PoissonVersion::C, directives).report
+            }
+        };
+        let row = [
+            report.time_to_find(&truth, fractions[0]),
+            report.time_to_find(&truth, fractions[1]),
+            report.time_to_find(&truth, fractions[2]),
+            report.time_to_find(&truth, fractions[3]),
+        ];
+        times.push((config, row));
+    }
+    Table1 {
+        fractions,
+        times,
+        truth_size: truth.len(),
+    }
+}
+
+impl Table1 {
+    /// Renders the table in the paper's layout (times in seconds, with
+    /// reductions against the no-directive column).
+    pub fn render(&self) -> String {
+        let base = self.times[0].1;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Table 1: Time (s) to Find True Bottlenecks with Search Directives\n\
+             (reference set: {} bottlenecks)\n\n",
+            self.truth_size
+        ));
+        out.push_str(&format!("{:<12}", "% Found"));
+        for (config, _) in &self.times {
+            out.push_str(&format!("{:>24}", config.label()));
+        }
+        out.push('\n');
+        for (i, frac) in self.fractions.iter().enumerate() {
+            out.push_str(&format!("{:<12}", format!("{:.0}%", frac * 100.0)));
+            for (_, row) in &self.times {
+                let cell = format!(
+                    "{} {}",
+                    fmt_time(row[i]),
+                    fmt_reduction(row[i], base[i])
+                );
+                out.push_str(&format!("{cell:>24}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 2: bottlenecks found with varying threshold values
+// ---------------------------------------------------------------------
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Synchronization threshold setting (fraction of execution time).
+    pub threshold: f64,
+    /// Significant bottlenecks reported by the Performance Consultant
+    /// (out of the pre-identified significant set, as in the paper's
+    /// §4.2 where the quality of a diagnosis is "the number of these
+    /// areas reported as bottlenecks").
+    pub bottlenecks: usize,
+    /// Total hypothesis/focus pairs tested.
+    pub pairs_tested: usize,
+    /// Bottlenecks per pair tested.
+    pub efficiency: f64,
+}
+
+/// The result of a threshold sweep.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Application label ("poisson 2-D" or "ocean/PVM").
+    pub app: String,
+    /// Size of the pre-identified significant bottleneck set.
+    pub significant: usize,
+    /// Sweep rows, in descending threshold order.
+    pub rows: Vec<Table2Row>,
+}
+
+/// The pre-identified significant problem areas of an application: the
+/// postmortem bottleneck set at the reference synchronization threshold,
+/// de-duplicated across the redundant Machine hierarchy. This plays the
+/// role of the paper's profile analysis ("45% ... in exchng2, 20% in
+/// main", per-tag and per-process breakdowns) that fixed the 26
+/// significant areas before the sweep.
+pub fn significant_set(workload: &dyn Workload, sync_threshold: f64) -> Vec<(String, Focus)> {
+    use histpc::consultant::HypothesisTree;
+    let mut engine = workload.build_engine();
+    engine.run_until(SimTime::from_secs(60));
+    let pm = PostmortemData::from_totals(engine.app().clone(), engine.totals());
+    let mut directives = SearchDirectives::none();
+    directives.add_threshold(ThresholdDirective {
+        hypothesis: "ExcessiveSyncWaitingTime".into(),
+        value: sync_threshold,
+    });
+    history::ground_truth(&pm, &HypothesisTree::standard(), &directives)
+        .into_iter()
+        .filter(|(_, f)| f.selection("Machine").is_none_or(|m| m.is_root()))
+        .collect()
+}
+
+fn sweep_row(
+    workload: &dyn Workload,
+    threshold: f64,
+    significant: &[(String, Focus)],
+) -> Table2Row {
+    let mut directives = SearchDirectives::none();
+    directives.add_threshold(ThresholdDirective {
+        hypothesis: "ExcessiveSyncWaitingTime".into(),
+        value: threshold,
+    });
+    let d = Session::new().diagnose(
+        workload,
+        &exp_config().with_directives(directives),
+        "sweep",
+    );
+    let found = d.report.bottleneck_set();
+    let hits = significant.iter().filter(|p| found.contains(p)).count();
+    Table2Row {
+        threshold,
+        bottlenecks: hits,
+        pairs_tested: d.report.pairs_tested,
+        efficiency: if d.report.pairs_tested == 0 {
+            0.0
+        } else {
+            hits as f64 / d.report.pairs_tested as f64
+        },
+    }
+}
+
+/// Runs the Table 2 sweep on the Poisson 2-D application. The reference
+/// threshold defining the significant set is 12% (the paper's optimum
+/// for this application).
+pub fn run_table2() -> Table2 {
+    let wl = PoissonWorkload::new(PoissonVersion::C);
+    let significant = significant_set(&wl, 0.12);
+    let rows = [0.30, 0.20, 0.15, 0.12, 0.10, 0.05]
+        .into_iter()
+        .map(|t| sweep_row(&wl, t, &significant))
+        .collect();
+    Table2 {
+        app: "Poisson 2-D decomposition (MPI, 4 nodes)".into(),
+        significant: significant.len(),
+        rows,
+    }
+}
+
+/// Runs the §4.2 secondary study: the PVM-era ocean-circulation code,
+/// whose optimal threshold (20% in the paper) differs from the MPI
+/// application's — the argument for application-specific thresholds.
+pub fn run_table2_ocean() -> Table2 {
+    let wl = OceanWorkload::new();
+    let significant = significant_set(&wl, 0.20);
+    let rows = [0.30, 0.20, 0.10]
+        .into_iter()
+        .map(|t| sweep_row(&wl, t, &significant))
+        .collect();
+    Table2 {
+        app: "Ocean circulation model (PVM, SPARCstations)".into(),
+        significant: significant.len(),
+        rows,
+    }
+}
+
+impl Table2 {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Table 2: Bottlenecks Found with Varying Threshold Values\n({}; {} significant areas)\n\n",
+            self.app, self.significant
+        );
+        out.push_str(&format!(
+            "{:>10} {:>14} {:>14} {:>12}\n",
+            "Threshold", "Bottlenecks", "Pairs Tested", "Efficiency"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>9.0}% {:>14} {:>14} {:>12.3}\n",
+                r.threshold * 100.0,
+                r.bottlenecks,
+                r.pairs_tested,
+                r.efficiency
+            ));
+        }
+        out
+    }
+
+    /// The useful threshold: as in the paper, a setting first has to
+    /// yield a (near-)complete diagnosis — "a starting point of 30%
+    /// yielded an incomplete diagnosis" disqualifies it outright — and
+    /// among complete settings the most efficient one wins.
+    pub fn best_threshold(&self) -> f64 {
+        let max_found = self.rows.iter().map(|r| r.bottlenecks).max().unwrap_or(0);
+        self.rows
+            .iter()
+            .filter(|r| (r.bottlenecks as f64) >= 0.95 * max_found as f64)
+            .max_by(|a, b| a.efficiency.total_cmp(&b.efficiency))
+            .map(|r| r.threshold)
+            .unwrap_or(0.2)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 3: directives across application versions
+// ---------------------------------------------------------------------
+
+/// The cross-version experiment result.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// The versions, row/column order A, B, C, D.
+    pub versions: [PoissonVersion; 4],
+    /// `times[row][0]` is the base (no directives) time for the row's
+    /// version; `times[row][1 + col]` is the time when directed by
+    /// directives extracted from `versions[col]`'s base run.
+    pub times: Vec<Vec<Option<SimTime>>>,
+}
+
+/// Runs the Table 3 experiment: every version diagnosed with directives
+/// from every version's base run (including its own), resource-mapped
+/// across versions.
+pub fn run_table3() -> Table3 {
+    let versions = [
+        PoissonVersion::A,
+        PoissonVersion::B,
+        PoissonVersion::C,
+        PoissonVersion::D,
+    ];
+    // Base runs (column "None" and directive sources), in parallel.
+    let mut bases: Vec<Option<Diagnosis>> = versions.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for (slot, &v) in bases.iter_mut().zip(&versions) {
+            s.spawn(move |_| {
+                *slot = Some(base_diagnosis(v));
+            });
+        }
+    })
+    .expect("base diagnosis threads");
+    let bases: Vec<Diagnosis> = bases.into_iter().map(|b| b.expect("spawned")).collect();
+
+    let session = Session::new();
+    let mut times = Vec::new();
+    for (ri, &row_version) in versions.iter().enumerate() {
+        let truth = truth_of(&bases[ri]);
+        let base_time = bases[ri].report.time_to_find(&truth, 1.0);
+        let mut row = vec![base_time];
+        for (ci, _col_version) in versions.iter().enumerate() {
+            let directives = session.harvest_mapped(
+                &bases[ci].record,
+                &bases[ri].record.resources,
+                &ExtractionOptions::priorities_and_safe_prunes(),
+                &MappingSet::new(),
+            );
+            let d = directed_diagnosis(row_version, directives);
+            row.push(d.report.time_to_find(&truth, 1.0));
+        }
+        times.push(row);
+    }
+    Table3 { versions, times }
+}
+
+impl Table3 {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Table 3: Time (s) to find all bottlenecks with search directives\n\
+             from different application versions\n\n",
+        );
+        out.push_str(&format!("{:<10}", "Version"));
+        out.push_str(&format!("{:>18}", "None"));
+        for v in &self.versions {
+            out.push_str(&format!("{:>18}", v.label()));
+        }
+        out.push('\n');
+        for (ri, row) in self.times.iter().enumerate() {
+            out.push_str(&format!("{:<10}", self.versions[ri].label()));
+            let base = row[0];
+            out.push_str(&format!("{:>18}", fmt_time(base)));
+            for cell in &row[1..] {
+                out.push_str(&format!(
+                    "{:>18}",
+                    format!("{} {}", fmt_time(*cell), fmt_reduction(*cell, base))
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 4: similarity of extracted priorities across code versions
+// ---------------------------------------------------------------------
+
+/// Membership classes of Table 4's columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table4 {
+    /// Counts for high-priority directives:
+    /// [A only, B only, C only, A+B, A+C, B+C, A+B+C].
+    pub high: [usize; 7],
+    /// Counts for low-priority directives, same classes.
+    pub low: [usize; 7],
+}
+
+/// Runs the Table 4 experiment: compare the priority-directive sets
+/// extracted from base runs of versions A, B and C, after mapping each
+/// into version C's resource names.
+pub fn run_table4() -> Table4 {
+    let session = Session::new();
+    let a = base_diagnosis(PoissonVersion::A);
+    let b = base_diagnosis(PoissonVersion::B);
+    let c = base_diagnosis(PoissonVersion::C);
+    let opts = ExtractionOptions::priorities_only();
+    let in_c = |src: &Diagnosis| {
+        session.harvest_mapped(&src.record, &c.record.resources, &opts, &MappingSet::new())
+    };
+    let da = in_c(&a);
+    let db = in_c(&b);
+    let dc = history::extract(&c.record, &opts);
+
+    let mut out = Table4::default();
+    let sets = [&da, &db, &dc];
+    let mut keys: Vec<(String, String, PriorityLevel)> = Vec::new();
+    for d in sets {
+        for p in &d.priorities {
+            let k = (p.hypothesis.clone(), p.focus.to_string(), p.level);
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+    }
+    for (hyp, focus_text, level) in keys {
+        if level == PriorityLevel::Medium {
+            continue;
+        }
+        let member: Vec<bool> = sets
+            .iter()
+            .map(|d| {
+                d.priorities
+                    .iter()
+                    .any(|p| p.hypothesis == hyp && p.focus.to_string() == focus_text && p.level == level)
+            })
+            .collect();
+        let class = match (member[0], member[1], member[2]) {
+            (true, false, false) => 0,
+            (false, true, false) => 1,
+            (false, false, true) => 2,
+            (true, true, false) => 3,
+            (true, false, true) => 4,
+            (false, true, true) => 5,
+            (true, true, true) => 6,
+            (false, false, false) => continue,
+        };
+        match level {
+            PriorityLevel::High => out.high[class] += 1,
+            PriorityLevel::Low => out.low[class] += 1,
+            PriorityLevel::Medium => {}
+        }
+    }
+    out
+}
+
+impl Table4 {
+    /// Total high-priority directives.
+    pub fn high_total(&self) -> usize {
+        self.high.iter().sum()
+    }
+
+    /// Total low-priority directives.
+    pub fn low_total(&self) -> usize {
+        self.low.iter().sum()
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let headers = ["A only", "B only", "C only", "A,B", "A,C", "B,C", "A,B,C", "TOTAL"];
+        let mut out = String::from(
+            "Table 4: Similarity of Extracted Priorities Across Code Versions\n\n",
+        );
+        out.push_str(&format!("{:<10}", "Priority"));
+        for h in headers {
+            out.push_str(&format!("{h:>9}"));
+        }
+        out.push('\n');
+        let both: Vec<usize> = self
+            .high
+            .iter()
+            .zip(&self.low)
+            .map(|(h, l)| h + l)
+            .collect();
+        for (label, row, total) in [
+            ("High", &self.high[..], self.high_total()),
+            ("Low", &self.low[..], self.low_total()),
+            ("Both", &both[..], self.high_total() + self.low_total()),
+        ] {
+            out.push_str(&format!("{label:<10}"));
+            for v in row {
+                out.push_str(&format!("{v:>9}"));
+            }
+            out.push_str(&format!("{total:>9}\n"));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// §4.3 text experiments: repeated runs and directive combination
+// ---------------------------------------------------------------------
+
+/// Results of the §4.3 repeated-run and combination analyses.
+#[derive(Debug, Clone)]
+pub struct CombinationExperiment {
+    /// True pairs in the base run of A (a1).
+    pub a1_true: usize,
+    /// True pairs in the directed second run (a2).
+    pub a2_true: usize,
+    /// True pairs common to both runs.
+    pub common_true: usize,
+    /// Priority directives common to A∩B and A∪B.
+    pub common_directives: usize,
+    /// Priority directives unique to A∪B.
+    pub union_extra: usize,
+    /// Time to find all of C's bottlenecks using A∩B directives.
+    pub time_intersect: Option<SimTime>,
+    /// Time to find all of C's bottlenecks using A∪B directives.
+    pub time_union: Option<SimTime>,
+}
+
+/// Runs the §4.3 experiments: (1) directives from a base run of A guiding
+/// a second run of A; (2) the A∩B and A∪B combinations guiding C.
+pub fn run_combination() -> CombinationExperiment {
+    let session = Session::new();
+    // Part 1: a1 -> a2. Both runs get the same bounded session length,
+    // shorter than the base search needs to complete — the situation the
+    // paper describes where the PC "would miss data for interesting
+    // events and possibly stop before completion due to inherent
+    // instrumentation cost limits". The second run also differs in
+    // jitter seed, modelling repeated executions on dedicated time.
+    let bounded = SearchConfig {
+        max_time: SimDuration::from_secs(45),
+        ..exp_config()
+    };
+    let a1 = Session::new().diagnose(
+        &PoissonWorkload::new(PoissonVersion::A),
+        &bounded,
+        "a1",
+    );
+    let directives = history::extract(&a1.record, &ExtractionOptions::priorities_only());
+    let wl_a2 = PoissonWorkload::new(PoissonVersion::A).with_seed(0xA2);
+    let a2 = session.diagnose(
+        &wl_a2,
+        &bounded.clone().with_directives(directives),
+        "a2",
+    );
+    let a1_set: Vec<(String, Focus)> = a1.report.bottleneck_set();
+    let a2_set: Vec<(String, Focus)> = a2.report.bottleneck_set();
+    let common_true = a1_set.iter().filter(|p| a2_set.contains(p)).count();
+
+    // Part 2: combine A and B directives, diagnose C with each. Uses
+    // complete base runs of A and B (the combination study is about
+    // multi-run knowledge, not truncation).
+    let a_full = base_diagnosis(PoissonVersion::A);
+    let b = base_diagnosis(PoissonVersion::B);
+    let c = base_diagnosis(PoissonVersion::C);
+    let opts = ExtractionOptions::priorities_only();
+    let da = session.harvest_mapped(&a_full.record, &c.record.resources, &opts, &MappingSet::new());
+    let db = session.harvest_mapped(&b.record, &c.record.resources, &opts, &MappingSet::new());
+    let inter = intersect(&da, &db);
+    let uni = union(&da, &db);
+    let common_directives = inter.priorities.len();
+    let union_extra = uni.priorities.len() - common_directives;
+    let truth = truth_of(&c);
+    let d_inter = directed_diagnosis(PoissonVersion::C, inter);
+    let d_union = directed_diagnosis(PoissonVersion::C, uni);
+    CombinationExperiment {
+        a1_true: a1_set.len(),
+        a2_true: a2_set.len(),
+        common_true,
+        common_directives,
+        union_extra,
+        time_intersect: d_inter.report.time_to_find(&truth, 1.0),
+        time_union: d_union.report.time_to_find(&truth, 1.0),
+    }
+}
+
+impl CombinationExperiment {
+    /// Renders the experiment summary.
+    pub fn render(&self) -> String {
+        format!(
+            "Experiment (§4.3): repeated runs and directive combination\n\n\
+             Base run a1 of version A: {} pairs tested true\n\
+             Directed run a2 (directives from a1): {} pairs tested true\n\
+             True in both runs: {}\n\n\
+             A∩B vs A∪B priorities (mapped into version C's names):\n\
+             common directives: {}\n\
+             additional directives unique to A∪B: {}\n\
+             time to diagnose C with A∩B: {}\n\
+             time to diagnose C with A∪B: {}\n",
+            self.a1_true,
+            self.a2_true,
+            self.common_true,
+            self.common_directives,
+            self.union_extra,
+            fmt_time(self.time_intersect),
+            fmt_time(self.time_union),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------
+
+/// Figure 1: the resource hierarchies of the "Tester" program.
+pub fn fig1_hierarchies() -> String {
+    let wl = TesterWorkload::new();
+    let collector = Collector::new(wl.app_spec(), CollectorConfig::default());
+    let mut out = String::from(
+        "Figure 1: Representing program Tester.\nThree resource hierarchies: Code, Machine, and Process.\n\n",
+    );
+    for h in collector.space().hierarchies() {
+        if h.name() == "SyncObject" {
+            continue; // Tester has no sync objects; fig. 1 shows three trees
+        }
+        out.push_str(&h.render(false));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 2: a Performance Consultant search in progress — the SHG in
+/// list-box form after `until` of application time.
+pub fn fig2_shg_snapshot(until: SimTime) -> String {
+    use histpc::consultant::{Consultant, HypothesisTree};
+    let wl = PoissonWorkload::new(PoissonVersion::C);
+    let config = exp_config();
+    let mut engine = wl.build_engine();
+    let mut collector = Collector::new(engine.app().clone(), config.collector.clone());
+    let mut consultant = Consultant::new(
+        HypothesisTree::standard(),
+        config.directives.clone(),
+        config.window,
+        &collector,
+    );
+    consultant.tick(SimTime::ZERO, &mut collector);
+    collector.apply_perturbation(&mut engine);
+    let mut now = SimTime::ZERO;
+    while now < until && !consultant.is_quiescent() {
+        now += config.sample;
+        engine.run_until(now);
+        let ivs = engine.drain_intervals();
+        collector.observe_batch(&ivs);
+        consultant.tick(now, &mut collector);
+        collector.apply_perturbation(&mut engine);
+    }
+    format!(
+        "Figure 2: A Performance Consultant search in progress (t = {now}).\n\
+         [T] tested true, [F] tested false, [?] testing, [.] pending, [P] pruned\n\n{}",
+        consultant.shg().render(consultant.tree())
+    )
+}
+
+/// Figure 3: the combined Code hierarchies of versions A and B with
+/// execution tags, plus the suggested mapping directives.
+pub fn fig3_mappings() -> String {
+    use histpc::instr::Binder;
+    let a = Binder::new(PoissonWorkload::new(PoissonVersion::A).app_spec()).build_space();
+    let b = Binder::new(PoissonWorkload::new(PoissonVersion::B).app_spec()).build_space();
+    let mut merged = a.hierarchy("Code").expect("Code exists").clone();
+    merged
+        .merge_tagged(b.hierarchy("Code").expect("Code exists"), 1, 2)
+        .expect("same hierarchy");
+    let a_names: Vec<ResourceName> = a.hierarchies().iter().flat_map(|h| h.all_names()).collect();
+    let b_names: Vec<ResourceName> = b.hierarchies().iter().flat_map(|h| h.all_names()).collect();
+    let mappings = MappingSet::suggest(&a_names, &b_names);
+    format!(
+        "Figure 3: Execution map for Versions A and B (Code hierarchy).\n\
+         Tags: {{1}} = only version A, {{2}} = only version B, {{1,2}} = both.\n\n{}\n\
+         Mappings used:\n{}",
+        merged.render(true),
+        mappings.to_text()
+    )
+}

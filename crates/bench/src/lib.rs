@@ -1,0 +1,15 @@
+//! `histpc-bench`: the harness regenerating every table and figure of the
+//! paper's evaluation (§4).
+//!
+//! One binary per artifact (see `src/bin/`); shared experiment code lives
+//! in [`experiments`]. Absolute times differ from the paper (our substrate
+//! is a simulator, not a dedicated IBM SP/2 partition), but each binary
+//! prints the same rows the paper reports, and EXPERIMENTS.md records the
+//! paper-vs-measured comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

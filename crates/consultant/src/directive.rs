@@ -1,0 +1,546 @@
+//! Search directives: prunes, priorities, and thresholds (paper §3.1).
+//!
+//! * **Pruning directives** instruct the tool to ignore a subtree of a
+//!   resource hierarchy (or one exact focus) in its evaluation of a
+//!   specific hypothesis — or of all hypotheses (`*`).
+//! * **Priorities** assign High or Low importance to specific
+//!   hypothesis/focus pairs; High pairs are instrumented at search start
+//!   and are persistent, Low pairs are tested after their Medium siblings.
+//! * **Thresholds** replace a hypothesis's default test level.
+//!
+//! The textual form is line-oriented, one directive per line, matching
+//! the spirit of the paper's input files:
+//!
+//! ```text
+//! # comment
+//! prune * resource /SyncObject
+//! prune CPUbound resource /Code/diff.f/diff
+//! prune ExcessiveSyncWaitingTime pair </Code/oned.f,/Machine,/Process,/SyncObject>
+//! priority high ExcessiveSyncWaitingTime </Code/exchng1.f/exchng1,/Machine,/Process,/SyncObject>
+//! priority low CPUbound </Code/diff.f,/Machine,/Process,/SyncObject>
+//! threshold ExcessiveSyncWaitingTime 0.12
+//! ```
+
+use histpc_resources::{Focus, ResourceName};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Priority of a hypothesis/focus pair in the search order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PriorityLevel {
+    /// Tested after Medium siblings.
+    Low,
+    /// The default.
+    Medium,
+    /// Instrumented at search start; persistent for the whole run.
+    High,
+}
+
+impl PriorityLevel {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PriorityLevel::High => "high",
+            PriorityLevel::Medium => "medium",
+            PriorityLevel::Low => "low",
+        }
+    }
+
+    /// Parses the lowercase name.
+    pub fn from_name(s: &str) -> Option<PriorityLevel> {
+        match s {
+            "high" => Some(PriorityLevel::High),
+            "medium" => Some(PriorityLevel::Medium),
+            "low" => Some(PriorityLevel::Low),
+            _ => None,
+        }
+    }
+}
+
+/// What a pruning directive removes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PruneTarget {
+    /// A resource subtree: any focus whose selection descends into the
+    /// subtree is pruned. Pruning a hierarchy root (e.g. `/Machine`)
+    /// blocks refinement *into* that hierarchy while keeping foci whose
+    /// selection is the root itself.
+    Resource(ResourceName),
+    /// One exact focus.
+    Pair(Focus),
+}
+
+/// A pruning directive.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Prune {
+    /// Hypothesis name the prune applies to; `None` means all hypotheses
+    /// (written `*`).
+    pub hypothesis: Option<String>,
+    /// What is pruned.
+    pub target: PruneTarget,
+}
+
+impl Prune {
+    /// True if this prune removes (hypothesis `hyp`, focus `f`).
+    pub fn matches(&self, hyp: &str, f: &Focus) -> bool {
+        if let Some(h) = &self.hypothesis {
+            if h != hyp {
+                return false;
+            }
+        }
+        match &self.target {
+            PruneTarget::Pair(p) => p == f,
+            PruneTarget::Resource(r) => match f.selection(r.hierarchy()) {
+                None => false,
+                Some(sel) => {
+                    if r.is_root() {
+                        // Pruning a hierarchy root blocks descent into it,
+                        // not the unconstrained root selection itself.
+                        r.is_ancestor_of(sel)
+                    } else {
+                        r.is_prefix_of(sel)
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// A priority directive for one hypothesis/focus pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PriorityDirective {
+    /// Hypothesis name.
+    pub hypothesis: String,
+    /// Exact focus.
+    pub focus: Focus,
+    /// High or Low (Medium is the default and never written).
+    pub level: PriorityLevel,
+}
+
+/// A threshold directive for one hypothesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdDirective {
+    /// Hypothesis name.
+    pub hypothesis: String,
+    /// Fraction of execution time (0..1).
+    pub value: f64,
+}
+
+/// A complete set of search directives.
+#[derive(Debug, Clone, Default)]
+pub struct SearchDirectives {
+    /// Pruning directives.
+    pub prunes: Vec<Prune>,
+    /// Priority directives.
+    pub priorities: Vec<PriorityDirective>,
+    /// Threshold directives.
+    pub thresholds: Vec<ThresholdDirective>,
+    /// Index for exact-pair priority lookups.
+    priority_index: HashMap<(String, Focus), PriorityLevel>,
+}
+
+impl SearchDirectives {
+    /// An empty directive set (the unmodified Performance Consultant).
+    pub fn none() -> SearchDirectives {
+        SearchDirectives::default()
+    }
+
+    /// Adds a prune.
+    pub fn add_prune(&mut self, p: Prune) {
+        self.prunes.push(p);
+    }
+
+    /// Adds a priority directive (replacing an earlier one for the same
+    /// pair).
+    pub fn add_priority(&mut self, p: PriorityDirective) {
+        self.priority_index
+            .insert((p.hypothesis.clone(), p.focus.clone()), p.level);
+        self.priorities.retain(|q| {
+            !(q.hypothesis == p.hypothesis && q.focus == p.focus)
+        });
+        self.priorities.push(p);
+    }
+
+    /// Adds a threshold directive (replacing an earlier one for the same
+    /// hypothesis).
+    pub fn add_threshold(&mut self, t: ThresholdDirective) {
+        self.thresholds.retain(|q| q.hypothesis != t.hypothesis);
+        self.thresholds.push(t);
+    }
+
+    /// True if (hypothesis, focus) is pruned.
+    pub fn is_pruned(&self, hyp: &str, focus: &Focus) -> bool {
+        self.prunes.iter().any(|p| p.matches(hyp, focus))
+    }
+
+    /// The priority of (hypothesis, focus); Medium unless directed.
+    pub fn priority_of(&self, hyp: &str, focus: &Focus) -> PriorityLevel {
+        self.priority_index
+            .get(&(hyp.to_string(), focus.clone()))
+            .copied()
+            .unwrap_or(PriorityLevel::Medium)
+    }
+
+    /// The directed threshold for a hypothesis, if any.
+    pub fn threshold_for(&self, hyp: &str) -> Option<f64> {
+        self.thresholds
+            .iter()
+            .find(|t| t.hypothesis == hyp)
+            .map(|t| t.value)
+    }
+
+    /// All High-priority pairs (instrumented at search start).
+    pub fn high_priority_pairs(&self) -> impl Iterator<Item = &PriorityDirective> {
+        self.priorities
+            .iter()
+            .filter(|p| p.level == PriorityLevel::High)
+    }
+
+    /// Total number of directives.
+    pub fn len(&self) -> usize {
+        self.prunes.len() + self.priorities.len() + self.thresholds.len()
+    }
+
+    /// True if the set holds no directives.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merges another directive set into this one (later wins on
+    /// conflicting priorities/thresholds).
+    pub fn merge(&mut self, other: &SearchDirectives) {
+        for p in &other.prunes {
+            if !self.prunes.contains(p) {
+                self.prunes.push(p.clone());
+            }
+        }
+        for p in &other.priorities {
+            self.add_priority(p.clone());
+        }
+        for t in &other.thresholds {
+            self.add_threshold(t.clone());
+        }
+    }
+
+    /// Serializes to the line-oriented text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# histpc search directives v1\n");
+        for p in &self.prunes {
+            let hyp = p.hypothesis.as_deref().unwrap_or("*");
+            match &p.target {
+                PruneTarget::Resource(r) => {
+                    out.push_str(&format!("prune {hyp} resource {r}\n"));
+                }
+                PruneTarget::Pair(f) => {
+                    out.push_str(&format!("prune {hyp} pair {f}\n"));
+                }
+            }
+        }
+        for p in &self.priorities {
+            out.push_str(&format!(
+                "priority {} {} {}\n",
+                p.level.name(),
+                p.hypothesis,
+                p.focus
+            ));
+        }
+        for t in &self.thresholds {
+            out.push_str(&format!("threshold {} {}\n", t.hypothesis, t.value));
+        }
+        out
+    }
+
+    /// Parses the line-oriented text form. Unknown lines produce errors;
+    /// blank lines and `#` comments are skipped.
+    pub fn parse(text: &str) -> Result<SearchDirectives, DirectiveParseError> {
+        let mut out = SearchDirectives::none();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let kind = words.next().expect("non-empty line");
+            let err = |reason: &'static str| DirectiveParseError {
+                line: lineno + 1,
+                text: raw.to_string(),
+                reason,
+            };
+            match kind {
+                "prune" => {
+                    let hyp = words.next().ok_or_else(|| err("missing hypothesis"))?;
+                    let hyp = (hyp != "*").then(|| hyp.to_string());
+                    let target_kind = words.next().ok_or_else(|| err("missing target kind"))?;
+                    let rest = words.collect::<Vec<_>>().join(" ");
+                    let target = match target_kind {
+                        "resource" => PruneTarget::Resource(
+                            ResourceName::parse(&rest).map_err(|_| err("bad resource name"))?,
+                        ),
+                        "pair" => PruneTarget::Pair(
+                            Focus::parse(&rest).map_err(|_| err("bad focus"))?,
+                        ),
+                        _ => return Err(err("target must be 'resource' or 'pair'")),
+                    };
+                    out.add_prune(Prune {
+                        hypothesis: hyp,
+                        target,
+                    });
+                }
+                "priority" => {
+                    let level = words
+                        .next()
+                        .and_then(PriorityLevel::from_name)
+                        .ok_or_else(|| err("bad priority level"))?;
+                    let hyp = words.next().ok_or_else(|| err("missing hypothesis"))?;
+                    let rest = words.collect::<Vec<_>>().join(" ");
+                    let focus = Focus::parse(&rest).map_err(|_| err("bad focus"))?;
+                    out.add_priority(PriorityDirective {
+                        hypothesis: hyp.to_string(),
+                        focus,
+                        level,
+                    });
+                }
+                "threshold" => {
+                    let hyp = words.next().ok_or_else(|| err("missing hypothesis"))?;
+                    let value: f64 = words
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("bad threshold value"))?;
+                    if !(0.0..=1.0).contains(&value) {
+                        return Err(err("threshold must be within 0..=1"));
+                    }
+                    out.add_threshold(ThresholdDirective {
+                        hypothesis: hyp.to_string(),
+                        value,
+                    });
+                }
+                _ => return Err(err("unknown directive kind")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A parse failure in a directive file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectiveParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line.
+    pub text: String,
+    /// Why it failed.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DirectiveParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "directive parse error at line {}: {} ({:?})",
+            self.line, self.reason, self.text
+        )
+    }
+}
+
+impl std::error::Error for DirectiveParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wp() -> Focus {
+        Focus::whole_program(["Code", "Machine", "Process", "SyncObject"])
+    }
+
+    fn n(s: &str) -> ResourceName {
+        ResourceName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn resource_prune_matches_subtree() {
+        let p = Prune {
+            hypothesis: None,
+            target: PruneTarget::Resource(n("/Code/diff.f")),
+        };
+        let f_mod = wp().with_selection(n("/Code/diff.f"));
+        let f_func = wp().with_selection(n("/Code/diff.f/diff"));
+        let f_other = wp().with_selection(n("/Code/oned.f"));
+        assert!(p.matches("CPUbound", &f_mod));
+        assert!(p.matches("CPUbound", &f_func));
+        assert!(!p.matches("CPUbound", &f_other));
+        assert!(!p.matches("CPUbound", &wp()));
+    }
+
+    #[test]
+    fn root_prune_blocks_descent_only() {
+        // Pruning /Machine (redundant hierarchy) keeps the root selection
+        // but blocks any refinement into the hierarchy.
+        let p = Prune {
+            hypothesis: None,
+            target: PruneTarget::Resource(n("/Machine")),
+        };
+        assert!(!p.matches("CPUbound", &wp()));
+        assert!(p.matches("CPUbound", &wp().with_selection(n("/Machine/node01"))));
+    }
+
+    #[test]
+    fn hypothesis_scoped_prune() {
+        // The paper's general prune: /SyncObject from all but sync
+        // hypotheses.
+        let p = Prune {
+            hypothesis: Some("CPUbound".into()),
+            target: PruneTarget::Resource(n("/SyncObject")),
+        };
+        let f = wp().with_selection(n("/SyncObject/Message"));
+        assert!(p.matches("CPUbound", &f));
+        assert!(!p.matches("ExcessiveSyncWaitingTime", &f));
+    }
+
+    #[test]
+    fn pair_prune_is_exact() {
+        let f = wp().with_selection(n("/Code/oned.f"));
+        let p = Prune {
+            hypothesis: Some("CPUbound".into()),
+            target: PruneTarget::Pair(f.clone()),
+        };
+        assert!(p.matches("CPUbound", &f));
+        assert!(!p.matches("CPUbound", &f.with_selection(n("/Code/oned.f/main"))));
+    }
+
+    #[test]
+    fn priority_lookup_defaults_to_medium() {
+        let mut d = SearchDirectives::none();
+        let f = wp().with_selection(n("/Code/oned.f"));
+        d.add_priority(PriorityDirective {
+            hypothesis: "CPUbound".into(),
+            focus: f.clone(),
+            level: PriorityLevel::High,
+        });
+        assert_eq!(d.priority_of("CPUbound", &f), PriorityLevel::High);
+        assert_eq!(d.priority_of("CPUbound", &wp()), PriorityLevel::Medium);
+        assert_eq!(d.priority_of("ExcessiveSyncWaitingTime", &f), PriorityLevel::Medium);
+    }
+
+    #[test]
+    fn add_priority_replaces_existing() {
+        let mut d = SearchDirectives::none();
+        let f = wp();
+        d.add_priority(PriorityDirective {
+            hypothesis: "CPUbound".into(),
+            focus: f.clone(),
+            level: PriorityLevel::High,
+        });
+        d.add_priority(PriorityDirective {
+            hypothesis: "CPUbound".into(),
+            focus: f.clone(),
+            level: PriorityLevel::Low,
+        });
+        assert_eq!(d.priorities.len(), 1);
+        assert_eq!(d.priority_of("CPUbound", &f), PriorityLevel::Low);
+    }
+
+    #[test]
+    fn threshold_replacement_and_lookup() {
+        let mut d = SearchDirectives::none();
+        d.add_threshold(ThresholdDirective {
+            hypothesis: "ExcessiveSyncWaitingTime".into(),
+            value: 0.20,
+        });
+        d.add_threshold(ThresholdDirective {
+            hypothesis: "ExcessiveSyncWaitingTime".into(),
+            value: 0.12,
+        });
+        assert_eq!(d.threshold_for("ExcessiveSyncWaitingTime"), Some(0.12));
+        assert_eq!(d.threshold_for("CPUbound"), None);
+        assert_eq!(d.thresholds.len(), 1);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut d = SearchDirectives::none();
+        d.add_prune(Prune {
+            hypothesis: None,
+            target: PruneTarget::Resource(n("/SyncObject")),
+        });
+        d.add_prune(Prune {
+            hypothesis: Some("CPUbound".into()),
+            target: PruneTarget::Pair(wp()),
+        });
+        d.add_priority(PriorityDirective {
+            hypothesis: "ExcessiveSyncWaitingTime".into(),
+            focus: wp().with_selection(n("/Code/exchng1.f/exchng1")),
+            level: PriorityLevel::High,
+        });
+        d.add_threshold(ThresholdDirective {
+            hypothesis: "ExcessiveSyncWaitingTime".into(),
+            value: 0.12,
+        });
+        let text = d.to_text();
+        let parsed = SearchDirectives::parse(&text).unwrap();
+        assert_eq!(parsed.prunes, d.prunes);
+        assert_eq!(parsed.priorities, d.priorities);
+        assert_eq!(parsed.thresholds.len(), 1);
+        assert_eq!(parsed.threshold_for("ExcessiveSyncWaitingTime"), Some(0.12));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "frobnicate all the things",
+            "prune",
+            "prune * gadget /Code",
+            "priority sideways CPUbound </Code>",
+            "threshold CPUbound notanumber",
+            "threshold CPUbound 3.5",
+        ] {
+            assert!(SearchDirectives::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let d = SearchDirectives::parse("# header\n\n  \nthreshold CPUbound 0.3\n").unwrap();
+        assert_eq!(d.threshold_for("CPUbound"), Some(0.3));
+    }
+
+    #[test]
+    fn merge_unions_and_overrides() {
+        let mut a = SearchDirectives::none();
+        a.add_threshold(ThresholdDirective {
+            hypothesis: "CPUbound".into(),
+            value: 0.2,
+        });
+        a.add_prune(Prune {
+            hypothesis: None,
+            target: PruneTarget::Resource(n("/Machine")),
+        });
+        let mut b = SearchDirectives::none();
+        b.add_threshold(ThresholdDirective {
+            hypothesis: "CPUbound".into(),
+            value: 0.1,
+        });
+        b.add_prune(Prune {
+            hypothesis: None,
+            target: PruneTarget::Resource(n("/Machine")),
+        });
+        a.merge(&b);
+        assert_eq!(a.threshold_for("CPUbound"), Some(0.1));
+        assert_eq!(a.prunes.len(), 1);
+    }
+
+    #[test]
+    fn high_priority_pairs_iterator() {
+        let mut d = SearchDirectives::none();
+        d.add_priority(PriorityDirective {
+            hypothesis: "CPUbound".into(),
+            focus: wp(),
+            level: PriorityLevel::High,
+        });
+        d.add_priority(PriorityDirective {
+            hypothesis: "CPUbound".into(),
+            focus: wp().with_selection(n("/Code/diff.f")),
+            level: PriorityLevel::Low,
+        });
+        assert_eq!(d.high_priority_pairs().count(), 1);
+        assert_eq!(d.len(), 2);
+    }
+}

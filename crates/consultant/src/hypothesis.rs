@@ -1,0 +1,249 @@
+//! The hypothesis tree.
+//!
+//! "The full collection of hypotheses is organized as a tree, where
+//! hypotheses lower in the tree identify more specific problems than those
+//! higher up." (paper §2). The standard tree is Paradyn's:
+//!
+//! ```text
+//! TopLevelHypothesis
+//! ├── CPUbound                        (cpu_time fraction)
+//! ├── ExcessiveSyncWaitingTime        (sync_wait_time fraction)
+//! │   ├── ExcessiveMessageWaitingTime (msg_wait_time fraction)
+//! │   └── ExcessiveBarrierWaitingTime (barrier_wait_time fraction)
+//! └── ExcessiveIOBlockingTime         (io_wait_time fraction)
+//! ```
+//!
+//! The second level gives the "more specific hypothesis" refinement axis
+//! real depth: when synchronization waiting tests true, the Consultant
+//! asks *what kind* of waiting before (and while) asking *where*.
+//!
+//! Each non-root hypothesis is "based on a continuously measured value
+//! computed by one or more Paradyn metrics, and a fixed threshold": the
+//! measured metric value over a time window, normalized to a fraction of
+//! execution time, compared against the threshold.
+
+use histpc_instr::Metric;
+
+/// Index of a hypothesis within a [`HypothesisTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HypothesisId(pub u16);
+
+/// One performance hypothesis.
+#[derive(Debug, Clone)]
+pub struct Hypothesis {
+    /// Display and directive-file name, e.g. `CPUbound`.
+    pub name: String,
+    /// The metric that measures it; `None` for the virtual root.
+    pub metric: Option<Metric>,
+    /// Default threshold (fraction of execution time under the focus).
+    pub default_threshold: f64,
+    /// Parent in the hypothesis tree; `None` for the root.
+    pub parent: Option<HypothesisId>,
+    /// True for synchronization-related hypotheses: the SyncObject
+    /// hierarchy is only meaningful for these (basis of the paper's
+    /// "general prune" of `/SyncObject` from all other hypotheses).
+    pub sync_related: bool,
+}
+
+/// The tree of hypotheses the Performance Consultant searches.
+#[derive(Debug, Clone)]
+pub struct HypothesisTree {
+    hyps: Vec<Hypothesis>,
+}
+
+impl HypothesisTree {
+    /// Paradyn's standard tree (root + CPU/sync/I-O).
+    ///
+    /// The default thresholds follow the paper: Paradyn's stock setting
+    /// is 20% for the synchronization hypothesis (§4.2 calls 20% "the
+    /// default Paradyn setting").
+    pub fn standard() -> HypothesisTree {
+        let root = Hypothesis {
+            name: "TopLevelHypothesis".into(),
+            metric: None,
+            default_threshold: 0.0,
+            parent: None,
+            sync_related: false,
+        };
+        let cpu = Hypothesis {
+            name: "CPUbound".into(),
+            metric: Some(Metric::CpuTime),
+            default_threshold: 0.20,
+            parent: Some(HypothesisId(0)),
+            sync_related: false,
+        };
+        let sync = Hypothesis {
+            name: "ExcessiveSyncWaitingTime".into(),
+            metric: Some(Metric::SyncWaitTime),
+            default_threshold: 0.20,
+            parent: Some(HypothesisId(0)),
+            sync_related: true,
+        };
+        let io = Hypothesis {
+            name: "ExcessiveIOBlockingTime".into(),
+            metric: Some(Metric::IoWaitTime),
+            default_threshold: 0.20,
+            parent: Some(HypothesisId(0)),
+            sync_related: false,
+        };
+        // Children of ExcessiveSyncWaitingTime (index 2).
+        let msg = Hypothesis {
+            name: "ExcessiveMessageWaitingTime".into(),
+            metric: Some(Metric::MsgWaitTime),
+            default_threshold: 0.20,
+            parent: Some(HypothesisId(2)),
+            sync_related: true,
+        };
+        let barrier = Hypothesis {
+            name: "ExcessiveBarrierWaitingTime".into(),
+            metric: Some(Metric::BarrierWaitTime),
+            default_threshold: 0.20,
+            parent: Some(HypothesisId(2)),
+            // Barrier waits have no message object: refining into the
+            // SyncObject hierarchy is meaningless for them.
+            sync_related: false,
+        };
+        HypothesisTree {
+            hyps: vec![root, cpu, sync, io, msg, barrier],
+        }
+    }
+
+    /// The virtual root (`TopLevelHypothesis`).
+    pub fn root(&self) -> HypothesisId {
+        HypothesisId(0)
+    }
+
+    /// Number of hypotheses including the root.
+    pub fn len(&self) -> usize {
+        self.hyps.len()
+    }
+
+    /// True if the tree is empty (never the case for `standard`).
+    pub fn is_empty(&self) -> bool {
+        self.hyps.is_empty()
+    }
+
+    /// The hypothesis record for `id`.
+    pub fn get(&self, id: HypothesisId) -> &Hypothesis {
+        &self.hyps[id.0 as usize]
+    }
+
+    /// Looks a hypothesis up by name.
+    pub fn by_name(&self, name: &str) -> Option<HypothesisId> {
+        self.hyps
+            .iter()
+            .position(|h| h.name == name)
+            .map(|i| HypothesisId(i as u16))
+    }
+
+    /// The child hypotheses of `id` (the "more specific hypothesis"
+    /// refinement axis).
+    pub fn children(&self, id: HypothesisId) -> Vec<HypothesisId> {
+        self.hyps
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.parent == Some(id))
+            .map(|(i, _)| HypothesisId(i as u16))
+            .collect()
+    }
+
+    /// All non-root hypotheses.
+    pub fn testable(&self) -> Vec<HypothesisId> {
+        self.hyps
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.metric.is_some())
+            .map(|(i, _)| HypothesisId(i as u16))
+            .collect()
+    }
+
+    /// Adds a custom hypothesis, returning its id.
+    pub fn add(&mut self, hyp: Hypothesis) -> HypothesisId {
+        assert!(
+            hyp.parent.is_some_and(|p| (p.0 as usize) < self.hyps.len()),
+            "custom hypotheses need an existing parent"
+        );
+        self.hyps.push(hyp);
+        HypothesisId(self.hyps.len() as u16 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_tree_shape() {
+        let t = HypothesisTree::standard();
+        assert_eq!(t.len(), 6);
+        let root = t.root();
+        assert_eq!(t.get(root).name, "TopLevelHypothesis");
+        assert!(t.get(root).metric.is_none());
+        let kids = t.children(root);
+        assert_eq!(kids.len(), 3);
+        let names: Vec<&str> = kids.iter().map(|&k| t.get(k).name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "CPUbound",
+                "ExcessiveSyncWaitingTime",
+                "ExcessiveIOBlockingTime"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let t = HypothesisTree::standard();
+        let sync = t.by_name("ExcessiveSyncWaitingTime").unwrap();
+        assert!(t.get(sync).sync_related);
+        assert_eq!(t.get(sync).metric, Some(Metric::SyncWaitTime));
+        assert!(t.by_name("Bogus").is_none());
+    }
+
+    #[test]
+    fn testable_excludes_root() {
+        let t = HypothesisTree::standard();
+        let testable = t.testable();
+        assert_eq!(testable.len(), 5);
+        assert!(!testable.contains(&t.root()));
+    }
+
+    #[test]
+    fn default_thresholds_are_paradyn_stock() {
+        let t = HypothesisTree::standard();
+        for name in ["CPUbound", "ExcessiveSyncWaitingTime", "ExcessiveIOBlockingTime"] {
+            let id = t.by_name(name).unwrap();
+            assert_eq!(t.get(id).default_threshold, 0.20);
+        }
+    }
+
+    #[test]
+    fn add_custom_hypothesis() {
+        let mut t = HypothesisTree::standard();
+        let parent = t.by_name("ExcessiveSyncWaitingTime").unwrap();
+        let id = t.add(Hypothesis {
+            name: "ExcessiveMessageBytes".into(),
+            metric: Some(Metric::MsgBytes),
+            default_threshold: 0.5,
+            parent: Some(parent),
+            sync_related: true,
+        });
+        // The sync hypothesis already has two standard children.
+        assert!(t.children(parent).contains(&id));
+        assert_eq!(t.children(parent).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "existing parent")]
+    fn add_without_parent_panics() {
+        let mut t = HypothesisTree::standard();
+        t.add(Hypothesis {
+            name: "Orphan".into(),
+            metric: Some(Metric::CpuTime),
+            default_threshold: 0.2,
+            parent: None,
+            sync_related: false,
+        });
+    }
+}

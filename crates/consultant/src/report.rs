@@ -1,0 +1,244 @@
+//! Diagnosis reports.
+//!
+//! The result of one Performance Consultant session: the outcome of every
+//! hypothesis/focus pair the search touched, with the timestamps the paper
+//! measures ("we recorded the time each bottleneck was reported by the
+//! tool", §4.1), plus instrumentation statistics for Table 2's
+//! pairs-tested and efficiency columns.
+
+use histpc_resources::Focus;
+use histpc_sim::SimTime;
+
+/// Final outcome of one hypothesis/focus pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Concluded true: a bottleneck.
+    True,
+    /// Concluded false.
+    False,
+    /// Excluded by a pruning directive.
+    Pruned,
+    /// Created but never concluded (search ended first).
+    Untested,
+}
+
+impl Outcome {
+    /// Stable lowercase name for record files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::True => "true",
+            Outcome::False => "false",
+            Outcome::Pruned => "pruned",
+            Outcome::Untested => "untested",
+        }
+    }
+
+    /// Parses the lowercase name.
+    pub fn from_name(s: &str) -> Option<Outcome> {
+        match s {
+            "true" => Some(Outcome::True),
+            "false" => Some(Outcome::False),
+            "pruned" => Some(Outcome::Pruned),
+            "untested" => Some(Outcome::Untested),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome record of one hypothesis/focus pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeOutcome {
+    /// Hypothesis name.
+    pub hypothesis: String,
+    /// Focus.
+    pub focus: Focus,
+    /// Final outcome.
+    pub outcome: Outcome,
+    /// When the pair first tested true (the bottleneck report timestamp).
+    pub first_true_at: Option<SimTime>,
+    /// When the pair first concluded either way.
+    pub concluded_at: Option<SimTime>,
+    /// The last evaluated fraction of execution time.
+    pub last_value: f64,
+}
+
+/// The result of one diagnosis session.
+#[derive(Debug, Clone)]
+pub struct DiagnosisReport {
+    /// Application name.
+    pub app_name: String,
+    /// Application version label.
+    pub app_version: String,
+    /// Outcomes for every non-root pair the search touched.
+    pub outcomes: Vec<NodeOutcome>,
+    /// Total hypothesis/focus pairs instrumented (Table 2's
+    /// "Total Number of Hypothesis/Focus Pairs Tested").
+    pub pairs_tested: usize,
+    /// Application time when the search went quiescent (or was stopped).
+    pub end_time: SimTime,
+    /// Peak instrumentation cost observed (fraction).
+    pub peak_cost: f64,
+    /// Whether the search reached quiescence (vs. hitting the time limit).
+    pub quiescent: bool,
+    /// The rendered Search History Graph (list-box form, fig. 2).
+    pub shg_rendering: String,
+}
+
+impl DiagnosisReport {
+    /// The bottlenecks found, ordered by discovery time.
+    pub fn bottlenecks(&self) -> Vec<&NodeOutcome> {
+        let mut v: Vec<&NodeOutcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.outcome == Outcome::True)
+            .collect();
+        v.sort_by_key(|o| o.first_true_at);
+        v
+    }
+
+    /// Number of bottlenecks found.
+    pub fn bottleneck_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.outcome == Outcome::True)
+            .count()
+    }
+
+    /// Bottlenecks found per pair tested (Table 2's efficiency column).
+    pub fn efficiency(&self) -> f64 {
+        if self.pairs_tested == 0 {
+            0.0
+        } else {
+            self.bottleneck_count() as f64 / self.pairs_tested as f64
+        }
+    }
+
+    /// Time at which `frac` (0..=1) of the given ground-truth bottleneck
+    /// set had been reported, or `None` if the session never got there.
+    ///
+    /// `truth` identifies bottlenecks as (hypothesis, focus) pairs.
+    pub fn time_to_find(&self, truth: &[(String, Focus)], frac: f64) -> Option<SimTime> {
+        if truth.is_empty() {
+            return Some(SimTime::ZERO);
+        }
+        let needed = ((truth.len() as f64) * frac).ceil().max(1.0) as usize;
+        let mut times: Vec<SimTime> = truth
+            .iter()
+            .filter_map(|(h, f)| {
+                self.outcomes
+                    .iter()
+                    .find(|o| &o.hypothesis == h && &o.focus == f)
+                    .and_then(|o| o.first_true_at)
+            })
+            .collect();
+        times.sort();
+        times.get(needed - 1).copied()
+    }
+
+    /// The (hypothesis, focus) list of all found bottlenecks.
+    pub fn bottleneck_set(&self) -> Vec<(String, Focus)> {
+        self.bottlenecks()
+            .into_iter()
+            .map(|o| (o.hypothesis.clone(), o.focus.clone()))
+            .collect()
+    }
+
+    /// Time of the last true conclusion (time to find all bottlenecks the
+    /// session itself reported).
+    pub fn time_of_last_bottleneck(&self) -> Option<SimTime> {
+        self.outcomes.iter().filter_map(|o| o.first_true_at).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wp() -> Focus {
+        Focus::whole_program(["Code", "Process"])
+    }
+
+    fn outcome(h: &str, f: Focus, out: Outcome, t: Option<u64>) -> NodeOutcome {
+        NodeOutcome {
+            hypothesis: h.into(),
+            focus: f,
+            outcome: out,
+            first_true_at: t.map(SimTime::from_secs),
+            concluded_at: t.map(SimTime::from_secs),
+            last_value: 0.3,
+        }
+    }
+
+    fn report(outcomes: Vec<NodeOutcome>, pairs: usize) -> DiagnosisReport {
+        DiagnosisReport {
+            app_name: "x".into(),
+            app_version: "1".into(),
+            outcomes,
+            pairs_tested: pairs,
+            end_time: SimTime::from_secs(100),
+            peak_cost: 0.04,
+            quiescent: true,
+            shg_rendering: String::new(),
+        }
+    }
+
+    fn f(sel: &str) -> Focus {
+        wp().with_selection(histpc_resources::ResourceName::parse(sel).unwrap())
+    }
+
+    #[test]
+    fn bottlenecks_sorted_by_time() {
+        let r = report(
+            vec![
+                outcome("CPUbound", f("/Code/b"), Outcome::True, Some(20)),
+                outcome("CPUbound", f("/Code/a"), Outcome::True, Some(10)),
+                outcome("CPUbound", f("/Code/c"), Outcome::False, Some(5)),
+            ],
+            10,
+        );
+        let b = r.bottlenecks();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].focus, f("/Code/a"));
+        assert_eq!(r.bottleneck_count(), 2);
+        assert!((r.efficiency() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_to_find_percentiles() {
+        let truth = vec![
+            ("CPUbound".to_string(), f("/Code/a")),
+            ("CPUbound".to_string(), f("/Code/b")),
+            ("CPUbound".to_string(), f("/Code/c")),
+            ("CPUbound".to_string(), f("/Code/d")),
+        ];
+        let r = report(
+            vec![
+                outcome("CPUbound", f("/Code/a"), Outcome::True, Some(10)),
+                outcome("CPUbound", f("/Code/b"), Outcome::True, Some(20)),
+                outcome("CPUbound", f("/Code/c"), Outcome::True, Some(40)),
+                // /Code/d never found.
+            ],
+            10,
+        );
+        assert_eq!(r.time_to_find(&truth, 0.25), Some(SimTime::from_secs(10)));
+        assert_eq!(r.time_to_find(&truth, 0.5), Some(SimTime::from_secs(20)));
+        assert_eq!(r.time_to_find(&truth, 0.75), Some(SimTime::from_secs(40)));
+        assert_eq!(r.time_to_find(&truth, 1.0), None);
+        assert_eq!(r.time_to_find(&[], 1.0), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn efficiency_handles_zero_pairs() {
+        let r = report(vec![], 0);
+        assert_eq!(r.efficiency(), 0.0);
+        assert_eq!(r.time_of_last_bottleneck(), None);
+    }
+
+    #[test]
+    fn outcome_names_roundtrip() {
+        for o in [Outcome::True, Outcome::False, Outcome::Pruned, Outcome::Untested] {
+            assert_eq!(Outcome::from_name(o.name()), Some(o));
+        }
+        assert_eq!(Outcome::from_name("maybe"), None);
+    }
+}

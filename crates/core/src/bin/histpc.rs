@@ -1,0 +1,316 @@
+//! `histpc` — command-line interface to history-guided performance
+//! diagnosis.
+//!
+//! ```text
+//! histpc run      --app poisson-c [--label L] [--store DIR] [--directives FILE]
+//!                 [--mappings FILE] [--window SECS] [--max-time SECS] [--seed N]
+//! histpc harvest  --store DIR --app NAME --label L [--mode MODE] [--out FILE]
+//! histpc map      --store DIR --app NAME --from LABEL --to LABEL [--out FILE]
+//! histpc compare  --store DIR --app NAME --from LABEL --to LABEL
+//! histpc profile  --app APP [--for SECS]
+//! histpc shg      --store DIR --app NAME --label L
+//! histpc ls       --store DIR [--app NAME]
+//! ```
+//!
+//! Applications: `poisson-a`, `poisson-b`, `poisson-c`, `poisson-d`,
+//! `ocean`, `tester`, `sweep3d`. Harvest modes: `priorities`, `prunes`,
+//! `general-prunes`, `historic-prunes`, `combined` (default),
+//! `combined+thresholds`.
+
+use histpc::history;
+use histpc::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  histpc run --app APP [--label L] [--store DIR] [--directives FILE]\n\
+         \x20            [--mappings FILE] [--window SECS] [--max-time SECS] [--seed N]\n\
+         \x20 histpc harvest --store DIR --app NAME --label L [--mode MODE] [--out FILE]\n\
+         \x20 histpc map     --store DIR --app NAME --from LABEL --to LABEL [--out FILE]\n\
+         \x20 histpc compare --store DIR --app NAME --from LABEL --to LABEL\n\
+         \x20 histpc profile --app APP [--for SECS]\n\
+         \x20 histpc shg     --store DIR --app NAME --label L\n\
+         \x20 histpc ls      --store DIR [--app NAME]\n\n\
+         apps: poisson-a poisson-b poisson-c poisson-d ocean tester sweep3d\n\
+         modes: priorities prunes general-prunes historic-prunes combined combined+thresholds"
+    );
+    std::process::exit(2);
+}
+
+/// Parses `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(key) = args[i].strip_prefix("--") else {
+            eprintln!("unexpected argument {:?}", args[i]);
+            usage();
+        };
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("missing value for --{key}");
+            usage();
+        };
+        out.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    out
+}
+
+fn require<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
+    match flags.get(key) {
+        Some(v) => v,
+        None => {
+            eprintln!("missing required flag --{key}");
+            usage();
+        }
+    }
+}
+
+fn build_workload(app: &str, seed: Option<u64>) -> Box<dyn Workload> {
+    let poisson = |v: PoissonVersion| {
+        let mut wl = PoissonWorkload::new(v);
+        if let Some(s) = seed {
+            wl = wl.with_seed(s);
+        }
+        Box::new(wl) as Box<dyn Workload>
+    };
+    match app {
+        "poisson-a" => poisson(PoissonVersion::A),
+        "poisson-b" => poisson(PoissonVersion::B),
+        "poisson-c" => poisson(PoissonVersion::C),
+        "poisson-d" => poisson(PoissonVersion::D),
+        "ocean" => Box::new(OceanWorkload::new()),
+        "tester" => Box::new(TesterWorkload::new()),
+        "sweep3d" => Box::new(histpc::sim::workloads::WavefrontWorkload::new()),
+        other => {
+            eprintln!("unknown application {other:?}");
+            usage();
+        }
+    }
+}
+
+fn extraction_mode(mode: &str) -> ExtractionOptions {
+    match mode {
+        "priorities" => ExtractionOptions::priorities_only(),
+        "prunes" => ExtractionOptions::all_prunes(),
+        "general-prunes" => ExtractionOptions::general_prunes_only(),
+        "historic-prunes" => ExtractionOptions::historic_prunes_only(),
+        "combined" => ExtractionOptions::priorities_and_safe_prunes(),
+        "combined+thresholds" => {
+            ExtractionOptions::priorities_and_safe_prunes().with_thresholds()
+        }
+        other => {
+            eprintln!("unknown harvest mode {other:?}");
+            usage();
+        }
+    }
+}
+
+fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
+    let app = require(&flags, "app");
+    let seed = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed".to_string()))
+        .transpose()?;
+    let workload = build_workload(app, seed);
+
+    let mut config = SearchConfig {
+        window: SimDuration::from_secs(2),
+        sample: SimDuration::from_millis(250),
+        max_time: SimDuration::from_secs(900),
+        ..SearchConfig::default()
+    };
+    if let Some(w) = flags.get("window") {
+        let secs: f64 = w.parse().map_err(|_| "bad --window")?;
+        config.window = SimDuration::from_secs_f64(secs);
+    }
+    if let Some(m) = flags.get("max-time") {
+        let secs: f64 = m.parse().map_err(|_| "bad --max-time")?;
+        config.max_time = SimDuration::from_secs_f64(secs);
+    }
+    if let Some(path) = flags.get("directives") {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let mut directives = SearchDirectives::parse(&text).map_err(|e| e.to_string())?;
+        if let Some(mpath) = flags.get("mappings") {
+            let mtext = std::fs::read_to_string(mpath).map_err(|e| e.to_string())?;
+            let mappings = MappingSet::parse(&mtext).map_err(|e| e.to_string())?;
+            directives = mappings.apply_to_directives(&directives);
+        }
+        eprintln!("loaded {} directives", directives.len());
+        config.directives = directives;
+    }
+
+    let session = match flags.get("store") {
+        Some(dir) => Session::with_store(dir).map_err(|e| e.to_string())?,
+        None => Session::new(),
+    };
+    let label = flags.get("label").cloned().unwrap_or_else(|| "run".into());
+    let d = session.diagnose(workload.as_ref(), &config, &label);
+
+    println!(
+        "application: {} (version {})",
+        d.record.app_name, d.record.app_version
+    );
+    println!(
+        "diagnosis {} at t = {} with {} pairs tested (peak cost {:.1}%)",
+        if d.report.quiescent { "completed" } else { "stopped" },
+        d.report.end_time,
+        d.report.pairs_tested,
+        d.report.peak_cost * 100.0
+    );
+    println!("bottlenecks found: {}", d.report.bottleneck_count());
+    for b in d.report.bottlenecks().iter().take(15) {
+        println!(
+            "  t={:<9} {:>6.1}%  {}  {}",
+            b.first_true_at.map(|t| t.to_string()).unwrap_or_default(),
+            b.last_value * 100.0,
+            b.hypothesis,
+            b.focus
+        );
+    }
+    if flags.contains_key("store") {
+        println!("record stored as {}/{}", d.record.app_name, label);
+    }
+    Ok(())
+}
+
+fn cmd_harvest(flags: HashMap<String, String>) -> Result<(), String> {
+    let store = ExecutionStore::open(require(&flags, "store")).map_err(|e| e.to_string())?;
+    let rec = store
+        .load(require(&flags, "app"), require(&flags, "label"))
+        .map_err(|e| e.to_string())?;
+    let mode = flags.get("mode").map(String::as_str).unwrap_or("combined");
+    let directives = history::extract(&rec, &extraction_mode(mode));
+    let text = directives.to_text();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote {} directives ({} prunes, {} priorities, {} thresholds) to {path}",
+                directives.len(),
+                directives.prunes.len(),
+                directives.priorities.len(),
+                directives.thresholds.len()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_map(flags: HashMap<String, String>) -> Result<(), String> {
+    let store = ExecutionStore::open(require(&flags, "store")).map_err(|e| e.to_string())?;
+    let app = require(&flags, "app");
+    let from = store
+        .load(app, require(&flags, "from"))
+        .map_err(|e| e.to_string())?;
+    let to = store
+        .load(app, require(&flags, "to"))
+        .map_err(|e| e.to_string())?;
+    let mappings = MappingSet::suggest(&from.resources, &to.resources);
+    let text = mappings.to_text();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} mappings to {path}", mappings.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_compare(flags: HashMap<String, String>) -> Result<(), String> {
+    let store = ExecutionStore::open(require(&flags, "store")).map_err(|e| e.to_string())?;
+    let app = require(&flags, "app");
+    let a = store
+        .load(app, require(&flags, "from"))
+        .map_err(|e| e.to_string())?;
+    let b = store
+        .load(app, require(&flags, "to"))
+        .map_err(|e| e.to_string())?;
+    let mappings = MappingSet::suggest(&a.resources, &b.resources);
+    let report = history::compare(&a, &b, Some(&mappings));
+    print!("{}", report.render());
+    Ok(())
+}
+
+/// Runs the application raw (no Performance Consultant) and prints its
+/// postmortem performance profile — the data a tuning analyst starts
+/// from, and the source of derived thresholds.
+fn cmd_profile(flags: HashMap<String, String>) -> Result<(), String> {
+    let app = require(&flags, "app");
+    let seed = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed".to_string()))
+        .transpose()?;
+    let secs: f64 = flags
+        .get("for")
+        .map(|s| s.parse().map_err(|_| "bad --for".to_string()))
+        .transpose()?
+        .unwrap_or(30.0);
+    let workload = build_workload(app, seed);
+    let mut engine = workload.build_engine();
+    engine.run_until(histpc::sim::SimTime::ZERO + SimDuration::from_secs_f64(secs));
+    let pm = PostmortemData::from_totals(engine.app().clone(), engine.totals());
+    print!("{}", pm.render_profile());
+    Ok(())
+}
+
+/// Prints the stored Search History Graph rendering of a run.
+fn cmd_shg(flags: HashMap<String, String>) -> Result<(), String> {
+    let store = ExecutionStore::open(require(&flags, "store")).map_err(|e| e.to_string())?;
+    let text = store
+        .load_artifact(require(&flags, "app"), require(&flags, "label"), "shg")
+        .map_err(|e| e.to_string())?;
+    print!("{text}");
+    Ok(())
+}
+
+fn cmd_ls(flags: HashMap<String, String>) -> Result<(), String> {
+    let store = ExecutionStore::open(require(&flags, "store")).map_err(|e| e.to_string())?;
+    match flags.get("app") {
+        Some(app) => {
+            for label in store.labels(app).map_err(|e| e.to_string())? {
+                let rec = store.load(app, &label).map_err(|e| e.to_string())?;
+                println!(
+                    "{label}: version {} — {} outcomes, {} pairs, ended {}",
+                    rec.app_version,
+                    rec.outcomes.len(),
+                    rec.pairs_tested,
+                    rec.end_time
+                );
+            }
+        }
+        None => {
+            for app in store.applications().map_err(|e| e.to_string())? {
+                let labels = store.labels(&app).map_err(|e| e.to_string())?;
+                println!("{app}: {} run(s) — {}", labels.len(), labels.join(", "));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    let flags = parse_flags(&args[1..]);
+    let result = match command.as_str() {
+        "run" => cmd_run(flags),
+        "harvest" => cmd_harvest(flags),
+        "map" => cmd_map(flags),
+        "compare" => cmd_compare(flags),
+        "profile" => cmd_profile(flags),
+        "shg" => cmd_shg(flags),
+        "ls" => cmd_ls(flags),
+        _ => usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! `histpc` — history-guided online performance diagnosis.
+//!
+//! A from-scratch reproduction of Karavanic & Miller, *"Improving Online
+//! Performance Diagnosis by the Use of Historical Performance Data"*
+//! (SC 1999), including every substrate the paper depends on:
+//!
+//! * [`sim`] — a deterministic discrete-event simulator of message-passing
+//!   applications (the stand-in for MPI programs on an IBM SP/2),
+//!   including the paper's Poisson decomposition workload in versions A–D;
+//! * [`instr`] — a dynamic-instrumentation layer with metric-focus pairs,
+//!   insertion latency, Paradyn-style time histograms and a perturbation
+//!   cost model;
+//! * [`resources`] — resource hierarchies, foci and refinement;
+//! * [`consultant`] — the Performance Consultant: online bottleneck search
+//!   over the Search History Graph, extended with search directives;
+//! * [`history`] — the paper's contribution: an execution store, directive
+//!   extraction (prunes / priorities / thresholds), resource mapping
+//!   between executions, and multi-run combination.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use histpc::prelude::*;
+//!
+//! // 1. Run the unmodified Performance Consultant on an application
+//! //    (a small synthetic one here; see examples/ for the paper's
+//! //    Poisson application versions A-D).
+//! let workload = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
+//! let config = SearchConfig {
+//!     window: SimDuration::from_millis(800),
+//!     sample: SimDuration::from_millis(100),
+//!     ..SearchConfig::default()
+//! };
+//! let session = Session::new();
+//! let base = session.diagnose(&workload, &config, "base");
+//!
+//! // 2. Harvest search directives from the run.
+//! let directives = histpc::history::extract(
+//!     &base.record,
+//!     &ExtractionOptions::priorities_and_safe_prunes(),
+//! );
+//!
+//! // 3. Re-diagnose with the directives: dramatically faster.
+//! let directed = session.diagnose(
+//!     &workload,
+//!     &config.clone().with_directives(directives),
+//!     "directed",
+//! );
+//! assert!(directed.report.bottleneck_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use histpc_consultant as consultant;
+pub use histpc_history as history;
+pub use histpc_instr as instr;
+pub use histpc_resources as resources;
+pub use histpc_sim as sim;
+
+pub mod session;
+
+pub use session::{Diagnosis, Session};
+
+/// The most commonly used names, for glob import.
+pub mod prelude {
+    pub use crate::session::{Diagnosis, Session};
+    pub use histpc_consultant::{
+        drive_diagnosis, DiagnosisReport, NodeOutcome, Outcome, PriorityDirective, PriorityLevel,
+        Prune, PruneTarget, SearchConfig, SearchDirectives, ThresholdDirective,
+    };
+    pub use histpc_history::{
+        extract, intersect, union, ExecutionRecord, ExecutionStore, ExtractionOptions, MappingSet,
+    };
+    pub use histpc_instr::{Collector, CollectorConfig, Metric, PostmortemData};
+    pub use histpc_resources::{Focus, ResourceName, ResourceSpace};
+    pub use histpc_sim::workloads::{
+        OceanWorkload, PoissonVersion, PoissonWorkload, SyntheticWorkload, TesterWorkload,
+        WavefrontWorkload, Workload,
+    };
+    pub use histpc_sim::{Engine, EngineStatus, MachineModel, SimDuration, SimTime};
+}

@@ -1,0 +1,268 @@
+//! High-level diagnosis sessions.
+//!
+//! [`Session`] wraps the full pipeline of the paper: run a diagnosis,
+//! capture an execution record (and the postmortem ground truth), save it
+//! to a store, harvest directives from earlier runs — optionally mapped
+//! across code versions — and feed them into the next diagnosis.
+
+use histpc_consultant::{
+    drive_diagnosis, DiagnosisReport, HypothesisTree, SearchConfig, SearchDirectives,
+};
+use histpc_history::{extract, ground_truth, ExecutionRecord, ExecutionStore, ExtractionOptions,
+    MappingSet};
+use histpc_instr::PostmortemData;
+use histpc_resources::Focus;
+use histpc_sim::workloads::Workload;
+use std::path::Path;
+
+/// The complete result of one diagnosis session.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// The Performance Consultant's report.
+    pub report: DiagnosisReport,
+    /// The persisted execution record (structural + outcome data).
+    pub record: ExecutionRecord,
+    /// Full-resolution postmortem data (ground truth).
+    pub postmortem: PostmortemData,
+    /// The postmortem bottleneck set under the same thresholds — the
+    /// "100% of true bottlenecks" reference used by the evaluation.
+    pub ground_truth: Vec<(String, Focus)>,
+}
+
+/// A diagnosis session, optionally backed by an execution store.
+#[derive(Debug, Default)]
+pub struct Session {
+    store: Option<ExecutionStore>,
+}
+
+impl Session {
+    /// An in-memory session (nothing persisted).
+    pub fn new() -> Session {
+        Session { store: None }
+    }
+
+    /// A session persisting records into a store at `path`.
+    pub fn with_store(path: impl AsRef<Path>) -> Result<Session, histpc_history::store::StoreError> {
+        Ok(Session {
+            store: Some(ExecutionStore::open(path)?),
+        })
+    }
+
+    /// The backing store, if any.
+    pub fn store(&self) -> Option<&ExecutionStore> {
+        self.store.as_ref()
+    }
+
+    /// Runs one full online diagnosis of `workload` under `config`,
+    /// labels it `label`, saves the record if a store is attached, and
+    /// returns the report together with the record and postmortem ground
+    /// truth.
+    pub fn diagnose(
+        &self,
+        workload: &dyn Workload,
+        config: &SearchConfig,
+        label: &str,
+    ) -> Diagnosis {
+        let mut engine = workload.build_engine();
+        let report = drive_diagnosis(&mut engine, config);
+        let pm = PostmortemData::from_totals(engine.app().clone(), engine.totals());
+        let tree = HypothesisTree::standard();
+        let thresholds_used = tree
+            .testable()
+            .iter()
+            .map(|&h| {
+                let hyp = tree.get(h);
+                let v = config
+                    .directives
+                    .threshold_for(&hyp.name)
+                    .unwrap_or(hyp.default_threshold);
+                (hyp.name.clone(), v)
+            })
+            .collect();
+        let record = ExecutionRecord::from_report(&report, pm.space(), label, thresholds_used);
+        if let Some(store) = &self.store {
+            store.save(&record).expect("store save failed");
+            store
+                .save_artifact(&record.app_name, label, "shg", &report.shg_rendering)
+                .expect("shg artifact save failed");
+        }
+        let truth = ground_truth(&pm, &tree, &config.directives);
+        Diagnosis {
+            report,
+            record,
+            postmortem: pm,
+            ground_truth: truth,
+        }
+    }
+
+    /// Harvests directives from a stored run.
+    pub fn harvest(
+        &self,
+        app: &str,
+        label: &str,
+        opts: &ExtractionOptions,
+    ) -> Result<SearchDirectives, histpc_history::store::StoreError> {
+        let store = self
+            .store
+            .as_ref()
+            .expect("harvest from store requires Session::with_store");
+        let rec = store.load(app, label)?;
+        Ok(extract(&rec, opts))
+    }
+
+    /// Harvests directives from a record of a *different* execution or
+    /// code version: extracts, auto-suggests resource mappings from the
+    /// old record's structure to the new one's, merges user-specified
+    /// mappings (which take precedence by being applied last... i.e.
+    /// appended after the suggestions), and rewrites the directives.
+    pub fn harvest_mapped(
+        &self,
+        old: &ExecutionRecord,
+        new_resources: &[histpc_resources::ResourceName],
+        opts: &ExtractionOptions,
+        user_mappings: &MappingSet,
+    ) -> SearchDirectives {
+        let directives = extract(old, opts);
+        let mut mappings = MappingSet::suggest(&old.resources, new_resources);
+        for (from, to) in user_mappings.entries() {
+            mappings.add(from.clone(), to.clone());
+        }
+        mappings.apply_to_directives(&directives)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histpc_sim::workloads::{PoissonVersion, PoissonWorkload, SyntheticWorkload};
+    use histpc_sim::SimDuration;
+
+    fn fast_config() -> SearchConfig {
+        SearchConfig {
+            window: SimDuration::from_millis(800),
+            sample: SimDuration::from_millis(100),
+            max_time: SimDuration::from_secs(120),
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn diagnose_produces_consistent_artifacts() {
+        let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
+        let session = Session::new();
+        let d = session.diagnose(&wl, &fast_config(), "r1");
+        assert!(d.report.bottleneck_count() > 0);
+        assert_eq!(d.record.label, "r1");
+        assert_eq!(d.record.outcomes.len(), d.report.outcomes.len());
+        assert!(!d.ground_truth.is_empty());
+        // Thresholds recorded for every testable hypothesis.
+        assert_eq!(
+            d.record.thresholds_used.len(),
+            histpc_consultant::HypothesisTree::standard().testable().len()
+        );
+    }
+
+    #[test]
+    fn online_findings_are_a_subset_of_ground_truth_mostly() {
+        let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
+        let session = Session::new();
+        let d = session.diagnose(&wl, &fast_config(), "r1");
+        // Every whole-program bottleneck the online search found must be
+        // in the postmortem ground truth (windows can differ on
+        // borderline deep foci, but the top level is unambiguous).
+        for (h, f) in d.report.bottleneck_set() {
+            if f.is_whole_program() {
+                assert!(
+                    d.ground_truth.contains(&(h.clone(), f.clone())),
+                    "online-only bottleneck {h} {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn store_roundtrip_through_session() {
+        let dir = std::env::temp_dir().join(format!("histpc-session-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::with_store(&dir).unwrap();
+        let wl = SyntheticWorkload::balanced(2, 1, 0.5).with_hotspot(0, 0, 1.0);
+        let d = session.diagnose(&wl, &fast_config(), "r1");
+        let directives = session
+            .harvest("synth", "r1", &ExtractionOptions::priorities_only())
+            .unwrap();
+        assert_eq!(
+            directives.priorities.len(),
+            d.record
+                .outcomes
+                .iter()
+                .filter(|o| matches!(
+                    o.outcome,
+                    histpc_consultant::Outcome::True | histpc_consultant::Outcome::False
+                ))
+                .count()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn directed_rerun_is_faster() {
+        // The paper's headline effect, end to end.
+        let wl = PoissonWorkload::new(PoissonVersion::C);
+        let session = Session::new();
+        let config = fast_config();
+        let base = session.diagnose(&wl, &config, "base");
+        let t_base = base
+            .report
+            .time_of_last_bottleneck()
+            .expect("base finds bottlenecks");
+
+        let directives = extract(
+            &base.record,
+            &ExtractionOptions::priorities_and_safe_prunes(),
+        );
+        let directed = session.diagnose(
+            &wl,
+            &config.clone().with_directives(directives),
+            "directed",
+        );
+        let t_directed = directed
+            .report
+            .time_of_last_bottleneck()
+            .expect("directed finds bottlenecks");
+        assert!(
+            t_directed.as_micros() * 2 < t_base.as_micros(),
+            "directed {t_directed} not much faster than base {t_base}"
+        );
+    }
+
+    #[test]
+    fn harvest_mapped_rewrites_cross_version() {
+        let session = Session::new();
+        let config = fast_config();
+        let a = session.diagnose(&PoissonWorkload::new(PoissonVersion::A), &config, "a1");
+        let b_wl = PoissonWorkload::new(PoissonVersion::B);
+        let b_resources: Vec<_> = {
+            let d = session.diagnose(&b_wl, &config, "b-probe");
+            d.record.resources.clone()
+        };
+        let mapped = session.harvest_mapped(
+            &a.record,
+            &b_resources,
+            &ExtractionOptions::priorities_only(),
+            &MappingSet::new(),
+        );
+        // Directives extracted from A must now speak B's names.
+        let mentions_a_names = mapped.priorities.iter().any(|p| {
+            p.focus
+                .selection("Code")
+                .is_some_and(|s| s.to_string().contains("oned.f"))
+        });
+        let mentions_b_names = mapped.priorities.iter().any(|p| {
+            p.focus
+                .selection("Code")
+                .is_some_and(|s| s.to_string().contains("onednb.f"))
+        });
+        assert!(!mentions_a_names, "unmapped A-version names remain");
+        assert!(mentions_b_names, "no mapped B-version names found");
+    }
+}

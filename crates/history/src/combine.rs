@@ -1,0 +1,252 @@
+//! Combining directives from multiple previous runs (paper §4.3).
+//!
+//! Two combination operators over the priority directives extracted from
+//! runs A and B:
+//!
+//! * **A∩B** — "sets to a high/low priority only those hypothesis/focus
+//!   pairs that tested true/false in both Versions A and B."
+//! * **A∪B** — "sets to a high priority those hypothesis/focus pairs that
+//!   tested true in either A or B, and sets to low priority those
+//!   hypothesis/focus pairs which tested false in either version and did
+//!   not test true in A or B."
+//!
+//! Prunes and thresholds are combined conservatively: the intersection
+//! keeps only prunes present in both sets and takes the larger (less
+//! aggressive) threshold; the union keeps all prunes and takes the
+//! smaller (more sensitive) threshold. The paper only specifies the
+//! priority rules; these extensions follow the same safety intuition.
+
+use histpc_consultant::{
+    PriorityDirective, PriorityLevel, SearchDirectives, ThresholdDirective,
+};
+use std::collections::HashMap;
+
+type PairKey = (String, String); // (hypothesis, focus text)
+
+fn priority_map(d: &SearchDirectives) -> HashMap<PairKey, (PriorityLevel, PriorityDirective)> {
+    d.priorities
+        .iter()
+        .map(|p| {
+            (
+                (p.hypothesis.clone(), p.focus.to_string()),
+                (p.level, p.clone()),
+            )
+        })
+        .collect()
+}
+
+/// The A∩B combination.
+pub fn intersect(a: &SearchDirectives, b: &SearchDirectives) -> SearchDirectives {
+    let mut out = SearchDirectives::none();
+    let bm = priority_map(b);
+    for p in &a.priorities {
+        let key = (p.hypothesis.clone(), p.focus.to_string());
+        if let Some((level_b, _)) = bm.get(&key) {
+            if *level_b == p.level {
+                out.add_priority(p.clone());
+            }
+        }
+    }
+    for prune in &a.prunes {
+        if b.prunes.contains(prune) {
+            out.add_prune(prune.clone());
+        }
+    }
+    for t in &a.thresholds {
+        if let Some(vb) = b.threshold_for(&t.hypothesis) {
+            out.add_threshold(ThresholdDirective {
+                hypothesis: t.hypothesis.clone(),
+                value: t.value.max(vb),
+            });
+        }
+    }
+    out
+}
+
+/// The A∪B combination.
+pub fn union(a: &SearchDirectives, b: &SearchDirectives) -> SearchDirectives {
+    let mut out = SearchDirectives::none();
+    let am = priority_map(a);
+    let bm = priority_map(b);
+    let mut keys: Vec<&PairKey> = am.keys().chain(bm.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let la = am.get(key).map(|(l, _)| *l);
+        let lb = bm.get(key).map(|(l, _)| *l);
+        // High if true in either; Low if false in either and true in
+        // neither.
+        let level = if la == Some(PriorityLevel::High) || lb == Some(PriorityLevel::High) {
+            PriorityLevel::High
+        } else {
+            PriorityLevel::Low
+        };
+        let template = am
+            .get(key)
+            .or_else(|| bm.get(key))
+            .map(|(_, p)| p)
+            .expect("key came from one of the maps");
+        out.add_priority(PriorityDirective {
+            hypothesis: template.hypothesis.clone(),
+            focus: template.focus.clone(),
+            level,
+        });
+    }
+    for prune in a.prunes.iter().chain(&b.prunes) {
+        if !out.prunes.contains(prune) {
+            out.add_prune(prune.clone());
+        }
+    }
+    let mut hyps: Vec<&str> = a
+        .thresholds
+        .iter()
+        .chain(&b.thresholds)
+        .map(|t| t.hypothesis.as_str())
+        .collect();
+    hyps.sort();
+    hyps.dedup();
+    for h in hyps {
+        let v = match (a.threshold_for(h), b.threshold_for(h)) {
+            (Some(x), Some(y)) => x.min(y),
+            (Some(x), None) | (None, Some(x)) => x,
+            (None, None) => continue,
+        };
+        out.add_threshold(ThresholdDirective {
+            hypothesis: h.to_string(),
+            value: v,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histpc_consultant::{Prune, PruneTarget};
+    use histpc_resources::{Focus, ResourceName};
+
+    fn wp() -> Focus {
+        Focus::whole_program(["Code", "Process"])
+    }
+
+    fn f(sel: &str) -> Focus {
+        wp().with_selection(ResourceName::parse(sel).unwrap())
+    }
+
+    fn pri(h: &str, focus: Focus, level: PriorityLevel) -> PriorityDirective {
+        PriorityDirective {
+            hypothesis: h.into(),
+            focus,
+            level,
+        }
+    }
+
+    fn dirs(ps: Vec<PriorityDirective>) -> SearchDirectives {
+        let mut d = SearchDirectives::none();
+        for p in ps {
+            d.add_priority(p);
+        }
+        d
+    }
+
+    #[test]
+    fn intersect_keeps_only_agreement() {
+        let a = dirs(vec![
+            pri("H", f("/Code/x"), PriorityLevel::High),
+            pri("H", f("/Code/y"), PriorityLevel::High),
+            pri("H", f("/Code/z"), PriorityLevel::Low),
+        ]);
+        let b = dirs(vec![
+            pri("H", f("/Code/x"), PriorityLevel::High),
+            pri("H", f("/Code/y"), PriorityLevel::Low),
+            pri("H", f("/Code/z"), PriorityLevel::Low),
+        ]);
+        let i = intersect(&a, &b);
+        assert_eq!(i.priority_of("H", &f("/Code/x")), PriorityLevel::High);
+        // Disagreement: dropped (defaults to Medium).
+        assert_eq!(i.priority_of("H", &f("/Code/y")), PriorityLevel::Medium);
+        assert_eq!(i.priority_of("H", &f("/Code/z")), PriorityLevel::Low);
+        assert_eq!(i.priorities.len(), 2);
+    }
+
+    #[test]
+    fn union_prefers_high_over_low() {
+        let a = dirs(vec![
+            pri("H", f("/Code/x"), PriorityLevel::High),
+            pri("H", f("/Code/y"), PriorityLevel::Low),
+        ]);
+        let b = dirs(vec![
+            pri("H", f("/Code/y"), PriorityLevel::High),
+            pri("H", f("/Code/z"), PriorityLevel::Low),
+        ]);
+        let u = union(&a, &b);
+        assert_eq!(u.priority_of("H", &f("/Code/x")), PriorityLevel::High);
+        // True in either wins over false in the other.
+        assert_eq!(u.priority_of("H", &f("/Code/y")), PriorityLevel::High);
+        assert_eq!(u.priority_of("H", &f("/Code/z")), PriorityLevel::Low);
+        assert_eq!(u.priorities.len(), 3);
+    }
+
+    #[test]
+    fn intersection_is_subset_of_union() {
+        let a = dirs(vec![
+            pri("H", f("/Code/x"), PriorityLevel::High),
+            pri("H", f("/Code/y"), PriorityLevel::Low),
+            pri("H", f("/Code/w"), PriorityLevel::High),
+        ]);
+        let b = dirs(vec![
+            pri("H", f("/Code/x"), PriorityLevel::High),
+            pri("H", f("/Code/y"), PriorityLevel::Low),
+            pri("H", f("/Code/z"), PriorityLevel::High),
+        ]);
+        let i = intersect(&a, &b);
+        let u = union(&a, &b);
+        assert!(i.priorities.len() <= u.priorities.len());
+        for p in &i.priorities {
+            // Every intersection pair appears in the union (the level may
+            // only be promoted High in the union, never dropped).
+            let ul = u.priority_of(&p.hypothesis, &p.focus);
+            assert_ne!(ul, PriorityLevel::Medium);
+        }
+    }
+
+    #[test]
+    fn prunes_and_thresholds_combine_conservatively() {
+        let mut a = SearchDirectives::none();
+        let mut b = SearchDirectives::none();
+        let shared = Prune {
+            hypothesis: None,
+            target: PruneTarget::Resource(ResourceName::parse("/Machine").unwrap()),
+        };
+        let only_a = Prune {
+            hypothesis: Some("H".into()),
+            target: PruneTarget::Resource(ResourceName::parse("/Code/x").unwrap()),
+        };
+        a.add_prune(shared.clone());
+        a.add_prune(only_a.clone());
+        b.add_prune(shared.clone());
+        a.add_threshold(ThresholdDirective {
+            hypothesis: "H".into(),
+            value: 0.12,
+        });
+        b.add_threshold(ThresholdDirective {
+            hypothesis: "H".into(),
+            value: 0.2,
+        });
+        let i = intersect(&a, &b);
+        assert_eq!(i.prunes, vec![shared.clone()]);
+        assert_eq!(i.threshold_for("H"), Some(0.2)); // max = conservative
+        let u = union(&a, &b);
+        assert_eq!(u.prunes.len(), 2);
+        assert_eq!(u.threshold_for("H"), Some(0.12)); // min = sensitive
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = SearchDirectives::none();
+        let a = dirs(vec![pri("H", wp(), PriorityLevel::High)]);
+        assert_eq!(intersect(&a, &e).priorities.len(), 0);
+        assert_eq!(union(&a, &e).priorities.len(), 1);
+        assert_eq!(union(&e, &e).len(), 0);
+    }
+}

@@ -1,0 +1,378 @@
+//! Quantitative comparison of two executions.
+//!
+//! The paper situates itself in "an ongoing research effort in which we
+//! are designing and developing an infrastructure for storing, naming,
+//! and querying multi-execution performance data", with "techniques for
+//! quantitatively and automatically comparing two or more executions"
+//! (§6, citing the authors' Experiment Management work). This module
+//! implements that comparison over stored [`ExecutionRecord`]s: the
+//! structural difference (resources added/removed between runs) and the
+//! performance difference (per hypothesis/focus outcome and magnitude),
+//! optionally through a resource mapping so that renamed resources
+//! compare as equivalent.
+//!
+//! This is what closes the tuning loop: after a code change, "did the
+//! bottleneck I attacked actually go away, and did anything new appear?"
+
+use crate::mapping::MappingSet;
+use crate::record::ExecutionRecord;
+use histpc_consultant::Outcome;
+use histpc_resources::{Focus, ResourceName};
+
+/// How one hypothesis/focus pair changed between two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairDiff {
+    /// Hypothesis name.
+    pub hypothesis: String,
+    /// Focus, in the *second* run's names.
+    pub focus: Focus,
+    /// Outcome in the first run (if tested).
+    pub outcome_a: Option<Outcome>,
+    /// Outcome in the second run (if tested).
+    pub outcome_b: Option<Outcome>,
+    /// Measured fraction in the first run.
+    pub value_a: f64,
+    /// Measured fraction in the second run.
+    pub value_b: f64,
+}
+
+impl PairDiff {
+    /// The change in measured fraction (b - a).
+    pub fn delta(&self) -> f64 {
+        self.value_b - self.value_a
+    }
+}
+
+/// The comparison of two executions.
+#[derive(Debug, Clone, Default)]
+pub struct ComparisonReport {
+    /// Resources present only in the first run (after mapping).
+    pub only_in_a: Vec<ResourceName>,
+    /// Resources present only in the second run.
+    pub only_in_b: Vec<ResourceName>,
+    /// Bottlenecks of run A that are no longer bottlenecks in run B
+    /// (fixed by the change, or below threshold now).
+    pub resolved: Vec<PairDiff>,
+    /// Bottlenecks of run B that were not bottlenecks in run A.
+    pub introduced: Vec<PairDiff>,
+    /// Pairs that are bottlenecks in both runs, with their magnitudes.
+    pub persisting: Vec<PairDiff>,
+    /// Number of pairs concluded (true or false) in both runs.
+    pub common_tested: usize,
+}
+
+impl ComparisonReport {
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Execution comparison: {} common tested pairs\n",
+            self.common_tested
+        ));
+        out.push_str(&format!(
+            "structure: {} resources only in A, {} only in B\n",
+            self.only_in_a.len(),
+            self.only_in_b.len()
+        ));
+        out.push_str(&format!("\nresolved bottlenecks ({}):\n", self.resolved.len()));
+        for d in &self.resolved {
+            out.push_str(&format!(
+                "  {:>6.1}% -> {:>5.1}%  {}  {}\n",
+                d.value_a * 100.0,
+                d.value_b * 100.0,
+                d.hypothesis,
+                d.focus
+            ));
+        }
+        out.push_str(&format!(
+            "\nintroduced bottlenecks ({}):\n",
+            self.introduced.len()
+        ));
+        for d in &self.introduced {
+            out.push_str(&format!(
+                "  {:>6.1}% -> {:>5.1}%  {}  {}\n",
+                d.value_a * 100.0,
+                d.value_b * 100.0,
+                d.hypothesis,
+                d.focus
+            ));
+        }
+        out.push_str(&format!(
+            "\npersisting bottlenecks ({}):\n",
+            self.persisting.len()
+        ));
+        for d in self.persisting.iter().take(20) {
+            out.push_str(&format!(
+                "  {:>6.1}% -> {:>5.1}% ({:+.1}%)  {}  {}\n",
+                d.value_a * 100.0,
+                d.value_b * 100.0,
+                d.delta() * 100.0,
+                d.hypothesis,
+                d.focus
+            ));
+        }
+        out
+    }
+
+    /// True when the second run got strictly better: something resolved,
+    /// nothing introduced.
+    pub fn is_improvement(&self) -> bool {
+        !self.resolved.is_empty() && self.introduced.is_empty()
+    }
+}
+
+/// Compares two executions. `mapping` (if given) translates run A's
+/// resource names into run B's before matching; pass
+/// [`MappingSet::suggest`]'s output for automatic cross-version
+/// comparison.
+pub fn compare(
+    a: &ExecutionRecord,
+    b: &ExecutionRecord,
+    mapping: Option<&MappingSet>,
+) -> ComparisonReport {
+    let identity = MappingSet::new();
+    let map = mapping.unwrap_or(&identity);
+
+    // Structural diff (on mapped names).
+    let a_mapped: Vec<ResourceName> = a.resources.iter().map(|r| map.apply_to_name(r)).collect();
+    let only_in_a = a_mapped
+        .iter()
+        .filter(|r| !b.resources.contains(r))
+        .cloned()
+        .collect();
+    let only_in_b = b
+        .resources
+        .iter()
+        .filter(|r| !a_mapped.contains(r))
+        .cloned()
+        .collect();
+
+    // Performance diff over concluded pairs.
+    let concluded = |o: &histpc_consultant::NodeOutcome| {
+        matches!(o.outcome, Outcome::True | Outcome::False)
+    };
+    let mut report = ComparisonReport {
+        only_in_a,
+        only_in_b,
+        ..ComparisonReport::default()
+    };
+    for oa in a.outcomes.iter().filter(|o| concluded(o)) {
+        let focus_b = map.apply_to_focus(&oa.focus);
+        let ob = b
+            .outcomes
+            .iter()
+            .find(|o| o.hypothesis == oa.hypothesis && o.focus == focus_b && concluded(o));
+        let diff = PairDiff {
+            hypothesis: oa.hypothesis.clone(),
+            focus: focus_b,
+            outcome_a: Some(oa.outcome),
+            outcome_b: ob.map(|o| o.outcome),
+            value_a: oa.last_value,
+            value_b: ob.map(|o| o.last_value).unwrap_or(0.0),
+        };
+        if ob.is_some() {
+            report.common_tested += 1;
+        }
+        match (oa.outcome, ob.map(|o| o.outcome)) {
+            (Outcome::True, Some(Outcome::True)) => report.persisting.push(diff),
+            // A bottleneck that is now false — or was not even worth
+            // testing (its parent stopped being a bottleneck) — counts
+            // as resolved.
+            (Outcome::True, Some(Outcome::False) | None) => report.resolved.push(diff),
+            _ => {}
+        }
+    }
+    for ob in b.outcomes.iter().filter(|o| concluded(o)) {
+        if ob.outcome != Outcome::True {
+            continue;
+        }
+        let known_in_a = a.outcomes.iter().any(|oa| {
+            concluded(oa)
+                && oa.hypothesis == ob.hypothesis
+                && map.apply_to_focus(&oa.focus) == ob.focus
+                && oa.outcome == Outcome::True
+        });
+        let tested_false_in_a = a.outcomes.iter().any(|oa| {
+            concluded(oa)
+                && oa.hypothesis == ob.hypothesis
+                && map.apply_to_focus(&oa.focus) == ob.focus
+                && oa.outcome == Outcome::False
+        });
+        if !known_in_a {
+            report.introduced.push(PairDiff {
+                hypothesis: ob.hypothesis.clone(),
+                focus: ob.focus.clone(),
+                outcome_a: tested_false_in_a.then_some(Outcome::False),
+                outcome_b: Some(ob.outcome),
+                value_a: 0.0,
+                value_b: ob.last_value,
+            });
+        }
+    }
+    // Largest changes first.
+    report
+        .persisting
+        .sort_by(|x, y| y.delta().abs().total_cmp(&x.delta().abs()));
+    report
+        .resolved
+        .sort_by(|x, y| y.value_a.total_cmp(&x.value_a));
+    report
+        .introduced
+        .sort_by(|x, y| y.value_b.total_cmp(&x.value_b));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histpc_consultant::NodeOutcome;
+    use histpc_resources::ResourceSpace;
+    use histpc_sim::SimTime;
+
+    fn space(extra: &[&str]) -> ResourceSpace {
+        let mut s = ResourceSpace::new();
+        for r in ["/Code/a.c/f", "/Code/a.c/g", "/Process/p1", "/Machine/n1"] {
+            s.add_resource(&ResourceName::parse(r).unwrap()).unwrap();
+        }
+        for r in extra {
+            s.add_resource(&ResourceName::parse(r).unwrap()).unwrap();
+        }
+        s
+    }
+
+    fn outcome(s: &ResourceSpace, hyp: &str, sel: Option<&str>, out: Outcome, v: f64) -> NodeOutcome {
+        let mut f = s.whole_program();
+        if let Some(sel) = sel {
+            f = f.with_selection(ResourceName::parse(sel).unwrap());
+        }
+        NodeOutcome {
+            hypothesis: hyp.into(),
+            focus: f,
+            outcome: out,
+            first_true_at: None,
+            concluded_at: Some(SimTime::from_secs(1)),
+            last_value: v,
+        }
+    }
+
+    fn record(s: &ResourceSpace, version: &str, outcomes: Vec<NodeOutcome>) -> ExecutionRecord {
+        ExecutionRecord {
+            app_name: "app".into(),
+            app_version: version.into(),
+            label: version.into(),
+            resources: s.hierarchies().iter().flat_map(|h| h.all_names()).collect(),
+            outcomes,
+            thresholds_used: vec![],
+            end_time: SimTime::from_secs(10),
+            pairs_tested: 0,
+        }
+    }
+
+    #[test]
+    fn resolved_introduced_persisting_classification() {
+        let s = space(&[]);
+        let a = record(
+            &s,
+            "1",
+            vec![
+                outcome(&s, "CPUbound", Some("/Code/a.c/f"), Outcome::True, 0.5),
+                outcome(&s, "CPUbound", Some("/Code/a.c/g"), Outcome::True, 0.3),
+                outcome(&s, "ExcessiveSyncWaitingTime", None, Outcome::False, 0.05),
+            ],
+        );
+        let b = record(
+            &s,
+            "2",
+            vec![
+                // f fixed, g persists (worse), sync newly appeared.
+                outcome(&s, "CPUbound", Some("/Code/a.c/f"), Outcome::False, 0.1),
+                outcome(&s, "CPUbound", Some("/Code/a.c/g"), Outcome::True, 0.45),
+                outcome(&s, "ExcessiveSyncWaitingTime", None, Outcome::True, 0.4),
+            ],
+        );
+        let cmp = compare(&a, &b, None);
+        assert_eq!(cmp.resolved.len(), 1);
+        assert_eq!(cmp.resolved[0].value_a, 0.5);
+        assert_eq!(cmp.introduced.len(), 1);
+        assert_eq!(cmp.introduced[0].hypothesis, "ExcessiveSyncWaitingTime");
+        assert_eq!(cmp.introduced[0].outcome_a, Some(Outcome::False));
+        assert_eq!(cmp.persisting.len(), 1);
+        assert!((cmp.persisting[0].delta() - 0.15).abs() < 1e-9);
+        assert_eq!(cmp.common_tested, 3);
+        assert!(!cmp.is_improvement()); // something was introduced
+    }
+
+    #[test]
+    fn untested_in_b_counts_as_resolved() {
+        let s = space(&[]);
+        let a = record(
+            &s,
+            "1",
+            vec![outcome(&s, "CPUbound", Some("/Code/a.c/f"), Outcome::True, 0.5)],
+        );
+        let b = record(&s, "2", vec![]);
+        let cmp = compare(&a, &b, None);
+        assert_eq!(cmp.resolved.len(), 1);
+        assert_eq!(cmp.resolved[0].outcome_b, None);
+        assert!(cmp.is_improvement());
+    }
+
+    #[test]
+    fn structural_diff_detects_renames_without_mapping() {
+        let s1 = space(&["/Code/old.c/x"]);
+        let s2 = space(&["/Code/new.c/x"]);
+        let a = record(&s1, "1", vec![]);
+        let b = record(&s2, "2", vec![]);
+        let cmp = compare(&a, &b, None);
+        assert!(cmp
+            .only_in_a
+            .contains(&ResourceName::parse("/Code/old.c").unwrap()));
+        assert!(cmp
+            .only_in_b
+            .contains(&ResourceName::parse("/Code/new.c").unwrap()));
+    }
+
+    #[test]
+    fn mapping_bridges_renames() {
+        let s1 = space(&["/Code/old.c/x"]);
+        let s2 = space(&["/Code/new.c/x"]);
+        let a = record(
+            &s1,
+            "1",
+            vec![outcome(&s1, "CPUbound", Some("/Code/old.c/x"), Outcome::True, 0.4)],
+        );
+        let b = record(
+            &s2,
+            "2",
+            vec![outcome(&s2, "CPUbound", Some("/Code/new.c/x"), Outcome::True, 0.35)],
+        );
+        let mut m = MappingSet::new();
+        m.add(
+            ResourceName::parse("/Code/old.c").unwrap(),
+            ResourceName::parse("/Code/new.c").unwrap(),
+        );
+        let cmp = compare(&a, &b, Some(&m));
+        assert_eq!(cmp.persisting.len(), 1);
+        assert!(cmp.only_in_a.is_empty());
+        assert!(cmp.resolved.is_empty() && cmp.introduced.is_empty());
+    }
+
+    #[test]
+    fn render_contains_sections() {
+        let s = space(&[]);
+        let a = record(
+            &s,
+            "1",
+            vec![outcome(&s, "CPUbound", None, Outcome::True, 0.4)],
+        );
+        let b = record(
+            &s,
+            "2",
+            vec![outcome(&s, "CPUbound", None, Outcome::True, 0.3)],
+        );
+        let text = compare(&a, &b, None).render();
+        assert!(text.contains("resolved bottlenecks (0)"));
+        assert!(text.contains("persisting bottlenecks (1)"));
+        assert!(text.contains("-10.0%"));
+    }
+}

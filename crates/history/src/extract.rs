@@ -1,0 +1,654 @@
+//! Directive extraction: harvesting knowledge from historical data.
+//!
+//! Implements the paper's §3.1 mechanisms:
+//!
+//! * **Priorities** — "each hypothesis-focus pair is given priority: High
+//!   if it tested true in at least one previous execution; Low if it
+//!   tested false in all previous executions; otherwise, Medium."
+//! * **Historic prunes** — "pruning based on historical data, such as
+//!   functions with short execution time and redundant hierarchies (e.g.
+//!   machine hierarchy if processes and machines map one-to-one)", plus
+//!   exact prunes of previously-false hypothesis/focus pairs.
+//! * **General prunes** — "pruning the /SyncObject hierarchy from all but
+//!   synchronization-related hypotheses" (not history-dependent, but
+//!   extracted here for convenience).
+//! * **Thresholds** — application-specific values derived from the
+//!   magnitudes of the previously observed bottlenecks, keeping the
+//!   number of reported bottlenecks in a practically useful range (§4.2).
+
+use crate::record::ExecutionRecord;
+use histpc_consultant::{
+    HypothesisTree, NodeOutcome, Outcome, PriorityDirective, PriorityLevel, Prune, PruneTarget,
+    SearchDirectives, ThresholdDirective,
+};
+use histpc_instr::PostmortemData;
+use histpc_resources::{Focus, ResourceName, CODE, MACHINE, PROCESS, SYNC_OBJECT};
+use histpc_sim::SimTime;
+
+/// What to extract from a record.
+#[derive(Debug, Clone)]
+pub struct ExtractionOptions {
+    /// Emit High/Low priority directives from true/false outcomes.
+    pub priorities: bool,
+    /// Emit exact-pair prunes for previously false pairs (historic).
+    pub prune_false_pairs: bool,
+    /// Emit resource prunes for functions whose observed time fractions
+    /// never exceeded `trivial_fraction` (historic).
+    pub prune_trivial_functions: bool,
+    /// The triviality bound for function pruning.
+    pub trivial_fraction: f64,
+    /// Prune the Machine hierarchy when processes and nodes map
+    /// one-to-one (historic, structural).
+    pub prune_redundant_machine: bool,
+    /// Emit the general SyncObject prunes for non-sync hypotheses.
+    pub general_prunes: bool,
+    /// Derive per-hypothesis thresholds from bottleneck magnitudes.
+    pub thresholds: bool,
+    /// Safety factor under the smallest significant bottleneck when
+    /// deriving thresholds (e.g. 0.9 puts the threshold 10% below it).
+    pub threshold_margin: f64,
+    /// Floor for derived thresholds.
+    pub threshold_floor: f64,
+}
+
+impl Default for ExtractionOptions {
+    fn default() -> ExtractionOptions {
+        ExtractionOptions {
+            priorities: true,
+            prune_false_pairs: false,
+            prune_trivial_functions: true,
+            trivial_fraction: 0.01,
+            prune_redundant_machine: true,
+            general_prunes: true,
+            thresholds: false,
+            threshold_margin: 0.9,
+            threshold_floor: 0.02,
+        }
+    }
+}
+
+impl ExtractionOptions {
+    /// Only priorities (the paper's "Priorities Only" configuration).
+    pub fn priorities_only() -> ExtractionOptions {
+        ExtractionOptions {
+            priorities: true,
+            prune_false_pairs: false,
+            prune_trivial_functions: false,
+            prune_redundant_machine: false,
+            general_prunes: false,
+            thresholds: false,
+            ..ExtractionOptions::default()
+        }
+    }
+
+    /// Only general prunes (not application-specific).
+    pub fn general_prunes_only() -> ExtractionOptions {
+        ExtractionOptions {
+            priorities: false,
+            prune_false_pairs: false,
+            prune_trivial_functions: false,
+            prune_redundant_machine: false,
+            general_prunes: true,
+            thresholds: false,
+            ..ExtractionOptions::default()
+        }
+    }
+
+    /// Only historic prunes (false pairs, trivial functions, redundant
+    /// hierarchies).
+    pub fn historic_prunes_only() -> ExtractionOptions {
+        ExtractionOptions {
+            priorities: false,
+            prune_false_pairs: true,
+            prune_trivial_functions: true,
+            prune_redundant_machine: true,
+            general_prunes: false,
+            thresholds: false,
+            ..ExtractionOptions::default()
+        }
+    }
+
+    /// All prunes, no priorities (the paper's "Prunes Only").
+    pub fn all_prunes() -> ExtractionOptions {
+        ExtractionOptions {
+            priorities: false,
+            prune_false_pairs: true,
+            prune_trivial_functions: true,
+            prune_redundant_machine: true,
+            general_prunes: true,
+            thresholds: false,
+            ..ExtractionOptions::default()
+        }
+    }
+
+    /// Priorities plus the safe prunes (redundant/irrelevant hierarchies
+    /// but *not* previously-false pairs) — the paper's combined
+    /// configuration, which "will never miss new behaviors due to
+    /// pruning" (§4.1).
+    pub fn priorities_and_safe_prunes() -> ExtractionOptions {
+        ExtractionOptions {
+            priorities: true,
+            prune_false_pairs: false,
+            prune_trivial_functions: true,
+            prune_redundant_machine: true,
+            general_prunes: true,
+            thresholds: false,
+            ..ExtractionOptions::default()
+        }
+    }
+
+    /// Enable derived thresholds on top of the current options.
+    pub fn with_thresholds(mut self) -> ExtractionOptions {
+        self.thresholds = true;
+        self
+    }
+}
+
+/// Extracts search directives from one execution record.
+pub fn extract(rec: &ExecutionRecord, opts: &ExtractionOptions) -> SearchDirectives {
+    let mut d = SearchDirectives::none();
+
+    if opts.general_prunes {
+        let sync_object = ResourceName::root(SYNC_OBJECT).expect("valid");
+        for hyp in [
+            "CPUbound",
+            "ExcessiveIOBlockingTime",
+            "ExcessiveBarrierWaitingTime",
+        ] {
+            d.add_prune(Prune {
+                hypothesis: Some(hyp.into()),
+                target: PruneTarget::Resource(sync_object.clone()),
+            });
+        }
+    }
+
+    if opts.prune_redundant_machine && machine_is_redundant(rec) {
+        d.add_prune(Prune {
+            hypothesis: None,
+            target: PruneTarget::Resource(ResourceName::root(MACHINE).expect("valid")),
+        });
+    }
+
+    if opts.prune_trivial_functions {
+        for f in trivial_functions(rec, opts.trivial_fraction) {
+            d.add_prune(Prune {
+                hypothesis: None,
+                target: PruneTarget::Resource(f),
+            });
+        }
+    }
+
+    if opts.prune_false_pairs {
+        for o in rec.false_outcomes() {
+            d.add_prune(Prune {
+                hypothesis: Some(o.hypothesis.clone()),
+                target: PruneTarget::Pair(o.focus.clone()),
+            });
+        }
+    }
+
+    if opts.priorities {
+        for o in &rec.outcomes {
+            let level = match o.outcome {
+                Outcome::True => PriorityLevel::High,
+                Outcome::False => PriorityLevel::Low,
+                _ => continue,
+            };
+            d.add_priority(PriorityDirective {
+                hypothesis: o.hypothesis.clone(),
+                focus: o.focus.clone(),
+                level,
+            });
+        }
+    }
+
+    if opts.thresholds {
+        for t in derive_thresholds(rec, opts) {
+            d.add_threshold(t);
+        }
+    }
+
+    d
+}
+
+/// True if processes and machine nodes map one-to-one in the recorded
+/// structure (the MPI-1 static process model), making the Machine
+/// hierarchy redundant with the Process hierarchy.
+fn machine_is_redundant(rec: &ExecutionRecord) -> bool {
+    // Count depth-1 resources (children of the roots).
+    let nodes = rec
+        .resources_in(MACHINE)
+        .iter()
+        .filter(|r| r.depth() == 1)
+        .count();
+    let procs = rec
+        .resources_in(PROCESS)
+        .iter()
+        .filter(|r| r.depth() == 1)
+        .count();
+    nodes > 0 && nodes == procs
+}
+
+/// Functions whose observed time fractions stayed below `bound` in every
+/// tested pair naming exactly that function (depth-2 Code selection with
+/// all other selections at the root).
+fn trivial_functions(rec: &ExecutionRecord, bound: f64) -> Vec<ResourceName> {
+    let mut out = Vec::new();
+    for r in rec.resources_in(CODE) {
+        if r.depth() != 2 {
+            continue; // functions only
+        }
+        let tested: Vec<&NodeOutcome> = rec
+            .outcomes
+            .iter()
+            .filter(|o| {
+                o.focus.selection(CODE) == Some(r)
+                    && o.focus.depth() == 2
+                    && matches!(o.outcome, Outcome::True | Outcome::False)
+            })
+            .collect();
+        if !tested.is_empty() && tested.iter().all(|o| o.last_value < bound) {
+            out.push((*r).clone());
+        }
+    }
+    out
+}
+
+/// Derives per-hypothesis thresholds: a margin below the smallest
+/// bottleneck value observed for that hypothesis, floored.
+fn derive_thresholds(rec: &ExecutionRecord, opts: &ExtractionOptions) -> Vec<ThresholdDirective> {
+    let mut out = Vec::new();
+    let hyps: Vec<String> = {
+        let mut v: Vec<String> = rec.outcomes.iter().map(|o| o.hypothesis.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    for h in hyps {
+        let min_true = rec
+            .true_outcomes()
+            .filter(|o| o.hypothesis == h)
+            .map(|o| o.last_value)
+            .fold(f64::INFINITY, f64::min);
+        if min_true.is_finite() {
+            let value = (min_true * opts.threshold_margin).max(opts.threshold_floor);
+            out.push(ThresholdDirective {
+                hypothesis: h,
+                value: value.min(1.0),
+            });
+        }
+    }
+    out
+}
+
+/// Builds an execution record by testing hypotheses *postmortem* against
+/// raw full-resolution data (the paper's §6 extension: extracting search
+/// directives when no Search History Graph is available, e.g. from data
+/// gathered with a different monitoring tool).
+///
+/// The search structure mirrors the online PC: start at the whole
+/// program, refine only true nodes, conclude against the given
+/// thresholds — but data is free, so no cost throttling applies and no
+/// timestamps are produced.
+pub fn postmortem_record(
+    pm: &PostmortemData,
+    tree: &HypothesisTree,
+    directives: &SearchDirectives,
+    label: &str,
+) -> ExecutionRecord {
+    let mut outcomes = Vec::new();
+    let whole = pm.space().whole_program();
+    let mut frontier: Vec<(histpc_consultant::HypothesisId, Focus)> = tree
+        .children(tree.root())
+        .into_iter()
+        .map(|h| (h, whole.clone()))
+        .collect();
+    let mut seen: std::collections::HashSet<(u16, Focus)> = Default::default();
+    while let Some((h, f)) = frontier.pop() {
+        if !seen.insert((h.0, f.clone())) {
+            continue;
+        }
+        let hyp = tree.get(h);
+        let name = hyp.name.clone();
+        if directives.is_pruned(&name, &f) {
+            outcomes.push(NodeOutcome {
+                hypothesis: name,
+                focus: f,
+                outcome: Outcome::Pruned,
+                first_true_at: None,
+                concluded_at: None,
+                last_value: 0.0,
+            });
+            continue;
+        }
+        let metric = hyp.metric.expect("frontier holds metric hypotheses");
+        let fraction = pm.fraction(metric, &f);
+        let threshold = directives
+            .threshold_for(&name)
+            .unwrap_or(hyp.default_threshold);
+        let outcome = if fraction > threshold {
+            Outcome::True
+        } else {
+            Outcome::False
+        };
+        if outcome == Outcome::True {
+            for h2 in tree.children(h) {
+                frontier.push((h2, f.clone()));
+            }
+            for child in pm.space().refine(&f) {
+                frontier.push((h, child));
+            }
+        }
+        outcomes.push(NodeOutcome {
+            hypothesis: name,
+            focus: f,
+            outcome,
+            first_true_at: None,
+            concluded_at: None,
+            last_value: fraction,
+        });
+    }
+    let resources = pm
+        .space()
+        .hierarchies()
+        .iter()
+        .flat_map(|h| h.all_names())
+        .collect();
+    let pairs = outcomes
+        .iter()
+        .filter(|o| o.outcome != Outcome::Pruned)
+        .count();
+    ExecutionRecord {
+        app_name: pm.binder().app().name.clone(),
+        app_version: pm.binder().app().version.clone(),
+        label: label.to_string(),
+        resources,
+        outcomes,
+        thresholds_used: Vec::new(),
+        end_time: pm.end_time(),
+        pairs_tested: pairs,
+    }
+}
+
+/// Derives an application-specific threshold for one hypothesis from a
+/// run's raw profile (postmortem data), as in the paper's §4.2 where the
+/// full performance profile — not just the previous search's outcomes —
+/// identifies the useful setting (12% for the MPI code, 20% for PVM).
+///
+/// Method: evaluate the hypothesis over the whole focus lattice at an
+/// exploratory `floor` threshold, sort the observed fractions, and place
+/// the threshold a margin below the smallest member of the significant
+/// cluster — found as the largest relative gap in the distribution.
+/// Returns `None` when the hypothesis has no values above the floor.
+pub fn derive_threshold_from_profile(
+    pm: &PostmortemData,
+    tree: &HypothesisTree,
+    hypothesis: &str,
+    floor: f64,
+    margin: f64,
+) -> Option<f64> {
+    let mut exploratory = SearchDirectives::none();
+    exploratory.add_threshold(ThresholdDirective {
+        hypothesis: hypothesis.to_string(),
+        value: floor,
+    });
+    let rec = postmortem_record(pm, tree, &exploratory, "profile");
+    let mut vals: Vec<f64> = rec
+        .outcomes
+        .iter()
+        .filter(|o| o.hypothesis == hypothesis && o.outcome == Outcome::True)
+        .map(|o| o.last_value)
+        .collect();
+    vals.sort_by(|a, b| b.total_cmp(a));
+    vals.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+    if vals.is_empty() {
+        return None;
+    }
+    // The significant cluster ends at the largest relative gap. Only
+    // cuts in the plausible threshold range matter: a threshold above
+    // 50% of execution time would hide even a dominant bottleneck.
+    let mut cut = vals.len() - 1;
+    let mut best_ratio = 1.0;
+    for i in 0..vals.len() - 1 {
+        if vals[i] > 0.5 {
+            continue;
+        }
+        let ratio = vals[i] / vals[i + 1].max(1e-9);
+        if ratio > best_ratio {
+            best_ratio = ratio;
+            cut = i;
+        }
+    }
+    Some((vals[cut] * margin).max(floor).min(1.0))
+}
+
+/// The ground-truth bottleneck set of a run: every (hypothesis, focus)
+/// that tests true postmortem. Used to define the "100% of bottlenecks"
+/// baseline of Table 1.
+pub fn ground_truth(
+    pm: &PostmortemData,
+    tree: &HypothesisTree,
+    directives: &SearchDirectives,
+) -> Vec<(String, Focus)> {
+    postmortem_record(pm, tree, directives, "truth")
+        .outcomes
+        .into_iter()
+        .filter(|o| o.outcome == Outcome::True)
+        .map(|o| (o.hypothesis, o.focus))
+        .collect()
+}
+
+/// A helper: the time the *record's own run* reported each of the given
+/// bottlenecks (for evaluating percentile detection times).
+pub fn detection_times(
+    rec: &ExecutionRecord,
+    truth: &[(String, Focus)],
+) -> Vec<Option<SimTime>> {
+    truth
+        .iter()
+        .map(|(h, f)| {
+            rec.outcomes
+                .iter()
+                .find(|o| &o.hypothesis == h && &o.focus == f)
+                .and_then(|o| o.first_true_at)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histpc_resources::ResourceSpace;
+
+    fn space() -> ResourceSpace {
+        let mut s = ResourceSpace::new();
+        for r in [
+            "/Code/a.c/hot",
+            "/Code/a.c/tiny",
+            "/Machine/n1",
+            "/Machine/n2",
+            "/Process/p1",
+            "/Process/p2",
+            "/SyncObject/Message/7",
+        ] {
+            s.add_resource(&ResourceName::parse(r).unwrap()).unwrap();
+        }
+        s
+    }
+
+    fn rec_with(outcomes: Vec<NodeOutcome>) -> ExecutionRecord {
+        ExecutionRecord {
+            app_name: "app".into(),
+            app_version: "1".into(),
+            label: "r1".into(),
+            resources: space()
+                .hierarchies()
+                .iter()
+                .flat_map(|h| h.all_names())
+                .collect(),
+            outcomes,
+            thresholds_used: vec![],
+            end_time: SimTime::from_secs(10),
+            pairs_tested: 0,
+        }
+    }
+
+    fn o(hyp: &str, sels: &[&str], out: Outcome, value: f64) -> NodeOutcome {
+        let mut f = space().whole_program();
+        for s in sels {
+            f = f.with_selection(ResourceName::parse(s).unwrap());
+        }
+        NodeOutcome {
+            hypothesis: hyp.into(),
+            focus: f,
+            outcome: out,
+            first_true_at: (out == Outcome::True).then(|| SimTime::from_secs(1)),
+            concluded_at: Some(SimTime::from_secs(1)),
+            last_value: value,
+        }
+    }
+
+    #[test]
+    fn priorities_follow_paper_rule() {
+        let rec = rec_with(vec![
+            o("CPUbound", &[], Outcome::True, 0.4),
+            o("CPUbound", &["/Code/a.c"], Outcome::False, 0.05),
+            o("ExcessiveIOBlockingTime", &[], Outcome::Pruned, 0.0),
+        ]);
+        let d = extract(&rec, &ExtractionOptions::priorities_only());
+        assert_eq!(d.priorities.len(), 2);
+        assert_eq!(
+            d.priority_of("CPUbound", &space().whole_program()),
+            PriorityLevel::High
+        );
+        let module = space()
+            .whole_program()
+            .with_selection(ResourceName::parse("/Code/a.c").unwrap());
+        assert_eq!(d.priority_of("CPUbound", &module), PriorityLevel::Low);
+        assert!(d.prunes.is_empty());
+        assert!(d.thresholds.is_empty());
+    }
+
+    #[test]
+    fn general_prunes_cover_non_sync_hypotheses() {
+        let rec = rec_with(vec![]);
+        let d = extract(&rec, &ExtractionOptions::general_prunes_only());
+        let sync_focus = space()
+            .whole_program()
+            .with_selection(ResourceName::parse("/SyncObject/Message").unwrap());
+        assert!(d.is_pruned("CPUbound", &sync_focus));
+        assert!(d.is_pruned("ExcessiveIOBlockingTime", &sync_focus));
+        assert!(!d.is_pruned("ExcessiveSyncWaitingTime", &sync_focus));
+    }
+
+    #[test]
+    fn redundant_machine_hierarchy_is_pruned() {
+        let rec = rec_with(vec![]);
+        let d = extract(&rec, &ExtractionOptions::historic_prunes_only());
+        let machine_focus = space()
+            .whole_program()
+            .with_selection(ResourceName::parse("/Machine/n1").unwrap());
+        assert!(d.is_pruned("CPUbound", &machine_focus));
+        // The unconstrained root is not pruned.
+        assert!(!d.is_pruned("CPUbound", &space().whole_program()));
+    }
+
+    #[test]
+    fn machine_prune_skipped_when_not_one_to_one() {
+        let mut rec = rec_with(vec![]);
+        rec.resources
+            .push(ResourceName::parse("/Process/p3").unwrap());
+        let d = extract(&rec, &ExtractionOptions::historic_prunes_only());
+        let machine_focus = space()
+            .whole_program()
+            .with_selection(ResourceName::parse("/Machine/n1").unwrap());
+        assert!(!d.is_pruned("CPUbound", &machine_focus));
+    }
+
+    #[test]
+    fn trivial_functions_are_pruned() {
+        let rec = rec_with(vec![
+            o("CPUbound", &["/Code/a.c/tiny"], Outcome::False, 0.001),
+            o(
+                "ExcessiveSyncWaitingTime",
+                &["/Code/a.c/tiny"],
+                Outcome::False,
+                0.002,
+            ),
+            o("CPUbound", &["/Code/a.c/hot"], Outcome::True, 0.5),
+        ]);
+        let d = extract(&rec, &ExtractionOptions::historic_prunes_only());
+        let tiny = space()
+            .whole_program()
+            .with_selection(ResourceName::parse("/Code/a.c/tiny").unwrap());
+        let hot = space()
+            .whole_program()
+            .with_selection(ResourceName::parse("/Code/a.c/hot").unwrap());
+        assert!(d.is_pruned("CPUbound", &tiny));
+        assert!(!d.is_pruned("CPUbound", &hot));
+    }
+
+    #[test]
+    fn false_pairs_become_exact_prunes() {
+        let rec = rec_with(vec![o(
+            "CPUbound",
+            &["/Code/a.c"],
+            Outcome::False,
+            0.05,
+        )]);
+        let d = extract(&rec, &ExtractionOptions::historic_prunes_only());
+        let module = space()
+            .whole_program()
+            .with_selection(ResourceName::parse("/Code/a.c").unwrap());
+        assert!(d.is_pruned("CPUbound", &module));
+        // Children of the false pair are NOT matched by the exact prune
+        // (they are unreachable anyway since the parent never tests true).
+        let func = module.with_selection(ResourceName::parse("/Code/a.c/hot").unwrap());
+        assert!(!d.is_pruned("CPUbound", &func));
+    }
+
+    #[test]
+    fn combined_options_exclude_false_pair_prunes() {
+        let rec = rec_with(vec![o("CPUbound", &["/Code/a.c"], Outcome::False, 0.05)]);
+        let d = extract(&rec, &ExtractionOptions::priorities_and_safe_prunes());
+        let module = space()
+            .whole_program()
+            .with_selection(ResourceName::parse("/Code/a.c").unwrap());
+        // Not pruned (safe mode), but down-prioritized.
+        assert!(!d.is_pruned("CPUbound", &module));
+        assert_eq!(d.priority_of("CPUbound", &module), PriorityLevel::Low);
+    }
+
+    #[test]
+    fn thresholds_land_below_smallest_bottleneck() {
+        let rec = rec_with(vec![
+            o("ExcessiveSyncWaitingTime", &[], Outcome::True, 0.72),
+            o(
+                "ExcessiveSyncWaitingTime",
+                &["/Code/a.c"],
+                Outcome::True,
+                0.14,
+            ),
+            o("CPUbound", &[], Outcome::False, 0.1),
+        ]);
+        let opts = ExtractionOptions::priorities_only().with_thresholds();
+        let d = extract(&rec, &opts);
+        let t = d.threshold_for("ExcessiveSyncWaitingTime").unwrap();
+        assert!((t - 0.126).abs() < 1e-9, "threshold was {t}");
+        // CPUbound had no true outcomes: no derived threshold.
+        assert_eq!(d.threshold_for("CPUbound"), None);
+    }
+
+    #[test]
+    fn threshold_floor_applies() {
+        let rec = rec_with(vec![o(
+            "ExcessiveSyncWaitingTime",
+            &[],
+            Outcome::True,
+            0.005,
+        )]);
+        let opts = ExtractionOptions::priorities_only().with_thresholds();
+        let d = extract(&rec, &opts);
+        assert_eq!(d.threshold_for("ExcessiveSyncWaitingTime"), Some(0.02));
+    }
+}

@@ -1,0 +1,279 @@
+//! Line-oriented text (de)serialization of execution records.
+//!
+//! The format is deliberately plain text — like the paper's directive and
+//! mapping input files — so stored runs are human-readable and diffable:
+//!
+//! ```text
+//! histpc-record v1
+//! app poisson
+//! version A
+//! label a1
+//! end_time_us 27000000
+//! pairs_tested 753
+//! resource /Code/oned.f/main
+//! threshold ExcessiveSyncWaitingTime 0.2
+//! outcome true 2250000 2250000 0.725 ExcessiveSyncWaitingTime </Code,/Machine,/Process,/SyncObject>
+//! outcome false - 3000000 0.010 ExcessiveIOBlockingTime </Code,/Machine,/Process,/SyncObject>
+//! ```
+
+use crate::record::ExecutionRecord;
+use histpc_consultant::{NodeOutcome, Outcome};
+use histpc_resources::{Focus, ResourceName};
+use histpc_sim::SimTime;
+use std::fmt;
+
+/// Errors while parsing a record file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// 1-based line number (0 for structural problems).
+    pub line: usize,
+    /// Why parsing failed.
+    pub reason: String,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "record parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+fn err(line: usize, reason: impl Into<String>) -> FormatError {
+    FormatError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+/// Serializes a record to the text form.
+pub fn write_record(rec: &ExecutionRecord) -> String {
+    let mut out = String::from("histpc-record v1\n");
+    out.push_str(&format!("app {}\n", rec.app_name));
+    out.push_str(&format!("version {}\n", rec.app_version));
+    out.push_str(&format!("label {}\n", rec.label));
+    out.push_str(&format!("end_time_us {}\n", rec.end_time.as_micros()));
+    out.push_str(&format!("pairs_tested {}\n", rec.pairs_tested));
+    for r in &rec.resources {
+        out.push_str(&format!("resource {r}\n"));
+    }
+    for (h, v) in &rec.thresholds_used {
+        out.push_str(&format!("threshold {h} {v}\n"));
+    }
+    for o in &rec.outcomes {
+        let first = o
+            .first_true_at
+            .map(|t| t.as_micros().to_string())
+            .unwrap_or_else(|| "-".into());
+        let concluded = o
+            .concluded_at
+            .map(|t| t.as_micros().to_string())
+            .unwrap_or_else(|| "-".into());
+        out.push_str(&format!(
+            "outcome {} {} {} {} {} {}\n",
+            o.outcome.name(),
+            first,
+            concluded,
+            o.last_value,
+            o.hypothesis,
+            o.focus
+        ));
+    }
+    out
+}
+
+fn parse_opt_time(word: &str, line: usize) -> Result<Option<SimTime>, FormatError> {
+    if word == "-" {
+        Ok(None)
+    } else {
+        word.parse::<u64>()
+            .map(|us| Some(SimTime(us)))
+            .map_err(|_| err(line, format!("bad timestamp {word:?}")))
+    }
+}
+
+/// Parses the text form back into a record.
+pub fn parse_record(text: &str) -> Result<ExecutionRecord, FormatError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| err(0, "empty record file"))?;
+    if header.trim() != "histpc-record v1" {
+        return Err(err(1, format!("bad header {header:?}")));
+    }
+    let mut rec = ExecutionRecord {
+        app_name: String::new(),
+        app_version: String::new(),
+        label: String::new(),
+        resources: Vec::new(),
+        outcomes: Vec::new(),
+        thresholds_used: Vec::new(),
+        end_time: SimTime::ZERO,
+        pairs_tested: 0,
+    };
+    for (idx, raw) in lines {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (kind, rest) = line.split_once(' ').ok_or_else(|| {
+            err(lineno, format!("malformed line {line:?}"))
+        })?;
+        match kind {
+            "app" => rec.app_name = rest.to_string(),
+            "version" => rec.app_version = rest.to_string(),
+            "label" => rec.label = rest.to_string(),
+            "end_time_us" => {
+                rec.end_time = SimTime(
+                    rest.parse()
+                        .map_err(|_| err(lineno, "bad end_time_us"))?,
+                )
+            }
+            "pairs_tested" => {
+                rec.pairs_tested = rest
+                    .parse()
+                    .map_err(|_| err(lineno, "bad pairs_tested"))?
+            }
+            "resource" => rec.resources.push(
+                ResourceName::parse(rest)
+                    .map_err(|e| err(lineno, format!("bad resource: {e}")))?,
+            ),
+            "threshold" => {
+                let (h, v) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err(lineno, "threshold needs hypothesis and value"))?;
+                rec.thresholds_used.push((
+                    h.to_string(),
+                    v.parse().map_err(|_| err(lineno, "bad threshold value"))?,
+                ));
+            }
+            "outcome" => {
+                let words: Vec<&str> = rest.split_whitespace().collect();
+                if words.len() != 6 {
+                    return Err(err(lineno, "outcome needs 6 fields"));
+                }
+                let outcome = Outcome::from_name(words[0])
+                    .ok_or_else(|| err(lineno, format!("bad outcome {:?}", words[0])))?;
+                rec.outcomes.push(NodeOutcome {
+                    outcome,
+                    first_true_at: parse_opt_time(words[1], lineno)?,
+                    concluded_at: parse_opt_time(words[2], lineno)?,
+                    last_value: words[3]
+                        .parse()
+                        .map_err(|_| err(lineno, "bad value"))?,
+                    hypothesis: words[4].to_string(),
+                    focus: Focus::parse(words[5])
+                        .map_err(|e| err(lineno, format!("bad focus: {e}")))?,
+                });
+            }
+            _ => return Err(err(lineno, format!("unknown line kind {kind:?}"))),
+        }
+    }
+    if rec.app_name.is_empty() {
+        return Err(err(0, "missing app line"));
+    }
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histpc_resources::ResourceSpace;
+
+    fn sample() -> ExecutionRecord {
+        let mut space = ResourceSpace::new();
+        for r in ["/Code/a.c/f", "/Process/p1", "/Machine/n1", "/SyncObject/Message/3_-1"] {
+            space.add_resource(&ResourceName::parse(r).unwrap()).unwrap();
+        }
+        let wp = space.whole_program();
+        ExecutionRecord {
+            app_name: "poisson".into(),
+            app_version: "A".into(),
+            label: "a1".into(),
+            resources: space
+                .hierarchies()
+                .iter()
+                .flat_map(|h| h.all_names())
+                .collect(),
+            outcomes: vec![
+                NodeOutcome {
+                    hypothesis: "ExcessiveSyncWaitingTime".into(),
+                    focus: wp.clone(),
+                    outcome: Outcome::True,
+                    first_true_at: Some(SimTime(2_250_000)),
+                    concluded_at: Some(SimTime(2_250_000)),
+                    last_value: 0.725,
+                },
+                NodeOutcome {
+                    hypothesis: "ExcessiveIOBlockingTime".into(),
+                    focus: wp.with_selection(ResourceName::parse("/Code/a.c").unwrap()),
+                    outcome: Outcome::False,
+                    first_true_at: None,
+                    concluded_at: Some(SimTime(3_000_000)),
+                    last_value: 0.01,
+                },
+                NodeOutcome {
+                    hypothesis: "CPUbound".into(),
+                    focus: wp.clone(),
+                    outcome: Outcome::Pruned,
+                    first_true_at: None,
+                    concluded_at: None,
+                    last_value: 0.0,
+                },
+            ],
+            thresholds_used: vec![("ExcessiveSyncWaitingTime".into(), 0.12)],
+            end_time: SimTime(27_000_000),
+            pairs_tested: 753,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let rec = sample();
+        let text = write_record(&rec);
+        let parsed = parse_record(&text).unwrap();
+        assert_eq!(parsed.app_name, rec.app_name);
+        assert_eq!(parsed.app_version, rec.app_version);
+        assert_eq!(parsed.label, rec.label);
+        assert_eq!(parsed.end_time, rec.end_time);
+        assert_eq!(parsed.pairs_tested, rec.pairs_tested);
+        assert_eq!(parsed.resources, rec.resources);
+        assert_eq!(parsed.outcomes, rec.outcomes);
+        assert_eq!(parsed.thresholds_used, rec.thresholds_used);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(parse_record("").is_err());
+        assert!(parse_record("something else\n").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let base = "histpc-record v1\napp x\n";
+        for bad in [
+            "outcome yes - - 0.1 H </Code>",
+            "outcome true - - zero H </Code>",
+            "outcome true - - 0.1 H notafocus",
+            "resource Code/x",
+            "threshold onlyhyp",
+            "frobnicate 1",
+        ] {
+            let text = format!("{base}{bad}\n");
+            assert!(parse_record(&text).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn requires_app_name() {
+        assert!(parse_record("histpc-record v1\nlabel x\n").is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "histpc-record v1\napp x\n\n# note\nversion 2\n";
+        let rec = parse_record(text).unwrap();
+        assert_eq!(rec.app_version, "2");
+    }
+}

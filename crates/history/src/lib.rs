@@ -1,0 +1,43 @@
+//! `histpc-history`: historical performance data for directed diagnosis.
+//!
+//! The paper's contribution (§3): save performance and structural data
+//! from executions of an application, then extract knowledge useful for
+//! diagnosis — **search directives** (prunes, priorities, thresholds) —
+//! and **map** resource names between executions so directives from one
+//! run (or one code version) apply to another.
+//!
+//! * [`record`] — the persisted result of one execution: resources,
+//!   hypothesis/focus outcomes, thresholds, instrumentation statistics.
+//! * [`store`] — a directory-backed multi-execution store.
+//! * [`format`] — a line-oriented, human-diffable text serialization.
+//! * [`extract`] — directive harvesting: priorities from true/false
+//!   outcomes, historic prunes (trivial functions, false pairs, redundant
+//!   one-to-one hierarchies), general prunes, and application-specific
+//!   thresholds.
+//! * [`mapping`] — `map res1 res2` directives plus automatic mapping
+//!   suggestions between executions.
+//! * [`combine`] — the paper's A∩B and A∪B multi-run combinations.
+//! * [`compare`] — quantitative comparison of two executions (the §6
+//!   experiment-management direction): structural and performance diffs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combine;
+pub mod compare;
+pub mod extract;
+pub mod format;
+pub mod mapping;
+pub mod record;
+pub mod store;
+
+pub use combine::{intersect, union};
+pub use compare::{compare, ComparisonReport, PairDiff};
+pub use extract::{
+    derive_threshold_from_profile, detection_times, extract, ground_truth, postmortem_record,
+    ExtractionOptions,
+};
+pub use format::FormatError;
+pub use mapping::MappingSet;
+pub use record::ExecutionRecord;
+pub use store::ExecutionStore;

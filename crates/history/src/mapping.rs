@@ -1,0 +1,423 @@
+//! Resource-name mapping between executions (paper §3.2).
+//!
+//! "If we are to relate performance results from a previous run to the
+//! current run, we must be able to establish an equivalency between (map)
+//! the differently named resources." Mappings are directives of the form
+//! `map resourceName1 resourceName2`, applied to an extracted directive
+//! list before it is read into the Performance Consultant.
+//!
+//! Beyond user-specified mapping files, [`MappingSet::suggest`] implements
+//! the paper's future-work direction of *automating* the mapping: it pairs
+//! resources unique to each of two executions by position (machine nodes,
+//! processes) and by name/structure similarity (code modules and
+//! functions).
+
+use histpc_consultant::{PruneTarget, SearchDirectives};
+use histpc_resources::{ResourceName, CODE, MACHINE, PROCESS};
+use std::fmt;
+
+/// An ordered list of `map from to` directives.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MappingSet {
+    maps: Vec<(ResourceName, ResourceName)>,
+}
+
+/// A parse failure in a mapping file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Why it failed.
+    pub reason: String,
+}
+
+impl fmt::Display for MappingParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mapping parse error at line {}: {}",
+            self.line, self.reason
+        )
+    }
+}
+
+impl std::error::Error for MappingParseError {}
+
+impl MappingSet {
+    /// An empty mapping set.
+    pub fn new() -> MappingSet {
+        MappingSet::default()
+    }
+
+    /// Adds one mapping (from → to).
+    pub fn add(&mut self, from: ResourceName, to: ResourceName) {
+        self.maps.push((from, to));
+    }
+
+    /// The mappings, in application order.
+    pub fn entries(&self) -> &[(ResourceName, ResourceName)] {
+        &self.maps
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// True if no mappings are present.
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// Rewrites one resource name: the longest matching `from` prefix
+    /// wins; unmatched names pass through unchanged.
+    pub fn apply_to_name(&self, name: &ResourceName) -> ResourceName {
+        let mut best: Option<&(ResourceName, ResourceName)> = None;
+        for m in &self.maps {
+            if m.0.is_prefix_of(name) {
+                let better = match best {
+                    None => true,
+                    Some(b) => m.0.segments().len() > b.0.segments().len(),
+                };
+                if better {
+                    best = Some(m);
+                }
+            }
+        }
+        match best {
+            Some((from, to)) => name.rewrite_prefix(from, to).expect("prefix checked"),
+            None => name.clone(),
+        }
+    }
+
+    /// Rewrites every selection of a focus.
+    pub fn apply_to_focus(&self, focus: &histpc_resources::Focus) -> histpc_resources::Focus {
+        let sels: Vec<ResourceName> = focus
+            .selections()
+            .map(|s| self.apply_to_name(s))
+            .collect();
+        // Mapped names stay within their hierarchy, so this cannot
+        // produce duplicates.
+        histpc_resources::Focus::new(sels).expect("mapping preserves hierarchies")
+    }
+
+    /// Rewrites all foci and resource names in a directive set — the
+    /// paper's workflow: "we apply the specified mappings to the list of
+    /// extracted search directives, then read the directives into the
+    /// Performance Consultant."
+    pub fn apply_to_directives(&self, d: &SearchDirectives) -> SearchDirectives {
+        let mut out = SearchDirectives::none();
+        for p in &d.prunes {
+            out.add_prune(histpc_consultant::Prune {
+                hypothesis: p.hypothesis.clone(),
+                target: match &p.target {
+                    PruneTarget::Resource(r) => PruneTarget::Resource(self.apply_to_name(r)),
+                    PruneTarget::Pair(f) => PruneTarget::Pair(self.apply_to_focus(f)),
+                },
+            });
+        }
+        for p in &d.priorities {
+            out.add_priority(histpc_consultant::PriorityDirective {
+                hypothesis: p.hypothesis.clone(),
+                focus: self.apply_to_focus(&p.focus),
+                level: p.level,
+            });
+        }
+        for t in &d.thresholds {
+            out.add_threshold(t.clone());
+        }
+        out
+    }
+
+    /// Serializes to `map from to` lines.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# histpc mappings v1\n");
+        for (from, to) in &self.maps {
+            out.push_str(&format!("map {from} {to}\n"));
+        }
+        out
+    }
+
+    /// Parses `map from to` lines (blank lines and `#` comments skipped).
+    pub fn parse(text: &str) -> Result<MappingSet, MappingParseError> {
+        let mut out = MappingSet::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let words: Vec<&str> = line.split_whitespace().collect();
+            if words.len() != 3 || words[0] != "map" {
+                return Err(MappingParseError {
+                    line: lineno,
+                    reason: format!("expected 'map <from> <to>', got {line:?}"),
+                });
+            }
+            let from = ResourceName::parse(words[1]).map_err(|e| MappingParseError {
+                line: lineno,
+                reason: e.to_string(),
+            })?;
+            let to = ResourceName::parse(words[2]).map_err(|e| MappingParseError {
+                line: lineno,
+                reason: e.to_string(),
+            })?;
+            if from.hierarchy() != to.hierarchy() {
+                return Err(MappingParseError {
+                    line: lineno,
+                    reason: "mappings must stay within one hierarchy".into(),
+                });
+            }
+            out.add(from, to);
+        }
+        Ok(out)
+    }
+
+    /// Suggests mappings from the resources of a previous execution to
+    /// those of a new one:
+    ///
+    /// * Machine nodes and processes unique to each side are paired
+    ///   positionally (sorted order) — the paper's "8-node application
+    ///   might run on nodes 0-7 during one run and 8-15 on the next".
+    /// * Code modules unique to each side are paired by name similarity;
+    ///   functions within paired modules are paired by name similarity
+    ///   (covering renames like `oned.f` → `onednb.f`, `sweep1d` →
+    ///   `nbsweep`).
+    pub fn suggest(old: &[ResourceName], new: &[ResourceName]) -> MappingSet {
+        let mut out = MappingSet::new();
+
+        // Positional pairing for Machine and Process children.
+        for hierarchy in [MACHINE, PROCESS] {
+            let mut old_only = unique_depth1(old, new, hierarchy);
+            let mut new_only = unique_depth1(new, old, hierarchy);
+            old_only.sort();
+            new_only.sort();
+            for (f, t) in old_only.iter().zip(new_only.iter()) {
+                out.add(f.clone(), t.clone());
+            }
+        }
+
+        // Similarity pairing for Code modules.
+        let old_mods = unique_depth1(old, new, CODE);
+        let mut new_mods = unique_depth1(new, old, CODE);
+        for om in &old_mods {
+            let Some((best_idx, score)) = new_mods
+                .iter()
+                .enumerate()
+                .map(|(i, nm)| (i, similarity(om.label(), nm.label())))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+            else {
+                continue;
+            };
+            if score < 0.4 {
+                continue; // too dissimilar to map confidently
+            }
+            let nm = new_mods.remove(best_idx);
+            out.add(om.clone(), nm.clone());
+            // Pair the functions under the two modules.
+            let old_funcs = functions_under(old, om);
+            let mut new_funcs = functions_under(new, &nm);
+            for of in &old_funcs {
+                if new_funcs.iter().any(|nf| nf.label() == of.label()) {
+                    continue; // same name: no mapping needed after module map
+                }
+                let Some((bi, fscore)) = new_funcs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, nf)| (i, similarity(of.label(), nf.label())))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                else {
+                    continue;
+                };
+                if fscore < 0.4 {
+                    continue;
+                }
+                let nf = new_funcs.remove(bi);
+                out.add(of.clone(), nf.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Depth-1 resources of `hierarchy` present in `a` but not in `b`.
+fn unique_depth1(a: &[ResourceName], b: &[ResourceName], hierarchy: &str) -> Vec<ResourceName> {
+    a.iter()
+        .filter(|r| r.hierarchy() == hierarchy && r.depth() == 1)
+        .filter(|r| !b.contains(r))
+        .cloned()
+        .collect()
+}
+
+/// Depth-2 resources below `module`.
+fn functions_under(all: &[ResourceName], module: &ResourceName) -> Vec<ResourceName> {
+    all.iter()
+        .filter(|r| r.depth() == 2 && module.is_ancestor_of(r))
+        .cloned()
+        .collect()
+}
+
+/// Name similarity in [0, 1]: longest common subsequence over max length.
+fn similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            dp[i][j] = if a[i - 1] == b[j - 1] {
+                dp[i - 1][j - 1] + 1
+            } else {
+                dp[i - 1][j].max(dp[i][j - 1])
+            };
+        }
+    }
+    dp[a.len()][b.len()] as f64 / a.len().max(b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histpc_consultant::{PriorityDirective, PriorityLevel};
+    use histpc_resources::Focus;
+
+    fn n(s: &str) -> ResourceName {
+        ResourceName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut m = MappingSet::new();
+        m.add(n("/Code/oned.f"), n("/Code/onednb.f"));
+        m.add(n("/Code/oned.f/main"), n("/Code/onednb.f/start"));
+        // The function-level mapping is more specific and wins.
+        assert_eq!(
+            m.apply_to_name(&n("/Code/oned.f/main")),
+            n("/Code/onednb.f/start")
+        );
+        // Other functions fall back to the module mapping.
+        assert_eq!(
+            m.apply_to_name(&n("/Code/oned.f/diff")),
+            n("/Code/onednb.f/diff")
+        );
+        // Unrelated names pass through.
+        assert_eq!(m.apply_to_name(&n("/Code/sweep.f")), n("/Code/sweep.f"));
+    }
+
+    #[test]
+    fn apply_to_focus_rewrites_selections() {
+        let mut m = MappingSet::new();
+        m.add(n("/Machine/node01"), n("/Machine/node09"));
+        let f = Focus::whole_program(["Code", "Machine"])
+            .with_selection(n("/Machine/node01"));
+        assert_eq!(
+            m.apply_to_focus(&f).selection("Machine"),
+            Some(&n("/Machine/node09"))
+        );
+    }
+
+    #[test]
+    fn apply_to_directives_rewrites_everything() {
+        let mut m = MappingSet::new();
+        m.add(n("/Code/oned.f"), n("/Code/onednb.f"));
+        let mut d = SearchDirectives::none();
+        d.add_priority(PriorityDirective {
+            hypothesis: "CPUbound".into(),
+            focus: Focus::whole_program(["Code"]).with_selection(n("/Code/oned.f/main")),
+            level: PriorityLevel::High,
+        });
+        d.add_prune(histpc_consultant::Prune {
+            hypothesis: None,
+            target: PruneTarget::Resource(n("/Code/oned.f/main")),
+        });
+        let mapped = m.apply_to_directives(&d);
+        assert_eq!(
+            mapped.priorities[0].focus.selection("Code"),
+            Some(&n("/Code/onednb.f/main"))
+        );
+        match &mapped.prunes[0].target {
+            PruneTarget::Resource(r) => assert_eq!(r, &n("/Code/onednb.f/main")),
+            _ => panic!("wrong target kind"),
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut m = MappingSet::new();
+        m.add(n("/Code/exchng1.f"), n("/Code/nbexchng.f"));
+        m.add(n("/Machine/node01"), n("/Machine/node09"));
+        let parsed = MappingSet::parse(&m.to_text()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn parse_rejects_cross_hierarchy_and_garbage() {
+        assert!(MappingSet::parse("map /Code/x /Machine/y").is_err());
+        assert!(MappingSet::parse("map /Code/x").is_err());
+        assert!(MappingSet::parse("remap /Code/x /Code/y").is_err());
+        assert!(MappingSet::parse("map Code/x /Code/y").is_err());
+        assert!(MappingSet::parse("# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn suggest_pairs_machines_positionally() {
+        // Nodes 1-4 in the old run, 9-12 in the new run.
+        let old: Vec<ResourceName> = (1..=4).map(|i| n(&format!("/Machine/node{i:02}"))).collect();
+        let new: Vec<ResourceName> = (9..=12).map(|i| n(&format!("/Machine/node{i:02}"))).collect();
+        let m = MappingSet::suggest(&old, &new);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.apply_to_name(&n("/Machine/node01")), n("/Machine/node09"));
+        assert_eq!(m.apply_to_name(&n("/Machine/node04")), n("/Machine/node12"));
+    }
+
+    #[test]
+    fn suggest_pairs_renamed_modules_and_functions() {
+        // The paper's fig. 3: version A vs version B of the Poisson code.
+        let old = vec![
+            n("/Code/oned.f"),
+            n("/Code/oned.f/main"),
+            n("/Code/exchng1.f"),
+            n("/Code/exchng1.f/exchng1"),
+            n("/Code/sweep.f"),
+            n("/Code/sweep.f/sweep1d"),
+            n("/Code/diff.f"),
+            n("/Code/diff.f/diff"),
+        ];
+        let new = vec![
+            n("/Code/onednb.f"),
+            n("/Code/onednb.f/main"),
+            n("/Code/nbexchng.f"),
+            n("/Code/nbexchng.f/nbexchng1"),
+            n("/Code/nbsweep.f"),
+            n("/Code/nbsweep.f/nbsweep"),
+            n("/Code/diff.f"),
+            n("/Code/diff.f/diff"),
+        ];
+        let m = MappingSet::suggest(&old, &new);
+        // Shared module diff.f needs no mapping.
+        assert_eq!(m.apply_to_name(&n("/Code/diff.f/diff")), n("/Code/diff.f/diff"));
+        assert_eq!(m.apply_to_name(&n("/Code/oned.f")), n("/Code/onednb.f"));
+        // The paper's fig. 3 mapping exactly:
+        // map /Code/exchng1.f/exchng1 /Code/nbexchng.f/nbexchng1
+        assert_eq!(
+            m.apply_to_name(&n("/Code/exchng1.f/exchng1")),
+            n("/Code/nbexchng.f/nbexchng1")
+        );
+        // The function rename sweep1d -> nbsweep is similarity-paired.
+        assert_eq!(
+            m.apply_to_name(&n("/Code/sweep.f/sweep1d")),
+            n("/Code/nbsweep.f/nbsweep")
+        );
+    }
+
+    #[test]
+    fn similarity_sanity() {
+        assert!(similarity("exchng1", "nbexchng1") > 0.7);
+        assert!(similarity("oned.f", "onednb.f") > 0.7);
+        assert!(similarity("alpha", "omega") < 0.5);
+        assert_eq!(similarity("same", "same"), 1.0);
+        assert_eq!(similarity("", "x"), 0.0);
+    }
+}

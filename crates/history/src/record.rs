@@ -1,0 +1,185 @@
+//! Execution records: what one run leaves behind.
+//!
+//! "After each run of the Performance Consultant, we have the search
+//! history graph and the program's resource hierarchies. These results are
+//! used to generate search directives to be used in subsequent runs."
+//! (paper §3.2)
+
+use histpc_consultant::{DiagnosisReport, NodeOutcome, Outcome};
+use histpc_resources::{ResourceName, ResourceSpace};
+use histpc_sim::SimTime;
+
+/// The persisted result of one execution of an application.
+#[derive(Debug, Clone)]
+pub struct ExecutionRecord {
+    /// Application name.
+    pub app_name: String,
+    /// Application version label (e.g. `A`).
+    pub app_version: String,
+    /// Run label (e.g. `a1`).
+    pub label: String,
+    /// All resource names discovered during the run (the flattened
+    /// resource hierarchies).
+    pub resources: Vec<ResourceName>,
+    /// Outcome of every hypothesis/focus pair the search touched.
+    pub outcomes: Vec<NodeOutcome>,
+    /// Thresholds in effect during the run, per hypothesis.
+    pub thresholds_used: Vec<(String, f64)>,
+    /// Application time when the search ended.
+    pub end_time: SimTime,
+    /// Total hypothesis/focus pairs instrumented.
+    pub pairs_tested: usize,
+}
+
+impl ExecutionRecord {
+    /// Builds a record from a finished diagnosis session.
+    pub fn from_report(
+        report: &DiagnosisReport,
+        space: &ResourceSpace,
+        label: &str,
+        thresholds_used: Vec<(String, f64)>,
+    ) -> ExecutionRecord {
+        let mut resources = Vec::new();
+        for h in space.hierarchies() {
+            resources.extend(h.all_names());
+        }
+        ExecutionRecord {
+            app_name: report.app_name.clone(),
+            app_version: report.app_version.clone(),
+            label: label.to_string(),
+            resources,
+            outcomes: report.outcomes.clone(),
+            thresholds_used,
+            end_time: report.end_time,
+            pairs_tested: report.pairs_tested,
+        }
+    }
+
+    /// The true (bottleneck) outcomes.
+    pub fn true_outcomes(&self) -> impl Iterator<Item = &NodeOutcome> {
+        self.outcomes.iter().filter(|o| o.outcome == Outcome::True)
+    }
+
+    /// The false outcomes.
+    pub fn false_outcomes(&self) -> impl Iterator<Item = &NodeOutcome> {
+        self.outcomes.iter().filter(|o| o.outcome == Outcome::False)
+    }
+
+    /// The resources of one hierarchy, e.g. all `/Code/...` names.
+    pub fn resources_in(&self, hierarchy: &str) -> Vec<&ResourceName> {
+        self.resources
+            .iter()
+            .filter(|r| r.hierarchy() == hierarchy)
+            .collect()
+    }
+
+    /// Rebuilds a [`ResourceSpace`] from the recorded resource list.
+    pub fn rebuild_space(&self) -> ResourceSpace {
+        let mut s = ResourceSpace::new();
+        for r in &self.resources {
+            s.add_resource(r).expect("recorded names are valid");
+        }
+        s
+    }
+
+    /// The threshold used for one hypothesis, if recorded.
+    pub fn threshold_used(&self, hypothesis: &str) -> Option<f64> {
+        self.thresholds_used
+            .iter()
+            .find(|(h, _)| h == hypothesis)
+            .map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> (DiagnosisReport, ResourceSpace) {
+        let mut space = ResourceSpace::new();
+        for r in [
+            "/Code/a.c/f",
+            "/Code/b.c/g",
+            "/Machine/n1",
+            "/Process/p1",
+            "/SyncObject/Message/7",
+        ] {
+            space.add_resource(&ResourceName::parse(r).unwrap()).unwrap();
+        }
+        let wp = space.whole_program();
+        let report = DiagnosisReport {
+            app_name: "app".into(),
+            app_version: "1".into(),
+            outcomes: vec![
+                NodeOutcome {
+                    hypothesis: "CPUbound".into(),
+                    focus: wp.clone(),
+                    outcome: Outcome::True,
+                    first_true_at: Some(SimTime::from_secs(3)),
+                    concluded_at: Some(SimTime::from_secs(3)),
+                    last_value: 0.4,
+                },
+                NodeOutcome {
+                    hypothesis: "ExcessiveIOBlockingTime".into(),
+                    focus: wp.clone(),
+                    outcome: Outcome::False,
+                    first_true_at: None,
+                    concluded_at: Some(SimTime::from_secs(3)),
+                    last_value: 0.01,
+                },
+            ],
+            pairs_tested: 7,
+            end_time: SimTime::from_secs(9),
+            peak_cost: 0.04,
+            quiescent: true,
+            shg_rendering: String::new(),
+        };
+        (report, space)
+    }
+
+    #[test]
+    fn from_report_captures_everything() {
+        let (report, space) = sample_report();
+        let rec = ExecutionRecord::from_report(
+            &report,
+            &space,
+            "r1",
+            vec![("CPUbound".into(), 0.2)],
+        );
+        assert_eq!(rec.app_name, "app");
+        assert_eq!(rec.label, "r1");
+        assert_eq!(rec.outcomes.len(), 2);
+        assert_eq!(rec.true_outcomes().count(), 1);
+        assert_eq!(rec.false_outcomes().count(), 1);
+        assert_eq!(rec.pairs_tested, 7);
+        assert_eq!(rec.threshold_used("CPUbound"), Some(0.2));
+        assert_eq!(rec.threshold_used("Other"), None);
+        // Roots + leaves + intermediates all present.
+        assert!(rec
+            .resources
+            .contains(&ResourceName::parse("/Code/a.c/f").unwrap()));
+        assert!(rec
+            .resources
+            .contains(&ResourceName::parse("/Code").unwrap()));
+    }
+
+    #[test]
+    fn rebuild_space_roundtrips() {
+        let (report, space) = sample_report();
+        let rec = ExecutionRecord::from_report(&report, &space, "r1", vec![]);
+        let rebuilt = rec.rebuild_space();
+        assert_eq!(rebuilt.len(), space.len());
+        for r in &rec.resources {
+            assert!(rebuilt.contains(r));
+        }
+    }
+
+    #[test]
+    fn resources_in_filters_by_hierarchy() {
+        let (report, space) = sample_report();
+        let rec = ExecutionRecord::from_report(&report, &space, "r1", vec![]);
+        let code = rec.resources_in("Code");
+        assert!(code.iter().all(|r| r.hierarchy() == "Code"));
+        assert_eq!(code.len(), 5); // root, a.c, f, b.c, g
+    }
+}

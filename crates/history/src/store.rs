@@ -1,0 +1,261 @@
+//! A directory-backed store of execution records.
+//!
+//! This is the "available store of performance data gathered from one or
+//! more previous program runs" of the paper's §6, organized as
+//! `<root>/<application>/<label>.record` text files.
+
+use crate::format::{parse_record, write_record, FormatError};
+use crate::record::ExecutionRecord;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Store errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A record file failed to parse.
+    Format(FormatError),
+    /// No such record.
+    NotFound(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Format(e) => write!(f, "store format error: {e}"),
+            StoreError::NotFound(what) => write!(f, "record not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<FormatError> for StoreError {
+    fn from(e: FormatError) -> Self {
+        StoreError::Format(e)
+    }
+}
+
+/// A multi-execution performance data store rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct ExecutionStore {
+    root: PathBuf,
+}
+
+impl ExecutionStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<ExecutionStore, StoreError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(ExecutionStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn record_path(&self, app: &str, label: &str) -> PathBuf {
+        self.root.join(app).join(format!("{label}.record"))
+    }
+
+    /// Saves a record (overwriting an existing one with the same
+    /// application and label).
+    pub fn save(&self, rec: &ExecutionRecord) -> Result<(), StoreError> {
+        let dir = self.root.join(&rec.app_name);
+        std::fs::create_dir_all(&dir)?;
+        let path = self.record_path(&rec.app_name, &rec.label);
+        std::fs::write(&path, write_record(rec))?;
+        Ok(())
+    }
+
+    /// Loads the record for (application, label).
+    pub fn load(&self, app: &str, label: &str) -> Result<ExecutionRecord, StoreError> {
+        let path = self.record_path(app, label);
+        if !path.exists() {
+            return Err(StoreError::NotFound(format!("{app}/{label}")));
+        }
+        let text = std::fs::read_to_string(&path)?;
+        Ok(parse_record(&text)?)
+    }
+
+    /// The labels of all stored runs of an application, sorted.
+    pub fn labels(&self, app: &str) -> Result<Vec<String>, StoreError> {
+        let dir = self.root.join(app);
+        if !dir.exists() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().to_string();
+            if let Some(label) = name.strip_suffix(".record") {
+                out.push(label.to_string());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// The names of all applications with stored runs, sorted.
+    pub fn applications(&self) -> Result<Vec<String>, StoreError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                out.push(entry.file_name().to_string_lossy().to_string());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Loads every stored run of an application, sorted by label.
+    pub fn load_all(&self, app: &str) -> Result<Vec<ExecutionRecord>, StoreError> {
+        self.labels(app)?
+            .iter()
+            .map(|l| self.load(app, l))
+            .collect()
+    }
+
+    /// Saves a named auxiliary artifact next to a record — e.g. the
+    /// Search History Graph rendering (`ext = "shg"`) or a directive
+    /// file harvested from the run.
+    pub fn save_artifact(
+        &self,
+        app: &str,
+        label: &str,
+        ext: &str,
+        text: &str,
+    ) -> Result<(), StoreError> {
+        let dir = self.root.join(app);
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(dir.join(format!("{label}.{ext}")), text)?;
+        Ok(())
+    }
+
+    /// Loads an auxiliary artifact saved with [`ExecutionStore::save_artifact`].
+    pub fn load_artifact(&self, app: &str, label: &str, ext: &str) -> Result<String, StoreError> {
+        let path = self.root.join(app).join(format!("{label}.{ext}"));
+        if !path.exists() {
+            return Err(StoreError::NotFound(format!("{app}/{label}.{ext}")));
+        }
+        Ok(std::fs::read_to_string(path)?)
+    }
+
+    /// Deletes one record.
+    pub fn delete(&self, app: &str, label: &str) -> Result<(), StoreError> {
+        let path = self.record_path(app, label);
+        if !path.exists() {
+            return Err(StoreError::NotFound(format!("{app}/{label}")));
+        }
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histpc_resources::{Focus, ResourceName, ResourceSpace};
+    use histpc_sim::SimTime;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "histpc-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(app: &str, label: &str) -> ExecutionRecord {
+        let mut space = ResourceSpace::new();
+        space
+            .add_resource(&ResourceName::parse("/Code/a.c/f").unwrap())
+            .unwrap();
+        ExecutionRecord {
+            app_name: app.into(),
+            app_version: "A".into(),
+            label: label.into(),
+            resources: space
+                .hierarchies()
+                .iter()
+                .flat_map(|h| h.all_names())
+                .collect(),
+            outcomes: vec![histpc_consultant::NodeOutcome {
+                hypothesis: "CPUbound".into(),
+                focus: Focus::whole_program(["Code"]),
+                outcome: histpc_consultant::Outcome::True,
+                first_true_at: Some(SimTime(5)),
+                concluded_at: Some(SimTime(5)),
+                last_value: 0.5,
+            }],
+            thresholds_used: vec![],
+            end_time: SimTime(100),
+            pairs_tested: 3,
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let store = ExecutionStore::open(tmpdir("roundtrip")).unwrap();
+        store.save(&rec("poisson", "a1")).unwrap();
+        let loaded = store.load("poisson", "a1").unwrap();
+        assert_eq!(loaded.label, "a1");
+        assert_eq!(loaded.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn labels_and_applications() {
+        let store = ExecutionStore::open(tmpdir("labels")).unwrap();
+        store.save(&rec("poisson", "a2")).unwrap();
+        store.save(&rec("poisson", "a1")).unwrap();
+        store.save(&rec("ocean", "o1")).unwrap();
+        assert_eq!(store.labels("poisson").unwrap(), vec!["a1", "a2"]);
+        assert_eq!(store.labels("nothere").unwrap(), Vec::<String>::new());
+        assert_eq!(store.applications().unwrap(), vec!["ocean", "poisson"]);
+        assert_eq!(store.load_all("poisson").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn missing_record_is_not_found() {
+        let store = ExecutionStore::open(tmpdir("missing")).unwrap();
+        assert!(matches!(
+            store.load("x", "y"),
+            Err(StoreError::NotFound(_))
+        ));
+        assert!(matches!(
+            store.delete("x", "y"),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn delete_removes_record() {
+        let store = ExecutionStore::open(tmpdir("delete")).unwrap();
+        store.save(&rec("poisson", "a1")).unwrap();
+        store.delete("poisson", "a1").unwrap();
+        assert!(store.labels("poisson").unwrap().is_empty());
+    }
+
+    #[test]
+    fn save_overwrites() {
+        let store = ExecutionStore::open(tmpdir("overwrite")).unwrap();
+        store.save(&rec("poisson", "a1")).unwrap();
+        let mut r2 = rec("poisson", "a1");
+        r2.pairs_tested = 99;
+        store.save(&r2).unwrap();
+        assert_eq!(store.load("poisson", "a1").unwrap().pairs_tested, 99);
+        assert_eq!(store.labels("poisson").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Property-based tests for directive algebra, mapping, and the record
+//! format.
+
+use histpc_consultant::{
+    NodeOutcome, Outcome, PriorityDirective, PriorityLevel, SearchDirectives,
+};
+use histpc_history::{format, intersect, union, ExecutionRecord, MappingSet};
+use histpc_resources::{Focus, ResourceName};
+use histpc_sim::SimTime;
+use proptest::prelude::*;
+
+fn segment() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_.:-]{0,8}".prop_map(|s| s)
+}
+
+fn focus_strategy() -> impl Strategy<Value = Focus> {
+    (prop::option::of(segment()), prop::option::of(segment())).prop_map(|(code, proc_)| {
+        let mut f = Focus::whole_program(["Code", "Machine", "Process", "SyncObject"]);
+        if let Some(c) = code {
+            f = f.with_selection(ResourceName::new(["Code".to_string(), c]).unwrap());
+        }
+        if let Some(p) = proc_ {
+            f = f.with_selection(ResourceName::new(["Process".to_string(), p]).unwrap());
+        }
+        f
+    })
+}
+
+fn level() -> impl Strategy<Value = PriorityLevel> {
+    prop_oneof![Just(PriorityLevel::High), Just(PriorityLevel::Low)]
+}
+
+fn hypothesis() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("CPUbound".to_string()),
+        Just("ExcessiveSyncWaitingTime".to_string()),
+    ]
+}
+
+fn directives() -> impl Strategy<Value = SearchDirectives> {
+    prop::collection::vec((hypothesis(), focus_strategy(), level()), 0..12).prop_map(|ps| {
+        let mut d = SearchDirectives::none();
+        for (h, f, l) in ps {
+            d.add_priority(PriorityDirective {
+                hypothesis: h,
+                focus: f,
+                level: l,
+            });
+        }
+        d
+    })
+}
+
+proptest! {
+    /// Directive files survive a text round trip exactly.
+    #[test]
+    fn directive_text_roundtrip(d in directives()) {
+        let text = d.to_text();
+        let parsed = SearchDirectives::parse(&text).unwrap();
+        prop_assert_eq!(parsed.priorities, d.priorities);
+    }
+
+    /// A∩B only keeps pairs both agree on; every kept pair exists in A∪B
+    /// at an equal-or-promoted level.
+    #[test]
+    fn intersection_subset_of_union(a in directives(), b in directives()) {
+        let i = intersect(&a, &b);
+        let u = union(&a, &b);
+        prop_assert!(i.priorities.len() <= u.priorities.len());
+        for p in &i.priorities {
+            let la = a.priority_of(&p.hypothesis, &p.focus);
+            let lb = b.priority_of(&p.hypothesis, &p.focus);
+            prop_assert_eq!(la, lb);
+            prop_assert_eq!(la, p.level);
+            let lu = u.priority_of(&p.hypothesis, &p.focus);
+            // High stays High; Low may be promoted by the other set.
+            if p.level == PriorityLevel::High {
+                prop_assert_eq!(lu, PriorityLevel::High);
+            } else {
+                prop_assert_ne!(lu, PriorityLevel::Medium);
+            }
+        }
+    }
+
+    /// Union is symmetric in the pairs it covers.
+    #[test]
+    fn union_is_symmetric_in_coverage(a in directives(), b in directives()) {
+        let u1 = union(&a, &b);
+        let u2 = union(&b, &a);
+        let mut k1: Vec<String> = u1.priorities.iter()
+            .map(|p| format!("{} {} {:?}", p.hypothesis, p.focus, p.level)).collect();
+        let mut k2: Vec<String> = u2.priorities.iter()
+            .map(|p| format!("{} {} {:?}", p.hypothesis, p.focus, p.level)).collect();
+        k1.sort();
+        k2.sort();
+        prop_assert_eq!(k1, k2);
+    }
+
+    /// High in either input implies High in the union (the paper's rule).
+    #[test]
+    fn union_high_dominates(a in directives(), b in directives()) {
+        let u = union(&a, &b);
+        for p in a.priorities.iter().chain(&b.priorities) {
+            if p.level == PriorityLevel::High {
+                prop_assert_eq!(
+                    u.priority_of(&p.hypothesis, &p.focus),
+                    PriorityLevel::High
+                );
+            }
+        }
+    }
+
+    /// Applying a mapping never panics and leaves non-matching names
+    /// unchanged.
+    #[test]
+    fn mapping_application_is_total(
+        names in prop::collection::vec(
+            prop::collection::vec(segment(), 1..=3), 1..8),
+        from in segment(),
+        to in segment(),
+    ) {
+        let mut m = MappingSet::new();
+        m.add(
+            ResourceName::new(["Code".to_string(), from.clone()]).unwrap(),
+            ResourceName::new(["Code".to_string(), to]).unwrap(),
+        );
+        for tail in names {
+            let mut segs = vec!["Code".to_string()];
+            segs.extend(tail);
+            let name = ResourceName::new(segs).unwrap();
+            let mapped = m.apply_to_name(&name);
+            prop_assert_eq!(mapped.hierarchy(), "Code");
+            if name.segments().get(1) != Some(&from) {
+                prop_assert_eq!(mapped, name);
+            }
+        }
+    }
+
+    /// Mapping files round-trip through text.
+    #[test]
+    fn mapping_text_roundtrip(pairs in prop::collection::vec((segment(), segment()), 0..8)) {
+        let mut m = MappingSet::new();
+        for (a, b) in pairs {
+            m.add(
+                ResourceName::new(["Code".to_string(), a]).unwrap(),
+                ResourceName::new(["Code".to_string(), b]).unwrap(),
+            );
+        }
+        let parsed = MappingSet::parse(&m.to_text()).unwrap();
+        prop_assert_eq!(parsed, m);
+    }
+
+    /// Execution records round-trip through the text format.
+    #[test]
+    fn record_format_roundtrip(
+        outcomes in prop::collection::vec(
+            (hypothesis(), focus_strategy(), 0u8..4, 0.0f64..1.0, prop::option::of(0u64..10_000_000)),
+            0..10),
+        end in 0u64..100_000_000,
+        pairs in 0usize..1000,
+    ) {
+        let rec = ExecutionRecord {
+            app_name: "app".into(),
+            app_version: "V".into(),
+            label: "r1".into(),
+            resources: vec![ResourceName::parse("/Code/a.c/f").unwrap()],
+            outcomes: outcomes
+                .into_iter()
+                .map(|(h, f, o, v, t)| {
+                    let outcome = match o {
+                        0 => Outcome::True,
+                        1 => Outcome::False,
+                        2 => Outcome::Pruned,
+                        _ => Outcome::Untested,
+                    };
+                    NodeOutcome {
+                        hypothesis: h,
+                        focus: f,
+                        outcome,
+                        first_true_at: if outcome == Outcome::True {
+                            t.map(SimTime)
+                        } else {
+                            None
+                        },
+                        concluded_at: t.map(SimTime),
+                        last_value: v,
+                    }
+                })
+                .collect(),
+            thresholds_used: vec![("CPUbound".into(), 0.2)],
+            end_time: SimTime(end),
+            pairs_tested: pairs,
+        };
+        let text = format::write_record(&rec);
+        let parsed = format::parse_record(&text).unwrap();
+        prop_assert_eq!(parsed.outcomes.len(), rec.outcomes.len());
+        for (x, y) in parsed.outcomes.iter().zip(&rec.outcomes) {
+            prop_assert_eq!(&x.hypothesis, &y.hypothesis);
+            prop_assert_eq!(&x.focus, &y.focus);
+            prop_assert_eq!(x.outcome, y.outcome);
+            prop_assert_eq!(x.first_true_at, y.first_true_at);
+            prop_assert_eq!(x.concluded_at, y.concluded_at);
+        }
+        prop_assert_eq!(parsed.end_time, rec.end_time);
+        prop_assert_eq!(parsed.pairs_tested, rec.pairs_tested);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parsers_never_panic(text in ".{0,200}") {
+        let _ = SearchDirectives::parse(&text);
+        let _ = MappingSet::parse(&text);
+        let _ = format::parse_record(&text);
+    }
+}

@@ -1,0 +1,437 @@
+//! Binding between simulator identifiers and resource names.
+//!
+//! The engine speaks in small ids (`ProcId`, `FuncId`, `TagId`); the
+//! Performance Consultant speaks in resource names and foci. The
+//! [`Binder`] builds the resource hierarchies for an application and
+//! compiles a [`Focus`] into a fast interval predicate.
+
+use histpc_resources::{Focus, ResourceName, ResourceSpace, CODE, MACHINE, PROCESS, SYNC_OBJECT};
+use histpc_sim::{AppSpec, FuncId, Interval, ProcId, TagId};
+
+/// Selection along the Code hierarchy, compiled for fast matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CodeSel {
+    /// Hierarchy root: everything matches.
+    All,
+    /// A module: functions in that module match.
+    Module(u16),
+    /// A single function.
+    Func(u16),
+    /// The selection names no known resource: nothing matches.
+    Nothing,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MachineSel {
+    All,
+    Node(u16),
+    Nothing,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcSel {
+    All,
+    Proc(u16),
+    Nothing,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SyncSel {
+    /// Root: every interval matches (unconstrained view).
+    All,
+    /// `/SyncObject/Message`: intervals with any message tag.
+    AnyMessage,
+    /// A specific message tag.
+    Tag(u16),
+    Nothing,
+}
+
+/// A focus compiled against one application's id tables.
+#[derive(Debug, Clone)]
+pub struct CompiledFocus {
+    code: CodeSel,
+    machine: MachineSel,
+    process: ProcSel,
+    sync: SyncSel,
+    /// Processes selected by the machine+process constraints.
+    procs: Vec<ProcId>,
+}
+
+impl CompiledFocus {
+    /// True if interval `iv` (from process `iv.proc` on its node) falls
+    /// within this focus.
+    pub fn matches(&self, iv: &Interval, binder: &Binder) -> bool {
+        self.matches_parts(iv.proc, iv.func, iv.tag, binder)
+    }
+
+    /// True if an activity attributed to (`proc`, `func`, `tag`) falls
+    /// within this focus. Used both for online intervals and postmortem
+    /// totals keys.
+    pub fn matches_parts(
+        &self,
+        proc: histpc_sim::ProcId,
+        func: histpc_sim::FuncId,
+        tag: Option<TagId>,
+        binder: &Binder,
+    ) -> bool {
+        match self.process {
+            ProcSel::All => {}
+            ProcSel::Proc(p) => {
+                if proc.0 != p {
+                    return false;
+                }
+            }
+            ProcSel::Nothing => return false,
+        }
+        match self.machine {
+            MachineSel::All => {}
+            MachineSel::Node(n) => {
+                if binder.app().node_of(proc) != n as usize {
+                    return false;
+                }
+            }
+            MachineSel::Nothing => return false,
+        }
+        match self.code {
+            CodeSel::All => {}
+            CodeSel::Module(m) => {
+                if binder.module_of(func) != Some(m) {
+                    return false;
+                }
+            }
+            CodeSel::Func(f) => {
+                if func.0 != f {
+                    return false;
+                }
+            }
+            CodeSel::Nothing => return false,
+        }
+        match self.sync {
+            SyncSel::All => true,
+            SyncSel::AnyMessage => tag.is_some(),
+            SyncSel::Tag(t) => tag == Some(TagId(t)),
+            SyncSel::Nothing => false,
+        }
+    }
+
+    /// Matches an activity that carries no code attribution (postmortem
+    /// per-tag message totals): requires the code selection to be the
+    /// unconstrained root, then checks process/machine/sync.
+    pub fn matches_code_free(
+        &self,
+        proc: histpc_sim::ProcId,
+        tag: Option<TagId>,
+        binder: &Binder,
+    ) -> bool {
+        matches!(self.code, CodeSel::All)
+            && self.matches_parts(proc, histpc_sim::FuncId(0), tag, binder)
+    }
+
+    /// The processes selected by the machine and process constraints.
+    /// Used to normalize time metrics ("fraction of total execution time"
+    /// divides by the number of processes under observation).
+    pub fn procs(&self) -> &[ProcId] {
+        &self.procs
+    }
+
+    /// True if the code selection names a single function (the narrowest
+    /// code constraint; used by the cost model).
+    pub fn is_single_function(&self) -> bool {
+        matches!(self.code, CodeSel::Func(_))
+    }
+
+    /// True if the code selection is a module.
+    pub fn is_module(&self) -> bool {
+        matches!(self.code, CodeSel::Module(_))
+    }
+
+    /// True if constrained to message events only.
+    pub fn is_message_constrained(&self) -> bool {
+        matches!(self.sync, SyncSel::AnyMessage | SyncSel::Tag(_))
+    }
+}
+
+/// Name tables binding an [`AppSpec`] to resource hierarchies.
+#[derive(Debug, Clone)]
+pub struct Binder {
+    app: AppSpec,
+    /// FuncId -> module index.
+    module_of_func: Vec<u16>,
+}
+
+impl Binder {
+    /// Builds the binder for an application.
+    pub fn new(app: AppSpec) -> Binder {
+        let mut module_of_func = Vec::with_capacity(app.function_count());
+        for (mi, m) in app.modules.iter().enumerate() {
+            for _ in &m.functions {
+                module_of_func.push(mi as u16);
+            }
+        }
+        Binder {
+            app,
+            module_of_func,
+        }
+    }
+
+    /// The bound application.
+    pub fn app(&self) -> &AppSpec {
+        &self.app
+    }
+
+    /// The module index a function belongs to.
+    pub fn module_of(&self, f: FuncId) -> Option<u16> {
+        self.module_of_func.get(f.0 as usize).copied()
+    }
+
+    /// Builds the initial resource space: Code, Machine and Process fully
+    /// populated from the spec; SyncObject holding only `/SyncObject` and
+    /// `/SyncObject/Message` (tags are discovered dynamically at run
+    /// time, as in Paradyn).
+    pub fn build_space(&self) -> ResourceSpace {
+        let mut s = ResourceSpace::new();
+        s.add_hierarchy(CODE).expect("fresh space");
+        s.add_hierarchy(MACHINE).expect("fresh space");
+        s.add_hierarchy(PROCESS).expect("fresh space");
+        s.add_hierarchy(SYNC_OBJECT).expect("fresh space");
+        for (mi, m) in self.app.modules.iter().enumerate() {
+            let _ = mi;
+            for f in &m.functions {
+                s.add_resource(&self.code_name(&m.name, f))
+                    .expect("valid code resource");
+            }
+        }
+        for n in &self.app.nodes {
+            s.add_resource(&Self::machine_name(n))
+                .expect("valid machine resource");
+        }
+        for p in &self.app.processes {
+            s.add_resource(&Self::process_name(p))
+                .expect("valid process resource");
+        }
+        s.add_resource(&ResourceName::new([SYNC_OBJECT, "Message"]).expect("valid"))
+            .expect("valid sync resource");
+        s
+    }
+
+    fn code_name(&self, module: &str, func: &str) -> ResourceName {
+        ResourceName::new([CODE, module, func]).expect("spec names are valid segments")
+    }
+
+    /// `/Machine/<node>`.
+    pub fn machine_name(node: &str) -> ResourceName {
+        ResourceName::new([MACHINE, node]).expect("valid node name")
+    }
+
+    /// `/Process/<proc>`.
+    pub fn process_name(proc: &str) -> ResourceName {
+        ResourceName::new([PROCESS, proc]).expect("valid process name")
+    }
+
+    /// `/SyncObject/Message/<tag>` for a tag id.
+    pub fn tag_name(&self, tag: TagId) -> ResourceName {
+        let label = self
+            .app
+            .tag_label(tag)
+            .unwrap_or("unknown");
+        ResourceName::new([SYNC_OBJECT, "Message", label]).expect("valid tag label")
+    }
+
+    /// Compiles a focus against this application. Selections naming
+    /// unknown resources compile to "match nothing" (the pair simply
+    /// collects no data), mirroring instrumenting a stale resource.
+    pub fn compile(&self, focus: &Focus) -> CompiledFocus {
+        let code = match focus.selection(CODE) {
+            None => CodeSel::All,
+            Some(sel) => match sel.segments() {
+                [_] => CodeSel::All,
+                [_, module] => {
+                    match self.app.modules.iter().position(|m| &m.name == module) {
+                        Some(mi) => CodeSel::Module(mi as u16),
+                        None => CodeSel::Nothing,
+                    }
+                }
+                [_, module, func] => match self.app.func_id(module, func) {
+                    Some(f) => CodeSel::Func(f.0),
+                    None => CodeSel::Nothing,
+                },
+                _ => CodeSel::Nothing,
+            },
+        };
+        let machine = match focus.selection(MACHINE) {
+            None => MachineSel::All,
+            Some(sel) => match sel.segments() {
+                [_] => MachineSel::All,
+                [_, node] => match self.app.nodes.iter().position(|n| n == node) {
+                    Some(ni) => MachineSel::Node(ni as u16),
+                    None => MachineSel::Nothing,
+                },
+                _ => MachineSel::Nothing,
+            },
+        };
+        let process = match focus.selection(PROCESS) {
+            None => ProcSel::All,
+            Some(sel) => match sel.segments() {
+                [_] => ProcSel::All,
+                [_, proc] => match self.app.processes.iter().position(|p| p == proc) {
+                    Some(pi) => ProcSel::Proc(pi as u16),
+                    None => ProcSel::Nothing,
+                },
+                _ => ProcSel::Nothing,
+            },
+        };
+        let sync = match focus.selection(SYNC_OBJECT) {
+            None => SyncSel::All,
+            Some(sel) => match sel.segments() {
+                [_] => SyncSel::All,
+                [_, kind] if kind == "Message" => SyncSel::AnyMessage,
+                [_, kind, tag] if kind == "Message" => match self.app.tag_id(tag) {
+                    Some(t) => SyncSel::Tag(t.0),
+                    None => SyncSel::Nothing,
+                },
+                _ => SyncSel::Nothing,
+            },
+        };
+        let procs = (0..self.app.process_count() as u16)
+            .map(ProcId)
+            .filter(|p| {
+                (match process {
+                    ProcSel::All => true,
+                    ProcSel::Proc(q) => p.0 == q,
+                    ProcSel::Nothing => false,
+                }) && (match machine {
+                    MachineSel::All => true,
+                    MachineSel::Node(n) => self.app.node_of(*p) == n as usize,
+                    MachineSel::Nothing => false,
+                })
+            })
+            .collect();
+        CompiledFocus {
+            code,
+            machine,
+            process,
+            sync,
+            procs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histpc_sim::workloads::{PoissonVersion, PoissonWorkload, Workload};
+    use histpc_sim::{ActivityKind, SimTime};
+
+    fn binder() -> Binder {
+        Binder::new(PoissonWorkload::new(PoissonVersion::A).app_spec())
+    }
+
+    fn focus(space: &ResourceSpace, sels: &[&str]) -> Focus {
+        let mut f = space.whole_program();
+        for s in sels {
+            f = f.with_selection(ResourceName::parse(s).unwrap());
+        }
+        f
+    }
+
+    fn iv(binder: &Binder, func: &str, module: &str, proc: u16, tag: Option<&str>) -> Interval {
+        Interval {
+            proc: ProcId(proc),
+            func: binder.app().func_id(module, func).unwrap(),
+            kind: ActivityKind::SyncWait,
+            tag: tag.map(|t| binder.app().tag_id(t).unwrap()),
+            start: SimTime(0),
+            end: SimTime(100),
+            bytes: 8,
+        }
+    }
+
+    #[test]
+    fn space_has_all_hierarchies() {
+        let b = binder();
+        let s = b.build_space();
+        assert!(s.contains(&ResourceName::parse("/Code/exchng1.f/exchng1").unwrap()));
+        assert!(s.contains(&ResourceName::parse("/Machine/node01").unwrap()));
+        assert!(s.contains(&ResourceName::parse("/Process/poisson:3").unwrap()));
+        assert!(s.contains(&ResourceName::parse("/SyncObject/Message").unwrap()));
+        // Tags are NOT pre-registered: discovered dynamically.
+        assert!(!s.contains(&ResourceName::parse("/SyncObject/Message/3_0").unwrap()));
+    }
+
+    #[test]
+    fn whole_program_matches_everything() {
+        let b = binder();
+        let s = b.build_space();
+        let c = b.compile(&s.whole_program());
+        assert!(c.matches(&iv(&b, "exchng1", "exchng1.f", 2, Some("3_0")), &b));
+        assert!(c.matches(&iv(&b, "main", "oned.f", 0, None), &b));
+        assert_eq!(c.procs().len(), 4);
+    }
+
+    #[test]
+    fn code_selection_filters_module_and_function() {
+        let b = binder();
+        let s = b.build_space();
+        let module = b.compile(&focus(&s, &["/Code/exchng1.f"]));
+        assert!(module.matches(&iv(&b, "exchng1", "exchng1.f", 0, None), &b));
+        assert!(!module.matches(&iv(&b, "main", "oned.f", 0, None), &b));
+        let func = b.compile(&focus(&s, &["/Code/oned.f/main"]));
+        assert!(func.matches(&iv(&b, "main", "oned.f", 1, None), &b));
+        assert!(!func.matches(&iv(&b, "diff", "diff.f", 1, None), &b));
+        assert!(func.is_single_function());
+        assert!(module.is_module());
+    }
+
+    #[test]
+    fn process_and_machine_selections_agree() {
+        let b = binder();
+        let s = b.build_space();
+        let p2 = b.compile(&focus(&s, &["/Process/poisson:3"]));
+        assert!(p2.matches(&iv(&b, "main", "oned.f", 2, None), &b));
+        assert!(!p2.matches(&iv(&b, "main", "oned.f", 1, None), &b));
+        assert_eq!(p2.procs(), &[ProcId(2)]);
+
+        let n2 = b.compile(&focus(&s, &["/Machine/node03"]));
+        // One process per node in MPI-1: node03 hosts rank 2.
+        assert_eq!(n2.procs(), &[ProcId(2)]);
+
+        // Contradictory machine+process selections yield no processes.
+        let cross = b.compile(&focus(
+            &s,
+            &["/Machine/node03", "/Process/poisson:1"],
+        ));
+        assert!(cross.procs().is_empty());
+        assert!(!cross.matches(&iv(&b, "main", "oned.f", 2, None), &b));
+    }
+
+    #[test]
+    fn sync_selection_filters_tags() {
+        let b = binder();
+        let s = b.build_space();
+        let any = b.compile(&focus(&s, &["/SyncObject/Message"]));
+        assert!(any.matches(&iv(&b, "exchng1", "exchng1.f", 0, Some("3_0")), &b));
+        assert!(!any.matches(&iv(&b, "exchng1", "exchng1.f", 0, None), &b));
+        assert!(any.is_message_constrained());
+
+        let t = b.compile(&focus(&s, &["/SyncObject/Message/3_1"]));
+        assert!(t.matches(&iv(&b, "exchng1", "exchng1.f", 0, Some("3_1")), &b));
+        assert!(!t.matches(&iv(&b, "exchng1", "exchng1.f", 0, Some("3_0")), &b));
+    }
+
+    #[test]
+    fn unknown_resources_match_nothing() {
+        let b = binder();
+        let s = b.build_space();
+        let c = b.compile(&focus(&s, &["/Code/nbexchng.f"])); // a version-B module
+        assert!(!c.matches(&iv(&b, "exchng1", "exchng1.f", 0, None), &b));
+    }
+
+    #[test]
+    fn tag_name_formats() {
+        let b = binder();
+        assert_eq!(
+            b.tag_name(TagId(0)).to_string(),
+            "/SyncObject/Message/3_0"
+        );
+    }
+}

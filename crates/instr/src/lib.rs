@@ -1,0 +1,40 @@
+//! `histpc-instr`: the dynamic-instrumentation layer.
+//!
+//! Paradyn inserts and deletes measurement instrumentation *while the
+//! program runs*; the Performance Consultant's behaviour — and everything
+//! the paper improves — is shaped by the economics of that mechanism:
+//!
+//! * data for a (metric, focus) pair exists **only while the pair is
+//!   instrumented** — there is no retroactive data;
+//! * inserting instrumentation takes real time (the paper §4.1: "the
+//!   starting timestamp is determined by the instant of the
+//!   instrumentation request, plus the time required to actually insert
+//!   the instrumentation");
+//! * every active pair **perturbs** the application, and total
+//!   instrumentation cost is continuously monitored so the search can be
+//!   throttled (paper §2).
+//!
+//! This crate reproduces those mechanics over the `histpc-sim` engine:
+//! [`Collector`] manages metric-focus pairs, clips observed intervals to
+//! their enablement windows, folds values into Paradyn-style time
+//! histograms, models perturbation cost, and exposes per-process slowdown
+//! factors that the driver feeds back into the engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binder;
+pub mod collector;
+pub mod cost;
+pub mod delta;
+pub mod histogram;
+pub mod metric;
+pub mod pair;
+pub mod postmortem;
+
+pub use binder::Binder;
+pub use collector::{Collector, CollectorConfig, PairId};
+pub use cost::{CostConfig, CostModel};
+pub use histogram::TimeHistogram;
+pub use metric::Metric;
+pub use postmortem::PostmortemData;

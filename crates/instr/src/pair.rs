@@ -1,0 +1,252 @@
+//! Metric-focus pairs: the unit of dynamic instrumentation.
+//!
+//! A pair is requested at some time, becomes active after the insertion
+//! delay, observes only what happens while it is active, and can be
+//! deleted. Its data lives in a [`TimeHistogram`].
+
+use crate::binder::{Binder, CompiledFocus};
+use crate::histogram::TimeHistogram;
+use crate::metric::Metric;
+use histpc_resources::Focus;
+use histpc_sim::{Interval, SimTime};
+
+/// One instrumented (metric, focus) pair.
+#[derive(Debug, Clone)]
+pub struct Pair {
+    /// The measured metric.
+    pub metric: Metric,
+    /// The focus, in resource-name form.
+    pub focus: Focus,
+    /// The focus compiled against the application.
+    pub compiled: CompiledFocus,
+    /// When instrumentation was requested.
+    pub requested_at: SimTime,
+    /// When instrumentation became active (request + insertion delay).
+    pub active_from: SimTime,
+    /// When instrumentation was deleted, if it has been.
+    pub disabled_at: Option<SimTime>,
+    hist: TimeHistogram,
+}
+
+impl Pair {
+    /// Creates a pair whose instrumentation activates at `active_from`.
+    pub fn new(
+        metric: Metric,
+        focus: Focus,
+        compiled: CompiledFocus,
+        requested_at: SimTime,
+        active_from: SimTime,
+        hist: TimeHistogram,
+    ) -> Pair {
+        Pair {
+            metric,
+            focus,
+            compiled,
+            requested_at,
+            active_from,
+            disabled_at: None,
+            hist,
+        }
+    }
+
+    /// True while the pair's instrumentation is in place at time `t`.
+    pub fn is_active_at(&self, t: SimTime) -> bool {
+        t >= self.active_from && self.disabled_at.is_none_or(|d| t < d)
+    }
+
+    /// True if the pair has not been deleted.
+    pub fn is_live(&self) -> bool {
+        self.disabled_at.is_none()
+    }
+
+    /// Folds one interval into the pair's data if it matches the focus,
+    /// clipped to the pair's enablement window — dynamic instrumentation
+    /// cannot see the past, nor anything after its deletion.
+    pub fn observe(&mut self, iv: &Interval, binder: &Binder) {
+        if !self.compiled.matches(iv, binder) {
+            return;
+        }
+        let from = iv.start.max(self.active_from);
+        let to = match self.disabled_at {
+            Some(d) => iv.end.min(d),
+            None => iv.end,
+        };
+        if to <= from {
+            return;
+        }
+        let full = self.metric.extract(iv);
+        if full == 0.0 {
+            return;
+        }
+        // Clip proportionally: a half-covered interval contributes half
+        // its value (time metrics exactly; event metrics approximately).
+        let frac = (to - from).as_secs_f64() / iv.duration().as_secs_f64().max(1e-12);
+        self.hist.add(from, to, full * frac.min(1.0));
+    }
+
+    /// Folds an aggregated delta into the pair's data, clipped to the
+    /// enablement window (value scaled by the covered fraction of the
+    /// delta's span).
+    pub fn observe_delta(&mut self, d: &crate::delta::Delta, binder: &Binder) {
+        if !self.compiled.matches_parts(d.proc, d.func, d.tag, binder) {
+            return;
+        }
+        let from = d.start.max(self.active_from);
+        let to = match self.disabled_at {
+            Some(dis) => d.end.min(dis),
+            None => d.end,
+        };
+        if to <= from {
+            return;
+        }
+        let full = match self.metric {
+            Metric::CpuTime => {
+                if d.kind == histpc_sim::ActivityKind::Cpu {
+                    d.seconds
+                } else {
+                    0.0
+                }
+            }
+            Metric::SyncWaitTime => {
+                if d.kind == histpc_sim::ActivityKind::SyncWait {
+                    d.seconds
+                } else {
+                    0.0
+                }
+            }
+            Metric::MsgWaitTime => {
+                if d.kind == histpc_sim::ActivityKind::SyncWait && d.tag.is_some() {
+                    d.seconds
+                } else {
+                    0.0
+                }
+            }
+            Metric::BarrierWaitTime => {
+                if d.kind == histpc_sim::ActivityKind::SyncWait && d.tag.is_none() {
+                    d.seconds
+                } else {
+                    0.0
+                }
+            }
+            Metric::IoWaitTime => {
+                if d.kind == histpc_sim::ActivityKind::IoWait {
+                    d.seconds
+                } else {
+                    0.0
+                }
+            }
+            Metric::MsgCount => d.msgs as f64,
+            Metric::MsgBytes => d.bytes as f64,
+        };
+        if full == 0.0 {
+            return;
+        }
+        let span = (d.end - d.start).as_secs_f64().max(1e-12);
+        let frac = ((to - from).as_secs_f64() / span).min(1.0);
+        self.hist.add(from, to, full * frac);
+    }
+
+    /// The metric value accumulated in `[from, to)` (clipped to the
+    /// enablement window implicitly, since no data exists outside it).
+    pub fn value(&self, from: SimTime, to: SimTime) -> f64 {
+        self.hist.sum(from, to)
+    }
+
+    /// Total value accumulated over the pair's lifetime.
+    pub fn total(&self) -> f64 {
+        self.hist.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::Binder;
+    use histpc_sim::workloads::{PoissonVersion, PoissonWorkload, Workload};
+    use histpc_sim::{ActivityKind, FuncId, ProcId, SimDuration};
+
+    fn setup() -> (Binder, Pair) {
+        let b = Binder::new(PoissonWorkload::new(PoissonVersion::A).app_spec());
+        let space = b.build_space();
+        let focus = space.whole_program();
+        let compiled = b.compile(&focus);
+        let pair = Pair::new(
+            Metric::CpuTime,
+            focus,
+            compiled,
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+            TimeHistogram::new(64, SimDuration::from_millis(100)),
+        );
+        (b, pair)
+    }
+
+    fn cpu_iv(start_ms: u64, end_ms: u64) -> Interval {
+        Interval {
+            proc: ProcId(0),
+            func: FuncId(0),
+            kind: ActivityKind::Cpu,
+            tag: None,
+            start: SimTime::from_millis(start_ms),
+            end: SimTime::from_millis(end_ms),
+            bytes: 0,
+        }
+    }
+
+    #[test]
+    fn activation_window() {
+        let (_, mut p) = setup();
+        assert!(!p.is_active_at(SimTime::from_millis(50)));
+        assert!(p.is_active_at(SimTime::from_millis(100)));
+        p.disabled_at = Some(SimTime::from_millis(500));
+        assert!(p.is_active_at(SimTime::from_millis(499)));
+        assert!(!p.is_active_at(SimTime::from_millis(500)));
+        assert!(!p.is_live());
+    }
+
+    #[test]
+    fn observes_nothing_before_activation() {
+        let (b, mut p) = setup();
+        p.observe(&cpu_iv(0, 100), &b);
+        assert_eq!(p.total(), 0.0);
+    }
+
+    #[test]
+    fn clips_partially_covered_intervals() {
+        let (b, mut p) = setup();
+        // Active from 100ms; interval covers 50..150ms -> half observed.
+        p.observe(&cpu_iv(50, 150), &b);
+        assert!((p.total() - 0.05).abs() < 1e-9, "got {}", p.total());
+    }
+
+    #[test]
+    fn clips_after_deletion() {
+        let (b, mut p) = setup();
+        p.disabled_at = Some(SimTime::from_millis(200));
+        p.observe(&cpu_iv(150, 250), &b);
+        assert!((p.total() - 0.05).abs() < 1e-9);
+        // Entirely after deletion: nothing.
+        p.observe(&cpu_iv(300, 400), &b);
+        assert!((p.total() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_windows_query_the_histogram() {
+        let (b, mut p) = setup();
+        p.observe(&cpu_iv(100, 300), &b);
+        let v = p.value(SimTime::from_millis(100), SimTime::from_millis(200));
+        assert!((v - 0.1).abs() < 1e-9, "got {v}");
+        let all = p.value(SimTime::ZERO, SimTime::from_secs(10));
+        assert!((all - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_matching_intervals_ignored() {
+        let (b, mut p) = setup();
+        // SyncWait does not feed CpuTime.
+        let mut iv = cpu_iv(100, 200);
+        iv.kind = ActivityKind::SyncWait;
+        p.observe(&iv, &b);
+        assert_eq!(p.total(), 0.0);
+    }
+}

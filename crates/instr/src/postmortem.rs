@@ -1,0 +1,287 @@
+//! Postmortem, full-resolution metric evaluation.
+//!
+//! The paper's future-work section describes extracting search directives
+//! "where results in the form of a Search History Graph from a previous PC
+//! run are not available, but we do have the raw data needed to test
+//! hypotheses postmortem". [`PostmortemData`] is that raw-data path: it
+//! evaluates any (metric, focus) against the full-resolution trace totals
+//! of a completed (or partially completed) run. It is also how the
+//! benchmark harness establishes the ground-truth "100% of true
+//! bottlenecks" set for Table 1.
+
+use crate::binder::Binder;
+use crate::metric::Metric;
+use histpc_resources::{Focus, ResourceSpace};
+use histpc_sim::{ActivityKind, AppSpec, FuncId, ProcId, SimTime, TagId, TraceAccumulator};
+
+/// One aggregated trace entry.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    proc: ProcId,
+    func: FuncId,
+    kind: ActivityKind,
+    tag: Option<TagId>,
+    seconds: f64,
+}
+
+/// Ground-truth metric data for a completed run.
+#[derive(Debug, Clone)]
+pub struct PostmortemData {
+    binder: Binder,
+    space: ResourceSpace,
+    entries: Vec<Entry>,
+    msgs: Vec<(ProcId, TagId, u64, u64)>,
+    end_time: SimTime,
+}
+
+impl PostmortemData {
+    /// Captures the ground truth of a run from the engine's accumulator.
+    pub fn from_totals(app: AppSpec, totals: &TraceAccumulator) -> PostmortemData {
+        let binder = Binder::new(app.clone());
+        let mut space = binder.build_space();
+        let mut entries = Vec::new();
+        let mut seen_tags = vec![false; app.tags.len()];
+        for (key, dur) in totals.iter() {
+            entries.push(Entry {
+                proc: key.proc,
+                func: key.func,
+                kind: key.kind,
+                tag: key.tag,
+                seconds: dur.as_secs_f64(),
+            });
+            if let Some(tag) = key.tag {
+                let idx = tag.0 as usize;
+                if idx < seen_tags.len() && !seen_tags[idx] {
+                    seen_tags[idx] = true;
+                    space
+                        .add_resource(&binder.tag_name(tag))
+                        .expect("valid tag resource");
+                }
+            }
+        }
+        let mut msgs = Vec::new();
+        for (t, &seen) in seen_tags.iter().enumerate() {
+            if !seen {
+                continue;
+            }
+            for p in 0..app.process_count() {
+                let proc = ProcId(p as u16);
+                let tag = TagId(t as u16);
+                let count = totals.msg_count(proc, tag);
+                if count > 0 {
+                    msgs.push((proc, tag, count, totals.msg_byte_total(proc, tag)));
+                }
+            }
+        }
+        PostmortemData {
+            binder,
+            space,
+            entries,
+            msgs,
+            end_time: totals.end_time(),
+        }
+    }
+
+    /// The full resource space observed by the run (all tags included).
+    pub fn space(&self) -> &ResourceSpace {
+        &self.space
+    }
+
+    /// The application's binder.
+    pub fn binder(&self) -> &Binder {
+        &self.binder
+    }
+
+    /// The run's wall-clock end (per-process max).
+    pub fn end_time(&self) -> SimTime {
+        self.end_time
+    }
+
+    /// Evaluates a metric over a focus for the whole run: seconds for
+    /// time metrics, counts/bytes for event metrics.
+    pub fn value(&self, metric: Metric, focus: &Focus) -> f64 {
+        let compiled = self.binder.compile(focus);
+        match metric {
+            Metric::CpuTime
+            | Metric::SyncWaitTime
+            | Metric::MsgWaitTime
+            | Metric::BarrierWaitTime
+            | Metric::IoWaitTime => {
+                let kind = match metric {
+                    Metric::CpuTime => ActivityKind::Cpu,
+                    Metric::IoWaitTime => ActivityKind::IoWait,
+                    _ => ActivityKind::SyncWait,
+                };
+                self.entries
+                    .iter()
+                    .filter(|e| e.kind == kind)
+                    .filter(|e| match metric {
+                        Metric::MsgWaitTime => e.tag.is_some(),
+                        Metric::BarrierWaitTime => e.tag.is_none(),
+                        _ => true,
+                    })
+                    .filter(|e| compiled.matches_parts(e.proc, e.func, e.tag, &self.binder))
+                    .map(|e| e.seconds)
+                    .sum()
+            }
+            Metric::MsgCount => self
+                .msgs
+                .iter()
+                .filter(|(p, t, _, _)| compiled.matches_code_free(*p, Some(*t), &self.binder))
+                .map(|(_, _, c, _)| *c as f64)
+                .sum(),
+            Metric::MsgBytes => self
+                .msgs
+                .iter()
+                .filter(|(p, t, _, _)| compiled.matches_code_free(*p, Some(*t), &self.binder))
+                .map(|(_, _, _, b)| *b as f64)
+                .sum(),
+        }
+    }
+
+    /// A time metric as a fraction of total execution time under the
+    /// focus: `value / (end_time * procs_in_focus)` — the normalization
+    /// behind the paper's "% of total execution time" thresholds.
+    pub fn fraction(&self, metric: Metric, focus: &Focus) -> f64 {
+        let procs = self.binder.compile(focus).procs().len();
+        if procs == 0 || self.end_time == SimTime::ZERO {
+            return 0.0;
+        }
+        self.value(metric, focus) / (self.end_time.as_secs_f64() * procs as f64)
+    }
+
+    /// Renders the run's performance profile as a table: fractions of
+    /// execution time spent computing and waiting, broken down the way
+    /// the paper's §4.2 describes its application ("45% ... in exchng2,
+    /// 20% in main; ... tags 3/0, 3/1, 3/-1; processes 3 and 4 are
+    /// dominated by wait time...").
+    pub fn render_profile(&self) -> String {
+        let whole = self.space().whole_program();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Profile of {} (version {}), {} of execution\n\n",
+            self.binder.app().name,
+            self.binder.app().version,
+            self.end_time
+        ));
+        let pct = |v: f64| format!("{:>5.1}%", (v * 100.0).abs().max(0.0));
+        out.push_str(&format!(
+            "whole program: cpu {}  sync {}  io {}\n",
+            pct(self.fraction(Metric::CpuTime, &whole)),
+            pct(self.fraction(Metric::SyncWaitTime, &whole)),
+            pct(self.fraction(Metric::IoWaitTime, &whole)),
+        ));
+
+        let mut section = |title: &str, hierarchy: &str, depth: usize| {
+            out.push_str(&format!(
+                "\n{title:<28} {:>7} {:>7} {:>7}\n",
+                "cpu", "sync", "io"
+            ));
+            let names = self
+                .space
+                .hierarchy(hierarchy)
+                .map(|h| h.all_names())
+                .unwrap_or_default();
+            for name in names.iter().filter(|n| n.depth() == depth) {
+                let f = whole.with_selection(name.clone());
+                let cpu = self.fraction(Metric::CpuTime, &f);
+                let sync = self.fraction(Metric::SyncWaitTime, &f);
+                let io = self.fraction(Metric::IoWaitTime, &f);
+                if cpu + sync + io < 0.001 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {:<26} {:>7} {:>7} {:>7}\n",
+                    name.to_string(),
+                    pct(cpu),
+                    pct(sync),
+                    pct(io)
+                ));
+            }
+        };
+        section("by function", histpc_resources::CODE, 2);
+        section("by process", histpc_resources::PROCESS, 1);
+        section("by message tag", histpc_resources::SYNC_OBJECT, 2);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histpc_resources::ResourceName;
+    use histpc_sim::workloads::{PoissonVersion, PoissonWorkload, Workload};
+
+    fn data() -> PostmortemData {
+        let wl = PoissonWorkload::new(PoissonVersion::C);
+        let mut e = wl.build_engine();
+        e.run_until(SimTime::from_secs(4));
+        PostmortemData::from_totals(wl.app_spec(), e.totals())
+    }
+
+    #[test]
+    fn whole_program_fractions_sum_to_about_one() {
+        let d = data();
+        let whole = d.space().whole_program();
+        let cpu = d.fraction(Metric::CpuTime, &whole);
+        let sync = d.fraction(Metric::SyncWaitTime, &whole);
+        let io = d.fraction(Metric::IoWaitTime, &whole);
+        let total = cpu + sync + io;
+        assert!((0.9..=1.05).contains(&total), "total fraction {total}");
+    }
+
+    #[test]
+    fn sync_fraction_is_dominant_for_poisson_c() {
+        let d = data();
+        let whole = d.space().whole_program();
+        let sync = d.fraction(Metric::SyncWaitTime, &whole);
+        assert!(sync > 0.5, "sync fraction {sync}");
+    }
+
+    #[test]
+    fn exchange_function_carries_most_sync() {
+        let d = data();
+        let whole = d.space().whole_program();
+        let exch = whole
+            .with_selection(ResourceName::parse("/Code/exchng2.f/exchng2").unwrap());
+        let sweep = whole
+            .with_selection(ResourceName::parse("/Code/sweep2d.f/sweep2d").unwrap());
+        let we = d.fraction(Metric::SyncWaitTime, &exch);
+        let ws = d.fraction(Metric::SyncWaitTime, &sweep);
+        assert!(we > ws, "exchng2 {we} vs sweep2d {ws}");
+        assert!(we > 0.1);
+    }
+
+    #[test]
+    fn space_includes_discovered_tags() {
+        let d = data();
+        for t in ["3_0", "3_1", "3_-1"] {
+            let name = format!("/SyncObject/Message/{t}");
+            assert!(
+                d.space().contains(&ResourceName::parse(&name).unwrap()),
+                "missing {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_process_fraction_normalizes_by_one_proc() {
+        let d = data();
+        let whole = d.space().whole_program();
+        let p3 = whole.with_selection(ResourceName::parse("/Process/poisson:3").unwrap());
+        let f = d.fraction(Metric::SyncWaitTime, &p3);
+        // Rank 2 (poisson:3) is a light rank: it waits most of the time.
+        assert!(f > 0.5, "light rank sync fraction {f}");
+        assert!(f <= 1.01);
+    }
+
+    #[test]
+    fn msg_metrics_positive_for_tags() {
+        let d = data();
+        let whole = d.space().whole_program();
+        let tag = whole
+            .with_selection(ResourceName::parse("/SyncObject/Message/3_0").unwrap());
+        assert!(d.value(Metric::MsgCount, &tag) > 0.0);
+        assert!(d.value(Metric::MsgBytes, &tag) > 0.0);
+    }
+}

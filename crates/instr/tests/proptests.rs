@@ -1,0 +1,100 @@
+//! Property-based tests for histograms, deltas, and pair clipping.
+
+use histpc_instr::delta::aggregate;
+use histpc_instr::TimeHistogram;
+use histpc_sim::{ActivityKind, FuncId, Interval, ProcId, SimDuration, SimTime, TagId};
+use proptest::prelude::*;
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (
+        0u16..4,
+        0u16..6,
+        0u8..3,
+        prop::option::of(0u16..3),
+        0u64..10_000_000,
+        1u64..500_000,
+        0u64..4096,
+    )
+        .prop_map(|(proc, func, kind, tag, start, len, bytes)| Interval {
+            proc: ProcId(proc),
+            func: FuncId(func),
+            kind: match kind {
+                0 => ActivityKind::Cpu,
+                1 => ActivityKind::SyncWait,
+                _ => ActivityKind::IoWait,
+            },
+            tag: tag.map(TagId),
+            start: SimTime(start),
+            end: SimTime(start + len),
+            bytes,
+        })
+}
+
+proptest! {
+    /// Histogram totals are conserved regardless of how many folds the
+    /// data forces.
+    #[test]
+    fn histogram_folding_conserves_total(
+        adds in prop::collection::vec((0u64..100_000_000, 1u64..1_000_000, 0.01f64..10.0), 1..50)
+    ) {
+        let mut h = TimeHistogram::new(32, SimDuration::from_millis(10));
+        let mut expect = 0.0;
+        for (start, len, amount) in adds {
+            h.add(SimTime(start), SimTime(start + len), amount);
+            expect += amount;
+        }
+        prop_assert!((h.total() - expect).abs() < 1e-6 * expect.max(1.0),
+            "total {} vs expected {expect}", h.total());
+    }
+
+    /// A histogram's windowed sums never exceed its total and the full
+    /// window recovers the total.
+    #[test]
+    fn histogram_window_sums_bounded(
+        adds in prop::collection::vec((0u64..1_000_000, 1u64..100_000, 0.01f64..5.0), 1..20),
+        from in 0u64..1_000_000,
+        len in 1u64..1_000_000,
+    ) {
+        let mut h = TimeHistogram::new(64, SimDuration::from_millis(1));
+        for (start, l, amount) in adds {
+            h.add(SimTime(start), SimTime(start + l), amount);
+        }
+        let windowed = h.sum(SimTime(from), SimTime(from + len));
+        prop_assert!(windowed <= h.total() + 1e-9);
+        let everything = h.sum(SimTime::ZERO, h.span_end());
+        prop_assert!((everything - h.total()).abs() < 1e-6 * h.total().max(1.0));
+    }
+
+    /// Delta aggregation conserves seconds, bytes and message counts per
+    /// attribution key, and overall.
+    #[test]
+    fn delta_aggregation_conserves(ivs in prop::collection::vec(interval_strategy(), 0..60)) {
+        let deltas = aggregate(&ivs);
+        let total_secs: f64 = ivs.iter().map(|iv| iv.duration().as_secs_f64()).sum();
+        let agg_secs: f64 = deltas.iter().map(|d| d.seconds).sum();
+        prop_assert!((total_secs - agg_secs).abs() < 1e-9,
+            "seconds {total_secs} vs {agg_secs}");
+
+        let total_msgs: u64 = ivs
+            .iter()
+            .filter(|iv| iv.tag.is_some() && iv.bytes > 0)
+            .count() as u64;
+        let agg_msgs: u64 = deltas.iter().map(|d| d.msgs).sum();
+        prop_assert_eq!(total_msgs, agg_msgs);
+
+        // Each delta's span covers all its source intervals.
+        for d in &deltas {
+            for iv in ivs.iter().filter(|iv| {
+                iv.proc == d.proc && iv.func == d.func && iv.kind == d.kind && iv.tag == d.tag
+            }) {
+                prop_assert!(d.start <= iv.start && d.end >= iv.end);
+            }
+        }
+    }
+
+    /// Aggregation is deterministic: same input, same output order.
+    #[test]
+    fn delta_aggregation_deterministic(ivs in prop::collection::vec(interval_strategy(), 0..40)) {
+        prop_assert_eq!(aggregate(&ivs), aggregate(&ivs));
+    }
+}

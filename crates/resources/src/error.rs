@@ -1,0 +1,70 @@
+//! Error type shared by the resource-naming layer.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating resource names, hierarchies
+/// and foci.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResourceError {
+    /// A textual resource name could not be parsed.
+    ParseName {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A textual focus could not be parsed.
+    ParseFocus {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A resource name referred to a hierarchy that does not exist.
+    UnknownHierarchy(String),
+    /// A resource name referred to a node that does not exist in its
+    /// hierarchy.
+    UnknownResource(String),
+    /// Two foci or hierarchies that were expected to be compatible are not.
+    Incompatible(String),
+}
+
+impl fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceError::ParseName { input, reason } => {
+                write!(f, "cannot parse resource name {input:?}: {reason}")
+            }
+            ResourceError::ParseFocus { input, reason } => {
+                write!(f, "cannot parse focus {input:?}: {reason}")
+            }
+            ResourceError::UnknownHierarchy(h) => write!(f, "unknown resource hierarchy {h:?}"),
+            ResourceError::UnknownResource(r) => write!(f, "unknown resource {r:?}"),
+            ResourceError::Incompatible(msg) => write!(f, "incompatible resources: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ResourceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ResourceError::ParseName {
+            input: "Code/x".to_string(),
+            reason: "must start with '/'",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Code/x"));
+        assert!(msg.contains("must start with '/'"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ResourceError::UnknownHierarchy("X".into()));
+        assert!(e.to_string().contains('X'));
+    }
+}

@@ -1,0 +1,247 @@
+//! The resource space: the full set of hierarchies describing one program.
+
+use crate::error::ResourceError;
+use crate::focus::Focus;
+use crate::hierarchy::ResourceHierarchy;
+use crate::name::ResourceName;
+
+/// A collection of resource hierarchies describing one program execution,
+/// e.g. `{Code, Machine, Process, SyncObject}`.
+///
+/// Each group of resources provides a distinct view of the application
+/// (paper §2). The space answers refinement queries for the Performance
+/// Consultant and supports dynamic resource discovery: new resources (for
+/// example, a message tag seen for the first time) can be added while a
+/// search is running.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceSpace {
+    hierarchies: Vec<ResourceHierarchy>,
+}
+
+impl ResourceSpace {
+    /// An empty space with no hierarchies.
+    pub fn new() -> ResourceSpace {
+        ResourceSpace::default()
+    }
+
+    /// The standard Paradyn-style space: Code, Machine, Process, SyncObject.
+    pub fn standard() -> ResourceSpace {
+        let mut s = ResourceSpace::new();
+        for h in [crate::CODE, crate::MACHINE, crate::PROCESS, crate::SYNC_OBJECT] {
+            s.add_hierarchy(h).expect("standard names are valid");
+        }
+        s
+    }
+
+    /// Adds an empty hierarchy. Errors if one with the same name exists.
+    pub fn add_hierarchy(&mut self, name: &str) -> Result<(), ResourceError> {
+        if self.hierarchy(name).is_some() {
+            return Err(ResourceError::Incompatible(format!(
+                "hierarchy {name} already exists"
+            )));
+        }
+        self.hierarchies.push(ResourceHierarchy::new(name)?);
+        Ok(())
+    }
+
+    /// The hierarchy named `name`, if present.
+    pub fn hierarchy(&self, name: &str) -> Option<&ResourceHierarchy> {
+        self.hierarchies.iter().find(|h| h.name() == name)
+    }
+
+    /// Mutable access to the hierarchy named `name`.
+    pub fn hierarchy_mut(&mut self, name: &str) -> Option<&mut ResourceHierarchy> {
+        self.hierarchies.iter_mut().find(|h| h.name() == name)
+    }
+
+    /// All hierarchies, in insertion order.
+    pub fn hierarchies(&self) -> &[ResourceHierarchy] {
+        &self.hierarchies
+    }
+
+    /// Names of all hierarchies, in insertion order.
+    pub fn hierarchy_names(&self) -> Vec<&str> {
+        self.hierarchies.iter().map(|h| h.name()).collect()
+    }
+
+    /// Adds a resource by full name, creating its hierarchy if necessary.
+    ///
+    /// This is the dynamic-discovery entry point: the instrumentation layer
+    /// calls it when it observes a resource (such as a message tag) for the
+    /// first time.
+    pub fn add_resource(&mut self, name: &ResourceName) -> Result<(), ResourceError> {
+        if self.hierarchy(name.hierarchy()).is_none() {
+            self.add_hierarchy(name.hierarchy())?;
+        }
+        self.hierarchy_mut(name.hierarchy())
+            .expect("just ensured present")
+            .add_name(name)?;
+        Ok(())
+    }
+
+    /// True if the space contains `name` in the appropriate hierarchy.
+    pub fn contains(&self, name: &ResourceName) -> bool {
+        self.hierarchy(name.hierarchy())
+            .is_some_and(|h| h.contains(name))
+    }
+
+    /// Total number of resources across all hierarchies (roots included).
+    pub fn len(&self) -> usize {
+        self.hierarchies.iter().map(ResourceHierarchy::len).sum()
+    }
+
+    /// True if the space has no hierarchies.
+    pub fn is_empty(&self) -> bool {
+        self.hierarchies.is_empty()
+    }
+
+    /// The whole-program focus over every hierarchy in the space.
+    pub fn whole_program(&self) -> Focus {
+        Focus::whole_program(self.hierarchies.iter().map(|h| h.name()))
+    }
+
+    /// All child foci of `focus`: for each hierarchy, each way of moving the
+    /// selection one edge down (paper §2 "refinement").
+    ///
+    /// Returned in hierarchy order then child insertion order, which keeps
+    /// search expansion deterministic.
+    pub fn refine(&self, focus: &Focus) -> Vec<Focus> {
+        let mut out = Vec::new();
+        for h in &self.hierarchies {
+            let Some(sel) = focus.selection(h.name()) else {
+                continue;
+            };
+            for child in h.children_of(sel) {
+                out.push(focus.with_selection(child));
+            }
+        }
+        out
+    }
+
+    /// True if `focus` is valid in this space: spans exactly the space's
+    /// hierarchies and every selection names an existing resource.
+    pub fn validates(&self, focus: &Focus) -> bool {
+        focus.arity() == self.hierarchies.len()
+            && focus.selections().all(|sel| self.contains(sel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> ResourceName {
+        ResourceName::parse(s).unwrap()
+    }
+
+    fn sample_space() -> ResourceSpace {
+        // The "Tester" program of the paper's fig. 1.
+        let mut s = ResourceSpace::new();
+        s.add_hierarchy("Code").unwrap();
+        s.add_hierarchy("Machine").unwrap();
+        s.add_hierarchy("Process").unwrap();
+        for r in [
+            "/Code/testutil.C/printstatus",
+            "/Code/testutil.C/verifyA",
+            "/Code/testutil.C/verifyB",
+            "/Code/main.c/main",
+            "/Code/vect.c/vect::addEl",
+            "/Code/vect.c/vect::findEl",
+            "/Code/vect.c/vect::print",
+            "/Machine/CPU_1",
+            "/Machine/CPU_2",
+            "/Machine/CPU_3",
+            "/Machine/CPU_4",
+            "/Process/Tester:1",
+            "/Process/Tester:2",
+            "/Process/Tester:3",
+            "/Process/Tester:4",
+        ] {
+            s.add_resource(&n(r)).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn standard_space_has_four_hierarchies() {
+        let s = ResourceSpace::standard();
+        assert_eq!(
+            s.hierarchy_names(),
+            vec!["Code", "Machine", "Process", "SyncObject"]
+        );
+        assert_eq!(s.whole_program().arity(), 4);
+    }
+
+    #[test]
+    fn duplicate_hierarchy_rejected() {
+        let mut s = ResourceSpace::new();
+        s.add_hierarchy("Code").unwrap();
+        assert!(s.add_hierarchy("Code").is_err());
+    }
+
+    #[test]
+    fn add_resource_creates_hierarchy_on_demand() {
+        let mut s = ResourceSpace::new();
+        s.add_resource(&n("/SyncObject/Message/3-0")).unwrap();
+        assert!(s.contains(&n("/SyncObject/Message/3-0")));
+        assert!(s.contains(&n("/SyncObject/Message")));
+        assert!(s.contains(&n("/SyncObject")));
+    }
+
+    #[test]
+    fn refine_whole_program_yields_top_level_resources() {
+        let s = sample_space();
+        let children = s.refine(&s.whole_program());
+        // 3 modules + 4 CPUs + 4 processes = 11 child foci.
+        assert_eq!(children.len(), 11);
+        assert!(children
+            .iter()
+            .all(|c| s.whole_program().strictly_subsumes(c)));
+        assert!(children.iter().all(|c| c.depth() == 1));
+        assert!(children.iter().all(|c| s.validates(c)));
+    }
+
+    #[test]
+    fn refine_descends_one_edge_per_child() {
+        let s = sample_space();
+        let f = s
+            .whole_program()
+            .with_selection(n("/Code/testutil.C"))
+            .with_selection(n("/Process/Tester:2"));
+        let children = s.refine(&f);
+        // testutil.C has 3 functions; Machine root has 4 CPUs; Tester:2 is
+        // a leaf. 3 + 4 + 0 = 7.
+        assert_eq!(children.len(), 7);
+        for c in &children {
+            assert_eq!(c.depth(), f.depth() + 1);
+        }
+    }
+
+    #[test]
+    fn refine_leaf_focus_is_empty() {
+        let s = sample_space();
+        let f = s
+            .whole_program()
+            .with_selection(n("/Code/main.c/main"))
+            .with_selection(n("/Machine/CPU_1"))
+            .with_selection(n("/Process/Tester:1"));
+        assert!(s.refine(&f).is_empty());
+    }
+
+    #[test]
+    fn validates_checks_arity_and_existence() {
+        let s = sample_space();
+        assert!(s.validates(&s.whole_program()));
+        let bad_arity = Focus::whole_program(["Code"]);
+        assert!(!s.validates(&bad_arity));
+        let missing = s.whole_program().with_selection(n("/Code/nope.c"));
+        assert!(!s.validates(&missing));
+    }
+
+    #[test]
+    fn len_counts_all_nodes() {
+        let s = sample_space();
+        // Code: root + 3 modules + 7 functions = 11; Machine: 5; Process: 5.
+        assert_eq!(s.len(), 21);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for resource names, hierarchies and foci.
+
+use histpc_resources::{Focus, ResourceHierarchy, ResourceName, ResourceSpace};
+use proptest::prelude::*;
+
+/// A strategy for valid path segments (no reserved chars, non-empty).
+fn segment() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_.:-]{0,11}".prop_map(|s| s)
+}
+
+/// A strategy for valid resource names with 1..=5 segments.
+fn resource_name() -> impl Strategy<Value = ResourceName> {
+    prop::collection::vec(segment(), 1..=5)
+        .prop_map(|segs| ResourceName::new(segs).expect("segments are valid"))
+}
+
+proptest! {
+    #[test]
+    fn name_parse_format_roundtrip(name in resource_name()) {
+        let text = name.to_string();
+        let parsed = ResourceName::parse(&text).unwrap();
+        prop_assert_eq!(parsed, name);
+    }
+
+    #[test]
+    fn name_parent_is_strict_ancestor(name in resource_name()) {
+        if let Some(p) = name.parent() {
+            prop_assert!(p.is_ancestor_of(&name));
+            prop_assert!(p.is_prefix_of(&name));
+            prop_assert!(!name.is_prefix_of(&p));
+            prop_assert_eq!(p.depth() + 1, name.depth());
+        } else {
+            prop_assert!(name.is_root());
+        }
+    }
+
+    #[test]
+    fn name_prefix_is_reflexive_and_antisymmetric(a in resource_name(), b in resource_name()) {
+        prop_assert!(a.is_prefix_of(&a));
+        if a.is_prefix_of(&b) && b.is_prefix_of(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rewrite_prefix_preserves_suffix(name in resource_name(), to in resource_name()) {
+        // Rewriting any ancestor prefix keeps the tail segments intact.
+        if let Some(parent) = name.parent() {
+            let rewritten = name.rewrite_prefix(&parent, &to).unwrap();
+            prop_assert_eq!(rewritten.label(), name.label());
+            prop_assert!(to.is_prefix_of(&rewritten));
+        }
+    }
+
+    #[test]
+    fn hierarchy_lookup_inverts_name_of(paths in prop::collection::vec(
+        prop::collection::vec(segment(), 1..=4), 1..12)) {
+        let mut h = ResourceHierarchy::new("Code").unwrap();
+        for p in &paths {
+            h.add_path(p).unwrap();
+        }
+        for name in h.all_names() {
+            let id = h.lookup(&name).unwrap();
+            prop_assert_eq!(h.name_of(id), name);
+        }
+    }
+
+    #[test]
+    fn hierarchy_children_are_direct_descendants(paths in prop::collection::vec(
+        prop::collection::vec(segment(), 1..=4), 1..12)) {
+        let mut h = ResourceHierarchy::new("Code").unwrap();
+        for p in &paths {
+            h.add_path(p).unwrap();
+        }
+        for name in h.all_names() {
+            for child in h.children_of(&name) {
+                prop_assert!(name.is_ancestor_of(&child));
+                prop_assert_eq!(child.parent().unwrap(), name.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn focus_parse_format_roundtrip(sels in prop::collection::vec(
+        prop::collection::vec(segment(), 1..=4), 1..4)) {
+        // Give each selection a distinct hierarchy name to satisfy focus rules.
+        let names: Vec<ResourceName> = sels
+            .iter()
+            .enumerate()
+            .map(|(i, tail)| {
+                let mut segs = vec![format!("H{i}")];
+                segs.extend(tail.iter().cloned());
+                ResourceName::new(segs).unwrap()
+            })
+            .collect();
+        let f = Focus::new(names).unwrap();
+        let parsed = Focus::parse(&f.to_string()).unwrap();
+        prop_assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn refinement_yields_strict_descendants(paths in prop::collection::vec(
+        prop::collection::vec(segment(), 1..=3), 1..10)) {
+        let mut s = ResourceSpace::new();
+        s.add_hierarchy("Code").unwrap();
+        s.add_hierarchy("Process").unwrap();
+        for (i, p) in paths.iter().enumerate() {
+            let mut segs = vec![if i % 2 == 0 { "Code" } else { "Process" }.to_string()];
+            segs.extend(p.iter().cloned());
+            s.add_resource(&ResourceName::new(segs).unwrap()).unwrap();
+        }
+        // Walk two levels of refinement from the whole program and check
+        // the partial order at every step.
+        let root = s.whole_program();
+        for child in s.refine(&root) {
+            prop_assert!(root.strictly_subsumes(&child));
+            prop_assert!(s.validates(&child));
+            for grand in s.refine(&child) {
+                prop_assert!(child.strictly_subsumes(&grand));
+                prop_assert!(root.strictly_subsumes(&grand));
+                prop_assert_eq!(grand.depth(), child.depth() + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn subsumption_is_transitive(tail in prop::collection::vec(segment(), 3..=3)) {
+        let s0 = ResourceName::new(["Code".to_string()]).unwrap();
+        let s1 = s0.child(&tail[0]).unwrap();
+        let s2 = s1.child(&tail[1]).unwrap();
+        let whole = Focus::whole_program(["Code"]);
+        let f1 = whole.with_selection(s1);
+        let f2 = whole.with_selection(s2);
+        prop_assert!(whole.subsumes(&f1));
+        prop_assert!(f1.subsumes(&f2));
+        prop_assert!(whole.subsumes(&f2));
+    }
+}

@@ -1,0 +1,1154 @@
+//! The discrete-event engine executing process scripts against a machine
+//! model.
+//!
+//! Each process runs its sequential [`ProcessScript`]; processes interact
+//! only through messages, barriers, and (indirectly) instrumentation
+//! perturbation. The engine advances each process's local clock, matches
+//! sends to receives with eager/rendezvous semantics, and emits an
+//! [`Interval`] for every contiguous stretch of CPU, synchronization-wait
+//! or I/O-wait activity.
+//!
+//! # Online operation
+//!
+//! The Performance Consultant drives the engine in small steps with
+//! [`Engine::run_until`], draining intervals after each step and adjusting
+//! per-process *slowdown factors* that model instrumentation perturbation.
+//! A process may overrun the horizon while completing a blocking operation
+//! whose end time is determined by its peers; CPU bursts are chunked at the
+//! horizon so perturbation changes take effect promptly.
+
+use crate::action::{Action, ProcessScript, ReqId};
+use crate::machine::MachineModel;
+use crate::program::{AppSpec, FuncId, ProcId, TagId};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{ActivityKind, Interval, TraceAccumulator};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Channel key: (source, destination, tag).
+type ChanKey = (ProcId, ProcId, TagId);
+
+/// A message in flight (sent, not yet consumed).
+#[derive(Debug, Clone, Copy)]
+struct Msg {
+    /// Time the payload is fully available at the receiver.
+    avail: SimTime,
+    bytes: u64,
+}
+
+/// State of a non-blocking request.
+#[derive(Debug, Clone, Copy)]
+enum ReqState {
+    /// Completion time is known: (when, bytes, message tag).
+    CompleteAt(SimTime, u64, Option<TagId>),
+    /// An `Irecv` is posted but no matching message has been sent yet.
+    PendingRecv,
+}
+
+/// Why a process is blocked.
+#[derive(Debug, Clone)]
+enum Blocked {
+    /// Blocking receive on a channel.
+    Recv {
+        key: ChanKey,
+        func: FuncId,
+        since: SimTime,
+    },
+    /// Rendezvous send waiting for the receiver.
+    SendRdv {
+        key: ChanKey,
+        func: FuncId,
+        since: SimTime,
+        bytes: u64,
+    },
+    /// Waiting for a set of requests to complete.
+    WaitAll {
+        func: FuncId,
+        reqs: Vec<ReqId>,
+        since: SimTime,
+    },
+    /// Waiting in a barrier or data-carrying collective.
+    Barrier {
+        func: FuncId,
+        since: SimTime,
+        bytes: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum ProcState {
+    Ready,
+    Blocked(Blocked),
+    Done,
+}
+
+struct Proc {
+    clock: SimTime,
+    script: Box<dyn ProcessScript>,
+    state: ProcState,
+    slowdown: f64,
+    /// A CPU burst interrupted by the horizon: (func, remaining unperturbed).
+    pending_compute: Option<(FuncId, SimDuration)>,
+    reqs: BTreeMap<ReqId, ReqState>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Channel {
+    inflight: VecDeque<Msg>,
+    /// A rendezvous sender blocked on this channel: (block time, bytes).
+    /// At most one, because a blocking send halts its process.
+    pending_rdv: Option<(SimTime, u64)>,
+    /// Posted `Irecv`s awaiting a message: (request, post time).
+    posted_irecvs: VecDeque<(ReqId, SimTime)>,
+}
+
+/// Result of driving the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineStatus {
+    /// Some processes still have work; the horizon was reached.
+    Running,
+    /// Every process script ran to completion.
+    AllDone,
+    /// No process can make progress: a communication deadlock.
+    /// Carries a human-readable description of each blocked process.
+    Deadlock(Vec<String>),
+}
+
+/// The discrete-event simulation engine.
+pub struct Engine {
+    app: AppSpec,
+    machine: MachineModel,
+    procs: Vec<Proc>,
+    channels: BTreeMap<ChanKey, Channel>,
+    emitted: Vec<Interval>,
+    totals: TraceAccumulator,
+}
+
+impl Engine {
+    /// Creates an engine for `app` on `machine` with one script per
+    /// process. Panics if the spec is inconsistent or script count differs
+    /// from the process count.
+    pub fn new(
+        app: AppSpec,
+        machine: MachineModel,
+        scripts: Vec<Box<dyn ProcessScript>>,
+    ) -> Engine {
+        app.validate().expect("invalid AppSpec");
+        assert_eq!(
+            scripts.len(),
+            app.process_count(),
+            "need one script per process"
+        );
+        assert!(
+            app.nodes.len() <= machine.nodes,
+            "app uses more nodes than the machine has"
+        );
+        let procs = scripts
+            .into_iter()
+            .map(|script| Proc {
+                clock: SimTime::ZERO,
+                script,
+                state: ProcState::Ready,
+                slowdown: 1.0,
+                pending_compute: None,
+                reqs: BTreeMap::new(),
+            })
+            .collect();
+        Engine {
+            app,
+            machine,
+            procs,
+            channels: BTreeMap::new(),
+            emitted: Vec::new(),
+            totals: TraceAccumulator::new(),
+        }
+    }
+
+    /// The application being simulated.
+    pub fn app(&self) -> &AppSpec {
+        &self.app
+    }
+
+    /// The machine model in use.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// Sets the perturbation slowdown factor for `proc` (clamped to >= 1).
+    /// Applied to CPU bursts executed from now on.
+    pub fn set_slowdown(&mut self, proc: ProcId, factor: f64) {
+        self.procs[proc.0 as usize].slowdown = factor.max(1.0);
+    }
+
+    /// Full-resolution cumulative totals observed so far (ground truth).
+    pub fn totals(&self) -> &TraceAccumulator {
+        &self.totals
+    }
+
+    /// Removes and returns the intervals emitted since the last drain.
+    pub fn drain_intervals(&mut self) -> Vec<Interval> {
+        std::mem::take(&mut self.emitted)
+    }
+
+    /// The local clock of `proc`.
+    pub fn proc_clock(&self, proc: ProcId) -> SimTime {
+        self.procs[proc.0 as usize].clock
+    }
+
+    /// True if every process has finished its script.
+    pub fn all_done(&self) -> bool {
+        self.procs
+            .iter()
+            .all(|p| matches!(p.state, ProcState::Done))
+    }
+
+    /// Advances the simulation until every runnable process has reached
+    /// `horizon` (blocked operations may overrun it), all processes finish,
+    /// or a deadlock is detected.
+    pub fn run_until(&mut self, horizon: SimTime) -> EngineStatus {
+        loop {
+            // Deterministically pick the ready process with the smallest
+            // clock (ties by rank) that is still below the horizon.
+            let next = self
+                .procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| matches!(p.state, ProcState::Ready) && p.clock < horizon)
+                .min_by_key(|(i, p)| (p.clock, *i))
+                .map(|(i, _)| i);
+            match next {
+                Some(i) => self.step_proc(i, horizon),
+                None => {
+                    if self.all_done() {
+                        return EngineStatus::AllDone;
+                    }
+                    let any_ready = self
+                        .procs
+                        .iter()
+                        .any(|p| matches!(p.state, ProcState::Ready));
+                    if any_ready {
+                        // Everyone runnable is parked at the horizon.
+                        return EngineStatus::Running;
+                    }
+                    return EngineStatus::Deadlock(self.describe_blocked());
+                }
+            }
+        }
+    }
+
+    fn describe_blocked(&self) -> Vec<String> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match &p.state {
+                ProcState::Blocked(b) => {
+                    let what = match b {
+                        Blocked::Recv { key, .. } => {
+                            format!("recv from {} tag {}", key.0, key.2 .0)
+                        }
+                        Blocked::SendRdv { key, .. } => {
+                            format!("rendezvous send to {} tag {}", key.1, key.2 .0)
+                        }
+                        Blocked::WaitAll { reqs, .. } => format!("waitall on {} reqs", reqs.len()),
+                        Blocked::Barrier { .. } => "barrier".to_string(),
+                    };
+                    Some(format!("{}: blocked in {what}", ProcId(i as u16)))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Runs process `i` until it blocks, finishes, or reaches the horizon.
+    fn step_proc(&mut self, i: usize, horizon: SimTime) {
+        loop {
+            if !matches!(self.procs[i].state, ProcState::Ready) {
+                return;
+            }
+            if self.procs[i].clock >= horizon {
+                return;
+            }
+            // Resume an interrupted CPU burst first.
+            if let Some((func, remaining)) = self.procs[i].pending_compute.take() {
+                self.exec_compute(i, func, remaining, horizon);
+                continue;
+            }
+            let Some(action) = self.procs[i].script.next_action() else {
+                self.procs[i].state = ProcState::Done;
+                // A process exiting can complete a barrier for the others.
+                self.check_barrier();
+                return;
+            };
+            self.exec_action(i, action, horizon);
+        }
+    }
+
+    fn exec_action(&mut self, i: usize, action: Action, horizon: SimTime) {
+        match action {
+            Action::Compute { func, dur } => self.exec_compute(i, func, dur, horizon),
+            Action::Io { func, bytes } => {
+                let start = self.procs[i].clock;
+                let end = start + self.machine.io_time(bytes);
+                self.emit(Interval {
+                    proc: ProcId(i as u16),
+                    func,
+                    kind: ActivityKind::IoWait,
+                    tag: None,
+                    start,
+                    end,
+                    bytes,
+                });
+                self.procs[i].clock = end;
+            }
+            Action::Send {
+                func,
+                to,
+                tag,
+                bytes,
+            } => self.exec_send(i, func, to, tag, bytes),
+            Action::Recv { func, from, tag } => self.exec_recv(i, func, from, tag),
+            Action::Isend {
+                func,
+                to,
+                tag,
+                bytes,
+                req,
+            } => self.exec_isend(i, func, to, tag, bytes, req),
+            Action::Irecv {
+                func,
+                from,
+                tag,
+                req,
+            } => self.exec_irecv(i, func, from, tag, req),
+            Action::WaitAll { func, reqs } => self.exec_waitall(i, func, reqs),
+            Action::Barrier { func } => {
+                let since = self.procs[i].clock;
+                self.procs[i].state =
+                    ProcState::Blocked(Blocked::Barrier { func, since, bytes: 0 });
+                self.check_barrier();
+            }
+            Action::AllReduce { func, bytes } => {
+                let since = self.procs[i].clock;
+                self.procs[i].state =
+                    ProcState::Blocked(Blocked::Barrier { func, since, bytes });
+                self.check_barrier();
+            }
+        }
+    }
+
+    fn exec_compute(&mut self, i: usize, func: FuncId, dur: SimDuration, horizon: SimTime) {
+        let slowdown = self.procs[i].slowdown;
+        let start = self.procs[i].clock;
+        let actual = dur.mul_f64(slowdown);
+        if start + actual <= horizon || actual.is_zero() {
+            self.emit(Interval {
+                proc: ProcId(i as u16),
+                func,
+                kind: ActivityKind::Cpu,
+                tag: None,
+                start,
+                end: start + actual,
+                bytes: 0,
+            });
+            self.procs[i].clock = start + actual;
+        } else {
+            // Chunk the burst at the horizon; keep the unperturbed
+            // remainder so later slowdown changes apply to it.
+            let consumed_actual = horizon - start;
+            let mut consumed_unpert = SimDuration(
+                ((consumed_actual.as_micros() as f64) / slowdown).floor() as u64,
+            );
+            if consumed_unpert.is_zero() {
+                consumed_unpert = SimDuration(1);
+            }
+            let consumed_unpert = SimDuration(consumed_unpert.as_micros().min(dur.as_micros()));
+            let remaining = dur.saturating_sub(consumed_unpert);
+            self.emit(Interval {
+                proc: ProcId(i as u16),
+                func,
+                kind: ActivityKind::Cpu,
+                tag: None,
+                start,
+                end: horizon,
+                bytes: 0,
+            });
+            self.procs[i].clock = horizon;
+            if !remaining.is_zero() {
+                self.procs[i].pending_compute = Some((func, remaining));
+            }
+        }
+    }
+
+    fn exec_send(&mut self, i: usize, func: FuncId, to: ProcId, tag: TagId, bytes: u64) {
+        let key: ChanKey = (ProcId(i as u16), to, tag);
+        let clock = self.procs[i].clock;
+        if self.machine.is_eager(bytes) {
+            // Eager: local completion after the posting overhead; the
+            // payload lands at the receiver after the wire time.
+            let end = clock + self.machine.msg_overhead;
+            let avail = end + self.machine.transfer_time(bytes);
+            self.emit(Interval {
+                proc: ProcId(i as u16),
+                func,
+                kind: ActivityKind::SyncWait,
+                tag: Some(tag),
+                start: clock,
+                end,
+                bytes,
+            });
+            self.procs[i].clock = end;
+            self.deliver(key, Msg { avail, bytes });
+        } else {
+            // Rendezvous: complete against an already-blocked receiver or
+            // a posted Irecv, otherwise block.
+            let recv_blocked_since = match &self.procs[to.0 as usize].state {
+                ProcState::Blocked(Blocked::Recv {
+                    key: k, since, ..
+                }) if *k == key => Some(*since),
+                _ => None,
+            };
+            if let Some(r_since) = recv_blocked_since {
+                let done = clock.max(r_since) + self.machine.transfer_time(bytes);
+                self.emit(Interval {
+                    proc: ProcId(i as u16),
+                    func,
+                    kind: ActivityKind::SyncWait,
+                    tag: Some(tag),
+                    start: clock,
+                    end: done,
+                    bytes,
+                });
+                self.procs[i].clock = done;
+                self.resume_recv(to, done, bytes);
+                return;
+            }
+            // A posted Irecv lets the transfer start immediately.
+            let has_posted = self
+                .channels
+                .get(&key)
+                .is_some_and(|c| !c.posted_irecvs.is_empty());
+            if has_posted {
+                let (req, post) = self
+                    .channel_mut(key)
+                    .posted_irecvs
+                    .pop_front()
+                    .expect("just checked");
+                let done = clock.max(post) + self.machine.transfer_time(bytes);
+                self.emit(Interval {
+                    proc: ProcId(i as u16),
+                    func,
+                    kind: ActivityKind::SyncWait,
+                    tag: Some(tag),
+                    start: clock,
+                    end: done,
+                    bytes,
+                });
+                self.procs[i].clock = done;
+                self.complete_req(to, req, done, bytes, Some(tag));
+                return;
+            }
+            let chan = self.channel_mut(key);
+            debug_assert!(chan.pending_rdv.is_none(), "one blocking send per proc");
+            chan.pending_rdv = Some((clock, bytes));
+            self.procs[i].state = ProcState::Blocked(Blocked::SendRdv {
+                key,
+                func,
+                since: clock,
+                bytes,
+            });
+        }
+    }
+
+    fn exec_recv(&mut self, i: usize, func: FuncId, from: ProcId, tag: TagId) {
+        let key: ChanKey = (from, ProcId(i as u16), tag);
+        let clock = self.procs[i].clock;
+        // 1. A queued (eager/Isend) message.
+        if let Some(msg) = self.channel_mut(key).inflight.pop_front() {
+            let end = (clock + self.machine.msg_overhead).max(msg.avail);
+            self.emit(Interval {
+                proc: ProcId(i as u16),
+                func,
+                kind: ActivityKind::SyncWait,
+                tag: Some(tag),
+                start: clock,
+                end,
+                bytes: msg.bytes,
+            });
+            self.procs[i].clock = end;
+            return;
+        }
+        // 2. A rendezvous sender already blocked on this channel.
+        if let Some((s_since, bytes)) = self.channel_mut(key).pending_rdv.take() {
+            let done = clock.max(s_since) + self.machine.transfer_time(bytes);
+            self.emit(Interval {
+                proc: ProcId(i as u16),
+                func,
+                kind: ActivityKind::SyncWait,
+                tag: Some(tag),
+                start: clock,
+                end: done,
+                bytes,
+            });
+            self.procs[i].clock = done;
+            self.resume_sender(from, done);
+            return;
+        }
+        // 3. Nothing yet: block.
+        self.procs[i].state = ProcState::Blocked(Blocked::Recv {
+            key,
+            func,
+            since: clock,
+        });
+    }
+
+    fn exec_isend(&mut self, i: usize, func: FuncId, to: ProcId, tag: TagId, bytes: u64, req: ReqId) {
+        let key: ChanKey = (ProcId(i as u16), to, tag);
+        let clock = self.procs[i].clock;
+        let end = clock + self.machine.msg_overhead;
+        let avail = end + self.machine.transfer_time(bytes);
+        self.emit(Interval {
+            proc: ProcId(i as u16),
+            func,
+            kind: ActivityKind::SyncWait,
+            tag: Some(tag),
+            start: clock,
+            end,
+            bytes,
+        });
+        self.procs[i].clock = end;
+        // The send request is complete as soon as the payload is handed to
+        // the transport (a simplification of MPI buffering semantics).
+        self.procs[i]
+            .reqs
+            .insert(req, ReqState::CompleteAt(end, 0, Some(tag)));
+        self.deliver(key, Msg { avail, bytes });
+    }
+
+    fn exec_irecv(&mut self, i: usize, func: FuncId, from: ProcId, tag: TagId, req: ReqId) {
+        let key: ChanKey = (from, ProcId(i as u16), tag);
+        let clock = self.procs[i].clock;
+        let end = clock + self.machine.msg_overhead;
+        self.emit(Interval {
+            proc: ProcId(i as u16),
+            func,
+            kind: ActivityKind::SyncWait,
+            tag: Some(tag),
+            start: clock,
+            end,
+            bytes: 0,
+        });
+        self.procs[i].clock = end;
+        // Match a queued message, a blocked rendezvous sender, or post.
+        if let Some(msg) = self.channel_mut(key).inflight.pop_front() {
+            self.procs[i]
+                .reqs
+                .insert(req, ReqState::CompleteAt(end.max(msg.avail), msg.bytes, Some(tag)));
+            return;
+        }
+        if let Some((s_since, bytes)) = self.channel_mut(key).pending_rdv.take() {
+            let done = end.max(s_since) + self.machine.transfer_time(bytes);
+            self.procs[i]
+                .reqs
+                .insert(req, ReqState::CompleteAt(done, bytes, Some(tag)));
+            self.resume_sender(from, done);
+            return;
+        }
+        self.procs[i].reqs.insert(req, ReqState::PendingRecv);
+        self.channel_mut(key).posted_irecvs.push_back((req, end));
+    }
+
+    fn exec_waitall(&mut self, i: usize, func: FuncId, reqs: Vec<ReqId>) {
+        let clock = self.procs[i].clock;
+        if let Some(done) = self.waitall_ready(i, &reqs) {
+            let end = clock.max(done);
+            let (bytes, tag) = self.consume_reqs(i, &reqs);
+            self.emit(Interval {
+                proc: ProcId(i as u16),
+                func,
+                kind: ActivityKind::SyncWait,
+                tag,
+                start: clock,
+                end,
+                bytes,
+            });
+            self.procs[i].clock = end;
+        } else {
+            self.procs[i].state = ProcState::Blocked(Blocked::WaitAll {
+                func,
+                reqs,
+                since: clock,
+            });
+        }
+    }
+
+    /// If every request has a known completion time, the latest of them.
+    fn waitall_ready(&self, i: usize, reqs: &[ReqId]) -> Option<SimTime> {
+        let mut done = SimTime::ZERO;
+        for r in reqs {
+            match self.procs[i].reqs.get(r) {
+                Some(ReqState::CompleteAt(t, _, _)) => done = done.max(*t),
+                _ => return None,
+            }
+        }
+        Some(done)
+    }
+
+    /// Removes completed requests, returning the total moved bytes and —
+    /// when every request involved the same message tag — that tag, so a
+    /// wait over a homogeneous exchange stays attributable to its
+    /// SyncObject.
+    fn consume_reqs(&mut self, i: usize, reqs: &[ReqId]) -> (u64, Option<TagId>) {
+        let mut bytes = 0;
+        let mut tag: Option<Option<TagId>> = None;
+        for r in reqs {
+            if let Some(ReqState::CompleteAt(_, b, t)) = self.procs[i].reqs.remove(r) {
+                bytes += b;
+                tag = match tag {
+                    None => Some(t),
+                    Some(prev) if prev == t => Some(prev),
+                    Some(_) => Some(None), // mixed tags: unattributed
+                };
+            }
+        }
+        (bytes, tag.flatten())
+    }
+
+    /// Delivers a message: wakes a blocked receiver, completes a posted
+    /// `Irecv`, or queues it.
+    fn deliver(&mut self, key: ChanKey, msg: Msg) {
+        let to = key.1;
+        let recv_blocked = matches!(
+            &self.procs[to.0 as usize].state,
+            ProcState::Blocked(Blocked::Recv { key: k, .. }) if *k == key
+        );
+        if recv_blocked {
+            self.resume_recv_with(to, msg);
+            return;
+        }
+        if let Some((req, post)) = self.channel_mut(key).posted_irecvs.pop_front() {
+            let done = post.max(msg.avail);
+            self.complete_req(to, req, done, msg.bytes, Some(key.2));
+            return;
+        }
+        self.channel_mut(key).inflight.push_back(msg);
+    }
+
+    /// Resumes a receiver blocked in a blocking recv with `msg`.
+    fn resume_recv_with(&mut self, to: ProcId, msg: Msg) {
+        let p = &mut self.procs[to.0 as usize];
+        let ProcState::Blocked(Blocked::Recv { func, since, key }) = p.state.clone() else {
+            unreachable!("caller checked the state");
+        };
+        let end = since.max(msg.avail);
+        p.clock = end;
+        p.state = ProcState::Ready;
+        self.emit(Interval {
+            proc: to,
+            func,
+            kind: ActivityKind::SyncWait,
+            tag: Some(key.2),
+            start: since,
+            end,
+            bytes: msg.bytes,
+        });
+    }
+
+    /// Resumes a receiver blocked in a blocking recv at `done` (rendezvous
+    /// completion path, where the sender already emitted the transfer).
+    fn resume_recv(&mut self, to: ProcId, done: SimTime, bytes: u64) {
+        let p = &mut self.procs[to.0 as usize];
+        let ProcState::Blocked(Blocked::Recv { func, since, key }) = p.state.clone() else {
+            unreachable!("caller checked the state");
+        };
+        p.clock = done;
+        p.state = ProcState::Ready;
+        self.emit(Interval {
+            proc: to,
+            func,
+            kind: ActivityKind::SyncWait,
+            tag: Some(key.2),
+            start: since,
+            end: done,
+            bytes,
+        });
+    }
+
+    /// Resumes a rendezvous sender at `done`.
+    fn resume_sender(&mut self, from: ProcId, done: SimTime) {
+        let p = &mut self.procs[from.0 as usize];
+        let ProcState::Blocked(Blocked::SendRdv {
+            func, since, key, bytes,
+        }) = p.state.clone()
+        else {
+            unreachable!("caller holds the pending_rdv entry");
+        };
+        p.clock = done;
+        p.state = ProcState::Ready;
+        self.emit(Interval {
+            proc: from,
+            func,
+            kind: ActivityKind::SyncWait,
+            tag: Some(key.2),
+            start: since,
+            end: done,
+            bytes,
+        });
+    }
+
+    /// Marks request `req` of process `to` complete at `done`, resuming a
+    /// WaitAll that was blocked on it if all its requests are now complete.
+    fn complete_req(
+        &mut self,
+        to: ProcId,
+        req: ReqId,
+        done: SimTime,
+        bytes: u64,
+        tag: Option<TagId>,
+    ) {
+        self.procs[to.0 as usize]
+            .reqs
+            .insert(req, ReqState::CompleteAt(done, bytes, tag));
+        let waiting = match &self.procs[to.0 as usize].state {
+            ProcState::Blocked(Blocked::WaitAll { reqs, .. }) => Some(reqs.clone()),
+            _ => None,
+        };
+        if let Some(reqs) = waiting {
+            if let Some(all_done) = self.waitall_ready(to.0 as usize, &reqs) {
+                let ProcState::Blocked(Blocked::WaitAll { func, since, .. }) =
+                    self.procs[to.0 as usize].state.clone()
+                else {
+                    unreachable!();
+                };
+                let end = since.max(all_done);
+                let (total, wait_tag) = self.consume_reqs(to.0 as usize, &reqs);
+                let p = &mut self.procs[to.0 as usize];
+                p.clock = end;
+                p.state = ProcState::Ready;
+                self.emit(Interval {
+                    proc: to,
+                    func,
+                    kind: ActivityKind::SyncWait,
+                    tag: wait_tag,
+                    start: since,
+                    end,
+                    bytes: total,
+                });
+            }
+        }
+    }
+
+    /// Completes the barrier/collective when every live process has
+    /// arrived. A data-carrying collective additionally pays a log-tree
+    /// transfer cost for the largest payload contributed.
+    fn check_barrier(&mut self) {
+        let mut arrivals = Vec::new();
+        let mut max_bytes = 0u64;
+        for (idx, p) in self.procs.iter().enumerate() {
+            match &p.state {
+                ProcState::Done => continue,
+                ProcState::Blocked(Blocked::Barrier { since, bytes, .. }) => {
+                    arrivals.push((idx, *since));
+                    max_bytes = max_bytes.max(*bytes);
+                }
+                _ => return, // someone has not arrived yet
+            }
+        }
+        if arrivals.is_empty() {
+            return;
+        }
+        let latest = arrivals
+            .iter()
+            .map(|&(_, t)| t)
+            .max()
+            .expect("non-empty");
+        let mut done = latest + self.machine.barrier_cost(arrivals.len());
+        if max_bytes > 0 {
+            let stages = (arrivals.len() as f64).log2().ceil().max(1.0);
+            done = done + self.machine.transfer_time(max_bytes).mul_f64(stages);
+        }
+        for (idx, since) in arrivals {
+            let ProcState::Blocked(Blocked::Barrier { func, .. }) = self.procs[idx].state.clone()
+            else {
+                unreachable!();
+            };
+            self.procs[idx].clock = done;
+            self.procs[idx].state = ProcState::Ready;
+            self.emit(Interval {
+                proc: ProcId(idx as u16),
+                func,
+                kind: ActivityKind::SyncWait,
+                tag: None,
+                start: since,
+                end: done,
+                bytes: 0,
+            });
+        }
+    }
+
+    fn channel_mut(&mut self, key: ChanKey) -> &mut Channel {
+        self.channels.entry(key).or_default()
+    }
+
+    fn emit(&mut self, iv: Interval) {
+        if iv.duration().is_zero() && iv.bytes == 0 {
+            return;
+        }
+        self.totals.observe(&iv);
+        self.emitted.push(iv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::VecScript;
+    use crate::program::ModuleSpec;
+
+    fn two_proc_app() -> AppSpec {
+        AppSpec {
+            name: "t".into(),
+            version: "1".into(),
+            modules: vec![ModuleSpec {
+                name: "m.c".into(),
+                functions: vec!["f".into(), "g".into()],
+            }],
+            processes: vec!["t:0".into(), "t:1".into()],
+            nodes: vec!["n0".into(), "n1".into()],
+            proc_node: vec![0, 1],
+            tags: vec!["0".into()],
+        }
+    }
+
+    fn engine(scripts: Vec<Vec<Action>>) -> Engine {
+        let app = two_proc_app();
+        let machine = MachineModel::sp2(2);
+        Engine::new(
+            app,
+            machine,
+            scripts
+                .into_iter()
+                .map(|s| Box::new(VecScript::new(s)) as Box<dyn ProcessScript>)
+                .collect(),
+        )
+    }
+
+    const F: FuncId = FuncId(0);
+    const G: FuncId = FuncId(1);
+    const T: TagId = TagId(0);
+
+    #[test]
+    fn compute_advances_clock() {
+        let mut e = engine(vec![
+            vec![Action::Compute {
+                func: F,
+                dur: SimDuration::from_millis(5),
+            }],
+            vec![],
+        ]);
+        assert_eq!(e.run_until(SimTime::from_secs(1)), EngineStatus::AllDone);
+        assert_eq!(e.proc_clock(ProcId(0)), SimTime::from_millis(5));
+        let ivs = e.drain_intervals();
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].kind, ActivityKind::Cpu);
+        assert_eq!(ivs[0].duration(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn eager_send_recv_transfers_message() {
+        // p0 computes 1ms then sends 64B; p1 recvs immediately and waits.
+        let mut e = engine(vec![
+            vec![
+                Action::Compute {
+                    func: F,
+                    dur: SimDuration::from_millis(1),
+                },
+                Action::Send {
+                    func: G,
+                    to: ProcId(1),
+                    tag: T,
+                    bytes: 64,
+                },
+            ],
+            vec![Action::Recv {
+                func: G,
+                from: ProcId(0),
+                tag: T,
+            }],
+        ]);
+        assert_eq!(e.run_until(SimTime::from_secs(1)), EngineStatus::AllDone);
+        // p1 blocked from t=0 until the payload arrived.
+        let wait = e.totals().proc_total(ProcId(1), ActivityKind::SyncWait);
+        assert!(wait > SimDuration::from_millis(1), "wait was {wait}");
+        // The sender finished quickly (eager).
+        assert!(e.proc_clock(ProcId(0)) < SimTime::from_millis(2));
+        assert_eq!(e.totals().msg_count(ProcId(1), T), 1);
+    }
+
+    #[test]
+    fn rendezvous_send_blocks_until_recv() {
+        // 64 KiB exceeds the 4 KiB eager threshold.
+        let mut e = engine(vec![
+            vec![Action::Send {
+                func: G,
+                to: ProcId(1),
+                tag: T,
+                bytes: 64 * 1024,
+            }],
+            vec![
+                Action::Compute {
+                    func: F,
+                    dur: SimDuration::from_millis(10),
+                },
+                Action::Recv {
+                    func: G,
+                    from: ProcId(0),
+                    tag: T,
+                },
+            ],
+        ]);
+        assert_eq!(e.run_until(SimTime::from_secs(1)), EngineStatus::AllDone);
+        // The sender had to wait for the receiver's 10ms compute plus the
+        // transfer time.
+        let transfer = MachineModel::sp2(2).transfer_time(64 * 1024);
+        let expect = SimTime::from_millis(10) + transfer;
+        assert_eq!(e.proc_clock(ProcId(0)), expect);
+        assert_eq!(e.proc_clock(ProcId(1)), expect);
+        let sender_wait = e.totals().proc_total(ProcId(0), ActivityKind::SyncWait);
+        assert_eq!(sender_wait, expect - SimTime::ZERO);
+    }
+
+    #[test]
+    fn nonblocking_overlap_hides_transfer() {
+        // p0: isend; compute 10ms; waitall -> transfer hidden by compute.
+        let req = ReqId(1);
+        let mut e = engine(vec![
+            vec![
+                Action::Isend {
+                    func: G,
+                    to: ProcId(1),
+                    tag: T,
+                    bytes: 64,
+                    req,
+                },
+                Action::Compute {
+                    func: F,
+                    dur: SimDuration::from_millis(10),
+                },
+                Action::WaitAll {
+                    func: G,
+                    reqs: vec![req],
+                },
+            ],
+            vec![Action::Recv {
+                func: G,
+                from: ProcId(0),
+                tag: T,
+            }],
+        ]);
+        assert_eq!(e.run_until(SimTime::from_secs(1)), EngineStatus::AllDone);
+        // WaitAll completes instantly: only the posting overhead shows up
+        // as sync time for p0.
+        let wait0 = e.totals().proc_total(ProcId(0), ActivityKind::SyncWait);
+        assert_eq!(wait0, MachineModel::sp2(2).msg_overhead);
+    }
+
+    #[test]
+    fn irecv_completes_when_message_arrives() {
+        let req = ReqId(7);
+        let mut e = engine(vec![
+            vec![
+                Action::Irecv {
+                    func: G,
+                    from: ProcId(1),
+                    tag: T,
+                    req,
+                },
+                Action::Compute {
+                    func: F,
+                    dur: SimDuration::from_millis(1),
+                },
+                Action::WaitAll {
+                    func: G,
+                    reqs: vec![req],
+                },
+            ],
+            vec![
+                Action::Compute {
+                    func: F,
+                    dur: SimDuration::from_millis(5),
+                },
+                Action::Send {
+                    func: G,
+                    to: ProcId(0),
+                    tag: T,
+                    bytes: 64,
+                },
+            ],
+        ]);
+        assert_eq!(e.run_until(SimTime::from_secs(1)), EngineStatus::AllDone);
+        // p0 waited in WaitAll from ~1ms until the message arrived (~5ms+).
+        let wait0 = e.totals().proc_total(ProcId(0), ActivityKind::SyncWait);
+        assert!(wait0 > SimDuration::from_millis(3), "wait was {wait0}");
+        assert!(e.proc_clock(ProcId(0)) > SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn barrier_synchronizes_all() {
+        let mut e = engine(vec![
+            vec![
+                Action::Compute {
+                    func: F,
+                    dur: SimDuration::from_millis(2),
+                },
+                Action::Barrier { func: G },
+            ],
+            vec![
+                Action::Compute {
+                    func: F,
+                    dur: SimDuration::from_millis(8),
+                },
+                Action::Barrier { func: G },
+            ],
+        ]);
+        assert_eq!(e.run_until(SimTime::from_secs(1)), EngineStatus::AllDone);
+        let cost = MachineModel::sp2(2).barrier_cost(2);
+        let done = SimTime::from_millis(8) + cost;
+        assert_eq!(e.proc_clock(ProcId(0)), done);
+        assert_eq!(e.proc_clock(ProcId(1)), done);
+        // The early arriver waited ~6ms + cost, the late one only the cost.
+        let w0 = e.totals().proc_total(ProcId(0), ActivityKind::SyncWait);
+        let w1 = e.totals().proc_total(ProcId(1), ActivityKind::SyncWait);
+        assert!(w0 > w1);
+        assert_eq!(w1, cost);
+    }
+
+    #[test]
+    fn barrier_completes_when_last_proc_exits() {
+        // p1 finishes without entering the barrier -> p0's barrier
+        // completes over the remaining single participant.
+        let mut e = engine(vec![
+            vec![Action::Barrier { func: G }],
+            vec![Action::Compute {
+                func: F,
+                dur: SimDuration::from_millis(1),
+            }],
+        ]);
+        assert_eq!(e.run_until(SimTime::from_secs(1)), EngineStatus::AllDone);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        // Both processes recv first: classic deadlock.
+        let mut e = engine(vec![
+            vec![Action::Recv {
+                func: G,
+                from: ProcId(1),
+                tag: T,
+            }],
+            vec![Action::Recv {
+                func: G,
+                from: ProcId(0),
+                tag: T,
+            }],
+        ]);
+        match e.run_until(SimTime::from_secs(1)) {
+            EngineStatus::Deadlock(desc) => {
+                assert_eq!(desc.len(), 2);
+                assert!(desc[0].contains("recv"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn horizon_pauses_and_resumes() {
+        let mut e = engine(vec![
+            vec![Action::Compute {
+                func: F,
+                dur: SimDuration::from_millis(100),
+            }],
+            vec![],
+        ]);
+        assert_eq!(
+            e.run_until(SimTime::from_millis(30)),
+            EngineStatus::Running
+        );
+        assert_eq!(e.proc_clock(ProcId(0)), SimTime::from_millis(30));
+        // The chunked burst emitted a partial interval.
+        let cpu = e.totals().proc_total(ProcId(0), ActivityKind::Cpu);
+        assert_eq!(cpu, SimDuration::from_millis(30));
+        assert_eq!(e.run_until(SimTime::from_secs(1)), EngineStatus::AllDone);
+        let cpu = e.totals().proc_total(ProcId(0), ActivityKind::Cpu);
+        assert_eq!(cpu, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn slowdown_stretches_cpu_time() {
+        let mut e = engine(vec![
+            vec![Action::Compute {
+                func: F,
+                dur: SimDuration::from_millis(10),
+            }],
+            vec![],
+        ]);
+        e.set_slowdown(ProcId(0), 1.5);
+        assert_eq!(e.run_until(SimTime::from_secs(1)), EngineStatus::AllDone);
+        assert_eq!(e.proc_clock(ProcId(0)), SimTime::from_millis(15));
+        // Slowdown below 1 clamps to 1.
+        let mut e2 = engine(vec![
+            vec![Action::Compute {
+                func: F,
+                dur: SimDuration::from_millis(10),
+            }],
+            vec![],
+        ]);
+        e2.set_slowdown(ProcId(0), 0.2);
+        e2.run_until(SimTime::from_secs(1));
+        assert_eq!(e2.proc_clock(ProcId(0)), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn slowdown_change_applies_to_remaining_chunk() {
+        let mut e = engine(vec![
+            vec![Action::Compute {
+                func: F,
+                dur: SimDuration::from_millis(100),
+            }],
+            vec![],
+        ]);
+        // First half unperturbed, second half at 2x.
+        e.run_until(SimTime::from_millis(50));
+        e.set_slowdown(ProcId(0), 2.0);
+        e.run_until(SimTime::from_secs(10));
+        assert_eq!(e.proc_clock(ProcId(0)), SimTime::from_millis(150));
+    }
+
+    #[test]
+    fn io_counts_as_io_wait() {
+        let mut e = engine(vec![
+            vec![Action::Io {
+                func: F,
+                bytes: 8_000_000,
+            }],
+            vec![],
+        ]);
+        e.run_until(SimTime::from_secs(5));
+        assert_eq!(
+            e.totals().proc_total(ProcId(0), ActivityKind::IoWait),
+            SimDuration::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn intervals_drain_once() {
+        let mut e = engine(vec![
+            vec![Action::Compute {
+                func: F,
+                dur: SimDuration::from_millis(1),
+            }],
+            vec![],
+        ]);
+        e.run_until(SimTime::from_secs(1));
+        assert_eq!(e.drain_intervals().len(), 1);
+        assert!(e.drain_intervals().is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! The machine model: an SP/2-like cluster.
+//!
+//! The paper's experiments ran on 4 and 8 nodes of an IBM SP/2 with MPI's
+//! static process model (one process per node). We model the timing
+//! properties that shape the Performance Consultant's view of the program:
+//! per-node computation rate, point-to-point message latency and bandwidth,
+//! barrier/reduction cost, and an I/O rate. Absolute values are
+//! configurable; the defaults approximate a late-90s SP/2 thin node.
+
+use crate::time::SimDuration;
+
+/// Timing model of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct MachineModel {
+    /// Number of nodes in the partition.
+    pub nodes: usize,
+    /// Sustained floating-point rate per node, in flop/s
+    /// (used to convert workload flop counts into CPU time).
+    pub flops_per_sec: f64,
+    /// Per-node relative speed factors (length `nodes`, 1.0 = nominal).
+    /// Heterogeneity here is one source of load imbalance.
+    pub node_speed: Vec<f64>,
+    /// One-way point-to-point message latency.
+    pub net_latency: SimDuration,
+    /// Point-to-point bandwidth, in bytes/s.
+    pub net_bandwidth: f64,
+    /// Messages at or below this size complete eagerly (the sender does not
+    /// wait for the receiver); larger messages rendezvous.
+    pub eager_threshold: u64,
+    /// Local CPU overhead of posting a send or receive.
+    pub msg_overhead: SimDuration,
+    /// Fixed cost of a barrier/reduction once all processes have arrived.
+    pub barrier_base: SimDuration,
+    /// Additional barrier cost per participating process.
+    pub barrier_per_proc: SimDuration,
+    /// Sequential I/O rate, in bytes/s.
+    pub io_rate: f64,
+}
+
+impl MachineModel {
+    /// An IBM SP/2-like partition with `nodes` thin nodes: 60 Mflop/s
+    /// sustained, 40 µs latency, 35 MB/s bandwidth, 4 KiB eager limit.
+    pub fn sp2(nodes: usize) -> MachineModel {
+        MachineModel {
+            nodes,
+            flops_per_sec: 60.0e6,
+            node_speed: vec![1.0; nodes],
+            net_latency: SimDuration(40),
+            net_bandwidth: 35.0e6,
+            eager_threshold: 4096,
+            msg_overhead: SimDuration(10),
+            barrier_base: SimDuration(60),
+            barrier_per_proc: SimDuration(25),
+            io_rate: 8.0e6,
+        }
+    }
+
+    /// A SPARCstation/PVM-like network of workstations: slower network with
+    /// much higher latency, as in the paper's ocean-circulation study.
+    pub fn now_cluster(nodes: usize) -> MachineModel {
+        MachineModel {
+            nodes,
+            flops_per_sec: 25.0e6,
+            node_speed: vec![1.0; nodes],
+            net_latency: SimDuration(700),
+            net_bandwidth: 1.0e6,
+            eager_threshold: 1024,
+            msg_overhead: SimDuration(80),
+            barrier_base: SimDuration(900),
+            barrier_per_proc: SimDuration(350),
+            io_rate: 3.0e6,
+        }
+    }
+
+    /// Overrides per-node speed factors (must supply one factor per node).
+    pub fn with_node_speeds(mut self, speeds: Vec<f64>) -> MachineModel {
+        assert_eq!(
+            speeds.len(),
+            self.nodes,
+            "need one speed factor per node"
+        );
+        assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+        self.node_speed = speeds;
+        self
+    }
+
+    /// CPU time for `flops` floating-point operations on `node`.
+    pub fn compute_time(&self, node: usize, flops: f64) -> SimDuration {
+        let rate = self.flops_per_sec * self.node_speed[node];
+        SimDuration::from_secs_f64(flops / rate)
+    }
+
+    /// Wire time for a `bytes`-byte message (latency + transfer).
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.net_latency + SimDuration::from_secs_f64(bytes as f64 / self.net_bandwidth)
+    }
+
+    /// True if a `bytes`-byte send completes eagerly.
+    pub fn is_eager(&self, bytes: u64) -> bool {
+        bytes <= self.eager_threshold
+    }
+
+    /// Completion cost of a barrier over `procs` processes, applied after
+    /// the last process arrives.
+    pub fn barrier_cost(&self, procs: usize) -> SimDuration {
+        self.barrier_base + self.barrier_per_proc.mul_f64(procs as f64)
+    }
+
+    /// Blocking time for `bytes` of sequential I/O.
+    pub fn io_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.io_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sp2_defaults_are_sane() {
+        let m = MachineModel::sp2(4);
+        assert_eq!(m.nodes, 4);
+        // 60 Mflops: 6e6 flops take 100 ms.
+        assert_eq!(m.compute_time(0, 6.0e6), SimDuration::from_millis(100));
+        // 35 MB/s: 3.5 MB takes 100 ms + 40 us latency.
+        assert_eq!(m.transfer_time(3_500_000).as_micros(), 100_040);
+        assert!(m.is_eager(1024));
+        assert!(!m.is_eager(64 * 1024));
+    }
+
+    #[test]
+    fn node_speed_scales_compute() {
+        let m = MachineModel::sp2(2).with_node_speeds(vec![1.0, 0.5]);
+        let fast = m.compute_time(0, 6.0e6);
+        let slow = m.compute_time(1, 6.0e6);
+        assert_eq!(slow.as_micros(), 2 * fast.as_micros());
+    }
+
+    #[test]
+    #[should_panic(expected = "one speed factor per node")]
+    fn wrong_speed_count_panics() {
+        let _ = MachineModel::sp2(4).with_node_speeds(vec![1.0]);
+    }
+
+    #[test]
+    fn barrier_cost_grows_with_procs() {
+        let m = MachineModel::sp2(8);
+        assert!(m.barrier_cost(8) > m.barrier_cost(4));
+        assert_eq!(
+            m.barrier_cost(4).as_micros(),
+            60 + 25 * 4
+        );
+    }
+
+    #[test]
+    fn io_time_is_linear() {
+        let m = MachineModel::sp2(4);
+        assert_eq!(m.io_time(8_000_000), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn now_cluster_has_slower_network() {
+        let sp2 = MachineModel::sp2(4);
+        let now = MachineModel::now_cluster(4);
+        assert!(now.net_latency > sp2.net_latency);
+        assert!(now.net_bandwidth < sp2.net_bandwidth);
+    }
+}

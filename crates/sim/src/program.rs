@@ -1,0 +1,193 @@
+//! Application structure: modules, functions, processes, nodes, tags.
+//!
+//! An `AppSpec` is the static description of a simulated program — the data
+//! from which the instrumentation layer builds the Code/Machine/Process
+//! resource hierarchies. Message tags are declared here but only enter the
+//! SyncObject hierarchy when first observed at run time (dynamic resource
+//! discovery, as in Paradyn).
+
+use std::fmt;
+
+/// Index of a process within an application (0-based rank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u16);
+
+/// Index of a function within an application's flat function table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u16);
+
+/// Index of a message tag within an application's tag table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TagId(pub u16);
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One source module and the functions it defines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleSpec {
+    /// Module (source file) name, e.g. `exchng2.f`.
+    pub name: String,
+    /// Function names defined in the module.
+    pub functions: Vec<String>,
+}
+
+/// Static structure of a simulated application.
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// Application name, e.g. `poisson`.
+    pub name: String,
+    /// Version label, e.g. `A`.
+    pub version: String,
+    /// Source modules with their functions.
+    pub modules: Vec<ModuleSpec>,
+    /// Process names, one per rank, e.g. `poisson:1`.
+    pub processes: Vec<String>,
+    /// Machine node names, e.g. `node04`.
+    pub nodes: Vec<String>,
+    /// For each process, the index of the node it runs on.
+    pub proc_node: Vec<usize>,
+    /// Message-tag labels, e.g. `3_0`.
+    pub tags: Vec<String>,
+}
+
+impl AppSpec {
+    /// Total number of functions across all modules.
+    pub fn function_count(&self) -> usize {
+        self.modules.iter().map(|m| m.functions.len()).sum()
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Resolves `(module, function)` names to a flat `FuncId`.
+    pub fn func_id(&self, module: &str, function: &str) -> Option<FuncId> {
+        let mut idx = 0u16;
+        for m in &self.modules {
+            for f in &m.functions {
+                if m.name == module && f == function {
+                    return Some(FuncId(idx));
+                }
+                idx += 1;
+            }
+        }
+        None
+    }
+
+    /// The `(module name, function name)` of a `FuncId`.
+    pub fn func_name(&self, id: FuncId) -> Option<(&str, &str)> {
+        let mut idx = id.0 as usize;
+        for m in &self.modules {
+            if idx < m.functions.len() {
+                return Some((m.name.as_str(), m.functions[idx].as_str()));
+            }
+            idx -= m.functions.len();
+        }
+        None
+    }
+
+    /// Resolves a tag label to its `TagId`.
+    pub fn tag_id(&self, label: &str) -> Option<TagId> {
+        self.tags
+            .iter()
+            .position(|t| t == label)
+            .map(|i| TagId(i as u16))
+    }
+
+    /// The label of a `TagId`.
+    pub fn tag_label(&self, id: TagId) -> Option<&str> {
+        self.tags.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// The node index a process runs on.
+    pub fn node_of(&self, p: ProcId) -> usize {
+        self.proc_node[p.0 as usize]
+    }
+
+    /// Validates internal consistency (process/node tables match, ids fit).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.proc_node.len() != self.processes.len() {
+            return Err("proc_node and processes must have equal length".into());
+        }
+        if let Some(&bad) = self.proc_node.iter().find(|&&n| n >= self.nodes.len()) {
+            return Err(format!("proc_node references node {bad} out of range"));
+        }
+        if self.function_count() > u16::MAX as usize {
+            return Err("too many functions".into());
+        }
+        if self.processes.len() > u16::MAX as usize {
+            return Err("too many processes".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AppSpec {
+        AppSpec {
+            name: "poisson".into(),
+            version: "A".into(),
+            modules: vec![
+                ModuleSpec {
+                    name: "oned.f".into(),
+                    functions: vec!["main".into(), "diff".into()],
+                },
+                ModuleSpec {
+                    name: "exchng1.f".into(),
+                    functions: vec!["exchng1".into()],
+                },
+            ],
+            processes: vec!["poisson:1".into(), "poisson:2".into()],
+            nodes: vec!["node01".into(), "node02".into()],
+            proc_node: vec![0, 1],
+            tags: vec!["3_0".into(), "3_1".into()],
+        }
+    }
+
+    #[test]
+    fn func_ids_are_flat_and_invertible() {
+        let app = sample();
+        assert_eq!(app.function_count(), 3);
+        let main = app.func_id("oned.f", "main").unwrap();
+        let diff = app.func_id("oned.f", "diff").unwrap();
+        let exch = app.func_id("exchng1.f", "exchng1").unwrap();
+        assert_eq!(main, FuncId(0));
+        assert_eq!(diff, FuncId(1));
+        assert_eq!(exch, FuncId(2));
+        assert_eq!(app.func_name(exch), Some(("exchng1.f", "exchng1")));
+        assert_eq!(app.func_id("exchng1.f", "nope"), None);
+        assert_eq!(app.func_name(FuncId(9)), None);
+    }
+
+    #[test]
+    fn tags_resolve() {
+        let app = sample();
+        assert_eq!(app.tag_id("3_1"), Some(TagId(1)));
+        assert_eq!(app.tag_label(TagId(0)), Some("3_0"));
+        assert_eq!(app.tag_id("9_9"), None);
+    }
+
+    #[test]
+    fn validate_catches_bad_node_refs() {
+        let mut app = sample();
+        assert!(app.validate().is_ok());
+        app.proc_node = vec![0, 7];
+        assert!(app.validate().is_err());
+        app.proc_node = vec![0];
+        assert!(app.validate().is_err());
+    }
+
+    #[test]
+    fn node_of_maps_processes() {
+        let app = sample();
+        assert_eq!(app.node_of(ProcId(1)), 1);
+    }
+}

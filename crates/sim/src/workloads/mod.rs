@@ -1,0 +1,48 @@
+//! Simulated applications used in the paper's evaluation.
+//!
+//! * [`poisson`] — the iterative Poisson function decomposition program of
+//!   Gropp et al. (Using MPI, ch. 4) in the four versions the paper studies
+//!   (§4.3): A (1-D, blocking), B (1-D, non-blocking), C (2-D), and D (the
+//!   same code as C on 8 nodes).
+//! * [`ocean`] — a PVM-era ocean-circulation analogue on a network of
+//!   workstations, the secondary threshold study of §4.2.
+//! * [`tester`] — the toy "Tester" program used in the paper's Figure 1.
+//! * [`synthetic`] — a configurable workload with planted bottlenecks for
+//!   tests.
+//! * [`wavefront`] — a Sweep3D-style pipelined transport kernel with a
+//!   collective per iteration (a different bottleneck family).
+
+pub mod ocean;
+pub mod poisson;
+pub mod synthetic;
+pub mod tester;
+pub mod wavefront;
+
+pub use ocean::OceanWorkload;
+pub use poisson::{PoissonVersion, PoissonWorkload};
+pub use synthetic::SyntheticWorkload;
+pub use tester::TesterWorkload;
+pub use wavefront::WavefrontWorkload;
+
+use crate::action::ProcessScript;
+use crate::engine::Engine;
+use crate::machine::MachineModel;
+use crate::program::AppSpec;
+
+/// A simulated application: static structure, machine, and one script per
+/// process.
+pub trait Workload {
+    /// The application's static structure.
+    fn app_spec(&self) -> AppSpec;
+
+    /// The machine the application runs on.
+    fn machine(&self) -> MachineModel;
+
+    /// Fresh process scripts (one per process, rank order).
+    fn scripts(&self) -> Vec<Box<dyn ProcessScript>>;
+
+    /// Builds a ready-to-run engine for this workload.
+    fn build_engine(&self) -> Engine {
+        Engine::new(self.app_spec(), self.machine(), self.scripts())
+    }
+}

@@ -1,0 +1,3 @@
+//! Workspace-level integration surface. Re-exports the `histpc` facade so
+//! root-level examples and integration tests can use one import path.
+pub use histpc::*;

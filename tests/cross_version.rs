@@ -1,0 +1,117 @@
+//! Integration: directives harvested from one code version guiding the
+//! diagnosis of another, through automatic resource mapping (paper §4.3).
+
+use histpc::prelude::*;
+
+fn config() -> SearchConfig {
+    SearchConfig {
+        window: SimDuration::from_secs(1),
+        sample: SimDuration::from_millis(200),
+        max_time: SimDuration::from_secs(300),
+        ..SearchConfig::default()
+    }
+}
+
+#[test]
+fn version_a_directives_speed_up_version_b() {
+    let session = Session::new();
+    let a = session.diagnose(&PoissonWorkload::new(PoissonVersion::A), &config(), "a");
+    let b_base = session.diagnose(&PoissonWorkload::new(PoissonVersion::B), &config(), "b0");
+
+    let directives = session.harvest_mapped(
+        &a.record,
+        &b_base.record.resources,
+        &ExtractionOptions::priorities_and_safe_prunes(),
+        &MappingSet::new(),
+    );
+    // Mapped directives must speak B's vocabulary, not A's.
+    for p in &directives.priorities {
+        let code = p.focus.selection("Code").map(|s| s.to_string()).unwrap_or_default();
+        assert!(
+            !code.contains("oned.f") && !code.contains("exchng1.f") && !code.contains("/sweep.f"),
+            "unmapped version-A name in {code}"
+        );
+    }
+
+    let b = session.diagnose(
+        &PoissonWorkload::new(PoissonVersion::B),
+        &config().with_directives(directives),
+        "b1",
+    );
+    let truth: Vec<(String, Focus)> = b_base
+        .report
+        .bottleneck_set()
+        .into_iter()
+        .filter(|(_, f)| f.selection("Machine").is_none_or(|m| m.is_root()))
+        .collect();
+    let t_base = b_base.report.time_to_find(&truth, 1.0).unwrap();
+    let t_directed = b
+        .report
+        .time_to_find(&truth, 1.0)
+        .expect("cross-version directives must not lose bottlenecks");
+    assert!(
+        t_directed.as_secs_f64() < 0.75 * t_base.as_secs_f64(),
+        "expected >25% reduction: base {t_base}, directed {t_directed}"
+    );
+}
+
+#[test]
+fn version_c_directives_map_onto_8_node_version_d() {
+    // D runs the same code as C but on 8 differently-numbered nodes:
+    // machine mapping is positional, and the 4 extra processes are
+    // discovered by the normal search.
+    let session = Session::new();
+    let c = session.diagnose(&PoissonWorkload::new(PoissonVersion::C), &config(), "c");
+    let d_base = session.diagnose(&PoissonWorkload::new(PoissonVersion::D), &config(), "d0");
+    let directives = session.harvest_mapped(
+        &c.record,
+        &d_base.record.resources,
+        &ExtractionOptions::priorities_only(),
+        &MappingSet::new(),
+    );
+    // Machine names must have been rewritten: C uses node01..node04,
+    // D uses node09..node16.
+    for p in &directives.priorities {
+        if let Some(m) = p.focus.selection("Machine") {
+            if !m.is_root() {
+                let label = m.label();
+                let num: usize = label.trim_start_matches("node").parse().unwrap();
+                assert!((9..=16).contains(&num), "unmapped machine {label}");
+            }
+        }
+    }
+    let d = session.diagnose(
+        &PoissonWorkload::new(PoissonVersion::D),
+        &config().with_directives(directives),
+        "d1",
+    );
+    assert!(d.report.bottleneck_count() > 0);
+    // The directed run finds bottlenecks on processes 5..8 as well,
+    // even though no directive mentions them.
+    let found_high_rank = d.report.bottleneck_set().iter().any(|(_, f)| {
+        f.selection("Process")
+            .is_some_and(|p| p.label().ends_with(":7") || p.label().ends_with(":8"))
+    });
+    assert!(found_high_rank, "no bottlenecks found on the new processes");
+}
+
+#[test]
+fn suggested_mappings_cover_the_paper_renames() {
+    let a = histpc::instr::Binder::new(PoissonWorkload::new(PoissonVersion::A).app_spec())
+        .build_space();
+    let b = histpc::instr::Binder::new(PoissonWorkload::new(PoissonVersion::B).app_spec())
+        .build_space();
+    let an: Vec<ResourceName> = a.hierarchies().iter().flat_map(|h| h.all_names()).collect();
+    let bn: Vec<ResourceName> = b.hierarchies().iter().flat_map(|h| h.all_names()).collect();
+    let m = MappingSet::suggest(&an, &bn);
+    let text = m.to_text();
+    for expected in [
+        "map /Code/oned.f /Code/onednb.f",
+        "map /Code/exchng1.f /Code/nbexchng.f",
+        "map /Code/exchng1.f/exchng1 /Code/nbexchng.f/nbexchng1",
+        "map /Code/sweep.f /Code/nbsweep.f",
+        "map /Code/sweep.f/sweep1d /Code/nbsweep.f/nbsweep",
+    ] {
+        assert!(text.contains(expected), "missing {expected} in:\n{text}");
+    }
+}

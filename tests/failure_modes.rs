@@ -1,0 +1,154 @@
+//! Integration: failure injection and degenerate inputs.
+
+use histpc::history;
+use histpc::prelude::*;
+
+fn fast_config() -> SearchConfig {
+    SearchConfig {
+        window: SimDuration::from_millis(800),
+        sample: SimDuration::from_millis(100),
+        max_time: SimDuration::from_secs(60),
+        ..SearchConfig::default()
+    }
+}
+
+#[test]
+fn stale_directives_for_unknown_resources_are_harmless() {
+    // Directives naming resources that do not exist in the current run
+    // (a renamed function nobody mapped) must not break the search: the
+    // stale pairs simply collect no data and conclude false.
+    let wl = SyntheticWorkload::balanced(2, 2, 0.2).with_hotspot(0, 1, 2.0);
+    let mut directives = SearchDirectives::none();
+    directives.add_priority(PriorityDirective {
+        hypothesis: "CPUbound".into(),
+        focus: Focus::whole_program(["Code", "Machine", "Process", "SyncObject"])
+            .with_selection(ResourceName::parse("/Code/ghost.c/phantom").unwrap()),
+        level: PriorityLevel::High,
+    });
+    directives.add_prune(Prune {
+        hypothesis: None,
+        target: PruneTarget::Resource(ResourceName::parse("/Code/gone.c").unwrap()),
+    });
+    let d = Session::new().diagnose(
+        &wl,
+        &fast_config().with_directives(directives),
+        "stale",
+    );
+    assert!(d.report.bottleneck_count() > 0, "search still works");
+    let stale = d
+        .report
+        .outcomes
+        .iter()
+        .find(|o| {
+            o.focus
+                .selection("Code")
+                .is_some_and(|s| s.to_string() == "/Code/ghost.c/phantom")
+        })
+        .expect("stale pair recorded");
+    assert_eq!(stale.outcome, Outcome::False);
+}
+
+#[test]
+fn unknown_hypothesis_directives_are_ignored() {
+    let wl = SyntheticWorkload::balanced(2, 2, 0.2).with_hotspot(0, 1, 2.0);
+    let mut directives = SearchDirectives::none();
+    directives.add_priority(PriorityDirective {
+        hypothesis: "NotAHypothesis".into(),
+        focus: Focus::whole_program(["Code", "Machine", "Process", "SyncObject"]),
+        level: PriorityLevel::High,
+    });
+    let d = Session::new().diagnose(&wl, &fast_config().with_directives(directives), "x");
+    assert!(d.report.quiescent);
+}
+
+#[test]
+fn pruning_everything_yields_empty_but_clean_diagnosis() {
+    let wl = SyntheticWorkload::balanced(2, 2, 0.2).with_hotspot(0, 1, 2.0);
+    let mut directives = SearchDirectives::none();
+    // Prune every hypothesis at every focus via pair prunes on the whole
+    // program (the roots of the search).
+    for hyp in ["CPUbound", "ExcessiveSyncWaitingTime", "ExcessiveIOBlockingTime"] {
+        directives.add_prune(Prune {
+            hypothesis: Some(hyp.into()),
+            target: PruneTarget::Pair(Focus::whole_program([
+                "Code",
+                "Machine",
+                "Process",
+                "SyncObject",
+            ])),
+        });
+    }
+    let d = Session::new().diagnose(&wl, &fast_config().with_directives(directives), "none");
+    assert_eq!(d.report.bottleneck_count(), 0);
+    assert!(d.report.quiescent);
+    assert_eq!(d.report.pairs_tested, 0);
+    assert_eq!(
+        d.report
+            .outcomes
+            .iter()
+            .filter(|o| o.outcome == Outcome::Pruned)
+            .count(),
+        3
+    );
+}
+
+#[test]
+fn empty_store_queries_fail_cleanly() {
+    let dir = std::env::temp_dir().join(format!("histpc-empty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let session = Session::with_store(&dir).unwrap();
+    assert!(session
+        .harvest("nothing", "r1", &ExtractionOptions::default())
+        .is_err());
+    assert!(session.store().unwrap().labels("nothing").unwrap().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_record_files_report_errors() {
+    let dir = std::env::temp_dir().join(format!("histpc-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("app")).unwrap();
+    std::fs::write(dir.join("app").join("bad.record"), "not a record\n").unwrap();
+    let store = ExecutionStore::open(&dir).unwrap();
+    assert!(store.load("app", "bad").is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mapping_files_reject_garbage_but_accept_comments() {
+    assert!(MappingSet::parse("map /Code/a /Process/b").is_err());
+    assert!(MappingSet::parse("nonsense\n").is_err());
+    let ok = MappingSet::parse("# fine\n\nmap /Code/a.c /Code/b.c\n").unwrap();
+    assert_eq!(ok.len(), 1);
+}
+
+#[test]
+fn extraction_from_empty_record_produces_only_general_rules() {
+    // A record with no outcomes (e.g. a run that found nothing) still
+    // yields the general prunes, and nothing else.
+    let wl = SyntheticWorkload::balanced(2, 1, 0.1);
+    let session = Session::new();
+    let d = session.diagnose(&wl, &fast_config(), "r");
+    let mut rec = d.record.clone();
+    rec.outcomes.clear();
+    let directives = history::extract(&rec, &ExtractionOptions::priorities_and_safe_prunes());
+    assert!(directives.priorities.is_empty());
+    assert!(!directives.prunes.is_empty());
+    assert!(directives.thresholds.is_empty());
+}
+
+#[test]
+fn combination_of_disjoint_histories() {
+    // A∩B of unrelated applications is empty; A∪B contains both.
+    let wl1 = SyntheticWorkload::balanced(2, 2, 0.2).with_hotspot(0, 0, 1.0);
+    let session = Session::new();
+    let d1 = session.diagnose(&wl1, &fast_config(), "r1");
+    let a = history::extract(&d1.record, &ExtractionOptions::priorities_only());
+    let empty = SearchDirectives::none();
+    assert_eq!(histpc::history::intersect(&a, &empty).priorities.len(), 0);
+    assert_eq!(
+        histpc::history::union(&a, &empty).priorities.len(),
+        a.priorities.len()
+    );
+}

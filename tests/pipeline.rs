@@ -1,0 +1,148 @@
+//! End-to-end integration: diagnose → persist → harvest → directed
+//! re-diagnosis, through the on-disk execution store.
+
+use histpc::history;
+use histpc::prelude::*;
+
+fn fast_config() -> SearchConfig {
+    SearchConfig {
+        window: SimDuration::from_millis(800),
+        sample: SimDuration::from_millis(100),
+        max_time: SimDuration::from_secs(120),
+        ..SearchConfig::default()
+    }
+}
+
+fn store_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("histpc-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn full_pipeline_through_disk_store() {
+    let dir = store_dir("pipeline");
+    let session = Session::with_store(&dir).unwrap();
+    let wl = SyntheticWorkload::balanced(4, 4, 0.2)
+        .with_hotspot(0, 1, 2.0)
+        .with_ring(256);
+
+    // Base run, persisted.
+    let base = session.diagnose(&wl, &fast_config(), "run1");
+    assert!(base.report.bottleneck_count() > 0);
+
+    // Reload from disk and verify the record round-trips.
+    let loaded = session.store().unwrap().load("synth", "run1").unwrap();
+    assert_eq!(loaded.outcomes.len(), base.record.outcomes.len());
+    assert_eq!(loaded.resources, base.record.resources);
+    assert_eq!(loaded.pairs_tested, base.record.pairs_tested);
+
+    // Harvest from the stored record and re-diagnose.
+    let directives = session
+        .harvest(
+            "synth",
+            "run1",
+            &ExtractionOptions::priorities_and_safe_prunes(),
+        )
+        .unwrap();
+    assert!(!directives.is_empty());
+    let directed = session.diagnose(
+        &wl,
+        &fast_config().with_directives(directives),
+        "run2",
+    );
+
+    // The directed run reports every (machine-deduplicated) bottleneck of
+    // the base run, faster.
+    let truth: Vec<(String, Focus)> = base
+        .report
+        .bottleneck_set()
+        .into_iter()
+        .filter(|(_, f)| f.selection("Machine").is_none_or(|m| m.is_root()))
+        .collect();
+    let t_base = base.report.time_to_find(&truth, 1.0).unwrap();
+    let t_directed = directed
+        .report
+        .time_to_find(&truth, 1.0)
+        .expect("directed run must not miss base bottlenecks");
+    assert!(
+        t_directed < t_base,
+        "directed {t_directed} not faster than base {t_base}"
+    );
+
+    // Both runs are now stored.
+    assert_eq!(
+        session.store().unwrap().labels("synth").unwrap(),
+        vec!["run1", "run2"]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn directive_files_roundtrip_through_text() {
+    let wl = SyntheticWorkload::balanced(2, 3, 0.2).with_hotspot(1, 2, 1.5);
+    let session = Session::new();
+    let d = session.diagnose(&wl, &fast_config(), "r");
+    let directives = history::extract(&d.record, &ExtractionOptions::priorities_and_safe_prunes());
+    let text = directives.to_text();
+    let parsed = SearchDirectives::parse(&text).unwrap();
+    assert_eq!(parsed.prunes, directives.prunes);
+    assert_eq!(parsed.priorities, directives.priorities);
+    // A directed run from the re-parsed file behaves identically.
+    let a = session.diagnose(&wl, &fast_config().with_directives(directives), "a");
+    let b = session.diagnose(&wl, &fast_config().with_directives(parsed), "b");
+    assert_eq!(a.report.pairs_tested, b.report.pairs_tested);
+    assert_eq!(a.report.bottleneck_set(), b.report.bottleneck_set());
+}
+
+#[test]
+fn postmortem_extraction_matches_online_shape() {
+    // The paper's §6 extension: extract directives from raw data without
+    // an SHG. The postmortem record's true set must cover the online
+    // search's whole-program conclusions.
+    let wl = SyntheticWorkload::balanced(2, 3, 0.2).with_hotspot(0, 1, 2.0);
+    let session = Session::new();
+    let d = session.diagnose(&wl, &fast_config(), "r");
+    let rec = history::postmortem_record(
+        &d.postmortem,
+        &histpc::consultant::HypothesisTree::standard(),
+        &SearchDirectives::none(),
+        "postmortem",
+    );
+    for o in d.report.outcomes.iter().filter(|o| {
+        o.outcome == Outcome::True && o.focus.is_whole_program()
+    }) {
+        assert!(
+            rec.outcomes.iter().any(|p| {
+                p.hypothesis == o.hypothesis
+                    && p.focus == o.focus
+                    && p.outcome == Outcome::True
+            }),
+            "postmortem missed online bottleneck {} {}",
+            o.hypothesis,
+            o.focus
+        );
+    }
+    // And directives extracted from it are usable.
+    let directives = history::extract(&rec, &ExtractionOptions::priorities_only());
+    assert!(!directives.is_empty());
+    let redo = session.diagnose(&wl, &fast_config().with_directives(directives), "redo");
+    assert!(redo.report.bottleneck_count() > 0);
+}
+
+#[test]
+fn determinism_same_config_same_report() {
+    let wl = SyntheticWorkload::balanced(3, 3, 0.3).with_hotspot(2, 0, 1.0).with_ring(128);
+    let session = Session::new();
+    let a = session.diagnose(&wl, &fast_config(), "a");
+    let b = session.diagnose(&wl, &fast_config(), "b");
+    assert_eq!(a.report.pairs_tested, b.report.pairs_tested);
+    assert_eq!(a.report.end_time, b.report.end_time);
+    assert_eq!(a.report.outcomes.len(), b.report.outcomes.len());
+    for (x, y) in a.report.outcomes.iter().zip(&b.report.outcomes) {
+        assert_eq!(x.hypothesis, y.hypothesis);
+        assert_eq!(x.focus, y.focus);
+        assert_eq!(x.outcome, y.outcome);
+        assert_eq!(x.first_true_at, y.first_true_at);
+    }
+}

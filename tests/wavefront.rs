@@ -1,0 +1,89 @@
+//! Integration: diagnosing the wavefront (Sweep3D-style) kernel — a
+//! bottleneck family the Poisson code does not exercise: pipeline waits
+//! plus a per-iteration data-carrying collective.
+
+use histpc::history;
+use histpc::prelude::*;
+
+fn config() -> SearchConfig {
+    SearchConfig {
+        window: SimDuration::from_secs(1),
+        sample: SimDuration::from_millis(200),
+        max_time: SimDuration::from_secs(300),
+        ..SearchConfig::default()
+    }
+}
+
+#[test]
+fn wavefront_diagnosis_finds_pipeline_and_collective_waits() {
+    let wl = WavefrontWorkload::new();
+    let session = Session::new();
+    let d = session.diagnose(&wl, &config(), "w1");
+    assert!(d.report.quiescent, "search should complete");
+    let b = d.report.bottleneck_set();
+
+    // The dominant problem is synchronization waiting...
+    assert!(b
+        .iter()
+        .any(|(h, f)| h == "ExcessiveSyncWaitingTime" && f.is_whole_program()));
+    // ...specifically *message* waiting in the sweep function...
+    assert!(
+        b.iter().any(|(h, f)| {
+            h == "ExcessiveMessageWaitingTime"
+                && f.selection("Code")
+                    .is_some_and(|s| s.to_string() == "/Code/sweep.f/sweep")
+        }),
+        "sweep pipeline waits not identified: {b:?}"
+    );
+    // ...and the sub-hypothesis axis separates the collective's barrier
+    // waits (attributed to main) from the pipeline's message waits.
+    assert!(
+        b.iter().any(|(h, f)| {
+            h == "ExcessiveBarrierWaitingTime"
+                && f.selection("Code")
+                    .is_some_and(|s| s.to_string().starts_with("/Code/driver.f"))
+        }),
+        "collective barrier waits not identified: {b:?}"
+    );
+}
+
+#[test]
+fn wavefront_history_speeds_up_rediagnosis() {
+    let wl = WavefrontWorkload::new();
+    let session = Session::new();
+    let base = session.diagnose(&wl, &config(), "base");
+    let truth: Vec<(String, Focus)> = base
+        .report
+        .bottleneck_set()
+        .into_iter()
+        .filter(|(_, f)| f.selection("Machine").is_none_or(|m| m.is_root()))
+        .collect();
+    let directives = history::extract(
+        &base.record,
+        &ExtractionOptions::priorities_and_safe_prunes(),
+    );
+    let directed = session.diagnose(&wl, &config().with_directives(directives), "directed");
+    let t_base = base.report.time_to_find(&truth, 1.0).unwrap();
+    let t_directed = directed
+        .report
+        .time_to_find(&truth, 1.0)
+        .expect("directed run covers the truth set");
+    assert!(
+        t_directed.as_secs_f64() < 0.5 * t_base.as_secs_f64(),
+        "expected >50% reduction: {t_base} -> {t_directed}"
+    );
+}
+
+#[test]
+fn profile_rendering_summarizes_the_run() {
+    let wl = WavefrontWorkload::new();
+    let mut engine = wl.build_engine();
+    engine.run_until(SimTime::from_secs(5));
+    let pm = PostmortemData::from_totals(engine.app().clone(), engine.totals());
+    let text = pm.render_profile();
+    assert!(text.contains("whole program:"));
+    assert!(text.contains("/Code/sweep.f/sweep"));
+    assert!(text.contains("/SyncObject/Message/fwd"));
+    assert!(text.contains("/Process/sweep3d:1"));
+    assert!(!text.contains("-0.0%"));
+}
