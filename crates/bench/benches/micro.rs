@@ -67,11 +67,8 @@ fn bench_directives(c: &mut Criterion) {
         max_time: SimDuration::from_secs(60),
         ..SearchConfig::default()
     };
-    let d = Session::new().diagnose(&wl, &config, "bench");
-    let directives = history::extract(
-        &d.record,
-        &ExtractionOptions::priorities_and_safe_prunes(),
-    );
+    let d = Session::new().diagnose(&wl, &config, "bench").unwrap();
+    let directives = history::extract(&d.record, &ExtractionOptions::priorities_and_safe_prunes());
     let space = d.postmortem.space().clone();
     let probe = space
         .whole_program()

@@ -56,11 +56,13 @@ fn bench_table2(c: &mut Criterion) {
                 hypothesis: "ExcessiveSyncWaitingTime".into(),
                 value: 0.12,
             });
-            let d = Session::new().diagnose(
-                &wl,
-                &bench::exp_config().with_directives(directives),
-                "bench",
-            );
+            let d = Session::new()
+                .diagnose(
+                    &wl,
+                    &bench::exp_config().with_directives(directives),
+                    "bench",
+                )
+                .unwrap();
             black_box(d.report.bottleneck_count())
         })
     });
@@ -75,12 +77,14 @@ fn bench_table3(c: &mut Criterion) {
     let mut g = configured(c, "table3");
     g.bench_function("cross_version_a_to_c", |b| {
         b.iter(|| {
-            let directives = session.harvest_mapped(
-                &a.record,
-                &c_probe.record.resources,
-                &ExtractionOptions::priorities_and_safe_prunes(),
-                &MappingSet::new(),
-            );
+            let directives = session
+                .harvest_mapped(
+                    &a.record,
+                    &c_probe.record.resources,
+                    &ExtractionOptions::priorities_and_safe_prunes(),
+                    &MappingSet::new(),
+                )
+                .unwrap();
             black_box(
                 bench::directed_diagnosis(PoissonVersion::C, directives)
                     .report
@@ -99,12 +103,14 @@ fn bench_table4(c: &mut Criterion) {
     let mut g = configured(c, "table4");
     g.bench_function("extract_and_map_priorities", |b| {
         b.iter(|| {
-            let d = session.harvest_mapped(
-                &a.record,
-                &c_probe.record.resources,
-                &ExtractionOptions::priorities_only(),
-                &MappingSet::new(),
-            );
+            let d = session
+                .harvest_mapped(
+                    &a.record,
+                    &c_probe.record.resources,
+                    &ExtractionOptions::priorities_only(),
+                    &MappingSet::new(),
+                )
+                .unwrap();
             black_box(d.priorities.len())
         })
     });

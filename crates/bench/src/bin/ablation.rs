@@ -19,7 +19,7 @@ struct Row {
 fn run_pair(config: &SearchConfig) -> Row {
     let wl = PoissonWorkload::new(PoissonVersion::C);
     let session = Session::new();
-    let base = session.diagnose(&wl, config, "base");
+    let base = session.diagnose(&wl, config, "base").unwrap();
     let truth: Vec<(String, Focus)> = base
         .report
         .bottleneck_set()
@@ -30,11 +30,9 @@ fn run_pair(config: &SearchConfig) -> Row {
         &base.record,
         &ExtractionOptions::priorities_and_safe_prunes(),
     );
-    let directed = session.diagnose(
-        &wl,
-        &config.clone().with_directives(directives),
-        "directed",
-    );
+    let directed = session
+        .diagnose(&wl, &config.clone().with_directives(directives), "directed")
+        .unwrap();
     Row {
         label: String::new(),
         base: base.report.time_to_find(&truth, 1.0),

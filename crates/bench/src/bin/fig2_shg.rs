@@ -1,5 +1,8 @@
 //! Regenerates the paper's Figure 2 (a PC search in progress).
 use histpc::prelude::SimTime;
 fn main() {
-    println!("{}", histpc_bench::fig2_shg_snapshot(SimTime::from_secs(12)));
+    println!(
+        "{}",
+        histpc_bench::fig2_shg_snapshot(SimTime::from_secs(12))
+    );
 }

@@ -1,7 +1,7 @@
 //! Shared experiment machinery for the paper's evaluation section.
 
-use histpc::prelude::*;
 use histpc::history;
+use histpc::prelude::*;
 
 /// The canonical experiment configuration: 2 s conclusion windows,
 /// 250 ms sampling, generous time limit.
@@ -17,17 +17,21 @@ pub fn exp_config() -> SearchConfig {
 /// Runs the unmodified Performance Consultant on a Poisson version.
 pub fn base_diagnosis(version: PoissonVersion) -> Diagnosis {
     let wl = PoissonWorkload::new(version);
-    Session::new().diagnose(&wl, &exp_config(), &format!("base-{}", version.label()))
+    Session::new()
+        .diagnose(&wl, &exp_config(), &format!("base-{}", version.label()))
+        .expect("default config lints clean")
 }
 
 /// Runs a directed diagnosis of a Poisson version.
 pub fn directed_diagnosis(version: PoissonVersion, directives: SearchDirectives) -> Diagnosis {
     let wl = PoissonWorkload::new(version);
-    Session::new().diagnose(
-        &wl,
-        &exp_config().with_directives(directives),
-        &format!("directed-{}", version.label()),
-    )
+    Session::new()
+        .diagnose(
+            &wl,
+            &exp_config().with_directives(directives),
+            &format!("directed-{}", version.label()),
+        )
+        .expect("harvested directives lint clean")
 }
 
 /// The evaluation's reference bottleneck set for a base run: every true
@@ -185,11 +189,7 @@ impl Table1 {
         for (i, frac) in self.fractions.iter().enumerate() {
             out.push_str(&format!("{:<12}", format!("{:.0}%", frac * 100.0)));
             for (_, row) in &self.times {
-                let cell = format!(
-                    "{} {}",
-                    fmt_time(row[i]),
-                    fmt_reduction(row[i], base[i])
-                );
+                let cell = format!("{} {}", fmt_time(row[i]), fmt_reduction(row[i], base[i]));
                 out.push_str(&format!("{cell:>24}"));
             }
             out.push('\n');
@@ -261,11 +261,9 @@ fn sweep_row(
         hypothesis: "ExcessiveSyncWaitingTime".into(),
         value: threshold,
     });
-    let d = Session::new().diagnose(
-        workload,
-        &exp_config().with_directives(directives),
-        "sweep",
-    );
+    let d = Session::new()
+        .diagnose(workload, &exp_config().with_directives(directives), "sweep")
+        .expect("sweep thresholds lint clean");
     let found = d.report.bottleneck_set();
     let hits = significant.iter().filter(|p| found.contains(p)).count();
     Table2Row {
@@ -379,14 +377,13 @@ pub fn run_table3() -> Table3 {
     ];
     // Base runs (column "None" and directive sources), in parallel.
     let mut bases: Vec<Option<Diagnosis>> = versions.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, &v) in bases.iter_mut().zip(&versions) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 *slot = Some(base_diagnosis(v));
             });
         }
-    })
-    .expect("base diagnosis threads");
+    });
     let bases: Vec<Diagnosis> = bases.into_iter().map(|b| b.expect("spawned")).collect();
 
     let session = Session::new();
@@ -396,12 +393,14 @@ pub fn run_table3() -> Table3 {
         let base_time = bases[ri].report.time_to_find(&truth, 1.0);
         let mut row = vec![base_time];
         for (ci, _col_version) in versions.iter().enumerate() {
-            let directives = session.harvest_mapped(
-                &bases[ci].record,
-                &bases[ri].record.resources,
-                &ExtractionOptions::priorities_and_safe_prunes(),
-                &MappingSet::new(),
-            );
+            let directives = session
+                .harvest_mapped(
+                    &bases[ci].record,
+                    &bases[ri].record.resources,
+                    &ExtractionOptions::priorities_and_safe_prunes(),
+                    &MappingSet::new(),
+                )
+                .expect("suggested mappings lint clean");
             let d = directed_diagnosis(row_version, directives);
             row.push(d.report.time_to_find(&truth, 1.0));
         }
@@ -463,7 +462,9 @@ pub fn run_table4() -> Table4 {
     let c = base_diagnosis(PoissonVersion::C);
     let opts = ExtractionOptions::priorities_only();
     let in_c = |src: &Diagnosis| {
-        session.harvest_mapped(&src.record, &c.record.resources, &opts, &MappingSet::new())
+        session
+            .harvest_mapped(&src.record, &c.record.resources, &opts, &MappingSet::new())
+            .expect("suggested mappings lint clean")
     };
     let da = in_c(&a);
     let db = in_c(&b);
@@ -487,9 +488,9 @@ pub fn run_table4() -> Table4 {
         let member: Vec<bool> = sets
             .iter()
             .map(|d| {
-                d.priorities
-                    .iter()
-                    .any(|p| p.hypothesis == hyp && p.focus.to_string() == focus_text && p.level == level)
+                d.priorities.iter().any(|p| {
+                    p.hypothesis == hyp && p.focus.to_string() == focus_text && p.level == level
+                })
             })
             .collect();
         let class = match (member[0], member[1], member[2]) {
@@ -524,10 +525,11 @@ impl Table4 {
 
     /// Renders the table in the paper's layout.
     pub fn render(&self) -> String {
-        let headers = ["A only", "B only", "C only", "A,B", "A,C", "B,C", "A,B,C", "TOTAL"];
-        let mut out = String::from(
-            "Table 4: Similarity of Extracted Priorities Across Code Versions\n\n",
-        );
+        let headers = [
+            "A only", "B only", "C only", "A,B", "A,C", "B,C", "A,B,C", "TOTAL",
+        ];
+        let mut out =
+            String::from("Table 4: Similarity of Extracted Priorities Across Code Versions\n\n");
         out.push_str(&format!("{:<10}", "Priority"));
         for h in headers {
             out.push_str(&format!("{h:>9}"));
@@ -591,18 +593,14 @@ pub fn run_combination() -> CombinationExperiment {
         max_time: SimDuration::from_secs(45),
         ..exp_config()
     };
-    let a1 = Session::new().diagnose(
-        &PoissonWorkload::new(PoissonVersion::A),
-        &bounded,
-        "a1",
-    );
+    let a1 = Session::new()
+        .diagnose(&PoissonWorkload::new(PoissonVersion::A), &bounded, "a1")
+        .expect("default config lints clean");
     let directives = history::extract(&a1.record, &ExtractionOptions::priorities_only());
     let wl_a2 = PoissonWorkload::new(PoissonVersion::A).with_seed(0xA2);
-    let a2 = session.diagnose(
-        &wl_a2,
-        &bounded.clone().with_directives(directives),
-        "a2",
-    );
+    let a2 = session
+        .diagnose(&wl_a2, &bounded.clone().with_directives(directives), "a2")
+        .expect("harvested directives lint clean");
     let a1_set: Vec<(String, Focus)> = a1.report.bottleneck_set();
     let a2_set: Vec<(String, Focus)> = a2.report.bottleneck_set();
     let common_true = a1_set.iter().filter(|p| a2_set.contains(p)).count();
@@ -614,8 +612,17 @@ pub fn run_combination() -> CombinationExperiment {
     let b = base_diagnosis(PoissonVersion::B);
     let c = base_diagnosis(PoissonVersion::C);
     let opts = ExtractionOptions::priorities_only();
-    let da = session.harvest_mapped(&a_full.record, &c.record.resources, &opts, &MappingSet::new());
-    let db = session.harvest_mapped(&b.record, &c.record.resources, &opts, &MappingSet::new());
+    let da = session
+        .harvest_mapped(
+            &a_full.record,
+            &c.record.resources,
+            &opts,
+            &MappingSet::new(),
+        )
+        .expect("suggested mappings lint clean");
+    let db = session
+        .harvest_mapped(&b.record, &c.record.resources, &opts, &MappingSet::new())
+        .expect("suggested mappings lint clean");
     let inter = intersect(&da, &db);
     let uni = union(&da, &db);
     let common_directives = inter.priorities.len();

@@ -21,9 +21,9 @@
 //! threshold ExcessiveSyncWaitingTime 0.12
 //! ```
 
+use histpc_resources::diag::{did_you_mean, tokenize, Diagnostic, Span, MEMORY_FILE};
 use histpc_resources::{Focus, ResourceName};
 use std::collections::HashMap;
-use std::fmt;
 
 /// Priority of a hypothesis/focus pair in the search order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -154,9 +154,8 @@ impl SearchDirectives {
     pub fn add_priority(&mut self, p: PriorityDirective) {
         self.priority_index
             .insert((p.hypothesis.clone(), p.focus.clone()), p.level);
-        self.priorities.retain(|q| {
-            !(q.hypothesis == p.hypothesis && q.focus == p.focus)
-        });
+        self.priorities
+            .retain(|q| !(q.hypothesis == p.hypothesis && q.focus == p.focus));
         self.priorities.push(p);
     }
 
@@ -250,98 +249,240 @@ impl SearchDirectives {
     }
 
     /// Parses the line-oriented text form. Unknown lines produce errors;
-    /// blank lines and `#` comments are skipped.
-    pub fn parse(text: &str) -> Result<SearchDirectives, DirectiveParseError> {
+    /// blank lines and `#` comments are skipped. On failure the first
+    /// error-severity [`Diagnostic`] is returned; use [`parse_with_spans`]
+    /// to recover all diagnostics at once.
+    pub fn parse(text: &str) -> Result<SearchDirectives, Diagnostic> {
+        let (located, diags) = parse_with_spans(text, MEMORY_FILE);
+        match diags.into_iter().find(|d| d.is_error()) {
+            Some(err) => Err(err),
+            None => Ok(SearchDirectives::from_located(&located)),
+        }
+    }
+
+    /// Builds a directive set from located directives (spans discarded).
+    pub fn from_located(located: &[LocatedDirective]) -> SearchDirectives {
         let mut out = SearchDirectives::none();
-        for (lineno, raw) in text.lines().enumerate() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let mut words = line.split_whitespace();
-            let kind = words.next().expect("non-empty line");
-            let err = |reason: &'static str| DirectiveParseError {
-                line: lineno + 1,
-                text: raw.to_string(),
-                reason,
-            };
-            match kind {
-                "prune" => {
-                    let hyp = words.next().ok_or_else(|| err("missing hypothesis"))?;
-                    let hyp = (hyp != "*").then(|| hyp.to_string());
-                    let target_kind = words.next().ok_or_else(|| err("missing target kind"))?;
-                    let rest = words.collect::<Vec<_>>().join(" ");
-                    let target = match target_kind {
-                        "resource" => PruneTarget::Resource(
-                            ResourceName::parse(&rest).map_err(|_| err("bad resource name"))?,
-                        ),
-                        "pair" => PruneTarget::Pair(
-                            Focus::parse(&rest).map_err(|_| err("bad focus"))?,
-                        ),
-                        _ => return Err(err("target must be 'resource' or 'pair'")),
-                    };
-                    out.add_prune(Prune {
-                        hypothesis: hyp,
-                        target,
-                    });
-                }
-                "priority" => {
-                    let level = words
-                        .next()
-                        .and_then(PriorityLevel::from_name)
-                        .ok_or_else(|| err("bad priority level"))?;
-                    let hyp = words.next().ok_or_else(|| err("missing hypothesis"))?;
-                    let rest = words.collect::<Vec<_>>().join(" ");
-                    let focus = Focus::parse(&rest).map_err(|_| err("bad focus"))?;
-                    out.add_priority(PriorityDirective {
-                        hypothesis: hyp.to_string(),
-                        focus,
-                        level,
-                    });
-                }
-                "threshold" => {
-                    let hyp = words.next().ok_or_else(|| err("missing hypothesis"))?;
-                    let value: f64 = words
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| err("bad threshold value"))?;
-                    if !(0.0..=1.0).contains(&value) {
-                        return Err(err("threshold must be within 0..=1"));
-                    }
-                    out.add_threshold(ThresholdDirective {
-                        hypothesis: hyp.to_string(),
-                        value,
-                    });
-                }
-                _ => return Err(err("unknown directive kind")),
+        for l in located {
+            match &l.directive {
+                Directive::Prune(p) => out.add_prune(p.clone()),
+                Directive::Priority(p) => out.add_priority(p.clone()),
+                Directive::Threshold(t) => out.add_threshold(t.clone()),
             }
         }
-        Ok(out)
+        out
     }
 }
 
-/// A parse failure in a directive file.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DirectiveParseError {
-    /// 1-based line number.
-    pub line: usize,
-    /// The offending line.
-    pub text: String,
-    /// Why it failed.
-    pub reason: &'static str,
+/// One directive of any kind, as parsed from a single line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Directive {
+    /// A `prune` line.
+    Prune(Prune),
+    /// A `priority` line.
+    Priority(PriorityDirective),
+    /// A `threshold` line.
+    Threshold(ThresholdDirective),
 }
 
-impl fmt::Display for DirectiveParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "directive parse error at line {}: {} ({:?})",
-            self.line, self.reason, self.text
+impl Directive {
+    /// The hypothesis this directive constrains, if named (`*` prunes
+    /// apply to every hypothesis and return `None`).
+    pub fn hypothesis(&self) -> Option<&str> {
+        match self {
+            Directive::Prune(p) => p.hypothesis.as_deref(),
+            Directive::Priority(p) => Some(&p.hypothesis),
+            Directive::Threshold(t) => Some(&t.hypothesis),
+        }
+    }
+}
+
+/// A parsed directive together with the source spans linters need to
+/// point at: the whole directive, its hypothesis token, and its value
+/// token(s) (resource, focus, or threshold number).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocatedDirective {
+    /// The directive itself.
+    pub directive: Directive,
+    /// Span of the whole directive (trimmed line content).
+    pub span: Span,
+    /// Span of the hypothesis token (the `*` token for wildcard prunes).
+    pub hypothesis_span: Span,
+    /// Span of the target/value part of the line.
+    pub value_span: Span,
+}
+
+const DIRECTIVE_KINDS: [&str; 3] = ["prune", "priority", "threshold"];
+
+/// Parses a directive file with error recovery: every line that parses
+/// contributes a [`LocatedDirective`], every line that does not
+/// contributes an error-severity [`Diagnostic`] (codes `HL001`, `HL003`,
+/// `HL007`), and parsing always continues to the end of the input.
+pub fn parse_with_spans(text: &str, file: &str) -> (Vec<LocatedDirective>, Vec<Diagnostic>) {
+    let mut located = Vec::new();
+    let mut diags = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match parse_line(raw, lineno, file) {
+            Ok(dir) => located.push(dir),
+            Err(diag) => diags.push(diag),
+        }
+    }
+    (located, diags)
+}
+
+/// Parses one non-blank, non-comment directive line.
+fn parse_line(raw: &str, lineno: usize, file: &str) -> Result<LocatedDirective, Diagnostic> {
+    let tokens = tokenize(raw);
+    let kind = tokens[0];
+    let line_span = Span::new(
+        lineno,
+        kind.col_start,
+        tokens.last().expect("non-empty line").col_end,
+    );
+    // Span pointing just past the last token, for "missing X" errors.
+    let eol = Span::new(lineno, line_span.col_end, line_span.col_end + 1);
+    let missing = |what: &str| {
+        Diagnostic::error(
+            "HL001",
+            format!("{} directive is missing {what}", kind.text),
         )
+        .with_file(file)
+        .with_span(eol)
+    };
+    match kind.text {
+        "prune" => {
+            let hyp = *tokens.get(1).ok_or_else(|| missing("a hypothesis name"))?;
+            let target_kind = *tokens.get(2).ok_or_else(|| missing("a target kind"))?;
+            let rest = &tokens[3..];
+            if rest.is_empty() {
+                return Err(missing("a target"));
+            }
+            let value_span = Span::new(lineno, rest[0].col_start, rest[rest.len() - 1].col_end);
+            let rest_text = rest.iter().map(|t| t.text).collect::<Vec<_>>().join(" ");
+            let target = match target_kind.text {
+                "resource" => {
+                    PruneTarget::Resource(ResourceName::parse(&rest_text).map_err(|e| {
+                        Diagnostic::error("HL007", format!("malformed resource name: {e}"))
+                            .with_file(file)
+                            .with_span(value_span)
+                    })?)
+                }
+                "pair" => PruneTarget::Pair(Focus::parse(&rest_text).map_err(|e| {
+                    Diagnostic::error("HL007", format!("malformed focus: {e}"))
+                        .with_file(file)
+                        .with_span(value_span)
+                })?),
+                other => {
+                    let mut d = Diagnostic::error(
+                        "HL001",
+                        format!("prune target kind must be `resource` or `pair`, found `{other}`"),
+                    )
+                    .with_file(file)
+                    .with_span(target_kind.span(lineno));
+                    if let Some(s) = did_you_mean(other, ["resource", "pair"]) {
+                        d = d.with_suggestion(format!("did you mean `{s}`?"));
+                    }
+                    return Err(d);
+                }
+            };
+            Ok(LocatedDirective {
+                directive: Directive::Prune(Prune {
+                    hypothesis: (hyp.text != "*").then(|| hyp.text.to_string()),
+                    target,
+                }),
+                span: line_span,
+                hypothesis_span: hyp.span(lineno),
+                value_span,
+            })
+        }
+        "priority" => {
+            let level_tok = *tokens.get(1).ok_or_else(|| missing("a priority level"))?;
+            let level = PriorityLevel::from_name(level_tok.text).ok_or_else(|| {
+                let mut d = Diagnostic::error(
+                    "HL001",
+                    format!(
+                        "priority level must be `high`, `medium`, or `low`, found `{}`",
+                        level_tok.text
+                    ),
+                )
+                .with_file(file)
+                .with_span(level_tok.span(lineno));
+                if let Some(s) = did_you_mean(level_tok.text, ["high", "medium", "low"]) {
+                    d = d.with_suggestion(format!("did you mean `{s}`?"));
+                }
+                d
+            })?;
+            let hyp = *tokens.get(2).ok_or_else(|| missing("a hypothesis name"))?;
+            let rest = &tokens[3..];
+            if rest.is_empty() {
+                return Err(missing("a focus"));
+            }
+            let value_span = Span::new(lineno, rest[0].col_start, rest[rest.len() - 1].col_end);
+            let rest_text = rest.iter().map(|t| t.text).collect::<Vec<_>>().join(" ");
+            let focus = Focus::parse(&rest_text).map_err(|e| {
+                Diagnostic::error("HL007", format!("malformed focus: {e}"))
+                    .with_file(file)
+                    .with_span(value_span)
+            })?;
+            Ok(LocatedDirective {
+                directive: Directive::Priority(PriorityDirective {
+                    hypothesis: hyp.text.to_string(),
+                    focus,
+                    level,
+                }),
+                span: line_span,
+                hypothesis_span: hyp.span(lineno),
+                value_span,
+            })
+        }
+        "threshold" => {
+            let hyp = *tokens.get(1).ok_or_else(|| missing("a hypothesis name"))?;
+            let value_tok = *tokens.get(2).ok_or_else(|| missing("a value"))?;
+            let value: f64 = value_tok.text.parse().map_err(|_| {
+                Diagnostic::error(
+                    "HL001",
+                    format!("threshold value `{}` is not a number", value_tok.text),
+                )
+                .with_file(file)
+                .with_span(value_tok.span(lineno))
+            })?;
+            if !(value > 0.0 && value <= 1.0) {
+                return Err(Diagnostic::error(
+                    "HL003",
+                    format!("threshold {value} is outside (0, 1]"),
+                )
+                .with_file(file)
+                .with_span(value_tok.span(lineno))
+                .with_suggestion(
+                    "thresholds are fractions of execution time; use a value in (0, 1]",
+                ));
+            }
+            Ok(LocatedDirective {
+                directive: Directive::Threshold(ThresholdDirective {
+                    hypothesis: hyp.text.to_string(),
+                    value,
+                }),
+                span: line_span,
+                hypothesis_span: hyp.span(lineno),
+                value_span: value_tok.span(lineno),
+            })
+        }
+        other => {
+            let mut d = Diagnostic::error("HL001", format!("unknown directive kind `{other}`"))
+                .with_file(file)
+                .with_span(kind.span(lineno));
+            if let Some(s) = did_you_mean(other, DIRECTIVE_KINDS) {
+                d = d.with_suggestion(format!("did you mean `{s}`?"));
+            }
+            Err(d)
+        }
     }
 }
-
-impl std::error::Error for DirectiveParseError {}
 
 #[cfg(test)]
 mod tests {
@@ -417,7 +558,10 @@ mod tests {
         });
         assert_eq!(d.priority_of("CPUbound", &f), PriorityLevel::High);
         assert_eq!(d.priority_of("CPUbound", &wp()), PriorityLevel::Medium);
-        assert_eq!(d.priority_of("ExcessiveSyncWaitingTime", &f), PriorityLevel::Medium);
+        assert_eq!(
+            d.priority_of("ExcessiveSyncWaitingTime", &f),
+            PriorityLevel::Medium
+        );
     }
 
     #[test]

@@ -147,6 +147,12 @@ impl HypothesisTree {
             .collect()
     }
 
+    /// The names of every hypothesis in the tree, root included — the
+    /// registry directive linters validate hypothesis references against.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.hyps.iter().map(|h| h.name.as_str())
+    }
+
     /// All non-root hypotheses.
     pub fn testable(&self) -> Vec<HypothesisId> {
         self.hyps
@@ -212,7 +218,11 @@ mod tests {
     #[test]
     fn default_thresholds_are_paradyn_stock() {
         let t = HypothesisTree::standard();
-        for name in ["CPUbound", "ExcessiveSyncWaitingTime", "ExcessiveIOBlockingTime"] {
+        for name in [
+            "CPUbound",
+            "ExcessiveSyncWaitingTime",
+            "ExcessiveIOBlockingTime",
+        ] {
             let id = t.by_name(name).unwrap();
             assert_eq!(t.get(id).default_threshold, 0.20);
         }

@@ -24,7 +24,8 @@ pub mod search;
 pub mod shg;
 
 pub use directive::{
-    PriorityDirective, PriorityLevel, Prune, PruneTarget, SearchDirectives, ThresholdDirective,
+    Directive, LocatedDirective, PriorityDirective, PriorityLevel, Prune, PruneTarget,
+    SearchDirectives, ThresholdDirective,
 };
 pub use hypothesis::{Hypothesis, HypothesisId, HypothesisTree};
 pub use report::{DiagnosisReport, NodeOutcome, Outcome};

@@ -236,7 +236,12 @@ mod tests {
 
     #[test]
     fn outcome_names_roundtrip() {
-        for o in [Outcome::True, Outcome::False, Outcome::Pruned, Outcome::Untested] {
+        for o in [
+            Outcome::True,
+            Outcome::False,
+            Outcome::Pruned,
+            Outcome::Untested,
+        ] {
             assert_eq!(Outcome::from_name(o.name()), Some(o));
         }
         assert_eq!(Outcome::from_name("maybe"), None);

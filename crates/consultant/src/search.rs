@@ -124,7 +124,12 @@ impl Consultant {
         }
 
         // High-priority seeds: instrumented at search start, persistent.
-        for p in c.directives.high_priority_pairs().cloned().collect::<Vec<_>>() {
+        for p in c
+            .directives
+            .high_priority_pairs()
+            .cloned()
+            .collect::<Vec<_>>()
+        {
             let Some(h) = c.tree.by_name(&p.hypothesis) else {
                 continue; // stale directive for an unknown hypothesis
             };
@@ -203,15 +208,9 @@ impl Consultant {
             return;
         }
         let priority = self.directives.priority_of(&name, &focus);
-        let (id, created) = self.shg.add(
-            hyp,
-            focus,
-            NodeState::Pending,
-            priority,
-            false,
-            parent,
-            now,
-        );
+        let (id, created) =
+            self.shg
+                .add(hyp, focus, NodeState::Pending, priority, false, parent, now);
         if created {
             self.pending.push(id);
         }
@@ -260,7 +259,9 @@ impl Consultant {
     pub fn tick(&mut self, now: SimTime, collector: &mut Collector) {
         // 1. Conclude nodes that have a full window of data.
         for id in self.shg.in_state(NodeState::Testing) {
-            let Some(pid) = self.shg.node(id).pair else { continue };
+            let Some(pid) = self.shg.node(id).pair else {
+                continue;
+            };
             let active_from = collector.pair(pid).active_from;
             if now < active_from + self.window {
                 continue;
@@ -481,7 +482,8 @@ mod tests {
         let b = report.bottleneck_set();
         // Whole-program CPUbound must be true...
         assert!(
-            b.iter().any(|(h, f)| h == "CPUbound" && f.is_whole_program()),
+            b.iter()
+                .any(|(h, f)| h == "CPUbound" && f.is_whole_program()),
             "whole-program CPUbound missing; found {b:?}"
         );
         // ...and refined down to the hotspot function f1.
@@ -534,10 +536,7 @@ mod tests {
             "pruned function was still reported: {b:?}"
         );
         // The prune is recorded in the SHG.
-        assert!(report
-            .outcomes
-            .iter()
-            .any(|o| o.outcome == Outcome::Pruned));
+        assert!(report.outcomes.iter().any(|o| o.outcome == Outcome::Pruned));
     }
 
     #[test]
@@ -574,7 +573,13 @@ mod tests {
                     .is_some_and(|s| s.to_string() == "/Code/app.c/f1")
                     && o.focus.depth() == 2 // only the Code selection is refined
             })
-            .map(|o| (o.hypothesis.clone(), o.focus.clone(), o.first_true_at.unwrap()))
+            .map(|o| {
+                (
+                    o.hypothesis.clone(),
+                    o.focus.clone(),
+                    o.first_true_at.unwrap(),
+                )
+            })
             .expect("base run finds the hotspot");
 
         // Directed run: the hotspot pair is high priority.
@@ -678,8 +683,7 @@ mod tests {
         // caught by a persistent pair.
         // f2 burns nothing until iteration 100 (~9s at ~90ms/iter), then
         // becomes a hotspot on proc 0.
-        let mut wl = SyntheticWorkload::balanced(2, 3, 45.0)
-            .with_phase_change(100, 0, 2, 300.0);
+        let mut wl = SyntheticWorkload::balanced(2, 3, 45.0).with_phase_change(100, 0, 2, 300.0);
         // Only f0 and f1 run in the early phase; f2 is idle until the
         // phase change.
         wl.compute = vec![vec![(0, 45.0), (1, 45.0)]; 2];

@@ -187,7 +187,14 @@ impl Shg {
             .filter(|&id| self.node(id).parents.is_empty())
             .collect();
         for r in roots {
-            self.render_node(r, 0, None, tree, &mut out, &mut vec![false; self.nodes.len()]);
+            self.render_node(
+                r,
+                0,
+                None,
+                tree,
+                &mut out,
+                &mut vec![false; self.nodes.len()],
+            );
         }
         out
     }
@@ -296,13 +303,45 @@ mod tests {
         let mut g = Shg::new();
         let t = tree();
         let cpu = t.by_name("CPUbound").unwrap();
-        let (a, _) = g.add(cpu, wp(), NodeState::Testing, PriorityLevel::Medium, false, None, SimTime::ZERO);
+        let (a, _) = g.add(
+            cpu,
+            wp(),
+            NodeState::Testing,
+            PriorityLevel::Medium,
+            false,
+            None,
+            SimTime::ZERO,
+        );
         let f = wp().with_selection(n("/Code/a.c"));
-        let (b, _) = g.add(cpu, f.clone(), NodeState::Pending, PriorityLevel::Medium, false, Some(a), SimTime::ZERO);
+        let (b, _) = g.add(
+            cpu,
+            f.clone(),
+            NodeState::Pending,
+            PriorityLevel::Medium,
+            false,
+            Some(a),
+            SimTime::ZERO,
+        );
         // Reaching the same (h, f) from another parent creates no new node.
-        let (c, _) = g.add(cpu, wp(), NodeState::Testing, PriorityLevel::Medium, false, None, SimTime::ZERO);
+        let (c, _) = g.add(
+            cpu,
+            wp(),
+            NodeState::Testing,
+            PriorityLevel::Medium,
+            false,
+            None,
+            SimTime::ZERO,
+        );
         assert_eq!(a, c);
-        let (b2, created) = g.add(cpu, f, NodeState::Pending, PriorityLevel::Medium, false, Some(c), SimTime::ZERO);
+        let (b2, created) = g.add(
+            cpu,
+            f,
+            NodeState::Pending,
+            PriorityLevel::Medium,
+            false,
+            Some(c),
+            SimTime::ZERO,
+        );
         assert_eq!(b, b2);
         assert!(!created);
         assert_eq!(g.len(), 2);
@@ -317,10 +356,42 @@ mod tests {
         let f1 = wp().with_selection(n("/Code/a.c"));
         let f2 = wp().with_selection(n("/Process/p1"));
         let f12 = f1.with_selection(n("/Process/p1"));
-        let (a, _) = g.add(cpu, f1, NodeState::True, PriorityLevel::Medium, false, None, SimTime::ZERO);
-        let (b, _) = g.add(cpu, f2, NodeState::True, PriorityLevel::Medium, false, None, SimTime::ZERO);
-        let (c1, _) = g.add(cpu, f12.clone(), NodeState::Pending, PriorityLevel::Medium, false, Some(a), SimTime::ZERO);
-        let (c2, _) = g.add(cpu, f12, NodeState::Pending, PriorityLevel::Medium, false, Some(b), SimTime::ZERO);
+        let (a, _) = g.add(
+            cpu,
+            f1,
+            NodeState::True,
+            PriorityLevel::Medium,
+            false,
+            None,
+            SimTime::ZERO,
+        );
+        let (b, _) = g.add(
+            cpu,
+            f2,
+            NodeState::True,
+            PriorityLevel::Medium,
+            false,
+            None,
+            SimTime::ZERO,
+        );
+        let (c1, _) = g.add(
+            cpu,
+            f12.clone(),
+            NodeState::Pending,
+            PriorityLevel::Medium,
+            false,
+            Some(a),
+            SimTime::ZERO,
+        );
+        let (c2, _) = g.add(
+            cpu,
+            f12,
+            NodeState::Pending,
+            PriorityLevel::Medium,
+            false,
+            Some(b),
+            SimTime::ZERO,
+        );
         assert_eq!(c1, c2);
         assert_eq!(g.node(c1).parents, vec![a, b]);
         assert_eq!(g.len(), 3);
@@ -332,8 +403,24 @@ mod tests {
         let t = tree();
         let cpu = t.by_name("CPUbound").unwrap();
         let sync = t.by_name("ExcessiveSyncWaitingTime").unwrap();
-        g.add(cpu, wp(), NodeState::True, PriorityLevel::Medium, false, None, SimTime::ZERO);
-        g.add(sync, wp(), NodeState::False, PriorityLevel::Medium, false, None, SimTime::ZERO);
+        g.add(
+            cpu,
+            wp(),
+            NodeState::True,
+            PriorityLevel::Medium,
+            false,
+            None,
+            SimTime::ZERO,
+        );
+        g.add(
+            sync,
+            wp(),
+            NodeState::False,
+            PriorityLevel::Medium,
+            false,
+            None,
+            SimTime::ZERO,
+        );
         assert_eq!(g.count_state(NodeState::True), 1);
         assert_eq!(g.count_state(NodeState::False), 1);
         assert_eq!(g.in_state(NodeState::True).len(), 1);
@@ -353,7 +440,15 @@ mod tests {
             SimTime::ZERO,
         );
         let cpu = t.by_name("CPUbound").unwrap();
-        let (c, _) = g.add(cpu, wp(), NodeState::True, PriorityLevel::Medium, false, Some(root), SimTime::ZERO);
+        let (c, _) = g.add(
+            cpu,
+            wp(),
+            NodeState::True,
+            PriorityLevel::Medium,
+            false,
+            Some(root),
+            SimTime::ZERO,
+        );
         g.add(
             cpu,
             wp().with_selection(n("/Code/goat.c")),

@@ -27,7 +27,13 @@ fn base_diagnosis_of_poisson_c_finds_sync_bottlenecks() {
         wall
     );
     for b in report.bottlenecks().iter().take(40) {
-        eprintln!("  {} {} @ {} ({:.1}%)", b.hypothesis, b.focus, b.first_true_at.unwrap(), b.last_value * 100.0);
+        eprintln!(
+            "  {} {} @ {} ({:.1}%)",
+            b.hypothesis,
+            b.focus,
+            b.first_true_at.unwrap(),
+            b.last_value * 100.0
+        );
     }
     assert!(report.bottleneck_count() >= 5, "too few bottlenecks");
     // The dominant problem is synchronization waiting.

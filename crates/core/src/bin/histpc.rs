@@ -10,12 +10,20 @@
 //! histpc profile  --app APP [--for SECS]
 //! histpc shg      --store DIR --app NAME --label L
 //! histpc ls       --store DIR [--app NAME]
+//! histpc lint     FILE... [--against STORE/APP/LABEL] [--deny-warnings]
 //! ```
 //!
 //! Applications: `poisson-a`, `poisson-b`, `poisson-c`, `poisson-d`,
 //! `ocean`, `tester`, `sweep3d`. Harvest modes: `priorities`, `prunes`,
 //! `general-prunes`, `historic-prunes`, `combined` (default),
 //! `combined+thresholds`.
+//!
+//! `lint` statically validates directive and mapping files (kind
+//! auto-detected per file) and prints rustc-style diagnostics with
+//! stable `HLxxx` codes. With `--against` the directives are also
+//! cross-checked, after mapping, against a stored run's resource
+//! hierarchies. Exit status is non-zero on errors, or on warnings when
+//! `--deny-warnings` is given.
 
 use histpc::history;
 use histpc::prelude::*;
@@ -31,7 +39,8 @@ fn usage() -> ! {
          \x20 histpc compare --store DIR --app NAME --from LABEL --to LABEL\n\
          \x20 histpc profile --app APP [--for SECS]\n\
          \x20 histpc shg     --store DIR --app NAME --label L\n\
-         \x20 histpc ls      --store DIR [--app NAME]\n\n\
+         \x20 histpc ls      --store DIR [--app NAME]\n\
+         \x20 histpc lint    FILE... [--against STORE/APP/LABEL] [--deny-warnings]\n\n\
          apps: poisson-a poisson-b poisson-c poisson-d ocean tester sweep3d\n\
          modes: priorities prunes general-prunes historic-prunes combined combined+thresholds"
     );
@@ -97,9 +106,7 @@ fn extraction_mode(mode: &str) -> ExtractionOptions {
         "general-prunes" => ExtractionOptions::general_prunes_only(),
         "historic-prunes" => ExtractionOptions::historic_prunes_only(),
         "combined" => ExtractionOptions::priorities_and_safe_prunes(),
-        "combined+thresholds" => {
-            ExtractionOptions::priorities_and_safe_prunes().with_thresholds()
-        }
+        "combined+thresholds" => ExtractionOptions::priorities_and_safe_prunes().with_thresholds(),
         other => {
             eprintln!("unknown harvest mode {other:?}");
             usage();
@@ -129,12 +136,34 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
         let secs: f64 = m.parse().map_err(|_| "bad --max-time")?;
         config.max_time = SimDuration::from_secs_f64(secs);
     }
+    let mut linted_files = false;
     if let Some(path) = flags.get("directives") {
         let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let mtext = match flags.get("mappings") {
+            Some(mpath) => Some(std::fs::read_to_string(mpath).map_err(|e| e.to_string())?),
+            None => None,
+        };
+        // Lint the files under their real names before the strict parse,
+        // so problems come back with proper spans instead of a bare
+        // first-error message.
+        let mut linter = histpc::lint::Linter::new().directives(&text, path.clone());
+        if let (Some(mtext), Some(mpath)) = (&mtext, flags.get("mappings")) {
+            linter = linter.mappings(mtext, mpath.clone());
+        }
+        let report = linter.run();
+        if !report.is_clean() {
+            eprint!("{}", report.render(&linter.sources()));
+            if let Some(trailer) = histpc::lint::summary(&report.diagnostics) {
+                eprintln!("\n{trailer} emitted");
+            }
+        }
+        if report.has_errors() {
+            return Err(format!("{path}: directives failed lint"));
+        }
+        linted_files = true;
         let mut directives = SearchDirectives::parse(&text).map_err(|e| e.to_string())?;
-        if let Some(mpath) = flags.get("mappings") {
-            let mtext = std::fs::read_to_string(mpath).map_err(|e| e.to_string())?;
-            let mappings = MappingSet::parse(&mtext).map_err(|e| e.to_string())?;
+        if let Some(mtext) = &mtext {
+            let mappings = MappingSet::parse(mtext).map_err(|e| e.to_string())?;
             directives = mappings.apply_to_directives(&directives);
         }
         eprintln!("loaded {} directives", directives.len());
@@ -146,7 +175,14 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
         None => Session::new(),
     };
     let label = flags.get("label").cloned().unwrap_or_else(|| "run".into());
-    let d = session.diagnose(workload.as_ref(), &config, &label);
+    let d = session
+        .diagnose(workload.as_ref(), &config, &label)
+        .map_err(|e| e.to_string())?;
+    if !d.lint_warnings.is_empty() && !linted_files {
+        let mut sources = histpc::lint::SourceCache::new();
+        sources.insert("<search directives>", &config.directives.to_text());
+        eprint!("{}", histpc::lint::render_all(&d.lint_warnings, &sources));
+    }
 
     println!(
         "application: {} (version {})",
@@ -154,7 +190,11 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
     );
     println!(
         "diagnosis {} at t = {} with {} pairs tested (peak cost {:.1}%)",
-        if d.report.quiescent { "completed" } else { "stopped" },
+        if d.report.quiescent {
+            "completed"
+        } else {
+            "stopped"
+        },
         d.report.end_time,
         d.report.pairs_tested,
         d.report.peak_cost * 100.0
@@ -292,9 +332,91 @@ fn cmd_ls(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Statically validates directive/mapping files. Positional arguments
+/// are files (kind auto-detected); `--against STORE/APP/LABEL` also
+/// cross-checks directive resources against that stored run. Exits
+/// non-zero on lint errors, or on warnings under `--deny-warnings`.
+fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
+    let mut files: Vec<String> = Vec::new();
+    let mut against: Option<String> = None;
+    let mut deny_warnings = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny-warnings" => {
+                deny_warnings = true;
+                i += 1;
+            }
+            "--against" => {
+                let Some(value) = args.get(i + 1) else {
+                    return Err("missing value for --against".into());
+                };
+                against = Some(value.clone());
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown lint flag {flag:?}"));
+            }
+            file => {
+                files.push(file.to_string());
+                i += 1;
+            }
+        }
+    }
+    if files.is_empty() {
+        return Err("lint needs at least one file to check".into());
+    }
+
+    let record = match &against {
+        Some(spec) => {
+            let mut parts = spec.rsplitn(3, '/');
+            let label = parts.next();
+            let app = parts.next();
+            let store_dir = parts.next();
+            let (Some(store_dir), Some(app), Some(label)) = (store_dir, app, label) else {
+                return Err(format!("--against wants STORE/APP/LABEL, got {spec:?}"));
+            };
+            let store = ExecutionStore::open(store_dir).map_err(|e| e.to_string())?;
+            Some(store.load(app, label).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+
+    let mut linter = histpc::lint::Linter::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        linter = linter.artifact(text, file.clone());
+    }
+    if let Some(rec) = &record {
+        linter = linter.against(rec);
+    }
+    let report = linter.run();
+    if !report.is_clean() {
+        eprint!("{}", report.render(&linter.sources()));
+        if let Some(trailer) = histpc::lint::summary(&report.diagnostics) {
+            eprintln!("\n{trailer} emitted");
+        }
+    }
+    let failed = report.has_errors() || (deny_warnings && report.warning_count() > 0);
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
+    if command == "lint" {
+        return match cmd_lint(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = parse_flags(&args[1..]);
     let result = match command.as_str() {
         "run" => cmd_run(flags),

@@ -32,7 +32,7 @@
 //!     ..SearchConfig::default()
 //! };
 //! let session = Session::new();
-//! let base = session.diagnose(&workload, &config, "base");
+//! let base = session.diagnose(&workload, &config, "base").unwrap();
 //!
 //! // 2. Harvest search directives from the run.
 //! let directives = histpc::history::extract(
@@ -45,7 +45,7 @@
 //!     &workload,
 //!     &config.clone().with_directives(directives),
 //!     "directed",
-//! );
+//! ).unwrap();
 //! assert!(directed.report.bottleneck_count() > 0);
 //! ```
 
@@ -55,16 +55,17 @@
 pub use histpc_consultant as consultant;
 pub use histpc_history as history;
 pub use histpc_instr as instr;
+pub use histpc_lint as lint;
 pub use histpc_resources as resources;
 pub use histpc_sim as sim;
 
 pub mod session;
 
-pub use session::{Diagnosis, Session};
+pub use session::{Diagnosis, Session, SessionError};
 
 /// The most commonly used names, for glob import.
 pub mod prelude {
-    pub use crate::session::{Diagnosis, Session};
+    pub use crate::session::{Diagnosis, Session, SessionError};
     pub use histpc_consultant::{
         drive_diagnosis, DiagnosisReport, NodeOutcome, Outcome, PriorityDirective, PriorityLevel,
         Prune, PruneTarget, SearchConfig, SearchDirectives, ThresholdDirective,

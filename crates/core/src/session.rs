@@ -8,12 +8,68 @@
 use histpc_consultant::{
     drive_diagnosis, DiagnosisReport, HypothesisTree, SearchConfig, SearchDirectives,
 };
-use histpc_history::{extract, ground_truth, ExecutionRecord, ExecutionStore, ExtractionOptions,
-    MappingSet};
+use histpc_history::store::StoreError;
+use histpc_history::{
+    extract, ground_truth, ExecutionRecord, ExecutionStore, ExtractionOptions, MappingSet,
+};
 use histpc_instr::PostmortemData;
+use histpc_lint::{Diagnostic, LintReport, Linter, SourceCache};
 use histpc_resources::Focus;
 use histpc_sim::workloads::Workload;
+use std::fmt;
 use std::path::Path;
+
+/// Why a session operation refused to proceed.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The directive/mapping artifacts failed their pre-flight lint; the
+    /// report holds every diagnostic, rendered ones included in `Display`.
+    Lint(LintReport),
+    /// The backing execution store failed.
+    Store(StoreError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Lint(report) => {
+                let first = report
+                    .diagnostics
+                    .iter()
+                    .find(|d| d.is_error())
+                    .or(report.diagnostics.first());
+                match (histpc_lint::summary(&report.diagnostics), first) {
+                    (Some(s), Some(d)) => {
+                        write!(f, "search directives failed lint ({s}); first: {d}")
+                    }
+                    _ => write!(f, "search directives failed lint"),
+                }
+            }
+            SessionError::Store(e) => write!(f, "execution store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<StoreError> for SessionError {
+    fn from(e: StoreError) -> SessionError {
+        SessionError::Store(e)
+    }
+}
+
+/// Lints a directive set before it steers a search: errors refuse the
+/// operation, warnings are returned for the caller to surface.
+fn preflight(directives: &SearchDirectives, file: &str) -> Result<Vec<Diagnostic>, SessionError> {
+    if directives.is_empty() {
+        return Ok(Vec::new());
+    }
+    let report = Linter::new().directives(directives.to_text(), file).run();
+    if report.has_errors() {
+        return Err(SessionError::Lint(report));
+    }
+    Ok(report.diagnostics)
+}
 
 /// The complete result of one diagnosis session.
 #[derive(Debug, Clone)]
@@ -27,6 +83,9 @@ pub struct Diagnosis {
     /// The postmortem bottleneck set under the same thresholds — the
     /// "100% of true bottlenecks" reference used by the evaluation.
     pub ground_truth: Vec<(String, Focus)>,
+    /// Warnings from the pre-flight lint of the search directives (the
+    /// lint's errors refuse the diagnosis instead).
+    pub lint_warnings: Vec<Diagnostic>,
 }
 
 /// A diagnosis session, optionally backed by an execution store.
@@ -42,7 +101,9 @@ impl Session {
     }
 
     /// A session persisting records into a store at `path`.
-    pub fn with_store(path: impl AsRef<Path>) -> Result<Session, histpc_history::store::StoreError> {
+    pub fn with_store(
+        path: impl AsRef<Path>,
+    ) -> Result<Session, histpc_history::store::StoreError> {
         Ok(Session {
             store: Some(ExecutionStore::open(path)?),
         })
@@ -57,12 +118,18 @@ impl Session {
     /// labels it `label`, saves the record if a store is attached, and
     /// returns the report together with the record and postmortem ground
     /// truth.
+    ///
+    /// The search directives in `config` are linted first:
+    /// [`SessionError::Lint`] refuses directives with errors (unknown
+    /// hypotheses, malformed foci, out-of-range thresholds), while
+    /// warnings are surfaced in [`Diagnosis::lint_warnings`].
     pub fn diagnose(
         &self,
         workload: &dyn Workload,
         config: &SearchConfig,
         label: &str,
-    ) -> Diagnosis {
+    ) -> Result<Diagnosis, SessionError> {
+        let lint_warnings = preflight(&config.directives, "<search directives>")?;
         let mut engine = workload.build_engine();
         let report = drive_diagnosis(&mut engine, config);
         let pm = PostmortemData::from_totals(engine.app().clone(), engine.totals());
@@ -81,18 +148,17 @@ impl Session {
             .collect();
         let record = ExecutionRecord::from_report(&report, pm.space(), label, thresholds_used);
         if let Some(store) = &self.store {
-            store.save(&record).expect("store save failed");
-            store
-                .save_artifact(&record.app_name, label, "shg", &report.shg_rendering)
-                .expect("shg artifact save failed");
+            store.save(&record)?;
+            store.save_artifact(&record.app_name, label, "shg", &report.shg_rendering)?;
         }
         let truth = ground_truth(&pm, &tree, &config.directives);
-        Diagnosis {
+        Ok(Diagnosis {
             report,
             record,
             postmortem: pm,
             ground_truth: truth,
-        }
+            lint_warnings,
+        })
     }
 
     /// Harvests directives from a stored run.
@@ -101,7 +167,7 @@ impl Session {
         app: &str,
         label: &str,
         opts: &ExtractionOptions,
-    ) -> Result<SearchDirectives, histpc_history::store::StoreError> {
+    ) -> Result<SearchDirectives, SessionError> {
         let store = self
             .store
             .as_ref()
@@ -113,21 +179,50 @@ impl Session {
     /// Harvests directives from a record of a *different* execution or
     /// code version: extracts, auto-suggests resource mappings from the
     /// old record's structure to the new one's, merges user-specified
-    /// mappings (which take precedence by being applied last... i.e.
-    /// appended after the suggestions), and rewrites the directives.
+    /// mappings (which take precedence: a user mapping beats a suggestion
+    /// for the same source), and rewrites the directives.
+    ///
+    /// The combined mapping set and the rewritten directives are linted
+    /// before being returned: errors (e.g. a cyclic or cross-hierarchy
+    /// user mapping) refuse the harvest with [`SessionError::Lint`];
+    /// warnings are printed to stderr.
     pub fn harvest_mapped(
         &self,
         old: &ExecutionRecord,
         new_resources: &[histpc_resources::ResourceName],
         opts: &ExtractionOptions,
         user_mappings: &MappingSet,
-    ) -> SearchDirectives {
+    ) -> Result<SearchDirectives, SessionError> {
         let directives = extract(old, opts);
-        let mut mappings = MappingSet::suggest(&old.resources, new_resources);
-        for (from, to) in user_mappings.entries() {
-            mappings.add(from.clone(), to.clone());
+        let mut mappings = user_mappings.clone();
+        for (from, to) in MappingSet::suggest(&old.resources, new_resources).entries() {
+            // User mappings win ties: `apply_to_name` prefers the first
+            // entry among equally specific sources, so only add a
+            // suggestion when the user did not map that source already.
+            if !mappings.entries().iter().any(|(f, _)| f == from) {
+                mappings.add(from.clone(), to.clone());
+            }
         }
-        mappings.apply_to_directives(&directives)
+        // Structural lint of the combined mapping set (cycles, chains,
+        // non-injective merges brought in by the user's file).
+        let map_text = mappings.to_text();
+        let map_linter = Linter::new().mappings(&map_text, "<mappings>");
+        let map_report = map_linter.run();
+        if map_report.has_errors() {
+            return Err(SessionError::Lint(map_report));
+        }
+        let mapped = mappings.apply_to_directives(&directives);
+        let warnings = preflight(&mapped, "<mapped directives>")?;
+        let mut sources = SourceCache::new();
+        sources.insert("<mappings>", &map_text);
+        sources.insert("<mapped directives>", &mapped.to_text());
+        for w in map_report.diagnostics.iter().chain(&warnings) {
+            eprint!(
+                "{}",
+                histpc_lint::render_all(std::slice::from_ref(w), &sources)
+            );
+        }
+        Ok(mapped)
     }
 }
 
@@ -150,7 +245,7 @@ mod tests {
     fn diagnose_produces_consistent_artifacts() {
         let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
         let session = Session::new();
-        let d = session.diagnose(&wl, &fast_config(), "r1");
+        let d = session.diagnose(&wl, &fast_config(), "r1").unwrap();
         assert!(d.report.bottleneck_count() > 0);
         assert_eq!(d.record.label, "r1");
         assert_eq!(d.record.outcomes.len(), d.report.outcomes.len());
@@ -158,7 +253,9 @@ mod tests {
         // Thresholds recorded for every testable hypothesis.
         assert_eq!(
             d.record.thresholds_used.len(),
-            histpc_consultant::HypothesisTree::standard().testable().len()
+            histpc_consultant::HypothesisTree::standard()
+                .testable()
+                .len()
         );
     }
 
@@ -166,7 +263,7 @@ mod tests {
     fn online_findings_are_a_subset_of_ground_truth_mostly() {
         let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
         let session = Session::new();
-        let d = session.diagnose(&wl, &fast_config(), "r1");
+        let d = session.diagnose(&wl, &fast_config(), "r1").unwrap();
         // Every whole-program bottleneck the online search found must be
         // in the postmortem ground truth (windows can differ on
         // borderline deep foci, but the top level is unambiguous).
@@ -186,7 +283,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let session = Session::with_store(&dir).unwrap();
         let wl = SyntheticWorkload::balanced(2, 1, 0.5).with_hotspot(0, 0, 1.0);
-        let d = session.diagnose(&wl, &fast_config(), "r1");
+        let d = session.diagnose(&wl, &fast_config(), "r1").unwrap();
         let directives = session
             .harvest("synth", "r1", &ExtractionOptions::priorities_only())
             .unwrap();
@@ -210,7 +307,7 @@ mod tests {
         let wl = PoissonWorkload::new(PoissonVersion::C);
         let session = Session::new();
         let config = fast_config();
-        let base = session.diagnose(&wl, &config, "base");
+        let base = session.diagnose(&wl, &config, "base").unwrap();
         let t_base = base
             .report
             .time_of_last_bottleneck()
@@ -220,11 +317,9 @@ mod tests {
             &base.record,
             &ExtractionOptions::priorities_and_safe_prunes(),
         );
-        let directed = session.diagnose(
-            &wl,
-            &config.clone().with_directives(directives),
-            "directed",
-        );
+        let directed = session
+            .diagnose(&wl, &config.clone().with_directives(directives), "directed")
+            .unwrap();
         let t_directed = directed
             .report
             .time_of_last_bottleneck()
@@ -239,18 +334,22 @@ mod tests {
     fn harvest_mapped_rewrites_cross_version() {
         let session = Session::new();
         let config = fast_config();
-        let a = session.diagnose(&PoissonWorkload::new(PoissonVersion::A), &config, "a1");
+        let a = session
+            .diagnose(&PoissonWorkload::new(PoissonVersion::A), &config, "a1")
+            .unwrap();
         let b_wl = PoissonWorkload::new(PoissonVersion::B);
         let b_resources: Vec<_> = {
-            let d = session.diagnose(&b_wl, &config, "b-probe");
+            let d = session.diagnose(&b_wl, &config, "b-probe").unwrap();
             d.record.resources.clone()
         };
-        let mapped = session.harvest_mapped(
-            &a.record,
-            &b_resources,
-            &ExtractionOptions::priorities_only(),
-            &MappingSet::new(),
-        );
+        let mapped = session
+            .harvest_mapped(
+                &a.record,
+                &b_resources,
+                &ExtractionOptions::priorities_only(),
+                &MappingSet::new(),
+            )
+            .unwrap();
         // Directives extracted from A must now speak B's names.
         let mentions_a_names = mapped.priorities.iter().any(|p| {
             p.focus

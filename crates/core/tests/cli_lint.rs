@@ -1,0 +1,121 @@
+//! Integration: the `histpc lint` subcommand end to end — corrupted
+//! fixtures must exit non-zero and name the right codes with line:col
+//! spans; warning-only files must only fail under `--deny-warnings`.
+
+use histpc::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_histpc"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("histpc-cli-lint-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Records one fast synthetic run into `dir`/store as `synth/r1`.
+fn record_run(dir: &Path) -> PathBuf {
+    let store = dir.join("store");
+    let session = Session::with_store(&store).unwrap();
+    let wl = SyntheticWorkload::balanced(2, 1, 0.5).with_hotspot(0, 0, 1.0);
+    let config = SearchConfig {
+        window: SimDuration::from_millis(800),
+        sample: SimDuration::from_millis(100),
+        max_time: SimDuration::from_secs(60),
+        ..SearchConfig::default()
+    };
+    session.diagnose(&wl, &config, "r1").unwrap();
+    store
+}
+
+#[test]
+fn corrupted_fixture_exits_nonzero_with_codes_and_spans() {
+    let dir = scratch("corrupt");
+    let store = record_run(&dir);
+
+    let dirs = dir.join("bad.dirs");
+    std::fs::write(
+        &dirs,
+        "# corrupted on purpose\n\
+         priority high CPUBound </Code/phantom.c,/Machine,/Process,/SyncObject>\n\
+         prune CPUbound resource /Code/ghost.c\n",
+    )
+    .unwrap();
+    let maps = dir.join("bad.map");
+    std::fs::write(&maps, "map /Code/a.c /Code/b.c\nmap /Code/b.c /Code/a.c\n").unwrap();
+
+    let out = bin()
+        .arg("lint")
+        .arg(&dirs)
+        .arg(&maps)
+        .arg("--against")
+        .arg(format!("{}/synth/r1", store.display()))
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    assert!(!out.status.success(), "lint must fail, stderr:\n{stderr}");
+    // Unknown hypothesis, with its exact span (col 15 = `CPUBound`).
+    assert!(stderr.contains("error[HL002]"), "missing HL002:\n{stderr}");
+    assert!(stderr.contains("bad.dirs:2:15"), "HL002 span:\n{stderr}");
+    assert!(stderr.contains("did you mean `CPUbound`?"), "{stderr}");
+    // Cyclic mapping.
+    assert!(stderr.contains("error[HL014]"), "missing HL014:\n{stderr}");
+    assert!(stderr.contains("bad.map:1:"), "HL014 span:\n{stderr}");
+    // Resource absent from the run linted against.
+    assert!(stderr.contains("error[HL020]"), "missing HL020:\n{stderr}");
+    assert!(stderr.contains("bad.dirs:3:"), "HL020 span:\n{stderr}");
+    // rustc-style rendering quotes the offending line under a caret.
+    assert!(stderr.contains("^^^^^^^^"), "caret row:\n{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warnings_only_fail_under_deny_warnings() {
+    let dir = scratch("warn");
+    let file = dir.join("warn.dirs");
+    std::fs::write(&file, "threshold CPUbound 0.2\nthreshold CPUbound 0.3\n").unwrap();
+
+    let ok = bin().arg("lint").arg(&file).output().unwrap();
+    assert!(
+        ok.status.success(),
+        "warnings alone must not fail: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&ok.stderr);
+    assert!(stderr.contains("warning[HL004]"), "{stderr}");
+
+    let deny = bin()
+        .arg("lint")
+        .arg(&file)
+        .arg("--deny-warnings")
+        .output()
+        .unwrap();
+    assert!(!deny.status.success(), "--deny-warnings must fail");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_file_exits_zero_and_prints_nothing() {
+    let dir = scratch("clean");
+    let file = dir.join("ok.dirs");
+    std::fs::write(
+        &file,
+        "# harvested from run r1\n\
+         priority high CPUbound </Code/solve.c,/Machine,/Process,/SyncObject>\n\
+         threshold ExcessiveSyncWaitingTime 0.12\n",
+    )
+    .unwrap();
+
+    let out = bin().arg("lint").arg(&file).output().unwrap();
+    assert!(out.status.success());
+    assert!(out.stderr.is_empty(), "clean lint must stay silent");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -16,9 +16,7 @@
 //! smaller (more sensitive) threshold. The paper only specifies the
 //! priority rules; these extensions follow the same safety intuition.
 
-use histpc_consultant::{
-    PriorityDirective, PriorityLevel, SearchDirectives, ThresholdDirective,
-};
+use histpc_consultant::{PriorityDirective, PriorityLevel, SearchDirectives, ThresholdDirective};
 use std::collections::HashMap;
 
 type PairKey = (String, String); // (hypothesis, focus text)

@@ -74,7 +74,10 @@ impl ComparisonReport {
             self.only_in_a.len(),
             self.only_in_b.len()
         ));
-        out.push_str(&format!("\nresolved bottlenecks ({}):\n", self.resolved.len()));
+        out.push_str(&format!(
+            "\nresolved bottlenecks ({}):\n",
+            self.resolved.len()
+        ));
         for d in &self.resolved {
             out.push_str(&format!(
                 "  {:>6.1}% -> {:>5.1}%  {}  {}\n",
@@ -148,9 +151,8 @@ pub fn compare(
         .collect();
 
     // Performance diff over concluded pairs.
-    let concluded = |o: &histpc_consultant::NodeOutcome| {
-        matches!(o.outcome, Outcome::True | Outcome::False)
-    };
+    let concluded =
+        |o: &histpc_consultant::NodeOutcome| matches!(o.outcome, Outcome::True | Outcome::False);
     let mut report = ComparisonReport {
         only_in_a,
         only_in_b,
@@ -240,7 +242,13 @@ mod tests {
         s
     }
 
-    fn outcome(s: &ResourceSpace, hyp: &str, sel: Option<&str>, out: Outcome, v: f64) -> NodeOutcome {
+    fn outcome(
+        s: &ResourceSpace,
+        hyp: &str,
+        sel: Option<&str>,
+        out: Outcome,
+        v: f64,
+    ) -> NodeOutcome {
         let mut f = s.whole_program();
         if let Some(sel) = sel {
             f = f.with_selection(ResourceName::parse(sel).unwrap());
@@ -308,7 +316,13 @@ mod tests {
         let a = record(
             &s,
             "1",
-            vec![outcome(&s, "CPUbound", Some("/Code/a.c/f"), Outcome::True, 0.5)],
+            vec![outcome(
+                &s,
+                "CPUbound",
+                Some("/Code/a.c/f"),
+                Outcome::True,
+                0.5,
+            )],
         );
         let b = record(&s, "2", vec![]);
         let cmp = compare(&a, &b, None);
@@ -339,12 +353,24 @@ mod tests {
         let a = record(
             &s1,
             "1",
-            vec![outcome(&s1, "CPUbound", Some("/Code/old.c/x"), Outcome::True, 0.4)],
+            vec![outcome(
+                &s1,
+                "CPUbound",
+                Some("/Code/old.c/x"),
+                Outcome::True,
+                0.4,
+            )],
         );
         let b = record(
             &s2,
             "2",
-            vec![outcome(&s2, "CPUbound", Some("/Code/new.c/x"), Outcome::True, 0.35)],
+            vec![outcome(
+                &s2,
+                "CPUbound",
+                Some("/Code/new.c/x"),
+                Outcome::True,
+                0.35,
+            )],
         );
         let mut m = MappingSet::new();
         m.add(

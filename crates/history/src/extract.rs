@@ -180,6 +180,11 @@ pub fn extract(rec: &ExecutionRecord, opts: &ExtractionOptions) -> SearchDirecti
 
     if opts.prune_false_pairs {
         for o in rec.false_outcomes() {
+            // Skip pairs already removed by a subtree prune above: the
+            // exact prune would be dead weight (lint HL005).
+            if d.is_pruned(&o.hypothesis, &o.focus) {
+                continue;
+            }
             d.add_prune(Prune {
                 hypothesis: Some(o.hypothesis.clone()),
                 target: PruneTarget::Pair(o.focus.clone()),
@@ -194,6 +199,11 @@ pub fn extract(rec: &ExecutionRecord, opts: &ExtractionOptions) -> SearchDirecti
                 Outcome::False => PriorityLevel::Low,
                 _ => continue,
             };
+            // A priority on a pair the prunes above already remove can
+            // never take effect — the prune wins (lint HL006).
+            if d.is_pruned(&o.hypothesis, &o.focus) {
+                continue;
+            }
             d.add_priority(PriorityDirective {
                 hypothesis: o.hypothesis.clone(),
                 focus: o.focus.clone(),
@@ -208,7 +218,72 @@ pub fn extract(rec: &ExecutionRecord, opts: &ExtractionOptions) -> SearchDirecti
         }
     }
 
+    #[cfg(debug_assertions)]
+    assert_extraction_invariants(&d, rec);
     d
+}
+
+/// Extracted directives must lint clean against their source run. The
+/// full linter lives above this crate (`histpc-lint`) and re-verifies
+/// this in integration tests; this debug-build check enforces the same
+/// invariants at the point of extraction.
+#[cfg(debug_assertions)]
+fn assert_extraction_invariants(d: &SearchDirectives, rec: &ExecutionRecord) {
+    let known: std::collections::HashSet<&ResourceName> = rec.resources.iter().collect();
+    let known_or_root = |r: &ResourceName| r.is_root() || known.contains(r);
+    for p in &d.priorities {
+        debug_assert!(
+            !d.is_pruned(&p.hypothesis, &p.focus),
+            "extracted priority on pruned pair: {} {}",
+            p.hypothesis,
+            p.focus
+        );
+        for s in p.focus.selections() {
+            debug_assert!(
+                known_or_root(s),
+                "extracted priority names unknown resource {s}"
+            );
+        }
+    }
+    for pr in &d.prunes {
+        match &pr.target {
+            PruneTarget::Resource(r) => {
+                debug_assert!(
+                    known_or_root(r),
+                    "extracted prune names unknown resource {r}"
+                );
+            }
+            PruneTarget::Pair(f) => {
+                for s in f.selections() {
+                    debug_assert!(
+                        known_or_root(s),
+                        "extracted prune names unknown resource {s}"
+                    );
+                }
+                let shadowed = d.prunes.iter().any(|q| {
+                    matches!(q.target, PruneTarget::Resource(_))
+                        && (q.hypothesis.is_none() || q.hypothesis == pr.hypothesis)
+                        && Prune {
+                            hypothesis: None,
+                            target: q.target.clone(),
+                        }
+                        .matches("", f)
+                });
+                debug_assert!(
+                    !shadowed,
+                    "extracted pair prune shadowed by subtree prune: {f}"
+                );
+            }
+        }
+    }
+    for t in &d.thresholds {
+        debug_assert!(
+            t.value > 0.0 && t.value <= 1.0,
+            "extracted threshold {} out of range for {}",
+            t.value,
+            t.hypothesis
+        );
+    }
 }
 
 /// True if processes and machine nodes map one-to-one in the recorded
@@ -440,10 +515,7 @@ pub fn ground_truth(
 
 /// A helper: the time the *record's own run* reported each of the given
 /// bottlenecks (for evaluating percentile detection times).
-pub fn detection_times(
-    rec: &ExecutionRecord,
-    truth: &[(String, Focus)],
-) -> Vec<Option<SimTime>> {
+pub fn detection_times(rec: &ExecutionRecord, truth: &[(String, Focus)]) -> Vec<Option<SimTime>> {
     truth
         .iter()
         .map(|(h, f)| {
@@ -590,12 +662,7 @@ mod tests {
 
     #[test]
     fn false_pairs_become_exact_prunes() {
-        let rec = rec_with(vec![o(
-            "CPUbound",
-            &["/Code/a.c"],
-            Outcome::False,
-            0.05,
-        )]);
+        let rec = rec_with(vec![o("CPUbound", &["/Code/a.c"], Outcome::False, 0.05)]);
         let d = extract(&rec, &ExtractionOptions::historic_prunes_only());
         let module = space()
             .whole_program()

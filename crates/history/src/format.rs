@@ -33,7 +33,11 @@ pub struct FormatError {
 
 impl fmt::Display for FormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "record parse error at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "record parse error at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -95,9 +99,7 @@ fn parse_opt_time(word: &str, line: usize) -> Result<Option<SimTime>, FormatErro
 /// Parses the text form back into a record.
 pub fn parse_record(text: &str) -> Result<ExecutionRecord, FormatError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| err(0, "empty record file"))?;
+    let (_, header) = lines.next().ok_or_else(|| err(0, "empty record file"))?;
     if header.trim() != "histpc-record v1" {
         return Err(err(1, format!("bad header {header:?}")));
     }
@@ -117,27 +119,21 @@ pub fn parse_record(text: &str) -> Result<ExecutionRecord, FormatError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (kind, rest) = line.split_once(' ').ok_or_else(|| {
-            err(lineno, format!("malformed line {line:?}"))
-        })?;
+        let (kind, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| err(lineno, format!("malformed line {line:?}")))?;
         match kind {
             "app" => rec.app_name = rest.to_string(),
             "version" => rec.app_version = rest.to_string(),
             "label" => rec.label = rest.to_string(),
             "end_time_us" => {
-                rec.end_time = SimTime(
-                    rest.parse()
-                        .map_err(|_| err(lineno, "bad end_time_us"))?,
-                )
+                rec.end_time = SimTime(rest.parse().map_err(|_| err(lineno, "bad end_time_us"))?)
             }
             "pairs_tested" => {
-                rec.pairs_tested = rest
-                    .parse()
-                    .map_err(|_| err(lineno, "bad pairs_tested"))?
+                rec.pairs_tested = rest.parse().map_err(|_| err(lineno, "bad pairs_tested"))?
             }
             "resource" => rec.resources.push(
-                ResourceName::parse(rest)
-                    .map_err(|e| err(lineno, format!("bad resource: {e}")))?,
+                ResourceName::parse(rest).map_err(|e| err(lineno, format!("bad resource: {e}")))?,
             ),
             "threshold" => {
                 let (h, v) = rest
@@ -159,9 +155,7 @@ pub fn parse_record(text: &str) -> Result<ExecutionRecord, FormatError> {
                     outcome,
                     first_true_at: parse_opt_time(words[1], lineno)?,
                     concluded_at: parse_opt_time(words[2], lineno)?,
-                    last_value: words[3]
-                        .parse()
-                        .map_err(|_| err(lineno, "bad value"))?,
+                    last_value: words[3].parse().map_err(|_| err(lineno, "bad value"))?,
                     hypothesis: words[4].to_string(),
                     focus: Focus::parse(words[5])
                         .map_err(|e| err(lineno, format!("bad focus: {e}")))?,
@@ -183,8 +177,15 @@ mod tests {
 
     fn sample() -> ExecutionRecord {
         let mut space = ResourceSpace::new();
-        for r in ["/Code/a.c/f", "/Process/p1", "/Machine/n1", "/SyncObject/Message/3_-1"] {
-            space.add_resource(&ResourceName::parse(r).unwrap()).unwrap();
+        for r in [
+            "/Code/a.c/f",
+            "/Process/p1",
+            "/Machine/n1",
+            "/SyncObject/Message/3_-1",
+        ] {
+            space
+                .add_resource(&ResourceName::parse(r).unwrap())
+                .unwrap();
         }
         let wp = space.whole_program();
         ExecutionRecord {

@@ -38,6 +38,6 @@ pub use extract::{
     ExtractionOptions,
 };
 pub use format::FormatError;
-pub use mapping::MappingSet;
+pub use mapping::{LocatedMap, MappingSet};
 pub use record::ExecutionRecord;
 pub use store::ExecutionStore;

@@ -13,8 +13,8 @@
 //! functions).
 
 use histpc_consultant::{PruneTarget, SearchDirectives};
+use histpc_resources::diag::{tokenize, Diagnostic, Span, MEMORY_FILE};
 use histpc_resources::{ResourceName, CODE, MACHINE, PROCESS};
-use std::fmt;
 
 /// An ordered list of `map from to` directives.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -22,26 +22,95 @@ pub struct MappingSet {
     maps: Vec<(ResourceName, ResourceName)>,
 }
 
-/// A parse failure in a mapping file.
+/// One `map from to` line together with the source spans linters need to
+/// point at.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MappingParseError {
-    /// 1-based line number.
-    pub line: usize,
-    /// Why it failed.
-    pub reason: String,
+pub struct LocatedMap {
+    /// The name being mapped away from (the previous run's name).
+    pub from: ResourceName,
+    /// The name it maps to (the new run's name).
+    pub to: ResourceName,
+    /// Span of the whole `map` line (trimmed content).
+    pub span: Span,
+    /// Span of the `from` token.
+    pub from_span: Span,
+    /// Span of the `to` token.
+    pub to_span: Span,
 }
 
-impl fmt::Display for MappingParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "mapping parse error at line {}: {}",
-            self.line, self.reason
-        )
+/// Parses a mapping file with error recovery: every line that parses
+/// contributes a [`LocatedMap`], every line that does not contributes an
+/// error-severity [`Diagnostic`] (codes `HL010`, `HL011`), and parsing
+/// always continues to the end of the input. Cross-hierarchy maps are
+/// rejected here (HL011) because applying one would produce a focus with
+/// two selections in one hierarchy.
+pub fn parse_with_spans(text: &str, file: &str) -> (Vec<LocatedMap>, Vec<Diagnostic>) {
+    let mut located = Vec::new();
+    let mut diags = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let tokens = tokenize(raw);
+        let line_span = Span::new(
+            lineno,
+            tokens[0].col_start,
+            tokens.last().expect("non-empty line").col_end,
+        );
+        if tokens[0].text != "map" || tokens.len() != 3 {
+            diags.push(
+                Diagnostic::error(
+                    "HL010",
+                    format!("expected `map <from> <to>`, found `{trimmed}`"),
+                )
+                .with_file(file)
+                .with_span(line_span),
+            );
+            continue;
+        }
+        let parse_name = |tok: histpc_resources::diag::Token<'_>| {
+            ResourceName::parse(tok.text).map_err(|e| {
+                Diagnostic::error("HL010", format!("malformed resource name: {e}"))
+                    .with_file(file)
+                    .with_span(tok.span(lineno))
+            })
+        };
+        let (from, to) = match (parse_name(tokens[1]), parse_name(tokens[2])) {
+            (Ok(f), Ok(t)) => (f, t),
+            (a, b) => {
+                diags.extend(a.err());
+                diags.extend(b.err());
+                continue;
+            }
+        };
+        if from.hierarchy() != to.hierarchy() {
+            diags.push(
+                Diagnostic::error(
+                    "HL011",
+                    format!(
+                        "mapping crosses hierarchies: `{from}` is in /{} but `{to}` is in /{}",
+                        from.hierarchy(),
+                        to.hierarchy()
+                    ),
+                )
+                .with_file(file)
+                .with_span(line_span)
+                .with_suggestion("a resource can only be mapped within its own hierarchy"),
+            );
+            continue;
+        }
+        located.push(LocatedMap {
+            from,
+            to,
+            span: line_span,
+            from_span: tokens[1].span(lineno),
+            to_span: tokens[2].span(lineno),
+        });
     }
+    (located, diags)
 }
-
-impl std::error::Error for MappingParseError {}
 
 impl MappingSet {
     /// An empty mapping set.
@@ -92,10 +161,7 @@ impl MappingSet {
 
     /// Rewrites every selection of a focus.
     pub fn apply_to_focus(&self, focus: &histpc_resources::Focus) -> histpc_resources::Focus {
-        let sels: Vec<ResourceName> = focus
-            .selections()
-            .map(|s| self.apply_to_name(s))
-            .collect();
+        let sels: Vec<ResourceName> = focus.selections().map(|s| self.apply_to_name(s)).collect();
         // Mapped names stay within their hierarchy, so this cannot
         // produce duplicates.
         histpc_resources::Focus::new(sels).expect("mapping preserves hierarchies")
@@ -139,38 +205,23 @@ impl MappingSet {
     }
 
     /// Parses `map from to` lines (blank lines and `#` comments skipped).
-    pub fn parse(text: &str) -> Result<MappingSet, MappingParseError> {
-        let mut out = MappingSet::new();
-        for (idx, raw) in text.lines().enumerate() {
-            let lineno = idx + 1;
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let words: Vec<&str> = line.split_whitespace().collect();
-            if words.len() != 3 || words[0] != "map" {
-                return Err(MappingParseError {
-                    line: lineno,
-                    reason: format!("expected 'map <from> <to>', got {line:?}"),
-                });
-            }
-            let from = ResourceName::parse(words[1]).map_err(|e| MappingParseError {
-                line: lineno,
-                reason: e.to_string(),
-            })?;
-            let to = ResourceName::parse(words[2]).map_err(|e| MappingParseError {
-                line: lineno,
-                reason: e.to_string(),
-            })?;
-            if from.hierarchy() != to.hierarchy() {
-                return Err(MappingParseError {
-                    line: lineno,
-                    reason: "mappings must stay within one hierarchy".into(),
-                });
-            }
-            out.add(from, to);
+    /// On failure the first error-severity [`Diagnostic`] is returned; use
+    /// [`parse_with_spans`] to recover all diagnostics at once.
+    pub fn parse(text: &str) -> Result<MappingSet, Diagnostic> {
+        let (located, diags) = parse_with_spans(text, MEMORY_FILE);
+        match diags.into_iter().find(|d| d.is_error()) {
+            Some(err) => Err(err),
+            None => Ok(MappingSet::from_located(&located)),
         }
-        Ok(out)
+    }
+
+    /// Builds a mapping set from located maps (spans discarded).
+    pub fn from_located(located: &[LocatedMap]) -> MappingSet {
+        let mut out = MappingSet::new();
+        for m in located {
+            out.add(m.from.clone(), m.to.clone());
+        }
+        out
     }
 
     /// Suggests mappings from the resources of a previous execution to
@@ -310,8 +361,7 @@ mod tests {
     fn apply_to_focus_rewrites_selections() {
         let mut m = MappingSet::new();
         m.add(n("/Machine/node01"), n("/Machine/node09"));
-        let f = Focus::whole_program(["Code", "Machine"])
-            .with_selection(n("/Machine/node01"));
+        let f = Focus::whole_program(["Code", "Machine"]).with_selection(n("/Machine/node01"));
         assert_eq!(
             m.apply_to_focus(&f).selection("Machine"),
             Some(&n("/Machine/node09"))
@@ -364,8 +414,12 @@ mod tests {
     #[test]
     fn suggest_pairs_machines_positionally() {
         // Nodes 1-4 in the old run, 9-12 in the new run.
-        let old: Vec<ResourceName> = (1..=4).map(|i| n(&format!("/Machine/node{i:02}"))).collect();
-        let new: Vec<ResourceName> = (9..=12).map(|i| n(&format!("/Machine/node{i:02}"))).collect();
+        let old: Vec<ResourceName> = (1..=4)
+            .map(|i| n(&format!("/Machine/node{i:02}")))
+            .collect();
+        let new: Vec<ResourceName> = (9..=12)
+            .map(|i| n(&format!("/Machine/node{i:02}")))
+            .collect();
         let m = MappingSet::suggest(&old, &new);
         assert_eq!(m.len(), 4);
         assert_eq!(m.apply_to_name(&n("/Machine/node01")), n("/Machine/node09"));
@@ -397,7 +451,10 @@ mod tests {
         ];
         let m = MappingSet::suggest(&old, &new);
         // Shared module diff.f needs no mapping.
-        assert_eq!(m.apply_to_name(&n("/Code/diff.f/diff")), n("/Code/diff.f/diff"));
+        assert_eq!(
+            m.apply_to_name(&n("/Code/diff.f/diff")),
+            n("/Code/diff.f/diff")
+        );
         assert_eq!(m.apply_to_name(&n("/Code/oned.f")), n("/Code/onednb.f"));
         // The paper's fig. 3 mapping exactly:
         // map /Code/exchng1.f/exchng1 /Code/nbexchng.f/nbexchng1

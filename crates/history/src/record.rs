@@ -104,7 +104,9 @@ mod tests {
             "/Process/p1",
             "/SyncObject/Message/7",
         ] {
-            space.add_resource(&ResourceName::parse(r).unwrap()).unwrap();
+            space
+                .add_resource(&ResourceName::parse(r).unwrap())
+                .unwrap();
         }
         let wp = space.whole_program();
         let report = DiagnosisReport {
@@ -140,12 +142,8 @@ mod tests {
     #[test]
     fn from_report_captures_everything() {
         let (report, space) = sample_report();
-        let rec = ExecutionRecord::from_report(
-            &report,
-            &space,
-            "r1",
-            vec![("CPUbound".into(), 0.2)],
-        );
+        let rec =
+            ExecutionRecord::from_report(&report, &space, "r1", vec![("CPUbound".into(), 0.2)]);
         assert_eq!(rec.app_name, "app");
         assert_eq!(rec.label, "r1");
         assert_eq!(rec.outcomes.len(), 2);

@@ -170,10 +170,8 @@ mod tests {
     use histpc_sim::SimTime;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "histpc-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("histpc-store-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -230,10 +228,7 @@ mod tests {
     #[test]
     fn missing_record_is_not_found() {
         let store = ExecutionStore::open(tmpdir("missing")).unwrap();
-        assert!(matches!(
-            store.load("x", "y"),
-            Err(StoreError::NotFound(_))
-        ));
+        assert!(matches!(store.load("x", "y"), Err(StoreError::NotFound(_))));
         assert!(matches!(
             store.delete("x", "y"),
             Err(StoreError::NotFound(_))

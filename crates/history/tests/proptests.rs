@@ -1,9 +1,7 @@
 //! Property-based tests for directive algebra, mapping, and the record
 //! format.
 
-use histpc_consultant::{
-    NodeOutcome, Outcome, PriorityDirective, PriorityLevel, SearchDirectives,
-};
+use histpc_consultant::{NodeOutcome, Outcome, PriorityDirective, PriorityLevel, SearchDirectives};
 use histpc_history::{format, intersect, union, ExecutionRecord, MappingSet};
 use histpc_resources::{Focus, ResourceName};
 use histpc_sim::SimTime;

@@ -230,10 +230,7 @@ impl Binder {
 
     /// `/SyncObject/Message/<tag>` for a tag id.
     pub fn tag_name(&self, tag: TagId) -> ResourceName {
-        let label = self
-            .app
-            .tag_label(tag)
-            .unwrap_or("unknown");
+        let label = self.app.tag_label(tag).unwrap_or("unknown");
         ResourceName::new([SYNC_OBJECT, "Message", label]).expect("valid tag label")
     }
 
@@ -245,12 +242,10 @@ impl Binder {
             None => CodeSel::All,
             Some(sel) => match sel.segments() {
                 [_] => CodeSel::All,
-                [_, module] => {
-                    match self.app.modules.iter().position(|m| &m.name == module) {
-                        Some(mi) => CodeSel::Module(mi as u16),
-                        None => CodeSel::Nothing,
-                    }
-                }
+                [_, module] => match self.app.modules.iter().position(|m| &m.name == module) {
+                    Some(mi) => CodeSel::Module(mi as u16),
+                    None => CodeSel::Nothing,
+                },
                 [_, module, func] => match self.app.func_id(module, func) {
                     Some(f) => CodeSel::Func(f.0),
                     None => CodeSel::Nothing,
@@ -396,10 +391,7 @@ mod tests {
         assert_eq!(n2.procs(), &[ProcId(2)]);
 
         // Contradictory machine+process selections yield no processes.
-        let cross = b.compile(&focus(
-            &s,
-            &["/Machine/node03", "/Process/poisson:1"],
-        ));
+        let cross = b.compile(&focus(&s, &["/Machine/node03", "/Process/poisson:1"]));
         assert!(cross.procs().is_empty());
         assert!(!cross.matches(&iv(&b, "main", "oned.f", 2, None), &b));
     }
@@ -429,9 +421,6 @@ mod tests {
     #[test]
     fn tag_name_formats() {
         let b = binder();
-        assert_eq!(
-            b.tag_name(TagId(0)).to_string(),
-            "/SyncObject/Message/3_0"
-        );
+        assert_eq!(b.tag_name(TagId(0)).to_string(), "/SyncObject/Message/3_0");
     }
 }

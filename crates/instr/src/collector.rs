@@ -252,9 +252,9 @@ impl Collector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use histpc_resources::ResourceName;
     use histpc_sim::workloads::{PoissonVersion, PoissonWorkload, SyntheticWorkload, Workload};
     use histpc_sim::ProcId;
-    use histpc_resources::ResourceName;
 
     fn drive(engine: &mut Engine, collector: &mut Collector, until_ms: u64, step_ms: u64) {
         let mut t = 0;
@@ -281,8 +281,10 @@ mod tests {
             .total(histpc_sim::ActivityKind::Cpu)
             .as_secs_f64();
         // The pair missed the insertion delay at the start; allow for it.
-        assert!(measured > 0.5 * truth && measured <= truth * 1.001,
-            "measured {measured} truth {truth}");
+        assert!(
+            measured > 0.5 * truth && measured <= truth * 1.001,
+            "measured {measured} truth {truth}"
+        );
     }
 
     #[test]

@@ -69,7 +69,15 @@ pub fn aggregate(intervals: &[Interval]) -> Vec<Delta> {
 mod tests {
     use super::*;
 
-    fn iv(proc: u16, func: u16, kind: ActivityKind, tag: Option<u16>, s: u64, e: u64, b: u64) -> Interval {
+    fn iv(
+        proc: u16,
+        func: u16,
+        kind: ActivityKind,
+        tag: Option<u16>,
+        s: u64,
+        e: u64,
+        b: u64,
+    ) -> Interval {
         Interval {
             proc: ProcId(proc),
             func: FuncId(func),

@@ -92,7 +92,10 @@ impl TimeHistogram {
         if to <= from {
             return 0.0;
         }
-        let (s, e) = (from.as_micros(), to.as_micros().min(self.span_end().as_micros()));
+        let (s, e) = (
+            from.as_micros(),
+            to.as_micros().min(self.span_end().as_micros()),
+        );
         if e <= s {
             return 0.0;
         }

@@ -242,10 +242,8 @@ mod tests {
     fn exchange_function_carries_most_sync() {
         let d = data();
         let whole = d.space().whole_program();
-        let exch = whole
-            .with_selection(ResourceName::parse("/Code/exchng2.f/exchng2").unwrap());
-        let sweep = whole
-            .with_selection(ResourceName::parse("/Code/sweep2d.f/sweep2d").unwrap());
+        let exch = whole.with_selection(ResourceName::parse("/Code/exchng2.f/exchng2").unwrap());
+        let sweep = whole.with_selection(ResourceName::parse("/Code/sweep2d.f/sweep2d").unwrap());
         let we = d.fraction(Metric::SyncWaitTime, &exch);
         let ws = d.fraction(Metric::SyncWaitTime, &sweep);
         assert!(we > ws, "exchng2 {we} vs sweep2d {ws}");
@@ -279,8 +277,7 @@ mod tests {
     fn msg_metrics_positive_for_tags() {
         let d = data();
         let whole = d.space().whole_program();
-        let tag = whole
-            .with_selection(ResourceName::parse("/SyncObject/Message/3_0").unwrap());
+        let tag = whole.with_selection(ResourceName::parse("/SyncObject/Message/3_0").unwrap());
         assert!(d.value(Metric::MsgCount, &tag) > 0.0);
         assert!(d.value(Metric::MsgBytes, &tag) > 0.0);
     }

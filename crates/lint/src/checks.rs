@@ -1,0 +1,431 @@
+//! The individual lint checks.
+//!
+//! Every check emits [`Diagnostic`]s with a stable code; codes are never
+//! reused or renumbered. Parse-level codes (`HL001`, `HL003`, `HL007`,
+//! `HL010`, `HL011`) are produced by the span-aware parsers in
+//! `histpc-consultant` and `histpc-history`; this module hosts the
+//! semantic checks that run over successfully parsed artifacts.
+
+use histpc_consultant::directive::{Directive, LocatedDirective};
+use histpc_consultant::{Prune, PruneTarget};
+use histpc_history::mapping::LocatedMap;
+use histpc_history::{ExecutionRecord, MappingSet};
+use histpc_resources::diag::{did_you_mean, Diagnostic, Span};
+use histpc_resources::{Focus, ResourceName};
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Semantic checks over a parsed directive file: unknown hypotheses
+/// (`HL002`), duplicate and overriding directives (`HL004`), pair prunes
+/// shadowed by subtree prunes (`HL005`), and high priorities on pruned
+/// foci (`HL006`).
+pub fn check_directives(
+    located: &[LocatedDirective],
+    hypothesis_names: &[String],
+    file: &str,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_unknown_hypotheses(located, hypothesis_names, file, &mut out);
+    check_duplicates(located, file, &mut out);
+    check_shadowed_pair_prunes(located, file, &mut out);
+    check_high_priority_on_pruned(located, file, &mut out);
+    out
+}
+
+/// HL002: every named hypothesis must exist in the registry.
+fn check_unknown_hypotheses(
+    located: &[LocatedDirective],
+    hypothesis_names: &[String],
+    file: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    for l in located {
+        let Some(hyp) = l.directive.hypothesis() else {
+            continue; // `*` prunes reference no specific hypothesis
+        };
+        if hypothesis_names.iter().any(|n| n == hyp) {
+            continue;
+        }
+        let mut d = Diagnostic::error("HL002", format!("unknown hypothesis `{hyp}`"))
+            .with_file(file)
+            .with_span(l.hypothesis_span);
+        if let Some(s) = did_you_mean(hyp, hypothesis_names.iter().map(String::as_str)) {
+            d = d.with_suggestion(format!("did you mean `{s}`?"));
+        }
+        out.push(d);
+    }
+}
+
+/// HL004: exact duplicates, and priority/threshold re-definitions that
+/// silently override an earlier line (last one wins at load time).
+fn check_duplicates(located: &[LocatedDirective], file: &str, out: &mut Vec<Diagnostic>) {
+    for (i, l) in located.iter().enumerate() {
+        for prev in &located[..i] {
+            if prev.directive == l.directive {
+                out.push(
+                    Diagnostic::warning(
+                        "HL004",
+                        format!("duplicate directive; identical to line {}", prev.span.line),
+                    )
+                    .with_file(file)
+                    .with_span(l.span)
+                    .with_suggestion("remove one of the two"),
+                );
+                break;
+            }
+            if let Some(what) = overrides(&prev.directive, &l.directive) {
+                out.push(
+                    Diagnostic::warning(
+                        "HL004",
+                        format!(
+                            "this {what} silently overrides the one on line {}",
+                            prev.span.line
+                        ),
+                    )
+                    .with_file(file)
+                    .with_span(l.span)
+                    .with_suggestion("the last directive wins; remove the one you don't mean"),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// True if `later` replaces `earlier` when both are loaded, with a short
+/// description of what kind of directive is being overridden.
+fn overrides(earlier: &Directive, later: &Directive) -> Option<&'static str> {
+    match (earlier, later) {
+        (Directive::Priority(a), Directive::Priority(b))
+            if a.hypothesis == b.hypothesis && a.focus == b.focus =>
+        {
+            Some("priority")
+        }
+        (Directive::Threshold(a), Directive::Threshold(b)) if a.hypothesis == b.hypothesis => {
+            Some("threshold")
+        }
+        _ => None,
+    }
+}
+
+/// HL005: a pair prune whose focus already falls inside a pruned subtree
+/// is dead weight — the subtree prune removes the pair on its own.
+fn check_shadowed_pair_prunes(located: &[LocatedDirective], file: &str, out: &mut Vec<Diagnostic>) {
+    let subtree_prunes: Vec<(&Prune, &LocatedDirective)> = located
+        .iter()
+        .filter_map(|l| match &l.directive {
+            Directive::Prune(
+                p @ Prune {
+                    target: PruneTarget::Resource(_),
+                    ..
+                },
+            ) => Some((p, l)),
+            _ => None,
+        })
+        .collect();
+    for l in located {
+        let Directive::Prune(
+            pair @ Prune {
+                target: PruneTarget::Pair(focus),
+                ..
+            },
+        ) = &l.directive
+        else {
+            continue;
+        };
+        let shadow = subtree_prunes.iter().find(|(sub, _)| {
+            hypothesis_scope_covers(&sub.hypothesis, &pair.hypothesis)
+                && resource_prune_matches(sub, focus)
+        });
+        if let Some((sub, sub_loc)) = shadow {
+            let PruneTarget::Resource(r) = &sub.target else {
+                unreachable!()
+            };
+            out.push(
+                Diagnostic::warning(
+                    "HL005",
+                    format!(
+                        "pair prune is shadowed by the subtree prune of `{r}` on line {}",
+                        sub_loc.span.line
+                    ),
+                )
+                .with_file(file)
+                .with_span(l.span)
+                .with_suggestion("the subtree prune already removes this pair; drop this line"),
+            );
+        }
+    }
+}
+
+/// True if a prune scoped to `outer` applies to everything a prune scoped
+/// to `inner` applies to (`None` = all hypotheses).
+fn hypothesis_scope_covers(outer: &Option<String>, inner: &Option<String>) -> bool {
+    match (outer, inner) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(a), Some(b)) => a == b,
+    }
+}
+
+/// True if `sub`'s resource subtree matches `focus`, ignoring hypothesis.
+fn resource_prune_matches(sub: &Prune, focus: &Focus) -> bool {
+    Prune {
+        hypothesis: None,
+        target: sub.target.clone(),
+    }
+    .matches("", focus)
+}
+
+/// HL006: `priority high` on a pair that a prune in the same file removes
+/// is contradictory — the prune wins and the pair is never instrumented.
+fn check_high_priority_on_pruned(
+    located: &[LocatedDirective],
+    file: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let prunes: Vec<&Prune> = located
+        .iter()
+        .filter_map(|l| match &l.directive {
+            Directive::Prune(p) => Some(p),
+            _ => None,
+        })
+        .collect();
+    for l in located {
+        let Directive::Priority(p) = &l.directive else {
+            continue;
+        };
+        if p.level != histpc_consultant::PriorityLevel::High {
+            continue; // extracted files legitimately carry Low + prune
+        }
+        if let Some(prune) = prunes.iter().find(|q| q.matches(&p.hypothesis, &p.focus)) {
+            let what = match &prune.target {
+                PruneTarget::Resource(r) => format!("the subtree prune of `{r}`"),
+                PruneTarget::Pair(_) => "an exact pair prune".to_string(),
+            };
+            out.push(
+                Diagnostic::warning(
+                    "HL006",
+                    format!("high priority on a focus removed by {what}; the prune wins"),
+                )
+                .with_file(file)
+                .with_span(l.span)
+                .with_suggestion("drop either the priority or the prune"),
+            );
+        }
+    }
+}
+
+/// Semantic checks over a parsed mapping file: non-injective maps
+/// (`HL012`), chained maps (`HL013`), cyclic maps (`HL014`), and duplicate
+/// sources (`HL016`).
+pub fn check_mappings(maps: &[LocatedMap], file: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_duplicate_sources(maps, file, &mut out);
+    check_non_injective(maps, file, &mut out);
+    check_chains_and_cycles(maps, file, &mut out);
+    out
+}
+
+/// HL016: the same source mapped twice; only the first mapping is applied.
+fn check_duplicate_sources(maps: &[LocatedMap], file: &str, out: &mut Vec<Diagnostic>) {
+    for (i, m) in maps.iter().enumerate() {
+        if let Some(prev) = maps[..i].iter().find(|p| p.from == m.from) {
+            out.push(
+                Diagnostic::warning(
+                    "HL016",
+                    format!(
+                        "`{}` is already mapped on line {}; this mapping is never applied",
+                        m.from, prev.span.line
+                    ),
+                )
+                .with_file(file)
+                .with_span(m.span)
+                .with_suggestion("remove this line or change its source"),
+            );
+        }
+    }
+}
+
+/// HL012: two different sources mapped to the same target merge two
+/// resources that were distinct in the original run.
+fn check_non_injective(maps: &[LocatedMap], file: &str, out: &mut Vec<Diagnostic>) {
+    for (i, m) in maps.iter().enumerate() {
+        if let Some(prev) = maps[..i].iter().find(|p| p.to == m.to && p.from != m.from) {
+            out.push(
+                Diagnostic::warning(
+                    "HL012",
+                    format!(
+                        "non-injective mapping: `{}` and `{}` (line {}) both map to `{}`",
+                        m.from, prev.from, prev.span.line, m.to
+                    ),
+                )
+                .with_file(file)
+                .with_span(m.span)
+                .with_suggestion(
+                    "distinct resources from the old run will be indistinguishable; \
+                     map them to distinct targets",
+                ),
+            );
+        }
+    }
+}
+
+/// HL013/HL014: mappings are applied in a single pass, so `map a b` +
+/// `map b c` does *not* take `a` to `c` (HL013), and a cycle of maps is
+/// almost certainly a mistake (HL014, error).
+fn check_chains_and_cycles(maps: &[LocatedMap], file: &str, out: &mut Vec<Diagnostic>) {
+    // First mapping per source is the one `apply_to_name` uses.
+    let mut index: HashMap<&ResourceName, &LocatedMap> = HashMap::new();
+    for m in maps {
+        index.entry(&m.from).or_insert(m);
+    }
+    for m in maps {
+        if index.get(&m.from).copied() != Some(m) {
+            continue; // duplicate source; already HL016
+        }
+        if !index.contains_key(&m.to) {
+            continue; // chain tail (or no chain at all)
+        }
+        // Walk the chain to its end, watching for a cycle back to `m`.
+        let mut chain = vec![m];
+        let mut visited: HashSet<&ResourceName> = HashSet::from([&m.from]);
+        let mut cur = &m.to;
+        let mut cycle = false;
+        while let Some(next) = index.get(cur) {
+            if next.from == m.from {
+                cycle = true;
+                break;
+            }
+            if !visited.insert(&next.from) {
+                break; // a downstream cycle; its own members report it
+            }
+            chain.push(next);
+            cur = &next.to;
+        }
+        if cycle {
+            // Report each cycle once, on its earliest line.
+            if chain.iter().all(|c| c.span.line >= m.span.line) {
+                let names = chain
+                    .iter()
+                    .map(|c| format!("`{}`", c.from))
+                    .collect::<Vec<_>>()
+                    .join(" -> ");
+                out.push(
+                    Diagnostic::error("HL014", format!("cyclic mapping: {names} -> `{}`", m.from))
+                        .with_file(file)
+                        .with_span(m.span)
+                        .with_suggestion("break the cycle; resources cannot exchange names"),
+                );
+            }
+        } else {
+            let final_to = &chain.last().expect("chain starts with m").to;
+            out.push(
+                Diagnostic::warning(
+                    "HL013",
+                    format!(
+                        "chained mapping: `{}` is itself mapped, but mappings are applied \
+                         in one pass, so `{}` stops at `{}`",
+                        m.to, m.from, m.to
+                    ),
+                )
+                .with_file(file)
+                .with_span(m.span)
+                .with_suggestion(format!("write `map {} {}` directly", m.from, final_to)),
+            );
+        }
+    }
+}
+
+/// HL015: a mapping whose source prefixes no resource mentioned by the
+/// directives it is meant to translate does nothing.
+pub fn check_mapping_usage(
+    maps: &[LocatedMap],
+    directives: &[LocatedDirective],
+    file: &str,
+) -> Vec<Diagnostic> {
+    let mentioned = mentioned_names(directives);
+    let mut out = Vec::new();
+    for m in maps {
+        if mentioned.iter().any(|(n, _)| m.from.is_prefix_of(n)) {
+            continue;
+        }
+        out.push(
+            Diagnostic::warning(
+                "HL015",
+                format!(
+                    "map source `{}` never occurs in the directives being mapped",
+                    m.from
+                ),
+            )
+            .with_file(file)
+            .with_span(m.from_span)
+            .with_suggestion("remove the mapping or check the source name for typos"),
+        );
+    }
+    out
+}
+
+/// HL020: after mapping, every resource a directive references must exist
+/// in the recorded execution it is checked against.
+pub fn check_against_record(
+    directives: &[LocatedDirective],
+    mappings: &MappingSet,
+    record: &ExecutionRecord,
+    file: &str,
+) -> Vec<Diagnostic> {
+    let known: HashSet<&ResourceName> = record.resources.iter().collect();
+    let displays: Vec<String> = record.resources.iter().map(|r| r.to_string()).collect();
+    let mut out = Vec::new();
+    for (name, span) in mentioned_names(directives) {
+        let mapped = mappings.apply_to_name(&name);
+        if known.contains(&mapped) {
+            continue;
+        }
+        let run = format!("{}/{}", record.app_name, record.label);
+        let mut d = Diagnostic::error(
+            "HL020",
+            if mapped == name {
+                format!("directive references `{name}`, which does not exist in run `{run}`")
+            } else {
+                format!(
+                    "directive references `{name}`, mapped to `{mapped}`, which does not \
+                     exist in run `{run}`"
+                )
+            },
+        )
+        .with_file(file)
+        .with_span(span);
+        if let Some(s) = did_you_mean(&mapped.to_string(), displays.iter().map(String::as_str)) {
+            d = d.with_suggestion(format!("did you mean `{s}`?"));
+        }
+        out.push(d);
+    }
+    out
+}
+
+/// Every resource name a directive file references, with the span of the
+/// directive value it appears in. Hierarchy-root selections of foci are
+/// skipped: they are implicit in every run.
+fn mentioned_names(directives: &[LocatedDirective]) -> Vec<(ResourceName, Span)> {
+    let mut out = Vec::new();
+    for l in directives {
+        match &l.directive {
+            Directive::Prune(p) => match &p.target {
+                PruneTarget::Resource(r) => out.push((r.clone(), l.value_span)),
+                PruneTarget::Pair(f) => {
+                    out.extend(selections_of(f).map(|s| (s, l.value_span)));
+                }
+            },
+            Directive::Priority(p) => {
+                out.extend(selections_of(&p.focus).map(|s| (s, l.value_span)));
+            }
+            Directive::Threshold(_) => {}
+        }
+    }
+    out
+}
+
+/// Non-root selections of a focus.
+fn selections_of(f: &Focus) -> impl Iterator<Item = ResourceName> + '_ {
+    f.selections().filter(|s| !s.is_root()).cloned()
+}

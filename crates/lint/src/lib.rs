@@ -1,0 +1,246 @@
+//! `histpc-lint`: static validation of directive and mapping artifacts.
+//!
+//! Search directives and resource mappings are plain text files written by
+//! people (or extracted by `histpc harvest`) and applied to later runs —
+//! often much later, against a program version whose resources have moved.
+//! This crate checks those artifacts *before* they steer a diagnosis:
+//!
+//! * **Directive files** — unknown hypotheses, duplicate or overriding
+//!   directives, pair prunes shadowed by subtree prunes, high priorities
+//!   on pruned foci, thresholds outside `(0, 1]`, malformed foci.
+//! * **Mapping files** — syntax, cross-hierarchy maps, non-injective
+//!   maps, chained and cyclic maps, sources the directives never mention.
+//! * **Cross-artifact** — given a recorded execution, directives whose
+//!   resources (after mapping) do not exist in that run's hierarchies.
+//!
+//! Every problem is a [`Diagnostic`] with a stable `HLxxx` code, a
+//! severity, and a file/line/column span; [`render`] produces rustc-style
+//! output with the offending line quoted under a caret.
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | HL001 | error    | directive syntax error |
+//! | HL002 | error    | unknown hypothesis |
+//! | HL003 | error    | threshold outside `(0, 1]` |
+//! | HL004 | warning  | duplicate or overriding directive |
+//! | HL005 | warning  | pair prune shadowed by a subtree prune |
+//! | HL006 | warning  | high priority on a pruned focus |
+//! | HL007 | error    | malformed focus or resource name |
+//! | HL010 | error    | mapping syntax error |
+//! | HL011 | error    | mapping crosses hierarchies |
+//! | HL012 | warning  | non-injective mapping |
+//! | HL013 | warning  | chained mapping (single-pass application) |
+//! | HL014 | error    | cyclic mapping |
+//! | HL015 | warning  | map source unused by the directives |
+//! | HL016 | warning  | duplicate map source |
+//! | HL020 | error    | resource absent from the run linted against |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod render;
+
+pub use histpc_resources::diag::{Diagnostic, Severity, Span};
+pub use render::{render_all, summary, SourceCache};
+
+use histpc_consultant::directive::{parse_with_spans as parse_directives, LocatedDirective};
+use histpc_consultant::HypothesisTree;
+use histpc_history::mapping::{parse_with_spans as parse_mappings, LocatedMap};
+use histpc_history::{ExecutionRecord, MappingSet};
+
+/// What kind of artifact a text file holds, guessed from its first
+/// non-blank, non-comment line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A search-directive file (`prune` / `priority` / `threshold` lines).
+    Directives,
+    /// A mapping file (`map from to` lines).
+    Mappings,
+}
+
+impl ArtifactKind {
+    /// Guesses the artifact kind. Files whose first directive keyword is
+    /// `map` are mappings; everything else (including empty files) is
+    /// treated as directives.
+    pub fn detect(text: &str) -> ArtifactKind {
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            return if line.split_whitespace().next() == Some("map") {
+                ArtifactKind::Mappings
+            } else {
+                ArtifactKind::Directives
+            };
+        }
+        ArtifactKind::Directives
+    }
+}
+
+/// The outcome of a lint run: all diagnostics, sorted by file and span.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Everything found, most specific location first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    fn from(mut diagnostics: Vec<Diagnostic>) -> LintReport {
+        diagnostics.sort_by_key(|d| d.sort_key());
+        LintReport { diagnostics }
+    }
+
+    /// True when nothing at all was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True if any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(Diagnostic::is_error)
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.is_error()).count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// All diagnostics with the given code, in order.
+    pub fn with_code(&self, code: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Renders every diagnostic in rustc style.
+    pub fn render(&self, sources: &SourceCache) -> String {
+        render_all(&self.diagnostics, sources)
+    }
+}
+
+/// The lint driver: a hypothesis registry plus the artifacts to check.
+///
+/// ```
+/// use histpc_lint::Linter;
+///
+/// let report = Linter::new()
+///     .directives("prune CPUBound resource /SyncObject\n", "ex.dirs")
+///     .run();
+/// assert_eq!(report.with_code("HL002").len(), 1); // unknown hypothesis
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linter<'a> {
+    hypothesis_names: Vec<String>,
+    directives: Vec<(String, String)>,
+    mappings: Vec<(String, String)>,
+    record: Option<&'a ExecutionRecord>,
+}
+
+impl Default for Linter<'_> {
+    fn default() -> Self {
+        Linter::new()
+    }
+}
+
+impl<'a> Linter<'a> {
+    /// A linter validating against the standard Paradyn hypothesis tree.
+    pub fn new() -> Linter<'a> {
+        Linter::with_hypotheses(&HypothesisTree::standard())
+    }
+
+    /// A linter validating hypothesis references against a custom tree.
+    pub fn with_hypotheses(tree: &HypothesisTree) -> Linter<'a> {
+        Linter {
+            hypothesis_names: tree.names().map(str::to_string).collect(),
+            directives: Vec::new(),
+            mappings: Vec::new(),
+            record: None,
+        }
+    }
+
+    /// Adds a directive file (text + name used in diagnostics).
+    pub fn directives(mut self, text: impl Into<String>, file: impl Into<String>) -> Self {
+        self.directives.push((file.into(), text.into()));
+        self
+    }
+
+    /// Adds a mapping file (text + name used in diagnostics).
+    pub fn mappings(mut self, text: impl Into<String>, file: impl Into<String>) -> Self {
+        self.mappings.push((file.into(), text.into()));
+        self
+    }
+
+    /// Adds a file of either kind, guessing with [`ArtifactKind::detect`].
+    pub fn artifact(self, text: impl Into<String>, file: impl Into<String>) -> Self {
+        let text = text.into();
+        match ArtifactKind::detect(&text) {
+            ArtifactKind::Directives => self.directives(text, file),
+            ArtifactKind::Mappings => self.mappings(text, file),
+        }
+    }
+
+    /// Cross-checks every directive resource (after mapping) against a
+    /// recorded execution (`HL020`).
+    pub fn against(mut self, record: &'a ExecutionRecord) -> Self {
+        self.record = Some(record);
+        self
+    }
+
+    /// A [`SourceCache`] holding every artifact added so far, for
+    /// rendering the report.
+    pub fn sources(&self) -> SourceCache {
+        let mut cache = SourceCache::new();
+        for (file, text) in self.directives.iter().chain(&self.mappings) {
+            cache.insert(file.clone(), text);
+        }
+        cache
+    }
+
+    /// Runs every applicable check.
+    pub fn run(&self) -> LintReport {
+        let mut diags = Vec::new();
+        let mut all_directives: Vec<LocatedDirective> = Vec::new();
+        let mut all_maps: Vec<LocatedMap> = Vec::new();
+
+        for (file, text) in &self.directives {
+            let (located, parse_diags) = parse_directives(text, file);
+            diags.extend(parse_diags);
+            diags.extend(checks::check_directives(
+                &located,
+                &self.hypothesis_names,
+                file,
+            ));
+            all_directives.extend(located);
+        }
+        for (file, text) in &self.mappings {
+            let (located, parse_diags) = parse_mappings(text, file);
+            diags.extend(parse_diags);
+            diags.extend(checks::check_mappings(&located, file));
+            if !self.directives.is_empty() {
+                diags.extend(checks::check_mapping_usage(&located, &all_directives, file));
+            }
+            all_maps.extend(located);
+        }
+        if let Some(record) = self.record {
+            let mapping_set = MappingSet::from_located(&all_maps);
+            for (file, text) in &self.directives {
+                let (located, _) = parse_directives(text, file);
+                diags.extend(checks::check_against_record(
+                    &located,
+                    &mapping_set,
+                    record,
+                    file,
+                ));
+            }
+        }
+        LintReport::from(diags)
+    }
+}

@@ -1,0 +1,96 @@
+//! rustc-style rendering of diagnostics, with source lines and carets.
+
+use histpc_resources::diag::Diagnostic;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Source text of the files being linted, so rendered diagnostics can
+/// quote the offending line under a caret.
+#[derive(Debug, Default, Clone)]
+pub struct SourceCache {
+    files: HashMap<String, Vec<String>>,
+}
+
+impl SourceCache {
+    /// An empty cache; diagnostics render without quoted source lines.
+    pub fn new() -> SourceCache {
+        SourceCache::default()
+    }
+
+    /// Registers the full text of one file.
+    pub fn insert(&mut self, file: impl Into<String>, text: &str) {
+        self.files
+            .insert(file.into(), text.lines().map(str::to_string).collect());
+    }
+
+    /// The 1-based `lineno` of `file`, if known.
+    fn line(&self, file: &str, lineno: usize) -> Option<&str> {
+        self.files
+            .get(file)
+            .and_then(|lines| lines.get(lineno.checked_sub(1)?))
+            .map(String::as_str)
+    }
+}
+
+/// Renders one diagnostic in rustc style:
+///
+/// ```text
+/// error[HL002]: unknown hypothesis `CPUBound`
+///   --> poisson.dirs:3:7
+///    |
+///  3 | prune CPUBound resource /SyncObject
+///    |       ^^^^^^^^
+///    = help: did you mean `CPUbound`?
+/// ```
+pub fn render(d: &Diagnostic, sources: &SourceCache) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+    if let Some(span) = d.span {
+        let _ = writeln!(out, "  --> {}:{}:{}", d.file, span.line, span.col_start);
+        if let Some(line) = sources.line(&d.file, span.line) {
+            let gutter = span.line.to_string();
+            let pad = " ".repeat(gutter.len());
+            let _ = writeln!(out, " {pad} |");
+            let _ = writeln!(out, " {gutter} | {line}");
+            let indent = " ".repeat(span.col_start.saturating_sub(1));
+            let carets = "^".repeat(span.width());
+            let _ = writeln!(out, " {pad} | {indent}{carets}");
+        }
+    } else {
+        let _ = writeln!(out, "  --> {}", d.file);
+    }
+    if let Some(help) = &d.suggestion {
+        let _ = writeln!(out, "   = help: {help}");
+    }
+    out
+}
+
+/// Renders a list of diagnostics, blank-line separated.
+pub fn render_all(diags: &[Diagnostic], sources: &SourceCache) -> String {
+    diags
+        .iter()
+        .map(|d| render(d, sources))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The `N errors; M warnings` trailer, or `None` when there is nothing
+/// to say.
+pub fn summary(diags: &[Diagnostic]) -> Option<String> {
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
+    let mut parts = Vec::new();
+    if errors > 0 {
+        parts.push(format!(
+            "{errors} error{}",
+            if errors == 1 { "" } else { "s" }
+        ));
+    }
+    if warnings > 0 {
+        parts.push(format!(
+            "{warnings} warning{}",
+            if warnings == 1 { "" } else { "s" }
+        ));
+    }
+    (!parts.is_empty()).then(|| parts.join("; "))
+}

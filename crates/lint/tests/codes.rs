@@ -1,0 +1,401 @@
+//! One triggering fixture and one clean fixture per diagnostic code.
+
+use histpc_consultant::{NodeOutcome, Outcome};
+use histpc_history::ExecutionRecord;
+use histpc_lint::{ArtifactKind, Linter, Severity};
+use histpc_resources::ResourceName;
+use histpc_sim::SimTime;
+
+fn n(s: &str) -> ResourceName {
+    ResourceName::parse(s).unwrap()
+}
+
+fn lint_dirs(text: &str) -> histpc_lint::LintReport {
+    Linter::new().directives(text, "test.dirs").run()
+}
+
+fn lint_maps(text: &str) -> histpc_lint::LintReport {
+    Linter::new().mappings(text, "test.maps").run()
+}
+
+/// A small recorded run over the paper's Poisson-solver resource names.
+fn sample_record() -> ExecutionRecord {
+    ExecutionRecord {
+        app_name: "poisson".into(),
+        app_version: "A".into(),
+        label: "a1".into(),
+        resources: vec![
+            n("/Code"),
+            n("/Code/oned.f"),
+            n("/Code/oned.f/main"),
+            n("/Code/diff.f"),
+            n("/Code/diff.f/diff"),
+            n("/Machine"),
+            n("/Machine/node01"),
+            n("/Process"),
+            n("/Process/p1"),
+            n("/SyncObject"),
+        ],
+        outcomes: vec![NodeOutcome {
+            hypothesis: "CPUbound".into(),
+            focus: histpc_resources::Focus::whole_program([
+                "Code",
+                "Machine",
+                "Process",
+                "SyncObject",
+            ]),
+            outcome: Outcome::True,
+            first_true_at: Some(SimTime(1)),
+            concluded_at: Some(SimTime(1)),
+            last_value: 0.5,
+        }],
+        thresholds_used: vec![],
+        end_time: SimTime(10),
+        pairs_tested: 1,
+    }
+}
+
+#[test]
+fn hl001_directive_syntax() {
+    let r = lint_dirs("frobnicate all the things\n");
+    assert_eq!(r.with_code("HL001").len(), 1);
+    assert!(r.has_errors());
+
+    let r = lint_dirs("prune CPUbound gadget /Code\n");
+    let d = &r.with_code("HL001")[0].clone();
+    // The span points at the bad target-kind token.
+    assert_eq!(d.span.unwrap().col_start, 16);
+
+    assert!(lint_dirs("prune CPUbound resource /Code/oned.f\n").is_clean());
+}
+
+#[test]
+fn hl001_suggests_directive_kind() {
+    let r = lint_dirs("prun CPUbound resource /Code\n");
+    let d = &r.with_code("HL001")[0].clone();
+    assert_eq!(d.suggestion.as_deref(), Some("did you mean `prune`?"));
+}
+
+#[test]
+fn hl002_unknown_hypothesis() {
+    let r = lint_dirs("prune CPUBound resource /SyncObject\n");
+    let d = &r.with_code("HL002")[0].clone();
+    assert!(d.is_error());
+    assert_eq!(d.suggestion.as_deref(), Some("did you mean `CPUbound`?"));
+    // The caret points at the hypothesis token (column 7 on the line).
+    assert_eq!(d.span.unwrap().col_start, 7);
+
+    assert!(lint_dirs("prune CPUbound resource /SyncObject\n").is_clean());
+    // `*` prunes name no hypothesis and cannot trigger HL002.
+    assert!(lint_dirs("prune * resource /SyncObject\n").is_clean());
+}
+
+#[test]
+fn hl003_threshold_out_of_range() {
+    for bad in [
+        "threshold CPUbound 1.5\n",
+        "threshold CPUbound 0\n",
+        "threshold CPUbound -0.1\n",
+    ] {
+        let r = lint_dirs(bad);
+        assert_eq!(r.with_code("HL003").len(), 1, "missed {bad:?}");
+        assert!(r.has_errors());
+    }
+    assert!(lint_dirs("threshold CPUbound 0.3\n").is_clean());
+    assert!(lint_dirs("threshold CPUbound 1.0\n").is_clean());
+}
+
+#[test]
+fn hl004_duplicate_and_override() {
+    // Exact duplicate.
+    let r = lint_dirs("prune * resource /SyncObject\nprune * resource /SyncObject\n");
+    let d = &r.with_code("HL004")[0].clone();
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span.unwrap().line, 2);
+    assert!(d.message.contains("line 1"));
+
+    // A re-defined threshold silently overrides the earlier one.
+    let r = lint_dirs("threshold CPUbound 0.3\nthreshold CPUbound 0.4\n");
+    assert_eq!(r.with_code("HL004").len(), 1);
+
+    // A re-defined priority likewise.
+    let r = lint_dirs(
+        "priority high CPUbound </Code/oned.f,/Machine,/Process,/SyncObject>\n\
+         priority low CPUbound </Code/oned.f,/Machine,/Process,/SyncObject>\n",
+    );
+    assert_eq!(r.with_code("HL004").len(), 1);
+
+    // Different hypotheses: no conflict.
+    let r = lint_dirs("threshold CPUbound 0.3\nthreshold ExcessiveIOBlockingTime 0.3\n");
+    assert!(r.is_clean());
+}
+
+#[test]
+fn hl005_pair_prune_shadowed() {
+    let r = lint_dirs(
+        "prune CPUbound resource /Code/oned.f\n\
+         prune CPUbound pair </Code/oned.f/main,/Machine,/Process,/SyncObject>\n",
+    );
+    let d = &r.with_code("HL005")[0].clone();
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span.unwrap().line, 2);
+    assert!(d.message.contains("/Code/oned.f"));
+
+    // A wildcard subtree prune shadows a hypothesis-scoped pair prune too.
+    let r = lint_dirs(
+        "prune * resource /Code/oned.f\n\
+         prune CPUbound pair </Code/oned.f,/Machine,/Process,/SyncObject>\n",
+    );
+    assert_eq!(r.with_code("HL005").len(), 1);
+
+    // A hypothesis-scoped subtree prune does NOT shadow a wildcard pair
+    // prune (the pair prune still matters for other hypotheses).
+    let r = lint_dirs(
+        "prune CPUbound resource /Code/oned.f\n\
+         prune * pair </Code/oned.f,/Machine,/Process,/SyncObject>\n",
+    );
+    assert!(r.with_code("HL005").is_empty());
+
+    // Unrelated subtree: clean.
+    let r = lint_dirs(
+        "prune CPUbound resource /Code/diff.f\n\
+         prune CPUbound pair </Code/oned.f,/Machine,/Process,/SyncObject>\n",
+    );
+    assert!(r.is_clean());
+}
+
+#[test]
+fn hl006_high_priority_on_pruned_focus() {
+    let r = lint_dirs(
+        "prune CPUbound resource /Code/oned.f\n\
+         priority high CPUbound </Code/oned.f/main,/Machine,/Process,/SyncObject>\n",
+    );
+    let d = &r.with_code("HL006")[0].clone();
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("prune wins"));
+
+    // Low priority on a pruned focus is the normal extracted-file shape.
+    let r = lint_dirs(
+        "prune CPUbound pair </Code/oned.f,/Machine,/Process,/SyncObject>\n\
+         priority low CPUbound </Code/oned.f,/Machine,/Process,/SyncObject>\n",
+    );
+    assert!(r.with_code("HL006").is_empty());
+
+    // High priority on an unpruned focus: clean.
+    let r = lint_dirs(
+        "prune CPUbound resource /Code/diff.f\n\
+         priority high CPUbound </Code/oned.f,/Machine,/Process,/SyncObject>\n",
+    );
+    assert!(r.with_code("HL006").is_empty());
+}
+
+#[test]
+fn hl007_malformed_focus_and_resource() {
+    let r = lint_dirs("prune CPUbound resource notaname\n");
+    assert_eq!(r.with_code("HL007").len(), 1);
+
+    let r = lint_dirs("priority high CPUbound </Code/oned.f\n");
+    let d = &r.with_code("HL007")[0].clone();
+    assert!(d.is_error());
+    // The caret covers the focus text, not the whole line.
+    assert_eq!(d.span.unwrap().col_start, 24);
+
+    assert!(
+        lint_dirs("priority high CPUbound </Code/oned.f,/Machine,/Process,/SyncObject>\n")
+            .is_clean()
+    );
+}
+
+#[test]
+fn hl010_mapping_syntax() {
+    for bad in [
+        "map /Code/x\n",
+        "remap /Code/x /Code/y\n",
+        "map Code/x /Code/y\n",
+    ] {
+        let r = lint_maps(bad);
+        assert_eq!(r.with_code("HL010").len(), 1, "missed {bad:?}");
+        assert!(r.has_errors());
+    }
+    assert!(lint_maps("map /Code/x /Code/y\n").is_clean());
+}
+
+#[test]
+fn hl011_cross_hierarchy_map() {
+    let r = lint_maps("map /Code/x /Machine/y\n");
+    let d = &r.with_code("HL011")[0].clone();
+    assert!(d.is_error());
+    assert!(d.message.contains("crosses hierarchies"));
+    assert!(lint_maps("map /Machine/node01 /Machine/node09\n").is_clean());
+}
+
+#[test]
+fn hl012_non_injective_map() {
+    let r = lint_maps("map /Code/a.f /Code/z.f\nmap /Code/b.f /Code/z.f\n");
+    let d = &r.with_code("HL012")[0].clone();
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span.unwrap().line, 2);
+    assert!(lint_maps("map /Code/a.f /Code/y.f\nmap /Code/b.f /Code/z.f\n").is_clean());
+}
+
+#[test]
+fn hl013_chained_map() {
+    let r = lint_maps("map /Code/a.f /Code/b.f\nmap /Code/b.f /Code/c.f\n");
+    let d = &r.with_code("HL013")[0].clone();
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span.unwrap().line, 1);
+    assert_eq!(
+        d.suggestion.as_deref(),
+        Some("write `map /Code/a.f /Code/c.f` directly")
+    );
+    // Independent maps: clean.
+    assert!(lint_maps("map /Code/a.f /Code/b.f\nmap /Code/c.f /Code/d.f\n").is_clean());
+}
+
+#[test]
+fn hl014_cyclic_map() {
+    let r = lint_maps("map /Code/a.f /Code/b.f\nmap /Code/b.f /Code/a.f\n");
+    let cycles = r.with_code("HL014");
+    assert_eq!(cycles.len(), 1, "a cycle is reported exactly once");
+    assert!(cycles[0].is_error());
+    assert_eq!(cycles[0].span.unwrap().line, 1);
+
+    // A three-cycle is also caught.
+    let r =
+        lint_maps("map /Code/a.f /Code/b.f\nmap /Code/b.f /Code/c.f\nmap /Code/c.f /Code/a.f\n");
+    assert_eq!(r.with_code("HL014").len(), 1);
+    // Cycle members are not additionally reported as chains.
+    assert!(r.with_code("HL013").is_empty());
+}
+
+#[test]
+fn hl015_unused_map_source() {
+    let dirs = "prune CPUbound resource /Code/oned.f\n";
+    let r = Linter::new()
+        .directives(dirs, "test.dirs")
+        .mappings("map /Code/sweep.f /Code/nbsweep.f\n", "test.maps")
+        .run();
+    let d = &r.with_code("HL015")[0].clone();
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.file, "test.maps");
+
+    // A source that prefixes a directive resource is used.
+    let r = Linter::new()
+        .directives(dirs, "test.dirs")
+        .mappings("map /Code/oned.f /Code/onednb.f\n", "test.maps")
+        .run();
+    assert!(r.is_clean());
+
+    // Without directives the check cannot run and stays silent.
+    assert!(lint_maps("map /Code/sweep.f /Code/nbsweep.f\n").is_clean());
+}
+
+#[test]
+fn hl016_duplicate_map_source() {
+    let r = lint_maps("map /Code/a.f /Code/b.f\nmap /Code/a.f /Code/c.f\n");
+    let d = &r.with_code("HL016")[0].clone();
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.span.unwrap().line, 2);
+    assert!(d.message.contains("never applied"));
+}
+
+#[test]
+fn hl020_dangling_resource() {
+    let rec = sample_record();
+    // A resource that never existed in the run.
+    let r = Linter::new()
+        .directives("prune CPUbound resource /Code/ghost.f\n", "test.dirs")
+        .against(&rec)
+        .run();
+    let d = &r.with_code("HL020")[0].clone();
+    assert!(d.is_error());
+    assert!(d.message.contains("poisson/a1"));
+
+    // Dangling only *after* mapping: the source exists, the target does not.
+    let r = Linter::new()
+        .directives("prune CPUbound resource /Code/oned.f\n", "test.dirs")
+        .mappings("map /Code/oned.f /Code/onednb.f\n", "test.maps")
+        .against(&rec)
+        .run();
+    let d = &r.with_code("HL020")[0].clone();
+    assert!(d.message.contains("/Code/onednb.f"));
+
+    // Everything present: clean.
+    let r = Linter::new()
+        .directives(
+            "prune CPUbound resource /Code/diff.f\n\
+             priority high CPUbound </Code/oned.f/main,/Machine,/Process,/SyncObject>\n\
+             threshold CPUbound 0.3\n",
+            "test.dirs",
+        )
+        .against(&rec)
+        .run();
+    assert!(r.is_clean());
+}
+
+#[test]
+fn hl020_suggests_close_resource() {
+    let rec = sample_record();
+    let r = Linter::new()
+        .directives("prune CPUbound resource /Code/oned.f/mian\n", "test.dirs")
+        .against(&rec)
+        .run();
+    let d = &r.with_code("HL020")[0].clone();
+    assert_eq!(
+        d.suggestion.as_deref(),
+        Some("did you mean `/Code/oned.f/main`?")
+    );
+}
+
+#[test]
+fn artifact_kind_detection() {
+    assert_eq!(
+        ArtifactKind::detect("# c\nmap /Code/a /Code/b\n"),
+        ArtifactKind::Mappings
+    );
+    assert_eq!(
+        ArtifactKind::detect("prune * resource /Code\n"),
+        ArtifactKind::Directives
+    );
+    assert_eq!(ArtifactKind::detect(""), ArtifactKind::Directives);
+}
+
+#[test]
+fn report_is_sorted_and_counts() {
+    let r = lint_dirs(
+        "threshold CPUbound 1.5\n\
+         prune CPUBound resource /SyncObject\n\
+         prune * resource /SyncObject\n\
+         prune * resource /SyncObject\n",
+    );
+    assert_eq!(r.error_count(), 2); // HL003 + HL002
+    assert_eq!(r.warning_count(), 1); // HL004
+    let lines: Vec<usize> = r.diagnostics.iter().map(|d| d.span.unwrap().line).collect();
+    let mut sorted = lines.clone();
+    sorted.sort();
+    assert_eq!(lines, sorted);
+}
+
+#[test]
+fn rendering_quotes_source_with_carets() {
+    let linter = Linter::new().directives("prune CPUBound resource /SyncObject\n", "ex.dirs");
+    let report = linter.run();
+    let out = report.render(&linter.sources());
+    assert!(out.contains("error[HL002]: unknown hypothesis `CPUBound`"));
+    assert!(out.contains("--> ex.dirs:1:7"));
+    assert!(out.contains("1 | prune CPUBound resource /SyncObject"));
+    assert!(out.contains("^^^^^^^^"));
+    assert!(out.contains("= help: did you mean `CPUbound`?"));
+}
+
+#[test]
+fn summary_counts() {
+    let r = lint_dirs(
+        "threshold CPUbound 1.5\nprune * resource /SyncObject\nprune * resource /SyncObject\n",
+    );
+    assert_eq!(
+        histpc_lint::summary(&r.diagnostics).as_deref(),
+        Some("1 error; 1 warning")
+    );
+    assert_eq!(histpc_lint::summary(&[]), None);
+}

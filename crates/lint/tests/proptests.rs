@@ -1,0 +1,123 @@
+//! Property tests: well-formed directive files survive a format→parse
+//! round trip, lint clean, and the linter never panics on garbage.
+
+use histpc_consultant::directive::parse_with_spans;
+use histpc_consultant::{
+    PriorityDirective, PriorityLevel, Prune, PruneTarget, SearchDirectives, ThresholdDirective,
+};
+use histpc_lint::Linter;
+use histpc_resources::{Focus, ResourceName};
+use proptest::prelude::*;
+
+fn segment() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_.]{0,8}".prop_map(|s| s)
+}
+
+fn hypothesis() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("CPUbound".to_string()),
+        Just("ExcessiveSyncWaitingTime".to_string()),
+        Just("ExcessiveIOBlockingTime".to_string()),
+    ]
+}
+
+fn focus() -> impl Strategy<Value = Focus> {
+    (segment(), prop::option::of(segment())).prop_map(|(code, proc_)| {
+        let mut f = Focus::whole_program(["Code", "Machine", "Process", "SyncObject"])
+            .with_selection(ResourceName::new(["Code".to_string(), code]).unwrap());
+        if let Some(p) = proc_ {
+            f = f.with_selection(ResourceName::new(["Process".to_string(), p]).unwrap());
+        }
+        f
+    })
+}
+
+/// Directive sets constructed so they should be lint-clean: hypotheses
+/// from the registry, thresholds in (0, 1], subtree prunes confined to
+/// /SyncObject while foci refine /Code and /Process (so nothing shadows
+/// and no high priority lands on a pruned focus), duplicates removed.
+fn clean_directives() -> impl Strategy<Value = SearchDirectives> {
+    (
+        prop::collection::vec(
+            (
+                hypothesis(),
+                focus(),
+                prop_oneof![Just(PriorityLevel::High), Just(PriorityLevel::Low),],
+            ),
+            0..6,
+        ),
+        prop::collection::vec((hypothesis(), segment()), 0..4),
+        prop::collection::vec((hypothesis(), 1u32..=100), 0..3),
+    )
+        .prop_map(|(priorities, prunes, thresholds)| {
+            let mut d = SearchDirectives::none();
+            for (h, f, l) in priorities {
+                d.add_priority(PriorityDirective {
+                    hypothesis: h,
+                    focus: f,
+                    level: l,
+                });
+            }
+            for (h, s) in prunes {
+                let p = Prune {
+                    hypothesis: Some(h),
+                    target: PruneTarget::Resource(
+                        ResourceName::new(["SyncObject".to_string(), s]).unwrap(),
+                    ),
+                };
+                if !d.prunes.contains(&p) {
+                    d.add_prune(p);
+                }
+            }
+            for (h, t) in thresholds {
+                d.add_threshold(ThresholdDirective {
+                    hypothesis: h,
+                    value: f64::from(t) / 100.0,
+                });
+            }
+            d
+        })
+}
+
+proptest! {
+    /// parse(format(d)) == d for well-formed directive sets.
+    #[test]
+    fn directive_format_parse_roundtrip(d in clean_directives()) {
+        let text = d.to_text();
+        let parsed = SearchDirectives::parse(&text).unwrap();
+        prop_assert_eq!(parsed.prunes, d.prunes);
+        prop_assert_eq!(parsed.priorities, d.priorities);
+        prop_assert_eq!(parsed.thresholds.len(), d.thresholds.len());
+        for t in &d.thresholds {
+            prop_assert_eq!(parsed.threshold_for(&t.hypothesis), Some(t.value));
+        }
+    }
+
+    /// The formatted output of a well-formed directive set lints clean.
+    #[test]
+    fn formatted_directives_lint_clean(d in clean_directives()) {
+        let report = Linter::new().directives(d.to_text(), "gen.dirs").run();
+        prop_assert!(
+            report.is_clean(),
+            "expected clean, got:\n{}",
+            report.render(&histpc_lint::SourceCache::new())
+        );
+    }
+
+    /// The linter neither panics nor loses track of errors on garbage:
+    /// if span-aware parsing errors on a text, so does the lint report.
+    #[test]
+    fn linter_total_on_arbitrary_text(text in ".{0,200}") {
+        let report = Linter::new().artifact(text.clone(), "fuzz").run();
+        if histpc_lint::ArtifactKind::detect(&text) == histpc_lint::ArtifactKind::Directives {
+            let (_, parse_diags) = parse_with_spans(&text, "fuzz");
+            if parse_diags.iter().any(|d| d.is_error()) {
+                prop_assert!(!report.diagnostics.is_empty());
+            }
+        }
+        // Rendering is total too.
+        let mut sources = histpc_lint::SourceCache::new();
+        sources.insert("fuzz", &text);
+        let _ = report.render(&sources);
+    }
+}

@@ -1,0 +1,318 @@
+//! Shared diagnostic primitives for artifact parsers and linters.
+//!
+//! Directive files, mapping files, and the cross-artifact checks in
+//! `histpc-lint` all report problems through one [`Diagnostic`] type: a
+//! stable code (`HL001`, `HL002`, ...), a severity, the file and 1-based
+//! line/column span the problem was found at, a human-readable message, and
+//! an optional fix suggestion. Keeping the type here — in the lowest crate
+//! of the workspace — lets every parser return precise spans without
+//! depending on the lint crate itself.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The artifact is unusable or will silently misbehave; tools refuse it.
+    Error,
+    /// The artifact is usable but almost certainly not what the author meant.
+    Warning,
+    /// Supplementary information attached to another diagnostic.
+    Note,
+}
+
+impl Severity {
+    /// Lower-case label used in rendered output (`error`, `warning`, `note`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A 1-based source location: a line plus a half-open column range on it.
+///
+/// Columns count characters (not bytes), matching what a caret rendered
+/// under the source line should point at. `col_end` is exclusive; a span
+/// with `col_end == col_start` marks a position rather than a range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// 1-based line number within the file.
+    pub line: usize,
+    /// 1-based column of the first spanned character.
+    pub col_start: usize,
+    /// Exclusive end column (1-based).
+    pub col_end: usize,
+}
+
+impl Span {
+    /// Span covering `[col_start, col_end)` on `line` (all 1-based).
+    pub fn new(line: usize, col_start: usize, col_end: usize) -> Self {
+        Span {
+            line,
+            col_start,
+            col_end,
+        }
+    }
+
+    /// Span covering a whole line's content (columns `1..=len` in chars).
+    pub fn whole_line(line: usize, text: &str) -> Self {
+        let len = text.chars().count();
+        Span {
+            line,
+            col_start: 1,
+            col_end: len.max(1) + 1,
+        }
+    }
+
+    /// Number of columns spanned (at least 1 for rendering purposes).
+    pub fn width(&self) -> usize {
+        self.col_end.saturating_sub(self.col_start).max(1)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col_start)
+    }
+}
+
+/// File name used when an artifact was parsed from an in-memory string.
+pub const MEMORY_FILE: &str = "<memory>";
+
+/// A single problem found in an artifact, with a stable machine-readable
+/// code and a precise source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"HL002"`. Codes are never reused or renumbered.
+    pub code: &'static str,
+    /// How serious the problem is.
+    pub severity: Severity,
+    /// File the artifact came from; [`MEMORY_FILE`] for in-memory input.
+    pub file: String,
+    /// Where in the file, when known.
+    pub span: Option<Span>,
+    /// One-line human-readable description.
+    pub message: String,
+    /// Optional fix suggestion rendered as a `help:` line.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// New error-severity diagnostic with no location attached yet.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            file: MEMORY_FILE.to_string(),
+            span: None,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// New warning-severity diagnostic with no location attached yet.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// New note-severity diagnostic with no location attached yet.
+    pub fn note(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Note,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// Attach the file the artifact came from.
+    pub fn with_file(mut self, file: impl Into<String>) -> Self {
+        self.file = file.into();
+        self
+    }
+
+    /// Attach a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach a fix suggestion.
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// True if this diagnostic has [`Severity::Error`].
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Sort key: file, then line, then column, then code.
+    pub fn sort_key(&self) -> (String, usize, usize, &'static str) {
+        let (line, col) = self.span.map_or((0, 0), |s| (s.line, s.col_start));
+        (self.file.clone(), line, col, self.code)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        match self.span {
+            Some(span) => write!(f, " ({}:{})", self.file, span),
+            None => write!(f, " ({})", self.file),
+        }
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// A whitespace-separated token with its 1-based column span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text.
+    pub text: &'a str,
+    /// 1-based column of the first character.
+    pub col_start: usize,
+    /// Exclusive end column.
+    pub col_end: usize,
+}
+
+impl<'a> Token<'a> {
+    /// Span of this token on the given 1-based line.
+    pub fn span(&self, line: usize) -> Span {
+        Span::new(line, self.col_start, self.col_end)
+    }
+}
+
+/// Split a line into whitespace-separated tokens, tracking 1-based
+/// character columns so parsers can attach caret-accurate spans.
+pub fn tokenize(line: &str) -> Vec<Token<'_>> {
+    let mut tokens = Vec::new();
+    let mut col = 1usize; // 1-based column of the char at byte `start`
+    let mut start: Option<(usize, usize)> = None; // (byte offset, start col)
+    for (byte, ch) in line.char_indices() {
+        if ch.is_whitespace() {
+            if let Some((s, sc)) = start.take() {
+                tokens.push(Token {
+                    text: &line[s..byte],
+                    col_start: sc,
+                    col_end: col,
+                });
+            }
+        } else if start.is_none() {
+            start = Some((byte, col));
+        }
+        col += 1;
+    }
+    if let Some((s, sc)) = start {
+        tokens.push(Token {
+            text: &line[s..],
+            col_start: sc,
+            col_end: col,
+        });
+    }
+    tokens
+}
+
+/// Closest candidate to `input` by edit distance, for "did you mean"
+/// suggestions. Only returns a candidate whose distance is small relative
+/// to its length (at most half), so wildly different inputs get no
+/// suggestion.
+pub fn did_you_mean<'a, I>(input: &str, candidates: I) -> Option<&'a str>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut best: Option<(usize, &str)> = None;
+    for cand in candidates {
+        let d = edit_distance(input, cand);
+        if best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, cand));
+        }
+    }
+    best.and_then(|(d, cand)| {
+        let limit = (cand.chars().count().max(input.chars().count())).div_ceil(2);
+        (cand != input && d <= limit).then_some(cand)
+    })
+}
+
+/// Levenshtein distance over characters, case-insensitive.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().flat_map(|c| c.to_lowercase()).collect();
+    let b: Vec<char> = b.chars().flat_map(|c| c.to_lowercase()).collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn did_you_mean_close_and_far() {
+        let cands = ["CPUbound", "ExcessiveSyncWaitingTime", "TopLevelHypothesis"];
+        assert_eq!(did_you_mean("CPUBound", cands), Some("CPUbound"));
+        assert_eq!(did_you_mean("cpubound", cands), Some("CPUbound"));
+        assert_eq!(did_you_mean("Zebra", cands), None);
+        // An exact match needs no suggestion.
+        assert_eq!(did_you_mean("CPUbound", cands), None);
+    }
+
+    #[test]
+    fn tokenize_tracks_columns() {
+        let toks = tokenize("  prune  /SyncObject extra");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].text, "prune");
+        assert_eq!((toks[0].col_start, toks[0].col_end), (3, 8));
+        assert_eq!(toks[1].text, "/SyncObject");
+        assert_eq!((toks[1].col_start, toks[1].col_end), (10, 21));
+        assert_eq!(toks[2].text, "extra");
+        assert_eq!((toks[2].col_start, toks[2].col_end), (22, 27));
+    }
+
+    #[test]
+    fn tokenize_empty_and_blank() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t ").is_empty());
+    }
+
+    #[test]
+    fn diagnostic_display_and_builders() {
+        let d = Diagnostic::warning("HL005", "pair prune shadowed")
+            .with_file("dirs.txt")
+            .with_span(Span::new(4, 7, 12))
+            .with_suggestion("remove this directive");
+        assert!(!d.is_error());
+        assert_eq!(
+            d.to_string(),
+            "warning[HL005]: pair prune shadowed (dirs.txt:4:7)"
+        );
+        assert_eq!(d.suggestion.as_deref(), Some("remove this directive"));
+    }
+
+    #[test]
+    fn span_whole_line_counts_chars() {
+        let s = Span::whole_line(2, "abc");
+        assert_eq!((s.col_start, s.col_end), (1, 4));
+        assert_eq!(Span::whole_line(1, "").width(), 1);
+    }
+}

@@ -119,12 +119,10 @@ impl Focus {
     /// (equal to or an ancestor of) `other`'s.
     pub fn subsumes(&self, other: &Focus) -> bool {
         self.selections.len() == other.selections.len()
-            && self.selections.iter().all(|(h, sel)| {
-                other
-                    .selections
-                    .get(h)
-                    .is_some_and(|o| sel.is_prefix_of(o))
-            })
+            && self
+                .selections
+                .iter()
+                .all(|(h, sel)| other.selections.get(h).is_some_and(|o| sel.is_prefix_of(o)))
     }
 
     /// True if `self` strictly subsumes `other` (subsumes and differs).
@@ -206,7 +204,14 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for s in ["", "</Code", "/Code,/Machine", "<>", "< >", "</Code,/Code/a.c>"] {
+        for s in [
+            "",
+            "</Code",
+            "/Code,/Machine",
+            "<>",
+            "< >",
+            "</Code,/Code/a.c>",
+        ] {
             assert!(Focus::parse(s).is_err(), "should reject {s:?}");
         }
     }

@@ -433,7 +433,10 @@ mod tests {
         b.add_path(&["cg.c", "solve"]).unwrap();
 
         a.merge_tagged(&b, 0, 1).unwrap();
-        assert_eq!(a.tags_of(&n("/Code/oned.f")).unwrap(), ExecTagSet::single(0));
+        assert_eq!(
+            a.tags_of(&n("/Code/oned.f")).unwrap(),
+            ExecTagSet::single(0)
+        );
         assert_eq!(
             a.tags_of(&n("/Code/onednb.f")).unwrap(),
             ExecTagSet::single(1)

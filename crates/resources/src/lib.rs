@@ -26,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diag;
 pub mod error;
 pub mod focus;
 pub mod hierarchy;
 pub mod name;
 pub mod space;
 
+pub use diag::{Diagnostic, Severity, Span};
 pub use error::ResourceError;
 pub use focus::Focus;
 pub use hierarchy::{ExecTagSet, NodeId, ResourceHierarchy};

@@ -246,7 +246,9 @@ mod tests {
         // Exact match rewrites to the target itself.
         assert_eq!(n("/Code/oned.f").rewrite_prefix(&from, &to).unwrap(), to);
         // Non-matching prefix leaves the name alone.
-        assert!(n("/Code/sweep.f/sweep1d").rewrite_prefix(&from, &to).is_none());
+        assert!(n("/Code/sweep.f/sweep1d")
+            .rewrite_prefix(&from, &to)
+            .is_none());
     }
 
     #[test]

@@ -27,7 +27,12 @@ impl ResourceSpace {
     /// The standard Paradyn-style space: Code, Machine, Process, SyncObject.
     pub fn standard() -> ResourceSpace {
         let mut s = ResourceSpace::new();
-        for h in [crate::CODE, crate::MACHINE, crate::PROCESS, crate::SYNC_OBJECT] {
+        for h in [
+            crate::CODE,
+            crate::MACHINE,
+            crate::PROCESS,
+            crate::SYNC_OBJECT,
+        ] {
             s.add_hierarchy(h).expect("standard names are valid");
         }
         s
@@ -121,8 +126,7 @@ impl ResourceSpace {
     /// True if `focus` is valid in this space: spans exactly the space's
     /// hierarchies and every selection names an existing resource.
     pub fn validates(&self, focus: &Focus) -> bool {
-        focus.arity() == self.hierarchies.len()
-            && focus.selections().all(|sel| self.contains(sel))
+        focus.arity() == self.hierarchies.len() && focus.selections().all(|sel| self.contains(sel))
     }
 }
 

@@ -322,14 +322,16 @@ impl Engine {
             Action::WaitAll { func, reqs } => self.exec_waitall(i, func, reqs),
             Action::Barrier { func } => {
                 let since = self.procs[i].clock;
-                self.procs[i].state =
-                    ProcState::Blocked(Blocked::Barrier { func, since, bytes: 0 });
+                self.procs[i].state = ProcState::Blocked(Blocked::Barrier {
+                    func,
+                    since,
+                    bytes: 0,
+                });
                 self.check_barrier();
             }
             Action::AllReduce { func, bytes } => {
                 let since = self.procs[i].clock;
-                self.procs[i].state =
-                    ProcState::Blocked(Blocked::Barrier { func, since, bytes });
+                self.procs[i].state = ProcState::Blocked(Blocked::Barrier { func, since, bytes });
                 self.check_barrier();
             }
         }
@@ -354,9 +356,8 @@ impl Engine {
             // Chunk the burst at the horizon; keep the unperturbed
             // remainder so later slowdown changes apply to it.
             let consumed_actual = horizon - start;
-            let mut consumed_unpert = SimDuration(
-                ((consumed_actual.as_micros() as f64) / slowdown).floor() as u64,
-            );
+            let mut consumed_unpert =
+                SimDuration(((consumed_actual.as_micros() as f64) / slowdown).floor() as u64);
             if consumed_unpert.is_zero() {
                 consumed_unpert = SimDuration(1);
             }
@@ -401,9 +402,9 @@ impl Engine {
             // Rendezvous: complete against an already-blocked receiver or
             // a posted Irecv, otherwise block.
             let recv_blocked_since = match &self.procs[to.0 as usize].state {
-                ProcState::Blocked(Blocked::Recv {
-                    key: k, since, ..
-                }) if *k == key => Some(*since),
+                ProcState::Blocked(Blocked::Recv { key: k, since, .. }) if *k == key => {
+                    Some(*since)
+                }
                 _ => None,
             };
             if let Some(r_since) = recv_blocked_since {
@@ -500,7 +501,15 @@ impl Engine {
         });
     }
 
-    fn exec_isend(&mut self, i: usize, func: FuncId, to: ProcId, tag: TagId, bytes: u64, req: ReqId) {
+    fn exec_isend(
+        &mut self,
+        i: usize,
+        func: FuncId,
+        to: ProcId,
+        tag: TagId,
+        bytes: u64,
+        req: ReqId,
+    ) {
         let key: ChanKey = (ProcId(i as u16), to, tag);
         let clock = self.procs[i].clock;
         let end = clock + self.machine.msg_overhead;
@@ -539,9 +548,10 @@ impl Engine {
         self.procs[i].clock = end;
         // Match a queued message, a blocked rendezvous sender, or post.
         if let Some(msg) = self.channel_mut(key).inflight.pop_front() {
-            self.procs[i]
-                .reqs
-                .insert(req, ReqState::CompleteAt(end.max(msg.avail), msg.bytes, Some(tag)));
+            self.procs[i].reqs.insert(
+                req,
+                ReqState::CompleteAt(end.max(msg.avail), msg.bytes, Some(tag)),
+            );
             return;
         }
         if let Some((s_since, bytes)) = self.channel_mut(key).pending_rdv.take() {
@@ -676,7 +686,10 @@ impl Engine {
     fn resume_sender(&mut self, from: ProcId, done: SimTime) {
         let p = &mut self.procs[from.0 as usize];
         let ProcState::Blocked(Blocked::SendRdv {
-            func, since, key, bytes,
+            func,
+            since,
+            key,
+            bytes,
         }) = p.state.clone()
         else {
             unreachable!("caller holds the pending_rdv entry");
@@ -755,15 +768,11 @@ impl Engine {
         if arrivals.is_empty() {
             return;
         }
-        let latest = arrivals
-            .iter()
-            .map(|&(_, t)| t)
-            .max()
-            .expect("non-empty");
+        let latest = arrivals.iter().map(|&(_, t)| t).max().expect("non-empty");
         let mut done = latest + self.machine.barrier_cost(arrivals.len());
         if max_bytes > 0 {
             let stages = (arrivals.len() as f64).log2().ceil().max(1.0);
-            done = done + self.machine.transfer_time(max_bytes).mul_f64(stages);
+            done += self.machine.transfer_time(max_bytes).mul_f64(stages);
         }
         for (idx, since) in arrivals {
             let ProcState::Blocked(Blocked::Barrier { func, .. }) = self.procs[idx].state.clone()
@@ -1068,10 +1077,7 @@ mod tests {
             }],
             vec![],
         ]);
-        assert_eq!(
-            e.run_until(SimTime::from_millis(30)),
-            EngineStatus::Running
-        );
+        assert_eq!(e.run_until(SimTime::from_millis(30)), EngineStatus::Running);
         assert_eq!(e.proc_clock(ProcId(0)), SimTime::from_millis(30));
         // The chunked burst emitted a partial interval.
         let cpu = e.totals().proc_total(ProcId(0), ActivityKind::Cpu);

@@ -74,11 +74,7 @@ impl MachineModel {
 
     /// Overrides per-node speed factors (must supply one factor per node).
     pub fn with_node_speeds(mut self, speeds: Vec<f64>) -> MachineModel {
-        assert_eq!(
-            speeds.len(),
-            self.nodes,
-            "need one speed factor per node"
-        );
+        assert_eq!(speeds.len(), self.nodes, "need one speed factor per node");
         assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
         self.node_speed = speeds;
         self
@@ -146,10 +142,7 @@ mod tests {
     fn barrier_cost_grows_with_procs() {
         let m = MachineModel::sp2(8);
         assert!(m.barrier_cost(8) > m.barrier_cost(4));
-        assert_eq!(
-            m.barrier_cost(4).as_micros(),
-            60 + 25 * 4
-        );
+        assert_eq!(m.barrier_cost(4).as_micros(), 60 + 25 * 4);
     }
 
     #[test]

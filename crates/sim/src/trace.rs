@@ -223,13 +223,22 @@ mod tests {
         acc.observe(&iv(1, 2, ActivityKind::SyncWait, Some(0), 0, 40, 64));
         acc.observe(&iv(1, 1, ActivityKind::Cpu, None, 40, 70, 0));
 
-        assert_eq!(acc.proc_total(ProcId(0), ActivityKind::Cpu), SimDuration(50));
+        assert_eq!(
+            acc.proc_total(ProcId(0), ActivityKind::Cpu),
+            SimDuration(50)
+        );
         assert_eq!(
             acc.proc_total(ProcId(1), ActivityKind::SyncWait),
             SimDuration(40)
         );
-        assert_eq!(acc.func_total(FuncId(2), ActivityKind::SyncWait), SimDuration(70));
-        assert_eq!(acc.tag_total(TagId(0), ActivityKind::SyncWait), SimDuration(70));
+        assert_eq!(
+            acc.func_total(FuncId(2), ActivityKind::SyncWait),
+            SimDuration(70)
+        );
+        assert_eq!(
+            acc.tag_total(TagId(0), ActivityKind::SyncWait),
+            SimDuration(70)
+        );
         assert_eq!(acc.total(ActivityKind::Cpu), SimDuration(80));
         assert_eq!(acc.end_time(), SimTime(80));
         assert_eq!(acc.proc_end(ProcId(1)), SimTime(70));
@@ -253,6 +262,9 @@ mod tests {
         acc.observe(&iv(0, 1, ActivityKind::Cpu, None, 0, 10, 0));
         acc.observe(&iv(0, 1, ActivityKind::Cpu, None, 10, 25, 0));
         assert_eq!(acc.iter().count(), 1);
-        assert_eq!(acc.func_total(FuncId(1), ActivityKind::Cpu), SimDuration(25));
+        assert_eq!(
+            acc.func_total(FuncId(1), ActivityKind::Cpu),
+            SimDuration(25)
+        );
     }
 }

@@ -200,10 +200,7 @@ mod tests {
         let sync = e.totals().total(ActivityKind::SyncWait).as_secs_f64();
         let cpu = e.totals().total(ActivityKind::Cpu).as_secs_f64();
         let frac = sync / (sync + cpu);
-        assert!(
-            (0.25..0.70).contains(&frac),
-            "sync fraction was {frac:.2}"
-        );
+        assert!((0.25..0.70).contains(&frac), "sync fraction was {frac:.2}");
     }
 
     #[test]

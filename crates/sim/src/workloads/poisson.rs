@@ -298,8 +298,7 @@ impl Workload for PoissonWorkload {
                 let body = move |iter: u64| {
                     let mut acts: Vec<Action> = Vec::with_capacity(16);
                     let jit = rng.jitter(wl.jitter);
-                    let sweep_time =
-                        SimDuration::from_secs_f64(flops * jit / rate);
+                    let sweep_time = SimDuration::from_secs_f64(flops * jit / rate);
 
                     // One-time setup on the first iteration: domain
                     // decomposition and grid initialization.
@@ -368,10 +367,7 @@ impl Workload for PoissonWorkload {
                             func: f_sweep,
                             dur: sweep_time.mul_f64(0.8),
                         });
-                        acts.push(Action::WaitAll {
-                            func: f_exch,
-                            reqs,
-                        });
+                        acts.push(Action::WaitAll { func: f_exch, reqs });
                         // Boundary rows once ghost data has arrived.
                         acts.push(Action::Compute {
                             func: f_sweep,
@@ -444,7 +440,9 @@ impl Workload for PoissonWorkload {
                     }
 
                     // Periodic checkpoint from rank 0.
-                    if rank == 0 && wl.checkpoint_every > 0 && iter > 0
+                    if rank == 0
+                        && wl.checkpoint_every > 0
+                        && iter > 0
                         && iter.is_multiple_of(wl.checkpoint_every)
                     {
                         acts.push(Action::Io {
@@ -544,8 +542,14 @@ mod tests {
         let b_app = b.app().clone();
         let a_ex = a_app.func_id("exchng1.f", "exchng1").unwrap();
         let b_ex = b_app.func_id("nbexchng.f", "nbexchng1").unwrap();
-        let wa = a.totals().func_total(a_ex, ActivityKind::SyncWait).as_secs_f64();
-        let wb = b.totals().func_total(b_ex, ActivityKind::SyncWait).as_secs_f64();
+        let wa = a
+            .totals()
+            .func_total(a_ex, ActivityKind::SyncWait)
+            .as_secs_f64();
+        let wb = b
+            .totals()
+            .func_total(b_ex, ActivityKind::SyncWait)
+            .as_secs_f64();
         assert!(wb < wa, "blocking {wa:.3}s vs non-blocking {wb:.3}s");
     }
 

@@ -45,11 +45,7 @@ impl Workload for TesterWorkload {
             modules: vec![
                 ModuleSpec {
                     name: "testutil.C".into(),
-                    functions: vec![
-                        "printstatus".into(),
-                        "verifyA".into(),
-                        "verifyB".into(),
-                    ],
+                    functions: vec!["printstatus".into(), "verifyA".into(), "verifyB".into()],
                 },
                 ModuleSpec {
                     name: "main.c".into(),
@@ -92,14 +88,32 @@ impl Workload for TesterWorkload {
                     let jit = rng.jitter(0.1);
                     let ms = |f: f64| SimDuration::from_secs_f64(f * jit / 1e3);
                     let mut acts = vec![
-                        Action::Compute { func: f_main, dur: ms(0.2) },
-                        Action::Compute { func: f_add, dur: ms(1.0) },
-                        Action::Compute { func: f_find, dur: ms(2.5) },
-                        Action::Compute { func: f_verify_a, dur: ms(0.8) },
-                        Action::Compute { func: f_verify_b, dur: ms(0.3) },
+                        Action::Compute {
+                            func: f_main,
+                            dur: ms(0.2),
+                        },
+                        Action::Compute {
+                            func: f_add,
+                            dur: ms(1.0),
+                        },
+                        Action::Compute {
+                            func: f_find,
+                            dur: ms(2.5),
+                        },
+                        Action::Compute {
+                            func: f_verify_a,
+                            dur: ms(0.8),
+                        },
+                        Action::Compute {
+                            func: f_verify_b,
+                            dur: ms(0.3),
+                        },
                     ];
                     if iter % 10 == 9 {
-                        acts.push(Action::Compute { func: f_print, dur: ms(0.1) });
+                        acts.push(Action::Compute {
+                            func: f_print,
+                            dur: ms(0.1),
+                        });
                         acts.push(Action::Barrier { func: f_main });
                     }
                     acts
@@ -121,7 +135,10 @@ mod tests {
     #[test]
     fn spec_matches_figure_1() {
         let app = TesterWorkload::new().app_spec();
-        assert_eq!(app.processes, vec!["Tester:1", "Tester:2", "Tester:3", "Tester:4"]);
+        assert_eq!(
+            app.processes,
+            vec!["Tester:1", "Tester:2", "Tester:3", "Tester:4"]
+        );
         assert_eq!(app.nodes, vec!["CPU_1", "CPU_2", "CPU_3", "CPU_4"]);
         assert!(app.func_id("testutil.C", "verifyA").is_some());
         assert!(app.func_id("vect.c", "vect::print").is_some());

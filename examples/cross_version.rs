@@ -24,7 +24,9 @@ fn main() {
     let session = Session::new();
 
     // Base run of version A.
-    let a = session.diagnose(&PoissonWorkload::new(PoissonVersion::A), &config, "a1");
+    let a = session
+        .diagnose(&PoissonWorkload::new(PoissonVersion::A), &config, "a1")
+        .unwrap();
     println!(
         "version A base run: {} bottlenecks, {} pairs",
         a.report.bottleneck_count(),
@@ -63,19 +65,26 @@ fn main() {
     println!("user mapping file:\n{user_file}");
 
     // Harvest from A, map into B's names, diagnose B.
-    let directives = session.harvest_mapped(
-        &a.record,
-        &b_names,
-        &ExtractionOptions::priorities_and_safe_prunes(),
-        &user,
+    let directives = session
+        .harvest_mapped(
+            &a.record,
+            &b_names,
+            &ExtractionOptions::priorities_and_safe_prunes(),
+            &user,
+        )
+        .unwrap();
+    println!(
+        "mapped {} directives from A into B's names",
+        directives.len()
     );
-    println!("mapped {} directives from A into B's names", directives.len());
 
-    let b = session.diagnose(
-        &PoissonWorkload::new(PoissonVersion::B),
-        &config.clone().with_directives(directives),
-        "b-directed",
-    );
+    let b = session
+        .diagnose(
+            &PoissonWorkload::new(PoissonVersion::B),
+            &config.clone().with_directives(directives),
+            "b-directed",
+        )
+        .unwrap();
     println!(
         "\nversion B directed run: {} bottlenecks, {} pairs, all found by {}",
         b.report.bottleneck_count(),
@@ -90,7 +99,9 @@ fn main() {
     // de-duplicated across the redundant Machine hierarchy (the mapped
     // directives prune it, so machine-constrained duplicates of process
     // bottlenecks are intentionally not re-found).
-    let b_base = session.diagnose(&PoissonWorkload::new(PoissonVersion::B), &config, "b-base");
+    let b_base = session
+        .diagnose(&PoissonWorkload::new(PoissonVersion::B), &config, "b-base")
+        .unwrap();
     let t_base = b_base.report.time_of_last_bottleneck().unwrap();
     let truth: Vec<(String, Focus)> = b_base
         .report

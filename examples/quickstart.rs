@@ -21,7 +21,7 @@ fn main() {
 
     // 1. The single-button Performance Consultant, no prior knowledge.
     println!("== base diagnosis (no directives) ==");
-    let base = session.diagnose(&workload, &config, "base");
+    let base = session.diagnose(&workload, &config, "base").unwrap();
     let t_base = base
         .report
         .time_of_last_bottleneck()
@@ -59,11 +59,13 @@ fn main() {
 
     // 3. The directed re-diagnosis.
     println!("\n== directed diagnosis (with historical directives) ==");
-    let directed = session.diagnose(
-        &workload,
-        &config.clone().with_directives(directives),
-        "directed",
-    );
+    let directed = session
+        .diagnose(
+            &workload,
+            &config.clone().with_directives(directives),
+            "directed",
+        )
+        .unwrap();
     let truth = base.report.bottleneck_set();
     let t_directed = directed
         .report
@@ -77,7 +79,5 @@ fn main() {
         t_directed
     );
     let reduction = 100.0 * (1.0 - t_directed.as_secs_f64() / t_base.as_secs_f64());
-    println!(
-        "\ndiagnosis time: {t_base} -> {t_directed}  ({reduction:.1}% reduction)"
-    );
+    println!("\ndiagnosis time: {t_base} -> {t_directed}  ({reduction:.1}% reduction)");
 }

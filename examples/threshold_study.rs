@@ -24,7 +24,7 @@ fn study(name: &str, workload: &dyn Workload) {
 
     // Run once with the stock settings; derive a threshold from the
     // run's raw profile (the historical record).
-    let base = session.diagnose(workload, &config, "base");
+    let base = session.diagnose(workload, &config, "base").unwrap();
     let sync = history::derive_threshold_from_profile(
         &base.postmortem,
         &histpc::consultant::HypothesisTree::standard(),
@@ -39,7 +39,10 @@ fn study(name: &str, workload: &dyn Workload) {
         base.report.pairs_tested,
         base.report.efficiency()
     );
-    println!("history-derived synchronization threshold: {:.1}%", sync * 100.0);
+    println!(
+        "history-derived synchronization threshold: {:.1}%",
+        sync * 100.0
+    );
 
     // Re-run with only the derived threshold (no other directives).
     let mut directives = SearchDirectives::none();
@@ -47,11 +50,13 @@ fn study(name: &str, workload: &dyn Workload) {
         hypothesis: "ExcessiveSyncWaitingTime".into(),
         value: sync,
     });
-    let tuned = session.diagnose(
-        workload,
-        &config.clone().with_directives(directives),
-        "tuned",
-    );
+    let tuned = session
+        .diagnose(
+            workload,
+            &config.clone().with_directives(directives),
+            "tuned",
+        )
+        .unwrap();
     println!(
         "derived threshold:   {} bottlenecks from {} pairs (efficiency {:.3})",
         tuned.report.bottleneck_count(),

@@ -41,10 +41,7 @@ fn main() {
         // comes from the application's startup discovery.)
         let mut probe_engine = wl.build_engine();
         probe_engine.run_until(SimTime::from_secs(1));
-        let probe = PostmortemData::from_totals(
-            probe_engine.app().clone(),
-            probe_engine.totals(),
-        );
+        let probe = PostmortemData::from_totals(probe_engine.app().clone(), probe_engine.totals());
         let new_resources: Vec<ResourceName> = probe
             .space()
             .hierarchies()
@@ -55,12 +52,14 @@ fn main() {
         let directives = match &previous {
             None => SearchDirectives::none(),
             Some(prev) => {
-                let mapped = session.harvest_mapped(
-                    &prev.record,
-                    &new_resources,
-                    &ExtractionOptions::priorities_and_safe_prunes(),
-                    &MappingSet::new(),
-                );
+                let mapped = session
+                    .harvest_mapped(
+                        &prev.record,
+                        &new_resources,
+                        &ExtractionOptions::priorities_and_safe_prunes(),
+                        &MappingSet::new(),
+                    )
+                    .unwrap();
                 println!(
                     "directing with {} directives harvested from version {}",
                     mapped.len(),
@@ -70,11 +69,9 @@ fn main() {
             }
         };
 
-        let d = session.diagnose(
-            &wl,
-            &config.clone().with_directives(directives),
-            &label,
-        );
+        let d = session
+            .diagnose(&wl, &config.clone().with_directives(directives), &label)
+            .unwrap();
         let t = d
             .report
             .time_of_last_bottleneck()
@@ -113,7 +110,15 @@ fn main() {
         previous = Some(d);
     }
 
-    let apps = session.store().unwrap().applications().expect("store lists");
+    let apps = session
+        .store()
+        .unwrap()
+        .applications()
+        .expect("store lists");
     let runs = session.store().unwrap().labels("poisson").expect("labels");
-    println!("\nstore now holds {} application(s), runs: {:?}", apps.len(), runs);
+    println!(
+        "\nstore now holds {} application(s), runs: {:?}",
+        apps.len(),
+        runs
+    );
 }

@@ -15,29 +15,41 @@ fn config() -> SearchConfig {
 #[test]
 fn version_a_directives_speed_up_version_b() {
     let session = Session::new();
-    let a = session.diagnose(&PoissonWorkload::new(PoissonVersion::A), &config(), "a");
-    let b_base = session.diagnose(&PoissonWorkload::new(PoissonVersion::B), &config(), "b0");
+    let a = session
+        .diagnose(&PoissonWorkload::new(PoissonVersion::A), &config(), "a")
+        .unwrap();
+    let b_base = session
+        .diagnose(&PoissonWorkload::new(PoissonVersion::B), &config(), "b0")
+        .unwrap();
 
-    let directives = session.harvest_mapped(
-        &a.record,
-        &b_base.record.resources,
-        &ExtractionOptions::priorities_and_safe_prunes(),
-        &MappingSet::new(),
-    );
+    let directives = session
+        .harvest_mapped(
+            &a.record,
+            &b_base.record.resources,
+            &ExtractionOptions::priorities_and_safe_prunes(),
+            &MappingSet::new(),
+        )
+        .unwrap();
     // Mapped directives must speak B's vocabulary, not A's.
     for p in &directives.priorities {
-        let code = p.focus.selection("Code").map(|s| s.to_string()).unwrap_or_default();
+        let code = p
+            .focus
+            .selection("Code")
+            .map(|s| s.to_string())
+            .unwrap_or_default();
         assert!(
             !code.contains("oned.f") && !code.contains("exchng1.f") && !code.contains("/sweep.f"),
             "unmapped version-A name in {code}"
         );
     }
 
-    let b = session.diagnose(
-        &PoissonWorkload::new(PoissonVersion::B),
-        &config().with_directives(directives),
-        "b1",
-    );
+    let b = session
+        .diagnose(
+            &PoissonWorkload::new(PoissonVersion::B),
+            &config().with_directives(directives),
+            "b1",
+        )
+        .unwrap();
     let truth: Vec<(String, Focus)> = b_base
         .report
         .bottleneck_set()
@@ -61,14 +73,20 @@ fn version_c_directives_map_onto_8_node_version_d() {
     // machine mapping is positional, and the 4 extra processes are
     // discovered by the normal search.
     let session = Session::new();
-    let c = session.diagnose(&PoissonWorkload::new(PoissonVersion::C), &config(), "c");
-    let d_base = session.diagnose(&PoissonWorkload::new(PoissonVersion::D), &config(), "d0");
-    let directives = session.harvest_mapped(
-        &c.record,
-        &d_base.record.resources,
-        &ExtractionOptions::priorities_only(),
-        &MappingSet::new(),
-    );
+    let c = session
+        .diagnose(&PoissonWorkload::new(PoissonVersion::C), &config(), "c")
+        .unwrap();
+    let d_base = session
+        .diagnose(&PoissonWorkload::new(PoissonVersion::D), &config(), "d0")
+        .unwrap();
+    let directives = session
+        .harvest_mapped(
+            &c.record,
+            &d_base.record.resources,
+            &ExtractionOptions::priorities_only(),
+            &MappingSet::new(),
+        )
+        .unwrap();
     // Machine names must have been rewritten: C uses node01..node04,
     // D uses node09..node16.
     for p in &directives.priorities {
@@ -80,11 +98,13 @@ fn version_c_directives_map_onto_8_node_version_d() {
             }
         }
     }
-    let d = session.diagnose(
-        &PoissonWorkload::new(PoissonVersion::D),
-        &config().with_directives(directives),
-        "d1",
-    );
+    let d = session
+        .diagnose(
+            &PoissonWorkload::new(PoissonVersion::D),
+            &config().with_directives(directives),
+            "d1",
+        )
+        .unwrap();
     assert!(d.report.bottleneck_count() > 0);
     // The directed run finds bottlenecks on processes 5..8 as well,
     // even though no directive mentions them.

@@ -29,11 +29,9 @@ fn stale_directives_for_unknown_resources_are_harmless() {
         hypothesis: None,
         target: PruneTarget::Resource(ResourceName::parse("/Code/gone.c").unwrap()),
     });
-    let d = Session::new().diagnose(
-        &wl,
-        &fast_config().with_directives(directives),
-        "stale",
-    );
+    let d = Session::new()
+        .diagnose(&wl, &fast_config().with_directives(directives), "stale")
+        .unwrap();
     assert!(d.report.bottleneck_count() > 0, "search still works");
     let stale = d
         .report
@@ -49,7 +47,10 @@ fn stale_directives_for_unknown_resources_are_harmless() {
 }
 
 #[test]
-fn unknown_hypothesis_directives_are_ignored() {
+fn unknown_hypothesis_directives_are_refused_by_preflight() {
+    // A directive naming a hypothesis the tree does not know is almost
+    // certainly a typo; the pre-flight lint refuses it (HL002) instead
+    // of silently steering nothing.
     let wl = SyntheticWorkload::balanced(2, 2, 0.2).with_hotspot(0, 1, 2.0);
     let mut directives = SearchDirectives::none();
     directives.add_priority(PriorityDirective {
@@ -57,8 +58,16 @@ fn unknown_hypothesis_directives_are_ignored() {
         focus: Focus::whole_program(["Code", "Machine", "Process", "SyncObject"]),
         level: PriorityLevel::High,
     });
-    let d = Session::new().diagnose(&wl, &fast_config().with_directives(directives), "x");
-    assert!(d.report.quiescent);
+    let err = Session::new()
+        .diagnose(&wl, &fast_config().with_directives(directives), "x")
+        .unwrap_err();
+    match err {
+        SessionError::Lint(report) => {
+            assert!(report.has_errors());
+            assert_eq!(report.with_code("HL002").len(), 1);
+        }
+        other => panic!("expected a lint refusal, got {other}"),
+    }
 }
 
 #[test]
@@ -67,7 +76,11 @@ fn pruning_everything_yields_empty_but_clean_diagnosis() {
     let mut directives = SearchDirectives::none();
     // Prune every hypothesis at every focus via pair prunes on the whole
     // program (the roots of the search).
-    for hyp in ["CPUbound", "ExcessiveSyncWaitingTime", "ExcessiveIOBlockingTime"] {
+    for hyp in [
+        "CPUbound",
+        "ExcessiveSyncWaitingTime",
+        "ExcessiveIOBlockingTime",
+    ] {
         directives.add_prune(Prune {
             hypothesis: Some(hyp.into()),
             target: PruneTarget::Pair(Focus::whole_program([
@@ -78,7 +91,9 @@ fn pruning_everything_yields_empty_but_clean_diagnosis() {
             ])),
         });
     }
-    let d = Session::new().diagnose(&wl, &fast_config().with_directives(directives), "none");
+    let d = Session::new()
+        .diagnose(&wl, &fast_config().with_directives(directives), "none")
+        .unwrap();
     assert_eq!(d.report.bottleneck_count(), 0);
     assert!(d.report.quiescent);
     assert_eq!(d.report.pairs_tested, 0);
@@ -100,7 +115,12 @@ fn empty_store_queries_fail_cleanly() {
     assert!(session
         .harvest("nothing", "r1", &ExtractionOptions::default())
         .is_err());
-    assert!(session.store().unwrap().labels("nothing").unwrap().is_empty());
+    assert!(session
+        .store()
+        .unwrap()
+        .labels("nothing")
+        .unwrap()
+        .is_empty());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -129,7 +149,7 @@ fn extraction_from_empty_record_produces_only_general_rules() {
     // yields the general prunes, and nothing else.
     let wl = SyntheticWorkload::balanced(2, 1, 0.1);
     let session = Session::new();
-    let d = session.diagnose(&wl, &fast_config(), "r");
+    let d = session.diagnose(&wl, &fast_config(), "r").unwrap();
     let mut rec = d.record.clone();
     rec.outcomes.clear();
     let directives = history::extract(&rec, &ExtractionOptions::priorities_and_safe_prunes());
@@ -143,7 +163,7 @@ fn combination_of_disjoint_histories() {
     // A∩B of unrelated applications is empty; A∪B contains both.
     let wl1 = SyntheticWorkload::balanced(2, 2, 0.2).with_hotspot(0, 0, 1.0);
     let session = Session::new();
-    let d1 = session.diagnose(&wl1, &fast_config(), "r1");
+    let d1 = session.diagnose(&wl1, &fast_config(), "r1").unwrap();
     let a = history::extract(&d1.record, &ExtractionOptions::priorities_only());
     let empty = SearchDirectives::none();
     assert_eq!(histpc::history::intersect(&a, &empty).priorities.len(), 0);

@@ -1,0 +1,77 @@
+//! Integration: artifacts the pipeline itself produces must lint clean.
+//!
+//! `histpc harvest` extracts directives from a recorded run and
+//! `MappingSet::suggest` proposes mappings between runs; both are fed
+//! back into later diagnoses through the same pre-flight lint that
+//! user-written files go through. If our own output tripped the linter,
+//! the tuning cycle would refuse its own advice.
+
+use histpc::history;
+use histpc::lint::Linter;
+use histpc::prelude::*;
+
+fn fast_config() -> SearchConfig {
+    SearchConfig {
+        window: SimDuration::from_millis(800),
+        sample: SimDuration::from_millis(100),
+        max_time: SimDuration::from_secs(120),
+        ..SearchConfig::default()
+    }
+}
+
+#[test]
+fn harvested_directives_lint_clean_against_their_source_run() {
+    let wl = PoissonWorkload::new(PoissonVersion::C);
+    let d = Session::new()
+        .diagnose(&wl, &fast_config(), "base")
+        .unwrap();
+    for (name, opts) in [
+        ("priorities", ExtractionOptions::priorities_only()),
+        ("all-prunes", ExtractionOptions::all_prunes()),
+        ("combined", ExtractionOptions::priorities_and_safe_prunes()),
+        (
+            "combined+thresholds",
+            ExtractionOptions::priorities_and_safe_prunes().with_thresholds(),
+        ),
+    ] {
+        let directives = history::extract(&d.record, &opts);
+        let linter = Linter::new()
+            .directives(directives.to_text(), format!("harvest-{name}"))
+            .against(&d.record);
+        let report = linter.run();
+        assert!(
+            report.is_clean(),
+            "harvest mode {name} should lint clean, got:\n{}",
+            report.render(&linter.sources())
+        );
+    }
+}
+
+#[test]
+fn suggested_mappings_and_mapped_directives_lint_clean() {
+    let session = Session::new();
+    let config = fast_config();
+    let a = session
+        .diagnose(&PoissonWorkload::new(PoissonVersion::A), &config, "a")
+        .unwrap();
+    let b = session
+        .diagnose(&PoissonWorkload::new(PoissonVersion::B), &config, "b")
+        .unwrap();
+
+    let mappings = MappingSet::suggest(&a.record.resources, &b.record.resources);
+    let directives = history::extract(&a.record, &ExtractionOptions::priorities_and_safe_prunes());
+    let mapped = mappings.apply_to_directives(&directives);
+
+    // The mapping file itself plus the rewritten directives, checked
+    // against the *target* run: nothing may dangle after mapping.
+    let linter = Linter::new()
+        .directives(mapped.to_text(), "mapped.dirs")
+        .mappings(mappings.to_text(), "suggested.map")
+        .against(&b.record);
+    let report = linter.run();
+    assert!(
+        !report.has_errors(),
+        "suggested mappings must not produce lint errors, got:\n{}",
+        report.render(&linter.sources())
+    );
+}

@@ -28,7 +28,7 @@ fn full_pipeline_through_disk_store() {
         .with_ring(256);
 
     // Base run, persisted.
-    let base = session.diagnose(&wl, &fast_config(), "run1");
+    let base = session.diagnose(&wl, &fast_config(), "run1").unwrap();
     assert!(base.report.bottleneck_count() > 0);
 
     // Reload from disk and verify the record round-trips.
@@ -46,11 +46,9 @@ fn full_pipeline_through_disk_store() {
         )
         .unwrap();
     assert!(!directives.is_empty());
-    let directed = session.diagnose(
-        &wl,
-        &fast_config().with_directives(directives),
-        "run2",
-    );
+    let directed = session
+        .diagnose(&wl, &fast_config().with_directives(directives), "run2")
+        .unwrap();
 
     // The directed run reports every (machine-deduplicated) bottleneck of
     // the base run, faster.
@@ -82,15 +80,19 @@ fn full_pipeline_through_disk_store() {
 fn directive_files_roundtrip_through_text() {
     let wl = SyntheticWorkload::balanced(2, 3, 0.2).with_hotspot(1, 2, 1.5);
     let session = Session::new();
-    let d = session.diagnose(&wl, &fast_config(), "r");
+    let d = session.diagnose(&wl, &fast_config(), "r").unwrap();
     let directives = history::extract(&d.record, &ExtractionOptions::priorities_and_safe_prunes());
     let text = directives.to_text();
     let parsed = SearchDirectives::parse(&text).unwrap();
     assert_eq!(parsed.prunes, directives.prunes);
     assert_eq!(parsed.priorities, directives.priorities);
     // A directed run from the re-parsed file behaves identically.
-    let a = session.diagnose(&wl, &fast_config().with_directives(directives), "a");
-    let b = session.diagnose(&wl, &fast_config().with_directives(parsed), "b");
+    let a = session
+        .diagnose(&wl, &fast_config().with_directives(directives), "a")
+        .unwrap();
+    let b = session
+        .diagnose(&wl, &fast_config().with_directives(parsed), "b")
+        .unwrap();
     assert_eq!(a.report.pairs_tested, b.report.pairs_tested);
     assert_eq!(a.report.bottleneck_set(), b.report.bottleneck_set());
 }
@@ -102,21 +104,22 @@ fn postmortem_extraction_matches_online_shape() {
     // search's whole-program conclusions.
     let wl = SyntheticWorkload::balanced(2, 3, 0.2).with_hotspot(0, 1, 2.0);
     let session = Session::new();
-    let d = session.diagnose(&wl, &fast_config(), "r");
+    let d = session.diagnose(&wl, &fast_config(), "r").unwrap();
     let rec = history::postmortem_record(
         &d.postmortem,
         &histpc::consultant::HypothesisTree::standard(),
         &SearchDirectives::none(),
         "postmortem",
     );
-    for o in d.report.outcomes.iter().filter(|o| {
-        o.outcome == Outcome::True && o.focus.is_whole_program()
-    }) {
+    for o in d
+        .report
+        .outcomes
+        .iter()
+        .filter(|o| o.outcome == Outcome::True && o.focus.is_whole_program())
+    {
         assert!(
             rec.outcomes.iter().any(|p| {
-                p.hypothesis == o.hypothesis
-                    && p.focus == o.focus
-                    && p.outcome == Outcome::True
+                p.hypothesis == o.hypothesis && p.focus == o.focus && p.outcome == Outcome::True
             }),
             "postmortem missed online bottleneck {} {}",
             o.hypothesis,
@@ -126,16 +129,20 @@ fn postmortem_extraction_matches_online_shape() {
     // And directives extracted from it are usable.
     let directives = history::extract(&rec, &ExtractionOptions::priorities_only());
     assert!(!directives.is_empty());
-    let redo = session.diagnose(&wl, &fast_config().with_directives(directives), "redo");
+    let redo = session
+        .diagnose(&wl, &fast_config().with_directives(directives), "redo")
+        .unwrap();
     assert!(redo.report.bottleneck_count() > 0);
 }
 
 #[test]
 fn determinism_same_config_same_report() {
-    let wl = SyntheticWorkload::balanced(3, 3, 0.3).with_hotspot(2, 0, 1.0).with_ring(128);
+    let wl = SyntheticWorkload::balanced(3, 3, 0.3)
+        .with_hotspot(2, 0, 1.0)
+        .with_ring(128);
     let session = Session::new();
-    let a = session.diagnose(&wl, &fast_config(), "a");
-    let b = session.diagnose(&wl, &fast_config(), "b");
+    let a = session.diagnose(&wl, &fast_config(), "a").unwrap();
+    let b = session.diagnose(&wl, &fast_config(), "b").unwrap();
     assert_eq!(a.report.pairs_tested, b.report.pairs_tested);
     assert_eq!(a.report.end_time, b.report.end_time);
     assert_eq!(a.report.outcomes.len(), b.report.outcomes.len());

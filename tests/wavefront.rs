@@ -18,7 +18,7 @@ fn config() -> SearchConfig {
 fn wavefront_diagnosis_finds_pipeline_and_collective_waits() {
     let wl = WavefrontWorkload::new();
     let session = Session::new();
-    let d = session.diagnose(&wl, &config(), "w1");
+    let d = session.diagnose(&wl, &config(), "w1").unwrap();
     assert!(d.report.quiescent, "search should complete");
     let b = d.report.bottleneck_set();
 
@@ -51,7 +51,7 @@ fn wavefront_diagnosis_finds_pipeline_and_collective_waits() {
 fn wavefront_history_speeds_up_rediagnosis() {
     let wl = WavefrontWorkload::new();
     let session = Session::new();
-    let base = session.diagnose(&wl, &config(), "base");
+    let base = session.diagnose(&wl, &config(), "base").unwrap();
     let truth: Vec<(String, Focus)> = base
         .report
         .bottleneck_set()
@@ -62,7 +62,9 @@ fn wavefront_history_speeds_up_rediagnosis() {
         &base.record,
         &ExtractionOptions::priorities_and_safe_prunes(),
     );
-    let directed = session.diagnose(&wl, &config().with_directives(directives), "directed");
+    let directed = session
+        .diagnose(&wl, &config().with_directives(directives), "directed")
+        .unwrap();
     let t_base = base.report.time_to_find(&truth, 1.0).unwrap();
     let t_directed = directed
         .report

@@ -1,0 +1,214 @@
+//! A minimal, dependency-free, offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API this workspace's benches
+//! use: `criterion_group!` / `criterion_main!`, [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size` / `measurement_time` /
+//! `bench_function` / `finish`, and [`Bencher::iter`]. Each benchmark is
+//! timed with plain wall-clock sampling and reported as a text line
+//! (`group/name  mean ...  min ...  samples N`); there is no statistical
+//! analysis, HTML report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    //! Measurement markers (wall-clock only in this shim).
+
+    /// Wall-clock time measurement.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            _criterion: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'c, M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'c mut Criterion,
+    // The measurement type is phantom in this shim (wall clock only).
+    #[allow(dead_code)]
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets how many samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        // One warm-up sample, discarded.
+        f(&mut b);
+        let started = Instant::now();
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.reset();
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+            if started.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        if samples.is_empty() {
+            println!("{label:<48} (no samples)");
+        } else {
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            println!(
+                "{label:<48} mean {:>12}  min {:>12}  samples {}",
+                format_time(mean),
+                format_time(min),
+                samples.len()
+            );
+        }
+        self
+    }
+
+    /// Ends the group (report lines were already printed).
+    pub fn finish(self) {}
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Times closures for one sample.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn reset(&mut self) {
+        self.elapsed = Duration::ZERO;
+        self.iters = 0;
+    }
+
+    /// Runs the routine once and accumulates its wall-clock time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        std::hint::black_box(out);
+    }
+}
+
+/// Bundles benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut calls = 0usize;
+        g.bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+        // Warm-up + up to 3 samples.
+        assert!((2..=4).contains(&calls), "calls = {calls}");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2e-9).ends_with("ns"));
+        assert!(format_time(2e-6).ends_with("µs"));
+        assert!(format_time(2e-3).ends_with("ms"));
+        assert!(format_time(2.0).ends_with('s'));
+    }
+}

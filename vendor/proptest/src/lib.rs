@@ -1,0 +1,618 @@
+//! A minimal, dependency-free, offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds in environments with no network access, so the
+//! real `proptest` cannot be resolved from a registry. This shim
+//! implements exactly the subset of the proptest 1.x API the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]`),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! * `prop_oneof!` and [`strategy::Just`],
+//! * [`strategy::Strategy`] with `prop_map` and `boxed`,
+//! * integer/float range strategies and a small regex-class string
+//!   strategy (character classes, `.`, and `{m,n}` repetition),
+//! * `prop::collection::vec` and `prop::option::of`.
+//!
+//! Generation is driven by a deterministic xorshift RNG seeded from the
+//! test's module path and name, so failures are reproducible run to run.
+//! There is **no shrinking**: a failing case panics with the generated
+//! values visible in the assertion message.
+
+pub mod test_runner {
+    //! Runner configuration (`ProptestConfig` in the prelude).
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 32 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+}
+
+/// Deterministic xorshift64* RNG driving all generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates an RNG from a seed (zero is remapped).
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, n)`; 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi.saturating_sub(lo))
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// FNV-1a hash used to derive per-test RNG seeds.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::TestRng;
+
+    /// A source of generated values.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The `prop_map` combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between type-erased strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`; panics if empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.range_u64(self.start as u64, self.end as u64) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                    (lo + rng.below(hi - lo + 1)) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.range_f64(self.start, self.end)
+        }
+    }
+
+    /// String literals act as regex-subset strategies generating matching
+    /// strings (see [`crate::string`]).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for vectors with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// Generates `Option<T>` (about one `None` in three).
+    pub struct OptionStrategy<S>(S);
+
+    /// A strategy producing `None` or `Some` of the inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(3) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! Generation of strings matching a small regex subset.
+    //!
+    //! Supported syntax: literal characters, `.` (printable ASCII),
+    //! character classes `[a-zA-Z_.]` (ranges, literals, trailing `-`),
+    //! and repetition `{m}`, `{m,n}`, `?`, `*`, `+` (the unbounded forms
+    //! are capped at 8).
+
+    use crate::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum CharSet {
+        Any,
+        Ranges(Vec<(char, char)>),
+    }
+
+    impl CharSet {
+        fn pick(&self, rng: &mut TestRng) -> char {
+            match self {
+                CharSet::Any => char::from_u32(rng.range_u64(0x20, 0x7F) as u32).unwrap(),
+                CharSet::Ranges(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(a, b)| (*b as u64) - (*a as u64) + 1)
+                        .sum();
+                    let mut k = rng.below(total);
+                    for (a, b) in ranges {
+                        let span = (*b as u64) - (*a as u64) + 1;
+                        if k < span {
+                            return char::from_u32(*a as u32 + k as u32).unwrap();
+                        }
+                        k -= span;
+                    }
+                    unreachable!("pick index within total span")
+                }
+            }
+        }
+    }
+
+    struct Element {
+        set: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> CharSet {
+        let mut ranges = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = chars.next().expect("unterminated character class");
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    break;
+                }
+                '-' => {
+                    // A dash is a range operator only between two chars.
+                    match (pending.take(), chars.peek()) {
+                        (Some(lo), Some(&hi)) if hi != ']' => {
+                            chars.next();
+                            assert!(lo <= hi, "reversed class range");
+                            ranges.push((lo, hi));
+                        }
+                        (p, _) => {
+                            if let Some(p) = p {
+                                ranges.push((p, p));
+                            }
+                            ranges.push(('-', '-'));
+                        }
+                    }
+                }
+                c => {
+                    if let Some(p) = pending.replace(c) {
+                        ranges.push((p, p));
+                    }
+                }
+            }
+        }
+        assert!(!ranges.is_empty(), "empty character class");
+        CharSet::Ranges(ranges)
+    }
+
+    fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repeat lower bound"),
+                        hi.trim().parse().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Element> {
+        let mut out = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => parse_class(&mut chars),
+                '.' => CharSet::Any,
+                '\\' => {
+                    let esc = chars.next().expect("dangling escape");
+                    CharSet::Ranges(vec![(esc, esc)])
+                }
+                c => {
+                    assert!(
+                        !"(){}|^$?*+".contains(c),
+                        "unsupported regex feature {c:?} in {pattern:?}"
+                    );
+                    CharSet::Ranges(vec![(c, c)])
+                }
+            };
+            let (min, max) = parse_repeat(&mut chars);
+            out.push(Element { set, min, max });
+        }
+        out
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for el in parse(pattern) {
+            let n = el.min + rng.below((el.max - el.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(el.set.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Runs each contained `#[test]` function over many generated cases.
+///
+/// Supports the `#![proptest_config(ProptestConfig::with_cases(N))]`
+/// header and `name in strategy` argument bindings. The body runs once per
+/// case; assertion macros panic (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let __seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..(__config.cases as u64) {
+                    let mut __rng = $crate::TestRng::new(
+                        __seed ^ (__case + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniformly picks one of several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..200 {
+            let s = crate::string::generate_matching("[A-Za-z][A-Za-z0-9_.:-]{0,11}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 12, "bad length: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_alphabetic());
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || "_.:-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..500 {
+            let v = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let w = (2usize..=4).generate(&mut rng);
+            assert!((2..=4).contains(&w));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_arguments(x in 0u32..10, v in prop::collection::vec(0u8..3, 1..5)) {
+            prop_assert!(x < 10);
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&b| b < 3));
+        }
+
+        #[test]
+        fn oneof_and_option(level in prop_oneof![Just(1u8), Just(2u8)],
+                            opt in prop::option::of(0u16..4)) {
+            prop_assert!(level == 1 || level == 2);
+            if let Some(o) = opt {
+                prop_assert!(o < 4);
+            }
+        }
+    }
+}
