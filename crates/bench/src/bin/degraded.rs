@@ -1,0 +1,80 @@
+//! Degraded-run experiment: re-measures the paper's headline
+//! diagnosis-time reduction with a lossy, partially-dead daemon layer
+//! injected under both the base and the directed run.
+//!
+//! ```text
+//! degraded --loss RATE [--kill-at SECS] [--assert-reduction FRAC]
+//! ```
+//!
+//! `--loss 0.10` drops 10 % of sample intervals; `--kill-at 5` kills one
+//! node (node16 of the version-D Poisson run) at t = 5 s; with
+//! `--assert-reduction 0.75` the process exits non-zero unless the
+//! directed run is at least 75 % faster than the base run — the CI gate
+//! that the Table-3-shaped result survives faults.
+
+use histpc::prelude::SimTime;
+use histpc_bench::run_degraded;
+
+fn bad(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: degraded --loss RATE [--kill-at SECS] [--assert-reduction FRAC]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut loss: Option<f64> = None;
+    let mut kill_at: Option<SimTime> = None;
+    let mut assert_reduction: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let Some(value) = args.get(i + 1) else {
+            bad(&format!("missing value for {}", args[i]));
+        };
+        match args[i].as_str() {
+            "--loss" => match value.parse::<f64>() {
+                Ok(v) if (0.0..=1.0).contains(&v) => loss = Some(v),
+                _ => bad("--loss wants a rate in [0, 1]"),
+            },
+            "--kill-at" => match value.parse::<f64>() {
+                Ok(v) if v >= 0.0 => kill_at = Some(SimTime::from_micros((v * 1e6) as u64)),
+                _ => bad("--kill-at wants a non-negative time in seconds"),
+            },
+            "--assert-reduction" => match value.parse::<f64>() {
+                Ok(v) if (0.0..1.0).contains(&v) => assert_reduction = Some(v),
+                _ => bad("--assert-reduction wants a fraction in [0, 1)"),
+            },
+            other => bad(&format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    let Some(loss) = loss else {
+        bad("--loss is required");
+    };
+
+    let exp = run_degraded(loss, kill_at);
+    print!("{}", exp.render());
+    if let Some(want) = assert_reduction {
+        match exp.reduction() {
+            Some(got) if got >= want => {
+                println!(
+                    "PASS: reduction {:.1}% >= required {:.1}%",
+                    got * 100.0,
+                    want * 100.0
+                );
+            }
+            Some(got) => {
+                eprintln!(
+                    "FAIL: reduction {:.1}% < required {:.1}%",
+                    got * 100.0,
+                    want * 100.0
+                );
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("FAIL: no reduction measurable (a run found no bottlenecks)");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -666,6 +666,155 @@ impl CombinationExperiment {
 }
 
 // ---------------------------------------------------------------------
+// Degraded-run experiment: the headline effect under injected faults
+// ---------------------------------------------------------------------
+
+/// Result of the degraded-run experiment: the paper's headline
+/// diagnosis-time reduction, re-measured with a lossy, partially-dead
+/// daemon layer underneath both runs.
+#[derive(Debug, Clone)]
+pub struct DegradedExperiment {
+    /// The injected sample-drop rate (0.0–1.0).
+    pub loss: f64,
+    /// When (if at all) a node was killed mid-search.
+    pub kill_at: Option<SimTime>,
+    /// Time of the last bottleneck in the faulted base run.
+    pub base_time: Option<SimTime>,
+    /// Time of the last bottleneck in the faulted directed run.
+    pub directed_time: Option<SimTime>,
+    /// Injector activity during the base run.
+    pub base_stats: FaultStats,
+    /// Injector activity during the directed run.
+    pub directed_stats: FaultStats,
+    /// Resources the base run marked unreachable.
+    pub unreachable: Vec<ResourceName>,
+    /// Pairs the base run left at the `Unknown` verdict.
+    pub unknown_pairs: usize,
+    /// Harvested directives steering the directed run.
+    pub directive_count: usize,
+}
+
+/// Runs the degraded version-D experiment: a faulted base run at `loss`
+/// sample-drop rate (optionally killing one node at `kill_at`),
+/// directives harvested from the degraded record, and a directed re-run
+/// under the *same* fault plan. The interesting number is
+/// [`DegradedExperiment::reduction`]: how much of the paper's headline
+/// speedup survives the faults.
+pub fn run_degraded(loss: f64, kill_at: Option<SimTime>) -> DegradedExperiment {
+    let mut plan = FaultPlan::none();
+    plan.seed = 0x0D15_EA5E;
+    plan.drop_rate = loss;
+    if let Some(at) = kill_at {
+        plan.kills.push(KillEvent {
+            at,
+            // Version D runs 8 processes on node09..node16; take the last.
+            target: KillTarget::Node("node16".into()),
+        });
+    }
+    let wl = PoissonWorkload::new(PoissonVersion::D);
+    let session = Session::new();
+    let config = SearchConfig {
+        faults: plan.clone(),
+        ..exp_config()
+    };
+    let base_run = session
+        .diagnose_faulted(&wl, &config, "degraded-base", None)
+        .expect("default config lints clean");
+    let base = base_run.diagnosis.expect("no tool crash scheduled");
+    let directives = history::extract(
+        &base.record,
+        &ExtractionOptions::priorities_and_safe_prunes(),
+    );
+    let directive_count = directives.len();
+    let directed_config = SearchConfig {
+        faults: plan,
+        ..exp_config()
+    }
+    .with_directives(directives);
+    let directed_run = session
+        .diagnose_faulted(&wl, &directed_config, "degraded-directed", None)
+        .expect("harvested directives lint clean");
+    let directed = directed_run.diagnosis.expect("no tool crash scheduled");
+    let unknown_pairs = base
+        .report
+        .outcomes
+        .iter()
+        .filter(|o| o.outcome == Outcome::Unknown)
+        .count();
+    DegradedExperiment {
+        loss,
+        kill_at,
+        base_time: base.report.time_of_last_bottleneck(),
+        directed_time: directed.report.time_of_last_bottleneck(),
+        base_stats: base_run.stats,
+        directed_stats: directed_run.stats,
+        unreachable: base.report.unreachable.clone(),
+        unknown_pairs,
+        directive_count,
+    }
+}
+
+impl DegradedExperiment {
+    /// Fractional diagnosis-time reduction of the directed run against
+    /// the base run (e.g. `0.8` = 80 % faster). `None` when either run
+    /// found no bottleneck.
+    pub fn reduction(&self) -> Option<f64> {
+        match (self.directed_time, self.base_time) {
+            (Some(d), Some(b)) if b.as_micros() > 0 => {
+                Some(1.0 - d.as_secs_f64() / b.as_secs_f64())
+            }
+            _ => None,
+        }
+    }
+
+    /// Renders the experiment summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Degraded run: Poisson version D, {:.0}% sample loss{}\n\n",
+            self.loss * 100.0,
+            match self.kill_at {
+                Some(at) => format!(", node16 killed at t = {at}"),
+                None => String::new(),
+            }
+        );
+        out.push_str(&format!(
+            "base run:     last bottleneck at {} s ({} samples dropped, {} kills)\n",
+            fmt_time(self.base_time),
+            self.base_stats.dropped,
+            self.base_stats.kills_fired
+        ));
+        out.push_str(&format!(
+            "directed run: last bottleneck at {} s ({} samples dropped, {} kills)\n",
+            fmt_time(self.directed_time),
+            self.directed_stats.dropped,
+            self.directed_stats.kills_fired
+        ));
+        out.push_str(&format!(
+            "directives harvested from the degraded record: {}\n",
+            self.directive_count
+        ));
+        out.push_str(&format!(
+            "unknown pairs in base run: {}; unreachable resources: {}\n",
+            self.unknown_pairs,
+            if self.unreachable.is_empty() {
+                "none".to_string()
+            } else {
+                self.unreachable
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+        ));
+        match self.reduction() {
+            Some(r) => out.push_str(&format!("diagnosis-time reduction: {:.1}%\n", r * 100.0)),
+            None => out.push_str("diagnosis-time reduction: undefined (no bottlenecks found)\n"),
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
 // Figures
 // ---------------------------------------------------------------------
 

@@ -29,5 +29,8 @@ pub use directive::{
 };
 pub use hypothesis::{Hypothesis, HypothesisId, HypothesisTree};
 pub use report::{DiagnosisReport, NodeOutcome, Outcome};
-pub use search::{drive_diagnosis, Consultant, SearchConfig};
+pub use search::{
+    drive_diagnosis, drive_diagnosis_faulted, Consultant, DegradedRun, SearchCheckpoint,
+    SearchConfig,
+};
 pub use shg::{NodeState, Shg, ShgNodeId};

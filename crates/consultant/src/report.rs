@@ -6,7 +6,7 @@
 //! tool", §4.1), plus instrumentation statistics for Table 2's
 //! pairs-tested and efficiency columns.
 
-use histpc_resources::Focus;
+use histpc_resources::{Focus, ResourceName};
 use histpc_sim::SimTime;
 
 /// Final outcome of one hypothesis/focus pair.
@@ -20,6 +20,12 @@ pub enum Outcome {
     Pruned,
     /// Created but never concluded (search ended first).
     Untested,
+    /// The experiment starved past the data timeout: no honest
+    /// conclusion exists. Distinct from false — "we measured nothing"
+    /// is not "we measured zero".
+    Unknown,
+    /// Every process under the focus died before a conclusion.
+    Unreachable,
 }
 
 impl Outcome {
@@ -30,6 +36,8 @@ impl Outcome {
             Outcome::False => "false",
             Outcome::Pruned => "pruned",
             Outcome::Untested => "untested",
+            Outcome::Unknown => "unknown",
+            Outcome::Unreachable => "unreachable",
         }
     }
 
@@ -40,6 +48,8 @@ impl Outcome {
             "false" => Some(Outcome::False),
             "pruned" => Some(Outcome::Pruned),
             "untested" => Some(Outcome::Untested),
+            "unknown" => Some(Outcome::Unknown),
+            "unreachable" => Some(Outcome::Unreachable),
             _ => None,
         }
     }
@@ -60,6 +70,10 @@ pub struct NodeOutcome {
     pub concluded_at: Option<SimTime>,
     /// The last evaluated fraction of execution time.
     pub last_value: f64,
+    /// Number of samples the pair's instrumentation actually observed.
+    /// Degraded runs use this to tell a well-grounded conclusion from
+    /// one derived from a trickle of surviving data.
+    pub samples: u64,
 }
 
 /// The result of one diagnosis session.
@@ -80,6 +94,10 @@ pub struct DiagnosisReport {
     pub peak_cost: f64,
     /// Whether the search reached quiescence (vs. hitting the time limit).
     pub quiescent: bool,
+    /// Resources (machines, processes) that died during the run. Empty
+    /// for healthy runs; directive extraction refuses to prune anything
+    /// under these.
+    pub unreachable: Vec<ResourceName>,
     /// The rendered Search History Graph (list-box form, fig. 2).
     pub shg_rendering: String,
 }
@@ -166,6 +184,7 @@ mod tests {
             first_true_at: t.map(SimTime::from_secs),
             concluded_at: t.map(SimTime::from_secs),
             last_value: 0.3,
+            samples: 5,
         }
     }
 
@@ -178,6 +197,7 @@ mod tests {
             end_time: SimTime::from_secs(100),
             peak_cost: 0.04,
             quiescent: true,
+            unreachable: Vec::new(),
             shg_rendering: String::new(),
         }
     }
@@ -241,6 +261,8 @@ mod tests {
             Outcome::False,
             Outcome::Pruned,
             Outcome::Untested,
+            Outcome::Unknown,
+            Outcome::Unreachable,
         ] {
             assert_eq!(Outcome::from_name(o.name()), Some(o));
         }

@@ -21,8 +21,11 @@ use crate::directive::{PriorityLevel, SearchDirectives};
 use crate::hypothesis::{HypothesisId, HypothesisTree};
 use crate::report::{DiagnosisReport, NodeOutcome, Outcome};
 use crate::shg::{NodeState, Shg, ShgNodeId};
+use histpc_faults::{FaultInjector, FaultPlan, FaultStats, KillTarget, RequestFault};
 use histpc_instr::{Collector, CollectorConfig};
-use histpc_sim::{Engine, EngineStatus, SimDuration, SimTime};
+use histpc_resources::ResourceName;
+use histpc_sim::{Engine, EngineStatus, ProcId, SimDuration, SimTime};
+use std::collections::HashMap;
 
 /// Configuration of one diagnosis session.
 #[derive(Debug, Clone)]
@@ -45,6 +48,19 @@ pub struct SearchConfig {
     pub run_full_program: bool,
     /// Instrumentation layer configuration.
     pub collector: CollectorConfig,
+    /// Faults to inject (the empty plan = a perfectly healthy daemon
+    /// layer; [`drive_diagnosis_faulted`] then takes the exact healthy
+    /// code path, guaranteeing bit-identical results).
+    pub faults: FaultPlan,
+    /// How long an experiment may go without fresh data from any of its
+    /// processes before it concludes [`Outcome::Unknown`].
+    pub data_timeout: SimDuration,
+    /// First retry delay after a failed instrumentation request.
+    pub retry_base: SimDuration,
+    /// Cap on the exponential retry backoff.
+    pub retry_cap: SimDuration,
+    /// Give up on a request (conclude Unknown) after this many failures.
+    pub retry_max_attempts: u32,
 }
 
 impl Default for SearchConfig {
@@ -56,6 +72,11 @@ impl Default for SearchConfig {
             max_time: SimDuration::from_secs(3600),
             run_full_program: false,
             collector: CollectorConfig::default(),
+            faults: FaultPlan::none(),
+            data_timeout: SimDuration::from_secs(10),
+            retry_base: SimDuration::from_millis(500),
+            retry_cap: SimDuration::from_secs(8),
+            retry_max_attempts: 6,
         }
     }
 }
@@ -82,6 +103,19 @@ pub struct Consultant {
     halted: bool,
     peak_cost: f64,
     quiesced_at: Option<SimTime>,
+    /// Degradation policy; only consulted from [`Consultant::tick_faulted`].
+    data_timeout: SimDuration,
+    retry_base: SimDuration,
+    retry_cap: SimDuration,
+    retry_max_attempts: u32,
+    /// Per-node failed-request bookkeeping: (attempts so far, earliest
+    /// next retry). Looked up by id only, never iterated, so it cannot
+    /// perturb determinism.
+    retry: HashMap<ShgNodeId, (u32, SimTime)>,
+    /// Processes killed by fault injection.
+    dead_procs: Vec<ProcId>,
+    /// Resource names of everything that died, for the report.
+    unreachable: Vec<ResourceName>,
 }
 
 impl Consultant {
@@ -107,6 +141,7 @@ impl Consultant {
         shg.node_mut(root).first_true_at = Some(SimTime::ZERO);
         shg.node_mut(root).concluded_at = Some(SimTime::ZERO);
 
+        let defaults = SearchConfig::default();
         let mut c = Consultant {
             tree,
             directives,
@@ -116,6 +151,13 @@ impl Consultant {
             halted: false,
             peak_cost: 0.0,
             quiesced_at: None,
+            data_timeout: defaults.data_timeout,
+            retry_base: defaults.retry_base,
+            retry_cap: defaults.retry_cap,
+            retry_max_attempts: defaults.retry_max_attempts,
+            retry: HashMap::new(),
+            dead_procs: Vec::new(),
+            unreachable: Vec::new(),
         };
 
         // Base hypotheses for the whole program.
@@ -171,6 +213,54 @@ impl Consultant {
     /// True once the search has no pending or testing nodes left.
     pub fn is_quiescent(&self) -> bool {
         self.quiesced_at.is_some()
+    }
+
+    /// Adopts the degradation policy knobs (timeouts, backoff) from a
+    /// config. Only [`Consultant::tick_faulted`] consults them.
+    pub fn set_fault_policy(&mut self, config: &SearchConfig) {
+        self.data_timeout = config.data_timeout;
+        self.retry_base = config.retry_base;
+        self.retry_cap = config.retry_cap;
+        self.retry_max_attempts = config.retry_max_attempts;
+    }
+
+    /// Records that `procs` died (with the resource names they and their
+    /// node answer to). Subsequent faulted ticks mark every unconcluded
+    /// experiment stranded on dead processes as `Unreachable`.
+    pub fn note_dead(&mut self, procs: &[ProcId], resources: Vec<ResourceName>) {
+        for &p in procs {
+            if !self.dead_procs.contains(&p) {
+                self.dead_procs.push(p);
+            }
+        }
+        for r in resources {
+            if !self.unreachable.contains(&r) {
+                self.unreachable.push(r);
+            }
+        }
+    }
+
+    /// A deterministic fingerprint of the search state (FNV-1a over every
+    /// node's state, conclusion time and value, plus the expansion queue
+    /// length). A resumed run replays to the checkpoint time and compares
+    /// digests to prove it reconstructed the interrupted search exactly.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let fold = |h: &mut u64, bytes: &[u8]| {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for id in self.shg.ids() {
+            let n = self.shg.node(id);
+            fold(&mut h, &[n.state.marker() as u8]);
+            let concluded = n.concluded_at.map_or(u64::MAX, SimTime::as_micros);
+            fold(&mut h, &concluded.to_le_bytes());
+            fold(&mut h, &n.last_value.to_bits().to_le_bytes());
+        }
+        fold(&mut h, &(self.pending.len() as u64).to_le_bytes());
+        h
     }
 
     /// Creates (or links) a child node, honouring prunes and priorities.
@@ -257,6 +347,54 @@ impl Consultant {
     /// re-evaluate persistent ones, expand the search under the cost
     /// budget.
     pub fn tick(&mut self, now: SimTime, collector: &mut Collector) {
+        self.tick_impl(now, collector, None);
+    }
+
+    /// [`Consultant::tick`] with a fault injector supplying request
+    /// outcomes, plus the degradation phases (unreachable marking,
+    /// starvation timeouts, retry backoff). With a disabled injector the
+    /// behaviour is identical to the plain tick.
+    pub fn tick_faulted(
+        &mut self,
+        now: SimTime,
+        collector: &mut Collector,
+        inj: &mut FaultInjector,
+    ) {
+        self.tick_impl(now, collector, Some(inj));
+    }
+
+    fn tick_impl(
+        &mut self,
+        now: SimTime,
+        collector: &mut Collector,
+        mut faults: Option<&mut FaultInjector>,
+    ) {
+        // 0. (Faulted only.) Experiments stranded entirely on dead
+        //    processes can never conclude honestly: mark them Unreachable
+        //    and free their instrumentation.
+        if faults.is_some() && !self.dead_procs.is_empty() {
+            for id in self.shg.ids().collect::<Vec<_>>() {
+                let state = self.shg.node(id).state;
+                if state != NodeState::Pending && state != NodeState::Testing {
+                    continue;
+                }
+                let focus = self.shg.node(id).focus.clone();
+                let procs = collector.binder().compile(&focus).procs().to_vec();
+                if procs.is_empty() || !procs.iter().all(|p| self.dead_procs.contains(p)) {
+                    continue;
+                }
+                let pair = self.shg.node(id).pair;
+                let node = self.shg.node_mut(id);
+                node.state = NodeState::Unreachable;
+                node.concluded_at = Some(now);
+                if let Some(pid) = pair {
+                    collector.release(pid, now);
+                }
+                self.pending.retain(|&p| p != id);
+                self.retry.remove(&id);
+            }
+        }
+
         // 1. Conclude nodes that have a full window of data.
         for id in self.shg.in_state(NodeState::Testing) {
             let Some(pid) = self.shg.node(id).pair else {
@@ -265,6 +403,32 @@ impl Consultant {
             let active_from = collector.pair(pid).active_from;
             if now < active_from + self.window {
                 continue;
+            }
+            // (Faulted only.) A window with no fresh data from any of the
+            // experiment's processes is not evidence of anything: defer
+            // the conclusion, and past the data timeout give up with
+            // Unknown rather than a false "false".
+            if faults.is_some() {
+                let procs = collector.pair(pid).compiled.procs().to_vec();
+                if !procs.is_empty() {
+                    let ws = window_start(now, self.window);
+                    let fresh = procs.iter().any(|&p| collector.last_data_at(p) >= ws);
+                    if !fresh {
+                        let last_seen = procs
+                            .iter()
+                            .map(|&p| collector.last_data_at(p))
+                            .max()
+                            .unwrap_or(SimTime::ZERO)
+                            .max(active_from);
+                        if now > last_seen + self.data_timeout {
+                            let node = self.shg.node_mut(id);
+                            node.state = NodeState::Unknown;
+                            node.concluded_at = Some(now);
+                            collector.release(pid, now);
+                        }
+                        continue;
+                    }
+                }
             }
             let fraction = self.evaluate(id, now, collector);
             let threshold = self.threshold_of(self.shg.node(id).hypothesis);
@@ -337,25 +501,65 @@ impl Consultant {
                 let n = self.shg.node(id);
                 (std::cmp::Reverse(n.priority), n.created_at, id)
             });
-            while !self.pending.is_empty() {
-                let id = self.pending[0];
+            let mut i = 0;
+            while i < self.pending.len() {
+                let id = self.pending[i];
+                // A node in retry backoff stays queued but is skipped
+                // until its retry time arrives.
+                if let Some(&(_, next_at)) = self.retry.get(&id) {
+                    if next_at > now {
+                        i += 1;
+                        continue;
+                    }
+                }
                 let focus = self.shg.node(id).focus.clone();
                 let compiled = collector.binder().compile(&focus);
                 if collector.cost().would_exceed(&compiled) {
                     self.halted = true;
                     break;
                 }
-                self.pending.remove(0);
                 let hyp = self.shg.node(id).hypothesis;
                 let metric = self
                     .tree
                     .get(hyp)
                     .metric
                     .expect("only metric hypotheses are queued");
-                let pid = collector.request(metric, focus, now);
-                let node = self.shg.node_mut(id);
-                node.pair = Some(pid);
-                node.state = NodeState::Testing;
+                let fate = match faults.as_deref_mut() {
+                    Some(inj) => inj.request_outcome(),
+                    None => RequestFault::Deliver,
+                };
+                match collector.request_faulted(metric, focus, now, fate) {
+                    Some(pid) => {
+                        self.pending.remove(i);
+                        self.retry.remove(&id);
+                        let node = self.shg.node_mut(id);
+                        node.pair = Some(pid);
+                        node.state = NodeState::Testing;
+                    }
+                    None => {
+                        // Failed insertion: retry with capped exponential
+                        // backoff; past the attempt budget the pair
+                        // concludes Unknown (never false).
+                        let attempts = self.retry.get(&id).map(|&(a, _)| a).unwrap_or(0) + 1;
+                        if attempts >= self.retry_max_attempts {
+                            self.pending.remove(i);
+                            self.retry.remove(&id);
+                            let node = self.shg.node_mut(id);
+                            node.state = NodeState::Unknown;
+                            node.concluded_at = Some(now);
+                        } else {
+                            let exp = (attempts - 1).min(16);
+                            let backoff = SimDuration::from_micros(
+                                self.retry_base
+                                    .as_micros()
+                                    .saturating_mul(1 << exp)
+                                    .min(self.retry_cap.as_micros()),
+                            );
+                            self.retry.insert(id, (attempts, now + backoff));
+                            i += 1;
+                        }
+                    }
+                }
             }
         }
 
@@ -389,10 +593,13 @@ impl Consultant {
                         NodeState::False => Outcome::False,
                         NodeState::Pruned => Outcome::Pruned,
                         NodeState::Pending | NodeState::Testing => Outcome::Untested,
+                        NodeState::Unknown => Outcome::Unknown,
+                        NodeState::Unreachable => Outcome::Unreachable,
                     },
                     first_true_at: n.first_true_at,
                     concluded_at: n.concluded_at,
                     last_value: n.last_value,
+                    samples: n.pair.map(|p| collector.pair(p).observations).unwrap_or(0),
                 }
             })
             .collect();
@@ -404,6 +611,7 @@ impl Consultant {
             end_time: self.quiesced_at.unwrap_or(now),
             peak_cost: self.peak_cost,
             quiescent: self.quiesced_at.is_some(),
+            unreachable: self.unreachable.clone(),
             shg_rendering: self.shg.render(&self.tree),
         }
     }
@@ -445,6 +653,183 @@ pub fn drive_diagnosis(engine: &mut Engine, config: &SearchConfig) -> DiagnosisR
         }
     }
     consultant.report(&collector, now)
+}
+
+/// A checkpoint of an interrupted diagnosis session.
+///
+/// Resume works by deterministic replay: the whole session re-runs from
+/// t=0 on the same seed with the crash suppressed, and at the checkpoint
+/// time the reconstructed search state's [`Consultant::digest`] is
+/// compared against the recorded one to prove the resume is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchCheckpoint {
+    /// Application time at which the tool crashed.
+    pub at: SimTime,
+    /// Search-state digest at that time.
+    pub digest: u64,
+}
+
+impl SearchCheckpoint {
+    /// Serializes to the `histpc-ckpt v1` text format.
+    pub fn to_text(&self) -> String {
+        format!(
+            "histpc-ckpt v1\nat_us {}\ndigest {}\n",
+            self.at.as_micros(),
+            self.digest
+        )
+    }
+
+    /// Parses the `histpc-ckpt v1` text format.
+    pub fn parse(text: &str) -> Result<SearchCheckpoint, String> {
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        if lines.next() != Some("histpc-ckpt v1") {
+            return Err("missing 'histpc-ckpt v1' header".into());
+        }
+        let mut at = None;
+        let mut digest = None;
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some("at_us"), Some(v)) => {
+                    at = Some(v.parse::<u64>().map_err(|e| format!("bad at_us: {e}"))?);
+                }
+                (Some("digest"), Some(v)) => {
+                    digest = Some(v.parse::<u64>().map_err(|e| format!("bad digest: {e}"))?);
+                }
+                _ => return Err(format!("unrecognized checkpoint line: {line}")),
+            }
+        }
+        match (at, digest) {
+            (Some(at), Some(digest)) => Ok(SearchCheckpoint {
+                at: SimTime(at),
+                digest,
+            }),
+            _ => Err("checkpoint needs both at_us and digest lines".into()),
+        }
+    }
+}
+
+/// The result of a fault-injected diagnosis session.
+#[derive(Debug, Clone)]
+pub struct DegradedRun {
+    /// The diagnosis report (partial if the tool crashed).
+    pub report: DiagnosisReport,
+    /// Present iff an injected tool crash interrupted the session;
+    /// feed it back as `resume_from` to finish the diagnosis.
+    pub checkpoint: Option<SearchCheckpoint>,
+    /// What the injector actually did.
+    pub stats: FaultStats,
+    /// On a resumed run: whether the replayed search state matched the
+    /// checkpoint digest at the crash time. Always true otherwise.
+    pub resumed_digest_ok: bool,
+}
+
+/// [`drive_diagnosis`] through a fault-injection layer.
+///
+/// With a disabled plan and no checkpoint this delegates to the plain
+/// driver, so results are bit-identical to a healthy run. Otherwise
+/// samples pass through the injector, scheduled kills are applied to the
+/// engine (and reported to the consultant as unreachable resources), and
+/// an injected tool crash returns early with a [`SearchCheckpoint`].
+/// Passing that checkpoint back as `resume_from` replays the session
+/// deterministically with the crash suppressed.
+pub fn drive_diagnosis_faulted(
+    engine: &mut Engine,
+    config: &SearchConfig,
+    resume_from: Option<&SearchCheckpoint>,
+) -> DegradedRun {
+    if config.faults.is_disabled() && resume_from.is_none() {
+        return DegradedRun {
+            report: drive_diagnosis(engine, config),
+            checkpoint: None,
+            stats: FaultStats::default(),
+            resumed_digest_ok: true,
+        };
+    }
+
+    let mut injector = FaultInjector::new(config.faults.clone());
+    let mut collector = Collector::new(engine.app().clone(), config.collector.clone());
+    let mut consultant = Consultant::new(
+        HypothesisTree::standard(),
+        config.directives.clone(),
+        config.window,
+        &collector,
+    );
+    consultant.set_fault_policy(config);
+    consultant.tick_faulted(SimTime::ZERO, &mut collector, &mut injector);
+    collector.apply_perturbation(engine);
+
+    let mut now = SimTime::ZERO;
+    let max = SimTime::ZERO + config.max_time;
+    let mut digest_ok = true;
+    loop {
+        now += config.sample;
+        for kill in injector.due_kills(now) {
+            let (victims, mut resources) = match &kill.target {
+                KillTarget::Node(name) => match engine.node_index(name) {
+                    Some(idx) => (engine.kill_node(idx), vec![format!("/Machine/{name}")]),
+                    None => (Vec::new(), Vec::new()),
+                },
+                KillTarget::Proc(rank) => {
+                    let p = ProcId(*rank);
+                    if (*rank as usize) < engine.app().process_count() {
+                        engine.kill_proc(p);
+                        (vec![p], Vec::new())
+                    } else {
+                        (Vec::new(), Vec::new())
+                    }
+                }
+            };
+            for &p in &victims {
+                resources.push(format!("/Process/{}", engine.app().processes[p.0 as usize]));
+            }
+            let resources = resources
+                .iter()
+                .filter_map(|r| ResourceName::parse(r).ok())
+                .collect();
+            consultant.note_dead(&victims, resources);
+        }
+        let status = engine.run_until(now);
+        let intervals = injector.filter_intervals(engine.drain_intervals(), now);
+        collector.observe_batch(&intervals);
+        consultant.tick_faulted(now, &mut collector, &mut injector);
+        collector.apply_perturbation(engine);
+        if resume_from.is_none() && injector.crash_due(now) {
+            // The tool "crashes": checkpoint the search and stop.
+            let checkpoint = SearchCheckpoint {
+                at: now,
+                digest: consultant.digest(),
+            };
+            return DegradedRun {
+                report: consultant.report(&collector, now),
+                checkpoint: Some(checkpoint),
+                stats: injector.stats(),
+                resumed_digest_ok: true,
+            };
+        }
+        if let Some(ckpt) = resume_from {
+            if now == ckpt.at {
+                digest_ok = consultant.digest() == ckpt.digest;
+            }
+        }
+        // Unlike the healthy driver there is no bare "engine stopped"
+        // break: starving experiments must be given time to resolve to
+        // Unknown even after the program (or what's left of it) exits.
+        if consultant.is_quiescent()
+            && (!config.run_full_program || status != EngineStatus::Running)
+        {
+            break;
+        }
+        if now >= max {
+            break;
+        }
+    }
+    DegradedRun {
+        report: consultant.report(&collector, now),
+        checkpoint: None,
+        stats: injector.stats(),
+        resumed_digest_ok: digest_ok,
+    }
 }
 
 #[cfg(test)]

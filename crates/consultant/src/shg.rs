@@ -31,6 +31,12 @@ pub enum NodeState {
     False,
     /// Excluded by a pruning directive.
     Pruned,
+    /// The experiment starved: its data stream went quiet past the
+    /// timeout, so nothing can honestly be concluded either way.
+    Unknown,
+    /// Every process the focus covers is dead; the pair can never be
+    /// measured again.
+    Unreachable,
 }
 
 impl NodeState {
@@ -42,6 +48,8 @@ impl NodeState {
             NodeState::True => 'T',
             NodeState::False => 'F',
             NodeState::Pruned => 'P',
+            NodeState::Unknown => 'U',
+            NodeState::Unreachable => 'X',
         }
     }
 }

@@ -4,6 +4,7 @@
 //! ```text
 //! histpc run      --app poisson-c [--label L] [--store DIR] [--directives FILE]
 //!                 [--mappings FILE] [--window SECS] [--max-time SECS] [--seed N]
+//!                 [--faults FILE] [--resume FILE]
 //! histpc harvest  --store DIR --app NAME --label L [--mode MODE] [--out FILE]
 //! histpc map      --store DIR --app NAME --from LABEL --to LABEL [--out FILE]
 //! histpc compare  --store DIR --app NAME --from LABEL --to LABEL
@@ -17,6 +18,14 @@
 //! `ocean`, `tester`, `sweep3d`. Harvest modes: `priorities`, `prunes`,
 //! `general-prunes`, `historic-prunes`, `combined` (default),
 //! `combined+thresholds`.
+//!
+//! `--faults FILE` loads a `histpc-faults v1` fault plan and drives the
+//! diagnosis through the injector: samples may be dropped, delayed or
+//! reordered, instrumentation requests may fail, and scheduled kills take
+//! nodes or processes down mid-search. If the plan schedules a tool
+//! crash, the run stops at that point and (with `--store`) saves a
+//! checkpoint artifact; rerun with `--resume FILE` pointing at it to
+//! replay deterministically past the crash.
 //!
 //! `lint` statically validates directive and mapping files (kind
 //! auto-detected per file) and prints rustc-style diagnostics with
@@ -34,6 +43,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  histpc run --app APP [--label L] [--store DIR] [--directives FILE]\n\
          \x20            [--mappings FILE] [--window SECS] [--max-time SECS] [--seed N]\n\
+         \x20            [--faults FILE] [--resume FILE]\n\
          \x20 histpc harvest --store DIR --app NAME --label L [--mode MODE] [--out FILE]\n\
          \x20 histpc map     --store DIR --app NAME --from LABEL --to LABEL [--out FILE]\n\
          \x20 histpc compare --store DIR --app NAME --from LABEL --to LABEL\n\
@@ -170,14 +180,66 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
         config.directives = directives;
     }
 
+    if let Some(path) = flags.get("faults") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        config.faults = FaultPlan::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    }
+    let resume = match flags.get("resume") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(SearchCheckpoint::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+
     let session = match flags.get("store") {
         Some(dir) => Session::with_store(dir).map_err(|e| e.to_string())?,
         None => Session::new(),
     };
     let label = flags.get("label").cloned().unwrap_or_else(|| "run".into());
-    let d = session
-        .diagnose(workload.as_ref(), &config, &label)
-        .map_err(|e| e.to_string())?;
+    let d = if !config.faults.is_disabled() || resume.is_some() {
+        let dd = session
+            .diagnose_faulted(workload.as_ref(), &config, &label, resume.as_ref())
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "faults: {} sample(s) dropped, {} delayed, {} reordered; \
+             {} request(s) failed, {} deferred; {} kill(s) fired",
+            dd.stats.dropped,
+            dd.stats.delayed,
+            dd.stats.reordered,
+            dd.stats.requests_failed,
+            dd.stats.requests_deferred,
+            dd.stats.kills_fired
+        );
+        if resume.is_some() && !dd.resumed_digest_ok {
+            eprintln!("warning: replayed search state did not match the checkpoint digest");
+        }
+        match dd.diagnosis {
+            Some(d) => d,
+            None => {
+                let ckpt = dd
+                    .checkpoint
+                    .expect("an interrupted run leaves a checkpoint");
+                println!(
+                    "diagnosis interrupted by injected tool crash at t = {}",
+                    ckpt.at
+                );
+                if flags.contains_key("store") {
+                    println!(
+                        "checkpoint stored as {label}.ckpt under the application's \
+                         store directory; rerun the same command with --resume FILE"
+                    );
+                } else {
+                    println!("no store attached: rerun with --store to keep the checkpoint");
+                }
+                return Ok(());
+            }
+        }
+    } else {
+        session
+            .diagnose(workload.as_ref(), &config, &label)
+            .map_err(|e| e.to_string())?
+    };
     if !d.lint_warnings.is_empty() && !linted_files {
         let mut sources = histpc::lint::SourceCache::new();
         sources.insert("<search directives>", &config.directives.to_text());
@@ -199,6 +261,18 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
         d.report.pairs_tested,
         d.report.peak_cost * 100.0
     );
+    let unknowns = d
+        .report
+        .outcomes
+        .iter()
+        .filter(|o| o.outcome == Outcome::Unknown)
+        .count();
+    if unknowns > 0 {
+        println!("unresolved (Unknown) pairs: {unknowns}");
+    }
+    for r in &d.report.unreachable {
+        println!("unreachable: {r}");
+    }
     println!("bottlenecks found: {}", d.report.bottleneck_count());
     for b in d.report.bottlenecks().iter().take(15) {
         println!(

@@ -15,7 +15,10 @@
 //!   over the Search History Graph, extended with search directives;
 //! * [`history`] — the paper's contribution: an execution store, directive
 //!   extraction (prunes / priorities / thresholds), resource mapping
-//!   between executions, and multi-run combination.
+//!   between executions, and multi-run combination;
+//! * [`faults`] — deterministic, seeded fault injection (lossy sample
+//!   delivery, failing instrumentation requests, dying nodes, tool
+//!   crashes) used to exercise the consultant's graceful degradation.
 //!
 //! # Quickstart
 //!
@@ -53,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub use histpc_consultant as consultant;
+pub use histpc_faults as faults;
 pub use histpc_history as history;
 pub use histpc_instr as instr;
 pub use histpc_lint as lint;
@@ -61,15 +65,17 @@ pub use histpc_sim as sim;
 
 pub mod session;
 
-pub use session::{Diagnosis, Session, SessionError};
+pub use session::{DegradedDiagnosis, Diagnosis, Session, SessionError};
 
 /// The most commonly used names, for glob import.
 pub mod prelude {
-    pub use crate::session::{Diagnosis, Session, SessionError};
+    pub use crate::session::{DegradedDiagnosis, Diagnosis, Session, SessionError};
     pub use histpc_consultant::{
-        drive_diagnosis, DiagnosisReport, NodeOutcome, Outcome, PriorityDirective, PriorityLevel,
-        Prune, PruneTarget, SearchConfig, SearchDirectives, ThresholdDirective,
+        drive_diagnosis, drive_diagnosis_faulted, DegradedRun, DiagnosisReport, NodeOutcome,
+        Outcome, PriorityDirective, PriorityLevel, Prune, PruneTarget, SearchCheckpoint,
+        SearchConfig, SearchDirectives, ThresholdDirective,
     };
+    pub use histpc_faults::{FaultPlan, FaultStats, KillEvent, KillTarget};
     pub use histpc_history::{
         extract, intersect, union, ExecutionRecord, ExecutionStore, ExtractionOptions, MappingSet,
     };

@@ -6,8 +6,10 @@
 //! across code versions — and feed them into the next diagnosis.
 
 use histpc_consultant::{
-    drive_diagnosis, DiagnosisReport, HypothesisTree, SearchConfig, SearchDirectives,
+    drive_diagnosis, drive_diagnosis_faulted, DiagnosisReport, HypothesisTree, SearchCheckpoint,
+    SearchConfig, SearchDirectives,
 };
+use histpc_faults::FaultStats;
 use histpc_history::store::StoreError;
 use histpc_history::{
     extract, ground_truth, ExecutionRecord, ExecutionStore, ExtractionOptions, MappingSet,
@@ -88,6 +90,24 @@ pub struct Diagnosis {
     pub lint_warnings: Vec<Diagnostic>,
 }
 
+/// The result of a fault-injected diagnosis: either a completed (possibly
+/// degraded) [`Diagnosis`], or the checkpoint an injected tool crash left
+/// behind.
+#[derive(Debug)]
+pub struct DegradedDiagnosis {
+    /// The finished diagnosis; `None` when an injected crash interrupted
+    /// the search (resume with [`DegradedDiagnosis::checkpoint`]).
+    pub diagnosis: Option<Diagnosis>,
+    /// The crash checkpoint when the run was interrupted. Also saved as a
+    /// `ckpt` artifact when a store is attached.
+    pub checkpoint: Option<SearchCheckpoint>,
+    /// What the injector actually did during the run.
+    pub stats: FaultStats,
+    /// On a resumed run: whether the replayed search state matched the
+    /// checkpoint digest at the crash point. `true` otherwise.
+    pub resumed_digest_ok: bool,
+}
+
 /// A diagnosis session, optionally backed by an execution store.
 #[derive(Debug, Default)]
 pub struct Session {
@@ -158,6 +178,82 @@ impl Session {
             postmortem: pm,
             ground_truth: truth,
             lint_warnings,
+        })
+    }
+
+    /// Like [`Session::diagnose`], but drives the search through the
+    /// fault injector configured in `config.faults`.
+    ///
+    /// Injected sample loss, delays, and request failures degrade the run
+    /// in place: the report may then carry `Unknown` (starved) and
+    /// `Unreachable` (dead-resource) outcomes alongside the usual
+    /// verdicts. An injected tool crash interrupts the run instead,
+    /// returning a [`SearchCheckpoint`] — persisted as a `ckpt` artifact
+    /// when a store is attached — and no diagnosis; passing that
+    /// checkpoint back as `resume_from` deterministically replays the
+    /// search past the crash point. With `config.faults.corrupt_store`
+    /// set, the saved record is overwritten with a corrupted copy after
+    /// the save, exercising the store's quarantine path on the next load.
+    pub fn diagnose_faulted(
+        &self,
+        workload: &dyn Workload,
+        config: &SearchConfig,
+        label: &str,
+        resume_from: Option<&SearchCheckpoint>,
+    ) -> Result<DegradedDiagnosis, SessionError> {
+        let lint_warnings = preflight(&config.directives, "<search directives>")?;
+        let mut engine = workload.build_engine();
+        let run = drive_diagnosis_faulted(&mut engine, config, resume_from);
+        if let Some(ckpt) = run.checkpoint {
+            if let Some(store) = &self.store {
+                store.save_artifact(&run.report.app_name, label, "ckpt", &ckpt.to_text())?;
+            }
+            return Ok(DegradedDiagnosis {
+                diagnosis: None,
+                checkpoint: Some(ckpt),
+                stats: run.stats,
+                resumed_digest_ok: run.resumed_digest_ok,
+            });
+        }
+        let report = run.report;
+        let pm = PostmortemData::from_totals(engine.app().clone(), engine.totals());
+        let tree = HypothesisTree::standard();
+        let thresholds_used = tree
+            .testable()
+            .iter()
+            .map(|&h| {
+                let hyp = tree.get(h);
+                let v = config
+                    .directives
+                    .threshold_for(&hyp.name)
+                    .unwrap_or(hyp.default_threshold);
+                (hyp.name.clone(), v)
+            })
+            .collect();
+        let record = ExecutionRecord::from_report(&report, pm.space(), label, thresholds_used);
+        if let Some(store) = &self.store {
+            store.save(&record)?;
+            store.save_artifact(&record.app_name, label, "shg", &report.shg_rendering)?;
+            if config.faults.corrupt_store {
+                let garbled = histpc_faults::corrupt_text(
+                    config.faults.seed,
+                    &histpc_history::format::write_record(&record),
+                );
+                store.save_artifact(&record.app_name, label, "record", &garbled)?;
+            }
+        }
+        let truth = ground_truth(&pm, &tree, &config.directives);
+        Ok(DegradedDiagnosis {
+            diagnosis: Some(Diagnosis {
+                report,
+                record,
+                postmortem: pm,
+                ground_truth: truth,
+                lint_warnings,
+            }),
+            checkpoint: None,
+            stats: run.stats,
+            resumed_digest_ok: run.resumed_digest_ok,
         })
     }
 
@@ -328,6 +424,77 @@ mod tests {
             t_directed.as_micros() * 2 < t_base.as_micros(),
             "directed {t_directed} not much faster than base {t_base}"
         );
+    }
+
+    #[test]
+    fn faulted_run_with_disabled_plan_is_bit_identical() {
+        let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
+        let session = Session::new();
+        let config = fast_config();
+        let plain = session.diagnose(&wl, &config, "r1").unwrap();
+        let faulted = session
+            .diagnose_faulted(&wl, &config, "r1", None)
+            .unwrap()
+            .diagnosis
+            .expect("no crash scheduled");
+        assert_eq!(
+            histpc_history::format::write_record(&plain.record),
+            histpc_history::format::write_record(&faulted.record),
+        );
+    }
+
+    #[test]
+    fn injected_crash_checkpoints_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("histpc-crash-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::with_store(&dir).unwrap();
+        let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
+        let mut config = fast_config();
+        config.faults.tool_crash_at = Some(histpc_sim::SimTime::from_micros(1_000_000));
+        let interrupted = session.diagnose_faulted(&wl, &config, "c1", None).unwrap();
+        assert!(interrupted.diagnosis.is_none());
+        let ckpt = interrupted.checkpoint.expect("crash leaves a checkpoint");
+        let saved = session
+            .store()
+            .unwrap()
+            .load_artifact("synth", "c1", "ckpt")
+            .unwrap();
+        assert_eq!(SearchCheckpoint::parse(&saved).unwrap(), ckpt);
+        let resumed = session
+            .diagnose_faulted(&wl, &config, "c1", Some(&ckpt))
+            .unwrap();
+        assert!(
+            resumed.resumed_digest_ok,
+            "replayed state diverged from the checkpoint"
+        );
+        assert!(resumed.diagnosis.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_fault_garbles_the_saved_record() {
+        let dir = std::env::temp_dir().join(format!("histpc-garble-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::with_store(&dir).unwrap();
+        let wl = SyntheticWorkload::balanced(2, 1, 0.5).with_hotspot(0, 0, 1.0);
+        let mut config = fast_config();
+        config.faults.corrupt_store = true;
+        let d = session
+            .diagnose_faulted(&wl, &config, "g1", None)
+            .unwrap()
+            .diagnosis
+            .unwrap();
+        let on_disk = session
+            .store()
+            .unwrap()
+            .load_artifact("synth", "g1", "record")
+            .unwrap();
+        assert_ne!(
+            on_disk,
+            histpc_history::format::write_record(&d.record),
+            "corrupt_store fault left the record intact"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -260,6 +260,7 @@ mod tests {
             first_true_at: None,
             concluded_at: Some(SimTime::from_secs(1)),
             last_value: v,
+            samples: 3,
         }
     }
 
@@ -273,6 +274,7 @@ mod tests {
             thresholds_used: vec![],
             end_time: SimTime::from_secs(10),
             pairs_tested: 0,
+            unreachable: vec![],
         }
     }
 

@@ -25,6 +25,21 @@ use histpc_instr::PostmortemData;
 use histpc_resources::{Focus, ResourceName, CODE, MACHINE, PROCESS, SYNC_OBJECT};
 use histpc_sim::SimTime;
 
+/// Minimum number of observed samples behind a true outcome before its
+/// magnitude is trusted for threshold derivation. Conclusions drawn from
+/// fewer surviving samples (a degraded run) are too noisy to set a
+/// threshold that will silently hide future bottlenecks (lint HL022).
+pub const MIN_THRESHOLD_SAMPLES: u64 = 3;
+
+/// True if the focus selects any resource the run marked unreachable
+/// (a dead machine or process). Directives must never be harvested for
+/// such foci: their outcomes reflect the failure, not the program.
+fn touches_unreachable(rec: &ExecutionRecord, focus: &Focus) -> bool {
+    focus
+        .selections()
+        .any(|s| !s.is_root() && rec.is_unreachable(s))
+}
+
 /// What to extract from a record.
 #[derive(Debug, Clone)]
 pub struct ExtractionOptions {
@@ -185,6 +200,11 @@ pub fn extract(rec: &ExecutionRecord, opts: &ExtractionOptions) -> SearchDirecti
             if d.is_pruned(&o.hypothesis, &o.focus) {
                 continue;
             }
+            // Never prune under a dead resource: the false conclusion
+            // may reflect the death, not the program (lint HL021).
+            if touches_unreachable(rec, &o.focus) {
+                continue;
+            }
             d.add_prune(Prune {
                 hypothesis: Some(o.hypothesis.clone()),
                 target: PruneTarget::Pair(o.focus.clone()),
@@ -196,12 +216,17 @@ pub fn extract(rec: &ExecutionRecord, opts: &ExtractionOptions) -> SearchDirecti
         for o in &rec.outcomes {
             let level = match o.outcome {
                 Outcome::True => PriorityLevel::High,
+                // Unknown and Unreachable outcomes carry no evidence
+                // either way and yield no directive.
                 Outcome::False => PriorityLevel::Low,
                 _ => continue,
             };
             // A priority on a pair the prunes above already remove can
             // never take effect — the prune wins (lint HL006).
             if d.is_pruned(&o.hypothesis, &o.focus) {
+                continue;
+            }
+            if touches_unreachable(rec, &o.focus) {
                 continue;
             }
             d.add_priority(PriorityDirective {
@@ -290,6 +315,13 @@ fn assert_extraction_invariants(d: &SearchDirectives, rec: &ExecutionRecord) {
 /// structure (the MPI-1 static process model), making the Machine
 /// hierarchy redundant with the Process hierarchy.
 fn machine_is_redundant(rec: &ExecutionRecord) -> bool {
+    // A run that lost a node never observed the one-to-one mapping hold
+    // end to end, and its Machine-refined experiments may have starved:
+    // pruning the hierarchy from such a record could hide a merely
+    // unobserved bottleneck.
+    if !rec.unreachable.is_empty() {
+        return false;
+    }
     // Count depth-1 resources (children of the roots).
     let nodes = rec
         .resources_in(MACHINE)
@@ -322,7 +354,13 @@ fn trivial_functions(rec: &ExecutionRecord, bound: f64) -> Vec<ResourceName> {
                     && matches!(o.outcome, Outcome::True | Outcome::False)
             })
             .collect();
-        if !tested.is_empty() && tested.iter().all(|o| o.last_value < bound) {
+        // Any starved or unreachable verdict naming the function means
+        // its cost was not fully observed — never prune it on that basis.
+        let unobserved = rec.outcomes.iter().any(|o| {
+            o.focus.selection(CODE) == Some(r)
+                && matches!(o.outcome, Outcome::Unknown | Outcome::Unreachable)
+        });
+        if !unobserved && !tested.is_empty() && tested.iter().all(|o| o.last_value < bound) {
             out.push((*r).clone());
         }
     }
@@ -340,9 +378,12 @@ fn derive_thresholds(rec: &ExecutionRecord, opts: &ExtractionOptions) -> Vec<Thr
         v
     };
     for h in hyps {
+        // Only well-observed conclusions contribute: a magnitude
+        // computed from a trickle of surviving samples in a degraded
+        // run must not set the bar for future runs (lint HL022).
         let min_true = rec
             .true_outcomes()
-            .filter(|o| o.hypothesis == h)
+            .filter(|o| o.hypothesis == h && o.samples >= MIN_THRESHOLD_SAMPLES)
             .map(|o| o.last_value)
             .fold(f64::INFINITY, f64::min);
         if min_true.is_finite() {
@@ -393,6 +434,7 @@ pub fn postmortem_record(
                 first_true_at: None,
                 concluded_at: None,
                 last_value: 0.0,
+                samples: 0,
             });
             continue;
         }
@@ -421,6 +463,9 @@ pub fn postmortem_record(
             first_true_at: None,
             concluded_at: None,
             last_value: fraction,
+            // Postmortem conclusions see the full-resolution data, so
+            // they are always well-observed.
+            samples: MIN_THRESHOLD_SAMPLES,
         });
     }
     let resources = pm
@@ -442,6 +487,7 @@ pub fn postmortem_record(
         thresholds_used: Vec::new(),
         end_time: pm.end_time(),
         pairs_tested: pairs,
+        unreachable: Vec::new(),
     }
 }
 
@@ -562,6 +608,7 @@ mod tests {
             thresholds_used: vec![],
             end_time: SimTime::from_secs(10),
             pairs_tested: 0,
+            unreachable: vec![],
         }
     }
 
@@ -577,6 +624,7 @@ mod tests {
             first_true_at: (out == Outcome::True).then(|| SimTime::from_secs(1)),
             concluded_at: Some(SimTime::from_secs(1)),
             last_value: value,
+            samples: MIN_THRESHOLD_SAMPLES,
         }
     }
 
@@ -704,6 +752,80 @@ mod tests {
         assert!((t - 0.126).abs() < 1e-9, "threshold was {t}");
         // CPUbound had no true outcomes: no derived threshold.
         assert_eq!(d.threshold_for("CPUbound"), None);
+    }
+
+    #[test]
+    fn unknown_and_unreachable_outcomes_yield_no_directives() {
+        let rec = rec_with(vec![
+            o("CPUbound", &["/Code/a.c"], Outcome::Unknown, 0.0),
+            o(
+                "ExcessiveSyncWaitingTime",
+                &["/Process/p2"],
+                Outcome::Unreachable,
+                0.0,
+            ),
+        ]);
+        let d = extract(
+            &rec,
+            &ExtractionOptions {
+                prune_false_pairs: true,
+                ..ExtractionOptions::priorities_only()
+            },
+        );
+        assert!(d.priorities.is_empty(), "got {:?}", d.priorities);
+        assert!(d.prunes.is_empty(), "got {:?}", d.prunes);
+    }
+
+    #[test]
+    fn foci_on_dead_resources_are_never_harvested() {
+        let mut rec = rec_with(vec![
+            // A false conclusion drawn while p2's node was dying.
+            o("CPUbound", &["/Process/p2"], Outcome::False, 0.0),
+            o("CPUbound", &["/Process/p1"], Outcome::False, 0.001),
+        ]);
+        rec.unreachable
+            .push(ResourceName::parse("/Process/p2").unwrap());
+        let d = extract(
+            &rec,
+            &ExtractionOptions {
+                priorities: true,
+                prune_false_pairs: true,
+                prune_trivial_functions: false,
+                prune_redundant_machine: false,
+                general_prunes: false,
+                ..ExtractionOptions::default()
+            },
+        );
+        let p2 = space()
+            .whole_program()
+            .with_selection(ResourceName::parse("/Process/p2").unwrap());
+        let p1 = space()
+            .whole_program()
+            .with_selection(ResourceName::parse("/Process/p1").unwrap());
+        assert!(!d.is_pruned("CPUbound", &p2), "dead-process pair pruned");
+        assert!(d.is_pruned("CPUbound", &p1), "live-process pair kept");
+        assert_eq!(d.priority_of("CPUbound", &p2), PriorityLevel::Medium);
+    }
+
+    #[test]
+    fn starved_true_outcomes_do_not_set_thresholds() {
+        let mut starved = o("ExcessiveSyncWaitingTime", &[], Outcome::True, 0.05);
+        starved.samples = MIN_THRESHOLD_SAMPLES - 1;
+        let rec = rec_with(vec![
+            starved,
+            o(
+                "ExcessiveSyncWaitingTime",
+                &["/Code/a.c"],
+                Outcome::True,
+                0.4,
+            ),
+        ]);
+        let opts = ExtractionOptions::priorities_only().with_thresholds();
+        let d = extract(&rec, &opts);
+        // The under-observed 0.05 is ignored; the threshold derives from
+        // the well-observed 0.4.
+        let t = d.threshold_for("ExcessiveSyncWaitingTime").unwrap();
+        assert!((t - 0.36).abs() < 1e-9, "threshold was {t}");
     }
 
     #[test]

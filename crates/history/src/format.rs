@@ -12,9 +12,14 @@
 //! pairs_tested 753
 //! resource /Code/oned.f/main
 //! threshold ExcessiveSyncWaitingTime 0.2
-//! outcome true 2250000 2250000 0.725 ExcessiveSyncWaitingTime </Code,/Machine,/Process,/SyncObject>
-//! outcome false - 3000000 0.010 ExcessiveIOBlockingTime </Code,/Machine,/Process,/SyncObject>
+//! unreachable /Machine/node09
+//! outcome true 2250000 2250000 0.725 ExcessiveSyncWaitingTime </Code,/Machine,/Process,/SyncObject> 12
+//! outcome false - 3000000 0.010 ExcessiveIOBlockingTime </Code,/Machine,/Process,/SyncObject> 12
 //! ```
+//!
+//! The trailing observed-sample count on `outcome` lines is optional on
+//! input (records written before fault injection existed omit it and
+//! parse as 0 samples).
 
 use crate::record::ExecutionRecord;
 use histpc_consultant::{NodeOutcome, Outcome};
@@ -64,6 +69,9 @@ pub fn write_record(rec: &ExecutionRecord) -> String {
     for (h, v) in &rec.thresholds_used {
         out.push_str(&format!("threshold {h} {v}\n"));
     }
+    for u in &rec.unreachable {
+        out.push_str(&format!("unreachable {u}\n"));
+    }
     for o in &rec.outcomes {
         let first = o
             .first_true_at
@@ -74,13 +82,14 @@ pub fn write_record(rec: &ExecutionRecord) -> String {
             .map(|t| t.as_micros().to_string())
             .unwrap_or_else(|| "-".into());
         out.push_str(&format!(
-            "outcome {} {} {} {} {} {}\n",
+            "outcome {} {} {} {} {} {} {}\n",
             o.outcome.name(),
             first,
             concluded,
             o.last_value,
             o.hypothesis,
-            o.focus
+            o.focus,
+            o.samples
         ));
     }
     out
@@ -112,6 +121,7 @@ pub fn parse_record(text: &str) -> Result<ExecutionRecord, FormatError> {
         thresholds_used: Vec::new(),
         end_time: SimTime::ZERO,
         pairs_tested: 0,
+        unreachable: Vec::new(),
     };
     for (idx, raw) in lines {
         let lineno = idx + 1;
@@ -146,11 +156,17 @@ pub fn parse_record(text: &str) -> Result<ExecutionRecord, FormatError> {
             }
             "outcome" => {
                 let words: Vec<&str> = rest.split_whitespace().collect();
-                if words.len() != 6 {
-                    return Err(err(lineno, "outcome needs 6 fields"));
+                if words.len() != 6 && words.len() != 7 {
+                    return Err(err(lineno, "outcome needs 6 or 7 fields"));
                 }
                 let outcome = Outcome::from_name(words[0])
                     .ok_or_else(|| err(lineno, format!("bad outcome {:?}", words[0])))?;
+                let samples = match words.get(6) {
+                    Some(w) => w
+                        .parse::<u64>()
+                        .map_err(|_| err(lineno, "bad sample count"))?,
+                    None => 0,
+                };
                 rec.outcomes.push(NodeOutcome {
                     outcome,
                     first_true_at: parse_opt_time(words[1], lineno)?,
@@ -159,8 +175,13 @@ pub fn parse_record(text: &str) -> Result<ExecutionRecord, FormatError> {
                     hypothesis: words[4].to_string(),
                     focus: Focus::parse(words[5])
                         .map_err(|e| err(lineno, format!("bad focus: {e}")))?,
+                    samples,
                 });
             }
+            "unreachable" => rec.unreachable.push(
+                ResourceName::parse(rest)
+                    .map_err(|e| err(lineno, format!("bad unreachable resource: {e}")))?,
+            ),
             _ => return Err(err(lineno, format!("unknown line kind {kind:?}"))),
         }
     }
@@ -205,6 +226,7 @@ mod tests {
                     first_true_at: Some(SimTime(2_250_000)),
                     concluded_at: Some(SimTime(2_250_000)),
                     last_value: 0.725,
+                    samples: 12,
                 },
                 NodeOutcome {
                     hypothesis: "ExcessiveIOBlockingTime".into(),
@@ -213,6 +235,7 @@ mod tests {
                     first_true_at: None,
                     concluded_at: Some(SimTime(3_000_000)),
                     last_value: 0.01,
+                    samples: 12,
                 },
                 NodeOutcome {
                     hypothesis: "CPUbound".into(),
@@ -221,11 +244,13 @@ mod tests {
                     first_true_at: None,
                     concluded_at: None,
                     last_value: 0.0,
+                    samples: 0,
                 },
             ],
             thresholds_used: vec![("ExcessiveSyncWaitingTime".into(), 0.12)],
             end_time: SimTime(27_000_000),
             pairs_tested: 753,
+            unreachable: vec![ResourceName::parse("/Machine/n1").unwrap()],
         }
     }
 
@@ -242,6 +267,22 @@ mod tests {
         assert_eq!(parsed.resources, rec.resources);
         assert_eq!(parsed.outcomes, rec.outcomes);
         assert_eq!(parsed.thresholds_used, rec.thresholds_used);
+        assert_eq!(parsed.unreachable, rec.unreachable);
+    }
+
+    #[test]
+    fn six_field_outcome_parses_with_zero_samples() {
+        // Records written before fault injection existed have no trailing
+        // sample count; they must still load.
+        let text = "histpc-record v1\napp x\noutcome true 1 1 0.5 CPUbound </Code>\n";
+        let rec = parse_record(text).unwrap();
+        assert_eq!(rec.outcomes.len(), 1);
+        assert_eq!(rec.outcomes[0].samples, 0);
+        assert!(parse_record(
+            "histpc-record v1\napp x\noutcome true 1 1 0.5 CPUbound </Code> many\n"
+        )
+        .is_err());
+        assert!(parse_record("histpc-record v1\napp x\nunreachable Machine/n1\n").is_err());
     }
 
     #[test]

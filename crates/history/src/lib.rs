@@ -35,7 +35,7 @@ pub use combine::{intersect, union};
 pub use compare::{compare, ComparisonReport, PairDiff};
 pub use extract::{
     derive_threshold_from_profile, detection_times, extract, ground_truth, postmortem_record,
-    ExtractionOptions,
+    ExtractionOptions, MIN_THRESHOLD_SAMPLES,
 };
 pub use format::FormatError;
 pub use mapping::{LocatedMap, MappingSet};

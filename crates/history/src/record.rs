@@ -29,6 +29,9 @@ pub struct ExecutionRecord {
     pub end_time: SimTime,
     /// Total hypothesis/focus pairs instrumented.
     pub pairs_tested: usize,
+    /// Resources (machines, processes) that died during the run. Empty
+    /// for healthy runs; directive extraction never prunes under these.
+    pub unreachable: Vec<ResourceName>,
 }
 
 impl ExecutionRecord {
@@ -52,7 +55,14 @@ impl ExecutionRecord {
             thresholds_used,
             end_time: report.end_time,
             pairs_tested: report.pairs_tested,
+            unreachable: report.unreachable.clone(),
         }
+    }
+
+    /// True if `r` is (or lives under) a resource the run marked
+    /// unreachable.
+    pub fn is_unreachable(&self, r: &ResourceName) -> bool {
+        self.unreachable.iter().any(|u| u == r || u.is_prefix_of(r))
     }
 
     /// The true (bottleneck) outcomes.
@@ -120,6 +130,7 @@ mod tests {
                     first_true_at: Some(SimTime::from_secs(3)),
                     concluded_at: Some(SimTime::from_secs(3)),
                     last_value: 0.4,
+                    samples: 6,
                 },
                 NodeOutcome {
                     hypothesis: "ExcessiveIOBlockingTime".into(),
@@ -128,12 +139,14 @@ mod tests {
                     first_true_at: None,
                     concluded_at: Some(SimTime::from_secs(3)),
                     last_value: 0.01,
+                    samples: 6,
                 },
             ],
             pairs_tested: 7,
             end_time: SimTime::from_secs(9),
             peak_cost: 0.04,
             quiescent: true,
+            unreachable: Vec::new(),
             shg_rendering: String::new(),
         };
         (report, space)
@@ -170,6 +183,19 @@ mod tests {
         for r in &rec.resources {
             assert!(rebuilt.contains(r));
         }
+    }
+
+    #[test]
+    fn is_unreachable_covers_descendants() {
+        let (report, space) = sample_report();
+        let mut rec = ExecutionRecord::from_report(&report, &space, "r1", vec![]);
+        assert!(rec.unreachable.is_empty());
+        rec.unreachable
+            .push(ResourceName::parse("/Machine/n1").unwrap());
+        assert!(rec.is_unreachable(&ResourceName::parse("/Machine/n1").unwrap()));
+        assert!(rec.is_unreachable(&ResourceName::parse("/Machine/n1/cpu0").unwrap()));
+        assert!(!rec.is_unreachable(&ResourceName::parse("/Machine/n2").unwrap()));
+        assert!(!rec.is_unreachable(&ResourceName::parse("/Process/p1").unwrap()));
     }
 
     #[test]

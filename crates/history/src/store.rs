@@ -68,14 +68,28 @@ impl ExecutionStore {
         self.root.join(app).join(format!("{label}.record"))
     }
 
+    /// Writes `text` to `path` atomically: to a `.tmp` sibling first,
+    /// then rename into place. A crash (or injected fault) mid-write
+    /// leaves either the old file or the new one, never a torn record.
+    fn atomic_write(path: &Path, text: &str) -> Result<(), StoreError> {
+        let mut tmp_name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
     /// Saves a record (overwriting an existing one with the same
-    /// application and label).
+    /// application and label). The write is atomic.
     pub fn save(&self, rec: &ExecutionRecord) -> Result<(), StoreError> {
         let dir = self.root.join(&rec.app_name);
         std::fs::create_dir_all(&dir)?;
         let path = self.record_path(&rec.app_name, &rec.label);
-        std::fs::write(&path, write_record(rec))?;
-        Ok(())
+        Self::atomic_write(&path, &write_record(rec))
     }
 
     /// Loads the record for (application, label).
@@ -120,16 +134,46 @@ impl ExecutionStore {
     }
 
     /// Loads every stored run of an application, sorted by label.
+    /// Unparseable records are quarantined (see
+    /// [`ExecutionStore::load_all_with_warnings`]); their warnings are
+    /// discarded here.
     pub fn load_all(&self, app: &str) -> Result<Vec<ExecutionRecord>, StoreError> {
-        self.labels(app)?
-            .iter()
-            .map(|l| self.load(app, l))
-            .collect()
+        Ok(self.load_all_with_warnings(app)?.0)
+    }
+
+    /// Loads every stored run of an application, sorted by label,
+    /// quarantining corrupt files instead of failing the whole load: a
+    /// record that does not parse is renamed to `<label>.record.corrupt`
+    /// and reported as a warning, and the remaining records still load.
+    /// I/O errors still fail the load.
+    pub fn load_all_with_warnings(
+        &self,
+        app: &str,
+    ) -> Result<(Vec<ExecutionRecord>, Vec<String>), StoreError> {
+        let mut records = Vec::new();
+        let mut warnings = Vec::new();
+        for label in self.labels(app)? {
+            match self.load(app, &label) {
+                Ok(rec) => records.push(rec),
+                Err(StoreError::Format(e)) => {
+                    let path = self.record_path(app, &label);
+                    let mut quarantined = path.clone().into_os_string();
+                    quarantined.push(".corrupt");
+                    std::fs::rename(&path, &quarantined)?;
+                    warnings.push(format!(
+                        "quarantined corrupt record {app}/{label}.record ({e}); \
+                         moved to {label}.record.corrupt"
+                    ));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((records, warnings))
     }
 
     /// Saves a named auxiliary artifact next to a record — e.g. the
     /// Search History Graph rendering (`ext = "shg"`) or a directive
-    /// file harvested from the run.
+    /// file harvested from the run. The write is atomic.
     pub fn save_artifact(
         &self,
         app: &str,
@@ -139,8 +183,7 @@ impl ExecutionStore {
     ) -> Result<(), StoreError> {
         let dir = self.root.join(app);
         std::fs::create_dir_all(&dir)?;
-        std::fs::write(dir.join(format!("{label}.{ext}")), text)?;
-        Ok(())
+        Self::atomic_write(&dir.join(format!("{label}.{ext}")), text)
     }
 
     /// Loads an auxiliary artifact saved with [`ExecutionStore::save_artifact`].
@@ -197,10 +240,12 @@ mod tests {
                 first_true_at: Some(SimTime(5)),
                 concluded_at: Some(SimTime(5)),
                 last_value: 0.5,
+                samples: 4,
             }],
             thresholds_used: vec![],
             end_time: SimTime(100),
             pairs_tested: 3,
+            unreachable: vec![],
         }
     }
 
@@ -241,6 +286,55 @@ mod tests {
         store.save(&rec("poisson", "a1")).unwrap();
         store.delete("poisson", "a1").unwrap();
         assert!(store.labels("poisson").unwrap().is_empty());
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_sibling() {
+        let store = ExecutionStore::open(tmpdir("atomic")).unwrap();
+        store.save(&rec("poisson", "a1")).unwrap();
+        store
+            .save_artifact("poisson", "a1", "shg", "graph\n")
+            .unwrap();
+        let names: Vec<String> = std::fs::read_dir(store.root().join("poisson"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().to_string())
+            .collect();
+        assert!(
+            names.iter().all(|n| !n.ends_with(".tmp")),
+            "stray tmp files: {names:?}"
+        );
+        assert_eq!(
+            store.load_artifact("poisson", "a1", "shg").unwrap(),
+            "graph\n"
+        );
+    }
+
+    #[test]
+    fn load_all_quarantines_corrupt_records() {
+        let store = ExecutionStore::open(tmpdir("quarantine")).unwrap();
+        store.save(&rec("poisson", "a1")).unwrap();
+        store.save(&rec("poisson", "a2")).unwrap();
+        // Corrupt a2 on disk: an unparseable line mid-file.
+        let path = store.root().join("poisson").join("a2.record");
+        std::fs::write(&path, "histpc-record v1\napp poisson\noutcome true\n").unwrap();
+
+        let (records, warnings) = store.load_all_with_warnings("poisson").unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].label, "a1");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("a2"), "warning: {}", warnings[0]);
+        // The corrupt file is set aside, not deleted, and no longer
+        // counts as a record.
+        assert!(store
+            .root()
+            .join("poisson")
+            .join("a2.record.corrupt")
+            .exists());
+        assert_eq!(store.labels("poisson").unwrap(), vec!["a1"]);
+        // A second load is clean.
+        let (records, warnings) = store.load_all_with_warnings("poisson").unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(warnings.is_empty());
     }
 
     #[test]

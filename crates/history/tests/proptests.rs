@@ -182,12 +182,14 @@ proptest! {
                         },
                         concluded_at: t.map(SimTime),
                         last_value: v,
+                        samples: t.unwrap_or(0) % 17,
                     }
                 })
                 .collect(),
             thresholds_used: vec![("CPUbound".into(), 0.2)],
             end_time: SimTime(end),
             pairs_tested: pairs,
+            unreachable: vec![ResourceName::parse("/Machine/n1").unwrap()],
         };
         let text = format::write_record(&rec);
         let parsed = format::parse_record(&text).unwrap();
@@ -198,7 +200,9 @@ proptest! {
             prop_assert_eq!(x.outcome, y.outcome);
             prop_assert_eq!(x.first_true_at, y.first_true_at);
             prop_assert_eq!(x.concluded_at, y.concluded_at);
+            prop_assert_eq!(x.samples, y.samples);
         }
+        prop_assert_eq!(&parsed.unreachable, &rec.unreachable);
         prop_assert_eq!(parsed.end_time, rec.end_time);
         prop_assert_eq!(parsed.pairs_tested, rec.pairs_tested);
     }

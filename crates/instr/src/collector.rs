@@ -12,8 +12,9 @@ use crate::cost::{CostConfig, CostModel};
 use crate::histogram::TimeHistogram;
 use crate::metric::Metric;
 use crate::pair::Pair;
+use histpc_faults::RequestFault;
 use histpc_resources::{Focus, ResourceSpace};
-use histpc_sim::{AppSpec, Engine, Interval, SimDuration, SimTime};
+use histpc_sim::{AppSpec, Engine, Interval, ProcId, SimDuration, SimTime};
 
 /// Handle to a requested metric-focus pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -59,6 +60,15 @@ pub struct Collector {
     /// Total number of pairs ever requested (the paper's "hypothesis/
     /// focus pairs tested" instrumentation measure).
     requested_total: usize,
+    /// End timestamp of the newest interval seen from each process, at
+    /// the raw stream level (before any metric filtering). A process
+    /// whose stream goes quiet here has stopped reporting entirely —
+    /// the signal the starvation timeout keys on.
+    last_data_at: Vec<SimTime>,
+    /// Instrumentation requests rejected by injected daemon faults.
+    requests_failed: u64,
+    /// Instrumentation requests activated late by injected faults.
+    requests_deferred: u64,
 }
 
 impl Collector {
@@ -68,6 +78,7 @@ impl Collector {
         let space = binder.build_space();
         let cost = CostModel::new(config.cost.clone(), app.process_count());
         let tag_count = app.tags.len();
+        let proc_count = app.process_count();
         Collector {
             binder,
             space,
@@ -77,6 +88,9 @@ impl Collector {
             charged: Vec::new(),
             discovered_tags: vec![false; tag_count],
             requested_total: 0,
+            last_data_at: vec![SimTime::ZERO; proc_count],
+            requests_failed: 0,
+            requests_deferred: 0,
         }
     }
 
@@ -113,6 +127,32 @@ impl Collector {
     /// Requests instrumentation of (metric, focus) at time `now`.
     /// The pair starts observing at `now + insertion_delay`.
     pub fn request(&mut self, metric: Metric, focus: Focus, now: SimTime) -> PairId {
+        self.request_faulted(metric, focus, now, RequestFault::Deliver)
+            .expect("Deliver always yields a pair")
+    }
+
+    /// [`Collector::request`] with an injected daemon fate: a `Fail`
+    /// insertion is rejected outright (no pair, no cost — the caller
+    /// retries), a `Defer` activates late by the extra delay, and
+    /// `Deliver` is exactly the healthy path.
+    pub fn request_faulted(
+        &mut self,
+        metric: Metric,
+        focus: Focus,
+        now: SimTime,
+        fault: RequestFault,
+    ) -> Option<PairId> {
+        let extra = match fault {
+            RequestFault::Deliver => SimDuration::ZERO,
+            RequestFault::Fail => {
+                self.requests_failed += 1;
+                return None;
+            }
+            RequestFault::Defer(d) => {
+                self.requests_deferred += 1;
+                d
+            }
+        };
         let compiled = self.binder.compile(&focus);
         let cost = self.cost.pair_cost(&compiled);
         self.cost.add(&compiled, cost);
@@ -122,13 +162,28 @@ impl Collector {
             focus,
             compiled,
             now,
-            now + self.config.insertion_delay,
+            now + self.config.insertion_delay + extra,
             hist,
         );
         self.pairs.push(pair);
         self.charged.push(cost);
         self.requested_total += 1;
-        PairId(self.pairs.len() as u32 - 1)
+        Some(PairId(self.pairs.len() as u32 - 1))
+    }
+
+    /// End timestamp of the newest raw interval seen from `proc`.
+    pub fn last_data_at(&self, proc: ProcId) -> SimTime {
+        self.last_data_at[proc.0 as usize]
+    }
+
+    /// Requests rejected by injected daemon faults.
+    pub fn requests_failed(&self) -> u64 {
+        self.requests_failed
+    }
+
+    /// Requests activated late by injected daemon faults.
+    pub fn requests_deferred(&self) -> u64 {
+        self.requests_deferred
     }
 
     /// Deletes a pair's instrumentation at time `now`. Its collected data
@@ -163,6 +218,7 @@ impl Collector {
     /// Feeds one engine interval to every pair and discovers new
     /// SyncObject resources.
     pub fn observe(&mut self, iv: &Interval) {
+        self.note_data(iv);
         if let Some(tag) = iv.tag {
             let idx = tag.0 as usize;
             if idx < self.discovered_tags.len() && !self.discovered_tags[idx] {
@@ -191,6 +247,7 @@ impl Collector {
     /// span within the batch (see [`crate::delta`]).
     pub fn observe_batch(&mut self, ivs: &[Interval]) {
         for iv in ivs {
+            self.note_data(iv);
             if let Some(tag) = iv.tag {
                 let idx = tag.0 as usize;
                 if idx < self.discovered_tags.len() && !self.discovered_tags[idx] {
@@ -215,6 +272,16 @@ impl Collector {
                 pair.observe_delta(d, &self.binder);
             }
         }
+    }
+
+    /// Records that `iv`'s process delivered data. Tracked on the raw
+    /// stream, before metric filtering, so a process emitting *any*
+    /// intervals counts as alive even for pairs whose metric it never
+    /// feeds (a zero-IO process genuinely measures zero IO, it is not
+    /// starved).
+    fn note_data(&mut self, iv: &Interval) {
+        let i = iv.proc.0 as usize;
+        self.last_data_at[i] = self.last_data_at[i].max(iv.end);
     }
 
     /// Pushes the current perturbation slowdowns into the engine.
@@ -357,6 +424,69 @@ mod tests {
         assert!(c
             .space()
             .contains(&ResourceName::parse("/SyncObject/Message/3_-1").unwrap()));
+    }
+
+    #[test]
+    fn faulted_requests_fail_defer_and_count() {
+        let wl = SyntheticWorkload::balanced(1, 1, 1.0);
+        let mut engine = wl.build_engine();
+        let mut c = Collector::new(wl.app_spec(), CollectorConfig::default());
+        let wp = c.space().whole_program();
+        assert!(c
+            .request_faulted(
+                Metric::CpuTime,
+                wp.clone(),
+                SimTime::ZERO,
+                RequestFault::Fail
+            )
+            .is_none());
+        assert_eq!(c.pairs_requested(), 0, "a failed request never counts");
+        assert_eq!(c.requests_failed(), 1);
+        // Deferred: active only from insertion_delay + 200ms extra.
+        let id = c
+            .request_faulted(
+                Metric::CpuTime,
+                wp,
+                SimTime::ZERO,
+                RequestFault::Defer(SimDuration::from_millis(200)),
+            )
+            .unwrap();
+        assert_eq!(c.requests_deferred(), 1);
+        drive(&mut engine, &mut c, 500, 10);
+        let v = c.value(id, SimTime::ZERO, SimTime::from_secs(1));
+        // 500ms of CPU, observable only after 280ms.
+        assert!(v <= 0.225, "observed {v}");
+        assert!(v >= 0.15, "observed {v}");
+    }
+
+    #[test]
+    fn last_data_at_tracks_raw_stream_per_process() {
+        let wl = SyntheticWorkload::balanced(2, 1, 1.0);
+        let mut engine = wl.build_engine();
+        let mut c = Collector::new(wl.app_spec(), CollectorConfig::default());
+        assert_eq!(c.last_data_at(ProcId(0)), SimTime::ZERO);
+        engine.run_until(SimTime::from_millis(100));
+        c.observe_batch(&engine.drain_intervals());
+        let t0 = c.last_data_at(ProcId(0));
+        let t1 = c.last_data_at(ProcId(1));
+        assert!(t0 > SimTime::ZERO && t1 > SimTime::ZERO);
+        // Data flows even with zero pairs requested: the freshness signal
+        // is stream-level, not pair-level.
+        assert_eq!(c.pairs_requested(), 0);
+        engine.run_until(SimTime::from_millis(200));
+        c.observe_batch(&engine.drain_intervals());
+        assert!(c.last_data_at(ProcId(0)) > t0);
+    }
+
+    #[test]
+    fn observations_count_matching_samples() {
+        let wl = SyntheticWorkload::balanced(1, 1, 1.0);
+        let mut engine = wl.build_engine();
+        let mut c = Collector::new(wl.app_spec(), CollectorConfig::default());
+        let id = c.request(Metric::CpuTime, c.space().whole_program(), SimTime::ZERO);
+        assert_eq!(c.pair(id).observations, 0);
+        drive(&mut engine, &mut c, 500, 50);
+        assert!(c.pair(id).observations > 0);
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub struct Pair {
     pub active_from: SimTime,
     /// When instrumentation was deleted, if it has been.
     pub disabled_at: Option<SimTime>,
+    /// Number of matching samples folded into the histogram. Degraded
+    /// runs use this to tell "measured zero" from "never measured".
+    pub observations: u64,
     hist: TimeHistogram,
 }
 
@@ -45,6 +48,7 @@ impl Pair {
             requested_at,
             active_from,
             disabled_at: None,
+            observations: 0,
             hist,
         }
     }
@@ -81,6 +85,7 @@ impl Pair {
         // Clip proportionally: a half-covered interval contributes half
         // its value (time metrics exactly; event metrics approximately).
         let frac = (to - from).as_secs_f64() / iv.duration().as_secs_f64().max(1e-12);
+        self.observations += 1;
         self.hist.add(from, to, full * frac.min(1.0));
     }
 
@@ -143,6 +148,7 @@ impl Pair {
         }
         let span = (d.end - d.start).as_secs_f64().max(1e-12);
         let frac = ((to - from).as_secs_f64() / span).min(1.0);
+        self.observations += 1;
         self.hist.add(from, to, full * frac);
     }
 

@@ -9,7 +9,7 @@
 use histpc_consultant::directive::{Directive, LocatedDirective};
 use histpc_consultant::{Prune, PruneTarget};
 use histpc_history::mapping::LocatedMap;
-use histpc_history::{ExecutionRecord, MappingSet};
+use histpc_history::{ExecutionRecord, MappingSet, MIN_THRESHOLD_SAMPLES};
 use histpc_resources::diag::{did_you_mean, Diagnostic, Span};
 use histpc_resources::{Focus, ResourceName};
 use std::collections::HashMap;
@@ -399,6 +399,89 @@ pub fn check_against_record(
             d = d.with_suggestion(format!("did you mean `{s}`?"));
         }
         out.push(d);
+    }
+    out
+}
+
+/// HL021: a directive whose resource (after mapping) died during the run
+/// it is checked against. Outcomes recorded under a dead machine or
+/// process reflect the failure, not the program, so any directive
+/// harvested from them is suspect.
+pub fn check_unreachable_references(
+    directives: &[LocatedDirective],
+    mappings: &MappingSet,
+    record: &ExecutionRecord,
+    file: &str,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if record.unreachable.is_empty() {
+        return out;
+    }
+    for (name, span) in mentioned_names(directives) {
+        let mapped = mappings.apply_to_name(&name);
+        if !record.is_unreachable(&mapped) {
+            continue;
+        }
+        out.push(
+            Diagnostic::warning(
+                "HL021",
+                format!(
+                    "directive references `{mapped}`, which died during run `{}/{}`",
+                    record.app_name, record.label
+                ),
+            )
+            .with_file(file)
+            .with_span(span)
+            .with_suggestion(
+                "conclusions under a dead resource reflect the failure, not the \
+                 program; re-harvest from a healthy run or drop this line",
+            ),
+        );
+    }
+    out
+}
+
+/// HL022: a threshold whose anchoring conclusion — the smallest true
+/// magnitude of its hypothesis in the run, which margin-below-minimum
+/// derivation builds on — was observed over fewer samples than
+/// [`MIN_THRESHOLD_SAMPLES`]. Starved magnitudes from a degraded run are
+/// too noisy to set the bar for future runs.
+pub fn check_threshold_samples(
+    directives: &[LocatedDirective],
+    record: &ExecutionRecord,
+    file: &str,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for l in directives {
+        let Directive::Threshold(t) = &l.directive else {
+            continue;
+        };
+        let anchor = record
+            .true_outcomes()
+            .filter(|o| o.hypothesis == t.hypothesis)
+            .min_by(|a, b| a.last_value.total_cmp(&b.last_value));
+        let Some(anchor) = anchor else {
+            continue; // nothing in the run this threshold could derive from
+        };
+        if anchor.samples >= MIN_THRESHOLD_SAMPLES {
+            continue;
+        }
+        out.push(
+            Diagnostic::warning(
+                "HL022",
+                format!(
+                    "threshold for `{}` is anchored by a conclusion observed over only \
+                     {} sample(s) in run `{}/{}` (minimum {MIN_THRESHOLD_SAMPLES})",
+                    t.hypothesis, anchor.samples, record.app_name, record.label
+                ),
+            )
+            .with_file(file)
+            .with_span(l.span)
+            .with_suggestion(
+                "a degraded run's starved magnitudes are noisy; re-harvest the \
+                 threshold from a healthier run",
+            ),
+        );
     }
     out
 }

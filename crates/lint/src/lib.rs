@@ -34,6 +34,8 @@
 //! | HL015 | warning  | map source unused by the directives |
 //! | HL016 | warning  | duplicate map source |
 //! | HL020 | error    | resource absent from the run linted against |
+//! | HL021 | warning  | directive references a resource the run marked unreachable |
+//! | HL022 | warning  | threshold anchored by an under-observed (starved) conclusion |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -239,6 +241,13 @@ impl<'a> Linter<'a> {
                     record,
                     file,
                 ));
+                diags.extend(checks::check_unreachable_references(
+                    &located,
+                    &mapping_set,
+                    record,
+                    file,
+                ));
+                diags.extend(checks::check_threshold_samples(&located, record, file));
             }
         }
         LintReport::from(diags)

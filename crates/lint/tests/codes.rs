@@ -48,10 +48,12 @@ fn sample_record() -> ExecutionRecord {
             first_true_at: Some(SimTime(1)),
             concluded_at: Some(SimTime(1)),
             last_value: 0.5,
+            samples: 8,
         }],
         thresholds_used: vec![],
         end_time: SimTime(10),
         pairs_tested: 1,
+        unreachable: vec![],
     }
 }
 
@@ -345,6 +347,69 @@ fn hl020_suggests_close_resource() {
         d.suggestion.as_deref(),
         Some("did you mean `/Code/oned.f/main`?")
     );
+}
+
+#[test]
+fn hl021_directive_on_unreachable_resource() {
+    let mut rec = sample_record();
+    rec.unreachable.push(n("/Machine/node01"));
+    let r = Linter::new()
+        .directives("prune CPUbound resource /Machine/node01\n", "test.dirs")
+        .against(&rec)
+        .run();
+    let d = &r.with_code("HL021")[0].clone();
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("died during run `poisson/a1`"));
+
+    // Dead only *after* mapping is still caught.
+    let r = Linter::new()
+        .directives("prune CPUbound resource /Machine/node09\n", "test.dirs")
+        .mappings("map /Machine/node09 /Machine/node01\n", "test.maps")
+        .against(&rec)
+        .run();
+    assert_eq!(r.with_code("HL021").len(), 1);
+
+    // A directive on a live resource of the same run: clean.
+    let r = Linter::new()
+        .directives("prune CPUbound resource /Process/p1\n", "test.dirs")
+        .against(&rec)
+        .run();
+    assert!(r.with_code("HL021").is_empty());
+
+    // Healthy record (nothing unreachable): the check stays silent.
+    let r = Linter::new()
+        .directives("prune CPUbound resource /Machine/node01\n", "test.dirs")
+        .against(&sample_record())
+        .run();
+    assert!(r.with_code("HL021").is_empty());
+}
+
+#[test]
+fn hl022_threshold_from_starved_conclusion() {
+    let mut rec = sample_record();
+    rec.outcomes[0].samples = 1; // starved anchor
+    let r = Linter::new()
+        .directives("threshold CPUbound 0.3\n", "test.dirs")
+        .against(&rec)
+        .run();
+    let d = &r.with_code("HL022")[0].clone();
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("only 1 sample"));
+
+    // Well-observed anchor: clean.
+    let r = Linter::new()
+        .directives("threshold CPUbound 0.3\n", "test.dirs")
+        .against(&sample_record())
+        .run();
+    assert!(r.with_code("HL022").is_empty());
+
+    // A hypothesis with no true outcomes in the run: nothing to anchor,
+    // nothing to warn about.
+    let r = Linter::new()
+        .directives("threshold ExcessiveIOBlockingTime 0.3\n", "test.dirs")
+        .against(&rec)
+        .run();
+    assert!(r.with_code("HL022").is_empty());
 }
 
 #[test]

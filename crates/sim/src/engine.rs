@@ -79,6 +79,8 @@ enum ProcState {
     Ready,
     Blocked(Blocked),
     Done,
+    /// Killed by fault injection; never runs again and emits nothing.
+    Dead,
 }
 
 struct Proc {
@@ -201,6 +203,70 @@ impl Engine {
             .all(|p| matches!(p.state, ProcState::Done))
     }
 
+    /// True if every process has either finished or been killed.
+    fn all_finished(&self) -> bool {
+        self.procs
+            .iter()
+            .all(|p| matches!(p.state, ProcState::Done | ProcState::Dead))
+    }
+
+    /// Processes killed by [`Engine::kill_proc`] / [`Engine::kill_node`].
+    pub fn dead_procs(&self) -> Vec<ProcId> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p.state, ProcState::Dead))
+            .map(|(i, _)| ProcId(i as u16))
+            .collect()
+    }
+
+    /// The index of the named node in the app spec, if it exists.
+    pub fn node_index(&self, name: &str) -> Option<usize> {
+        self.app.nodes.iter().position(|n| n == name)
+    }
+
+    /// Kills `proc` immediately: it never runs again, emits no further
+    /// intervals, and abandons every communication it was engaged in.
+    /// Peers blocked on the dead process stay blocked (and eventually
+    /// surface as a deadlock), exactly as a real daemon loss looks to
+    /// the survivors. No-op on an already finished or dead process.
+    pub fn kill_proc(&mut self, proc: ProcId) {
+        let i = proc.0 as usize;
+        if matches!(self.procs[i].state, ProcState::Done | ProcState::Dead) {
+            return;
+        }
+        self.procs[i].state = ProcState::Dead;
+        self.procs[i].pending_compute = None;
+        self.procs[i].reqs.clear();
+        // Withdraw the dead process from every channel it touched so the
+        // resume paths never try to wake it: its blocked rendezvous sends
+        // and its posted Irecvs simply vanish with it.
+        for (key, chan) in self.channels.iter_mut() {
+            if key.0 == proc {
+                chan.pending_rdv = None;
+            }
+            if key.1 == proc {
+                chan.posted_irecvs.clear();
+            }
+        }
+        // Like a process exiting, a death can complete a barrier for the
+        // surviving participants.
+        self.check_barrier();
+    }
+
+    /// Kills every process placed on node `node` (an index into the app
+    /// spec's node list). Returns the processes killed.
+    pub fn kill_node(&mut self, node: usize) -> Vec<ProcId> {
+        let victims: Vec<ProcId> = (0..self.procs.len())
+            .filter(|&i| self.app.proc_node[i] == node)
+            .map(|i| ProcId(i as u16))
+            .collect();
+        for &p in &victims {
+            self.kill_proc(p);
+        }
+        victims
+    }
+
     /// Advances the simulation until every runnable process has reached
     /// `horizon` (blocked operations may overrun it), all processes finish,
     /// or a deadlock is detected.
@@ -218,7 +284,7 @@ impl Engine {
             match next {
                 Some(i) => self.step_proc(i, horizon),
                 None => {
-                    if self.all_done() {
+                    if self.all_finished() {
                         return EngineStatus::AllDone;
                     }
                     let any_ready = self
@@ -757,7 +823,7 @@ impl Engine {
         let mut max_bytes = 0u64;
         for (idx, p) in self.procs.iter().enumerate() {
             match &p.state {
-                ProcState::Done => continue,
+                ProcState::Done | ProcState::Dead => continue,
                 ProcState::Blocked(Blocked::Barrier { since, bytes, .. }) => {
                     arrivals.push((idx, *since));
                     max_bytes = max_bytes.max(*bytes);
@@ -1142,6 +1208,88 @@ mod tests {
             e.totals().proc_total(ProcId(0), ActivityKind::IoWait),
             SimDuration::from_secs(1)
         );
+    }
+
+    #[test]
+    fn killed_proc_stops_emitting_and_run_completes() {
+        let mut e = engine(vec![
+            vec![Action::Compute {
+                func: F,
+                dur: SimDuration::from_millis(100),
+            }],
+            vec![Action::Compute {
+                func: F,
+                dur: SimDuration::from_millis(5),
+            }],
+        ]);
+        e.run_until(SimTime::from_millis(10));
+        e.kill_proc(ProcId(0));
+        assert_eq!(e.dead_procs(), vec![ProcId(0)]);
+        // The dead process never advances again; the survivor's exit
+        // counts the run as done.
+        assert_eq!(e.run_until(SimTime::from_secs(1)), EngineStatus::AllDone);
+        assert_eq!(e.proc_clock(ProcId(0)), SimTime::from_millis(10));
+        assert!(!e.all_done(), "a killed proc never finishes its script");
+        // Killing again is a no-op.
+        e.kill_proc(ProcId(0));
+        assert_eq!(e.dead_procs(), vec![ProcId(0)]);
+    }
+
+    #[test]
+    fn kill_node_kills_its_procs_and_completes_barriers() {
+        // p1 dies on its node while p0 waits in a barrier: the barrier
+        // completes over the single survivor instead of hanging forever.
+        let mut e = engine(vec![
+            vec![Action::Barrier { func: G }],
+            vec![
+                Action::Compute {
+                    func: F,
+                    dur: SimDuration::from_millis(50),
+                },
+                Action::Barrier { func: G },
+            ],
+        ]);
+        e.run_until(SimTime::from_millis(10));
+        assert_eq!(e.node_index("n1"), Some(1));
+        assert_eq!(e.node_index("nope"), None);
+        let killed = e.kill_node(1);
+        assert_eq!(killed, vec![ProcId(1)]);
+        assert_eq!(e.run_until(SimTime::from_secs(1)), EngineStatus::AllDone);
+    }
+
+    #[test]
+    fn kill_withdraws_pending_communication() {
+        // p0 blocks in a rendezvous send to p1, then p0 dies; p1's later
+        // recv must not wake the dead sender (it blocks instead, and the
+        // run reports deadlock rather than panicking).
+        let mut e = engine(vec![
+            vec![Action::Send {
+                func: G,
+                to: ProcId(1),
+                tag: T,
+                bytes: 64 * 1024,
+            }],
+            vec![
+                Action::Compute {
+                    func: F,
+                    dur: SimDuration::from_millis(10),
+                },
+                Action::Recv {
+                    func: G,
+                    from: ProcId(0),
+                    tag: T,
+                },
+            ],
+        ]);
+        e.run_until(SimTime::from_millis(5));
+        e.kill_proc(ProcId(0));
+        match e.run_until(SimTime::from_secs(1)) {
+            EngineStatus::Deadlock(desc) => {
+                assert_eq!(desc.len(), 1);
+                assert!(desc[0].contains("recv"));
+            }
+            other => panic!("expected the survivor to block, got {other:?}"),
+        }
     }
 
     #[test]

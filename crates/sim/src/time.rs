@@ -33,6 +33,11 @@ impl SimTime {
         SimTime(ms * 1_000)
     }
 
+    /// Builds an instant from microsecond ticks.
+    pub fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
     /// Microsecond tick count.
     pub fn as_micros(self) -> u64 {
         self.0
@@ -72,6 +77,11 @@ impl SimDuration {
     /// Builds a duration from milliseconds.
     pub fn from_millis(ms: u64) -> SimDuration {
         SimDuration(ms * 1_000)
+    }
+
+    /// Builds a duration from microsecond ticks.
+    pub fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us)
     }
 
     /// Builds a duration from fractional seconds (rounded to the nearest
