@@ -12,6 +12,7 @@
 //! histpc shg      --store DIR --app NAME --label L
 //! histpc ls       --store DIR [--app NAME]
 //! histpc lint     FILE... [--against STORE/APP/LABEL] [--deny-warnings]
+//! histpc store    fsck|repair|compact|migrate --store DIR [--deny-warnings]
 //! ```
 //!
 //! Applications: `poisson-a`, `poisson-b`, `poisson-c`, `poisson-d`,
@@ -33,6 +34,13 @@
 //! cross-checked, after mapping, against a stored run's resource
 //! hierarchies. Exit status is non-zero on errors, or on warnings when
 //! `--deny-warnings` is given.
+//!
+//! `store` maintains a history store's on-disk health. `fsck` checks it
+//! read-only (HL023 integrity errors, HL024 unclean-shutdown warnings,
+//! HL025 legacy/drift warnings); `repair` recovers interrupted writes
+//! and salvages or quarantines damaged records; `compact` reindexes the
+//! manifest and resets the journal; `migrate` upgrades a v0 loose-file
+//! store to the checksummed v1 layout in place.
 
 use histpc::history;
 use histpc::prelude::*;
@@ -50,7 +58,8 @@ fn usage() -> ! {
          \x20 histpc profile --app APP [--for SECS]\n\
          \x20 histpc shg     --store DIR --app NAME --label L\n\
          \x20 histpc ls      --store DIR [--app NAME]\n\
-         \x20 histpc lint    FILE... [--against STORE/APP/LABEL] [--deny-warnings]\n\n\
+         \x20 histpc lint    FILE... [--against STORE/APP/LABEL] [--deny-warnings]\n\
+         \x20 histpc store   fsck|repair|compact|migrate --store DIR [--deny-warnings]\n\n\
          apps: poisson-a poisson-b poisson-c poisson-d ocean tester sweep3d\n\
          modes: priorities prunes general-prunes historic-prunes combined combined+thresholds"
     );
@@ -479,11 +488,109 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// Maintains a history store: `fsck` (read-only check), `repair`
+/// (recover + salvage/quarantine), `compact` (reindex + reset journal),
+/// `migrate` (upgrade a v0 store in place). Exits non-zero when `fsck`
+/// finds errors — or any warning under `--deny-warnings`.
+fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err("store needs an action: fsck, repair, compact or migrate".into());
+    };
+    let mut store_dir: Option<String> = None;
+    let mut deny_warnings = false;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--deny-warnings" => {
+                deny_warnings = true;
+                i += 1;
+            }
+            "--store" => {
+                let Some(value) = rest.get(i + 1) else {
+                    return Err("missing value for --store".into());
+                };
+                store_dir = Some(value.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown store argument {other:?}")),
+        }
+    }
+    let Some(store_dir) = store_dir else {
+        return Err("store needs --store DIR".into());
+    };
+
+    match action.as_str() {
+        "fsck" => {
+            // Read-only: check the directory as it is, without the
+            // recovery that ExecutionStore::open would perform.
+            let diags = history::fsck::fsck(std::path::Path::new(&store_dir));
+            if diags.is_empty() {
+                println!("{store_dir}: clean");
+                return Ok(ExitCode::SUCCESS);
+            }
+            eprint!(
+                "{}",
+                histpc::lint::render_all(&diags, &histpc::lint::SourceCache::new())
+            );
+            if let Some(trailer) = histpc::lint::summary(&diags) {
+                eprintln!("\n{trailer} emitted");
+            }
+            let has_errors = diags.iter().any(|d| d.is_error());
+            Ok(if has_errors || (deny_warnings && !diags.is_empty()) {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "repair" => {
+            // Opening the store already performs crash recovery, so count
+            // the findings first or the work would be reported as zero.
+            let findings = history::fsck::fsck(std::path::Path::new(&store_dir)).len();
+            let store = ExecutionStore::open(&store_dir).map_err(|e| e.to_string())?;
+            let notes = store.repair().map_err(|e| e.to_string())?;
+            for note in &notes {
+                println!("{note}");
+            }
+            println!(
+                "{store_dir}: repaired ({findings} finding(s) addressed, {} further action(s))",
+                notes.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "compact" => {
+            let store = ExecutionStore::open(&store_dir).map_err(|e| e.to_string())?;
+            let notes = store.compact().map_err(|e| e.to_string())?;
+            for note in &notes {
+                println!("{note}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "migrate" => {
+            let store = ExecutionStore::open(&store_dir).map_err(|e| e.to_string())?;
+            let n = store.migrate().map_err(|e| e.to_string())?;
+            println!("{store_dir}: migrated {n} record(s) to the v1 framed layout");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!(
+            "unknown store action {other:?}: want fsck, repair, compact or migrate"
+        )),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
     if command == "lint" {
         return match cmd_lint(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if command == "store" {
+        return match cmd_store(&args[1..]) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -194,6 +194,9 @@ impl Session {
     /// search past the crash point. With `config.faults.corrupt_store`
     /// set, the saved record is overwritten with a corrupted copy after
     /// the save, exercising the store's quarantine path on the next load.
+    /// `torn_write` and `partial_journal` instead stage crash-shaped
+    /// damage (a torn record file with an uncommitted journal intent, or
+    /// a journal cut mid-append) that the next store open must recover.
     pub fn diagnose_faulted(
         &self,
         workload: &dyn Workload,
@@ -240,6 +243,17 @@ impl Session {
                     &histpc_history::format::write_record(&record),
                 );
                 store.save_artifact(&record.app_name, label, "record", &garbled)?;
+            }
+            // Crash-shaped store faults, staged after every save so the
+            // injected damage is the last thing the "crashed" tool did;
+            // the next ExecutionStore::open must recover from them.
+            if config.faults.torn_write {
+                let cut = histpc_faults::torn_cut_fraction(config.faults.seed);
+                store.inject_torn_write(&record.app_name, label, cut)?;
+            }
+            if config.faults.partial_journal {
+                let cut = histpc_faults::torn_cut_fraction(config.faults.seed ^ 0x9e37);
+                store.inject_torn_journal(&record.app_name, label, cut)?;
             }
         }
         let truth = ground_truth(&pm, &tree, &config.directives);
@@ -495,6 +509,47 @@ mod tests {
             "corrupt_store fault left the record intact"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_shaped_store_faults_recover_on_next_session() {
+        for (torn_write, partial_journal) in [(true, false), (false, true), (true, true)] {
+            let dir = std::env::temp_dir().join(format!(
+                "histpc-tornsession-{torn_write}-{partial_journal}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let session = Session::with_store(&dir).unwrap();
+            let wl = SyntheticWorkload::balanced(2, 1, 0.5).with_hotspot(0, 0, 1.0);
+            let mut config = fast_config();
+            config.faults.seed = 7;
+            config.faults.torn_write = torn_write;
+            config.faults.partial_journal = partial_journal;
+            session
+                .diagnose_faulted(&wl, &config, "t1", None)
+                .unwrap()
+                .diagnosis
+                .unwrap();
+            drop(session);
+            // The "crashed" tool left damage behind; fsck sees it.
+            assert!(
+                !histpc_history::fsck::fsck(&dir).is_empty(),
+                "injection left nothing for fsck to find \
+                 (torn_write={torn_write}, partial_journal={partial_journal})"
+            );
+            // The next session's open auto-recovers; after repair, fsck
+            // reports zero errors.
+            let next = Session::with_store(&dir).unwrap();
+            let store = next.store().unwrap();
+            let (_, _warnings) = store.load_all_with_warnings("synth").unwrap();
+            store.repair().unwrap();
+            let diags = histpc_history::fsck::fsck(&dir);
+            assert!(
+                diags.iter().all(|d| !d.is_error()),
+                "errors survived recovery: {diags:?}"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

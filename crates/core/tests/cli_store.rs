@@ -1,0 +1,203 @@
+//! Integration: the `histpc store` subcommand family end to end — a
+//! crash-faulted run must leave damage `fsck` can name, `repair` must
+//! bring the store back to a state that passes `fsck --deny-warnings`,
+//! and `migrate` must upgrade a legacy v0 store in place.
+
+use histpc::history;
+use histpc::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_histpc"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("histpc-cli-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Records one fast synthetic run into `dir`/store as `synth/r1`.
+fn record_run(dir: &Path) -> PathBuf {
+    let store = dir.join("store");
+    let session = Session::with_store(&store).unwrap();
+    let wl = SyntheticWorkload::balanced(2, 1, 0.5).with_hotspot(0, 0, 1.0);
+    let config = SearchConfig {
+        window: SimDuration::from_millis(800),
+        sample: SimDuration::from_millis(100),
+        max_time: SimDuration::from_secs(60),
+        ..SearchConfig::default()
+    };
+    session.diagnose(&wl, &config, "r1").unwrap();
+    store
+}
+
+fn store_cmd(action: &str, store: &Path, extra: &[&str]) -> std::process::Output {
+    bin()
+        .arg("store")
+        .arg(action)
+        .arg("--store")
+        .arg(store)
+        .args(extra)
+        .output()
+        .unwrap()
+}
+
+#[test]
+fn healthy_store_passes_fsck_deny_warnings() {
+    let dir = scratch("clean");
+    let store = record_run(&dir);
+
+    let out = store_cmd("fsck", &store, &["--deny-warnings"]);
+    assert!(
+        out.status.success(),
+        "fsck failed on a healthy store:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("clean"),
+        "fsck did not report the store clean"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance scenario from the issue: a run with crash-shaped store
+/// faults leaves damage behind; `fsck` names it and exits non-zero on the
+/// integrity error; `repair` recovers; `fsck --deny-warnings` then passes.
+#[test]
+fn crash_faulted_run_then_repair_then_fsck_passes() {
+    let dir = scratch("crash");
+    let store = dir.join("store");
+    let plan = FaultPlan {
+        seed: 7,
+        torn_write: true,
+        partial_journal: true,
+        ..FaultPlan::none()
+    };
+    let plan_file = dir.join("crash.faults");
+    std::fs::write(&plan_file, plan.to_text()).unwrap();
+
+    let run = bin()
+        .arg("run")
+        .args(["--app", "poisson-a", "--label", "t1"])
+        .args(["--window", "0.8", "--max-time", "300", "--seed", "5"])
+        .arg("--store")
+        .arg(&store)
+        .arg("--faults")
+        .arg(&plan_file)
+        .output()
+        .unwrap();
+    assert!(
+        run.status.success(),
+        "faulted run failed:\n{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+
+    // The injected torn write fails its checksum frame: an HL023 error.
+    let before = store_cmd("fsck", &store, &[]);
+    assert!(!before.status.success(), "fsck missed the injected damage");
+    let stderr = String::from_utf8_lossy(&before.stderr);
+    assert!(stderr.contains("HL023"), "missing HL023:\n{stderr}");
+
+    let repair = store_cmd("repair", &store, &[]);
+    assert!(
+        repair.status.success(),
+        "repair failed:\n{}",
+        String::from_utf8_lossy(&repair.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&repair.stdout).contains("repaired"),
+        "repair did not report its actions"
+    );
+
+    let after = store_cmd("fsck", &store, &["--deny-warnings"]);
+    assert!(
+        after.status.success(),
+        "store still unhealthy after repair:\n{}",
+        String::from_utf8_lossy(&after.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn migrate_upgrades_a_v0_store_in_place() {
+    let dir = scratch("migrate");
+    // A v0 store: loose unframed record files, no manifest or journal.
+    let v0 = dir.join("store");
+    let store = record_run(&dir);
+    let text = history::format::write_record(
+        &history::ExecutionStore::open(&store)
+            .unwrap()
+            .load("synth", "r1")
+            .unwrap(),
+    );
+    let _ = std::fs::remove_dir_all(&v0);
+    std::fs::create_dir_all(v0.join("synth")).unwrap();
+    std::fs::write(v0.join("synth/r1.record"), &text).unwrap();
+
+    // fsck flags the legacy layout as a warning: exit zero normally,
+    // non-zero under --deny-warnings.
+    let plain = store_cmd("fsck", &v0, &[]);
+    assert!(plain.status.success(), "HL025 alone must not fail fsck");
+    let stderr = String::from_utf8_lossy(&plain.stderr);
+    assert!(stderr.contains("HL025"), "missing HL025:\n{stderr}");
+    let deny = store_cmd("fsck", &v0, &["--deny-warnings"]);
+    assert!(!deny.status.success(), "--deny-warnings must fail on v0");
+
+    let migrate = store_cmd("migrate", &v0, &[]);
+    assert!(
+        migrate.status.success(),
+        "migrate failed:\n{}",
+        String::from_utf8_lossy(&migrate.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&migrate.stdout).contains("migrated 1 record(s)"),
+        "migrate did not count the upgraded record"
+    );
+
+    let after = store_cmd("fsck", &v0, &["--deny-warnings"]);
+    assert!(
+        after.status.success(),
+        "migrated store not clean:\n{}",
+        String::from_utf8_lossy(&after.stderr)
+    );
+    // The record's payload bytes are preserved exactly.
+    let upgraded = history::ExecutionStore::open(&v0).unwrap();
+    assert_eq!(
+        history::format::write_record(&upgraded.load("synth", "r1").unwrap()),
+        text
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compact_clears_litter_and_bad_usage_is_rejected() {
+    let dir = scratch("compact");
+    let store = record_run(&dir);
+    std::fs::write(store.join("synth/r9.record.tmp"), "interrupted").unwrap();
+
+    let compact = store_cmd("compact", &store, &[]);
+    assert!(
+        compact.status.success(),
+        "compact failed:\n{}",
+        String::from_utf8_lossy(&compact.stderr)
+    );
+    let after = store_cmd("fsck", &store, &["--deny-warnings"]);
+    assert!(
+        after.status.success(),
+        "litter survived compact:\n{}",
+        String::from_utf8_lossy(&after.stderr)
+    );
+
+    let bogus = store_cmd("defrag", &store, &[]);
+    assert!(!bogus.status.success(), "unknown action must be rejected");
+    let no_dir = bin().args(["store", "fsck"]).output().unwrap();
+    assert!(!no_dir.status.success(), "missing --store must be rejected");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -54,6 +54,8 @@ fn fault_plan_round_trips_through_text() {
         ],
         tool_crash_at: Some(SimTime::from_micros(9_000_000)),
         corrupt_store: true,
+        torn_write: true,
+        partial_journal: true,
     };
     let parsed = FaultPlan::parse(&plan.to_text()).expect("plan text parses");
     assert_eq!(parsed, plan);

@@ -91,6 +91,13 @@ pub struct FaultPlan {
     pub tool_crash_at: Option<SimTime>,
     /// Truncate the history-store record written at the end of the run.
     pub corrupt_store: bool,
+    /// Tear the final record write on disk mid-file, leaving an
+    /// uncommitted intent in the store's write-ahead journal — as if the
+    /// tool was killed between journaling and finishing the write.
+    pub torn_write: bool,
+    /// Cut the store's write-ahead journal mid-append — as if the tool
+    /// was killed while journaling its intent.
+    pub partial_journal: bool,
 }
 
 impl Default for FaultPlan {
@@ -114,6 +121,8 @@ impl FaultPlan {
             kills: Vec::new(),
             tool_crash_at: None,
             corrupt_store: false,
+            torn_write: false,
+            partial_journal: false,
         }
     }
 
@@ -128,6 +137,8 @@ impl FaultPlan {
             && self.kills.is_empty()
             && self.tool_crash_at.is_none()
             && !self.corrupt_store
+            && !self.torn_write
+            && !self.partial_journal
     }
 
     /// True if any sample-stream fault rate is set.
@@ -152,6 +163,8 @@ impl FaultPlan {
     /// kill-proc 3 2500000
     /// crash-tool 4000000
     /// corrupt-store
+    /// torn-write
+    /// partial-journal
     /// ```
     ///
     /// Durations and timestamps are in microseconds, matching
@@ -218,6 +231,8 @@ impl FaultPlan {
                         Some(SimTime::from_micros(parse_u64(&words, 0, n, "crash-tool")?));
                 }
                 "corrupt-store" => plan.corrupt_store = true,
+                "torn-write" => plan.torn_write = true,
+                "partial-journal" => plan.partial_journal = true,
                 other => return Err(format!("line {n}: unknown fault kind `{other}`")),
             }
         }
@@ -267,6 +282,12 @@ impl FaultPlan {
         }
         if self.corrupt_store {
             out.push_str("corrupt-store\n");
+        }
+        if self.torn_write {
+            out.push_str("torn-write\n");
+        }
+        if self.partial_journal {
+            out.push_str("partial-journal\n");
         }
         out
     }
@@ -469,6 +490,14 @@ pub fn corrupt_text(seed: u64, text: &str) -> String {
     text[..cut].to_string()
 }
 
+/// Seed-drawn tear point for torn-write / partial-journal faults: a
+/// fraction in `[0.2, 0.8)` of the target's byte length, drawn from its
+/// own substream so it never perturbs the other fault draws.
+pub fn torn_cut_fraction(seed: u64) -> f64 {
+    let mut rng = Rng::new(seed).substream(4);
+    0.2 + 0.6 * (rng.next_below(1_000_000) as f64 / 1_000_000.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -508,6 +537,8 @@ mod tests {
             ],
             tool_crash_at: Some(SimTime::from_micros(4_000_000)),
             corrupt_store: true,
+            torn_write: true,
+            partial_journal: true,
         }
     }
 

@@ -59,8 +59,14 @@ fn err(line: usize, reason: impl Into<String>) -> FormatError {
 pub fn write_record(rec: &ExecutionRecord) -> String {
     let mut out = String::from("histpc-record v1\n");
     out.push_str(&format!("app {}\n", rec.app_name));
-    out.push_str(&format!("version {}\n", rec.app_version));
-    out.push_str(&format!("label {}\n", rec.label));
+    // An empty value would serialize to a bare keyword the parser
+    // rejects; a salvaged record can legitimately have lost these.
+    if !rec.app_version.is_empty() {
+        out.push_str(&format!("version {}\n", rec.app_version));
+    }
+    if !rec.label.is_empty() {
+        out.push_str(&format!("label {}\n", rec.label));
+    }
     out.push_str(&format!("end_time_us {}\n", rec.end_time.as_micros()));
     out.push_str(&format!("pairs_tested {}\n", rec.pairs_tested));
     for r in &rec.resources {

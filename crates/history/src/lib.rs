@@ -8,7 +8,10 @@
 //!
 //! * [`record`] — the persisted result of one execution: resources,
 //!   hypothesis/focus outcomes, thresholds, instrumentation statistics.
-//! * [`store`] — a directory-backed multi-execution store.
+//! * [`store`] — a crash-consistent, directory-backed multi-execution
+//!   store: checksum-framed records ([`frame`]), a write-ahead
+//!   [`journal`], advisory multi-session [`lock`]ing, a versioned
+//!   [`manifest`], and a read-only checker ([`fsck`]).
 //! * [`format`] — a line-oriented, human-diffable text serialization.
 //! * [`extract`] — directive harvesting: priorities from true/false
 //!   outcomes, historic prunes (trivial functions, false pairs, redundant
@@ -27,6 +30,11 @@ pub mod combine;
 pub mod compare;
 pub mod extract;
 pub mod format;
+pub mod frame;
+pub mod fsck;
+pub mod journal;
+pub mod lock;
+pub mod manifest;
 pub mod mapping;
 pub mod record;
 pub mod store;
@@ -38,6 +46,7 @@ pub use extract::{
     ExtractionOptions, MIN_THRESHOLD_SAMPLES,
 };
 pub use format::FormatError;
+pub use fsck::fsck;
 pub use mapping::{LocatedMap, MappingSet};
 pub use record::ExecutionRecord;
-pub use store::ExecutionStore;
+pub use store::{ExecutionStore, StoreError};

@@ -1,0 +1,216 @@
+//! Advisory store locking.
+//!
+//! Mutations take `<root>/LOCK`, created with `O_CREAT|O_EXCL` so exactly
+//! one writer wins. The file names its holder:
+//!
+//! ```text
+//! histpc-lock v1
+//! pid 41172
+//! ```
+//!
+//! A crashed holder leaves the file behind; acquisition (and `fsck`)
+//! detects staleness by checking `/proc/<pid>` and breaks dead locks
+//! automatically. Contention against a *live* holder retries briefly —
+//! store mutations are millisecond-scale — and then fails with
+//! [`LockError::Held`] rather than deadlocking two sessions.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Header line of the lock file.
+pub const LOCK_HEADER: &str = "histpc-lock v1";
+
+/// File name of the lock inside the store root.
+pub const LOCK_FILE: &str = "LOCK";
+
+const RETRY_EVERY: Duration = Duration::from_millis(25);
+const GIVE_UP_AFTER: Duration = Duration::from_secs(2);
+
+/// Why the lock could not be taken.
+#[derive(Debug)]
+pub enum LockError {
+    /// Another live process holds the lock.
+    Held {
+        /// Its pid (0 if the lock file was unreadable).
+        pid: u32,
+    },
+    /// Filesystem failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Held { pid } => {
+                write!(f, "store is locked by live process {pid}")
+            }
+            LockError::Io(e) => write!(f, "store lock I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+impl From<io::Error> for LockError {
+    fn from(e: io::Error) -> Self {
+        LockError::Io(e)
+    }
+}
+
+/// True if `pid` names a live process. Uses `/proc`; on systems without
+/// procfs the holder is conservatively assumed alive (a stale lock then
+/// needs `histpc store repair --force-unlock` — better than two writers).
+pub fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    let proc_root = Path::new("/proc");
+    if proc_root.exists() {
+        proc_root.join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+/// Reads the pid recorded in a lock file. `Ok(None)` if the file does
+/// not exist; a malformed file reads as pid 0 (unknown, treated stale).
+pub fn read_holder(lock_path: &Path) -> io::Result<Option<u32>> {
+    match std::fs::read_to_string(lock_path) {
+        Ok(text) => {
+            let mut lines = text.lines();
+            let header_ok = lines.next().map(str::trim) == Some(LOCK_HEADER);
+            let pid = lines
+                .next()
+                .and_then(|l| l.trim().strip_prefix("pid "))
+                .and_then(|p| p.trim().parse().ok());
+            Ok(Some(if header_ok { pid.unwrap_or(0) } else { 0 }))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// A held store lock; released (file removed) on drop.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+impl StoreLock {
+    /// Path of the lock file for a store rooted at `root`.
+    pub fn path_in(root: &Path) -> PathBuf {
+        root.join(LOCK_FILE)
+    }
+
+    /// Acquires the store lock, breaking stale (dead-holder) locks and
+    /// briefly waiting out live holders.
+    pub fn acquire(root: &Path) -> Result<StoreLock, LockError> {
+        let path = Self::path_in(root);
+        let deadline = std::time::Instant::now() + GIVE_UP_AFTER;
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    use std::io::Write;
+                    write!(f, "{LOCK_HEADER}\npid {}\n", std::process::id())?;
+                    return Ok(StoreLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder = read_holder(&path)?.unwrap_or(0);
+                    if holder == 0 || !pid_alive(holder) {
+                        // Dead (or unidentifiable) holder: break the lock
+                        // and race for it again. remove_file losing the
+                        // race to another breaker is fine.
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        return Err(LockError::Held { pid: holder });
+                    }
+                    std::thread::sleep(RETRY_EVERY);
+                }
+                Err(e) => return Err(LockError::Io(e)),
+            }
+        }
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pid far above any default `pid_max`, so it is never alive.
+    pub(crate) const DEAD_PID: u32 = 999_999_999;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("histpc-lock-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn acquire_writes_and_drop_removes() {
+        let root = scratch("basic");
+        let lock = StoreLock::acquire(&root).unwrap();
+        let path = StoreLock::path_in(&root);
+        assert!(path.exists());
+        assert_eq!(
+            read_holder(&path).unwrap(),
+            Some(std::process::id()),
+            "lock names this process"
+        );
+        drop(lock);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn stale_lock_is_broken() {
+        let root = scratch("stale");
+        let path = StoreLock::path_in(&root);
+        std::fs::write(&path, format!("{LOCK_HEADER}\npid {DEAD_PID}\n")).unwrap();
+        let _lock = StoreLock::acquire(&root).unwrap();
+        assert_eq!(read_holder(&path).unwrap(), Some(std::process::id()));
+    }
+
+    #[test]
+    fn garbage_lock_file_is_broken() {
+        let root = scratch("garbage");
+        std::fs::write(StoreLock::path_in(&root), "not a lock\n").unwrap();
+        assert!(StoreLock::acquire(&root).is_ok());
+    }
+
+    #[test]
+    fn live_holder_blocks_until_released() {
+        let root = scratch("live");
+        let lock = StoreLock::acquire(&root).unwrap();
+        // Same pid counts as alive, so a second acquire waits; release
+        // from another thread lets it through well before the deadline.
+        std::thread::scope(|s| {
+            let r = &root;
+            let h = s.spawn(move || StoreLock::acquire(r).map(|_| ()));
+            std::thread::sleep(Duration::from_millis(80));
+            drop(lock);
+            h.join().unwrap().unwrap();
+        });
+    }
+
+    #[test]
+    fn pid_alive_sanity() {
+        assert!(pid_alive(std::process::id()));
+        if Path::new("/proc").exists() {
+            assert!(!pid_alive(DEAD_PID));
+        }
+    }
+}

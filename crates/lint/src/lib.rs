@@ -36,6 +36,9 @@
 //! | HL020 | error    | resource absent from the run linted against |
 //! | HL021 | warning  | directive references a resource the run marked unreachable |
 //! | HL022 | warning  | threshold anchored by an under-observed (starved) conclusion |
+//! | HL023 | error    | store record fails its checksum frame or does not parse |
+//! | HL024 | warning  | store shows unclean-shutdown evidence (stale lock, torn journal, stray files) |
+//! | HL025 | warning  | store uses the legacy v0 layout or its manifest index drifted |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -144,6 +147,7 @@ pub struct Linter<'a> {
     directives: Vec<(String, String)>,
     mappings: Vec<(String, String)>,
     record: Option<&'a ExecutionRecord>,
+    store_roots: Vec<std::path::PathBuf>,
 }
 
 impl Default for Linter<'_> {
@@ -165,6 +169,7 @@ impl<'a> Linter<'a> {
             directives: Vec::new(),
             mappings: Vec::new(),
             record: None,
+            store_roots: Vec::new(),
         }
     }
 
@@ -193,6 +198,15 @@ impl<'a> Linter<'a> {
     /// recorded execution (`HL020`).
     pub fn against(mut self, record: &'a ExecutionRecord) -> Self {
         self.record = Some(record);
+        self
+    }
+
+    /// Adds an execution store to check read-only with
+    /// [`histpc_history::fsck`]: record checksum/parse failures
+    /// (`HL023`), unclean-shutdown evidence such as stale locks and torn
+    /// journals (`HL024`), and legacy-layout or manifest drift (`HL025`).
+    pub fn store(mut self, root: impl Into<std::path::PathBuf>) -> Self {
+        self.store_roots.push(root.into());
         self
     }
 
@@ -249,6 +263,9 @@ impl<'a> Linter<'a> {
                 ));
                 diags.extend(checks::check_threshold_samples(&located, record, file));
             }
+        }
+        for root in &self.store_roots {
+            diags.extend(histpc_history::fsck::fsck(root));
         }
         LintReport::from(diags)
     }

@@ -464,3 +464,93 @@ fn summary_counts() {
     );
     assert_eq!(histpc_lint::summary(&[]), None);
 }
+
+// ---------------------------------------------------------------------
+// Store integrity codes (HL023–HL025), via Linter::store()
+// ---------------------------------------------------------------------
+
+/// A pid far above any default `pid_max`, so it is never alive.
+const DEAD_PID: u32 = 999_999_999;
+
+fn store_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("histpc-lint-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn seeded_store(tag: &str) -> histpc_history::ExecutionStore {
+    let store = histpc_history::ExecutionStore::open(store_dir(tag)).unwrap();
+    store.save(&sample_record()).unwrap();
+    store
+}
+
+#[test]
+fn hl023_record_checksum_mismatch() {
+    let store = seeded_store("hl023");
+    let path = store.root().join("poisson").join("a1.record");
+    let text = std::fs::read_to_string(&path).unwrap();
+    // Tear the record behind the store's back: checksum no longer holds.
+    std::fs::write(&path, &text[..text.len() - 4]).unwrap();
+    let r = Linter::new().store(store.root()).run();
+    let hits = r.with_code("HL023");
+    assert!(!hits.is_empty(), "diags: {:?}", r.diagnostics);
+    assert!(hits.iter().all(|d| d.severity == Severity::Error));
+    assert!(r.has_errors());
+
+    // Clean store: no findings at all.
+    let clean = seeded_store("hl023-clean");
+    let r = Linter::new().store(clean.root()).run();
+    assert!(r.is_clean(), "diags: {:?}", r.diagnostics);
+}
+
+#[test]
+fn hl024_stale_lock_and_unclean_shutdown() {
+    let store = seeded_store("hl024");
+    // Evidence of a crashed writer: stale lock + stray temp file.
+    std::fs::write(
+        store.root().join("LOCK"),
+        format!("histpc-lock v1\npid {DEAD_PID}\n"),
+    )
+    .unwrap();
+    std::fs::write(store.root().join("poisson").join("x.record.tmp"), "half").unwrap();
+    let r = Linter::new().store(store.root()).run();
+    let hits = r.with_code("HL024");
+    assert_eq!(hits.len(), 2, "diags: {:?}", r.diagnostics);
+    assert!(hits.iter().all(|d| d.severity == Severity::Warning));
+    assert!(!r.has_errors());
+
+    // Reopening the store recovers; the warnings disappear.
+    let reopened = histpc_history::ExecutionStore::open(store.root()).unwrap();
+    let r = Linter::new().store(reopened.root()).run();
+    assert!(
+        r.with_code("HL024").is_empty(),
+        "diags: {:?}",
+        r.diagnostics
+    );
+}
+
+#[test]
+fn hl025_legacy_layout_and_drift() {
+    // A v0 loose-file store: manifest missing.
+    let dir = store_dir("hl025");
+    let app = dir.join("poisson");
+    std::fs::create_dir_all(&app).unwrap();
+    std::fs::write(
+        app.join("a1.record"),
+        histpc_history::format::write_record(&sample_record()),
+    )
+    .unwrap();
+    let r = Linter::new().store(&dir).run();
+    let hits = r.with_code("HL025");
+    assert_eq!(hits.len(), 1, "diags: {:?}", r.diagnostics);
+    assert!(hits[0].message.contains("v0"));
+
+    // Migrating upgrades it; a file added behind the store's back then
+    // shows up as index drift.
+    let store = histpc_history::ExecutionStore::open(&dir).unwrap();
+    store.migrate().unwrap();
+    assert!(Linter::new().store(&dir).run().is_clean());
+    std::fs::write(app.join("a1.shg"), "out of band\n").unwrap();
+    let r = Linter::new().store(&dir).run();
+    assert_eq!(r.with_code("HL025").len(), 1, "diags: {:?}", r.diagnostics);
+}
