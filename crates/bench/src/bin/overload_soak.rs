@@ -1,0 +1,86 @@
+//! Overload soak: re-runs the version-D diagnosis under a sample flood
+//! and request storms with admission control enabled, and checks that it
+//! degrades *gracefully* — same whole-program bottlenecks as the
+//! unloaded baseline, in-flight instrumentation within the configured
+//! bound, starved processes concluding `Saturated` rather than `False`,
+//! and no directives harvested from under a saturated resource.
+//!
+//! ```text
+//! overload_soak [--flood FACTOR] [--assert]
+//! ```
+//!
+//! `--flood 5` (the default) runs the acceptance scenario: 5× sample
+//! pressure. With `--assert` the process exits non-zero unless every
+//! graceful-degradation gate holds — the CI gate that overload bends the
+//! diagnosis instead of breaking it.
+
+use histpc_bench::run_overload_soak;
+
+fn bad(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: overload_soak [--flood FACTOR] [--assert]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut flood = 5.0;
+    let mut check = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--flood" => {
+                let Some(value) = args.get(i + 1) else {
+                    bad("missing value for --flood");
+                };
+                match value.parse::<f64>() {
+                    Ok(v) if v >= 1.0 => flood = v,
+                    _ => bad("--flood wants a pressure factor >= 1"),
+                }
+                i += 2;
+            }
+            "--assert" => {
+                check = true;
+                i += 1;
+            }
+            other => bad(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let soak = run_overload_soak(flood);
+    print!("{}", soak.render());
+    if check {
+        let mut failed = false;
+        let mut gate = |name: &str, ok: bool| {
+            if ok {
+                println!("PASS: {name}");
+            } else {
+                eprintln!("FAIL: {name}");
+                failed = true;
+            }
+        };
+        gate(
+            "loaded run converges on the unloaded top-level bottlenecks",
+            soak.converged(),
+        );
+        gate(
+            "in-flight occupancy stayed within the bound",
+            soak.admission.peak_in_flight <= soak.max_in_flight,
+        );
+        gate(
+            "sample pressure engaged the admission layer",
+            soak.stats.flooded > 0 && soak.admission.shed_samples > 0,
+        );
+        gate(
+            "at least one process saturated into a Saturated verdict",
+            soak.admission.breaker_opens > 0 && soak.saturated_pairs > 0,
+        );
+        gate(
+            "no directive harvested from under a saturated resource",
+            soak.leaked_directives == 0,
+        );
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -814,6 +814,203 @@ impl DegradedExperiment {
     }
 }
 
+/// Result of the overload soak: Poisson version D diagnosed unloaded,
+/// then again under a sample flood plus request storms with admission
+/// control enabled. The soak's claim is *graceful* degradation: the
+/// loaded run must still converge on the same whole-program bottlenecks,
+/// keep in-flight instrumentation under the configured bound, conclude
+/// `Saturated` (not `False`) for the starved parts of the search space,
+/// and harvest no directives from under a saturated resource.
+#[derive(Debug, Clone)]
+pub struct OverloadSoak {
+    /// Sample-pressure multiplier of the loaded run.
+    pub flood: f64,
+    /// In-flight bound the loaded run was configured with.
+    pub max_in_flight: usize,
+    /// Per-batch sample budget of the loaded run.
+    pub sample_budget: u64,
+    /// Whole-program bottleneck hypotheses of the unloaded run.
+    pub base_top: Vec<String>,
+    /// Whole-program bottleneck hypotheses of the loaded run.
+    pub loaded_top: Vec<String>,
+    /// Admission-layer activity during the loaded run.
+    pub admission: AdmissionStats,
+    /// Fault-injector activity during the loaded run.
+    pub stats: FaultStats,
+    /// Pairs the loaded run concluded `Saturated`.
+    pub saturated_pairs: usize,
+    /// Resources whose admission breakers opened during the loaded run.
+    pub saturated: Vec<ResourceName>,
+    /// Directives harvested from the loaded record.
+    pub directive_count: usize,
+    /// Harvested directives referencing a saturated resource (HL026
+    /// hits) — must stay zero, or extraction leaked conclusions drawn
+    /// from shed instrumentation.
+    pub leaked_directives: usize,
+}
+
+/// The whole-program bottleneck hypotheses of a diagnosis, sorted.
+fn top_level_bottlenecks(d: &Diagnosis) -> Vec<String> {
+    let mut top: Vec<String> = d
+        .report
+        .bottleneck_set()
+        .into_iter()
+        .filter(|(_, f)| f.is_whole_program())
+        .map(|(h, _)| h)
+        .collect();
+    top.sort();
+    top.dedup();
+    top
+}
+
+/// Runs the overload soak at a given sample-pressure factor (the
+/// acceptance scenario uses `5.0`): an unloaded version-D baseline, then
+/// the same diagnosis under `flood`× sample pressure, periodic request
+/// storms, and a per-batch budget sized below the real interval stream —
+/// so real data is shed, the highest-ranked processes starve, and their
+/// breakers open.
+pub fn run_overload_soak(flood: f64) -> OverloadSoak {
+    let mut plan = FaultPlan::none();
+    plan.seed = 0x50AD;
+    plan.sample_flood = flood;
+    plan.request_storm_rate = 0.25;
+    plan.request_storm_burst = 16;
+
+    let admission = AdmissionConfig {
+        // The real version-D stream runs 33.4k–34.8k interval units per
+        // 250 ms driver batch, of which ranks 0–6 contribute at most
+        // 31.7k. A budget between those two bounds always spares ranks
+        // 0–6 (allowance is handed out in ascending rank order) and
+        // always sheds the tail of rank 8's data — enough to trip its
+        // breaker every run, little enough that the whole-program
+        // experiments still reach the unloaded verdicts. In-flight
+        // headroom stays at the default, which covers the search's
+        // natural expansion bursts.
+        sample_budget: 33_200,
+        ..AdmissionConfig::enabled()
+    };
+
+    let base = base_diagnosis(PoissonVersion::D);
+
+    let mut config = SearchConfig {
+        faults: plan,
+        ..exp_config()
+    };
+    config.collector.admission = admission.clone();
+    let session = Session::new();
+    let loaded_run = session
+        .diagnose_faulted(
+            &PoissonWorkload::new(PoissonVersion::D),
+            &config,
+            "soak",
+            None,
+        )
+        .expect("default config lints clean");
+    let loaded = loaded_run.diagnosis.expect("no tool crash scheduled");
+
+    let saturated_pairs = loaded
+        .report
+        .outcomes
+        .iter()
+        .filter(|o| o.outcome == Outcome::Saturated)
+        .count();
+    let directives = history::extract(
+        &loaded.record,
+        &ExtractionOptions::priorities_and_safe_prunes(),
+    );
+    let directive_count = directives.len();
+    let text = directives.to_text();
+    let leaked_directives = histpc::lint::Linter::new()
+        .directives(&text, "soak.dirs")
+        .against(&loaded.record)
+        .run()
+        .with_code("HL026")
+        .len();
+
+    OverloadSoak {
+        flood,
+        max_in_flight: admission.max_in_flight,
+        sample_budget: admission.sample_budget,
+        base_top: top_level_bottlenecks(&base),
+        loaded_top: top_level_bottlenecks(&loaded),
+        admission: loaded.report.admission,
+        stats: loaded_run.stats,
+        saturated_pairs,
+        saturated: loaded.record.saturated.clone(),
+        directive_count,
+        leaked_directives,
+    }
+}
+
+impl OverloadSoak {
+    /// True when the loaded run found the same whole-program bottlenecks
+    /// as the unloaded baseline (and the baseline found any at all).
+    pub fn converged(&self) -> bool {
+        !self.base_top.is_empty() && self.base_top == self.loaded_top
+    }
+
+    /// True when the admission layer actually engaged *and* held its
+    /// guarantees: samples were shed, at least one breaker opened into a
+    /// `Saturated` verdict, in-flight occupancy stayed within the bound,
+    /// and nothing was harvested from under a saturated resource.
+    pub fn degraded_gracefully(&self) -> bool {
+        self.admission.shed_samples > 0
+            && self.admission.breaker_opens > 0
+            && self.saturated_pairs > 0
+            && !self.saturated.is_empty()
+            && self.admission.peak_in_flight <= self.max_in_flight
+            && self.leaked_directives == 0
+    }
+
+    /// Renders the soak summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Overload soak: Poisson version D, {:.0}x sample pressure, \
+             storm bursts of {} phantom requests\n\n",
+            self.flood, self.stats.storm_requests
+        );
+        out.push_str(&format!(
+            "admission bounds: {} in-flight, {} sample units/batch\n",
+            self.max_in_flight, self.sample_budget
+        ));
+        out.push_str(&format!(
+            "pressure: {} flood units injected, {} sample units shed, \
+             peak in-flight {}\n",
+            self.stats.flooded, self.admission.shed_samples, self.admission.peak_in_flight
+        ));
+        out.push_str(&format!(
+            "health: {} breaker opens, {} readmits, {} saturated refusals, \
+             {} Saturated pairs\n",
+            self.admission.breaker_opens,
+            self.admission.breaker_readmits,
+            self.admission.saturated_refusals,
+            self.saturated_pairs
+        ));
+        out.push_str(&format!(
+            "saturated resources: {}\n",
+            if self.saturated.is_empty() {
+                "none".to_string()
+            } else {
+                self.saturated
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+        ));
+        out.push_str(&format!(
+            "top-level bottlenecks: unloaded [{}] vs loaded [{}]\n",
+            self.base_top.join(", "),
+            self.loaded_top.join(", ")
+        ));
+        out.push_str(&format!(
+            "directives harvested: {} ({} referencing saturated resources)\n",
+            self.directive_count, self.leaked_directives
+        ));
+        out
+    }
+}
+
 // ---------------------------------------------------------------------
 // Figures
 // ---------------------------------------------------------------------

@@ -26,6 +26,11 @@ pub enum Outcome {
     Unknown,
     /// Every process under the focus died before a conclusion.
     Unreachable,
+    /// The tool was overloaded on every process under the focus: the
+    /// admission layer refused or shed the experiment's instrumentation,
+    /// so no honest measurement exists. Distinct from `Unknown` (the
+    /// daemon went quiet) and `Unreachable` (the processes died).
+    Saturated,
 }
 
 impl Outcome {
@@ -38,6 +43,7 @@ impl Outcome {
             Outcome::Untested => "untested",
             Outcome::Unknown => "unknown",
             Outcome::Unreachable => "unreachable",
+            Outcome::Saturated => "saturated",
         }
     }
 
@@ -50,6 +56,7 @@ impl Outcome {
             "untested" => Some(Outcome::Untested),
             "unknown" => Some(Outcome::Unknown),
             "unreachable" => Some(Outcome::Unreachable),
+            "saturated" => Some(Outcome::Saturated),
             _ => None,
         }
     }
@@ -98,6 +105,13 @@ pub struct DiagnosisReport {
     /// for healthy runs; directive extraction refuses to prune anything
     /// under these.
     pub unreachable: Vec<ResourceName>,
+    /// Resources whose admission circuit breaker opened during the run
+    /// (the tool was overloaded there). Empty for unloaded runs;
+    /// directive extraction refuses to prune anything under these.
+    pub saturated: Vec<ResourceName>,
+    /// What the admission layer did during the run (all zero when
+    /// admission control is disabled).
+    pub admission: histpc_instr::AdmissionStats,
     /// The rendered Search History Graph (list-box form, fig. 2).
     pub shg_rendering: String,
 }
@@ -198,6 +212,8 @@ mod tests {
             peak_cost: 0.04,
             quiescent: true,
             unreachable: Vec::new(),
+            saturated: Vec::new(),
+            admission: Default::default(),
             shg_rendering: String::new(),
         }
     }
@@ -263,6 +279,7 @@ mod tests {
             Outcome::Untested,
             Outcome::Unknown,
             Outcome::Unreachable,
+            Outcome::Saturated,
         ] {
             assert_eq!(Outcome::from_name(o.name()), Some(o));
         }

@@ -22,7 +22,7 @@ use crate::hypothesis::{HypothesisId, HypothesisTree};
 use crate::report::{DiagnosisReport, NodeOutcome, Outcome};
 use crate::shg::{NodeState, Shg, ShgNodeId};
 use histpc_faults::{FaultInjector, FaultPlan, FaultStats, KillTarget, RequestFault};
-use histpc_instr::{Collector, CollectorConfig};
+use histpc_instr::{AdmitOutcome, Collector, CollectorConfig, RequestClass};
 use histpc_resources::ResourceName;
 use histpc_sim::{Engine, EngineStatus, ProcId, SimDuration, SimTime};
 use std::collections::HashMap;
@@ -116,6 +116,13 @@ pub struct Consultant {
     dead_procs: Vec<ProcId>,
     /// Resource names of everything that died, for the report.
     unreachable: Vec<ResourceName>,
+    /// Backpressure: while the admission controller reports pressure,
+    /// refinement fan-out is cut to one probe per tick (persistent/High
+    /// pairs keep the full pool), resuming once the pressure drains —
+    /// the overload mirror of the cost model's halt/resume hysteresis.
+    throttled: bool,
+    /// Resource names whose admission breaker opened, for the report.
+    saturated: Vec<ResourceName>,
 }
 
 impl Consultant {
@@ -158,6 +165,8 @@ impl Consultant {
             retry: HashMap::new(),
             dead_procs: Vec::new(),
             unreachable: Vec::new(),
+            throttled: false,
+            saturated: Vec::new(),
         };
 
         // Base hypotheses for the whole program.
@@ -369,6 +378,76 @@ impl Consultant {
         collector: &mut Collector,
         mut faults: Option<&mut FaultInjector>,
     ) {
+        // 0a. Admission housekeeping (all of it no-ops while admission is
+        //     disabled, keeping this path bit-identical to the
+        //     pre-admission driver): expire completed in-flight entries,
+        //     half-open cooled breakers, and surface newly saturated
+        //     resources for the report.
+        collector.admission_mut().tick(now);
+        for p in collector.admission_mut().drain_newly_saturated() {
+            let app = collector.binder().app();
+            let mut names = vec![format!("/Process/{}", app.processes[p])];
+            // The machine is only saturated once every process it hosts is.
+            let node = app.node_of(ProcId(p as u16));
+            let blocked = collector.admission().blocked_procs();
+            let node_procs =
+                (0..app.process_count()).filter(|&q| app.node_of(ProcId(q as u16)) == node);
+            if node_procs
+                .clone()
+                .all(|q| blocked.contains(&ProcId(q as u16)))
+            {
+                names.push(format!("/Machine/{}", app.nodes[node]));
+            }
+            for name in names {
+                if let Ok(r) = ResourceName::parse(&name) {
+                    if !self.saturated.contains(&r) {
+                        self.saturated.push(r);
+                    }
+                }
+            }
+        }
+
+        // 0b. Experiments whose processes are all behind open breakers
+        //     cannot be honestly served: conclude them Saturated and free
+        //     their instrumentation (the overload mirror of the
+        //     unreachable sweep below). Persistent pairs are spared —
+        //     they keep measuring and recover when the breaker re-admits.
+        if collector.admission().any_breaker_open() {
+            let blocked = collector.admission().blocked_procs();
+            for id in self.shg.ids().collect::<Vec<_>>() {
+                let node = self.shg.node(id);
+                let state = node.state;
+                if node.persistent || (state != NodeState::Pending && state != NodeState::Testing) {
+                    continue;
+                }
+                let focus = self.shg.node(id).focus.clone();
+                let procs = collector.binder().compile(&focus).procs().to_vec();
+                if procs.is_empty() || !procs.iter().all(|p| blocked.contains(p)) {
+                    continue;
+                }
+                let pair = self.shg.node(id).pair;
+                let node = self.shg.node_mut(id);
+                node.state = NodeState::Saturated;
+                node.concluded_at = Some(now);
+                if let Some(pid) = pair {
+                    collector.release(pid, now);
+                }
+                self.pending.retain(|&p| p != id);
+                self.retry.remove(&id);
+            }
+        }
+
+        // 0c. Backpressure hysteresis: trickle refinement fan-out while
+        //     the admission layer reports pressure, resume once it
+        //     drains.
+        if self.throttled {
+            if collector.admission().drained() {
+                self.throttled = false;
+            }
+        } else if collector.admission().under_pressure() {
+            self.throttled = true;
+        }
+
         // 0. (Faulted only.) Experiments stranded entirely on dead
         //    processes can never conclude honestly: mark them Unreachable
         //    and free their instrumentation.
@@ -502,6 +581,7 @@ impl Consultant {
                 (std::cmp::Reverse(n.priority), n.created_at, id)
             });
             let mut i = 0;
+            let mut throttled_refinements = 0usize;
             while i < self.pending.len() {
                 let id = self.pending[i];
                 // A node in retry backoff stays queued but is skipped
@@ -511,6 +591,28 @@ impl Consultant {
                         i += 1;
                         continue;
                     }
+                }
+                // Pairs backing active SHG nodes (persistent, or seeded
+                // High priority) keep the full admission pool; everything
+                // else is a refinement probe, shed first under pressure
+                // and cut to a trickle of one probe per tick while
+                // throttled — sustained overload must slow the search,
+                // not stop it, or a long flood would starve every
+                // untested hypothesis into `Unknown`.
+                let class = {
+                    let n = self.shg.node(id);
+                    if n.persistent || n.priority == PriorityLevel::High {
+                        RequestClass::Backing
+                    } else {
+                        RequestClass::Refinement
+                    }
+                };
+                if self.throttled && class == RequestClass::Refinement {
+                    if throttled_refinements >= 1 {
+                        i += 1;
+                        continue;
+                    }
+                    throttled_refinements += 1;
                 }
                 let focus = self.shg.node(id).focus.clone();
                 let compiled = collector.binder().compile(&focus);
@@ -528,15 +630,26 @@ impl Consultant {
                     Some(inj) => inj.request_outcome(),
                     None => RequestFault::Deliver,
                 };
-                match collector.request_faulted(metric, focus, now, fate) {
-                    Some(pid) => {
+                match collector.request_admitted(metric, focus, now, fate, class) {
+                    AdmitOutcome::Granted(pid) => {
                         self.pending.remove(i);
                         self.retry.remove(&id);
                         let node = self.shg.node_mut(id);
                         node.pair = Some(pid);
                         node.state = NodeState::Testing;
                     }
-                    None => {
+                    AdmitOutcome::Saturated => {
+                        // Every process under the focus is behind an open
+                        // breaker: refusing is terminal for this
+                        // experiment (half-open probes re-admit the
+                        // processes for later experiments).
+                        self.pending.remove(i);
+                        self.retry.remove(&id);
+                        let node = self.shg.node_mut(id);
+                        node.state = NodeState::Saturated;
+                        node.concluded_at = Some(now);
+                    }
+                    AdmitOutcome::Failed | AdmitOutcome::Shed => {
                         // Failed insertion: retry with capped exponential
                         // backoff; past the attempt budget the pair
                         // concludes Unknown (never false).
@@ -595,6 +708,7 @@ impl Consultant {
                         NodeState::Pending | NodeState::Testing => Outcome::Untested,
                         NodeState::Unknown => Outcome::Unknown,
                         NodeState::Unreachable => Outcome::Unreachable,
+                        NodeState::Saturated => Outcome::Saturated,
                     },
                     first_true_at: n.first_true_at,
                     concluded_at: n.concluded_at,
@@ -612,6 +726,8 @@ impl Consultant {
             peak_cost: self.peak_cost,
             quiescent: self.quiesced_at.is_some(),
             unreachable: self.unreachable.clone(),
+            saturated: self.saturated.clone(),
+            admission: *collector.admission().stats(),
             shg_rendering: self.shg.render(&self.tree),
         }
     }
@@ -791,6 +907,15 @@ pub fn drive_diagnosis_faulted(
         }
         let status = engine.run_until(now);
         let intervals = injector.filter_intervals(engine.drain_intervals(), now);
+        // Overload faults press on the admission layer: flood units
+        // compete with the real stream for the sample budget, storm
+        // requests occupy in-flight slots. Both draws happen even with
+        // admission disabled (keeping RNG streams stable); the collector
+        // then absorbs them as no-ops.
+        let flood = injector.flood_units(intervals.len());
+        collector.admission_mut().note_phantom_samples(flood);
+        let storm = injector.storm_requests();
+        collector.admission_mut().absorb_storm(storm, now);
         collector.observe_batch(&intervals);
         consultant.tick_faulted(now, &mut collector, &mut injector);
         collector.apply_perturbation(engine);
@@ -840,7 +965,7 @@ mod tests {
     use histpc_sim::workloads::{SyntheticWorkload, Workload};
 
     fn n(s: &str) -> ResourceName {
-        ResourceName::parse(s).unwrap()
+        ResourceName::parse(s).expect("test resource names are literal and valid")
     }
 
     /// A fast config for tests: short windows and steps.
@@ -937,7 +1062,10 @@ mod tests {
         let report = drive_diagnosis(&mut engine, &config);
         for o in &report.outcomes {
             if o.outcome != Outcome::Pruned {
-                let m = o.focus.selection("Machine").unwrap();
+                let m = o
+                    .focus
+                    .selection("Machine")
+                    .expect("every focus carries a Machine selection");
                 assert!(m.is_root(), "machine refinement leaked: {}", o.focus);
             }
         }
@@ -962,7 +1090,8 @@ mod tests {
                 (
                     o.hypothesis.clone(),
                     o.focus.clone(),
-                    o.first_true_at.unwrap(),
+                    o.first_true_at
+                        .expect("bottlenecks always carry a first-true timestamp"),
                 )
             })
             .expect("base run finds the hotspot");

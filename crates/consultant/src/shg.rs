@@ -37,6 +37,11 @@ pub enum NodeState {
     /// Every process the focus covers is dead; the pair can never be
     /// measured again.
     Unreachable,
+    /// Every process the focus covers is behind an open admission
+    /// circuit breaker: the tool is overloaded there and refuses the
+    /// experiment rather than report numbers measured under shedding.
+    /// Distinct from `Unknown` (data starved) and `Unreachable` (dead).
+    Saturated,
 }
 
 impl NodeState {
@@ -50,6 +55,7 @@ impl NodeState {
             NodeState::Pruned => 'P',
             NodeState::Unknown => 'U',
             NodeState::Unreachable => 'X',
+            NodeState::Saturated => 'S',
         }
     }
 }

@@ -4,7 +4,7 @@
 //! ```text
 //! histpc run      --app poisson-c [--label L] [--store DIR] [--directives FILE]
 //!                 [--mappings FILE] [--window SECS] [--max-time SECS] [--seed N]
-//!                 [--faults FILE] [--resume FILE]
+//!                 [--faults FILE] [--resume FILE] [--admission KNOBS]
 //! histpc harvest  --store DIR --app NAME --label L [--mode MODE] [--out FILE]
 //! histpc map      --store DIR --app NAME --from LABEL --to LABEL [--out FILE]
 //! histpc compare  --store DIR --app NAME --from LABEL --to LABEL
@@ -27,6 +27,19 @@
 //! crash, the run stops at that point and (with `--store`) saves a
 //! checkpoint artifact; rerun with `--resume FILE` pointing at it to
 //! replay deterministically past the crash.
+//!
+//! `--admission KNOBS` turns on overload admission control in the data
+//! collector: `on` accepts the defaults, or a comma-separated knob list
+//! (`max-in-flight=N,sample-budget=N,deadline-ms=N,strikes=N,cooldown-ms=N`)
+//! tunes the bounds. Under pressure the collector sheds refinement
+//! requests before backing ones, trims over-budget sample batches, and
+//! opens per-process circuit breakers whose foci then conclude
+//! `Saturated` instead of blocking the search.
+//!
+//! `run` exits 0 on a clean diagnosis, 1 on errors, 2 on usage problems,
+//! and 3 when the final report is *degraded* — it contains `Unknown`,
+//! `Unreachable` or `Saturated` verdicts, meaning part of the search
+//! space was never honestly measured.
 //!
 //! `lint` statically validates directive and mapping files (kind
 //! auto-detected per file) and prints rustc-style diagnostics with
@@ -51,7 +64,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  histpc run --app APP [--label L] [--store DIR] [--directives FILE]\n\
          \x20            [--mappings FILE] [--window SECS] [--max-time SECS] [--seed N]\n\
-         \x20            [--faults FILE] [--resume FILE]\n\
+         \x20            [--faults FILE] [--resume FILE] [--admission KNOBS]\n\
          \x20 histpc harvest --store DIR --app NAME --label L [--mode MODE] [--out FILE]\n\
          \x20 histpc map     --store DIR --app NAME --from LABEL --to LABEL [--out FILE]\n\
          \x20 histpc compare --store DIR --app NAME --from LABEL --to LABEL\n\
@@ -133,7 +146,14 @@ fn extraction_mode(mode: &str) -> ExtractionOptions {
     }
 }
 
-fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
+/// Exit code for a diagnosis that completed but is degraded: the report
+/// carries `Unknown`, `Unreachable` or `Saturated` verdicts, so part of
+/// the search space was never honestly measured. Distinct from plain
+/// errors (1) and usage problems (2) so scripts can tell "the run broke"
+/// from "the run finished but don't fully trust it".
+const EXIT_DEGRADED: u8 = 3;
+
+fn cmd_run(flags: HashMap<String, String>) -> Result<ExitCode, String> {
     let app = require(&flags, "app");
     let seed = flags
         .get("seed")
@@ -193,6 +213,10 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         config.faults = FaultPlan::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     }
+    if let Some(knobs) = flags.get("admission") {
+        config.collector.admission =
+            AdmissionConfig::parse_knobs(knobs).map_err(|e| format!("bad --admission: {e}"))?;
+    }
     let resume = match flags.get("resume") {
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -241,7 +265,7 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
                 } else {
                     println!("no store attached: rerun with --store to keep the checkpoint");
                 }
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
         }
     } else {
@@ -279,8 +303,34 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
     if unknowns > 0 {
         println!("unresolved (Unknown) pairs: {unknowns}");
     }
+    let saturated_pairs = d
+        .report
+        .outcomes
+        .iter()
+        .filter(|o| o.outcome == Outcome::Saturated)
+        .count();
+    if saturated_pairs > 0 {
+        println!("overloaded (Saturated) pairs: {saturated_pairs}");
+    }
     for r in &d.report.unreachable {
         println!("unreachable: {r}");
+    }
+    for r in &d.report.saturated {
+        println!("saturated: {r}");
+    }
+    let adm = &d.report.admission;
+    if adm.admitted > 0 || adm.shed_requests > 0 || adm.shed_samples > 0 {
+        println!(
+            "admission: {} request(s) admitted (peak {} in flight), {} shed, \
+             {} saturated refusal(s); {} sample(s) shed; {} breaker(s) opened, {} readmitted",
+            adm.admitted,
+            adm.peak_in_flight,
+            adm.shed_requests,
+            adm.saturated_refusals,
+            adm.shed_samples,
+            adm.breaker_opens,
+            adm.breaker_readmits
+        );
     }
     println!("bottlenecks found: {}", d.report.bottleneck_count());
     for b in d.report.bottlenecks().iter().take(15) {
@@ -295,7 +345,21 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
     if flags.contains_key("store") {
         println!("record stored as {}/{}", d.record.app_name, label);
     }
-    Ok(())
+    let unreachables = d
+        .report
+        .outcomes
+        .iter()
+        .filter(|o| o.outcome == Outcome::Unreachable)
+        .count();
+    if unknowns > 0 || saturated_pairs > 0 || unreachables > 0 {
+        eprintln!(
+            "warning: diagnosis degraded — {unknowns} unknown, {unreachables} unreachable, \
+             {saturated_pairs} saturated pair(s); parts of the search space were never \
+             honestly measured (exit code {EXIT_DEGRADED})"
+        );
+        return Ok(ExitCode::from(EXIT_DEGRADED));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_harvest(flags: HashMap<String, String>) -> Result<(), String> {
@@ -598,9 +662,17 @@ fn main() -> ExitCode {
             }
         };
     }
+    if command == "run" {
+        return match cmd_run(parse_flags(&args[1..])) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = parse_flags(&args[1..]);
     let result = match command.as_str() {
-        "run" => cmd_run(flags),
         "harvest" => cmd_harvest(flags),
         "map" => cmd_map(flags),
         "compare" => cmd_compare(flags),

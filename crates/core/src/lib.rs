@@ -79,7 +79,9 @@ pub mod prelude {
     pub use histpc_history::{
         extract, intersect, union, ExecutionRecord, ExecutionStore, ExtractionOptions, MappingSet,
     };
-    pub use histpc_instr::{Collector, CollectorConfig, Metric, PostmortemData};
+    pub use histpc_instr::{
+        AdmissionConfig, AdmissionStats, Collector, CollectorConfig, Metric, PostmortemData,
+    };
     pub use histpc_resources::{Focus, ResourceName, ResourceSpace};
     pub use histpc_sim::workloads::{
         OceanWorkload, PoissonVersion, PoissonWorkload, SyntheticWorkload, TesterWorkload,

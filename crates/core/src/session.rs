@@ -187,7 +187,11 @@ impl Session {
     /// Injected sample loss, delays, and request failures degrade the run
     /// in place: the report may then carry `Unknown` (starved) and
     /// `Unreachable` (dead-resource) outcomes alongside the usual
-    /// verdicts. An injected tool crash interrupts the run instead,
+    /// verdicts. Overload faults (sample floods, slow collectors, request
+    /// storms) pressure the admission layer instead: with admission
+    /// control enabled in `config.collector.admission`, overwhelmed
+    /// processes trip circuit breakers and their pairs conclude
+    /// `Saturated`. An injected tool crash interrupts the run instead,
     /// returning a [`SearchCheckpoint`] — persisted as a `ckpt` artifact
     /// when a store is attached — and no diagnosis; passing that
     /// checkpoint back as `resume_from` deterministically replays the

@@ -1,0 +1,108 @@
+//! Property tests of the admission layer's two determinism contracts:
+//!
+//! * **Zero-pressure bit-identity** — enabling admission control with
+//!   bounds the run never hits must not change a single bit of the
+//!   outcome: same record text, same SHG rendering, same cost trace.
+//! * **Replay determinism under shedding** — a run that does shed,
+//!   saturate and re-admit must replay exactly from the same fault seed:
+//!   the degraded result is a function of (workload, config, seed), not
+//!   of incidental iteration order.
+
+use histpc::history;
+use histpc::prelude::*;
+use proptest::prelude::*;
+
+fn fast_config() -> SearchConfig {
+    SearchConfig {
+        window: SimDuration::from_millis(800),
+        sample: SimDuration::from_millis(100),
+        max_time: SimDuration::from_secs(60),
+        ..SearchConfig::default()
+    }
+}
+
+fn fingerprint(d: &Diagnosis) -> (String, String, bool, u64) {
+    (
+        history::format::write_record(&d.record),
+        d.report.shg_rendering.clone(),
+        d.report.quiescent,
+        d.report.peak_cost.to_bits(),
+    )
+}
+
+proptest! {
+    // Each case runs full diagnoses; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Admission enabled with default (generous) bounds on an unloaded
+    /// run: never triggered, and bit-identical to the baseline without
+    /// admission control, across workload shapes.
+    #[test]
+    fn untriggered_admission_is_bit_identical(
+        nodes in 1usize..3,
+        procs_per_node in 1usize..3,
+        hotspot_weight in 0.5f64..3.0,
+    ) {
+        let wl = SyntheticWorkload::balanced(nodes, procs_per_node, 0.1)
+            .with_hotspot(0, 0, hotspot_weight);
+        let session = Session::new();
+        let config = fast_config();
+        let baseline = session.diagnose(&wl, &config, "base").unwrap();
+        let mut admitted_config = config;
+        admitted_config.collector.admission = AdmissionConfig::enabled();
+        let admitted = session.diagnose(&wl, &admitted_config, "base").unwrap();
+        prop_assert_eq!(fingerprint(&baseline), fingerprint(&admitted));
+        prop_assert_eq!(admitted.report.admission.shed_requests, 0);
+        prop_assert_eq!(admitted.report.admission.shed_samples, 0);
+        prop_assert_eq!(admitted.report.admission.breaker_opens, 0);
+        prop_assert_eq!(admitted.report.admission.saturated_refusals, 0);
+    }
+
+    /// A shed-then-readmit run (overload faults against tight bounds)
+    /// replays bit-identically from the same fault seed — including the
+    /// admission statistics, so every shed, trip and readmission happened
+    /// at the same point both times.
+    #[test]
+    fn shedding_run_replays_deterministically(
+        fault_seed in 0u64..1000,
+        flood in 3.0f64..8.0,
+        storm_rate in 0.2f64..0.8,
+    ) {
+        let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
+        let mut config = fast_config();
+        config.faults.seed = fault_seed;
+        config.faults.sample_flood = flood;
+        config.faults.request_storm_rate = storm_rate;
+        config.faults.request_storm_burst = 6;
+        config.faults.slow_collector = SimDuration::from_millis(400);
+        config.collector.admission = AdmissionConfig {
+            enabled: true,
+            max_in_flight: 6,
+            sample_budget: 8,
+            deadline: SimDuration::from_millis(300),
+            breaker_threshold: 2,
+            breaker_cooldown: SimDuration::from_secs(2),
+        };
+        let session = Session::new();
+        let first = session
+            .diagnose_faulted(&wl, &config, "r", None)
+            .unwrap()
+            .diagnosis
+            .expect("overload degrades, never crashes");
+        let second = session
+            .diagnose_faulted(&wl, &config, "r", None)
+            .unwrap()
+            .diagnosis
+            .expect("overload degrades, never crashes");
+        prop_assert_eq!(fingerprint(&first), fingerprint(&second));
+        prop_assert_eq!(first.report.admission, second.report.admission);
+        // The pressure must actually have engaged, or this property
+        // would silently degenerate into the zero-pressure case.
+        prop_assert!(
+            first.report.admission.shed_samples > 0
+                || first.report.admission.shed_requests > 0,
+            "overload plan never engaged: {:?}",
+            first.report.admission
+        );
+    }
+}

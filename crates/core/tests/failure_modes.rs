@@ -56,6 +56,10 @@ fn fault_plan_round_trips_through_text() {
         corrupt_store: true,
         torn_write: true,
         partial_journal: true,
+        sample_flood: 5.0,
+        slow_collector: SimDuration::from_millis(40),
+        request_storm_rate: 0.25,
+        request_storm_burst: 8,
     };
     let parsed = FaultPlan::parse(&plan.to_text()).expect("plan text parses");
     assert_eq!(parsed, plan);
@@ -262,6 +266,122 @@ fn degraded_version_d_run_harvests_safely() {
                 .sources()
         )
     );
+}
+
+/// Overload faults (sample flood + request storm + slow collector)
+/// against a tight admission configuration: the admission layer engages,
+/// in-flight requests never exceed the bound, overwhelmed processes
+/// conclude `Saturated`, and extraction refuses to harvest anything
+/// under them.
+#[test]
+fn overload_saturates_and_extraction_refuses() {
+    let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
+    let mut config = fast_config();
+    config.faults.seed = 21;
+    config.faults.sample_flood = 5.0;
+    // The run saturates and quiesces within a handful of ticks, so the
+    // storm rate must be high enough to land a burst before the end.
+    config.faults.request_storm_rate = 0.9;
+    config.faults.request_storm_burst = 6;
+    config.faults.slow_collector = SimDuration::from_millis(400);
+    config.collector.admission = AdmissionConfig {
+        enabled: true,
+        max_in_flight: 6,
+        sample_budget: 8,
+        deadline: SimDuration::from_millis(300),
+        breaker_threshold: 2,
+        breaker_cooldown: SimDuration::from_secs(2),
+    };
+    let run = Session::new()
+        .diagnose_faulted(&wl, &config, "overload", None)
+        .unwrap();
+    let d = run.diagnosis.expect("overload must degrade, not crash");
+    let adm = &d.report.admission;
+    assert!(
+        run.stats.flooded > 0 && run.stats.storm_requests > 0,
+        "overload faults did not engage: {:?}",
+        run.stats
+    );
+    assert!(
+        adm.peak_in_flight <= config.collector.admission.max_in_flight,
+        "in-flight bound violated: peak {} > {}",
+        adm.peak_in_flight,
+        config.collector.admission.max_in_flight
+    );
+    assert!(adm.shed_samples > 0, "flood shed no samples: {adm:?}");
+    assert!(adm.breaker_opens > 0, "no breaker opened: {adm:?}");
+    let saturated: Vec<&NodeOutcome> = d
+        .record
+        .outcomes
+        .iter()
+        .filter(|o| o.outcome == Outcome::Saturated)
+        .collect();
+    assert!(
+        !saturated.is_empty(),
+        "overload produced no Saturated verdicts"
+    );
+    assert!(
+        !d.record.saturated.is_empty(),
+        "record did not register the saturated resources"
+    );
+
+    let directives = history::extract(&d.record, &ExtractionOptions::all_prunes());
+    for o in &saturated {
+        for p in &directives.prunes {
+            assert!(
+                !p.matches(&o.hypothesis, &o.focus),
+                "Saturated pair {} {} was pruned",
+                o.hypothesis,
+                o.focus
+            );
+        }
+    }
+    let priorities = history::extract(&d.record, &ExtractionOptions::priorities_only());
+    for o in &saturated {
+        assert!(
+            !priorities
+                .priorities
+                .iter()
+                .any(|p| p.hypothesis == o.hypothesis && p.focus == o.focus),
+            "Saturated pair {} {} got a priority directive",
+            o.hypothesis,
+            o.focus
+        );
+    }
+    // Harvested directives lint clean against the saturated record
+    // (HL026 would fire on anything naming a saturated resource).
+    let text = directives.to_text();
+    let report = histpc::lint::Linter::new()
+        .directives(&text, "harvested.dirs")
+        .against(&d.record)
+        .run();
+    assert!(
+        report.is_clean(),
+        "harvested directives did not lint clean:\n{}",
+        report.render(
+            &histpc::lint::Linter::new()
+                .directives(&text, "harvested.dirs")
+                .sources()
+        )
+    );
+}
+
+/// With admission enabled but no overload injected, generous bounds are
+/// never hit and the run is bit-identical to one without admission
+/// control at all — the zero-pressure path costs nothing.
+#[test]
+fn unloaded_run_with_admission_enabled_is_bit_identical() {
+    let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
+    let session = Session::new();
+    let config = fast_config();
+    let baseline = session.diagnose(&wl, &config, "r1").unwrap();
+    let mut admitted_config = config.clone();
+    admitted_config.collector.admission = AdmissionConfig::enabled();
+    let admitted = session.diagnose(&wl, &admitted_config, "r1").unwrap();
+    assert_reports_identical(&baseline, &admitted);
+    assert_eq!(admitted.report.admission.shed_requests, 0);
+    assert_eq!(admitted.report.admission.shed_samples, 0);
+    assert_eq!(admitted.report.admission.breaker_opens, 0);
 }
 
 /// A degraded run's directives still speed up a later (healthy) run —

@@ -22,7 +22,13 @@
 //!   scheduled [`SimTime`] ([`FaultInjector::due_kills`]);
 //! * **tool crash / store corruption** — crash the consultant itself
 //!   mid-search ([`FaultInjector::crash_due`]) and truncate
-//!   history-store writes ([`corrupt_text`]).
+//!   history-store writes ([`corrupt_text`]);
+//! * **overload** — flood the collector with phantom sample traffic
+//!   ([`FaultInjector::flood_units`]), slow every instrumentation
+//!   insertion (`slow-collector`, folded into
+//!   [`FaultInjector::request_outcome`]), and fire bursts of phantom
+//!   in-flight requests ([`FaultInjector::storm_requests`]) that eat
+//!   the admission controller's capacity.
 //!
 //! A disabled plan ([`FaultPlan::none`]) is guaranteed zero-cost: the
 //! drive loop in `histpc-consultant` bypasses the injector entirely,
@@ -98,6 +104,20 @@ pub struct FaultPlan {
     /// Cut the store's write-ahead journal mid-append — as if the tool
     /// was killed while journaling its intent.
     pub partial_journal: bool,
+    /// Sample-pressure multiplier (`>= 1`): a factor of 5 means every
+    /// real interval batch arrives with 4× its size in phantom sample
+    /// traffic, which counts against the admission controller's
+    /// per-interval budget. `1.0` disables the flood.
+    pub sample_flood: f64,
+    /// Extra activation latency added to *every* instrumentation
+    /// insertion — an overloaded daemon that still answers, just
+    /// slowly. [`SimDuration::ZERO`] disables it.
+    pub slow_collector: SimDuration,
+    /// Probability per consultant tick that a burst of phantom
+    /// in-flight requests hits the collector.
+    pub request_storm_rate: f64,
+    /// Size of each storm burst.
+    pub request_storm_burst: u64,
 }
 
 impl Default for FaultPlan {
@@ -123,6 +143,10 @@ impl FaultPlan {
             corrupt_store: false,
             torn_write: false,
             partial_journal: false,
+            sample_flood: 1.0,
+            slow_collector: SimDuration::ZERO,
+            request_storm_rate: 0.0,
+            request_storm_burst: 0,
         }
     }
 
@@ -139,6 +163,14 @@ impl FaultPlan {
             && !self.corrupt_store
             && !self.torn_write
             && !self.partial_journal
+            && !self.touches_overload()
+    }
+
+    /// True if any overload-class fault is set.
+    pub fn touches_overload(&self) -> bool {
+        self.sample_flood > 1.0
+            || self.slow_collector > SimDuration::ZERO
+            || self.request_storm_rate > 0.0
     }
 
     /// True if any sample-stream fault rate is set.
@@ -165,6 +197,9 @@ impl FaultPlan {
     /// corrupt-store
     /// torn-write
     /// partial-journal
+    /// sample-flood 5
+    /// slow-collector 200000
+    /// request-storm 0.25 8
     /// ```
     ///
     /// Durations and timestamps are in microseconds, matching
@@ -233,6 +268,24 @@ impl FaultPlan {
                 "corrupt-store" => plan.corrupt_store = true,
                 "torn-write" => plan.torn_write = true,
                 "partial-journal" => plan.partial_journal = true,
+                "sample-flood" => {
+                    let f: f64 = words
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("line {n}: sample-flood needs a factor"))?;
+                    if f < 1.0 {
+                        return Err(format!("line {n}: sample-flood factor {f} must be >= 1"));
+                    }
+                    plan.sample_flood = f;
+                }
+                "slow-collector" => {
+                    plan.slow_collector =
+                        SimDuration::from_micros(parse_u64(&words, 0, n, "slow-collector")?);
+                }
+                "request-storm" => {
+                    plan.request_storm_rate = parse_rate(&words, 0, n, "request-storm")?;
+                    plan.request_storm_burst = parse_u64(&words, 1, n, "request-storm")?;
+                }
                 other => return Err(format!("line {n}: unknown fault kind `{other}`")),
             }
         }
@@ -289,6 +342,21 @@ impl FaultPlan {
         if self.partial_journal {
             out.push_str("partial-journal\n");
         }
+        if self.sample_flood > 1.0 {
+            out.push_str(&format!("sample-flood {}\n", self.sample_flood));
+        }
+        if self.slow_collector > SimDuration::ZERO {
+            out.push_str(&format!(
+                "slow-collector {}\n",
+                self.slow_collector.as_micros()
+            ));
+        }
+        if self.request_storm_rate > 0.0 {
+            out.push_str(&format!(
+                "request-storm {} {}\n",
+                self.request_storm_rate, self.request_storm_burst
+            ));
+        }
         out
     }
 }
@@ -337,6 +405,12 @@ pub struct FaultStats {
     pub requests_deferred: u64,
     /// Kill events fired.
     pub kills_fired: u64,
+    /// Phantom sample units injected by a sample flood.
+    pub flooded: u64,
+    /// Instrumentation requests slowed by the slow-collector fault.
+    pub slowed: u64,
+    /// Phantom in-flight requests fired by request storms.
+    pub storm_requests: u64,
 }
 
 /// The run-time half of a [`FaultPlan`]: holds the seeded RNG streams
@@ -350,6 +424,7 @@ pub struct FaultInjector {
     plan: FaultPlan,
     sample_rng: Rng,
     request_rng: Rng,
+    storm_rng: Rng,
     /// Delayed intervals waiting for their release time.
     held: Vec<(SimTime, Interval)>,
     kill_fired: Vec<bool>,
@@ -365,6 +440,7 @@ impl FaultInjector {
         FaultInjector {
             sample_rng: root.substream(1),
             request_rng: root.substream(2),
+            storm_rng: root.substream(5),
             held: Vec::new(),
             kill_fired,
             crash_fired: false,
@@ -427,7 +503,9 @@ impl FaultInjector {
         out
     }
 
-    /// Draw the fate of one instrumentation request.
+    /// Draw the fate of one instrumentation request. A configured
+    /// `slow-collector` fault adds its latency to every non-failed
+    /// outcome on top of any drawn deferral.
     pub fn request_outcome(&mut self) -> RequestFault {
         if self.plan.request_fail_rate > 0.0
             && self.request_rng.next_f64() < self.plan.request_fail_rate
@@ -435,13 +513,50 @@ impl FaultInjector {
             self.stats.requests_failed += 1;
             return RequestFault::Fail;
         }
+        let mut extra = SimDuration::ZERO;
         if self.plan.request_defer_rate > 0.0
             && self.request_rng.next_f64() < self.plan.request_defer_rate
         {
             self.stats.requests_deferred += 1;
-            return RequestFault::Defer(self.plan.request_defer_by);
+            extra = self.plan.request_defer_by;
         }
-        RequestFault::Deliver
+        if self.plan.slow_collector > SimDuration::ZERO {
+            self.stats.slowed += 1;
+            extra += self.plan.slow_collector;
+        }
+        if extra > SimDuration::ZERO {
+            RequestFault::Defer(extra)
+        } else {
+            RequestFault::Deliver
+        }
+    }
+
+    /// Phantom sample units accompanying a batch of `real` intervals
+    /// under a sample flood: `(factor - 1) × real`, rounded. Zero when
+    /// the flood is disabled. Deterministic — no randomness consumed.
+    pub fn flood_units(&mut self, real: usize) -> u64 {
+        if self.plan.sample_flood <= 1.0 {
+            return 0;
+        }
+        let phantom = ((self.plan.sample_flood - 1.0) * real as f64).round() as u64;
+        self.stats.flooded += phantom;
+        phantom
+    }
+
+    /// Phantom in-flight requests striking this consultant tick: a
+    /// burst with probability `request_storm_rate`, else zero. Draws
+    /// from its own substream, so enabling storms never shifts the
+    /// sample or request fault patterns.
+    pub fn storm_requests(&mut self) -> u64 {
+        if self.plan.request_storm_rate == 0.0 {
+            return 0;
+        }
+        if self.storm_rng.next_f64() < self.plan.request_storm_rate {
+            self.stats.storm_requests += self.plan.request_storm_burst;
+            self.plan.request_storm_burst
+        } else {
+            0
+        }
     }
 
     /// Kill events scheduled at or before `now` that have not fired
@@ -539,6 +654,10 @@ mod tests {
             corrupt_store: true,
             torn_write: true,
             partial_journal: true,
+            sample_flood: 5.0,
+            slow_collector: SimDuration::from_millis(2),
+            request_storm_rate: 0.5,
+            request_storm_burst: 4,
         }
     }
 
@@ -569,6 +688,11 @@ mod tests {
         assert!(FaultPlan::parse("histpc-faults v1\ndrop 1.5\n").is_err());
         assert!(FaultPlan::parse("histpc-faults v1\ndrop\n").is_err());
         assert!(FaultPlan::parse("histpc-faults v1\nkill-node\n").is_err());
+        assert!(FaultPlan::parse("histpc-faults v1\nsample-flood 0.5\n").is_err());
+        assert!(FaultPlan::parse("histpc-faults v1\nsample-flood\n").is_err());
+        assert!(FaultPlan::parse("histpc-faults v1\nslow-collector\n").is_err());
+        assert!(FaultPlan::parse("histpc-faults v1\nrequest-storm 0.5\n").is_err());
+        assert!(FaultPlan::parse("histpc-faults v1\nrequest-storm 1.5 4\n").is_err());
     }
 
     #[test]
@@ -666,6 +790,75 @@ mod tests {
         assert!(!inj.crash_due(SimTime::from_micros(400)));
         assert!(inj.crash_due(SimTime::from_micros(600)));
         assert!(!inj.crash_due(SimTime::from_micros(700)));
+    }
+
+    #[test]
+    fn overload_faults_round_trip_and_enable_the_plan() {
+        let mut plan = FaultPlan::none();
+        plan.sample_flood = 5.0;
+        assert!(!plan.is_disabled() && plan.touches_overload());
+        let mut plan = FaultPlan::none();
+        plan.slow_collector = SimDuration::from_millis(1);
+        assert!(!plan.is_disabled() && plan.touches_overload());
+        let mut plan = FaultPlan::none();
+        plan.request_storm_rate = 0.25;
+        plan.request_storm_burst = 8;
+        assert!(!plan.is_disabled() && plan.touches_overload());
+        let parsed = FaultPlan::parse(&plan.to_text()).unwrap();
+        assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn flood_units_scale_with_the_batch() {
+        let mut plan = FaultPlan::none();
+        plan.sample_flood = 5.0;
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.flood_units(10), 40);
+        assert_eq!(inj.flood_units(0), 0);
+        assert_eq!(inj.stats().flooded, 40);
+        let mut off = FaultInjector::new(FaultPlan::none());
+        assert_eq!(off.flood_units(1000), 0);
+        assert_eq!(off.stats().flooded, 0);
+    }
+
+    #[test]
+    fn slow_collector_defers_every_delivered_request() {
+        let mut plan = FaultPlan::none();
+        plan.slow_collector = SimDuration::from_millis(3);
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..5 {
+            assert_eq!(
+                inj.request_outcome(),
+                RequestFault::Defer(SimDuration::from_millis(3))
+            );
+        }
+        assert_eq!(inj.stats().slowed, 5);
+        // Stacks on top of a drawn deferral.
+        let mut plan = FaultPlan::none();
+        plan.slow_collector = SimDuration::from_millis(3);
+        plan.request_defer_rate = 1.0;
+        plan.request_defer_by = SimDuration::from_millis(2);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(
+            inj.request_outcome(),
+            RequestFault::Defer(SimDuration::from_millis(5))
+        );
+    }
+
+    #[test]
+    fn request_storms_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut plan = FaultPlan::none();
+            plan.seed = seed;
+            plan.request_storm_rate = 0.5;
+            plan.request_storm_burst = 4;
+            let mut inj = FaultInjector::new(plan);
+            (0..64).map(|_| inj.storm_requests()).collect::<Vec<_>>()
+        };
+        let a = run(3);
+        assert_eq!(a, run(3));
+        assert_ne!(a, run(4));
+        assert!(a.contains(&4) && a.contains(&0));
     }
 
     #[test]

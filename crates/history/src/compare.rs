@@ -275,6 +275,7 @@ mod tests {
             end_time: SimTime::from_secs(10),
             pairs_tested: 0,
             unreachable: vec![],
+            saturated: vec![],
         }
     }
 

@@ -40,6 +40,17 @@ fn touches_unreachable(rec: &ExecutionRecord, focus: &Focus) -> bool {
         .any(|s| !s.is_root() && rec.is_unreachable(s))
 }
 
+/// True if the focus selects any resource whose admission breaker opened
+/// during the run (the tool was overloaded there). Directives must never
+/// be harvested for such foci: outcomes concluded while the tool was
+/// shedding that resource's data reflect the overload, not the program
+/// (lint HL026).
+fn touches_saturated(rec: &ExecutionRecord, focus: &Focus) -> bool {
+    focus
+        .selections()
+        .any(|s| !s.is_root() && rec.is_saturated(s))
+}
+
 /// What to extract from a record.
 #[derive(Debug, Clone)]
 pub struct ExtractionOptions {
@@ -200,9 +211,10 @@ pub fn extract(rec: &ExecutionRecord, opts: &ExtractionOptions) -> SearchDirecti
             if d.is_pruned(&o.hypothesis, &o.focus) {
                 continue;
             }
-            // Never prune under a dead resource: the false conclusion
-            // may reflect the death, not the program (lint HL021).
-            if touches_unreachable(rec, &o.focus) {
+            // Never prune under a dead or saturated resource: the false
+            // conclusion may reflect the death or the overload, not the
+            // program (lints HL021, HL026).
+            if touches_unreachable(rec, &o.focus) || touches_saturated(rec, &o.focus) {
                 continue;
             }
             d.add_prune(Prune {
@@ -216,8 +228,8 @@ pub fn extract(rec: &ExecutionRecord, opts: &ExtractionOptions) -> SearchDirecti
         for o in &rec.outcomes {
             let level = match o.outcome {
                 Outcome::True => PriorityLevel::High,
-                // Unknown and Unreachable outcomes carry no evidence
-                // either way and yield no directive.
+                // Unknown, Unreachable and Saturated outcomes carry no
+                // evidence either way and yield no directive.
                 Outcome::False => PriorityLevel::Low,
                 _ => continue,
             };
@@ -226,7 +238,7 @@ pub fn extract(rec: &ExecutionRecord, opts: &ExtractionOptions) -> SearchDirecti
             if d.is_pruned(&o.hypothesis, &o.focus) {
                 continue;
             }
-            if touches_unreachable(rec, &o.focus) {
+            if touches_unreachable(rec, &o.focus) || touches_saturated(rec, &o.focus) {
                 continue;
             }
             d.add_priority(PriorityDirective {
@@ -318,8 +330,10 @@ fn machine_is_redundant(rec: &ExecutionRecord) -> bool {
     // A run that lost a node never observed the one-to-one mapping hold
     // end to end, and its Machine-refined experiments may have starved:
     // pruning the hierarchy from such a record could hide a merely
-    // unobserved bottleneck.
-    if !rec.unreachable.is_empty() {
+    // unobserved bottleneck. The same holds for a run whose admission
+    // layer saturated anywhere — Machine-refined experiments there were
+    // shed, not measured.
+    if !rec.unreachable.is_empty() || !rec.saturated.is_empty() {
         return false;
     }
     // Count depth-1 resources (children of the roots).
@@ -354,11 +368,15 @@ fn trivial_functions(rec: &ExecutionRecord, bound: f64) -> Vec<ResourceName> {
                     && matches!(o.outcome, Outcome::True | Outcome::False)
             })
             .collect();
-        // Any starved or unreachable verdict naming the function means
-        // its cost was not fully observed — never prune it on that basis.
+        // Any starved, unreachable or saturated verdict naming the
+        // function means its cost was not fully observed — never prune
+        // it on that basis.
         let unobserved = rec.outcomes.iter().any(|o| {
             o.focus.selection(CODE) == Some(r)
-                && matches!(o.outcome, Outcome::Unknown | Outcome::Unreachable)
+                && matches!(
+                    o.outcome,
+                    Outcome::Unknown | Outcome::Unreachable | Outcome::Saturated
+                )
         });
         if !unobserved && !tested.is_empty() && tested.iter().all(|o| o.last_value < bound) {
             out.push((*r).clone());
@@ -488,6 +506,7 @@ pub fn postmortem_record(
         end_time: pm.end_time(),
         pairs_tested: pairs,
         unreachable: Vec::new(),
+        saturated: Vec::new(),
     }
 }
 
@@ -609,6 +628,7 @@ mod tests {
             end_time: SimTime::from_secs(10),
             pairs_tested: 0,
             unreachable: vec![],
+            saturated: vec![],
         }
     }
 
@@ -805,6 +825,52 @@ mod tests {
         assert!(!d.is_pruned("CPUbound", &p2), "dead-process pair pruned");
         assert!(d.is_pruned("CPUbound", &p1), "live-process pair kept");
         assert_eq!(d.priority_of("CPUbound", &p2), PriorityLevel::Medium);
+    }
+
+    #[test]
+    fn foci_on_saturated_resources_are_never_harvested() {
+        let mut rec = rec_with(vec![
+            // A false conclusion drawn while p2's collector was shedding.
+            o("CPUbound", &["/Process/p2"], Outcome::False, 0.0),
+            o("CPUbound", &["/Process/p1"], Outcome::False, 0.001),
+        ]);
+        rec.saturated
+            .push(ResourceName::parse("/Process/p2").unwrap());
+        let d = extract(
+            &rec,
+            &ExtractionOptions {
+                priorities: true,
+                prune_false_pairs: true,
+                prune_trivial_functions: false,
+                prune_redundant_machine: false,
+                general_prunes: false,
+                ..ExtractionOptions::default()
+            },
+        );
+        let p2 = space()
+            .whole_program()
+            .with_selection(ResourceName::parse("/Process/p2").unwrap());
+        let p1 = space()
+            .whole_program()
+            .with_selection(ResourceName::parse("/Process/p1").unwrap());
+        assert!(
+            !d.is_pruned("CPUbound", &p2),
+            "saturated-process pair pruned"
+        );
+        assert!(d.is_pruned("CPUbound", &p1), "live-process pair kept");
+        assert_eq!(d.priority_of("CPUbound", &p2), PriorityLevel::Medium);
+    }
+
+    #[test]
+    fn saturated_run_blocks_machine_prune() {
+        let mut rec = rec_with(vec![]);
+        rec.saturated
+            .push(ResourceName::parse("/Process/p1").unwrap());
+        let d = extract(&rec, &ExtractionOptions::historic_prunes_only());
+        let machine_focus = space()
+            .whole_program()
+            .with_selection(ResourceName::parse("/Machine/n1").unwrap());
+        assert!(!d.is_pruned("CPUbound", &machine_focus));
     }
 
     #[test]

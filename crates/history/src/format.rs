@@ -78,6 +78,9 @@ pub fn write_record(rec: &ExecutionRecord) -> String {
     for u in &rec.unreachable {
         out.push_str(&format!("unreachable {u}\n"));
     }
+    for s in &rec.saturated {
+        out.push_str(&format!("saturated {s}\n"));
+    }
     for o in &rec.outcomes {
         let first = o
             .first_true_at
@@ -128,6 +131,7 @@ pub fn parse_record(text: &str) -> Result<ExecutionRecord, FormatError> {
         end_time: SimTime::ZERO,
         pairs_tested: 0,
         unreachable: Vec::new(),
+        saturated: Vec::new(),
     };
     for (idx, raw) in lines {
         let lineno = idx + 1;
@@ -187,6 +191,10 @@ pub fn parse_record(text: &str) -> Result<ExecutionRecord, FormatError> {
             "unreachable" => rec.unreachable.push(
                 ResourceName::parse(rest)
                     .map_err(|e| err(lineno, format!("bad unreachable resource: {e}")))?,
+            ),
+            "saturated" => rec.saturated.push(
+                ResourceName::parse(rest)
+                    .map_err(|e| err(lineno, format!("bad saturated resource: {e}")))?,
             ),
             _ => return Err(err(lineno, format!("unknown line kind {kind:?}"))),
         }
@@ -257,6 +265,7 @@ mod tests {
             end_time: SimTime(27_000_000),
             pairs_tested: 753,
             unreachable: vec![ResourceName::parse("/Machine/n1").unwrap()],
+            saturated: vec![ResourceName::parse("/Process/p1").unwrap()],
         }
     }
 
@@ -274,6 +283,7 @@ mod tests {
         assert_eq!(parsed.outcomes, rec.outcomes);
         assert_eq!(parsed.thresholds_used, rec.thresholds_used);
         assert_eq!(parsed.unreachable, rec.unreachable);
+        assert_eq!(parsed.saturated, rec.saturated);
     }
 
     #[test]
@@ -289,6 +299,7 @@ mod tests {
         )
         .is_err());
         assert!(parse_record("histpc-record v1\napp x\nunreachable Machine/n1\n").is_err());
+        assert!(parse_record("histpc-record v1\napp x\nsaturated Process/p1\n").is_err());
     }
 
     #[test]

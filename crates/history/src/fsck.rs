@@ -361,6 +361,7 @@ mod tests {
             end_time: histpc_sim::SimTime(100),
             pairs_tested: 3,
             unreachable: vec![],
+            saturated: vec![],
         }
     }
 

@@ -32,6 +32,10 @@ pub struct ExecutionRecord {
     /// Resources (machines, processes) that died during the run. Empty
     /// for healthy runs; directive extraction never prunes under these.
     pub unreachable: Vec<ResourceName>,
+    /// Resources whose admission circuit breaker opened during the run
+    /// (the tool was overloaded there, shedding requests or data). Empty
+    /// for unloaded runs; directive extraction never harvests under these.
+    pub saturated: Vec<ResourceName>,
 }
 
 impl ExecutionRecord {
@@ -56,6 +60,7 @@ impl ExecutionRecord {
             end_time: report.end_time,
             pairs_tested: report.pairs_tested,
             unreachable: report.unreachable.clone(),
+            saturated: report.saturated.clone(),
         }
     }
 
@@ -63,6 +68,12 @@ impl ExecutionRecord {
     /// unreachable.
     pub fn is_unreachable(&self, r: &ResourceName) -> bool {
         self.unreachable.iter().any(|u| u == r || u.is_prefix_of(r))
+    }
+
+    /// True if `r` is (or lives under) a resource the run marked
+    /// saturated (its admission breaker opened under overload).
+    pub fn is_saturated(&self, r: &ResourceName) -> bool {
+        self.saturated.iter().any(|u| u == r || u.is_prefix_of(r))
     }
 
     /// The true (bottleneck) outcomes.
@@ -147,6 +158,8 @@ mod tests {
             peak_cost: 0.04,
             quiescent: true,
             unreachable: Vec::new(),
+            saturated: Vec::new(),
+            admission: Default::default(),
             shg_rendering: String::new(),
         };
         (report, space)
@@ -195,6 +208,18 @@ mod tests {
         assert!(rec.is_unreachable(&ResourceName::parse("/Machine/n1").unwrap()));
         assert!(rec.is_unreachable(&ResourceName::parse("/Machine/n1/cpu0").unwrap()));
         assert!(!rec.is_unreachable(&ResourceName::parse("/Machine/n2").unwrap()));
+        assert!(!rec.is_unreachable(&ResourceName::parse("/Process/p1").unwrap()));
+    }
+
+    #[test]
+    fn is_saturated_covers_descendants() {
+        let (report, space) = sample_report();
+        let mut rec = ExecutionRecord::from_report(&report, &space, "r1", vec![]);
+        assert!(rec.saturated.is_empty());
+        rec.saturated
+            .push(ResourceName::parse("/Process/p1").unwrap());
+        assert!(rec.is_saturated(&ResourceName::parse("/Process/p1").unwrap()));
+        assert!(!rec.is_saturated(&ResourceName::parse("/Machine/n1").unwrap()));
         assert!(!rec.is_unreachable(&ResourceName::parse("/Process/p1").unwrap()));
     }
 

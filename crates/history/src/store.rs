@@ -893,6 +893,7 @@ mod tests {
             end_time: SimTime(100),
             pairs_tested: 3,
             unreachable: vec![],
+            saturated: vec![],
         }
     }
 

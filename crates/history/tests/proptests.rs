@@ -41,6 +41,7 @@ fn stored_record(pairs: usize) -> ExecutionRecord {
         end_time: SimTime(100),
         pairs_tested: pairs,
         unreachable: vec![],
+        saturated: vec![],
     }
 }
 
@@ -227,6 +228,7 @@ proptest! {
             end_time: SimTime(end),
             pairs_tested: pairs,
             unreachable: vec![ResourceName::parse("/Machine/n1").unwrap()],
+            saturated: vec![ResourceName::parse("/Process/p1").unwrap()],
         };
         let text = format::write_record(&rec);
         let parsed = format::parse_record(&text).unwrap();
@@ -240,6 +242,7 @@ proptest! {
             prop_assert_eq!(x.samples, y.samples);
         }
         prop_assert_eq!(&parsed.unreachable, &rec.unreachable);
+        prop_assert_eq!(&parsed.saturated, &rec.saturated);
         prop_assert_eq!(parsed.end_time, rec.end_time);
         prop_assert_eq!(parsed.pairs_tested, rec.pairs_tested);
     }

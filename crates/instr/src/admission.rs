@@ -1,0 +1,708 @@
+//! Overload admission control for the instrumentation layer.
+//!
+//! The paper's Performance Consultant already budgets its own
+//! *perturbation* (the §4.1 cost model); this module budgets the tool's
+//! *capacity*: how many instrumentation requests may be in flight at the
+//! daemon at once, and how many sample-interval units the collector will
+//! process per driver batch. When either bound is hit the excess is shed
+//! rather than queued without limit, and per-process circuit breakers
+//! turn sustained trouble into a first-class [`Saturated`] signal the
+//! search can act on — analogous to how the cost model turns perturbation
+//! into halt/resume decisions.
+//!
+//! Everything here is disabled by default ([`AdmissionConfig::enabled`] is
+//! `false`), and every entry point is a no-op in that case, so the
+//! zero-pressure path stays bit-identical to a build without this module.
+//!
+//! [`Saturated`]: AdmitVerdict::Saturated
+
+use histpc_sim::{ProcId, SimDuration, SimTime};
+
+/// Admission-control tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionConfig {
+    /// Master switch. Off by default: requests are always granted and
+    /// batches are never trimmed, exactly the pre-admission behaviour.
+    pub enabled: bool,
+    /// Maximum instrumentation requests in flight at the daemon (granted
+    /// but not yet active). Phantom load injected by request storms
+    /// occupies the same slots.
+    pub max_in_flight: usize,
+    /// Sample-interval units the collector processes per driver batch;
+    /// real intervals beyond the budget are shed (highest process ranks
+    /// first), and injected flood units consume headroom above the real
+    /// stream.
+    pub sample_budget: u64,
+    /// A granted request whose activation latency (insertion delay plus
+    /// any injected deferral) exceeds this deadline counts as a timeout
+    /// strike against the processes it targets.
+    pub deadline: SimDuration,
+    /// Consecutive strikes (request timeouts/failures/sheds, or batches
+    /// with shed samples) that open a process's circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker blocks before half-opening to admit a
+    /// probe request.
+    pub breaker_cooldown: SimDuration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            enabled: false,
+            // Comfortably above the consultant's natural expansion bursts
+            // (refining a true node requests every child in one tick), so
+            // an unloaded search never brushes the bound; request storms
+            // and deferral pile-ups do.
+            max_in_flight: 64,
+            sample_budget: 4096,
+            deadline: SimDuration::from_millis(500),
+            breaker_threshold: 3,
+            breaker_cooldown: SimDuration::from_secs(2),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// The default knobs with admission switched on.
+    pub fn enabled() -> AdmissionConfig {
+        AdmissionConfig {
+            enabled: true,
+            ..AdmissionConfig::default()
+        }
+    }
+
+    /// Parses a `--admission` CLI value: `on` (defaults) or a
+    /// comma-separated knob list like
+    /// `max-in-flight=8,sample-budget=512,deadline-ms=250,strikes=3,cooldown-ms=2000`.
+    pub fn parse_knobs(s: &str) -> Result<AdmissionConfig, String> {
+        let mut config = AdmissionConfig::enabled();
+        if s == "on" {
+            return Ok(config);
+        }
+        for knob in s.split(',') {
+            let (key, value) = knob
+                .split_once('=')
+                .ok_or_else(|| format!("admission knob '{knob}' is not key=value"))?;
+            let uint = || {
+                value
+                    .parse::<u64>()
+                    .map_err(|e| format!("admission knob '{key}': {e}"))
+            };
+            match key {
+                "max-in-flight" => {
+                    let v = uint()?;
+                    if v == 0 {
+                        return Err("max-in-flight must be at least 1".into());
+                    }
+                    config.max_in_flight = v as usize;
+                }
+                "sample-budget" => {
+                    let v = uint()?;
+                    if v == 0 {
+                        return Err("sample-budget must be at least 1".into());
+                    }
+                    config.sample_budget = v;
+                }
+                "deadline-ms" => config.deadline = SimDuration::from_millis(uint()?),
+                "strikes" => {
+                    let v = uint()?;
+                    if v == 0 {
+                        return Err("strikes must be at least 1".into());
+                    }
+                    config.breaker_threshold = v as u32;
+                }
+                "cooldown-ms" => config.breaker_cooldown = SimDuration::from_millis(uint()?),
+                _ => return Err(format!("unknown admission knob '{key}'")),
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// What kind of work a request backs, for priority shedding: requests
+/// backing active SHG nodes (persistent pairs, High-priority directives)
+/// keep the full slot pool, speculative refinement probes only get the
+/// unreserved share and are therefore shed first under pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    /// A pair backing an active node: persistent or High priority.
+    Backing,
+    /// A speculative refinement probe.
+    Refinement,
+}
+
+/// The admission controller's answer to one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitVerdict {
+    /// Admitted; the caller may insert the pair.
+    Grant,
+    /// No capacity right now; retry later (transient).
+    Shed,
+    /// Every process the request targets is behind an open circuit
+    /// breaker: the experiment cannot be honestly served while the node
+    /// is saturated (terminal for the requesting experiment).
+    Saturated,
+}
+
+/// Counters of everything the admission layer did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests granted through the controller.
+    pub admitted: u64,
+    /// Requests shed for lack of in-flight capacity.
+    pub shed_requests: u64,
+    /// Sample-interval units shed by the per-batch budget (real and
+    /// injected flood units combined).
+    pub shed_samples: u64,
+    /// Requests refused because the whole focus was saturated.
+    pub saturated_refusals: u64,
+    /// Circuit breakers opened.
+    pub breaker_opens: u64,
+    /// Breakers closed again by a successful half-open probe.
+    pub breaker_readmits: u64,
+    /// Highest simultaneous in-flight occupancy observed (real grants
+    /// plus phantom storm load). Never exceeds `max_in_flight`.
+    pub peak_in_flight: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// Per-process health tracking. Two independent strike counters feed the
+/// breaker — request-path trouble (timeouts, injected failures, sheds)
+/// and sample-path trouble (batches that shed the process's data) — so
+/// quiet intervals on one path don't mask sustained trouble on the other.
+#[derive(Debug, Clone)]
+struct Breaker {
+    state: BreakerState,
+    request_strikes: u32,
+    shed_streak: u32,
+    opened_at: SimTime,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            state: BreakerState::Closed,
+            request_strikes: 0,
+            shed_streak: 0,
+            opened_at: SimTime::ZERO,
+        }
+    }
+
+    /// Open breakers block until the cooldown elapses; the transition to
+    /// half-open happens in [`AdmissionController::tick`].
+    fn is_blocking(&self) -> bool {
+        self.state == BreakerState::Open
+    }
+}
+
+/// Bounded admission with per-process circuit breakers.
+///
+/// Owned by the collector; all methods are no-ops (or constant answers)
+/// when the config is disabled, preserving bit-identical behaviour.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    /// Activation times of granted requests still in flight at the
+    /// daemon; an entry expires once `now` reaches it.
+    in_flight: Vec<SimTime>,
+    /// Expiry times of phantom requests injected by request storms.
+    phantom: Vec<SimTime>,
+    breakers: Vec<Breaker>,
+    /// Flood units announced for the next batch.
+    pending_phantom_samples: u64,
+    /// Whether the most recent batch shed anything (pressure signal).
+    shed_last_batch: bool,
+    /// Process indices whose breaker opened and has not been drained by
+    /// the consultant yet.
+    newly_saturated: Vec<usize>,
+    stats: AdmissionStats,
+}
+
+impl AdmissionController {
+    /// A controller for `proc_count` processes.
+    pub fn new(config: AdmissionConfig, proc_count: usize) -> AdmissionController {
+        AdmissionController {
+            config,
+            in_flight: Vec::new(),
+            phantom: Vec::new(),
+            breakers: vec![Breaker::new(); proc_count],
+            pending_phantom_samples: 0,
+            shed_last_batch: false,
+            newly_saturated: Vec::new(),
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Everything the controller did so far.
+    pub fn stats(&self) -> &AdmissionStats {
+        &self.stats
+    }
+
+    /// Current in-flight occupancy (real grants plus phantom load).
+    pub fn in_flight_now(&self) -> usize {
+        self.in_flight.len() + self.phantom.len()
+    }
+
+    /// Housekeeping at time `now`: expires completed in-flight entries
+    /// and phantom load, and half-opens breakers whose cooldown elapsed.
+    pub fn tick(&mut self, now: SimTime) {
+        if !self.config.enabled {
+            return;
+        }
+        self.in_flight.retain(|&active_from| now < active_from);
+        self.phantom.retain(|&expires| now < expires);
+        for b in &mut self.breakers {
+            if b.state == BreakerState::Open && now >= b.opened_at + self.config.breaker_cooldown {
+                b.state = BreakerState::HalfOpen;
+            }
+        }
+    }
+
+    /// Decides one instrumentation request targeting `procs` at `now`.
+    /// Callers must follow a `Grant` with [`AdmissionController::note_granted`].
+    pub fn admit(&mut self, procs: &[ProcId], class: RequestClass, now: SimTime) -> AdmitVerdict {
+        if !self.config.enabled {
+            return AdmitVerdict::Grant;
+        }
+        self.tick(now);
+        // Saturation mirrors the unreachable rule: only when *every*
+        // process the focus covers is behind an open breaker is the
+        // experiment hopeless; a half-open breaker admits probes.
+        if !procs.is_empty()
+            && procs
+                .iter()
+                .all(|p| self.breakers[p.0 as usize].is_blocking())
+        {
+            self.stats.saturated_refusals += 1;
+            return AdmitVerdict::Saturated;
+        }
+        // Refinement probes only see the unreserved share of the slot
+        // pool, so under pressure they shed first while pairs backing
+        // active nodes keep flowing.
+        let reserve = (self.config.max_in_flight / 4).max(1);
+        let limit = match class {
+            RequestClass::Backing => self.config.max_in_flight,
+            RequestClass::Refinement => self.config.max_in_flight.saturating_sub(reserve),
+        };
+        if self.in_flight_now() >= limit {
+            self.stats.shed_requests += 1;
+            // A shed is only attributable evidence when the request
+            // targets a single process.
+            if let [p] = procs {
+                self.request_strike(p.0 as usize, now);
+            }
+            return AdmitVerdict::Shed;
+        }
+        AdmitVerdict::Grant
+    }
+
+    /// Records a granted request that will activate at `active_from`.
+    /// Prompt activation is health evidence (closes half-open breakers);
+    /// activation past the deadline is a timeout strike.
+    pub fn note_granted(&mut self, procs: &[ProcId], active_from: SimTime, now: SimTime) {
+        if !self.config.enabled {
+            return;
+        }
+        self.stats.admitted += 1;
+        self.in_flight.push(active_from);
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight_now());
+        let late = active_from > now + self.config.deadline;
+        if let [p] = procs {
+            if late {
+                self.request_strike(p.0 as usize, now);
+            } else {
+                self.request_success(p.0 as usize);
+            }
+        }
+    }
+
+    /// Records an injected daemon failure for a request targeting `procs`.
+    pub fn note_failed(&mut self, procs: &[ProcId], now: SimTime) {
+        if !self.config.enabled {
+            return;
+        }
+        if let [p] = procs {
+            self.request_strike(p.0 as usize, now);
+        }
+    }
+
+    /// Announces injected flood units for the next batch's budget check.
+    pub fn note_phantom_samples(&mut self, units: u64) {
+        if !self.config.enabled {
+            return;
+        }
+        self.pending_phantom_samples += units;
+    }
+
+    /// Absorbs `n` phantom requests from an injected request storm; each
+    /// occupies an in-flight slot for one deadline. Load beyond the slot
+    /// pool is dropped at the door (the bound holds regardless).
+    pub fn absorb_storm(&mut self, n: u64, now: SimTime) {
+        if !self.config.enabled {
+            return;
+        }
+        self.tick(now);
+        for _ in 0..n {
+            if self.in_flight_now() >= self.config.max_in_flight {
+                break;
+            }
+            self.phantom.push(now + self.config.deadline);
+        }
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight_now());
+    }
+
+    /// Applies the per-batch sample budget to a batch of `real` interval
+    /// units. Returns `None` when the whole batch fits (disabled, or under
+    /// budget), or `Some(keep)` — how many real units to process, the
+    /// rest shed. Pending flood units consume headroom above the real
+    /// stream but never displace real data below the budget.
+    pub fn sample_quota(&mut self, real: u64) -> Option<u64> {
+        if !self.config.enabled {
+            return None;
+        }
+        let phantom = std::mem::take(&mut self.pending_phantom_samples);
+        let units = real + phantom;
+        if units <= self.config.sample_budget {
+            self.shed_last_batch = false;
+            return None;
+        }
+        self.shed_last_batch = true;
+        self.stats.shed_samples += units - self.config.sample_budget;
+        let keep = real.min(self.config.sample_budget);
+        if keep == real {
+            None
+        } else {
+            Some(keep)
+        }
+    }
+
+    /// Records that a batch shed data of process `p` (one strike on the
+    /// sample path).
+    pub fn note_batch_shed(&mut self, p: ProcId, now: SimTime) {
+        if !self.config.enabled {
+            return;
+        }
+        let b = &mut self.breakers[p.0 as usize];
+        b.shed_streak += 1;
+        if b.shed_streak >= self.config.breaker_threshold {
+            self.trip(p.0 as usize, now);
+        }
+    }
+
+    /// Records that a batch delivered process `p`'s data unshed (resets
+    /// the sample-path streak; request-path health is judged separately).
+    pub fn note_batch_ok(&mut self, p: ProcId) {
+        if !self.config.enabled {
+            return;
+        }
+        self.breakers[p.0 as usize].shed_streak = 0;
+    }
+
+    /// Process indices currently behind an open (blocking) breaker.
+    pub fn blocked_procs(&self) -> Vec<ProcId> {
+        self.breakers
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_blocking())
+            .map(|(i, _)| ProcId(i as u16))
+            .collect()
+    }
+
+    /// True if any breaker is currently open.
+    pub fn any_breaker_open(&self) -> bool {
+        self.config.enabled && self.breakers.iter().any(|b| b.is_blocking())
+    }
+
+    /// Drains the processes whose breaker opened since the last drain
+    /// (for surfacing saturated resources in the report).
+    pub fn drain_newly_saturated(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.newly_saturated)
+    }
+
+    /// The backpressure signal: the search should stop fanning out
+    /// refinement probes while this holds.
+    pub fn under_pressure(&self) -> bool {
+        self.config.enabled
+            && (self.in_flight_now() >= self.config.max_in_flight
+                || self.shed_last_batch
+                || self.breakers.iter().any(|b| b.is_blocking()))
+    }
+
+    /// The resume signal, with hysteresis below the pressure threshold
+    /// (mirroring the cost model's halt/resume split): occupancy at half
+    /// the pool or less, no shed in the last batch, no open breaker.
+    pub fn drained(&self) -> bool {
+        !self.config.enabled
+            || (self.in_flight_now() <= self.config.max_in_flight / 2
+                && !self.shed_last_batch
+                && !self.breakers.iter().any(|b| b.is_blocking()))
+    }
+
+    fn request_strike(&mut self, p: usize, now: SimTime) {
+        let b = &mut self.breakers[p];
+        if b.state == BreakerState::HalfOpen {
+            // The probe failed: straight back to open.
+            b.state = BreakerState::Open;
+            b.opened_at = now;
+            return;
+        }
+        b.request_strikes += 1;
+        if b.request_strikes >= self.config.breaker_threshold {
+            self.trip(p, now);
+        }
+    }
+
+    fn request_success(&mut self, p: usize) {
+        let b = &mut self.breakers[p];
+        if b.state == BreakerState::HalfOpen {
+            b.state = BreakerState::Closed;
+            self.stats.breaker_readmits += 1;
+        }
+        b.request_strikes = 0;
+    }
+
+    fn trip(&mut self, p: usize, now: SimTime) {
+        let b = &mut self.breakers[p];
+        if b.state == BreakerState::Open {
+            return;
+        }
+        b.state = BreakerState::Open;
+        b.opened_at = now;
+        b.request_strikes = 0;
+        b.shed_streak = 0;
+        self.stats.breaker_opens += 1;
+        if !self.newly_saturated.contains(&p) {
+            self.newly_saturated.push(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight() -> AdmissionConfig {
+        AdmissionConfig {
+            enabled: true,
+            max_in_flight: 4,
+            sample_budget: 10,
+            deadline: SimDuration::from_millis(500),
+            breaker_threshold: 2,
+            breaker_cooldown: SimDuration::from_secs(1),
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn disabled_controller_always_grants_and_counts_nothing() {
+        let mut a = AdmissionController::new(AdmissionConfig::default(), 2);
+        for _ in 0..100 {
+            assert_eq!(
+                a.admit(&[ProcId(0)], RequestClass::Refinement, t(0)),
+                AdmitVerdict::Grant
+            );
+            a.note_granted(&[ProcId(0)], t(10_000), t(0));
+        }
+        a.note_phantom_samples(1_000_000);
+        a.absorb_storm(1_000_000, t(0));
+        assert_eq!(a.sample_quota(5), None);
+        assert_eq!(a.stats(), &AdmissionStats::default());
+        assert!(!a.under_pressure());
+        assert!(a.drained());
+    }
+
+    #[test]
+    fn in_flight_bound_sheds_refinement_before_backing() {
+        let mut a = AdmissionController::new(tight(), 2);
+        // Pool of 4, reserve 1: refinement sees 3 slots.
+        for _ in 0..3 {
+            assert_eq!(
+                a.admit(&[], RequestClass::Refinement, t(0)),
+                AdmitVerdict::Grant
+            );
+            a.note_granted(&[], t(80), t(0));
+        }
+        assert_eq!(
+            a.admit(&[], RequestClass::Refinement, t(0)),
+            AdmitVerdict::Shed
+        );
+        // Backing still gets the reserved slot.
+        assert_eq!(
+            a.admit(&[], RequestClass::Backing, t(0)),
+            AdmitVerdict::Grant
+        );
+        a.note_granted(&[], t(80), t(0));
+        assert_eq!(
+            a.admit(&[], RequestClass::Backing, t(0)),
+            AdmitVerdict::Shed
+        );
+        assert!(a.under_pressure());
+        assert_eq!(a.stats().peak_in_flight, 4);
+        assert_eq!(a.stats().shed_requests, 2);
+        // Entries expire at their activation time; capacity returns.
+        assert_eq!(
+            a.admit(&[], RequestClass::Refinement, t(100)),
+            AdmitVerdict::Grant
+        );
+    }
+
+    #[test]
+    fn storm_load_occupies_slots_but_respects_the_bound() {
+        let mut a = AdmissionController::new(tight(), 2);
+        a.absorb_storm(100, t(0));
+        assert_eq!(a.in_flight_now(), 4);
+        assert_eq!(a.stats().peak_in_flight, 4);
+        assert_eq!(
+            a.admit(&[], RequestClass::Backing, t(0)),
+            AdmitVerdict::Shed
+        );
+        // Phantom load expires after one deadline.
+        assert_eq!(
+            a.admit(&[], RequestClass::Backing, t(600)),
+            AdmitVerdict::Grant
+        );
+    }
+
+    #[test]
+    fn sample_budget_sheds_above_real_but_flood_consumes_headroom() {
+        let mut a = AdmissionController::new(tight(), 2);
+        // Under budget: untouched.
+        assert_eq!(a.sample_quota(10), None);
+        assert!(!a.under_pressure());
+        // Flood above budget but real fits: keep all real, shed phantom.
+        a.note_phantom_samples(90);
+        assert_eq!(a.sample_quota(8), None);
+        assert!(a.under_pressure());
+        assert_eq!(a.stats().shed_samples, 88);
+        // Real alone above budget: trim to the budget.
+        assert_eq!(a.sample_quota(14), Some(10));
+        assert_eq!(a.stats().shed_samples, 92);
+    }
+
+    #[test]
+    fn consecutive_strikes_open_then_halfopen_then_readmit() {
+        let mut a = AdmissionController::new(tight(), 2);
+        let p = ProcId(1);
+        a.note_failed(&[p], t(0));
+        assert!(!a.any_breaker_open());
+        a.note_failed(&[p], t(100));
+        assert!(a.any_breaker_open());
+        assert_eq!(a.blocked_procs(), vec![p]);
+        assert_eq!(a.drain_newly_saturated(), vec![1]);
+        assert!(a.drain_newly_saturated().is_empty());
+        // While open, a single-proc request for p is refused as saturated.
+        assert_eq!(
+            a.admit(&[p], RequestClass::Backing, t(200)),
+            AdmitVerdict::Saturated
+        );
+        // A multi-proc request with a healthy peer is not.
+        assert_eq!(
+            a.admit(&[ProcId(0), p], RequestClass::Backing, t(200)),
+            AdmitVerdict::Grant
+        );
+        // After the cooldown the breaker half-opens and admits a probe;
+        // a prompt grant closes it.
+        assert_eq!(
+            a.admit(&[p], RequestClass::Backing, t(1200)),
+            AdmitVerdict::Grant
+        );
+        a.note_granted(&[p], t(1280), t(1200));
+        assert!(!a.any_breaker_open());
+        assert_eq!(a.stats().breaker_readmits, 1);
+        assert_eq!(a.stats().breaker_opens, 1);
+    }
+
+    #[test]
+    fn failed_halfopen_probe_reopens() {
+        let mut a = AdmissionController::new(tight(), 1);
+        let p = ProcId(0);
+        a.note_failed(&[p], t(0));
+        a.note_failed(&[p], t(100));
+        assert!(a.any_breaker_open());
+        a.tick(t(1200)); // cooldown elapsed: half-open
+        assert!(!a.any_breaker_open());
+        a.note_failed(&[p], t(1200));
+        // One probe failure reopens immediately, no threshold.
+        assert!(a.any_breaker_open());
+        // And the new cooldown counts from the reopen.
+        a.tick(t(1500));
+        assert!(a.any_breaker_open());
+        a.tick(t(2300));
+        assert!(!a.any_breaker_open());
+    }
+
+    #[test]
+    fn shed_batches_trip_and_clean_batches_reset() {
+        let mut a = AdmissionController::new(tight(), 2);
+        let p = ProcId(1);
+        a.note_batch_shed(p, t(100));
+        a.note_batch_ok(p);
+        a.note_batch_shed(p, t(300));
+        assert!(!a.any_breaker_open(), "reset streak must not trip");
+        a.note_batch_shed(p, t(400));
+        assert!(a.any_breaker_open());
+    }
+
+    #[test]
+    fn pressure_and_drain_hysteresis() {
+        let mut a = AdmissionController::new(tight(), 1);
+        assert!(!a.under_pressure());
+        assert!(a.drained());
+        for _ in 0..4 {
+            assert_eq!(
+                a.admit(&[], RequestClass::Backing, t(0)),
+                AdmitVerdict::Grant
+            );
+            a.note_granted(&[], t(80), t(0));
+        }
+        assert!(a.under_pressure());
+        assert!(!a.drained());
+        // At 3 of 4 slots: no longer at the cap, but not drained either.
+        a.in_flight.truncate(3);
+        assert!(!a.under_pressure());
+        assert!(!a.drained());
+        a.in_flight.truncate(2);
+        assert!(a.drained());
+    }
+
+    #[test]
+    fn knob_parsing_round_trips_values_and_rejects_garbage() {
+        let c = AdmissionConfig::parse_knobs("on").unwrap();
+        assert!(c.enabled);
+        assert_eq!(c.max_in_flight, AdmissionConfig::default().max_in_flight);
+        let c = AdmissionConfig::parse_knobs(
+            "max-in-flight=8,sample-budget=512,deadline-ms=250,strikes=5,cooldown-ms=1500",
+        )
+        .unwrap();
+        assert!(c.enabled);
+        assert_eq!(c.max_in_flight, 8);
+        assert_eq!(c.sample_budget, 512);
+        assert_eq!(c.deadline, SimDuration::from_millis(250));
+        assert_eq!(c.breaker_threshold, 5);
+        assert_eq!(c.breaker_cooldown, SimDuration::from_millis(1500));
+        for bad in [
+            "max-in-flight",
+            "max-in-flight=0",
+            "sample-budget=0",
+            "strikes=0",
+            "strikes=many",
+            "turbo=1",
+        ] {
+            assert!(AdmissionConfig::parse_knobs(bad).is_err(), "{bad}");
+        }
+    }
+}

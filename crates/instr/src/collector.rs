@@ -7,6 +7,7 @@
 //! the cost model's slowdown factors are pushed back into the engine so
 //! instrumentation perturbation is physically real in the simulation.
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmitVerdict, RequestClass};
 use crate::binder::Binder;
 use crate::cost::{CostConfig, CostModel};
 use crate::histogram::TimeHistogram;
@@ -32,6 +33,8 @@ pub struct CollectorConfig {
     pub hist_width: SimDuration,
     /// Cost model parameters.
     pub cost: CostConfig,
+    /// Overload admission control (disabled by default).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for CollectorConfig {
@@ -41,8 +44,23 @@ impl Default for CollectorConfig {
             hist_buckets: 480,
             hist_width: SimDuration::from_millis(200),
             cost: CostConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
+}
+
+/// What became of one admission-controlled instrumentation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// The pair was inserted.
+    Granted(PairId),
+    /// An injected daemon failure rejected the insertion; retry later.
+    Failed,
+    /// The admission controller had no capacity; retry later.
+    Shed,
+    /// Every process the focus covers is behind an open circuit breaker;
+    /// the experiment concludes `Saturated`.
+    Saturated,
 }
 
 /// Manages instrumentation over one application run.
@@ -69,6 +87,8 @@ pub struct Collector {
     requests_failed: u64,
     /// Instrumentation requests activated late by injected faults.
     requests_deferred: u64,
+    /// Overload admission control (every call is a no-op when disabled).
+    admission: AdmissionController,
 }
 
 impl Collector {
@@ -79,6 +99,7 @@ impl Collector {
         let cost = CostModel::new(config.cost.clone(), app.process_count());
         let tag_count = app.tags.len();
         let proc_count = app.process_count();
+        let admission = AdmissionController::new(config.admission.clone(), proc_count);
         Collector {
             binder,
             space,
@@ -91,6 +112,7 @@ impl Collector {
             last_data_at: vec![SimTime::ZERO; proc_count],
             requests_failed: 0,
             requests_deferred: 0,
+            admission,
         }
     }
 
@@ -134,7 +156,9 @@ impl Collector {
     /// [`Collector::request`] with an injected daemon fate: a `Fail`
     /// insertion is rejected outright (no pair, no cost — the caller
     /// retries), a `Defer` activates late by the extra delay, and
-    /// `Deliver` is exactly the healthy path.
+    /// `Deliver` is exactly the healthy path. Capacity refusals from the
+    /// admission layer surface as `None`, like failures; callers that
+    /// need to tell them apart use [`Collector::request_admitted`].
     pub fn request_faulted(
         &mut self,
         metric: Metric,
@@ -142,33 +166,65 @@ impl Collector {
         now: SimTime,
         fault: RequestFault,
     ) -> Option<PairId> {
-        let extra = match fault {
-            RequestFault::Deliver => SimDuration::ZERO,
+        match self.request_admitted(metric, focus, now, fault, RequestClass::Backing) {
+            AdmitOutcome::Granted(id) => Some(id),
+            AdmitOutcome::Failed | AdmitOutcome::Shed | AdmitOutcome::Saturated => None,
+        }
+    }
+
+    /// [`Collector::request_faulted`] through the admission controller:
+    /// the request is classified for priority shedding, checked against
+    /// the in-flight bound and the focus's circuit breakers, and its
+    /// activation latency feeds per-process health tracking. With
+    /// admission disabled this is exactly the legacy request path.
+    pub fn request_admitted(
+        &mut self,
+        metric: Metric,
+        focus: Focus,
+        now: SimTime,
+        fault: RequestFault,
+        class: RequestClass,
+    ) -> AdmitOutcome {
+        let compiled = self.binder.compile(&focus);
+        let (extra, deferred) = match fault {
+            RequestFault::Deliver => (SimDuration::ZERO, false),
             RequestFault::Fail => {
                 self.requests_failed += 1;
-                return None;
+                self.admission.note_failed(compiled.procs(), now);
+                return AdmitOutcome::Failed;
             }
-            RequestFault::Defer(d) => {
-                self.requests_deferred += 1;
-                d
-            }
+            RequestFault::Defer(d) => (d, true),
         };
-        let compiled = self.binder.compile(&focus);
+        match self.admission.admit(compiled.procs(), class, now) {
+            AdmitVerdict::Grant => {}
+            AdmitVerdict::Shed => return AdmitOutcome::Shed,
+            AdmitVerdict::Saturated => return AdmitOutcome::Saturated,
+        }
+        if deferred {
+            self.requests_deferred += 1;
+        }
         let cost = self.cost.pair_cost(&compiled);
         self.cost.add(&compiled, cost);
         let hist = TimeHistogram::new(self.config.hist_buckets, self.config.hist_width);
-        let pair = Pair::new(
-            metric,
-            focus,
-            compiled,
-            now,
-            now + self.config.insertion_delay + extra,
-            hist,
-        );
+        let active_from = now + self.config.insertion_delay + extra;
+        let procs = compiled.procs().to_vec();
+        let pair = Pair::new(metric, focus, compiled, now, active_from, hist);
         self.pairs.push(pair);
         self.charged.push(cost);
         self.requested_total += 1;
-        Some(PairId(self.pairs.len() as u32 - 1))
+        self.admission.note_granted(&procs, active_from, now);
+        AdmitOutcome::Granted(PairId(self.pairs.len() as u32 - 1))
+    }
+
+    /// The admission controller (stats, pressure signals, breakers).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Mutable access to the admission controller, for the driver's
+    /// housekeeping tick and injected phantom load.
+    pub fn admission_mut(&mut self) -> &mut AdmissionController {
+        &mut self.admission
     }
 
     /// End timestamp of the newest raw interval seen from `proc`.
@@ -245,7 +301,28 @@ impl Collector {
     /// Feeds a batch of intervals via per-key aggregation: tag discovery
     /// stays exact, metric values are spread uniformly over each key's
     /// span within the batch (see [`crate::delta`]).
+    ///
+    /// With admission enabled the batch first passes the per-batch
+    /// sample budget: real intervals beyond the quota are shed (highest
+    /// process ranks first, deterministically) and never observed — shed
+    /// data also does not count as stream freshness, so a fully starved
+    /// process eventually trips the existing starvation timeout.
     pub fn observe_batch(&mut self, ivs: &[Interval]) {
+        match self.admission.sample_quota(ivs.len() as u64) {
+            None => {
+                if self.admission.config().enabled {
+                    self.note_batch_delivered(ivs);
+                }
+                self.observe_batch_inner(ivs);
+            }
+            Some(keep) => {
+                let kept = self.trim_batch(ivs, keep);
+                self.observe_batch_inner(&kept);
+            }
+        }
+    }
+
+    fn observe_batch_inner(&mut self, ivs: &[Interval]) {
         for iv in ivs {
             self.note_data(iv);
             if let Some(tag) = iv.tag {
@@ -270,6 +347,60 @@ impl Collector {
             }
             for d in &deltas {
                 pair.observe_delta(d, &self.binder);
+            }
+        }
+    }
+
+    /// Trims a batch to `keep` real intervals under the sample budget.
+    /// Allowance is handed out in ascending process rank, so shedding
+    /// concentrates on the highest ranks instead of thinning every
+    /// process's data evenly; per-process health is recorded as it goes.
+    fn trim_batch(&mut self, ivs: &[Interval], keep: u64) -> Vec<Interval> {
+        let procs = self.last_data_at.len();
+        let mut per_proc = vec![0u64; procs];
+        for iv in ivs {
+            per_proc[iv.proc.0 as usize] += 1;
+        }
+        let mut allow = vec![0u64; procs];
+        let mut left = keep;
+        for p in 0..procs {
+            let take = per_proc[p].min(left);
+            allow[p] = take;
+            left -= take;
+        }
+        let now = ivs.iter().map(|iv| iv.end).max().unwrap_or(SimTime::ZERO);
+        for p in 0..procs {
+            if per_proc[p] == 0 {
+                continue;
+            }
+            if allow[p] < per_proc[p] {
+                self.admission.note_batch_shed(ProcId(p as u16), now);
+            } else {
+                self.admission.note_batch_ok(ProcId(p as u16));
+            }
+        }
+        let mut used = vec![0u64; procs];
+        ivs.iter()
+            .filter(|iv| {
+                let p = iv.proc.0 as usize;
+                used[p] += 1;
+                used[p] <= allow[p]
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Records an unshed batch as clean delivery for every process that
+    /// contributed data (resets sample-path breaker streaks).
+    fn note_batch_delivered(&mut self, ivs: &[Interval]) {
+        let procs = self.last_data_at.len();
+        let mut seen = vec![false; procs];
+        for iv in ivs {
+            seen[iv.proc.0 as usize] = true;
+        }
+        for (p, contributed) in seen.iter().enumerate() {
+            if *contributed {
+                self.admission.note_batch_ok(ProcId(p as u16));
             }
         }
     }
@@ -417,13 +548,15 @@ mod tests {
         let wl = PoissonWorkload::new(PoissonVersion::C);
         let mut engine = wl.build_engine();
         let mut c = Collector::new(wl.app_spec(), CollectorConfig::default());
-        let tag_res = ResourceName::parse("/SyncObject/Message/3_0").unwrap();
+        let tag_res = ResourceName::parse("/SyncObject/Message/3_0")
+            .expect("literal tag resource name is valid");
         assert!(!c.space().contains(&tag_res));
         drive(&mut engine, &mut c, 200, 20);
         assert!(c.space().contains(&tag_res));
-        assert!(c
-            .space()
-            .contains(&ResourceName::parse("/SyncObject/Message/3_-1").unwrap()));
+        assert!(c.space().contains(
+            &ResourceName::parse("/SyncObject/Message/3_-1")
+                .expect("literal tag resource name is valid")
+        ));
     }
 
     #[test]
@@ -450,7 +583,7 @@ mod tests {
                 SimTime::ZERO,
                 RequestFault::Defer(SimDuration::from_millis(200)),
             )
-            .unwrap();
+            .expect("a deferred request still yields a pair");
         assert_eq!(c.requests_deferred(), 1);
         drive(&mut engine, &mut c, 500, 10);
         let v = c.value(id, SimTime::ZERO, SimTime::from_secs(1));
@@ -494,14 +627,12 @@ mod tests {
         let wl = SyntheticWorkload::balanced(2, 1, 1.0).with_hotspot(0, 0, 3.0);
         let mut engine = wl.build_engine();
         let mut c = Collector::new(wl.app_spec(), CollectorConfig::default());
-        let f1 = c
-            .space()
-            .whole_program()
-            .with_selection(ResourceName::parse("/Process/synth:1").unwrap());
-        let f2 = c
-            .space()
-            .whole_program()
-            .with_selection(ResourceName::parse("/Process/synth:2").unwrap());
+        let f1 = c.space().whole_program().with_selection(
+            ResourceName::parse("/Process/synth:1").expect("literal process name is valid"),
+        );
+        let f2 = c.space().whole_program().with_selection(
+            ResourceName::parse("/Process/synth:2").expect("literal process name is valid"),
+        );
         let id1 = c.request(Metric::CpuTime, f1, SimTime::ZERO);
         let id2 = c.request(Metric::CpuTime, f2, SimTime::ZERO);
         drive(&mut engine, &mut c, 1000, 50);
@@ -512,5 +643,134 @@ mod tests {
         // should be near 100% of wall.
         assert!(v1 > 0.8 && v2 > 0.8, "v1={v1} v2={v2}");
         assert_eq!(c.procs_in_focus(&c.pair(id1).focus), 1);
+    }
+
+    fn tight_admission() -> CollectorConfig {
+        CollectorConfig {
+            admission: crate::admission::AdmissionConfig {
+                enabled: true,
+                max_in_flight: 2,
+                sample_budget: 6,
+                deadline: SimDuration::from_millis(500),
+                breaker_threshold: 2,
+                breaker_cooldown: SimDuration::from_secs(1),
+            },
+            ..CollectorConfig::default()
+        }
+    }
+
+    #[test]
+    fn admission_bound_sheds_requests_through_the_collector() {
+        let wl = SyntheticWorkload::balanced(2, 1, 1.0);
+        let _ = wl.build_engine();
+        let mut c = Collector::new(wl.app_spec(), tight_admission());
+        let wp = c.space().whole_program();
+        // Pool of 2, reserve 1: only one refinement slot.
+        let first = c.request_admitted(
+            Metric::CpuTime,
+            wp.clone(),
+            SimTime::ZERO,
+            RequestFault::Deliver,
+            RequestClass::Refinement,
+        );
+        assert!(matches!(first, AdmitOutcome::Granted(_)));
+        let second = c.request_admitted(
+            Metric::CpuTime,
+            wp.clone(),
+            SimTime::ZERO,
+            RequestFault::Deliver,
+            RequestClass::Refinement,
+        );
+        assert_eq!(second, AdmitOutcome::Shed);
+        // The backing class still gets the reserved slot.
+        let third = c.request_admitted(
+            Metric::CpuTime,
+            wp.clone(),
+            SimTime::ZERO,
+            RequestFault::Deliver,
+            RequestClass::Backing,
+        );
+        assert!(matches!(third, AdmitOutcome::Granted(_)));
+        assert_eq!(c.admission().stats().peak_in_flight, 2);
+        // A shed request inserted no pair and charged no cost.
+        assert_eq!(c.pairs_requested(), 2);
+        // After the insertion delay both requests have activated and
+        // capacity returns.
+        let later = c.request_admitted(
+            Metric::CpuTime,
+            wp,
+            SimTime::from_millis(100),
+            RequestFault::Deliver,
+            RequestClass::Refinement,
+        );
+        assert!(matches!(later, AdmitOutcome::Granted(_)));
+    }
+
+    #[test]
+    fn repeated_failures_saturate_a_single_proc_focus() {
+        let wl = SyntheticWorkload::balanced(2, 1, 1.0);
+        let _ = wl.build_engine();
+        let mut c = Collector::new(wl.app_spec(), tight_admission());
+        let f1 = c.space().whole_program().with_selection(
+            ResourceName::parse("/Process/synth:1").expect("literal process name is valid"),
+        );
+        for ms in [0, 100] {
+            assert_eq!(
+                c.request_admitted(
+                    Metric::CpuTime,
+                    f1.clone(),
+                    SimTime::from_millis(ms),
+                    RequestFault::Fail,
+                    RequestClass::Refinement,
+                ),
+                AdmitOutcome::Failed
+            );
+        }
+        // Two consecutive failures tripped proc 0's breaker.
+        assert_eq!(
+            c.request_admitted(
+                Metric::CpuTime,
+                f1,
+                SimTime::from_millis(200),
+                RequestFault::Deliver,
+                RequestClass::Refinement,
+            ),
+            AdmitOutcome::Saturated
+        );
+        // The whole program still has a healthy process: not saturated.
+        let wp = c.space().whole_program();
+        assert!(matches!(
+            c.request_admitted(
+                Metric::CpuTime,
+                wp,
+                SimTime::from_millis(200),
+                RequestFault::Deliver,
+                RequestClass::Refinement,
+            ),
+            AdmitOutcome::Granted(_)
+        ));
+        assert_eq!(c.admission_mut().drain_newly_saturated(), vec![0]);
+    }
+
+    #[test]
+    fn sample_budget_starves_highest_ranks_first() {
+        let wl = SyntheticWorkload::balanced(2, 1, 1.0);
+        let mut engine = wl.build_engine();
+        let mut c = Collector::new(wl.app_spec(), tight_admission());
+        // Flood far above the 6-unit budget: real data competes for the
+        // budget lowest-rank-first, so proc 0 keeps flowing while proc 1
+        // (the highest rank) is shed.
+        for step in 1..=5u64 {
+            engine.run_until(SimTime::from_millis(100 * step));
+            let ivs = engine.drain_intervals();
+            c.admission_mut().note_phantom_samples(1000);
+            c.observe_batch(&ivs);
+        }
+        assert!(c.last_data_at(ProcId(0)) > SimTime::ZERO);
+        assert!(c.admission().stats().shed_samples > 0);
+        assert!(
+            c.last_data_at(ProcId(1)) <= c.last_data_at(ProcId(0)),
+            "shedding must concentrate on the highest rank"
+        );
     }
 }

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod binder;
 pub mod collector;
 pub mod cost;
@@ -32,8 +33,11 @@ pub mod metric;
 pub mod pair;
 pub mod postmortem;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionStats, AdmitVerdict, RequestClass,
+};
 pub use binder::Binder;
-pub use collector::{Collector, CollectorConfig, PairId};
+pub use collector::{AdmitOutcome, Collector, CollectorConfig, PairId};
 pub use cost::{CostConfig, CostModel};
 pub use histogram::TimeHistogram;
 pub use metric::Metric;

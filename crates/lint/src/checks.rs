@@ -441,6 +441,46 @@ pub fn check_unreachable_references(
     out
 }
 
+/// HL026: a directive whose resource (after mapping) saturated during
+/// the run it is checked against — the admission layer's circuit breaker
+/// opened there, shedding requests or data. Outcomes recorded under a
+/// saturated resource reflect the tool's overload, not the program, so
+/// any directive harvested from them is suspect.
+pub fn check_saturated_references(
+    directives: &[LocatedDirective],
+    mappings: &MappingSet,
+    record: &ExecutionRecord,
+    file: &str,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if record.saturated.is_empty() {
+        return out;
+    }
+    for (name, span) in mentioned_names(directives) {
+        let mapped = mappings.apply_to_name(&name);
+        if !record.is_saturated(&mapped) {
+            continue;
+        }
+        out.push(
+            Diagnostic::warning(
+                "HL026",
+                format!(
+                    "directive references `{mapped}`, which saturated under overload \
+                     during run `{}/{}`",
+                    record.app_name, record.label
+                ),
+            )
+            .with_file(file)
+            .with_span(span)
+            .with_suggestion(
+                "conclusions under a saturated resource reflect shed instrumentation, \
+                 not the program; re-harvest from an unloaded run or drop this line",
+            ),
+        );
+    }
+    out
+}
+
 /// HL022: a threshold whose anchoring conclusion — the smallest true
 /// magnitude of its hypothesis in the run, which margin-below-minimum
 /// derivation builds on — was observed over fewer samples than

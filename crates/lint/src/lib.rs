@@ -39,6 +39,7 @@
 //! | HL023 | error    | store record fails its checksum frame or does not parse |
 //! | HL024 | warning  | store shows unclean-shutdown evidence (stale lock, torn journal, stray files) |
 //! | HL025 | warning  | store uses the legacy v0 layout or its manifest index drifted |
+//! | HL026 | warning  | directive references a resource the run marked saturated (overload shed) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -256,6 +257,12 @@ impl<'a> Linter<'a> {
                     file,
                 ));
                 diags.extend(checks::check_unreachable_references(
+                    &located,
+                    &mapping_set,
+                    record,
+                    file,
+                ));
+                diags.extend(checks::check_saturated_references(
                     &located,
                     &mapping_set,
                     record,

@@ -54,6 +54,7 @@ fn sample_record() -> ExecutionRecord {
         end_time: SimTime(10),
         pairs_tested: 1,
         unreachable: vec![],
+        saturated: vec![],
     }
 }
 
@@ -382,6 +383,45 @@ fn hl021_directive_on_unreachable_resource() {
         .against(&sample_record())
         .run();
     assert!(r.with_code("HL021").is_empty());
+}
+
+#[test]
+fn hl026_directive_on_saturated_resource() {
+    let mut rec = sample_record();
+    rec.saturated.push(n("/Process/p1"));
+    let r = Linter::new()
+        .directives("prune CPUbound resource /Process/p1\n", "test.dirs")
+        .against(&rec)
+        .run();
+    let d = &r.with_code("HL026")[0].clone();
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d
+        .message
+        .contains("saturated under overload during run `poisson/a1`"));
+    // Saturated is distinct from unreachable: HL021 stays silent.
+    assert!(r.with_code("HL021").is_empty());
+
+    // Saturated only *after* mapping is still caught.
+    let r = Linter::new()
+        .directives("prune CPUbound resource /Process/p9\n", "test.dirs")
+        .mappings("map /Process/p9 /Process/p1\n", "test.maps")
+        .against(&rec)
+        .run();
+    assert_eq!(r.with_code("HL026").len(), 1);
+
+    // A directive on an unloaded resource of the same run: clean.
+    let r = Linter::new()
+        .directives("prune CPUbound resource /Machine/node01\n", "test.dirs")
+        .against(&rec)
+        .run();
+    assert!(r.with_code("HL026").is_empty());
+
+    // Unloaded record (nothing saturated): the check stays silent.
+    let r = Linter::new()
+        .directives("prune CPUbound resource /Process/p1\n", "test.dirs")
+        .against(&sample_record())
+        .run();
+    assert!(r.with_code("HL026").is_empty());
 }
 
 #[test]
