@@ -1,0 +1,143 @@
+//! Per-PR bench snapshot harness: measures diagnosis wall-time for the
+//! Poisson versions A–D, the overload-soak and degraded scenarios, and
+//! raw simulator event throughput, and writes `BENCH_<pr>.json` in the
+//! stable `histpc-bench-snapshot/v1` schema.
+//!
+//! ```text
+//! bench_snapshot [--out PATH] [--pr N] [--before PATH] [--quick]
+//! bench_snapshot --check PATH [--quick]
+//! ```
+//!
+//! Without `--check`, runs the measurement profile and writes a snapshot
+//! to `--out` (default `BENCH_<pr>.json`); `--before FILE` embeds the
+//! "after" phase of a previously written snapshot as this snapshot's
+//! "before" phase, so a PR can record its own before/after speedup.
+//!
+//! With `--check FILE`, re-runs the measurement profile and fails
+//! (exit 1) if any *non-timing* invariant — convergence, verdict
+//! counts, shed/saturation counters, event counts — differs from the
+//! committed snapshot's "after" phase. Wall-clock fields are never
+//! compared. This is the CI gate that a perf PR cannot silently change
+//! behaviour.
+
+use histpc_bench::snapshot::{self, Snapshot};
+
+fn bad(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: bench_snapshot [--out PATH] [--pr N] [--before PATH] [--check PATH] [--quick]"
+    );
+    std::process::exit(2);
+}
+
+fn read_snapshot(path: &str) -> Snapshot {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => bad(&format!("cannot read {path}: {e}")),
+    };
+    match Snapshot::parse(&text) {
+        Ok(s) => s,
+        Err(e) => bad(&format!("cannot parse {path}: {e}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut pr: u64 = 6;
+    let mut before_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            flag @ ("--out" | "--pr" | "--before" | "--check") => {
+                let Some(value) = args.get(i + 1) else {
+                    bad(&format!("missing value for {flag}"));
+                };
+                match flag {
+                    "--out" => out = Some(value.clone()),
+                    "--pr" => match value.parse::<u64>() {
+                        Ok(v) => pr = v,
+                        Err(_) => bad("--pr wants a number"),
+                    },
+                    "--before" => before_path = Some(value.clone()),
+                    "--check" => check_path = Some(value.clone()),
+                    _ => unreachable!(),
+                }
+                i += 2;
+            }
+            other => bad(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let profile = if quick { "quick" } else { "full" };
+    eprintln!("bench_snapshot: running {profile} measurement profile...");
+    let measured = if quick {
+        snapshot::measure_quick()
+    } else {
+        snapshot::measure_full()
+    };
+
+    if let Some(path) = check_path {
+        let committed = read_snapshot(&path);
+        let regressions = snapshot::invariant_regressions(&committed.after, &measured);
+        if regressions.is_empty() {
+            println!("PASS: all non-timing invariants match {path}");
+            return;
+        }
+        for r in &regressions {
+            eprintln!("FAIL: {r}");
+        }
+        eprintln!(
+            "{} non-timing invariant(s) regressed vs {path}",
+            regressions.len()
+        );
+        std::process::exit(1);
+    }
+
+    let before = before_path.map(|p| read_snapshot(&p).after);
+    let snap = Snapshot {
+        schema: snapshot::SCHEMA.into(),
+        pr,
+        before,
+        after: measured,
+    };
+
+    for d in &snap.after.diagnosis {
+        let speedup = snap
+            .speedup(&d.version)
+            .map(|s| format!("  ({s:.2}x vs before)"))
+            .unwrap_or_default();
+        println!(
+            "diagnosis {:>5}: {:>9.1} ms  pairs={:<4} bottlenecks={:<3} quiescent={}{}",
+            d.version, d.wall_ms, d.pairs_tested, d.bottlenecks, d.quiescent, speedup
+        );
+    }
+    if let Some(o) = &snap.after.overload {
+        println!(
+            "overload  soak : {:>9.1} ms  converged={} graceful={}",
+            o.wall_ms, o.converged, o.degraded_gracefully
+        );
+    }
+    if let Some(d) = &snap.after.degraded {
+        println!(
+            "degraded  run  : {:>9.1} ms  reduction={:?} unknown={}",
+            d.wall_ms, d.reduction, d.unknown_pairs
+        );
+    }
+    println!(
+        "sim throughput : {:>9.1} ms  {} events  ({:.0} events/s)",
+        snap.after.sim.wall_ms, snap.after.sim.events, snap.after.sim.events_per_sec
+    );
+
+    let path = out.unwrap_or_else(|| format!("BENCH_{pr}.json"));
+    if let Err(e) = std::fs::write(&path, snap.to_json()) {
+        bad(&format!("cannot write {path}: {e}"));
+    }
+    println!("wrote {path}");
+}

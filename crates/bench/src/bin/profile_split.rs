@@ -1,0 +1,92 @@
+//! Dev-only: splits version-D diagnosis wall time into engine, batch
+//! drain, collector ingest, and consultant tick components, to aim
+//! optimization work. Not part of CI.
+
+use std::time::{Duration, Instant};
+
+use histpc::consultant::{Consultant, HypothesisTree};
+use histpc::instr::{Collector, SampleBatch};
+use histpc::prelude::*;
+use histpc_bench::snapshot;
+
+fn main() {
+    let config = SearchConfig {
+        window: SimDuration::from_secs(2),
+        sample: SimDuration::from_millis(250),
+        max_time: SimDuration::from_secs(900),
+        ..SearchConfig::default()
+    };
+    let wl = PoissonWorkload::new(PoissonVersion::D);
+    let mut engine = wl.build_engine();
+
+    let mut t_engine = Duration::ZERO;
+    let mut t_drain = Duration::ZERO;
+    let mut t_ingest = Duration::ZERO;
+    let mut t_tick = Duration::ZERO;
+    let whole = Instant::now();
+
+    let mut collector = Collector::new(engine.app().clone(), config.collector.clone());
+    let mut consultant = Consultant::new(
+        HypothesisTree::standard(),
+        config.directives.clone(),
+        config.window,
+        &collector,
+    );
+    consultant.tick(SimTime::ZERO, &mut collector);
+    collector.apply_perturbation(&mut engine);
+
+    let mut now = SimTime::ZERO;
+    let max = SimTime::ZERO + config.max_time;
+    loop {
+        now += config.sample;
+        let t = Instant::now();
+        let status = engine.run_until(now);
+        t_engine += t.elapsed();
+        let t = Instant::now();
+        let batch = SampleBatch::drain(&mut engine);
+        t_drain += t.elapsed();
+        let t = Instant::now();
+        collector.ingest(&batch);
+        t_ingest += t.elapsed();
+        let t = Instant::now();
+        consultant.tick(now, &mut collector);
+        t_tick += t.elapsed();
+        collector.apply_perturbation(&mut engine);
+        if consultant.is_quiescent() {
+            break;
+        }
+        if status != EngineStatus::Running {
+            break;
+        }
+        if now >= max {
+            break;
+        }
+    }
+    let report = consultant.report(&collector, now);
+    let total = whole.elapsed();
+    println!(
+        "full D: {:.1} ms (end {} us, pairs {}, bottlenecks {})",
+        total.as_secs_f64() * 1e3,
+        report.end_time.as_micros(),
+        report.pairs_tested,
+        report.bottlenecks().len()
+    );
+    println!(
+        "  engine {:.1} ms | drain {:.1} ms | ingest {:.1} ms | tick {:.1} ms | other {:.1} ms",
+        t_engine.as_secs_f64() * 1e3,
+        t_drain.as_secs_f64() * 1e3,
+        t_ingest.as_secs_f64() * 1e3,
+        t_tick.as_secs_f64() * 1e3,
+        (total - t_engine - t_drain - t_ingest - t_tick).as_secs_f64() * 1e3,
+    );
+
+    let sim = snapshot::measure_sim_throughput(
+        PoissonVersion::D,
+        SimDuration::from_micros(report.end_time.as_micros()),
+        SimDuration::from_millis(250),
+    );
+    println!(
+        "raw engine to same horizon: {:.1} ms, {} events",
+        sim.wall_ms, sim.events
+    );
+}

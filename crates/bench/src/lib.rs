@@ -11,5 +11,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod snapshot;
 
 pub use experiments::*;

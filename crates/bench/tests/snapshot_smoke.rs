@@ -1,0 +1,102 @@
+//! Smoke test for the committed per-PR bench snapshot.
+//!
+//! The repo carries a `BENCH_<pr>.json` at its root recording the perf
+//! trajectory of each PR. This test asserts the newest committed
+//! snapshot parses under the stable schema and actually covers every
+//! scenario the harness is supposed to measure — so a snapshot that was
+//! hand-edited, truncated, or produced by a stale binary fails the
+//! suite instead of silently gating CI on nothing.
+
+use std::path::PathBuf;
+
+use histpc_bench::snapshot::{Snapshot, SCHEMA};
+
+/// Newest committed `BENCH_<n>.json` at the repository root.
+fn newest_snapshot_path() -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves");
+    let mut found: Vec<(u32, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(&root).expect("repo root readable") {
+        let path = entry.expect("dir entry").path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(num) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+        {
+            if let Ok(pr) = num.parse::<u32>() {
+                found.push((pr, path));
+            }
+        }
+    }
+    found.sort();
+    found
+        .pop()
+        .map(|(_, path)| path)
+        .expect("a BENCH_<pr>.json snapshot is committed at the repo root")
+}
+
+#[test]
+fn committed_snapshot_parses_and_covers_every_scenario() {
+    let path = newest_snapshot_path();
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let snap = Snapshot::parse(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+
+    assert_eq!(snap.schema, SCHEMA, "snapshot schema drifted");
+    assert!(snap.pr >= 6, "snapshot pr number went backwards");
+
+    // Every diagnosis scenario must be present in the "after" phase,
+    // converged, and non-trivial.
+    for version in ["A", "B", "C", "D"] {
+        let m = snap
+            .after
+            .diagnosis
+            .iter()
+            .find(|m| m.version == version)
+            .unwrap_or_else(|| panic!("version {version} missing from after phase"));
+        assert!(m.quiescent, "version {version} did not converge");
+        assert!(m.pairs_tested > 0, "version {version} tested no pairs");
+        assert!(m.bottlenecks > 0, "version {version} found no bottlenecks");
+        assert!(m.end_time_us > 0);
+    }
+
+    // The resilience scenarios ride along in the full profile.
+    let overload = snap
+        .after
+        .overload
+        .as_ref()
+        .expect("overload soak missing from snapshot");
+    assert!(overload.converged, "overload soak did not converge");
+    assert!(
+        overload.degraded_gracefully,
+        "overload soak was not graceful"
+    );
+    let degraded = snap
+        .after
+        .degraded
+        .as_ref()
+        .expect("degraded-run scenario missing from snapshot");
+    assert!(degraded.directives > 0);
+
+    // Raw engine throughput was measured.
+    assert!(snap.after.sim.events > 0);
+    assert!(snap.after.sim.sim_us > 0);
+
+    // The headline claim of the PR: a before phase exists and version D
+    // got at least 1.5x faster.
+    assert!(
+        snap.before.is_some(),
+        "snapshot carries no before phase to compare against"
+    );
+    let speedup = snap
+        .speedup("D")
+        .expect("before/after both measure version D");
+    assert!(
+        speedup >= 1.5,
+        "version D speedup {speedup:.2}x is below the 1.5x target"
+    );
+}

@@ -22,7 +22,7 @@ use crate::hypothesis::{HypothesisId, HypothesisTree};
 use crate::report::{DiagnosisReport, NodeOutcome, Outcome};
 use crate::shg::{NodeState, Shg, ShgNodeId};
 use histpc_faults::{FaultInjector, FaultPlan, FaultStats, KillTarget, RequestFault};
-use histpc_instr::{AdmitOutcome, Collector, CollectorConfig, RequestClass};
+use histpc_instr::{AdmitOutcome, Collector, CollectorConfig, RequestClass, SampleBatch};
 use histpc_resources::ResourceName;
 use histpc_sim::{Engine, EngineStatus, ProcId, SimDuration, SimTime};
 use std::collections::HashMap;
@@ -754,8 +754,8 @@ pub fn drive_diagnosis(engine: &mut Engine, config: &SearchConfig) -> DiagnosisR
     loop {
         now += config.sample;
         let status = engine.run_until(now);
-        let intervals = engine.drain_intervals();
-        collector.observe_batch(&intervals);
+        let batch = SampleBatch::drain(engine);
+        collector.ingest(&batch);
         consultant.tick(now, &mut collector);
         collector.apply_perturbation(engine);
         if consultant.is_quiescent() && !config.run_full_program {
@@ -906,17 +906,20 @@ pub fn drive_diagnosis_faulted(
             consultant.note_dead(&victims, resources);
         }
         let status = engine.run_until(now);
-        let intervals = injector.filter_intervals(engine.drain_intervals(), now);
+        let batch = SampleBatch::new(
+            injector.filter_intervals(engine.drain_intervals(), now),
+            engine.app().process_count(),
+        );
         // Overload faults press on the admission layer: flood units
         // compete with the real stream for the sample budget, storm
         // requests occupy in-flight slots. Both draws happen even with
         // admission disabled (keeping RNG streams stable); the collector
         // then absorbs them as no-ops.
-        let flood = injector.flood_units(intervals.len());
+        let flood = injector.flood_units(batch.len());
         collector.admission_mut().note_phantom_samples(flood);
         let storm = injector.storm_requests();
         collector.admission_mut().absorb_storm(storm, now);
-        collector.observe_batch(&intervals);
+        collector.ingest(&batch);
         consultant.tick_faulted(now, &mut collector, &mut injector);
         collector.apply_perturbation(engine);
         if resume_from.is_none() && injector.crash_due(now) {

@@ -10,8 +10,9 @@
 use crate::directive::PriorityLevel;
 use crate::hypothesis::{HypothesisId, HypothesisTree};
 use histpc_instr::PairId;
-use histpc_resources::Focus;
+use histpc_resources::{Focus, FocusId, Interner};
 use histpc_sim::SimTime;
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// Index of a node in the SHG.
@@ -67,6 +68,9 @@ pub struct ShgNode {
     pub hypothesis: HypothesisId,
     /// The focus under test.
     pub focus: Focus,
+    /// The focus's id in the graph's interner — the copyable key the
+    /// node index uses instead of hashing the name form.
+    pub focus_id: FocusId,
     /// Current state.
     pub state: NodeState,
     /// Search priority.
@@ -91,10 +95,17 @@ pub struct ShgNode {
 }
 
 /// The search history graph.
+///
+/// Foci are interned on first sight: the node index is keyed by
+/// `(HypothesisId, FocusId)` — two copyable u32s — so the per-lookup
+/// cost on the search hot path is a small-key hash, not a deep
+/// compare-and-hash of resource-name paths. The name form stays on the
+/// node for reports.
 #[derive(Debug, Clone, Default)]
 pub struct Shg {
     nodes: Vec<ShgNode>,
-    index: HashMap<(HypothesisId, Focus), ShgNodeId>,
+    interner: Interner,
+    index: HashMap<(HypothesisId, FocusId), ShgNodeId>,
 }
 
 impl Shg {
@@ -113,9 +124,11 @@ impl Shg {
         self.nodes.is_empty()
     }
 
-    /// Looks up the node for (hypothesis, focus).
+    /// Looks up the node for (hypothesis, focus). Never interns: a focus
+    /// the graph has not seen cannot have a node.
     pub fn find(&self, hyp: HypothesisId, focus: &Focus) -> Option<ShgNodeId> {
-        self.index.get(&(hyp, focus.clone())).copied()
+        let fid = self.interner.lookup_focus(focus)?;
+        self.index.get(&(hyp, fid)).copied()
     }
 
     /// Read access to a node.
@@ -141,7 +154,8 @@ impl Shg {
         parent: Option<ShgNodeId>,
         now: SimTime,
     ) -> (ShgNodeId, bool) {
-        if let Some(id) = self.find(hyp, &focus) {
+        let fid = self.interner.intern_focus(&focus);
+        if let Some(&id) = self.index.get(&(hyp, fid)) {
             if let Some(p) = parent {
                 if !self.nodes[id.0 as usize].parents.contains(&p) {
                     self.nodes[id.0 as usize].parents.push(p);
@@ -153,7 +167,8 @@ impl Shg {
         let id = ShgNodeId(self.nodes.len() as u32);
         self.nodes.push(ShgNode {
             hypothesis: hyp,
-            focus: focus.clone(),
+            focus,
+            focus_id: fid,
             state,
             priority,
             persistent,
@@ -165,7 +180,7 @@ impl Shg {
             parents: parent.into_iter().collect(),
             children: Vec::new(),
         });
-        self.index.insert((hyp, focus), id);
+        self.index.insert((hyp, fid), id);
         if let Some(p) = parent {
             self.nodes[p.0 as usize].children.push(id);
         }
@@ -243,7 +258,9 @@ impl Shg {
 
     /// The display label of a node: its hypothesis name at the whole
     /// program, otherwise the most recently refined selection's label.
-    pub fn label_of(&self, id: ShgNodeId, tree: &HypothesisTree) -> String {
+    /// Borrows from the graph/tree; only the parentless-seed fallback
+    /// allocates.
+    pub fn label_of<'a>(&'a self, id: ShgNodeId, tree: &'a HypothesisTree) -> Cow<'a, str> {
         let parent = self.node(id).parents.first().copied();
         self.label_under(id, parent, tree)
     }
@@ -251,28 +268,30 @@ impl Shg {
     /// The display label of a node when shown under a specific parent:
     /// the selection that distinguishes it from that parent. Shared DAG
     /// nodes are thus labelled by the edge they are rendered along.
-    pub fn label_under(
-        &self,
+    pub fn label_under<'a>(
+        &'a self,
         id: ShgNodeId,
         parent: Option<ShgNodeId>,
-        tree: &HypothesisTree,
-    ) -> String {
+        tree: &'a HypothesisTree,
+    ) -> Cow<'a, str> {
         let n = self.node(id);
-        let hyp_name = &tree.get(n.hypothesis).name;
+        let hyp_name = tree.get(n.hypothesis).name.as_str();
         if n.focus.is_whole_program() {
-            return hyp_name.clone();
+            return Cow::Borrowed(hyp_name);
         }
-        let candidates = parent.into_iter().chain(n.parents.iter().copied());
+        let candidates = parent
+            .into_iter()
+            .chain(n.parents.iter().copied().filter(|&p| Some(p) != parent));
         for p in candidates {
             let pf = &self.node(p).focus;
             for sel in n.focus.selections() {
                 if pf.selection(sel.hierarchy()) != Some(sel) {
-                    return sel.label().to_string();
+                    return Cow::Borrowed(sel.label());
                 }
             }
         }
         // Fallback for parentless non-root nodes (priority seeds).
-        format!("{hyp_name} {}", n.focus)
+        Cow::Owned(format!("{hyp_name} {}", n.focus))
     }
 }
 

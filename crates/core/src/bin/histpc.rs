@@ -294,6 +294,7 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<ExitCode, String> {
         d.report.pairs_tested,
         d.report.peak_cost * 100.0
     );
+    println!("samples delivered through the collector: {}", d.events);
     let unknowns = d
         .report
         .outcomes

@@ -88,6 +88,10 @@ pub struct Diagnosis {
     /// Warnings from the pre-flight lint of the search directives (the
     /// lint's errors refuse the diagnosis instead).
     pub lint_warnings: Vec<Diagnostic>,
+    /// Number of engine intervals delivered through the sample pipeline
+    /// over the whole run — the denominator for per-sample cost figures
+    /// in the bench trajectory (`BENCH_<pr>.json`).
+    pub events: u64,
 }
 
 /// The result of a fault-injected diagnosis: either a completed (possibly
@@ -178,6 +182,7 @@ impl Session {
             postmortem: pm,
             ground_truth: truth,
             lint_warnings,
+            events: engine.events_drained(),
         })
     }
 
@@ -268,6 +273,7 @@ impl Session {
                 postmortem: pm,
                 ground_truth: truth,
                 lint_warnings,
+                events: engine.events_drained(),
             }),
             checkpoint: None,
             stats: run.stats,

@@ -30,16 +30,19 @@ pub struct PairDiff {
     pub outcome_a: Option<Outcome>,
     /// Outcome in the second run (if tested).
     pub outcome_b: Option<Outcome>,
-    /// Measured fraction in the first run.
-    pub value_a: f64,
-    /// Measured fraction in the second run.
-    pub value_b: f64,
+    /// Measured fraction in the first run; `None` when the pair was
+    /// never concluded there. A missing side is *not* zero — fabricating
+    /// `0.0` would manufacture a maximal delta that dominates rankings.
+    pub value_a: Option<f64>,
+    /// Measured fraction in the second run (`None` when not concluded).
+    pub value_b: Option<f64>,
 }
 
 impl PairDiff {
-    /// The change in measured fraction (b - a).
-    pub fn delta(&self) -> f64 {
-        self.value_b - self.value_a
+    /// The change in measured fraction (b - a); `None` unless the pair
+    /// was measured in both runs.
+    pub fn delta(&self) -> Option<f64> {
+        Some(self.value_b? - self.value_a?)
     }
 }
 
@@ -74,15 +77,20 @@ impl ComparisonReport {
             self.only_in_a.len(),
             self.only_in_b.len()
         ));
+        // An untested side renders as "--", not as a fabricated 0%.
+        let pct = |v: Option<f64>| match v {
+            Some(v) => format!("{:.1}%", v * 100.0),
+            None => "--".to_string(),
+        };
         out.push_str(&format!(
             "\nresolved bottlenecks ({}):\n",
             self.resolved.len()
         ));
         for d in &self.resolved {
             out.push_str(&format!(
-                "  {:>6.1}% -> {:>5.1}%  {}  {}\n",
-                d.value_a * 100.0,
-                d.value_b * 100.0,
+                "  {:>7} -> {:>6}  {}  {}\n",
+                pct(d.value_a),
+                pct(d.value_b),
                 d.hypothesis,
                 d.focus
             ));
@@ -93,9 +101,9 @@ impl ComparisonReport {
         ));
         for d in &self.introduced {
             out.push_str(&format!(
-                "  {:>6.1}% -> {:>5.1}%  {}  {}\n",
-                d.value_a * 100.0,
-                d.value_b * 100.0,
+                "  {:>7} -> {:>6}  {}  {}\n",
+                pct(d.value_a),
+                pct(d.value_b),
                 d.hypothesis,
                 d.focus
             ));
@@ -105,11 +113,15 @@ impl ComparisonReport {
             self.persisting.len()
         ));
         for d in self.persisting.iter().take(20) {
+            let delta = match d.delta() {
+                Some(dv) => format!(" ({:+.1}%)", dv * 100.0),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "  {:>6.1}% -> {:>5.1}% ({:+.1}%)  {}  {}\n",
-                d.value_a * 100.0,
-                d.value_b * 100.0,
-                d.delta() * 100.0,
+                "  {:>7} -> {:>6}{}  {}  {}\n",
+                pct(d.value_a),
+                pct(d.value_b),
+                delta,
                 d.hypothesis,
                 d.focus
             ));
@@ -169,8 +181,8 @@ pub fn compare(
             focus: focus_b,
             outcome_a: Some(oa.outcome),
             outcome_b: ob.map(|o| o.outcome),
-            value_a: oa.last_value,
-            value_b: ob.map(|o| o.last_value).unwrap_or(0.0),
+            value_a: Some(oa.last_value),
+            value_b: ob.map(|o| o.last_value),
         };
         if ob.is_some() {
             report.common_tested += 1;
@@ -201,26 +213,42 @@ pub fn compare(
                 && oa.outcome == Outcome::False
         });
         if !known_in_a {
+            let value_a = a
+                .outcomes
+                .iter()
+                .find(|oa| {
+                    concluded(oa)
+                        && oa.hypothesis == ob.hypothesis
+                        && map.apply_to_focus(&oa.focus) == ob.focus
+                })
+                .map(|oa| oa.last_value);
             report.introduced.push(PairDiff {
                 hypothesis: ob.hypothesis.clone(),
                 focus: ob.focus.clone(),
                 outcome_a: tested_false_in_a.then_some(Outcome::False),
                 outcome_b: Some(ob.outcome),
-                value_a: 0.0,
-                value_b: ob.last_value,
+                value_a,
+                value_b: Some(ob.last_value),
             });
         }
     }
-    // Largest changes first.
+    // Largest changes first. Only true pairs — measured on both sides —
+    // carry a delta; a missing side ranks last instead of fabricating a
+    // maximal change.
+    let rank = |d: &PairDiff| d.delta().map(f64::abs).unwrap_or(-1.0);
     report
         .persisting
-        .sort_by(|x, y| y.delta().abs().total_cmp(&x.delta().abs()));
-    report
-        .resolved
-        .sort_by(|x, y| y.value_a.total_cmp(&x.value_a));
-    report
-        .introduced
-        .sort_by(|x, y| y.value_b.total_cmp(&x.value_b));
+        .sort_by(|x, y| rank(y).total_cmp(&rank(x)));
+    report.resolved.sort_by(|x, y| {
+        y.value_a
+            .unwrap_or(-1.0)
+            .total_cmp(&x.value_a.unwrap_or(-1.0))
+    });
+    report.introduced.sort_by(|x, y| {
+        y.value_b
+            .unwrap_or(-1.0)
+            .total_cmp(&x.value_b.unwrap_or(-1.0))
+    });
     report
 }
 
@@ -303,12 +331,13 @@ mod tests {
         );
         let cmp = compare(&a, &b, None);
         assert_eq!(cmp.resolved.len(), 1);
-        assert_eq!(cmp.resolved[0].value_a, 0.5);
+        assert_eq!(cmp.resolved[0].value_a, Some(0.5));
         assert_eq!(cmp.introduced.len(), 1);
         assert_eq!(cmp.introduced[0].hypothesis, "ExcessiveSyncWaitingTime");
         assert_eq!(cmp.introduced[0].outcome_a, Some(Outcome::False));
+        assert_eq!(cmp.introduced[0].value_a, Some(0.05));
         assert_eq!(cmp.persisting.len(), 1);
-        assert!((cmp.persisting[0].delta() - 0.15).abs() < 1e-9);
+        assert!((cmp.persisting[0].delta().unwrap() - 0.15).abs() < 1e-9);
         assert_eq!(cmp.common_tested, 3);
         assert!(!cmp.is_improvement()); // something was introduced
     }
@@ -331,7 +360,47 @@ mod tests {
         let cmp = compare(&a, &b, None);
         assert_eq!(cmp.resolved.len(), 1);
         assert_eq!(cmp.resolved[0].outcome_b, None);
+        // The missing side is absent, not a fabricated zero.
+        assert_eq!(cmp.resolved[0].value_b, None);
+        assert_eq!(cmp.resolved[0].delta(), None);
         assert!(cmp.is_improvement());
+    }
+
+    #[test]
+    fn missing_side_does_not_dominate_delta_ranking() {
+        // Regression: a pair untested in run B used to be fabricated as
+        // value_b = 0.0, whose huge |delta| outranked every genuinely
+        // measured change. Pairs without both measurements must rank last.
+        let s = space(&[]);
+        let a = record(
+            &s,
+            "1",
+            vec![
+                outcome(&s, "CPUbound", Some("/Code/a.c/f"), Outcome::True, 0.9),
+                outcome(&s, "CPUbound", Some("/Code/a.c/g"), Outcome::True, 0.3),
+            ],
+        );
+        let b = record(
+            &s,
+            "2",
+            vec![outcome(
+                &s,
+                "CPUbound",
+                Some("/Code/a.c/g"),
+                Outcome::True,
+                0.35,
+            )],
+        );
+        let cmp = compare(&a, &b, None);
+        // f (missing in B) resolves; only g truly persists with a small
+        // genuine delta — not a fabricated -0.9.
+        assert_eq!(cmp.persisting.len(), 1);
+        assert!((cmp.persisting[0].delta().unwrap() - 0.05).abs() < 1e-9);
+        assert_eq!(cmp.resolved.len(), 1);
+        assert_eq!(cmp.resolved[0].value_b, None);
+        // Render shows the missing side as "--".
+        let text = cmp.render();
+        assert!(text.contains("--"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Per-tick sample batches from the simulator to the collector.
+//!
+//! The driver loop drains the engine once per tick and hands the whole
+//! tick's intervals over as one [`SampleBatch`]. The batch carries
+//! per-process counts computed once at the boundary, so admission
+//! budgeting can rank and shed whole per-process groups without
+//! re-examining individual samples, and the collector can route the
+//! batch per pair (see [`crate::Collector::ingest`]).
+
+use histpc_sim::{Engine, Interval};
+
+/// One driver tick's worth of drained engine intervals.
+#[derive(Debug, Clone, Default)]
+pub struct SampleBatch {
+    intervals: Vec<Interval>,
+    per_proc: Vec<u64>,
+}
+
+impl SampleBatch {
+    /// Wraps a tick's intervals; `proc_count` sizes the per-process
+    /// count table (processes beyond it grow the table as needed).
+    pub fn new(intervals: Vec<Interval>, proc_count: usize) -> SampleBatch {
+        let mut per_proc = vec![0u64; proc_count];
+        for iv in &intervals {
+            let p = iv.proc.0 as usize;
+            if p >= per_proc.len() {
+                per_proc.resize(p + 1, 0);
+            }
+            per_proc[p] += 1;
+        }
+        SampleBatch {
+            intervals,
+            per_proc,
+        }
+    }
+
+    /// Drains `engine` and wraps the result — the canonical driver-tick
+    /// handoff from the simulator to the collector.
+    pub fn drain(engine: &mut Engine) -> SampleBatch {
+        let proc_count = engine.app().process_count();
+        SampleBatch::new(engine.drain_intervals(), proc_count)
+    }
+
+    /// Number of intervals in the batch.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True when the batch holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The intervals, in engine emission order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Interval count per process rank.
+    pub fn per_proc(&self) -> &[u64] {
+        &self.per_proc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histpc_sim::workloads::{SyntheticWorkload, Workload};
+    use histpc_sim::{ActivityKind, FuncId, ProcId, SimTime};
+
+    fn iv(proc: u16, s: u64, e: u64) -> Interval {
+        Interval {
+            proc: ProcId(proc),
+            func: FuncId(0),
+            kind: ActivityKind::Cpu,
+            tag: None,
+            start: SimTime(s),
+            end: SimTime(e),
+            bytes: 0,
+        }
+    }
+
+    #[test]
+    fn counts_per_process() {
+        let b = SampleBatch::new(vec![iv(0, 0, 1), iv(2, 1, 2), iv(0, 2, 3)], 3);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.per_proc(), &[2, 0, 1]);
+        assert_eq!(b.intervals()[1].proc, ProcId(2));
+    }
+
+    #[test]
+    fn grows_for_unexpected_ranks() {
+        let b = SampleBatch::new(vec![iv(5, 0, 1)], 2);
+        assert_eq!(b.per_proc(), &[0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn drains_an_engine() {
+        let wl = SyntheticWorkload::balanced(2, 1, 0.1);
+        let mut e = wl.build_engine();
+        e.run_until(SimTime::from_millis(500));
+        let b = SampleBatch::drain(&mut e);
+        assert!(!b.is_empty());
+        assert_eq!(b.per_proc().len(), 2);
+        // The engine was drained: a second batch is empty.
+        assert!(SampleBatch::drain(&mut e).is_empty());
+    }
+}

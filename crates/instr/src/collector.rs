@@ -8,13 +8,14 @@
 //! instrumentation perturbation is physically real in the simulation.
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmitVerdict, RequestClass};
-use crate::binder::Binder;
+use crate::binder::{Binder, CompiledFocus};
 use crate::cost::{CostConfig, CostModel};
+use crate::delta::DeltaAggregator;
 use crate::histogram::TimeHistogram;
 use crate::metric::Metric;
 use crate::pair::Pair;
 use histpc_faults::RequestFault;
-use histpc_resources::{Focus, ResourceSpace};
+use histpc_resources::{Focus, FocusId, Interner, ResourceSpace};
 use histpc_sim::{AppSpec, Engine, Interval, ProcId, SimDuration, SimTime};
 
 /// Handle to a requested metric-focus pair.
@@ -89,6 +90,19 @@ pub struct Collector {
     requests_deferred: u64,
     /// Overload admission control (every call is a no-op when disabled).
     admission: AdmissionController,
+    /// Interned foci; ids index [`Collector::compiled_foci`].
+    interner: Interner,
+    /// Compiled form of every interned focus. Compilation walks the
+    /// app's name tables, so hot callers (the per-tick consultant
+    /// sweeps, the request path) go through [`Collector::compile_focus`]
+    /// and pay it once per distinct focus.
+    compiled_foci: Vec<CompiledFocus>,
+    /// Sample-delivery routes: for each process, the indices of pairs
+    /// whose compiled focus covers it. Entries for deleted pairs are
+    /// pruned lazily as batches pass their deletion time.
+    route: Vec<Vec<u32>>,
+    /// Reusable dense per-batch delta aggregation state.
+    aggregator: DeltaAggregator,
 }
 
 impl Collector {
@@ -100,6 +114,7 @@ impl Collector {
         let tag_count = app.tags.len();
         let proc_count = app.process_count();
         let admission = AdmissionController::new(config.admission.clone(), proc_count);
+        let func_count = app.function_count();
         Collector {
             binder,
             space,
@@ -113,7 +128,34 @@ impl Collector {
             requests_failed: 0,
             requests_deferred: 0,
             admission,
+            interner: Interner::new(),
+            compiled_foci: Vec::new(),
+            route: vec![Vec::new(); proc_count],
+            aggregator: DeltaAggregator::new(proc_count, func_count, tag_count),
         }
+    }
+
+    /// Interns `focus`, compiling it against the app on first sight.
+    /// Repeats are a hash lookup; the compiled form is shared by every
+    /// caller via [`Collector::compiled_focus`].
+    pub fn compile_focus(&mut self, focus: &Focus) -> FocusId {
+        if let Some(id) = self.interner.lookup_focus(focus) {
+            return id;
+        }
+        let id = self.interner.intern_focus(focus);
+        debug_assert_eq!(id.0 as usize, self.compiled_foci.len());
+        self.compiled_foci.push(self.binder.compile(focus));
+        id
+    }
+
+    /// The compiled form of an interned focus.
+    pub fn compiled_focus(&self, id: FocusId) -> &CompiledFocus {
+        &self.compiled_foci[id.0 as usize]
+    }
+
+    /// The focus interner (resource names and foci to copyable ids).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
     }
 
     /// The resource space (grows as resources are discovered).
@@ -185,7 +227,8 @@ impl Collector {
         fault: RequestFault,
         class: RequestClass,
     ) -> AdmitOutcome {
-        let compiled = self.binder.compile(&focus);
+        let fid = self.compile_focus(&focus);
+        let compiled = self.compiled_foci[fid.0 as usize].clone();
         let (extra, deferred) = match fault {
             RequestFault::Deliver => (SimDuration::ZERO, false),
             RequestFault::Fail => {
@@ -207,13 +250,17 @@ impl Collector {
         self.cost.add(&compiled, cost);
         let hist = TimeHistogram::new(self.config.hist_buckets, self.config.hist_width);
         let active_from = now + self.config.insertion_delay + extra;
+        let idx = self.pairs.len() as u32;
+        for &p in compiled.procs() {
+            self.route[p.0 as usize].push(idx);
+        }
         let procs = compiled.procs().to_vec();
-        let pair = Pair::new(metric, focus, compiled, now, active_from, hist);
+        let pair = Pair::new(metric, focus, fid, compiled, now, active_from, hist);
         self.pairs.push(pair);
         self.charged.push(cost);
         self.requested_total += 1;
         self.admission.note_granted(&procs, active_from, now);
-        AdmitOutcome::Granted(PairId(self.pairs.len() as u32 - 1))
+        AdmitOutcome::Granted(PairId(idx))
     }
 
     /// The admission controller (stats, pressure signals, breakers).
@@ -249,8 +296,9 @@ impl Collector {
         let pair = &mut self.pairs[i];
         if pair.is_live() {
             pair.disabled_at = Some(now);
-            let compiled = pair.compiled.clone();
-            self.cost.sub(&compiled, self.charged[i]);
+            let fid = pair.focus_id;
+            self.cost
+                .sub(&self.compiled_foci[fid.0 as usize], self.charged[i]);
             self.charged[i] = 0.0;
         }
     }
@@ -263,10 +311,11 @@ impl Collector {
         if !self.pairs[i].is_live() {
             return;
         }
-        let compiled = self.pairs[i].compiled.clone();
-        let settled = self.cost.pair_cost(&compiled) * self.cost.config().settle_factor;
+        let fid = self.pairs[i].focus_id;
+        let compiled = &self.compiled_foci[fid.0 as usize];
+        let settled = self.cost.pair_cost(compiled) * self.cost.config().settle_factor;
         if self.charged[i] > settled {
-            self.cost.sub(&compiled, self.charged[i] - settled);
+            self.cost.sub(compiled, self.charged[i] - settled);
             self.charged[i] = settled;
         }
     }
@@ -308,15 +357,26 @@ impl Collector {
     /// data also does not count as stream freshness, so a fully starved
     /// process eventually trips the existing starvation timeout.
     pub fn observe_batch(&mut self, ivs: &[Interval]) {
-        match self.admission.sample_quota(ivs.len() as u64) {
+        let batch = crate::batch::SampleBatch::new(ivs.to_vec(), self.last_data_at.len());
+        self.ingest(&batch);
+    }
+
+    /// Feeds one driver tick's [`SampleBatch`](crate::batch::SampleBatch)
+    /// — the canonical sim-to-collector handoff. Admission budgeting
+    /// works on the batch's precomputed per-process groups: under
+    /// pressure, whole groups are shed in descending rank order instead
+    /// of re-evaluating sample by sample. With no pressure the batch is
+    /// delivered exactly as [`Collector::observe_batch`] always has.
+    pub fn ingest(&mut self, batch: &crate::batch::SampleBatch) {
+        match self.admission.sample_quota(batch.len() as u64) {
             None => {
                 if self.admission.config().enabled {
-                    self.note_batch_delivered(ivs);
+                    self.note_batch_delivered(batch.per_proc());
                 }
-                self.observe_batch_inner(ivs);
+                self.observe_batch_inner(batch.intervals());
             }
             Some(keep) => {
-                let kept = self.trim_batch(ivs, keep);
+                let kept = self.shed_batch(batch, keep);
                 self.observe_batch_inner(&kept);
             }
         }
@@ -336,70 +396,81 @@ impl Collector {
                 }
             }
         }
-        let deltas = crate::delta::aggregate(ivs);
+        let deltas = self.aggregator.aggregate(ivs);
         let Some(batch_start) = deltas.iter().map(|d| d.start).min() else {
             return;
         };
-        for pair in &mut self.pairs {
-            // Pairs deleted before this batch can never observe any of it.
-            if pair.disabled_at.is_some_and(|d| d <= batch_start) {
-                continue;
+        // Deltas sort leading with proc, so consecutive runs partition
+        // the slice per process; each run is delivered only to the pairs
+        // routed to that process. Per pair this replays the deltas in
+        // exactly the old every-pair-scans-everything order, because the
+        // run order *is* the sorted order.
+        let pairs = &mut self.pairs;
+        let binder = &self.binder;
+        let route = &self.route;
+        let mut i = 0;
+        while i < deltas.len() {
+            let proc = deltas[i].proc;
+            let mut j = i + 1;
+            while j < deltas.len() && deltas[j].proc == proc {
+                j += 1;
             }
-            for d in &deltas {
-                pair.observe_delta(d, &self.binder);
+            let group = &deltas[i..j];
+            for &pi in &route[proc.0 as usize] {
+                let pair = &mut pairs[pi as usize];
+                // Pairs deleted before this batch can never observe it.
+                // (Not pruned from the route: a wait that started before
+                // the deletion may still complete — and arrive — later.)
+                if pair.disabled_at.is_some_and(|d| d <= batch_start) {
+                    continue;
+                }
+                for d in group {
+                    pair.observe_delta(d, binder);
+                }
             }
+            i = j;
         }
     }
 
-    /// Trims a batch to `keep` real intervals under the sample budget.
-    /// Allowance is handed out in ascending process rank, so shedding
-    /// concentrates on the highest ranks instead of thinning every
-    /// process's data evenly; per-process health is recorded as it goes.
-    fn trim_batch(&mut self, ivs: &[Interval], keep: u64) -> Vec<Interval> {
-        let procs = self.last_data_at.len();
-        let mut per_proc = vec![0u64; procs];
-        for iv in ivs {
-            per_proc[iv.proc.0 as usize] += 1;
-        }
-        let mut allow = vec![0u64; procs];
+    /// Sheds a batch down to the `keep` sample quota in whole per-process
+    /// groups: allowance is granted in ascending rank order, and the
+    /// first group that does not fit — plus every higher rank — is shed
+    /// entirely. Per-process health is recorded as it goes.
+    fn shed_batch(&mut self, batch: &crate::batch::SampleBatch, keep: u64) -> Vec<Interval> {
+        let per_proc = batch.per_proc();
+        let now = batch
+            .intervals()
+            .iter()
+            .map(|iv| iv.end)
+            .max()
+            .unwrap_or(SimTime::ZERO);
         let mut left = keep;
-        for p in 0..procs {
-            let take = per_proc[p].min(left);
-            allow[p] = take;
-            left -= take;
-        }
-        let now = ivs.iter().map(|iv| iv.end).max().unwrap_or(SimTime::ZERO);
-        for p in 0..procs {
-            if per_proc[p] == 0 {
+        let mut cut = per_proc.len();
+        for (p, &count) in per_proc.iter().enumerate() {
+            if count == 0 {
                 continue;
             }
-            if allow[p] < per_proc[p] {
-                self.admission.note_batch_shed(ProcId(p as u16), now);
-            } else {
+            if cut == per_proc.len() && count <= left {
+                left -= count;
                 self.admission.note_batch_ok(ProcId(p as u16));
+            } else {
+                cut = cut.min(p);
+                self.admission.note_batch_shed(ProcId(p as u16), now);
             }
         }
-        let mut used = vec![0u64; procs];
-        ivs.iter()
-            .filter(|iv| {
-                let p = iv.proc.0 as usize;
-                used[p] += 1;
-                used[p] <= allow[p]
-            })
+        batch
+            .intervals()
+            .iter()
+            .filter(|iv| (iv.proc.0 as usize) < cut)
             .cloned()
             .collect()
     }
 
     /// Records an unshed batch as clean delivery for every process that
     /// contributed data (resets sample-path breaker streaks).
-    fn note_batch_delivered(&mut self, ivs: &[Interval]) {
-        let procs = self.last_data_at.len();
-        let mut seen = vec![false; procs];
-        for iv in ivs {
-            seen[iv.proc.0 as usize] = true;
-        }
-        for (p, contributed) in seen.iter().enumerate() {
-            if *contributed {
+    fn note_batch_delivered(&mut self, per_proc: &[u64]) {
+        for (p, &count) in per_proc.iter().enumerate() {
+            if count > 0 {
                 self.admission.note_batch_ok(ProcId(p as u16));
             }
         }
@@ -443,7 +514,10 @@ impl Collector {
     /// Number of processes covered by a focus (for per-process
     /// normalization of time metrics).
     pub fn procs_in_focus(&self, focus: &Focus) -> usize {
-        self.binder.compile(focus).procs().len()
+        match self.interner.lookup_focus(focus) {
+            Some(id) => self.compiled_foci[id.0 as usize].procs().len(),
+            None => self.binder.compile(focus).procs().len(),
+        }
     }
 }
 
@@ -756,10 +830,15 @@ mod tests {
     fn sample_budget_starves_highest_ranks_first() {
         let wl = SyntheticWorkload::balanced(2, 1, 1.0);
         let mut engine = wl.build_engine();
-        let mut c = Collector::new(wl.app_spec(), tight_admission());
-        // Flood far above the 6-unit budget: real data competes for the
-        // budget lowest-rank-first, so proc 0 keeps flowing while proc 1
-        // (the highest rank) is shed.
+        // Budget sized so one process's per-tick group fits but both
+        // don't: shedding is whole-group, so the budget must cover the
+        // lowest rank's group for it to keep flowing.
+        let mut cfg = tight_admission();
+        cfg.admission.sample_budget = 150;
+        let mut c = Collector::new(wl.app_spec(), cfg);
+        // Flood far above the budget: real data competes for the budget
+        // lowest-rank-first, so proc 0 keeps flowing while proc 1 (the
+        // highest rank) is shed.
         for step in 1..=5u64 {
             engine.run_until(SimTime::from_millis(100 * step));
             let ivs = engine.drain_intervals();

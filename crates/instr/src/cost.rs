@@ -60,9 +60,19 @@ impl Default for CostConfig {
 #[derive(Debug, Clone)]
 pub struct CostModel {
     config: CostConfig,
-    /// Per-process accumulated cost fraction from active pairs.
+    /// Per-process accumulated cost fraction from active pairs, as a
+    /// *signed* running balance. Refunds subtract exactly; an over-refund
+    /// leaves a negative residual that the next charge nets against,
+    /// instead of being silently clamped away (which would make the
+    /// books drift and skew admission decisions). Read paths clamp to
+    /// zero only at the boundary.
     per_proc: Vec<f64>,
 }
+
+/// Any steady-state float drift beyond this on a process's signed cost
+/// balance means charges and refunds no longer pair up — an accounting
+/// bug, not rounding.
+const DRIFT_BOUND: f64 = 1e-6;
 
 impl CostModel {
     /// A model for `procs` processes.
@@ -100,11 +110,25 @@ impl CostModel {
         }
     }
 
-    /// Removes `amount` of cost from every process in the focus.
+    /// Refunds `amount` of cost from every process in the focus. The
+    /// refund is taken against the signed balance: no clamping, so a
+    /// charge/refund mismatch shows up as residual instead of vanishing.
     pub fn sub(&mut self, focus: &CompiledFocus, amount: f64) {
         for p in focus.procs() {
-            self.per_proc[p.0 as usize] = (self.per_proc[p.0 as usize] - amount).max(0.0);
+            let bal = &mut self.per_proc[p.0 as usize];
+            *bal -= amount;
+            debug_assert!(
+                *bal >= -DRIFT_BOUND,
+                "cost balance of {p:?} drifted to {bal}: refunds exceed charges"
+            );
         }
+    }
+
+    /// The signed cost balance of one process — negative when refunds
+    /// have (erroneously) exceeded charges. Exposed for accounting tests
+    /// and diagnostics; consumers of cost use [`CostModel::proc_cost`].
+    pub fn residual(&self, proc: usize) -> f64 {
+        self.per_proc[proc]
     }
 
     /// Accounts for a pair being enabled at full (placement) cost.
@@ -117,9 +141,10 @@ impl CostModel {
         self.sub(focus, self.pair_cost(focus));
     }
 
-    /// Current cost fraction on one process.
+    /// Current cost fraction on one process (clamped at the boundary:
+    /// rounding dust below zero reads as zero).
     pub fn proc_cost(&self, proc: usize) -> f64 {
-        self.per_proc[proc]
+        self.per_proc[proc].max(0.0)
     }
 
     /// The throttling signal: the worst per-process cost.
@@ -129,7 +154,7 @@ impl CostModel {
 
     /// Slowdown factors (>= 1) to feed into the engine.
     pub fn slowdowns(&self) -> Vec<f64> {
-        self.per_proc.iter().map(|c| 1.0 + c).collect()
+        self.per_proc.iter().map(|c| 1.0 + c.max(0.0)).collect()
     }
 
     /// Would adding a pair with this focus exceed the halt threshold?
@@ -138,7 +163,7 @@ impl CostModel {
         focus
             .procs()
             .iter()
-            .any(|p| self.per_proc[p.0 as usize] + c > self.config.halt_threshold)
+            .any(|p| self.per_proc[p.0 as usize].max(0.0) + c > self.config.halt_threshold)
     }
 
     /// True if expansion is currently halted (cost at or above the halt
@@ -276,8 +301,43 @@ mod tests {
         assert!((m.total_cost() - settled).abs() < 1e-12);
         m.sub(&f, settled);
         assert!(m.total_cost().abs() < 1e-12);
-        // Over-subtraction clamps at zero.
+        assert!(m.residual(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refunds_track_signed_residual_instead_of_clamping() {
+        // Regression: `sub` used to clamp each balance at 0.0, silently
+        // swallowing over-refunds. A refund mismatch must stay on the
+        // books (negative residual netted by the next charge), while
+        // boundary reads still clamp rounding dust.
+        let (b, mut m) = setup();
+        let f = cf(&b, &[]);
+        m.add(&f, 0.010);
+        // Many uneven charge/refund pairs: the signed balance nets to
+        // exactly the sum, no drift accumulates from clamping.
+        for _ in 0..1000 {
+            m.add(&f, 0.003);
+            m.sub(&f, 0.001);
+            m.sub(&f, 0.002);
+        }
+        assert!((m.residual(0) - 0.010).abs() < 1e-9, "{}", m.residual(0));
+        assert!((m.total_cost() - 0.010).abs() < 1e-9);
+        m.sub(&f, 0.010);
+        assert!(m.residual(0).abs() < 1e-9);
+        // Boundary reads clamp float dust, never report negative cost.
+        assert!(m.proc_cost(0) >= 0.0);
+        for s in m.slowdowns() {
+            assert!(s >= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "refunds exceed charges")]
+    #[cfg(debug_assertions)]
+    fn over_refund_trips_the_drift_assert() {
+        let (b, mut m) = setup();
+        let f = cf(&b, &[]);
+        m.add(&f, 0.01);
         m.sub(&f, 1.0);
-        assert_eq!(m.total_cost(), 0.0);
     }
 }

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod batch;
 pub mod binder;
 pub mod collector;
 pub mod cost;
@@ -36,6 +37,7 @@ pub mod postmortem;
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionStats, AdmitVerdict, RequestClass,
 };
+pub use batch::SampleBatch;
 pub use binder::Binder;
 pub use collector::{AdmitOutcome, Collector, CollectorConfig, PairId};
 pub use cost::{CostConfig, CostModel};

@@ -7,7 +7,7 @@
 use crate::binder::{Binder, CompiledFocus};
 use crate::histogram::TimeHistogram;
 use crate::metric::Metric;
-use histpc_resources::Focus;
+use histpc_resources::{Focus, FocusId};
 use histpc_sim::{Interval, SimTime};
 
 /// One instrumented (metric, focus) pair.
@@ -17,6 +17,9 @@ pub struct Pair {
     pub metric: Metric,
     /// The focus, in resource-name form.
     pub focus: Focus,
+    /// The focus's id in the collector's interner; the key hot paths
+    /// route and look up by instead of the name form.
+    pub focus_id: FocusId,
     /// The focus compiled against the application.
     pub compiled: CompiledFocus,
     /// When instrumentation was requested.
@@ -36,6 +39,7 @@ impl Pair {
     pub fn new(
         metric: Metric,
         focus: Focus,
+        focus_id: FocusId,
         compiled: CompiledFocus,
         requested_at: SimTime,
         active_from: SimTime,
@@ -44,6 +48,7 @@ impl Pair {
         Pair {
             metric,
             focus,
+            focus_id,
             compiled,
             requested_at,
             active_from,
@@ -179,6 +184,7 @@ mod tests {
         let pair = Pair::new(
             Metric::CpuTime,
             focus,
+            FocusId(0),
             compiled,
             SimTime::ZERO,
             SimTime::from_millis(100),

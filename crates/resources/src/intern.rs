@@ -1,0 +1,141 @@
+//! Interned resource names and foci.
+//!
+//! Resource names are short segment lists and foci are small maps of
+//! them — cheap to build, but expensive to hash, compare and clone on
+//! every Search History Graph lookup or sample-routing decision. The
+//! [`Interner`] assigns each distinct [`ResourceName`] / [`Focus`] a
+//! dense, copyable id ([`NameId`] / [`FocusId`]) so hot structures can
+//! key on a `u32` and keep the string form only for report and record
+//! boundaries.
+//!
+//! Ids are only meaningful relative to the interner that produced them;
+//! an id is never invalidated (the interner grows monotonically).
+
+use crate::focus::Focus;
+use crate::name::ResourceName;
+use std::collections::HashMap;
+
+/// Dense, copyable id of an interned [`ResourceName`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NameId(pub u32);
+
+/// Dense, copyable id of an interned [`Focus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FocusId(pub u32);
+
+/// A monotonically growing two-way table of resource names and foci.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<ResourceName>,
+    name_ids: HashMap<ResourceName, NameId>,
+    foci: Vec<Focus>,
+    focus_ids: HashMap<Focus, FocusId>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns a resource name, returning its id (inserting on first
+    /// sight).
+    pub fn intern_name(&mut self, name: &ResourceName) -> NameId {
+        if let Some(&id) = self.name_ids.get(name) {
+            return id;
+        }
+        let id = NameId(self.names.len() as u32);
+        self.names.push(name.clone());
+        self.name_ids.insert(name.clone(), id);
+        id
+    }
+
+    /// The id of an already-interned name, without inserting.
+    pub fn lookup_name(&self, name: &ResourceName) -> Option<NameId> {
+        self.name_ids.get(name).copied()
+    }
+
+    /// The name behind an id. Panics on an id from another interner.
+    pub fn resolve_name(&self, id: NameId) -> &ResourceName {
+        &self.names[id.0 as usize]
+    }
+
+    /// Interns a focus, returning its id (inserting on first sight).
+    pub fn intern_focus(&mut self, focus: &Focus) -> FocusId {
+        if let Some(&id) = self.focus_ids.get(focus) {
+            return id;
+        }
+        let id = FocusId(self.foci.len() as u32);
+        self.foci.push(focus.clone());
+        self.focus_ids.insert(focus.clone(), id);
+        id
+    }
+
+    /// The id of an already-interned focus, without inserting or
+    /// cloning the key.
+    pub fn lookup_focus(&self, focus: &Focus) -> Option<FocusId> {
+        self.focus_ids.get(focus).copied()
+    }
+
+    /// The focus behind an id. Panics on an id from another interner.
+    pub fn resolve_focus(&self, id: FocusId) -> &Focus {
+        &self.foci[id.0 as usize]
+    }
+
+    /// Number of distinct names interned.
+    pub fn name_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of distinct foci interned.
+    pub fn focus_count(&self) -> usize {
+        self.foci.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> ResourceName {
+        ResourceName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn names_intern_to_stable_ids() {
+        let mut i = Interner::new();
+        let a = i.intern_name(&n("/Code/a.c"));
+        let b = i.intern_name(&n("/Code/b.c"));
+        assert_ne!(a, b);
+        assert_eq!(i.intern_name(&n("/Code/a.c")), a);
+        assert_eq!(i.resolve_name(a), &n("/Code/a.c"));
+        assert_eq!(i.lookup_name(&n("/Code/b.c")), Some(b));
+        assert_eq!(i.lookup_name(&n("/Code/c.c")), None);
+        assert_eq!(i.name_count(), 2);
+    }
+
+    #[test]
+    fn foci_intern_to_stable_ids() {
+        let mut i = Interner::new();
+        let wp = Focus::whole_program(["Code", "Process"]);
+        let narrowed = wp.with_selection(n("/Code/a.c"));
+        let a = i.intern_focus(&wp);
+        let b = i.intern_focus(&narrowed);
+        assert_ne!(a, b);
+        assert_eq!(i.intern_focus(&wp), a);
+        assert_eq!(i.resolve_focus(b), &narrowed);
+        assert_eq!(i.lookup_focus(&wp), Some(a));
+        assert_eq!(i.lookup_focus(&wp.with_selection(n("/Code/b.c"))), None);
+        assert_eq!(i.focus_count(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_first_sight() {
+        let mut i = Interner::new();
+        let ids: Vec<NameId> = ["/Code", "/Machine", "/Process"]
+            .iter()
+            .map(|s| i.intern_name(&n(s)))
+            .collect();
+        assert_eq!(ids, vec![NameId(0), NameId(1), NameId(2)]);
+    }
+}

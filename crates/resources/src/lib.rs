@@ -30,6 +30,7 @@ pub mod diag;
 pub mod error;
 pub mod focus;
 pub mod hierarchy;
+pub mod intern;
 pub mod name;
 pub mod space;
 
@@ -37,6 +38,7 @@ pub use diag::{Diagnostic, Severity, Span};
 pub use error::ResourceError;
 pub use focus::Focus;
 pub use hierarchy::{ExecTagSet, NodeId, ResourceHierarchy};
+pub use intern::{FocusId, Interner, NameId};
 pub use name::ResourceName;
 pub use space::ResourceSpace;
 

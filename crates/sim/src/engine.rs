@@ -120,9 +120,18 @@ pub struct Engine {
     app: AppSpec,
     machine: MachineModel,
     procs: Vec<Proc>,
-    channels: BTreeMap<ChanKey, Channel>,
+    /// Channels for the app's declared tags, dense by
+    /// `(from * nprocs + to) * ntags + tag` — message ops index straight
+    /// in instead of walking a map.
+    channels: Vec<Channel>,
+    /// Channels for tags outside the app's tag table (rare).
+    chan_spill: BTreeMap<ChanKey, Channel>,
     emitted: Vec<Interval>,
     totals: TraceAccumulator,
+    /// Cumulative count of intervals handed out via
+    /// [`Engine::drain_intervals`]; the throughput denominator for the
+    /// bench snapshot harness.
+    events_drained: u64,
 }
 
 impl Engine {
@@ -155,13 +164,35 @@ impl Engine {
                 reqs: BTreeMap::new(),
             })
             .collect();
+        let nprocs = app.process_count();
+        let ntags = app.tags.len();
         Engine {
             app,
             machine,
             procs,
-            channels: BTreeMap::new(),
+            channels: (0..nprocs * nprocs * ntags)
+                .map(|_| Channel::default())
+                .collect(),
+            chan_spill: BTreeMap::new(),
             emitted: Vec::new(),
             totals: TraceAccumulator::new(),
+            events_drained: 0,
+        }
+    }
+
+    /// Index of `key` in the dense channel table, or `None` when the tag
+    /// is outside the app's tag table.
+    fn chan_index(&self, key: ChanKey) -> Option<usize> {
+        let nprocs = self.procs.len();
+        let ntags = self.app.tags.len();
+        let t = key.2 .0 as usize;
+        (t < ntags).then(|| (key.0 .0 as usize * nprocs + key.1 .0 as usize) * ntags + t)
+    }
+
+    fn channel(&self, key: ChanKey) -> Option<&Channel> {
+        match self.chan_index(key) {
+            Some(i) => self.channels.get(i),
+            None => self.chan_spill.get(&key),
         }
     }
 
@@ -188,7 +219,14 @@ impl Engine {
 
     /// Removes and returns the intervals emitted since the last drain.
     pub fn drain_intervals(&mut self) -> Vec<Interval> {
+        self.events_drained += self.emitted.len() as u64;
         std::mem::take(&mut self.emitted)
+    }
+
+    /// Total number of intervals ever returned by
+    /// [`Engine::drain_intervals`].
+    pub fn events_drained(&self) -> u64 {
+        self.events_drained
     }
 
     /// The local clock of `proc`.
@@ -241,7 +279,22 @@ impl Engine {
         // Withdraw the dead process from every channel it touched so the
         // resume paths never try to wake it: its blocked rendezvous sends
         // and its posted Irecvs simply vanish with it.
-        for (key, chan) in self.channels.iter_mut() {
+        let nprocs = self.procs.len();
+        let ntags = self.app.tags.len();
+        for from in 0..nprocs {
+            for to in 0..nprocs {
+                for t in 0..ntags {
+                    let chan = &mut self.channels[(from * nprocs + to) * ntags + t];
+                    if from == i {
+                        chan.pending_rdv = None;
+                    }
+                    if to == i {
+                        chan.posted_irecvs.clear();
+                    }
+                }
+            }
+        }
+        for (key, chan) in self.chan_spill.iter_mut() {
             if key.0 == proc {
                 chan.pending_rdv = None;
             }
@@ -490,8 +543,7 @@ impl Engine {
             }
             // A posted Irecv lets the transfer start immediately.
             let has_posted = self
-                .channels
-                .get(&key)
+                .channel(key)
                 .is_some_and(|c| !c.posted_irecvs.is_empty());
             if has_posted {
                 let (req, post) = self
@@ -860,7 +912,10 @@ impl Engine {
     }
 
     fn channel_mut(&mut self, key: ChanKey) -> &mut Channel {
-        self.channels.entry(key).or_default()
+        match self.chan_index(key) {
+            Some(i) => &mut self.channels[i],
+            None => self.chan_spill.entry(key).or_default(),
+        }
     }
 
     fn emit(&mut self, iv: Interval) {

@@ -9,7 +9,6 @@
 
 use crate::program::{FuncId, ProcId, TagId};
 use crate::time::{SimDuration, SimTime};
-use std::collections::BTreeMap;
 
 /// The kind of activity covered by an interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -31,6 +30,22 @@ impl ActivityKind {
             ActivityKind::IoWait => "io_wait",
         }
     }
+
+    /// Dense index (declaration order, which is also the `Ord` order).
+    pub fn index(self) -> usize {
+        match self {
+            ActivityKind::Cpu => 0,
+            ActivityKind::SyncWait => 1,
+            ActivityKind::IoWait => 2,
+        }
+    }
+
+    /// All kinds in `Ord` order.
+    pub const ALL: [ActivityKind; 3] = [
+        ActivityKind::Cpu,
+        ActivityKind::SyncWait,
+        ActivityKind::IoWait,
+    ];
 }
 
 /// One contiguous stretch of a single activity on one process.
@@ -79,13 +94,31 @@ pub struct TotalsKey {
     pub tag: Option<TagId>,
 }
 
+/// Per-(proc, func) activity totals: one slot per kind for untagged
+/// intervals, plus a short tag-sorted list for tagged ones.
+#[derive(Debug, Clone, Default)]
+struct FuncCell {
+    /// Untagged totals, indexed by [`ActivityKind::index`].
+    none: [SimDuration; 3],
+    /// Bitmask of kinds observed untagged (so zero totals still list).
+    none_seen: u8,
+    /// `(tag, per-kind totals, kinds-seen mask)`, sorted by tag.
+    tagged: Vec<(TagId, [SimDuration; 3], u8)>,
+}
+
 /// Full-resolution cumulative activity totals for a run.
+///
+/// The accumulator sits on the engine's interval-emission hot path, so
+/// totals live in dense per-process, per-function tables (the tag space
+/// is tiny) rather than a keyed map; the deterministic key-ordered view
+/// is materialized on demand by [`TraceAccumulator::iter`].
 #[derive(Debug, Clone, Default)]
 pub struct TraceAccumulator {
-    totals: BTreeMap<TotalsKey, SimDuration>,
-    msg_counts: BTreeMap<(ProcId, TagId), u64>,
-    msg_bytes: BTreeMap<(ProcId, TagId), u64>,
-    proc_end: BTreeMap<ProcId, SimTime>,
+    /// `[proc][func]`, grown on demand.
+    totals: Vec<Vec<FuncCell>>,
+    /// `[proc][tag] -> (count, bytes)`, grown on demand.
+    msgs: Vec<Vec<(u64, u64)>>,
+    proc_end: Vec<SimTime>,
 }
 
 impl TraceAccumulator {
@@ -96,88 +129,154 @@ impl TraceAccumulator {
 
     /// Folds one interval into the totals.
     pub fn observe(&mut self, iv: &Interval) {
-        *self
-            .totals
-            .entry(TotalsKey {
-                proc: iv.proc,
-                func: iv.func,
-                kind: iv.kind,
-                tag: iv.tag,
-            })
-            .or_insert(SimDuration::ZERO) += iv.duration();
-        if let Some(tag) = iv.tag {
-            if iv.bytes > 0 {
-                *self.msg_counts.entry((iv.proc, tag)).or_insert(0) += 1;
-                *self.msg_bytes.entry((iv.proc, tag)).or_insert(0) += iv.bytes;
+        let p = iv.proc.0 as usize;
+        let f = iv.func.0 as usize;
+        if p >= self.totals.len() {
+            self.totals.resize_with(p + 1, Vec::new);
+        }
+        let by_func = &mut self.totals[p];
+        if f >= by_func.len() {
+            by_func.resize_with(f + 1, FuncCell::default);
+        }
+        let cell = &mut by_func[f];
+        let k = iv.kind.index();
+        match iv.tag {
+            None => {
+                cell.none[k] += iv.duration();
+                cell.none_seen |= 1 << k;
+            }
+            Some(tag) => {
+                let slot = match cell.tagged.iter_mut().find(|(t, _, _)| *t >= tag) {
+                    Some(entry) if entry.0 == tag => entry,
+                    _ => {
+                        let at = cell.tagged.partition_point(|(t, _, _)| *t < tag);
+                        cell.tagged.insert(at, (tag, [SimDuration::ZERO; 3], 0));
+                        &mut cell.tagged[at]
+                    }
+                };
+                slot.1[k] += iv.duration();
+                slot.2 |= 1 << k;
             }
         }
-        let end = self.proc_end.entry(iv.proc).or_insert(SimTime::ZERO);
-        *end = (*end).max(iv.end);
+        if let Some(tag) = iv.tag {
+            if iv.bytes > 0 {
+                let t = tag.0 as usize;
+                if p >= self.msgs.len() {
+                    self.msgs.resize_with(p + 1, Vec::new);
+                }
+                let by_tag = &mut self.msgs[p];
+                if t >= by_tag.len() {
+                    by_tag.resize(t + 1, (0, 0));
+                }
+                by_tag[t].0 += 1;
+                by_tag[t].1 += iv.bytes;
+            }
+        }
+        if p >= self.proc_end.len() {
+            self.proc_end.resize(p + 1, SimTime::ZERO);
+        }
+        self.proc_end[p] = self.proc_end[p].max(iv.end);
     }
 
-    /// Iterates over all (key, total) pairs in deterministic order.
-    pub fn iter(&self) -> impl Iterator<Item = (&TotalsKey, &SimDuration)> {
-        self.totals.iter()
+    /// All (key, total) pairs in deterministic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (TotalsKey, SimDuration)> + '_ {
+        self.totals.iter().enumerate().flat_map(|(p, by_func)| {
+            by_func.iter().enumerate().flat_map(move |(f, cell)| {
+                ActivityKind::ALL.into_iter().flat_map(move |kind| {
+                    let k = kind.index();
+                    let none = (cell.none_seen & (1 << k) != 0).then(|| {
+                        (
+                            TotalsKey {
+                                proc: ProcId(p as u16),
+                                func: FuncId(f as u16),
+                                kind,
+                                tag: None,
+                            },
+                            cell.none[k],
+                        )
+                    });
+                    let tagged = cell
+                        .tagged
+                        .iter()
+                        .filter(move |(_, _, seen)| seen & (1 << k) != 0)
+                        .map(move |(tag, durs, _)| {
+                            (
+                                TotalsKey {
+                                    proc: ProcId(p as u16),
+                                    func: FuncId(f as u16),
+                                    kind,
+                                    tag: Some(*tag),
+                                },
+                                durs[k],
+                            )
+                        });
+                    none.into_iter().chain(tagged)
+                })
+            })
+        })
     }
 
     /// Total time of `kind` on `proc` across all functions and tags.
     pub fn proc_total(&self, proc: ProcId, kind: ActivityKind) -> SimDuration {
-        self.totals
-            .iter()
+        self.iter()
             .filter(|(k, _)| k.proc == proc && k.kind == kind)
-            .map(|(_, d)| *d)
+            .map(|(_, d)| d)
             .sum()
     }
 
     /// Total time of `kind` attributed to `func` across all processes.
     pub fn func_total(&self, func: FuncId, kind: ActivityKind) -> SimDuration {
-        self.totals
-            .iter()
+        self.iter()
             .filter(|(k, _)| k.func == func && k.kind == kind)
-            .map(|(_, d)| *d)
+            .map(|(_, d)| d)
             .sum()
     }
 
     /// Total time of `kind` attributed to message tag `tag`.
     pub fn tag_total(&self, tag: TagId, kind: ActivityKind) -> SimDuration {
-        self.totals
-            .iter()
+        self.iter()
             .filter(|(k, _)| k.tag == Some(tag) && k.kind == kind)
-            .map(|(_, d)| *d)
+            .map(|(_, d)| d)
             .sum()
     }
 
     /// Grand total of `kind` over the whole program.
     pub fn total(&self, kind: ActivityKind) -> SimDuration {
-        self.totals
-            .iter()
+        self.iter()
             .filter(|(k, _)| k.kind == kind)
-            .map(|(_, d)| *d)
+            .map(|(_, d)| d)
             .sum()
     }
 
     /// The last event timestamp seen for `proc` (its busy time so far).
     pub fn proc_end(&self, proc: ProcId) -> SimTime {
-        self.proc_end.get(&proc).copied().unwrap_or(SimTime::ZERO)
+        self.proc_end
+            .get(proc.0 as usize)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Wall-clock end of the run seen so far (max over processes).
     pub fn end_time(&self) -> SimTime {
-        self.proc_end
-            .values()
-            .copied()
-            .max()
-            .unwrap_or(SimTime::ZERO)
+        self.proc_end.iter().copied().max().unwrap_or(SimTime::ZERO)
     }
 
     /// Number of messages tagged `tag` received by `proc`.
     pub fn msg_count(&self, proc: ProcId, tag: TagId) -> u64 {
-        self.msg_counts.get(&(proc, tag)).copied().unwrap_or(0)
+        self.msgs
+            .get(proc.0 as usize)
+            .and_then(|by_tag| by_tag.get(tag.0 as usize))
+            .map(|&(count, _)| count)
+            .unwrap_or(0)
     }
 
     /// Bytes of messages tagged `tag` moved by `proc`.
     pub fn msg_byte_total(&self, proc: ProcId, tag: TagId) -> u64 {
-        self.msg_bytes.get(&(proc, tag)).copied().unwrap_or(0)
+        self.msgs
+            .get(proc.0 as usize)
+            .and_then(|by_tag| by_tag.get(tag.0 as usize))
+            .map(|&(_, bytes)| bytes)
+            .unwrap_or(0)
     }
 }
 

@@ -560,8 +560,8 @@ mod tests {
         let mut e2 = w.build_engine();
         e1.run_until(SimTime::from_secs(3));
         e2.run_until(SimTime::from_secs(3));
-        let t1: Vec<_> = e1.totals().iter().map(|(k, d)| (*k, *d)).collect();
-        let t2: Vec<_> = e2.totals().iter().map(|(k, d)| (*k, *d)).collect();
+        let t1: Vec<_> = e1.totals().iter().collect();
+        let t2: Vec<_> = e2.totals().iter().collect();
         assert_eq!(t1, t2);
     }
 

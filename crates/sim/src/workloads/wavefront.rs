@@ -261,8 +261,8 @@ mod tests {
         let mut b = wl.build_engine();
         a.run_until(SimTime::from_secs(2));
         b.run_until(SimTime::from_secs(2));
-        let ta: Vec<_> = a.totals().iter().map(|(k, d)| (*k, *d)).collect();
-        let tb: Vec<_> = b.totals().iter().map(|(k, d)| (*k, *d)).collect();
+        let ta: Vec<_> = a.totals().iter().collect();
+        let tb: Vec<_> = b.totals().iter().collect();
         assert_eq!(ta, tb);
     }
 }

@@ -35,8 +35,8 @@ proptest! {
         many.run_until(far);
         // Run both a little further so any in-flight blocking op resolves
         // identically, then compare.
-        let a: Vec<_> = one.totals().iter().map(|(k, d)| (*k, *d)).collect();
-        let b: Vec<_> = many.totals().iter().map(|(k, d)| (*k, *d)).collect();
+        let a: Vec<_> = one.totals().iter().collect();
+        let b: Vec<_> = many.totals().iter().collect();
         prop_assert_eq!(a, b);
     }
 
