@@ -44,7 +44,7 @@ fn read_snapshot(path: &str) -> Snapshot {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out: Option<String> = None;
-    let mut pr: u64 = 6;
+    let mut pr: u64 = 7;
     let mut before_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut quick = false;
@@ -128,6 +128,13 @@ fn main() {
         println!(
             "degraded  run  : {:>9.1} ms  reduction={:?} unknown={}",
             d.wall_ms, d.reduction, d.unknown_pairs
+        );
+    }
+    if let Some(c) = &snap.after.corpus {
+        println!(
+            "corpus    lint : {:>9.1} ms cold / {:>7.1} ms incremental  \
+             records={} findings={} relowered={}",
+            c.cold_wall_ms, c.incremental_wall_ms, c.records, c.findings, c.incremental_lowered
         );
     }
     println!(

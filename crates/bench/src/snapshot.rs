@@ -99,6 +99,27 @@ pub struct DegradedMeasurement {
     pub directives: u64,
 }
 
+/// Timing and invariants of the corpus-analysis scenario: a synthetic
+/// multi-run store analyzed cold (no fact cache) and again after
+/// touching exactly one record (incremental).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusMeasurement {
+    /// Host wall-clock time of the cold analysis in ms (timing).
+    pub cold_wall_ms: f64,
+    /// Host wall-clock time of the incremental re-analysis in ms (timing).
+    pub incremental_wall_ms: f64,
+    /// Records in the synthetic store (deterministic).
+    pub records: u64,
+    /// Findings the analysis reports (deterministic).
+    pub findings: u64,
+    /// Records lowered from scratch by the cold analysis (deterministic;
+    /// equals `records`).
+    pub cold_lowered: u64,
+    /// Records re-lowered by the incremental analysis (deterministic;
+    /// the touched record and nothing else).
+    pub incremental_lowered: u64,
+}
+
 /// Raw simulator event throughput.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimMeasurement {
@@ -121,6 +142,9 @@ pub struct PhaseMeasurements {
     pub overload: Option<OverloadMeasurement>,
     /// Degraded run (absent in quick profiles).
     pub degraded: Option<DegradedMeasurement>,
+    /// Corpus analysis over a synthetic store (absent in snapshots
+    /// predating PR 7).
+    pub corpus: Option<CorpusMeasurement>,
     /// Raw simulator throughput.
     pub sim: SimMeasurement,
 }
@@ -243,6 +267,144 @@ pub fn measure_degraded() -> DegradedMeasurement {
     }
 }
 
+/// Builds a synthetic `records`-run store seeded with the corpus-lint
+/// fixture classes, then times `histpc lint corpus` over it: once cold
+/// (empty fact cache) and once after re-saving a single record, so the
+/// snapshot tracks both full-lowering throughput and the incremental
+/// win the fact cache buys.
+pub fn measure_corpus(records: usize) -> CorpusMeasurement {
+    use histpc::consultant::NodeOutcome;
+    use histpc::history::{ExecutionRecord, ExecutionStore};
+    use histpc::lint::CorpusAnalyzer;
+
+    let n = |s: &str| ResourceName::parse(s).expect("static name");
+    let outcome = |hyp: &str, sel: Option<&str>, oc: Outcome, value: f64| {
+        let mut focus = Focus::whole_program(["Code", "Machine", "Process", "SyncObject"]);
+        if let Some(s) = sel {
+            focus = focus.with_selection(n(s));
+        }
+        NodeOutcome {
+            hypothesis: hyp.into(),
+            focus,
+            outcome: oc,
+            first_true_at: (oc == Outcome::True).then_some(SimTime(1)),
+            concluded_at: Some(SimTime(1)),
+            last_value: value,
+            samples: 5,
+        }
+    };
+    let rec = |app: &str, label: &str, extra: &[&str], outcomes: Vec<NodeOutcome>| {
+        let mut resources = vec![
+            n("/Code"),
+            n("/Code/a.c"),
+            n("/Code/a.c/f"),
+            n("/Code/a.c/g"),
+            n("/Machine"),
+            n("/Machine/n1"),
+            n("/Process"),
+            n("/Process/p1"),
+            n("/SyncObject"),
+        ];
+        resources.extend(extra.iter().map(|s| n(s)));
+        ExecutionRecord {
+            app_name: app.into(),
+            app_version: "A".into(),
+            label: label.into(),
+            resources,
+            outcomes,
+            thresholds_used: vec![],
+            end_time: SimTime(10),
+            pairs_tested: 1,
+            unreachable: vec![],
+            saturated: vec![],
+        }
+    };
+
+    let dir = std::env::temp_dir().join(format!(
+        "histpc-bench-corpus-{records}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ExecutionStore::open(&dir).expect("temp store opens");
+
+    // The bulk of the store: uniform runs of one app, the oldest of
+    // which names a resource every later run lacks (the HL031 fixture,
+    // under the default window). Six fixture records (conflict, drift,
+    // dominance) ride on top.
+    let bulk = records.saturating_sub(6).max(1);
+    for i in 0..bulk {
+        let label = format!("run-{i:05}");
+        let r = if i == 0 {
+            rec(
+                "bulk",
+                &label,
+                &["/Code/old.c", "/Code/old.c/h"],
+                vec![outcome(
+                    "CPUbound",
+                    Some("/Code/old.c/h"),
+                    Outcome::True,
+                    0.4,
+                )],
+            )
+        } else {
+            rec(
+                "bulk",
+                &label,
+                &[],
+                vec![outcome("CPUbound", None, Outcome::True, 0.4)],
+            )
+        };
+        store.save(&r).expect("seed record saves");
+    }
+    for (app, label, sel, oc, value) in [
+        ("confl", "c1", Some("/Code/a.c/f"), Outcome::False, 0.001),
+        ("confl", "c2", Some("/Code/a.c/f"), Outcome::True, 0.4),
+        ("drift", "d1", None, Outcome::True, 0.5),
+        ("drift", "d2", None, Outcome::True, 0.1),
+        ("dom", "g1", Some("/Code/a.c/g"), Outcome::False, 0.05),
+        ("dom", "g2", Some("/Code/a.c/g"), Outcome::False, 0.001),
+    ] {
+        let hyp = if app == "drift" {
+            "ExcessiveSyncWaitingTime"
+        } else {
+            "CPUbound"
+        };
+        store
+            .save(&rec(app, label, &[], vec![outcome(hyp, sel, oc, value)]))
+            .expect("fixture saves");
+    }
+
+    let t = Instant::now();
+    let cold = CorpusAnalyzer::new(&store)
+        .analyze()
+        .expect("cold analysis");
+    let cold_wall_ms = ms(t);
+
+    store
+        .save(&rec(
+            "bulk",
+            "run-00001",
+            &[],
+            vec![outcome("CPUbound", None, Outcome::True, 0.41)],
+        ))
+        .expect("touched record saves");
+    let t = Instant::now();
+    let incr = CorpusAnalyzer::new(&store)
+        .analyze()
+        .expect("incremental analysis");
+    let incremental_wall_ms = ms(t);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    CorpusMeasurement {
+        cold_wall_ms,
+        incremental_wall_ms,
+        records: cold.records as u64,
+        findings: incr.report.diagnostics.len() as u64,
+        cold_lowered: cold.cache_misses as u64,
+        incremental_lowered: incr.cache_misses as u64,
+    }
+}
+
 /// Times a raw (collector-free) engine run of a Poisson version,
 /// draining in driver-sized steps, and reports event throughput.
 pub fn measure_sim_throughput(
@@ -293,6 +455,7 @@ pub fn measure_full() -> PhaseMeasurements {
         diagnosis,
         overload: Some(measure_overload()),
         degraded: Some(measure_degraded()),
+        corpus: Some(measure_corpus(1000)),
         sim: measure_sim_throughput(
             PoissonVersion::D,
             SimDuration::from_secs(900),
@@ -308,6 +471,7 @@ pub fn measure_quick() -> PhaseMeasurements {
         diagnosis: vec![measure_quick_diagnosis()],
         overload: None,
         degraded: None,
+        corpus: Some(measure_corpus(60)),
         sim: measure_sim_throughput(
             PoissonVersion::A,
             SimDuration::from_secs(20),
@@ -481,6 +645,41 @@ pub fn invariant_regressions(want: &PhaseMeasurements, got: &PhaseMeasurements) 
                 "directives",
                 w.directives.to_string(),
                 g.directives.to_string(),
+            );
+        }
+    }
+    match (&want.corpus, &got.corpus) {
+        (None, _) => {}
+        (Some(_), None) => out.push("corpus: scenario missing".into()),
+        (Some(w), Some(g)) => {
+            let s = "corpus";
+            diff(
+                &mut out,
+                s,
+                "records",
+                w.records.to_string(),
+                g.records.to_string(),
+            );
+            diff(
+                &mut out,
+                s,
+                "findings",
+                w.findings.to_string(),
+                g.findings.to_string(),
+            );
+            diff(
+                &mut out,
+                s,
+                "cold_lowered",
+                w.cold_lowered.to_string(),
+                g.cold_lowered.to_string(),
+            );
+            diff(
+                &mut out,
+                s,
+                "incremental_lowered",
+                w.incremental_lowered.to_string(),
+                g.incremental_lowered.to_string(),
             );
         }
     }
@@ -885,6 +1084,19 @@ fn phase_to_json(p: &PhaseMeasurements) -> Json {
             ("directives".into(), num(d.directives)),
         ])
     });
+    let corpus = p.corpus.as_ref().map_or(Json::Null, |c| {
+        Json::Obj(vec![
+            ("cold_wall_ms".into(), Json::Num(c.cold_wall_ms)),
+            (
+                "incremental_wall_ms".into(),
+                Json::Num(c.incremental_wall_ms),
+            ),
+            ("records".into(), num(c.records)),
+            ("findings".into(), num(c.findings)),
+            ("cold_lowered".into(), num(c.cold_lowered)),
+            ("incremental_lowered".into(), num(c.incremental_lowered)),
+        ])
+    });
     Json::Obj(vec![
         (
             "diagnosis".into(),
@@ -892,6 +1104,7 @@ fn phase_to_json(p: &PhaseMeasurements) -> Json {
         ),
         ("overload".into(), overload),
         ("degraded".into(), degraded),
+        ("corpus".into(), corpus),
         (
             "sim".into(),
             Json::Obj(vec![
@@ -1041,11 +1254,25 @@ fn phase_from_json(j: &Json) -> Result<PhaseMeasurements, String> {
             directives: field_u64(d, "directives")?,
         }),
     };
+    // Absent in snapshots predating PR 7 — parse both missing and null
+    // as "not measured".
+    let corpus = match j.get("corpus") {
+        None | Some(Json::Null) => None,
+        Some(c) => Some(CorpusMeasurement {
+            cold_wall_ms: field_f64(c, "cold_wall_ms")?,
+            incremental_wall_ms: field_f64(c, "incremental_wall_ms")?,
+            records: field_u64(c, "records")?,
+            findings: field_u64(c, "findings")?,
+            cold_lowered: field_u64(c, "cold_lowered")?,
+            incremental_lowered: field_u64(c, "incremental_lowered")?,
+        }),
+    };
     let sim = field(j, "sim")?;
     Ok(PhaseMeasurements {
         diagnosis,
         overload,
         degraded,
+        corpus,
         sim: SimMeasurement {
             wall_ms: field_f64(sim, "wall_ms")?,
             events: field_u64(sim, "events")?,
@@ -1094,6 +1321,14 @@ mod tests {
                 unreachable: 2,
                 directives: 11,
             }),
+            corpus: Some(CorpusMeasurement {
+                cold_wall_ms: 800.5,
+                incremental_wall_ms: 30.25,
+                records: 1006,
+                findings: 4,
+                cold_lowered: 1006,
+                incremental_lowered: 1,
+            }),
             sim: SimMeasurement {
                 wall_ms: 100.0,
                 events: 123_456,
@@ -1130,6 +1365,32 @@ mod tests {
         assert!(text.contains("\"before\": null"));
         let back = Snapshot::parse(&text).expect("own output parses");
         assert!(back.before.is_none());
+    }
+
+    #[test]
+    fn snapshots_without_corpus_section_still_parse() {
+        // Snapshots committed before the corpus scenario existed have no
+        // "corpus" key at all; they must keep parsing (and comparing).
+        let mut phase = sample_phase();
+        phase.corpus = None;
+        let with_null = Snapshot {
+            schema: SCHEMA.into(),
+            pr: 6,
+            before: None,
+            after: phase,
+        }
+        .to_json();
+        assert!(with_null.contains("\"corpus\": null"));
+        let without_key: String = with_null
+            .lines()
+            .filter(|l| !l.contains("\"corpus\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        for text in [with_null, without_key] {
+            let back = Snapshot::parse(&text).expect("legacy snapshot parses");
+            assert!(back.after.corpus.is_none());
+            assert!(invariant_regressions(&back.after, &sample_phase()).is_empty());
+        }
     }
 
     #[test]

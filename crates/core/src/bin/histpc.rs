@@ -11,7 +11,8 @@
 //! histpc profile  --app APP [--for SECS]
 //! histpc shg      --store DIR --app NAME --label L
 //! histpc ls       --store DIR [--app NAME]
-//! histpc lint     FILE... [--against STORE/APP/LABEL] [--deny-warnings]
+//! histpc lint     FILE... [--against STORE/APP/LABEL] [--deny-warnings] [--format F]
+//! histpc lint     corpus STORE [--last N] [--deny-warnings] [--format F]
 //! histpc store    fsck|repair|compact|migrate --store DIR [--deny-warnings]
 //! ```
 //!
@@ -45,7 +46,14 @@
 //! auto-detected per file) and prints rustc-style diagnostics with
 //! stable `HLxxx` codes. With `--against` the directives are also
 //! cross-checked, after mapping, against a stored run's resource
-//! hierarchies. Exit status is non-zero on errors, or on warnings when
+//! hierarchies. `lint corpus STORE` instead analyzes a whole execution
+//! store across runs: directive conflicts (HL030), staleness against
+//! the last-N runs (HL031; `--last N`, default 20), threshold drift
+//! (HL032), and prune-dominated directives (HL033) — with per-record
+//! fact extraction cached incrementally in the store's `FACTS` sidecar.
+//! `--format json` prints the findings as a stable
+//! `histpc-lint-report/v1` JSON object on stdout instead of rendered
+//! text. Exit status is non-zero on errors, or on warnings when
 //! `--deny-warnings` is given.
 //!
 //! `store` maintains a history store's on-disk health. `fsck` checks it
@@ -71,7 +79,8 @@ fn usage() -> ! {
          \x20 histpc profile --app APP [--for SECS]\n\
          \x20 histpc shg     --store DIR --app NAME --label L\n\
          \x20 histpc ls      --store DIR [--app NAME]\n\
-         \x20 histpc lint    FILE... [--against STORE/APP/LABEL] [--deny-warnings]\n\
+         \x20 histpc lint    FILE... [--against STORE/APP/LABEL] [--deny-warnings] [--format F]\n\
+         \x20 histpc lint    corpus STORE [--last N] [--deny-warnings] [--format F]\n\
          \x20 histpc store   fsck|repair|compact|migrate --store DIR [--deny-warnings]\n\n\
          apps: poisson-a poisson-b poisson-c poisson-d ocean tester sweep3d\n\
          modes: priorities prunes general-prunes historic-prunes combined combined+thresholds"
@@ -364,12 +373,17 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<ExitCode, String> {
 }
 
 fn cmd_harvest(flags: HashMap<String, String>) -> Result<(), String> {
-    let store = ExecutionStore::open(require(&flags, "store")).map_err(|e| e.to_string())?;
-    let rec = store
-        .load(require(&flags, "app"), require(&flags, "label"))
-        .map_err(|e| e.to_string())?;
+    let session = Session::with_store(require(&flags, "store")).map_err(|e| e.to_string())?;
     let mode = flags.get("mode").map(String::as_str).unwrap_or("combined");
-    let directives = history::extract(&rec, &extraction_mode(mode));
+    // Session::harvest vets the extraction against the corpus: pairs
+    // the store both prunes and prioritizes (HL030) are down-ranked.
+    let directives = session
+        .harvest(
+            require(&flags, "app"),
+            require(&flags, "label"),
+            &extraction_mode(mode),
+        )
+        .map_err(|e| e.to_string())?;
     let text = directives.to_text();
     match flags.get("out") {
         Some(path) => {
@@ -488,6 +502,10 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
     let mut files: Vec<String> = Vec::new();
     let mut against: Option<String> = None;
     let mut deny_warnings = false;
+    let mut format = "text".to_string();
+    let mut last: Option<usize> = None;
+    let corpus_mode = args.first().map(String::as_str) == Some("corpus");
+    let args = if corpus_mode { &args[1..] } else { args };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -502,6 +520,26 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
                 against = Some(value.clone());
                 i += 2;
             }
+            "--format" => {
+                let Some(value) = args.get(i + 1) else {
+                    return Err("missing value for --format".into());
+                };
+                if value != "text" && value != "json" {
+                    return Err(format!("--format wants text or json, got {value:?}"));
+                }
+                format = value.clone();
+                i += 2;
+            }
+            "--last" => {
+                let Some(value) = args.get(i + 1) else {
+                    return Err("missing value for --last".into());
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => last = Some(n),
+                    _ => return Err("--last wants a positive number of runs".into()),
+                }
+                i += 2;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown lint flag {flag:?}"));
             }
@@ -510,6 +548,19 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
                 i += 1;
             }
         }
+    }
+
+    if corpus_mode {
+        let [store_dir] = files.as_slice() else {
+            return Err("lint corpus wants exactly one store directory".into());
+        };
+        if against.is_some() {
+            return Err("--against only applies to file lints".into());
+        }
+        return cmd_lint_corpus(store_dir, last, deny_warnings, &format);
+    }
+    if last.is_some() {
+        return Err("--last only applies to `lint corpus`".into());
     }
     if files.is_empty() {
         return Err("lint needs at least one file to check".into());
@@ -539,12 +590,57 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
         linter = linter.against(rec);
     }
     let report = linter.run();
-    if !report.is_clean() {
+    if format == "json" {
+        print!("{}", histpc::lint::report_to_json(&report));
+    } else if !report.is_clean() {
         eprint!("{}", report.render(&linter.sources()));
         if let Some(trailer) = histpc::lint::summary(&report.diagnostics) {
             eprintln!("\n{trailer} emitted");
         }
     }
+    let failed = report.has_errors() || (deny_warnings && report.warning_count() > 0);
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// `histpc lint corpus STORE`: cross-run analysis of a whole store —
+/// directive conflicts (HL030), staleness against the last-N runs
+/// (HL031, window set by `--last`), threshold drift (HL032), and
+/// prune-dominated directives (HL033). Fact extraction is cached in the
+/// store's `FACTS` sidecar, so re-analysis only touches changed
+/// records.
+fn cmd_lint_corpus(
+    store_dir: &str,
+    last: Option<usize>,
+    deny_warnings: bool,
+    format: &str,
+) -> Result<ExitCode, String> {
+    let store = ExecutionStore::open(store_dir).map_err(|e| e.to_string())?;
+    let mut opts = histpc::lint::CorpusOptions::default();
+    if let Some(n) = last {
+        opts.recent_window = n;
+    }
+    let analysis = histpc::lint::CorpusAnalyzer::with_options(&store, opts)
+        .analyze()
+        .map_err(|e| e.to_string())?;
+    let report = &analysis.report;
+    if format == "json" {
+        print!("{}", histpc::lint::report_to_json(report));
+    } else if !report.is_clean() {
+        // Corpus diagnostics point at store records, not local artifact
+        // files; there is no source text to quote under a caret.
+        eprint!("{}", report.render(&histpc::lint::SourceCache::new()));
+        if let Some(trailer) = histpc::lint::summary(&report.diagnostics) {
+            eprintln!("\n{trailer} emitted");
+        }
+    }
+    eprintln!(
+        "analyzed {} record(s): {} from fact cache, {} lowered",
+        analysis.records, analysis.cache_hits, analysis.cache_misses
+    );
     let failed = report.has_errors() || (deny_warnings && report.warning_count() > 0);
     Ok(if failed {
         ExitCode::FAILURE

@@ -281,7 +281,15 @@ impl Session {
         })
     }
 
-    /// Harvests directives from a stored run.
+    /// Harvests directives from a stored run, vetted against the
+    /// corpus: the cross-run conflict pass (`HL030`) runs over the
+    /// whole store first, and any directive the corpus *contradicts* —
+    /// a high priority one run asserts while another run prunes the
+    /// same pair, or the prune side of the same disagreement — is
+    /// down-ranked (dropped) before it can steer a diagnosis. On a
+    /// conflict-free corpus the vetting is a no-op and the result is
+    /// bit-identical to raw extraction. Runs dropped directives are
+    /// noted on stderr.
     pub fn harvest(
         &self,
         app: &str,
@@ -293,7 +301,19 @@ impl Session {
             .as_ref()
             .expect("harvest from store requires Session::with_store");
         let rec = store.load(app, label)?;
-        Ok(extract(&rec, opts))
+        let harvested = extract(&rec, opts);
+        let analysis = histpc_lint::CorpusAnalyzer::new(store).analyze()?;
+        let (vetted, dropped) =
+            analysis
+                .verdicts
+                .down_rank(&harvested, &rec.app_name, &rec.app_version);
+        if dropped > 0 {
+            eprintln!(
+                "harvest: down-ranked {dropped} directive(s) from {app}/{label} \
+                 contradicted elsewhere in the corpus (see `histpc lint corpus`)"
+            );
+        }
+        Ok(vetted)
     }
 
     /// Harvests directives from a record of a *different* execution or
@@ -560,6 +580,98 @@ mod tests {
             );
             let _ = std::fs::remove_dir_all(&dir);
         }
+    }
+
+    #[test]
+    fn harvest_is_bit_identical_on_conflict_free_corpus() {
+        let dir = std::env::temp_dir().join(format!("histpc-vetclean-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::with_store(&dir).unwrap();
+        let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
+        // Two identical runs: the corpus agrees with itself, so vetting
+        // must change nothing — not even byte order.
+        session.diagnose(&wl, &fast_config(), "r1").unwrap();
+        session.diagnose(&wl, &fast_config(), "r2").unwrap();
+        let store = session.store().unwrap();
+        let opts = ExtractionOptions::priorities_and_safe_prunes();
+        for label in ["r1", "r2"] {
+            let raw = extract(&store.load("synth", label).unwrap(), &opts);
+            let vetted = session.harvest("synth", label, &opts).unwrap();
+            assert_eq!(vetted.to_text(), raw.to_text(), "label {label}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn harvest_down_ranks_corpus_contradicted_directives() {
+        use histpc_consultant::{NodeOutcome, Outcome};
+        use histpc_resources::ResourceName;
+
+        let n = |s: &str| ResourceName::parse(s).unwrap();
+        let outcome = |val: f64, oc: Outcome| NodeOutcome {
+            hypothesis: "CPUbound".into(),
+            focus: Focus::whole_program(["Code", "Machine", "Process", "SyncObject"])
+                .with_selection(n("/Code/a.c/f")),
+            outcome: oc,
+            first_true_at: (oc == Outcome::True).then_some(histpc_sim::SimTime(1)),
+            concluded_at: Some(histpc_sim::SimTime(1)),
+            last_value: val,
+            samples: 5,
+        };
+        let rec = |label: &str, outcomes| ExecutionRecord {
+            app_name: "app".into(),
+            app_version: "A".into(),
+            label: label.into(),
+            resources: vec![
+                n("/Code"),
+                n("/Code/a.c"),
+                n("/Code/a.c/f"),
+                n("/Machine"),
+                n("/Machine/n1"),
+                n("/Process"),
+                n("/Process/p1"),
+                n("/SyncObject"),
+            ],
+            outcomes,
+            thresholds_used: vec![],
+            end_time: histpc_sim::SimTime(10),
+            pairs_tested: 1,
+            unreachable: vec![],
+            saturated: vec![],
+        };
+
+        let dir = std::env::temp_dir().join(format!("histpc-vetconfl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::with_store(&dir).unwrap();
+        let store = session.store().unwrap();
+        // r1 finds f trivial (harvests a subtree prune); r2 finds f a
+        // real bottleneck (harvests a high priority). The corpus
+        // contradicts itself about f, so harvest must drop both sides.
+        store
+            .save(&rec("r1", vec![outcome(0.001, Outcome::False)]))
+            .unwrap();
+        store
+            .save(&rec("r2", vec![outcome(0.4, Outcome::True)]))
+            .unwrap();
+
+        let opts = ExtractionOptions::priorities_and_safe_prunes();
+        let raw2 = extract(&store.load("app", "r2").unwrap(), &opts);
+        assert!(raw2
+            .priorities
+            .iter()
+            .any(|p| p.level == histpc_consultant::directive::PriorityLevel::High));
+        let vetted2 = session.harvest("app", "r2", &opts).unwrap();
+        assert!(
+            !vetted2.priorities.iter().any(|p| p.level
+                == histpc_consultant::directive::PriorityLevel::High
+                && p.focus.selection("Code") == Some(&n("/Code/a.c/f"))),
+            "contradicted high priority survived vetting"
+        );
+
+        let raw1 = extract(&store.load("app", "r1").unwrap(), &opts);
+        let vetted1 = session.harvest("app", "r1", &opts).unwrap();
+        assert_eq!(vetted1.prunes.len(), raw1.prunes.len() - 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

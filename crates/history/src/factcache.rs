@@ -1,0 +1,210 @@
+//! Sidecar cache of per-record derived facts.
+//!
+//! Corpus-wide analysis (`histpc lint corpus`) lowers every stored
+//! record into a small fact table; re-deriving those facts for a
+//! million-run store on every analysis would dominate the pass time.
+//! The [`FactCache`] persists the derived payload per record, keyed on
+//! the record's relative path plus the same FNV-64 payload checksum the
+//! store manifest already tracks — so a re-analysis only re-derives
+//! facts for records whose bytes actually changed (O(changed records)).
+//!
+//! The cache is *strictly advisory*: it lives in a single root-level
+//! `FACTS` file (invisible to [`crate::fsck`], which only walks
+//! `<app>/` data directories), a damaged or missing file simply means a
+//! cold re-derivation, and saves are atomic (tmp + rename) and
+//! best-effort. The payload format is opaque to this crate — callers
+//! (the lint crate) define their own fact serialization and version it
+//! themselves via the `key` they pass.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+
+/// The sidecar file name, directly under the store root.
+pub const FACTCACHE_FILE: &str = "FACTS";
+
+/// First line of the sidecar file.
+pub const FACTCACHE_HEADER: &str = "histpc-factcache v1";
+
+/// A persistent map of `rel_path -> (key, payload)` with tolerant
+/// loading and atomic best-effort saving.
+///
+/// `key` is an opaque 64-bit cache key chosen by the caller (typically
+/// the record's payload checksum XOR a fingerprint of the derivation
+/// options); a lookup only hits when the stored key matches exactly.
+#[derive(Debug, Clone, Default)]
+pub struct FactCache {
+    entries: BTreeMap<String, (u64, String)>,
+}
+
+impl FactCache {
+    /// An empty cache.
+    pub fn new() -> FactCache {
+        FactCache::default()
+    }
+
+    /// Loads the sidecar from a store root. A missing, unreadable, or
+    /// malformed file yields an empty cache — never an error; the worst
+    /// outcome of a damaged cache is a cold re-derivation.
+    pub fn load(root: &Path) -> FactCache {
+        let path = root.join(FACTCACHE_FILE);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Self::parse(&text).unwrap_or_default(),
+            Err(_) => FactCache::default(),
+        }
+    }
+
+    /// The cached payload for a record, if present *and* keyed with the
+    /// same `key` (stale entries miss).
+    pub fn lookup(&self, rel_path: &str, key: u64) -> Option<&str> {
+        match self.entries.get(rel_path) {
+            Some((k, payload)) if *k == key => Some(payload),
+            _ => None,
+        }
+    }
+
+    /// Inserts (or replaces) the cached payload for a record.
+    pub fn insert(&mut self, rel_path: &str, key: u64, payload: String) {
+        self.entries.insert(rel_path.to_string(), (key, payload));
+    }
+
+    /// Drops entries for records that no longer exist, so deleted runs
+    /// do not pin stale facts forever.
+    pub fn retain_paths(&mut self, live: &BTreeSet<String>) {
+        self.entries.retain(|rel, _| live.contains(rel));
+    }
+
+    /// Number of cached records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the cache. Entries are length-prefixed so payloads
+    /// may contain anything (including blank lines), and emitted in
+    /// `BTreeMap` order so equal caches serialize identically.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(FACTCACHE_HEADER);
+        out.push('\n');
+        for (rel, (key, payload)) in &self.entries {
+            out.push_str(&format!("entry {key:016x} {} {rel}\n", payload.len()));
+            out.push_str(payload);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a serialized cache. Any structural damage returns `None`
+    /// (the caller treats it as empty).
+    pub fn parse(text: &str) -> Option<FactCache> {
+        let rest = text.strip_prefix(FACTCACHE_HEADER)?.strip_prefix('\n')?;
+        let mut entries = BTreeMap::new();
+        let mut pos = 0;
+        while pos < rest.len() {
+            let line_end = rest[pos..].find('\n').map(|i| pos + i)?;
+            let line = &rest[pos..line_end];
+            let meta = line.strip_prefix("entry ")?;
+            let mut parts = meta.splitn(3, ' ');
+            let key = u64::from_str_radix(parts.next()?, 16).ok()?;
+            let len: usize = parts.next()?.parse().ok()?;
+            let rel = parts.next()?.to_string();
+            let payload_start = line_end + 1;
+            let payload_end = payload_start.checked_add(len)?;
+            if payload_end > rest.len() || !rest.is_char_boundary(payload_end) {
+                return None;
+            }
+            let payload = rest[payload_start..payload_end].to_string();
+            if rest.as_bytes().get(payload_end) != Some(&b'\n') {
+                return None;
+            }
+            entries.insert(rel, (key, payload));
+            pos = payload_end + 1;
+        }
+        Some(FactCache { entries })
+    }
+
+    /// Writes the sidecar atomically (tmp + rename) under a store root.
+    /// Callers on the analysis path should treat failure as non-fatal:
+    /// the cache is an accelerator, not a source of truth.
+    pub fn save(&self, root: &Path) -> io::Result<()> {
+        let tmp = root.join(format!("{FACTCACHE_FILE}.tmp"));
+        let target = root.join(FACTCACHE_FILE);
+        std::fs::write(&tmp, self.to_text())?;
+        std::fs::rename(&tmp, &target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "histpc-factcache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrips_payloads_with_newlines_and_blank_lines() {
+        let mut c = FactCache::new();
+        c.insert("app/run-1.record", 0xdead_beef, "line1\n\nline3".into());
+        c.insert("app/run-2.record", 7, String::new());
+        let parsed = FactCache::parse(&c.to_text()).unwrap();
+        assert_eq!(
+            parsed.lookup("app/run-1.record", 0xdead_beef),
+            Some("line1\n\nline3")
+        );
+        assert_eq!(parsed.lookup("app/run-2.record", 7), Some(""));
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn stale_key_misses() {
+        let mut c = FactCache::new();
+        c.insert("a/b.record", 1, "facts".into());
+        assert_eq!(c.lookup("a/b.record", 1), Some("facts"));
+        assert_eq!(c.lookup("a/b.record", 2), None);
+        assert_eq!(c.lookup("a/c.record", 1), None);
+    }
+
+    #[test]
+    fn damaged_text_parses_to_none_and_load_tolerates_anything() {
+        assert!(FactCache::parse("not a factcache").is_none());
+        assert!(FactCache::parse("histpc-factcache v1\nentry zz 3 a\nxyz\n").is_none());
+        // Truncated payload.
+        assert!(
+            FactCache::parse("histpc-factcache v1\nentry 0000000000000001 99 a/b\nshort\n")
+                .is_none()
+        );
+        let dir = scratch("damaged");
+        std::fs::write(dir.join(FACTCACHE_FILE), "garbage").unwrap();
+        assert!(FactCache::load(&dir).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_and_retain() {
+        let dir = scratch("roundtrip");
+        let mut c = FactCache::new();
+        c.insert("app/one.record", 11, "one".into());
+        c.insert("app/two.record", 22, "two".into());
+        c.save(&dir).unwrap();
+        let mut back = FactCache::load(&dir);
+        assert_eq!(back.lookup("app/two.record", 22), Some("two"));
+        let live: BTreeSet<String> = ["app/one.record".to_string()].into_iter().collect();
+        back.retain_paths(&live);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.lookup("app/two.record", 22), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

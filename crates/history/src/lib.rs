@@ -11,7 +11,9 @@
 //! * [`store`] — a crash-consistent, directory-backed multi-execution
 //!   store: checksum-framed records ([`frame`]), a write-ahead
 //!   [`journal`], advisory multi-session [`lock`]ing, a versioned
-//!   [`manifest`], and a read-only checker ([`fsck`]).
+//!   [`manifest`], a read-only checker ([`fsck`]), and an advisory
+//!   per-record derived-fact sidecar ([`factcache`]) for incremental
+//!   corpus analysis.
 //! * [`format`] — a line-oriented, human-diffable text serialization.
 //! * [`extract`] — directive harvesting: priorities from true/false
 //!   outcomes, historic prunes (trivial functions, false pairs, redundant
@@ -29,6 +31,7 @@
 pub mod combine;
 pub mod compare;
 pub mod extract;
+pub mod factcache;
 pub mod format;
 pub mod frame;
 pub mod fsck;
@@ -45,6 +48,7 @@ pub use extract::{
     derive_threshold_from_profile, detection_times, extract, ground_truth, postmortem_record,
     ExtractionOptions, MIN_THRESHOLD_SAMPLES,
 };
+pub use factcache::FactCache;
 pub use format::FormatError;
 pub use fsck::fsck;
 pub use mapping::{LocatedMap, MappingSet};

@@ -107,6 +107,8 @@ impl StoreLock {
     /// briefly waiting out live holders.
     pub fn acquire(root: &Path) -> Result<StoreLock, LockError> {
         let path = Self::path_in(root);
+        // det-audit: allow(wall-clock) — lock give-up deadline; never
+        // feeds recorded data, only bounds how long we wait for a peer.
         let deadline = std::time::Instant::now() + GIVE_UP_AFTER;
         loop {
             match std::fs::OpenOptions::new()
@@ -128,6 +130,7 @@ impl StoreLock {
                         let _ = std::fs::remove_file(&path);
                         continue;
                     }
+                    // det-audit: allow(wall-clock) — same deadline check.
                     if std::time::Instant::now() >= deadline {
                         return Err(LockError::Held { pid: holder });
                     }

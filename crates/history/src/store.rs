@@ -351,6 +351,31 @@ impl ExecutionStore {
         Ok(parse_record(decoded.payload())?)
     }
 
+    /// The FNV-64 payload checksum of a stored record, as indexed by
+    /// the manifest — the cheap per-record identity the corpus fact
+    /// cache keys on. Reads the manifest entry when one exists (O(1)
+    /// file reads for the whole store); falls back to hashing the file
+    /// payload for v0 stores or manifest misses, so the checksum always
+    /// matches what a manifest rebuild would record.
+    pub fn record_checksum(&self, app: &str, label: &str) -> Result<u64, StoreError> {
+        let rel = Self::rel_path(app, label, "record");
+        if let ManifestState::Loaded(m) = Manifest::load(&self.root)? {
+            if let Some(fnv) = m.lookup(&rel) {
+                return Ok(fnv);
+            }
+        }
+        let path = self.record_path(app, label);
+        if !path.exists() {
+            return Err(StoreError::NotFound(format!("{app}/{label}")));
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let decoded = frame::decode(&text).map_err(|e| StoreError::Integrity {
+            what: rel,
+            reason: e.to_string(),
+        })?;
+        Ok(frame::fnv64(decoded.payload().as_bytes()))
+    }
+
     /// Loads an auxiliary artifact saved with
     /// [`ExecutionStore::save_artifact`]. Returns the payload text
     /// (transparently unwrapping a frame if one is present).

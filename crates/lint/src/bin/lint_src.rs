@@ -1,0 +1,249 @@
+//! `lint-src`: a dependency-free source audit for determinism hazards.
+//!
+//! The deterministic core of this workspace (sim, consultant, history,
+//! instr, faults, resources) must produce bit-identical records from
+//! identical inputs — that property underwrites every baseline
+//! comparison, proptest, and bench invariant in the repo. This bin
+//! scans `crates/*/src` for the three hazard classes that have bitten
+//! (or nearly bitten) before:
+//!
+//! * **DA001 — wall-clock reads** (`Instant::now`, `SystemTime::now`)
+//!   in a deterministic crate: simulated time is the only clock allowed
+//!   to influence behaviour there.
+//! * **DA002 — `.unwrap()` in collector/search paths**
+//!   (`crates/instr/src`, `crates/consultant/src/search.rs`): these run
+//!   under fault injection, where a panic turns a modeled failure into
+//!   a tool crash; use `expect` with an invariant message or handle the
+//!   error.
+//! * **DA003 — `HashMap` in record-serialization modules**: iteration
+//!   order would leak into persisted bytes; use `BTreeMap` or sort.
+//!
+//! Test modules (everything at and after the first `#[cfg(test)]`) are
+//! exempt. A finding is suppressed by `det-audit: allow(...)` on the
+//! same line or in the comment block immediately above it.
+//!
+//! The audit is textual on purpose: no syn, no cargo metadata, no
+//! network — it must run in the leanest CI container and finish in
+//! milliseconds. Exit status 0 = clean, 1 = findings, 2 = usage error.
+
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` must stay free of wall-clock reads.
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "resources",
+    "sim",
+    "consultant",
+    "history",
+    "instr",
+    "faults",
+];
+
+/// Path fragments (relative to a crate's `src/`) whose files run under
+/// fault injection and must not `.unwrap()`.
+const NO_UNWRAP_PATHS: &[(&str, &str)] = &[("instr", ""), ("consultant", "search.rs")];
+
+/// Files whose output is persisted byte-for-byte; `HashMap` iteration
+/// order must not reach them.
+const SERIALIZATION_FILES: &[(&str, &str)] = &[
+    ("history", "format.rs"),
+    ("history", "record.rs"),
+    ("history", "manifest.rs"),
+    ("history", "factcache.rs"),
+    ("lint", "facts.rs"),
+];
+
+struct Finding {
+    code: &'static str,
+    file: String,
+    line: usize,
+    message: String,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [] => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("lint-src: cannot find workspace root (run from inside the repo)");
+                std::process::exit(2);
+            }
+        },
+        [path] => PathBuf::from(path),
+        _ => {
+            eprintln!("usage: lint-src [WORKSPACE_ROOT]");
+            std::process::exit(2);
+        }
+    };
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        eprintln!("lint-src: {} has no crates/ directory", root.display());
+        std::process::exit(2);
+    }
+
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    let mut crate_names: Vec<String> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        for entry in entries.flatten() {
+            if entry.path().is_dir() {
+                crate_names.push(entry.file_name().to_string_lossy().to_string());
+            }
+        }
+    }
+    crate_names.sort();
+    for krate in &crate_names {
+        collect_rs_files(&crates_dir.join(krate).join("src"), &mut files);
+    }
+    files.sort();
+
+    let mut scanned = 0usize;
+    for file in &files {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        scanned += 1;
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        audit_file(&rel, &text, &mut findings);
+    }
+
+    for f in &findings {
+        println!(
+            "det-audit[{}]: {}:{}: {}",
+            f.code, f.file, f.line, f.message
+        );
+    }
+    if findings.is_empty() {
+        println!("det-audit: clean ({scanned} files scanned)");
+    } else {
+        println!(
+            "det-audit: {} finding(s) in {scanned} scanned files",
+            findings.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The crate name and in-crate path of a `crates/<name>/src/...` file.
+fn crate_and_subpath(rel: &str) -> Option<(&str, &str)> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (krate, rest) = rest.split_once('/')?;
+    let sub = rest.strip_prefix("src/")?;
+    Some((krate, sub))
+}
+
+fn audit_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    let Some((krate, sub)) = crate_and_subpath(rel) else {
+        return;
+    };
+    let check_clock = DETERMINISTIC_CRATES.contains(&krate);
+    let check_unwrap = NO_UNWRAP_PATHS
+        .iter()
+        .any(|(k, p)| *k == krate && (p.is_empty() || sub == *p));
+    let check_hashmap = SERIALIZATION_FILES
+        .iter()
+        .any(|(k, p)| *k == krate && sub == *p);
+    if !(check_clock || check_unwrap || check_hashmap) {
+        return;
+    }
+
+    let lines: Vec<&str> = text.lines().collect();
+    for (idx, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        // Everything from the first test module on is exempt: the
+        // workspace convention keeps `#[cfg(test)] mod tests` at the
+        // bottom of a file.
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") || allowed(&lines, idx) {
+            continue;
+        }
+        let lineno = idx + 1;
+        if check_clock && (raw.contains("Instant::now") || raw.contains("SystemTime::now")) {
+            findings.push(Finding {
+                code: "DA001",
+                file: rel.to_string(),
+                line: lineno,
+                message: "wall-clock read in a deterministic crate; \
+                          use simulated time or suppress with `det-audit: allow(wall-clock)`"
+                    .into(),
+            });
+        }
+        if check_unwrap && raw.contains(".unwrap()") {
+            findings.push(Finding {
+                code: "DA002",
+                file: rel.to_string(),
+                line: lineno,
+                message: "`.unwrap()` on a fault-injected path; \
+                          use `expect` with an invariant message or handle the error"
+                    .into(),
+            });
+        }
+        if check_hashmap && raw.contains("HashMap") {
+            findings.push(Finding {
+                code: "DA003",
+                file: rel.to_string(),
+                line: lineno,
+                message: "HashMap in a record-serialization module; \
+                          iteration order must not reach persisted bytes — use BTreeMap"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// True when the line itself, or the contiguous `//` comment block
+/// directly above it, carries a `det-audit: allow` marker.
+fn allowed(lines: &[&str], idx: usize) -> bool {
+    if lines[idx].contains("det-audit: allow") {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if !t.starts_with("//") {
+            return false;
+        }
+        if t.contains("det-audit: allow") {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,147 @@
+//! The registry of stable diagnostic codes.
+//!
+//! Every `HLxxx` code any histpc tool can emit is declared here, with
+//! its default severity and a one-line summary. The registry is what
+//! makes codes *stable*: the JSON report format maps code strings back
+//! through [`lookup`] to the canonical `&'static str`, and the
+//! doc-sync test fails the build when a code exists here (or appears in
+//! the sources) without a matching DESIGN.md registry entry — so a new
+//! code cannot ship undocumented.
+
+use crate::Severity;
+
+/// One registered diagnostic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeInfo {
+    /// The stable code, e.g. `"HL030"`. Never reused or renumbered.
+    pub code: &'static str,
+    /// The severity this code is emitted with.
+    pub severity: Severity,
+    /// One-line summary, matching the tables in the crate doc and
+    /// DESIGN.md.
+    pub summary: &'static str,
+}
+
+/// Every registered code, in numeric order. Gaps (`HL008`–`HL009`,
+/// `HL017`–`HL019`, `HL027`–`HL029`) are unassigned, not retired.
+pub const ALL: &[CodeInfo] = &[
+    code("HL001", Severity::Error, "directive syntax error"),
+    code("HL002", Severity::Error, "unknown hypothesis"),
+    code("HL003", Severity::Error, "threshold outside (0, 1]"),
+    code(
+        "HL004",
+        Severity::Warning,
+        "duplicate or overriding directive",
+    ),
+    code(
+        "HL005",
+        Severity::Warning,
+        "pair prune shadowed by a subtree prune",
+    ),
+    code(
+        "HL006",
+        Severity::Warning,
+        "high priority on a pruned focus",
+    ),
+    code("HL007", Severity::Error, "malformed focus or resource name"),
+    code("HL010", Severity::Error, "mapping syntax error"),
+    code("HL011", Severity::Error, "mapping crosses hierarchies"),
+    code("HL012", Severity::Warning, "non-injective mapping"),
+    code(
+        "HL013",
+        Severity::Warning,
+        "chained mapping (single-pass application)",
+    ),
+    code("HL014", Severity::Error, "cyclic mapping"),
+    code(
+        "HL015",
+        Severity::Warning,
+        "map source unused by the directives",
+    ),
+    code("HL016", Severity::Warning, "duplicate map source"),
+    code(
+        "HL020",
+        Severity::Error,
+        "resource absent from the run linted against",
+    ),
+    code(
+        "HL021",
+        Severity::Warning,
+        "directive references a resource the run marked unreachable",
+    ),
+    code(
+        "HL022",
+        Severity::Warning,
+        "threshold anchored by an under-observed (starved) conclusion",
+    ),
+    code(
+        "HL023",
+        Severity::Error,
+        "store record fails its checksum frame or does not parse",
+    ),
+    code(
+        "HL024",
+        Severity::Warning,
+        "store shows unclean-shutdown evidence (stale lock, torn journal, stray files)",
+    ),
+    code(
+        "HL025",
+        Severity::Warning,
+        "store uses the legacy v0 layout or its manifest index drifted",
+    ),
+    code(
+        "HL026",
+        Severity::Warning,
+        "directive references a resource the run marked saturated (overload shed)",
+    ),
+    code(
+        "HL030",
+        Severity::Warning,
+        "corpus conflict: one run prunes the pair another run marks high priority",
+    ),
+    code(
+        "HL031",
+        Severity::Warning,
+        "stale directive: resource absent from the application's last-N runs",
+    ),
+    code(
+        "HL032",
+        Severity::Warning,
+        "threshold drift: harvested threshold would hide a bottleneck observed in another run",
+    ),
+    code(
+        "HL033",
+        Severity::Warning,
+        "dominated directive: another run's subtree prune makes it unreachable",
+    ),
+];
+
+const fn code(code: &'static str, severity: Severity, summary: &'static str) -> CodeInfo {
+    CodeInfo {
+        code,
+        severity,
+        summary,
+    }
+}
+
+/// Looks up a code by its string form, returning the registry entry
+/// (whose `code` field is the canonical `&'static str`).
+pub fn lookup(code: &str) -> Option<&'static CodeInfo> {
+    ALL.iter().find(|c| c.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_sorted_and_resolvable() {
+        for pair in ALL.windows(2) {
+            assert!(pair[0].code < pair[1].code, "registry must stay sorted");
+        }
+        for c in ALL {
+            assert_eq!(lookup(c.code).map(|i| i.code), Some(c.code));
+        }
+        assert!(lookup("HL999").is_none());
+    }
+}

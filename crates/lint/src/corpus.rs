@@ -1,0 +1,277 @@
+//! The corpus analyzer: multi-pass, cross-run analysis of a whole
+//! execution store.
+//!
+//! Per-file lints ([`Linter`](crate::Linter)) judge one artifact at a
+//! time; they cannot see that run 3 of a store prunes the very pair run
+//! 41 marks a high-priority bottleneck. The corpus analyzer can. It
+//! runs in two stages:
+//!
+//! 1. **Lowering** — every stored record is distilled into a
+//!    [`RecordFacts`] table ([`crate::facts`]). Extraction is cached in
+//!    the store's `FACTS` sidecar keyed on the record's FNV-64 payload
+//!    checksum (the same one the store manifest tracks), so a
+//!    re-analysis only lowers records whose bytes changed —
+//!    O(changed records), not O(store).
+//! 2. **Passes** — cross-run analyses over the fact tables
+//!    ([`crate::passes`]): directive conflicts (`HL030`), staleness
+//!    (`HL031`), threshold drift (`HL032`), and prune dominance
+//!    (`HL033`).
+//!
+//! The conflict pass additionally returns [`ConflictVerdicts`], which
+//! `Session::harvest` consults to down-rank contradictory directives
+//! before they ever reach the consultant. A corpus with no conflicts
+//! yields an empty verdict set and a bit-identical harvest.
+
+use crate::facts::{self, RecordFacts};
+use crate::passes;
+use crate::LintReport;
+use histpc_consultant::directive::{PriorityLevel, SearchDirectives};
+use histpc_history::factcache::FactCache;
+use histpc_history::manifest::{Manifest, ManifestState};
+use histpc_history::{ExecutionStore, ExtractionOptions, StoreError};
+use histpc_resources::intern::Interner;
+use histpc_resources::Focus;
+use std::collections::BTreeSet;
+
+/// Tuning knobs for a corpus analysis.
+#[derive(Debug, Clone)]
+pub struct CorpusOptions {
+    /// How many of an application's most recent runs define the "live"
+    /// resource set for the staleness pass (`HL031`).
+    pub recent_window: usize,
+    /// How facts derive each record's harvested directives. Changing
+    /// these invalidates cached facts (the options fingerprint is part
+    /// of the cache key).
+    pub extraction: ExtractionOptions,
+}
+
+impl Default for CorpusOptions {
+    fn default() -> CorpusOptions {
+        CorpusOptions {
+            recent_window: 20,
+            extraction: ExtractionOptions::priorities_and_safe_prunes().with_thresholds(),
+        }
+    }
+}
+
+/// One (hypothesis, focus) pair the corpus both prunes and prioritizes
+/// (`HL030`), scoped to the application and version the conflict was
+/// found in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConflictVerdict {
+    /// Application the conflicting runs belong to.
+    pub app: String,
+    /// Version group the conflict was found in.
+    pub version: String,
+    /// Hypothesis of the contradicted pair.
+    pub hypothesis: String,
+    /// Focus of the contradicted pair.
+    pub focus: Focus,
+}
+
+/// The conflict pass's output: every contradicted pair, ready for
+/// harvest-time down-ranking.
+#[derive(Debug, Clone, Default)]
+pub struct ConflictVerdicts {
+    verdicts: Vec<ConflictVerdict>,
+}
+
+impl ConflictVerdicts {
+    /// No conflicts anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+
+    /// Number of contradicted pairs.
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// All verdicts, in deterministic (app, version, pair) order.
+    pub fn iter(&self) -> impl Iterator<Item = &ConflictVerdict> {
+        self.verdicts.iter()
+    }
+
+    pub(crate) fn push(&mut self, v: ConflictVerdict) {
+        self.verdicts.push(v);
+    }
+
+    /// Down-ranks a harvested directive set against the verdicts that
+    /// apply to `(app, version)`: high priorities on a contradicted
+    /// pair and prunes removing one are dropped (the corpus cannot
+    /// honestly claim either side), everything else is preserved in
+    /// order. Returns the vetted set and how many directives were
+    /// dropped. With no applicable verdicts the result is a plain
+    /// clone — byte-identical `to_text()`.
+    pub fn down_rank(
+        &self,
+        directives: &SearchDirectives,
+        app: &str,
+        version: &str,
+    ) -> (SearchDirectives, usize) {
+        let applicable: Vec<&ConflictVerdict> = self
+            .verdicts
+            .iter()
+            .filter(|v| v.app == app && v.version == version)
+            .collect();
+        if applicable.is_empty() {
+            return (directives.clone(), 0);
+        }
+        let mut out = SearchDirectives::none();
+        let mut dropped = 0;
+        for p in &directives.prunes {
+            if applicable
+                .iter()
+                .any(|v| p.matches(&v.hypothesis, &v.focus))
+            {
+                dropped += 1;
+            } else {
+                out.add_prune(p.clone());
+            }
+        }
+        for p in &directives.priorities {
+            let contradicted = p.level == PriorityLevel::High
+                && applicable
+                    .iter()
+                    .any(|v| v.hypothesis == p.hypothesis && v.focus == p.focus);
+            if contradicted {
+                dropped += 1;
+            } else {
+                out.add_priority(p.clone());
+            }
+        }
+        for t in &directives.thresholds {
+            out.add_threshold(t.clone());
+        }
+        (out, dropped)
+    }
+}
+
+/// The result of one corpus analysis.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusAnalysis {
+    /// Every finding, sorted and deduplicated like any lint report.
+    pub report: LintReport,
+    /// Contradicted pairs for harvest-time down-ranking.
+    pub verdicts: ConflictVerdicts,
+    /// Records analyzed (damaged records are skipped; `fsck` owns those).
+    pub records: usize,
+    /// Records whose facts came from the sidecar cache.
+    pub cache_hits: usize,
+    /// Records that were lowered from scratch this analysis.
+    pub cache_misses: usize,
+}
+
+/// Drives lowering + passes over one execution store.
+#[derive(Debug)]
+pub struct CorpusAnalyzer<'a> {
+    store: &'a ExecutionStore,
+    opts: CorpusOptions,
+}
+
+impl<'a> CorpusAnalyzer<'a> {
+    /// An analyzer with default options.
+    pub fn new(store: &'a ExecutionStore) -> CorpusAnalyzer<'a> {
+        CorpusAnalyzer::with_options(store, CorpusOptions::default())
+    }
+
+    /// An analyzer with explicit options.
+    pub fn with_options(store: &'a ExecutionStore, opts: CorpusOptions) -> CorpusAnalyzer<'a> {
+        CorpusAnalyzer { store, opts }
+    }
+
+    /// Runs the full analysis: load (or lower) facts for every record,
+    /// refresh the sidecar cache, then run every pass. Only storewide
+    /// listing failures error out; an individual record that fails to
+    /// load is skipped (it is `fsck`'s job to report it, and one torn
+    /// record must not hide corpus findings about the rest).
+    pub fn analyze(&self) -> Result<CorpusAnalysis, StoreError> {
+        let mut cache = FactCache::load(self.store.root());
+        let mut interner = Interner::new();
+        let fingerprint = options_fingerprint(&self.opts.extraction);
+        let mut all: Vec<RecordFacts> = Vec::new();
+        let mut live = BTreeSet::new();
+        let mut hits = 0usize;
+        let mut misses = 0usize;
+        // One manifest read for the whole corpus; per-record
+        // `record_checksum` would re-parse it per call. Records the
+        // manifest misses (v0 stores, drift) fall back to hashing.
+        let manifest = match Manifest::load(self.store.root()) {
+            Ok(ManifestState::Loaded(m)) => Some(m),
+            _ => None,
+        };
+
+        for app in self.store.applications()? {
+            for (seq, label) in self.store.labels(&app)?.iter().enumerate() {
+                let rel = format!("{app}/{label}.record");
+                let indexed = manifest.as_ref().and_then(|m| m.lookup(&rel));
+                let checksum = match indexed {
+                    Some(c) => c,
+                    None => match self.store.record_checksum(&app, label) {
+                        Ok(c) => c,
+                        Err(_) => continue,
+                    },
+                };
+                let key = checksum ^ fingerprint;
+                let cached = cache
+                    .lookup(&rel, key)
+                    .and_then(|payload| RecordFacts::parse(payload).ok());
+                let mut facts = match cached {
+                    Some(f) => {
+                        hits += 1;
+                        f
+                    }
+                    None => {
+                        let Ok(rec) = self.store.load(&app, label) else {
+                            continue;
+                        };
+                        let f = facts::lower(&rec, &mut interner, &self.opts.extraction);
+                        cache.insert(&rel, key, f.to_text());
+                        misses += 1;
+                        f
+                    }
+                };
+                facts.app = app.clone();
+                facts.label = label.clone();
+                facts.seq = seq;
+                facts.checksum = checksum;
+                live.insert(rel);
+                all.push(facts);
+            }
+        }
+
+        // Refresh the sidecar: drop entries for deleted records, then
+        // persist best-effort (a read-only store must still analyze).
+        cache.retain_paths(&live);
+        let _ = cache.save(self.store.root());
+
+        let mut diags = Vec::new();
+        let verdicts = passes::conflicts::check(&all, &mut diags);
+        passes::stale::check(&all, self.opts.recent_window, &mut diags);
+        passes::drift::check(&all, &mut diags);
+        passes::dominance::check(&all, &mut diags);
+
+        Ok(CorpusAnalysis {
+            report: LintReport::from(diags),
+            verdicts,
+            records: all.len(),
+            cache_hits: hits,
+            cache_misses: misses,
+        })
+    }
+}
+
+/// A fingerprint of the extraction options folded into every cache key,
+/// so analyses with different derivation settings never share cached
+/// facts. The `Debug` form is hashed — any representational change
+/// costs at most one cold re-derivation.
+fn options_fingerprint(opts: &ExtractionOptions) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for b in format!("{}|{opts:?}", facts::FACTS_HEADER).bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}

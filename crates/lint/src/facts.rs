@@ -1,0 +1,214 @@
+//! Lowering: from a stored [`ExecutionRecord`] to a typed fact table.
+//!
+//! The corpus analyzer never walks raw records twice. A single lowering
+//! pass distills each record into [`RecordFacts`] — the app/version
+//! identity, a content-based resource-set signature (via the
+//! [`Interner`]'s FNV hashing, stable across processes), the
+//! well-observed bottleneck magnitudes per hypothesis, the degraded
+//! markers, and the full directive set `histpc harvest` would extract —
+//! and every analysis pass works off those facts alone. The fact table
+//! serializes to a compact line-oriented text payload
+//! (`histpc-facts v1`) so it can live in the store's
+//! [`FactCache`](histpc_history::factcache::FactCache) sidecar and be
+//! reloaded without touching the record at all.
+
+use histpc_consultant::directive::SearchDirectives;
+use histpc_history::{ExecutionRecord, ExtractionOptions, MIN_THRESHOLD_SAMPLES};
+use histpc_resources::intern::Interner;
+
+/// First line of a serialized fact table. Bump the version to
+/// invalidate every cached payload at once.
+pub const FACTS_HEADER: &str = "histpc-facts v1";
+
+/// An observed true (bottleneck) conclusion: hypothesis, magnitude
+/// (fraction of execution time), and how many samples grounded it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedMagnitude {
+    /// Hypothesis name.
+    pub hypothesis: String,
+    /// The concluded fraction of execution time.
+    pub value: f64,
+    /// Samples behind the conclusion (see
+    /// [`MIN_THRESHOLD_SAMPLES`] for the well-observed bar).
+    pub samples: u64,
+}
+
+impl ObservedMagnitude {
+    /// True when enough samples ground the conclusion for it to anchor
+    /// threshold reasoning.
+    pub fn well_observed(&self) -> bool {
+        self.samples >= MIN_THRESHOLD_SAMPLES
+    }
+}
+
+/// Everything the corpus passes need to know about one stored run.
+///
+/// Identity fields (`app`, `label`, `seq`, `checksum`) are keyed
+/// externally by the store listing and are *not* part of the serialized
+/// payload; [`RecordFacts::parse`] leaves them empty for the corpus
+/// loader to fill.
+#[derive(Debug, Clone, Default)]
+pub struct RecordFacts {
+    /// Application name (from the store listing).
+    pub app: String,
+    /// Run label (from the store listing).
+    pub label: String,
+    /// Position in the app's sorted label order (0 = oldest).
+    pub seq: usize,
+    /// The record's FNV-64 payload checksum.
+    pub checksum: u64,
+    /// Application version string.
+    pub version: String,
+    /// Order-independent content signature of the resource set
+    /// ([`Interner::set_signature`]).
+    pub resource_sig: u64,
+    /// Sorted display forms of every recorded resource.
+    pub resources: Vec<String>,
+    /// True-outcome magnitudes, in record order.
+    pub magnitudes: Vec<ObservedMagnitude>,
+    /// True when the run recorded unreachable (dead) resources.
+    pub degraded_unreachable: bool,
+    /// True when the run recorded saturated (overload-shed) resources.
+    pub degraded_saturated: bool,
+    /// The directives `histpc harvest` would extract from this run.
+    pub directives: SearchDirectives,
+}
+
+/// Lowers one record into facts. `interner` caches per-name hashes
+/// across the whole corpus, so repeated names cost one hash total.
+pub fn lower(
+    rec: &ExecutionRecord,
+    interner: &mut Interner,
+    opts: &ExtractionOptions,
+) -> RecordFacts {
+    let mut resources: Vec<String> = rec.resources.iter().map(|r| r.to_string()).collect();
+    resources.sort();
+    let magnitudes = rec
+        .true_outcomes()
+        .map(|o| ObservedMagnitude {
+            hypothesis: o.hypothesis.clone(),
+            value: o.last_value,
+            samples: o.samples,
+        })
+        .collect();
+    RecordFacts {
+        app: rec.app_name.clone(),
+        label: rec.label.clone(),
+        seq: 0,
+        checksum: 0,
+        version: rec.app_version.clone(),
+        resource_sig: interner.set_signature(&rec.resources),
+        resources,
+        magnitudes,
+        degraded_unreachable: !rec.unreachable.is_empty(),
+        degraded_saturated: !rec.saturated.is_empty(),
+        directives: histpc_history::extract(rec, opts),
+    }
+}
+
+impl RecordFacts {
+    /// Serializes the payload fields (identity fields excluded — they
+    /// are the cache key, not the cached value).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(FACTS_HEADER);
+        out.push('\n');
+        out.push_str(&format!("version {}\n", self.version));
+        out.push_str(&format!("sig {:016x}\n", self.resource_sig));
+        if self.degraded_unreachable {
+            out.push_str("degraded unreachable\n");
+        }
+        if self.degraded_saturated {
+            out.push_str("degraded saturated\n");
+        }
+        for r in &self.resources {
+            out.push_str(&format!("resource {r}\n"));
+        }
+        for m in &self.magnitudes {
+            out.push_str(&format!(
+                "true {} {} {}\n",
+                m.hypothesis, m.value, m.samples
+            ));
+        }
+        // Directive lines reuse the directive file grammar verbatim
+        // (minus its header comment), prefixed `d `.
+        for line in self.directives.to_text().lines() {
+            if line.starts_with('#') || line.trim().is_empty() {
+                continue;
+            }
+            out.push_str("d ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a serialized payload. Identity fields come back empty.
+    /// Any malformed line fails the whole parse — a damaged cache entry
+    /// must be re-derived, never half-trusted.
+    pub fn parse(text: &str) -> Result<RecordFacts, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some(FACTS_HEADER) {
+            return Err("missing facts header".into());
+        }
+        let mut facts = RecordFacts::default();
+        let mut directive_text = String::new();
+        for line in lines {
+            let (kind, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match kind {
+                "version" => facts.version = rest.to_string(),
+                "sig" => {
+                    facts.resource_sig = u64::from_str_radix(rest, 16)
+                        .map_err(|_| format!("bad signature {rest:?}"))?;
+                }
+                "degraded" => match rest {
+                    "unreachable" => facts.degraded_unreachable = true,
+                    "saturated" => facts.degraded_saturated = true,
+                    other => return Err(format!("unknown degraded marker {other:?}")),
+                },
+                "resource" => facts.resources.push(rest.to_string()),
+                "true" => {
+                    let mut parts = rest.split_whitespace();
+                    let (Some(hyp), Some(value), Some(samples)) =
+                        (parts.next(), parts.next(), parts.next())
+                    else {
+                        return Err(format!("bad magnitude line {line:?}"));
+                    };
+                    facts.magnitudes.push(ObservedMagnitude {
+                        hypothesis: hyp.to_string(),
+                        value: value
+                            .parse()
+                            .map_err(|_| format!("bad magnitude value {value:?}"))?,
+                        samples: samples
+                            .parse()
+                            .map_err(|_| format!("bad sample count {samples:?}"))?,
+                    });
+                }
+                "d" => {
+                    directive_text.push_str(rest);
+                    directive_text.push('\n');
+                }
+                other => return Err(format!("unknown fact line kind {other:?}")),
+            }
+        }
+        facts.directives =
+            SearchDirectives::parse(&directive_text).map_err(|d| d.message.clone())?;
+        Ok(facts)
+    }
+
+    /// The minimum well-observed bottleneck magnitude for a hypothesis,
+    /// if any — the anchor threshold-drift reasoning compares against.
+    pub fn min_well_observed(&self, hypothesis: &str) -> Option<f64> {
+        self.magnitudes
+            .iter()
+            .filter(|m| m.hypothesis == hypothesis && m.well_observed())
+            .map(|m| m.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// The store-relative path of the record these facts came from —
+    /// the `file` every corpus diagnostic points at.
+    pub fn rel_path(&self) -> String {
+        format!("{}/{}.record", self.app, self.label)
+    }
+}

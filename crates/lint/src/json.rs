@@ -1,0 +1,441 @@
+//! Machine-readable lint reports: the `histpc-lint-report/v1` schema.
+//!
+//! `histpc lint --format json` emits one JSON object per invocation so
+//! CI annotators and the daemon-to-be can consume findings without
+//! scraping rendered text. The schema is stable — fields are only ever
+//! added, never renamed or removed:
+//!
+//! ```json
+//! {
+//!   "schema": "histpc-lint-report/v1",
+//!   "errors": 1,
+//!   "warnings": 2,
+//!   "diagnostics": [
+//!     {
+//!       "code": "HL002",
+//!       "severity": "error",
+//!       "file": "app.dirs",
+//!       "line": 3,
+//!       "col_start": 7,
+//!       "col_end": 15,
+//!       "message": "unknown hypothesis `CPUBound`",
+//!       "suggestion": "did you mean `CPUbound`?"
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Span-less diagnostics omit `line`/`col_start`/`col_end`;
+//! suggestion-less ones omit `suggestion`. The workspace is
+//! dependency-free, so the (de)serializer is hand-rolled — the format
+//! is a single flat schema, not general JSON interchange, but the
+//! parser is a complete little JSON reader so foreign field order and
+//! whitespace are accepted.
+
+use crate::{codes, Diagnostic, LintReport, Severity, Span};
+
+/// The schema identifier in every report.
+pub const REPORT_SCHEMA: &str = "histpc-lint-report/v1";
+
+/// Serializes a report to the `histpc-lint-report/v1` JSON text.
+pub fn report_to_json(report: &LintReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", quote(REPORT_SCHEMA)));
+    out.push_str(&format!("  \"errors\": {},\n", report.error_count()));
+    out.push_str(&format!("  \"warnings\": {},\n", report.warning_count()));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"code\": {}, ", quote(d.code)));
+        out.push_str(&format!("\"severity\": {}, ", quote(d.severity.label())));
+        out.push_str(&format!("\"file\": {}", quote(&d.file)));
+        if let Some(span) = d.span {
+            out.push_str(&format!(
+                ", \"line\": {}, \"col_start\": {}, \"col_end\": {}",
+                span.line, span.col_start, span.col_end
+            ));
+        }
+        out.push_str(&format!(", \"message\": {}", quote(&d.message)));
+        if let Some(s) = &d.suggestion {
+            out.push_str(&format!(", \"suggestion\": {}", quote(s)));
+        }
+        out.push('}');
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Parses a `histpc-lint-report/v1` JSON text back into a report.
+/// Unknown codes and severities are rejected — a report that cannot
+/// round-trip through the registry is not a histpc report.
+pub fn report_from_json(text: &str) -> Result<LintReport, String> {
+    let value = Parser { text, pos: 0 }.parse()?;
+    let obj = value.as_object().ok_or("report must be a JSON object")?;
+    match find(obj, "schema") {
+        Some(JsonValue::String(s)) if s == REPORT_SCHEMA => {}
+        Some(JsonValue::String(s)) => return Err(format!("unknown schema {s:?}")),
+        _ => return Err("missing schema field".into()),
+    }
+    let Some(JsonValue::Array(items)) = find(obj, "diagnostics") else {
+        return Err("missing diagnostics array".into());
+    };
+    let mut diagnostics = Vec::new();
+    for item in items {
+        let d = item.as_object().ok_or("diagnostic must be an object")?;
+        let code_str = get_string(d, "code")?;
+        let info = codes::lookup(&code_str)
+            .ok_or_else(|| format!("unregistered diagnostic code {code_str:?}"))?;
+        let severity = match get_string(d, "severity")?.as_str() {
+            "error" => Severity::Error,
+            "warning" => Severity::Warning,
+            "note" => Severity::Note,
+            other => return Err(format!("unknown severity {other:?}")),
+        };
+        let span = match (find(d, "line"), find(d, "col_start"), find(d, "col_end")) {
+            (None, None, None) => None,
+            (Some(l), Some(s), Some(e)) => Some(Span::new(
+                as_usize(l, "line")?,
+                as_usize(s, "col_start")?,
+                as_usize(e, "col_end")?,
+            )),
+            _ => return Err("partial span: need all of line/col_start/col_end".into()),
+        };
+        let suggestion = match find(d, "suggestion") {
+            Some(JsonValue::String(s)) => Some(s.clone()),
+            None | Some(JsonValue::Null) => None,
+            Some(_) => return Err("suggestion must be a string".into()),
+        };
+        diagnostics.push(Diagnostic {
+            code: info.code,
+            severity,
+            file: get_string(d, "file")?,
+            span,
+            message: get_string(d, "message")?,
+            suggestion,
+        });
+    }
+    Ok(LintReport::from(diagnostics))
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+fn find<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_string(obj: &[(String, JsonValue)], key: &str) -> Result<String, String> {
+    match find(obj, key) {
+        Some(JsonValue::String(s)) => Ok(s.clone()),
+        _ => Err(format!("missing or non-string field {key:?}")),
+    }
+}
+
+fn as_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
+    match v {
+        JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+        _ => Err(format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn parse(mut self) -> Result<JsonValue, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.text.len() {
+            return Err(format!("trailing garbage at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.text.as_bytes().get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.text[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.text[start..self.pos]
+            .parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.text[self.pos..];
+            let mut chars = rest.chars();
+            match chars.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    let esc = self.text[self.pos..]
+                        .chars()
+                        .next()
+                        .ok_or("unterminated escape")?;
+                    self.pos += esc.len_utf8();
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let hex = self
+                                .text
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(cp).ok_or("bad \\u codepoint")?);
+                        }
+                        other => return Err(format!("unknown escape \\{other}")),
+                    }
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> LintReport {
+        LintReport::from(vec![
+            Diagnostic {
+                code: "HL002",
+                severity: Severity::Error,
+                file: "app.dirs".into(),
+                span: Some(Span::new(3, 7, 15)),
+                message: "unknown hypothesis `CPUBound`".into(),
+                suggestion: Some("did you mean `CPUbound`?".into()),
+            },
+            Diagnostic {
+                code: "HL031",
+                severity: Severity::Warning,
+                file: "app/r1.record".into(),
+                span: None,
+                message: "a \"quoted\" name,\n\ta control byte \u{1}".into(),
+                suggestion: None,
+            },
+        ])
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report();
+        let json = report_to_json(&report);
+        let back = report_from_json(&json).unwrap();
+        assert_eq!(back.diagnostics, report.diagnostics);
+        assert_eq!(back.error_count(), report.error_count());
+        assert_eq!(back.warning_count(), report.warning_count());
+    }
+
+    #[test]
+    fn serialization_is_stable() {
+        let report = sample_report();
+        let json = report_to_json(&report);
+        assert_eq!(json, report_to_json(&report));
+        // A round trip re-serializes to the identical bytes.
+        let back = report_from_json(&json).unwrap();
+        assert_eq!(report_to_json(&back), json);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let json = report_to_json(&LintReport::default());
+        assert!(json.contains("\"diagnostics\": []"));
+        assert!(report_from_json(&json).unwrap().is_clean());
+    }
+
+    #[test]
+    fn parser_accepts_foreign_field_order_and_whitespace() {
+        let text = r#"
+            { "diagnostics": [ { "message": "m", "file": "f.dirs",
+                                 "severity": "note", "code": "HL004" } ],
+              "schema": "histpc-lint-report/v1" }
+        "#;
+        let report = report_from_json(text).unwrap();
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, "HL004");
+        assert_eq!(report.diagnostics[0].severity, Severity::Note);
+    }
+
+    #[test]
+    fn bad_reports_are_rejected() {
+        let wrong_schema = r#"{"schema": "histpc-lint-report/v2", "diagnostics": []}"#;
+        assert!(report_from_json(wrong_schema)
+            .unwrap_err()
+            .contains("schema"));
+
+        let unknown_code = r#"{"schema": "histpc-lint-report/v1", "diagnostics":
+            [{"code": "HL999", "severity": "error", "file": "f", "message": "m"}]}"#;
+        assert!(report_from_json(unknown_code)
+            .unwrap_err()
+            .contains("HL999"));
+
+        let partial_span = r#"{"schema": "histpc-lint-report/v1", "diagnostics":
+            [{"code": "HL001", "severity": "error", "file": "f", "line": 3, "message": "m"}]}"#;
+        assert!(report_from_json(partial_span).unwrap_err().contains("span"));
+
+        assert!(report_from_json("{").is_err());
+        assert!(report_from_json("{} trailing").is_err());
+    }
+}

@@ -40,14 +40,31 @@
 //! | HL024 | warning  | store shows unclean-shutdown evidence (stale lock, torn journal, stray files) |
 //! | HL025 | warning  | store uses the legacy v0 layout or its manifest index drifted |
 //! | HL026 | warning  | directive references a resource the run marked saturated (overload shed) |
+//! | HL030 | warning  | corpus conflict: one run prunes the pair another run marks high priority |
+//! | HL031 | warning  | stale directive: resource absent from the application's last-N runs |
+//! | HL032 | warning  | threshold drift: harvested threshold would hide a bottleneck observed in another run |
+//! | HL033 | warning  | dominated directive: another run's subtree prune makes it unreachable |
+//!
+//! The `HL03x` range is emitted by the cross-run [`corpus`] analyzer
+//! (`histpc lint corpus <store>`) rather than the per-file [`Linter`];
+//! [`codes`] is the machine-readable registry of every code, and
+//! [`json`] serializes any report as stable `histpc-lint-report/v1`
+//! JSON.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checks;
+pub mod codes;
+pub mod corpus;
+pub mod facts;
+pub mod json;
+pub mod passes;
 pub mod render;
 
+pub use corpus::{ConflictVerdicts, CorpusAnalysis, CorpusAnalyzer, CorpusOptions};
 pub use histpc_resources::diag::{Diagnostic, Severity, Span};
+pub use json::{report_from_json, report_to_json, REPORT_SCHEMA};
 pub use render::{render_all, summary, SourceCache};
 
 use histpc_consultant::directive::{parse_with_spans as parse_directives, LocatedDirective};
@@ -85,7 +102,8 @@ impl ArtifactKind {
     }
 }
 
-/// The outcome of a lint run: all diagnostics, sorted by file and span.
+/// The outcome of a lint run: all diagnostics, sorted by (file, span,
+/// code) and with exact repeats removed.
 #[derive(Debug, Clone, Default)]
 pub struct LintReport {
     /// Everything found, most specific location first.
@@ -94,7 +112,19 @@ pub struct LintReport {
 
 impl LintReport {
     fn from(mut diagnostics: Vec<Diagnostic>) -> LintReport {
-        diagnostics.sort_by_key(|d| d.sort_key());
+        // Deterministic output: order never depends on check order or
+        // any hash-map iteration upstream, and re-linting the same
+        // artifact twice (e.g. a file added under two roles) does not
+        // repeat findings. The sort key is extended past (file, span,
+        // code) so equal diagnostics are adjacent for dedup and ties
+        // break stably.
+        diagnostics.sort_by(|a, b| {
+            a.sort_key()
+                .cmp(&b.sort_key())
+                .then_with(|| a.severity.cmp(&b.severity))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+        diagnostics.dedup();
         LintReport { diagnostics }
     }
 

@@ -1,0 +1,86 @@
+//! `HL030` — cross-run directive conflicts.
+//!
+//! Within one run, extraction is self-consistent: it never emits a high
+//! priority on a pair it also prunes. Across runs nothing enforced that
+//! until now: run 3 may conclude a function trivial (subtree prune)
+//! while run 41 — after a workload change — finds the same function a
+//! bottleneck (high priority). A consultant steered by the merged
+//! corpus would then prune its own best lead. This pass cross-products
+//! the *unique* prunes and high priorities of each `(app, version)`
+//! group, reports each contradicted pair once, and records a
+//! [`ConflictVerdict`](crate::corpus::ConflictVerdict) so harvesting
+//! can down-rank both sides.
+
+use super::{priority_line, prune_line};
+use crate::corpus::{ConflictVerdict, ConflictVerdicts};
+use crate::facts::RecordFacts;
+use crate::Diagnostic;
+use histpc_consultant::directive::{PriorityDirective, PriorityLevel, Prune};
+use std::collections::BTreeMap;
+
+/// Stable code for a cross-run prune/priority conflict.
+pub const CODE_CONFLICT: &str = "HL030";
+
+/// Runs the pass, returning the verdicts for harvest-time vetting.
+pub fn check(facts: &[RecordFacts], diags: &mut Vec<Diagnostic>) -> ConflictVerdicts {
+    let mut verdicts = ConflictVerdicts::default();
+    let mut groups: BTreeMap<(&str, &str), Vec<&RecordFacts>> = BTreeMap::new();
+    for f in facts {
+        groups.entry((&f.app, &f.version)).or_default().push(f);
+    }
+    for ((app, version), runs) in groups {
+        // Dedupe directives by their serialized line before the cross
+        // product: a thousand near-identical runs contribute each
+        // distinct directive once, keyed to its first (oldest) run.
+        let mut prunes: BTreeMap<String, (&Prune, &RecordFacts)> = BTreeMap::new();
+        let mut highs: BTreeMap<String, (&PriorityDirective, &RecordFacts)> = BTreeMap::new();
+        for rf in &runs {
+            for p in &rf.directives.prunes {
+                prunes.entry(prune_line(p)).or_insert((p, rf));
+            }
+            for p in &rf.directives.priorities {
+                if p.level == PriorityLevel::High {
+                    highs.entry(priority_line(p)).or_insert((p, rf));
+                }
+            }
+        }
+        let mut seen_pairs: BTreeMap<String, ()> = BTreeMap::new();
+        for (pri_text, (pri, pri_src)) in &highs {
+            for (prune_text, (prune, prune_src)) in &prunes {
+                if prune_src.label == pri_src.label {
+                    continue; // within-run consistency is extraction's job
+                }
+                if !prune.matches(&pri.hypothesis, &pri.focus) {
+                    continue;
+                }
+                let pair_key = format!("{} {}", pri.hypothesis, pri.focus);
+                if seen_pairs.insert(pair_key, ()).is_some() {
+                    continue;
+                }
+                diags.push(
+                    Diagnostic::warning(
+                        CODE_CONFLICT,
+                        format!(
+                            "directive conflict in {app} v{version}: run {} harvests \
+                             `{prune_text}` but run {} harvests `{pri_text}` — the corpus \
+                             both prunes and prioritizes ({}, {})",
+                            prune_src.label, pri_src.label, pri.hypothesis, pri.focus
+                        ),
+                    )
+                    .with_file(pri_src.rel_path())
+                    .with_suggestion(
+                        "the runs disagree about this pair; harvesting down-ranks both sides \
+                         until a re-run or `histpc store delete` of the stale run resolves it",
+                    ),
+                );
+                verdicts.push(ConflictVerdict {
+                    app: app.to_string(),
+                    version: version.to_string(),
+                    hypothesis: pri.hypothesis.clone(),
+                    focus: pri.focus.clone(),
+                });
+            }
+        }
+    }
+    verdicts
+}

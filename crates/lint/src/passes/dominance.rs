@@ -1,0 +1,133 @@
+//! `HL033` — dominated directives: ones that can never fire once the
+//! corpus is merged.
+//!
+//! A subtree prune removes a whole region of the Search History Graph
+//! from consideration. Any *other* run's directive living strictly
+//! inside that region — a low priority, or a narrower pair prune — is
+//! dead weight after a corpus merge: the consultant never reaches the
+//! focus it names. (A *high* priority under a foreign prune is not
+//! dead weight but a genuine contradiction; that is
+//! [`conflicts`](super::conflicts)' `HL030`, and this pass leaves it
+//! alone.) Within one run the per-file checks `HL005`/`HL006` already
+//! cover shadowing; this pass only reports cross-run dominance.
+
+use super::prune_line;
+use crate::facts::RecordFacts;
+use crate::Diagnostic;
+use histpc_consultant::directive::{PriorityLevel, Prune, PruneTarget};
+use histpc_resources::Focus;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Stable code for a directive dominated by another run's prune.
+pub const CODE_DOMINATED: &str = "HL033";
+
+/// Runs the pass.
+pub fn check(facts: &[RecordFacts], diags: &mut Vec<Diagnostic>) {
+    let mut groups: BTreeMap<(&str, &str), Vec<&RecordFacts>> = BTreeMap::new();
+    for f in facts {
+        groups.entry((&f.app, &f.version)).or_default().push(f);
+    }
+    for ((app, version), runs) in groups {
+        // Unique subtree prunes across the group, keyed to their first
+        // (oldest) run.
+        let mut subtrees: BTreeMap<String, (&Prune, &RecordFacts)> = BTreeMap::new();
+        for rf in &runs {
+            for p in &rf.directives.prunes {
+                if matches!(p.target, PruneTarget::Resource(_)) {
+                    subtrees.entry(prune_line(p)).or_insert((p, rf));
+                }
+            }
+        }
+        if subtrees.is_empty() {
+            continue;
+        }
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for rf in &runs {
+            for p in &rf.directives.priorities {
+                if p.level != PriorityLevel::Low {
+                    continue; // High under a prune is HL030's conflict
+                }
+                let Some((dom_text, dom_src)) =
+                    dominating(&subtrees, Some(&p.hypothesis), &p.focus, &rf.label)
+                else {
+                    continue;
+                };
+                let line = format!("priority low {} {}", p.hypothesis, p.focus);
+                if !seen.insert(format!("{app} {version} {line}")) {
+                    continue;
+                }
+                push_dominated(diags, app, version, rf, &line, dom_text, dom_src);
+            }
+            for p in &rf.directives.prunes {
+                let PruneTarget::Pair(focus) = &p.target else {
+                    continue;
+                };
+                let Some((dom_text, dom_src)) =
+                    dominating(&subtrees, p.hypothesis.as_deref(), focus, &rf.label)
+                else {
+                    continue;
+                };
+                let line = prune_line(p);
+                if !seen.insert(format!("{app} {version} {line}")) {
+                    continue;
+                }
+                push_dominated(diags, app, version, rf, &line, dom_text, dom_src);
+            }
+        }
+    }
+}
+
+/// The first subtree prune from a *different* run that makes
+/// (`hypothesis`, `focus`) unreachable. A directive scoped to one
+/// hypothesis is dominated by a prune covering that hypothesis; a
+/// wildcard pair prune is only dominated by a wildcard subtree prune.
+fn dominating<'a>(
+    subtrees: &'a BTreeMap<String, (&Prune, &'a RecordFacts)>,
+    hypothesis: Option<&str>,
+    focus: &Focus,
+    own_label: &str,
+) -> Option<(&'a str, &'a RecordFacts)> {
+    for (text, (prune, src)) in subtrees {
+        if src.label == own_label {
+            continue;
+        }
+        let covered = match hypothesis {
+            Some(h) => prune.matches(h, focus),
+            // `Prune::matches` scoping: a wildcard prune matches any
+            // hypothesis, so probing with an impossible name checks
+            // pure structural coverage.
+            None => prune.hypothesis.is_none() && prune.matches("\u{0}", focus),
+        };
+        if covered {
+            return Some((text.as_str(), src));
+        }
+    }
+    None
+}
+
+fn push_dominated(
+    diags: &mut Vec<Diagnostic>,
+    app: &str,
+    version: &str,
+    rf: &RecordFacts,
+    line: &str,
+    dom_text: &str,
+    dom_src: &RecordFacts,
+) {
+    diags.push(
+        Diagnostic::warning(
+            CODE_DOMINATED,
+            format!(
+                "dominated directive in {app} v{version}: `{line}` from run {} can never \
+                 fire — `{dom_text}` from run {} already removes that region of the \
+                 search history graph",
+                rf.label, dom_src.label
+            ),
+        )
+        .with_file(rf.rel_path())
+        .with_suggestion(
+            "drop the dominated directive, or delete the pruning run if its conclusion \
+             no longer holds",
+        ),
+    );
+}

@@ -1,0 +1,73 @@
+//! `HL032` — threshold drift: a harvested threshold that would hide a
+//! bottleneck another run actually observed.
+//!
+//! Harvested thresholds sit a safety margin *below* the smallest
+//! well-observed bottleneck of their own run — so within one run they
+//! can never mask anything. Across runs they can: if run 7 saw sync
+//! waiting at 40% (threshold ≈ 36%), but run 12's workload only pushes
+//! it to 10%, applying run 7's threshold to a future diagnosis would
+//! declare run 12's very real bottleneck "not a problem". This pass
+//! compares every run's harvested thresholds against the well-observed
+//! (≥ [`MIN_THRESHOLD_SAMPLES`](histpc_history::MIN_THRESHOLD_SAMPLES))
+//! true magnitudes of every *other* run of the same application.
+
+use crate::facts::RecordFacts;
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+
+/// Stable code for a threshold inconsistent with observed magnitudes.
+pub const CODE_DRIFT: &str = "HL032";
+
+/// Slack under the threshold before a magnitude counts as hidden, so
+/// float noise around an exact boundary never flaps the finding.
+const DRIFT_EPSILON: f64 = 1e-9;
+
+/// Runs the pass.
+pub fn check(facts: &[RecordFacts], diags: &mut Vec<Diagnostic>) {
+    let mut apps: BTreeMap<&str, Vec<&RecordFacts>> = BTreeMap::new();
+    for f in facts {
+        apps.entry(&f.app).or_default().push(f);
+    }
+    for (app, runs) in apps {
+        for rf in &runs {
+            for t in &rf.directives.thresholds {
+                // The smallest well-observed magnitude for this
+                // hypothesis in any *other* run, with its source run.
+                let mut hidden: Option<(f64, &str)> = None;
+                for other in &runs {
+                    if other.label == rf.label {
+                        continue;
+                    }
+                    if let Some(m) = other.min_well_observed(&t.hypothesis) {
+                        if hidden.is_none_or(|(best, _)| m < best) {
+                            hidden = Some((m, &other.label));
+                        }
+                    }
+                }
+                let Some((magnitude, source)) = hidden else {
+                    continue;
+                };
+                if magnitude >= t.value - DRIFT_EPSILON {
+                    continue;
+                }
+                diags.push(
+                    Diagnostic::warning(
+                        CODE_DRIFT,
+                        format!(
+                            "threshold drift: run {} of {app} harvests threshold {} for \
+                             {}, but run {source} observed that bottleneck at only \
+                             {magnitude} — applying the higher threshold would hide it",
+                            rf.label, t.value, t.hypothesis
+                        ),
+                    )
+                    .with_file(rf.rel_path())
+                    .with_suggestion(
+                        "harvest thresholds from the run with the smallest observed \
+                         magnitudes, or combine the runs (`histpc combine`) so the \
+                         threshold reflects the whole corpus",
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Corpus analysis passes.
+//!
+//! Each pass is a pure function over the lowered fact tables
+//! ([`crate::facts::RecordFacts`]) — no store access, no I/O — pushing
+//! [`Diagnostic`](crate::Diagnostic)s into a shared sink. Passes
+//! iterate `BTreeMap`-grouped facts so their output order is fully
+//! deterministic; the surrounding [`LintReport`](crate::LintReport)
+//! sorts and dedupes anyway, but determinism here keeps "first run
+//! mentioned wins" choices stable too.
+//!
+//! | pass | code | finding |
+//! |------|-------|---------|
+//! | [`conflicts`] | HL030 | one run prunes the pair another run marks high priority |
+//! | [`stale`] | HL031 | a directive's resource vanished from the last-N runs |
+//! | [`drift`] | HL032 | a harvested threshold would hide a bottleneck seen elsewhere |
+//! | [`dominance`] | HL033 | a directive an unrelated run's subtree prune makes unreachable |
+
+pub mod conflicts;
+pub mod dominance;
+pub mod drift;
+pub mod stale;
+
+use histpc_consultant::directive::{PriorityDirective, Prune, PruneTarget};
+
+/// The `prune ...` line a prune would serialize to — the stable text
+/// key passes dedupe and report on.
+pub(crate) fn prune_line(p: &Prune) -> String {
+    let hyp = p.hypothesis.as_deref().unwrap_or("*");
+    match &p.target {
+        PruneTarget::Resource(r) => format!("prune {hyp} resource {r}"),
+        PruneTarget::Pair(f) => format!("prune {hyp} pair {f}"),
+    }
+}
+
+/// The `priority ...` line a priority directive would serialize to.
+pub(crate) fn priority_line(p: &PriorityDirective) -> String {
+    format!("priority {} {} {}", p.level.name(), p.hypothesis, p.focus)
+}

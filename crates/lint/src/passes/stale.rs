@@ -1,0 +1,94 @@
+//! `HL031` — stale directives: resources that left the program.
+//!
+//! Directives outlive the code they were harvested from. When a
+//! function is deleted or renamed, every old prune or priority naming
+//! it still sits in the corpus, silently matching nothing (or — worse —
+//! matching a re-used name). This pass takes the union of the resource
+//! sets of each application's last *N* runs as the "live" set and flags
+//! any *older* run whose harvested directives name a resource outside
+//! it. Runs inside the window are never flagged: their resources are
+//! the definition of live.
+
+use crate::facts::RecordFacts;
+use crate::Diagnostic;
+use histpc_consultant::directive::{PruneTarget, SearchDirectives};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Stable code for a directive naming a vanished resource.
+pub const CODE_STALE: &str = "HL031";
+
+/// Runs the pass. `window` is the number of most-recent runs (per
+/// application) whose resource union defines liveness.
+pub fn check(facts: &[RecordFacts], window: usize, diags: &mut Vec<Diagnostic>) {
+    let window = window.max(1);
+    let mut apps: BTreeMap<&str, Vec<&RecordFacts>> = BTreeMap::new();
+    for f in facts {
+        apps.entry(&f.app).or_default().push(f);
+    }
+    for (app, mut runs) in apps {
+        runs.sort_by_key(|f| f.seq);
+        if runs.len() <= window {
+            continue; // every run is recent; nothing can be stale
+        }
+        let cutoff = runs.len() - window;
+        let live: BTreeSet<&str> = runs[cutoff..]
+            .iter()
+            .flat_map(|f| f.resources.iter().map(String::as_str))
+            .collect();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for rf in &runs[..cutoff] {
+            for name in mentioned_resources(&rf.directives) {
+                if live.contains(name.as_str()) || !seen.insert(name.clone()) {
+                    continue;
+                }
+                diags.push(
+                    Diagnostic::warning(
+                        CODE_STALE,
+                        format!(
+                            "stale directive: resource {name} (harvested from run {} of {app}) \
+                             no longer appears in the last {window} runs",
+                            rf.label
+                        ),
+                    )
+                    .with_file(rf.rel_path())
+                    .with_suggestion(
+                        "the resource was removed or renamed since this run; add a `map` entry \
+                         for the new name or re-harvest from a recent run",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Every non-root resource name a directive set mentions: subtree-prune
+/// targets plus all pair-prune and priority focus selections. Roots
+/// (`/Code`, `/Machine`, ...) are structural and always live.
+fn mentioned_resources(directives: &SearchDirectives) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for p in &directives.prunes {
+        match &p.target {
+            PruneTarget::Resource(r) => {
+                if !r.is_root() {
+                    out.insert(r.to_string());
+                }
+            }
+            PruneTarget::Pair(f) => {
+                out.extend(
+                    f.selections()
+                        .filter(|s| !s.is_root())
+                        .map(|s| s.to_string()),
+                );
+            }
+        }
+    }
+    for p in &directives.priorities {
+        out.extend(
+            p.focus
+                .selections()
+                .filter(|s| !s.is_root())
+                .map(|s| s.to_string()),
+        );
+    }
+    out
+}

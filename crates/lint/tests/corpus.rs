@@ -1,0 +1,398 @@
+//! Corpus analyzer integration tests: one seeded fixture per `HL03x`
+//! code, plus the incremental fact-cache contract over a 1k-run store.
+
+use histpc_consultant::directive::PriorityLevel;
+use histpc_consultant::{NodeOutcome, Outcome};
+use histpc_history::{ExecutionRecord, ExecutionStore};
+use histpc_lint::{CorpusAnalyzer, CorpusOptions};
+use histpc_resources::{Focus, ResourceName};
+use histpc_sim::SimTime;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("histpc-corpus-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn n(s: &str) -> ResourceName {
+    ResourceName::parse(s).unwrap()
+}
+
+fn wp() -> Focus {
+    Focus::whole_program(["Code", "Machine", "Process", "SyncObject"])
+}
+
+/// An outcome on the whole-program focus narrowed by `sels`.
+fn o(hyp: &str, sels: &[&str], outcome: Outcome, value: f64) -> NodeOutcome {
+    let mut focus = wp();
+    for s in sels {
+        focus = focus.with_selection(n(s));
+    }
+    NodeOutcome {
+        hypothesis: hyp.into(),
+        focus,
+        outcome,
+        first_true_at: (outcome == Outcome::True).then_some(SimTime(1)),
+        concluded_at: Some(SimTime(1)),
+        last_value: value,
+        samples: 5,
+    }
+}
+
+/// A record over a small fixed resource set plus `extra` resources.
+fn rec(
+    app: &str,
+    version: &str,
+    label: &str,
+    extra: &[&str],
+    outcomes: Vec<NodeOutcome>,
+) -> ExecutionRecord {
+    let mut resources = vec![
+        n("/Code"),
+        n("/Code/a.c"),
+        n("/Code/a.c/f"),
+        n("/Code/a.c/g"),
+        n("/Machine"),
+        n("/Machine/n1"),
+        n("/Process"),
+        n("/Process/p1"),
+        n("/SyncObject"),
+    ];
+    resources.extend(extra.iter().map(|s| n(s)));
+    ExecutionRecord {
+        app_name: app.into(),
+        app_version: version.into(),
+        label: label.into(),
+        resources,
+        outcomes,
+        thresholds_used: vec![],
+        end_time: SimTime(10),
+        pairs_tested: 1,
+        unreachable: vec![],
+        saturated: vec![],
+    }
+}
+
+fn analyze(store: &ExecutionStore) -> histpc_lint::CorpusAnalysis {
+    CorpusAnalyzer::new(store).analyze().unwrap()
+}
+
+#[test]
+fn hl030_cross_run_prune_priority_conflict() {
+    let dir = scratch("hl030");
+    let store = ExecutionStore::open(&dir).unwrap();
+    // Run 1 finds f trivial (subtree prune); run 2 finds f a bottleneck
+    // (high priority). The corpus contradicts itself about f.
+    store
+        .save(&rec(
+            "app",
+            "A",
+            "r1",
+            &[],
+            vec![o("CPUbound", &["/Code/a.c/f"], Outcome::False, 0.001)],
+        ))
+        .unwrap();
+    store
+        .save(&rec(
+            "app",
+            "A",
+            "r2",
+            &[],
+            vec![o("CPUbound", &["/Code/a.c/f"], Outcome::True, 0.4)],
+        ))
+        .unwrap();
+
+    let analysis = analyze(&store);
+    let conflicts = analysis.report.with_code("HL030");
+    assert_eq!(
+        conflicts.len(),
+        1,
+        "report: {:?}",
+        analysis.report.diagnostics
+    );
+    assert!(conflicts[0].message.contains("/Code/a.c/f"));
+    assert_eq!(conflicts[0].file, "app/r2.record");
+    assert_eq!(analysis.verdicts.len(), 1);
+
+    // Harvest-time vetting: the high priority from r2 and the trivial
+    // prune from r1 are both down-ranked.
+    let opts = histpc_history::ExtractionOptions::priorities_and_safe_prunes();
+    let raw2 = histpc_history::extract(&store.load("app", "r2").unwrap(), &opts);
+    let (vetted2, dropped2) = analysis.verdicts.down_rank(&raw2, "app", "A");
+    assert_eq!(dropped2, 1);
+    assert!(!vetted2
+        .priorities
+        .iter()
+        .any(|p| p.level == PriorityLevel::High
+            && p.focus.selection("Code") == Some(&n("/Code/a.c/f"))));
+
+    let raw1 = histpc_history::extract(&store.load("app", "r1").unwrap(), &opts);
+    let (vetted1, dropped1) = analysis.verdicts.down_rank(&raw1, "app", "A");
+    assert_eq!(dropped1, 1);
+    assert!(vetted1.prunes.len() == raw1.prunes.len() - 1);
+
+    // Verdicts are scoped: another app/version is untouched.
+    let (other, dropped_other) = analysis.verdicts.down_rank(&raw2, "app", "B");
+    assert_eq!(dropped_other, 0);
+    assert_eq!(other.to_text(), raw2.to_text());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hl031_stale_resource_outside_recent_window() {
+    let dir = scratch("hl031");
+    let store = ExecutionStore::open(&dir).unwrap();
+    // Oldest run harvests a high priority naming /Code/old.c/h; the
+    // resource disappears from every later run.
+    store
+        .save(&rec(
+            "app",
+            "A",
+            "r1",
+            &["/Code/old.c", "/Code/old.c/h"],
+            vec![o("CPUbound", &["/Code/old.c/h"], Outcome::True, 0.4)],
+        ))
+        .unwrap();
+    for label in ["r2", "r3", "r4"] {
+        store
+            .save(&rec(
+                "app",
+                "A",
+                label,
+                &[],
+                vec![o("CPUbound", &[], Outcome::True, 0.4)],
+            ))
+            .unwrap();
+    }
+
+    let opts = CorpusOptions {
+        recent_window: 2,
+        ..CorpusOptions::default()
+    };
+    let analysis = CorpusAnalyzer::with_options(&store, opts)
+        .analyze()
+        .unwrap();
+    let stale = analysis.report.with_code("HL031");
+    assert_eq!(stale.len(), 1, "report: {:?}", analysis.report.diagnostics);
+    assert!(stale[0].message.contains("/Code/old.c/h"));
+    assert_eq!(stale[0].file, "app/r1.record");
+
+    // A window covering every run means nothing is stale.
+    let wide = CorpusOptions {
+        recent_window: 10,
+        ..CorpusOptions::default()
+    };
+    let analysis = CorpusAnalyzer::with_options(&store, wide)
+        .analyze()
+        .unwrap();
+    assert!(analysis.report.with_code("HL031").is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hl032_threshold_drift_across_runs() {
+    let dir = scratch("hl032");
+    let store = ExecutionStore::open(&dir).unwrap();
+    // Run d1 sees the sync bottleneck at 0.5 (threshold 0.45); run d2
+    // sees the same bottleneck at only 0.1 — d1's threshold hides it.
+    store
+        .save(&rec(
+            "app",
+            "A",
+            "d1",
+            &[],
+            vec![o("ExcessiveSyncWaitingTime", &[], Outcome::True, 0.5)],
+        ))
+        .unwrap();
+    store
+        .save(&rec(
+            "app",
+            "A",
+            "d2",
+            &[],
+            vec![o("ExcessiveSyncWaitingTime", &[], Outcome::True, 0.1)],
+        ))
+        .unwrap();
+
+    let analysis = analyze(&store);
+    let drift = analysis.report.with_code("HL032");
+    assert_eq!(drift.len(), 1, "report: {:?}", analysis.report.diagnostics);
+    assert_eq!(drift[0].file, "app/d1.record");
+    assert!(drift[0].message.contains("ExcessiveSyncWaitingTime"));
+    // The lower threshold (from d2) hides nothing and is not flagged.
+    assert!(!drift.iter().any(|d| d.file == "app/d2.record"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hl033_directive_dominated_by_foreign_prune() {
+    let dir = scratch("hl033");
+    let store = ExecutionStore::open(&dir).unwrap();
+    // Run g1 harvests a low priority on g; run g2 finds g trivial and
+    // prunes its subtree. After a corpus merge the low priority can
+    // never fire.
+    store
+        .save(&rec(
+            "app",
+            "A",
+            "g1",
+            &[],
+            vec![o("CPUbound", &["/Code/a.c/g"], Outcome::False, 0.05)],
+        ))
+        .unwrap();
+    store
+        .save(&rec(
+            "app",
+            "A",
+            "g2",
+            &[],
+            vec![o("CPUbound", &["/Code/a.c/g"], Outcome::False, 0.001)],
+        ))
+        .unwrap();
+
+    let analysis = analyze(&store);
+    let dominated = analysis.report.with_code("HL033");
+    assert_eq!(
+        dominated.len(),
+        1,
+        "report: {:?}",
+        analysis.report.diagnostics
+    );
+    assert_eq!(dominated[0].file, "app/g1.record");
+    assert!(dominated[0].message.contains("priority low"));
+    // A low priority is dead weight, not a contradiction: no HL030.
+    assert!(analysis.report.with_code("HL030").is_empty());
+    assert!(analysis.verdicts.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance scenario: a 1k-run synthetic store with all four
+/// fixture classes seeded, analyzed cold, warm, and after touching one
+/// record.
+#[test]
+fn thousand_run_store_detects_fixtures_and_reanalyzes_incrementally() {
+    let dir = scratch("1k");
+    let store = ExecutionStore::open(&dir).unwrap();
+
+    // 1000 bulk runs of one app. Run 0 carries the stale fixture (a
+    // resource no later run has); the rest are uniform.
+    const BULK: usize = 1000;
+    for i in 0..BULK {
+        let label = format!("run-{i:04}");
+        let r = if i == 0 {
+            rec(
+                "bulk",
+                "A",
+                &label,
+                &["/Code/old.c", "/Code/old.c/h"],
+                vec![o("CPUbound", &["/Code/old.c/h"], Outcome::True, 0.4)],
+            )
+        } else {
+            rec(
+                "bulk",
+                "A",
+                &label,
+                &[],
+                vec![o("CPUbound", &[], Outcome::True, 0.4)],
+            )
+        };
+        store.save(&r).unwrap();
+    }
+    // Conflict fixture (HL030).
+    store
+        .save(&rec(
+            "confl",
+            "A",
+            "c1",
+            &[],
+            vec![o("CPUbound", &["/Code/a.c/f"], Outcome::False, 0.001)],
+        ))
+        .unwrap();
+    store
+        .save(&rec(
+            "confl",
+            "A",
+            "c2",
+            &[],
+            vec![o("CPUbound", &["/Code/a.c/f"], Outcome::True, 0.4)],
+        ))
+        .unwrap();
+    // Drift fixture (HL032).
+    store
+        .save(&rec(
+            "drift",
+            "A",
+            "d1",
+            &[],
+            vec![o("ExcessiveSyncWaitingTime", &[], Outcome::True, 0.5)],
+        ))
+        .unwrap();
+    store
+        .save(&rec(
+            "drift",
+            "A",
+            "d2",
+            &[],
+            vec![o("ExcessiveSyncWaitingTime", &[], Outcome::True, 0.1)],
+        ))
+        .unwrap();
+    // Dominance fixture (HL033).
+    store
+        .save(&rec(
+            "dom",
+            "A",
+            "g1",
+            &[],
+            vec![o("CPUbound", &["/Code/a.c/g"], Outcome::False, 0.05)],
+        ))
+        .unwrap();
+    store
+        .save(&rec(
+            "dom",
+            "A",
+            "g2",
+            &[],
+            vec![o("CPUbound", &["/Code/a.c/g"], Outcome::False, 0.001)],
+        ))
+        .unwrap();
+
+    let total = BULK + 6;
+
+    // Cold: every record is lowered.
+    let cold = analyze(&store);
+    assert_eq!(cold.records, total);
+    assert_eq!(cold.cache_misses, total);
+    assert_eq!(cold.cache_hits, 0);
+    for code in ["HL030", "HL031", "HL032", "HL033"] {
+        assert!(
+            !cold.report.with_code(code).is_empty(),
+            "{code} fixture not detected"
+        );
+    }
+
+    // Warm: every record comes from the sidecar, findings identical.
+    let warm = analyze(&store);
+    assert_eq!(warm.records, total);
+    assert_eq!(warm.cache_hits, total);
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(warm.report.diagnostics, cold.report.diagnostics);
+
+    // Touch exactly one record: only it is re-lowered.
+    store
+        .save(&rec(
+            "bulk",
+            "A",
+            "run-0500",
+            &[],
+            vec![o("CPUbound", &[], Outcome::True, 0.41)],
+        ))
+        .unwrap();
+    let incremental = analyze(&store);
+    assert_eq!(incremental.records, total);
+    assert_eq!(incremental.cache_misses, 1);
+    assert_eq!(incremental.cache_hits, total - 1);
+    assert_eq!(incremental.report.diagnostics, cold.report.diagnostics);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,43 @@
+//! Regression tests for the report-level determinism guarantees: sorted
+//! by (file, span, code) and exact repeats removed.
+
+use histpc_lint::Linter;
+
+const DIRS: &str = "\
+prune CPUBound resource /SyncObject
+priority High CPUbound /Code/a.c,/Machine
+threshold CPUbound 1.5
+";
+
+#[test]
+fn same_file_added_twice_reports_once() {
+    let once = Linter::new().directives(DIRS, "a.dirs").run();
+    let twice = Linter::new()
+        .directives(DIRS, "a.dirs")
+        .directives(DIRS, "a.dirs")
+        .run();
+    assert!(!once.diagnostics.is_empty());
+    assert_eq!(twice.diagnostics, once.diagnostics);
+}
+
+#[test]
+fn diagnostics_are_sorted_by_file_span_code() {
+    // Feed files in reverse name order; the report must not care.
+    let report = Linter::new()
+        .directives(DIRS, "z.dirs")
+        .directives(DIRS, "a.dirs")
+        .run();
+    let keys: Vec<_> = report.diagnostics.iter().map(|d| d.sort_key()).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+    assert_eq!(report.diagnostics.first().unwrap().file, "a.dirs");
+    assert_eq!(report.diagnostics.last().unwrap().file, "z.dirs");
+
+    // Input order is irrelevant to the output.
+    let flipped = Linter::new()
+        .directives(DIRS, "a.dirs")
+        .directives(DIRS, "z.dirs")
+        .run();
+    assert_eq!(flipped.diagnostics, report.diagnostics);
+}

@@ -1,0 +1,98 @@
+//! Keeps the diagnostic-code registry and the written design in
+//! lockstep: every registered code must be documented in `DESIGN.md`,
+//! and every `HLxxx` literal the sources emit must be registered.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+#[test]
+fn every_registered_code_is_documented_in_design_md() {
+    let design = std::fs::read_to_string(workspace_root().join("DESIGN.md")).unwrap();
+    let missing: Vec<&str> = histpc_lint::codes::ALL
+        .iter()
+        .map(|info| info.code)
+        .filter(|code| !design.contains(code))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "codes registered but absent from DESIGN.md: {missing:?}"
+    );
+}
+
+#[test]
+fn every_code_literal_in_sources_is_registered() {
+    let root = workspace_root();
+    let mut unregistered = Vec::new();
+    for krate in ["lint", "consultant", "history", "resources"] {
+        scan(
+            &root.join("crates").join(krate).join("src"),
+            &mut unregistered,
+        );
+    }
+    assert!(
+        unregistered.is_empty(),
+        "HL codes used in sources but missing from the registry: {unregistered:?}"
+    );
+}
+
+fn scan(dir: &std::path::Path, unregistered: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            scan(&path, unregistered);
+            continue;
+        }
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Only code that can emit counts: skip comments (prose may name
+        // unassigned gaps) and everything from the first test module on
+        // (tests exercise rejection of unknown codes on purpose).
+        for line in text.lines() {
+            if line.trim_start().starts_with("#[cfg(test)]") {
+                break;
+            }
+            if line.trim_start().starts_with("//") {
+                continue;
+            }
+            for code in hl_literals(line) {
+                if histpc_lint::codes::lookup(&code).is_none() && !unregistered.contains(&code) {
+                    unregistered.push(code);
+                }
+            }
+        }
+    }
+}
+
+/// Every `HL` followed by exactly three digits, without regex.
+fn hl_literals(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 5 <= bytes.len() {
+        if bytes[i] == b'H'
+            && bytes[i + 1] == b'L'
+            && bytes[i + 2..i + 5].iter().all(u8::is_ascii_digit)
+            && bytes.get(i + 5).is_none_or(|b| !b.is_ascii_digit())
+        {
+            out.push(text[i..i + 5].to_string());
+            i += 5;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}

@@ -9,11 +9,31 @@
 //! boundaries.
 //!
 //! Ids are only meaningful relative to the interner that produced them;
-//! an id is never invalidated (the interner grows monotonically).
+//! an id is never invalidated (the interner grows monotonically). For
+//! cross-interner (and cross-process) identity — e.g. the corpus fact
+//! tables built by `histpc-lint` — the interner also exposes
+//! *content-based* hashes: [`Interner::name_hash`] is the FNV-1a 64 of
+//! a name's display form (cached per id so a corpus hashes each
+//! distinct name once), and [`Interner::set_signature`] combines member
+//! hashes order-independently into a signature of a resource-name set.
 
 use crate::focus::Focus;
 use crate::name::ResourceName;
 use std::collections::HashMap;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 of a byte string. Matches the framing checksum used by
+/// `histpc-history` so signatures stay stable across crates.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
 
 /// Dense, copyable id of an interned [`ResourceName`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -30,6 +50,10 @@ pub struct Interner {
     name_ids: HashMap<ResourceName, NameId>,
     foci: Vec<Focus>,
     focus_ids: HashMap<Focus, FocusId>,
+    /// Content hash per interned name, filled lazily (0 = not yet
+    /// computed; FNV-1a of a non-empty display form is never 0 in
+    /// practice, and a collision with 0 only costs a re-hash).
+    name_hashes: Vec<u64>,
 }
 
 impl Interner {
@@ -82,6 +106,40 @@ impl Interner {
         &self.foci[id.0 as usize]
     }
 
+    /// Content-based hash of a resource name: the FNV-1a 64 of its
+    /// display form, cached per interned id. Unlike [`NameId`] (dense,
+    /// first-sight-ordered, interner-local) this hash is stable across
+    /// interners, processes, and runs — it depends only on the name's
+    /// text.
+    pub fn name_hash(&mut self, name: &ResourceName) -> u64 {
+        let id = self.intern_name(name);
+        let idx = id.0 as usize;
+        if self.name_hashes.len() <= idx {
+            self.name_hashes.resize(idx + 1, 0);
+        }
+        if self.name_hashes[idx] == 0 {
+            self.name_hashes[idx] = fnv64(name.to_string().as_bytes());
+        }
+        self.name_hashes[idx]
+    }
+
+    /// Order-independent content signature of a set of resource names:
+    /// each member's [`name_hash`](Interner::name_hash) folded in with
+    /// a symmetric combiner (XOR plus a multiplied sum, so both member
+    /// identity and multiset size contribute). Two records with the
+    /// same resource set produce the same signature regardless of
+    /// listing order or which interner computed it.
+    pub fn set_signature(&mut self, names: &[ResourceName]) -> u64 {
+        let mut xor = 0u64;
+        let mut sum = 0u64;
+        for name in names {
+            let h = self.name_hash(name);
+            xor ^= h;
+            sum = sum.wrapping_add(h.wrapping_mul(FNV_PRIME));
+        }
+        xor ^ sum.rotate_left(32)
+    }
+
     /// Number of distinct names interned.
     pub fn name_count(&self) -> usize {
         self.names.len()
@@ -127,6 +185,31 @@ mod tests {
         assert_eq!(i.lookup_focus(&wp), Some(a));
         assert_eq!(i.lookup_focus(&wp.with_selection(n("/Code/b.c"))), None);
         assert_eq!(i.focus_count(), 2);
+    }
+
+    #[test]
+    fn name_hashes_are_content_based_and_interner_independent() {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        // Different first-sight order => different ids, same hashes.
+        a.intern_name(&n("/Code/a.c"));
+        let ha = a.name_hash(&n("/Code/b.c"));
+        let hb = b.name_hash(&n("/Code/b.c"));
+        assert_eq!(ha, hb);
+        assert_ne!(a.name_hash(&n("/Code/a.c")), ha);
+        // Cached path returns the same value.
+        assert_eq!(a.name_hash(&n("/Code/b.c")), ha);
+    }
+
+    #[test]
+    fn set_signature_is_order_independent() {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        let fwd = [n("/Code"), n("/Machine"), n("/Code/a.c")];
+        let rev = [n("/Code/a.c"), n("/Machine"), n("/Code")];
+        assert_eq!(a.set_signature(&fwd), b.set_signature(&rev));
+        assert_ne!(a.set_signature(&fwd), a.set_signature(&fwd[..2]));
+        assert_eq!(a.set_signature(&[]), 0);
     }
 
     #[test]
