@@ -44,7 +44,7 @@ fn read_snapshot(path: &str) -> Snapshot {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out: Option<String> = None;
-    let mut pr: u64 = 7;
+    let mut pr: u64 = 8;
     let mut before_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut quick = false;
@@ -135,6 +135,16 @@ fn main() {
             "corpus    lint : {:>9.1} ms cold / {:>7.1} ms incremental  \
              records={} findings={} relowered={}",
             c.cold_wall_ms, c.incremental_wall_ms, c.records, c.findings, c.incremental_lowered
+        );
+    }
+    if let Some(s) = &snap.after.supervised {
+        let overhead = s
+            .overhead()
+            .map(|o| format!("{:+.1}%", o * 100.0))
+            .unwrap_or_else(|| "n/a".into());
+        println!(
+            "supervised run : {:>9.1} ms  bare={:.1} ms  overhead={}  identical={}",
+            s.supervised_wall_ms, s.bare_wall_ms, overhead, s.identical
         );
     }
     println!(

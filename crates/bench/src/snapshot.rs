@@ -3,9 +3,10 @@
 //! The repo carries a measured perf trajectory: each PR that touches the
 //! hot path lands a `BENCH_<pr>.json` produced by the `bench_snapshot`
 //! binary, holding diagnosis wall-times for the Poisson versions A–D,
-//! the overload-soak and degraded-run scenarios, and raw simulator event
-//! throughput — once as measured on the parent commit ("before") and
-//! once on the PR itself ("after").
+//! the overload-soak, degraded-run, corpus-analysis and supervised-
+//! vs-bare scenarios, and raw simulator event throughput — once as
+//! measured on the parent commit ("before") and once on the PR itself
+//! ("after").
 //!
 //! Every field except the wall-clock timings is a deterministic function
 //! of (workload, config, seed); those *non-timing invariants* are what
@@ -120,6 +121,34 @@ pub struct CorpusMeasurement {
     pub incremental_lowered: u64,
 }
 
+/// Timing and invariants of the supervised-vs-bare scenario: one
+/// zero-fault diagnosis run twice — once directly through
+/// `Session::diagnose` and once under a `Supervisor` with the watchdog
+/// armed — so the snapshot tracks the supervision overhead on the
+/// healthy path (the acceptance bound is ≤5%).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedMeasurement {
+    /// Host wall-clock time of the bare diagnosis in ms (timing).
+    pub bare_wall_ms: f64,
+    /// Host wall-clock time of the supervised diagnosis in ms (timing).
+    pub supervised_wall_ms: f64,
+    /// Sessions driven by the supervisor (deterministic).
+    pub sessions: u64,
+    /// Sessions classified `Completed` (deterministic; must equal
+    /// `sessions` on the zero-fault path).
+    pub completed: u64,
+    /// Supervised record byte-identical to the bare one (deterministic).
+    pub identical: bool,
+}
+
+impl SupervisedMeasurement {
+    /// Supervision overhead as a fraction of the bare wall time
+    /// (timing-derived; e.g. `0.03` = 3% slower under supervision).
+    pub fn overhead(&self) -> Option<f64> {
+        (self.bare_wall_ms > 0.0).then(|| self.supervised_wall_ms / self.bare_wall_ms - 1.0)
+    }
+}
+
 /// Raw simulator event throughput.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimMeasurement {
@@ -145,6 +174,8 @@ pub struct PhaseMeasurements {
     /// Corpus analysis over a synthetic store (absent in snapshots
     /// predating PR 7).
     pub corpus: Option<CorpusMeasurement>,
+    /// Supervised-vs-bare overhead (absent in snapshots predating PR 8).
+    pub supervised: Option<SupervisedMeasurement>,
     /// Raw simulator throughput.
     pub sim: SimMeasurement,
 }
@@ -405,6 +436,96 @@ pub fn measure_corpus(records: usize) -> CorpusMeasurement {
     }
 }
 
+/// Runs one zero-fault diagnosis twice — bare and supervised, each
+/// persisting into its own scratch store — and reports the wall times
+/// plus the bit-identity of the two stored records. The supervised leg
+/// runs with the wall-clock watchdog armed, so the measured delta is
+/// the full supervision overhead (thread scope, watchdog polling,
+/// heartbeat/cancel hooks in the drive loop), which the acceptance
+/// criteria bound at 5% of the bare time.
+fn supervised_vs_bare(wl: &(dyn Workload + Sync), config: &SearchConfig) -> SupervisedMeasurement {
+    use histpc::history::format::write_record;
+    use histpc::supervise::SessionDriver;
+
+    let scratch = |leg: &str| {
+        let dir =
+            std::env::temp_dir().join(format!("histpc-bench-sup-{leg}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    // Interleave the legs and keep the fastest of three runs each: the
+    // per-run overhead being measured (thread scope, watchdog, hooks)
+    // is small against host scheduling noise, and min-of-N with
+    // interleaving cancels load drift a single back-to-back pair
+    // would soak up.
+    const ROUNDS: usize = 3;
+    let mut bare_wall_ms = f64::INFINITY;
+    let mut supervised_wall_ms = f64::INFINITY;
+    let mut bare_record = String::new();
+    let mut supervised_record = String::new();
+    let mut sessions = 0u64;
+    let mut completed = 0u64;
+    for _ in 0..ROUNDS {
+        let bare_dir = scratch("bare");
+        let bare_session = Session::with_store(&bare_dir).expect("scratch store opens");
+        let t = Instant::now();
+        let bare = bare_session
+            .diagnose(wl, config, "snap")
+            .expect("snapshot config lints clean");
+        bare_wall_ms = bare_wall_ms.min(ms(t));
+        bare_record = write_record(&bare.record);
+        let _ = std::fs::remove_dir_all(&bare_dir);
+
+        let sup_dir = scratch("sup");
+        let sup_session = Session::with_store(&sup_dir).expect("scratch store opens");
+        let driver = WorkloadSession::new(&sup_session, wl, config.clone(), "snap");
+        let supervisor = Supervisor::new(SupervisorConfig {
+            stall: Some(std::time::Duration::from_secs(30)),
+            ..SupervisorConfig::default()
+        });
+        let t = Instant::now();
+        let report = supervisor.run(&[&driver as &dyn SessionDriver]);
+        supervised_wall_ms = supervised_wall_ms.min(ms(t));
+        sessions = report.sessions.len() as u64;
+        completed = report.completed() as u64;
+        let app = wl.app_spec().name;
+        supervised_record = sup_session
+            .store()
+            .expect("supervised session has a store")
+            .load(&app, "snap")
+            .map(|r| write_record(&r))
+            .expect("supervised record stored");
+        let _ = std::fs::remove_dir_all(&sup_dir);
+    }
+
+    SupervisedMeasurement {
+        bare_wall_ms,
+        supervised_wall_ms,
+        sessions,
+        completed,
+        identical: supervised_record == bare_record,
+    }
+}
+
+/// The canonical supervised-vs-bare scenario: Poisson version B under
+/// the paper configuration.
+pub fn measure_supervised() -> SupervisedMeasurement {
+    let wl = PoissonWorkload::new(PoissonVersion::B);
+    supervised_vs_bare(&wl, &crate::exp_config())
+}
+
+/// A small synthetic supervised-vs-bare run for fast test profiles.
+pub fn measure_supervised_quick() -> SupervisedMeasurement {
+    let wl = SyntheticWorkload::balanced(2, 3, 0.05).with_hotspot(0, 1, 3.0);
+    let config = SearchConfig {
+        window: SimDuration::from_millis(800),
+        sample: SimDuration::from_millis(100),
+        max_time: SimDuration::from_secs(60),
+        ..SearchConfig::default()
+    };
+    supervised_vs_bare(&wl, &config)
+}
+
 /// Times a raw (collector-free) engine run of a Poisson version,
 /// draining in driver-sized steps, and reports event throughput.
 pub fn measure_sim_throughput(
@@ -456,6 +577,7 @@ pub fn measure_full() -> PhaseMeasurements {
         overload: Some(measure_overload()),
         degraded: Some(measure_degraded()),
         corpus: Some(measure_corpus(1000)),
+        supervised: Some(measure_supervised()),
         sim: measure_sim_throughput(
             PoissonVersion::D,
             SimDuration::from_secs(900),
@@ -472,6 +594,7 @@ pub fn measure_quick() -> PhaseMeasurements {
         overload: None,
         degraded: None,
         corpus: Some(measure_corpus(60)),
+        supervised: Some(measure_supervised_quick()),
         sim: measure_sim_throughput(
             PoissonVersion::A,
             SimDuration::from_secs(20),
@@ -680,6 +803,34 @@ pub fn invariant_regressions(want: &PhaseMeasurements, got: &PhaseMeasurements) 
                 "incremental_lowered",
                 w.incremental_lowered.to_string(),
                 g.incremental_lowered.to_string(),
+            );
+        }
+    }
+    match (&want.supervised, &got.supervised) {
+        (None, _) => {}
+        (Some(_), None) => out.push("supervised: scenario missing".into()),
+        (Some(w), Some(g)) => {
+            let s = "supervised";
+            diff(
+                &mut out,
+                s,
+                "sessions",
+                w.sessions.to_string(),
+                g.sessions.to_string(),
+            );
+            diff(
+                &mut out,
+                s,
+                "completed",
+                w.completed.to_string(),
+                g.completed.to_string(),
+            );
+            diff(
+                &mut out,
+                s,
+                "identical",
+                w.identical.to_string(),
+                g.identical.to_string(),
             );
         }
     }
@@ -1097,6 +1248,15 @@ fn phase_to_json(p: &PhaseMeasurements) -> Json {
             ("incremental_lowered".into(), num(c.incremental_lowered)),
         ])
     });
+    let supervised = p.supervised.as_ref().map_or(Json::Null, |s| {
+        Json::Obj(vec![
+            ("bare_wall_ms".into(), Json::Num(s.bare_wall_ms)),
+            ("supervised_wall_ms".into(), Json::Num(s.supervised_wall_ms)),
+            ("sessions".into(), num(s.sessions)),
+            ("completed".into(), num(s.completed)),
+            ("identical".into(), Json::Bool(s.identical)),
+        ])
+    });
     Json::Obj(vec![
         (
             "diagnosis".into(),
@@ -1105,6 +1265,7 @@ fn phase_to_json(p: &PhaseMeasurements) -> Json {
         ("overload".into(), overload),
         ("degraded".into(), degraded),
         ("corpus".into(), corpus),
+        ("supervised".into(), supervised),
         (
             "sim".into(),
             Json::Obj(vec![
@@ -1267,12 +1428,25 @@ fn phase_from_json(j: &Json) -> Result<PhaseMeasurements, String> {
             incremental_lowered: field_u64(c, "incremental_lowered")?,
         }),
     };
+    // Absent in snapshots predating PR 8 — parse both missing and null
+    // as "not measured".
+    let supervised = match j.get("supervised") {
+        None | Some(Json::Null) => None,
+        Some(s) => Some(SupervisedMeasurement {
+            bare_wall_ms: field_f64(s, "bare_wall_ms")?,
+            supervised_wall_ms: field_f64(s, "supervised_wall_ms")?,
+            sessions: field_u64(s, "sessions")?,
+            completed: field_u64(s, "completed")?,
+            identical: field_bool(s, "identical")?,
+        }),
+    };
     let sim = field(j, "sim")?;
     Ok(PhaseMeasurements {
         diagnosis,
         overload,
         degraded,
         corpus,
+        supervised,
         sim: SimMeasurement {
             wall_ms: field_f64(sim, "wall_ms")?,
             events: field_u64(sim, "events")?,
@@ -1329,6 +1503,13 @@ mod tests {
                 cold_lowered: 1006,
                 incremental_lowered: 1,
             }),
+            supervised: Some(SupervisedMeasurement {
+                bare_wall_ms: 500.0,
+                supervised_wall_ms: 512.5,
+                sessions: 1,
+                completed: 1,
+                identical: true,
+            }),
             sim: SimMeasurement {
                 wall_ms: 100.0,
                 events: 123_456,
@@ -1373,6 +1554,7 @@ mod tests {
         // "corpus" key at all; they must keep parsing (and comparing).
         let mut phase = sample_phase();
         phase.corpus = None;
+        phase.supervised = None;
         let with_null = Snapshot {
             schema: SCHEMA.into(),
             pr: 6,
@@ -1381,16 +1563,36 @@ mod tests {
         }
         .to_json();
         assert!(with_null.contains("\"corpus\": null"));
+        assert!(with_null.contains("\"supervised\": null"));
         let without_key: String = with_null
             .lines()
-            .filter(|l| !l.contains("\"corpus\""))
+            .filter(|l| !l.contains("\"corpus\"") && !l.contains("\"supervised\""))
             .collect::<Vec<_>>()
             .join("\n");
         for text in [with_null, without_key] {
             let back = Snapshot::parse(&text).expect("legacy snapshot parses");
             assert!(back.after.corpus.is_none());
+            assert!(back.after.supervised.is_none());
             assert!(invariant_regressions(&back.after, &sample_phase()).is_empty());
         }
+    }
+
+    #[test]
+    fn supervised_overhead_is_timing_only() {
+        // Overhead drift must never count as a regression; the three
+        // deterministic fields must.
+        let a = sample_phase();
+        let mut b = sample_phase();
+        b.supervised.as_mut().unwrap().supervised_wall_ms *= 10.0;
+        assert!(invariant_regressions(&a, &b).is_empty());
+        b.supervised.as_mut().unwrap().identical = false;
+        b.supervised.as_mut().unwrap().completed = 0;
+        let msgs = invariant_regressions(&a, &b);
+        assert_eq!(msgs.len(), 2, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("identical")));
+        assert!(msgs.iter().any(|m| m.contains("completed")));
+        let s = a.supervised.as_ref().unwrap();
+        assert!((s.overhead().unwrap() - 0.025).abs() < 1e-9);
     }
 
     #[test]

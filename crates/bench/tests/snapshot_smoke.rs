@@ -86,8 +86,31 @@ fn committed_snapshot_parses_and_covers_every_scenario() {
     assert!(snap.after.sim.events > 0);
     assert!(snap.after.sim.sim_us > 0);
 
-    // The headline claim of the PR: a before phase exists and version D
-    // got at least 1.5x faster.
+    // Scenarios introduced after the schema froze must be present in
+    // every snapshot from their introducing PR onward.
+    if snap.pr >= 7 {
+        assert!(
+            snap.after.corpus.is_some(),
+            "corpus scenario missing from a PR>=7 snapshot"
+        );
+    }
+    if snap.pr >= 8 {
+        let s = snap
+            .after
+            .supervised
+            .as_ref()
+            .expect("supervised scenario missing from a PR>=8 snapshot");
+        assert_eq!(
+            s.completed, s.sessions,
+            "supervised snapshot session did not complete"
+        );
+        assert!(
+            s.identical,
+            "supervised record diverged from the bare diagnosis"
+        );
+    }
+
+    // A before phase exists so the snapshot records its own trajectory.
     assert!(
         snap.before.is_some(),
         "snapshot carries no before phase to compare against"
@@ -95,8 +118,14 @@ fn committed_snapshot_parses_and_covers_every_scenario() {
     let speedup = snap
         .speedup("D")
         .expect("before/after both measure version D");
-    assert!(
-        speedup >= 1.5,
-        "version D speedup {speedup:.2}x is below the 1.5x target"
-    );
+    // The 1.5x version-D speedup was the headline claim of the PR-6
+    // perf work; later snapshots record timings for trend-tracking but
+    // make no speedup claim (their before phase is the prior PR's
+    // "after", measured on whatever host generated it).
+    if snap.pr == 6 {
+        assert!(
+            speedup >= 1.5,
+            "version D speedup {speedup:.2}x is below the 1.5x target"
+        );
+    }
 }

@@ -30,7 +30,7 @@ pub use directive::{
 pub use hypothesis::{Hypothesis, HypothesisId, HypothesisTree};
 pub use report::{DiagnosisReport, NodeOutcome, Outcome};
 pub use search::{
-    drive_diagnosis, drive_diagnosis_faulted, Consultant, DegradedRun, SearchCheckpoint,
-    SearchConfig,
+    drive_diagnosis, drive_diagnosis_faulted, Consultant, DegradedRun, DriveHooks, HaltReason,
+    SearchCheckpoint, SearchConfig,
 };
 pub use shg::{NodeState, Shg, ShgNodeId};

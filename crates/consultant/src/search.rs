@@ -26,6 +26,7 @@ use histpc_instr::{AdmitOutcome, Collector, CollectorConfig, RequestClass, Sampl
 use histpc_resources::ResourceName;
 use histpc_sim::{Engine, EngineStatus, ProcId, SimDuration, SimTime};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Configuration of one diagnosis session.
 #[derive(Debug, Clone)]
@@ -61,6 +62,50 @@ pub struct SearchConfig {
     pub retry_cap: SimDuration,
     /// Give up on a request (conclude Unknown) after this many failures.
     pub retry_max_attempts: u32,
+    /// Watchdog stall deadline in *application* time: when the faulted
+    /// driver sees no observable search progress (digest change) for
+    /// this long, it cancels the session at a checkpoint instead of
+    /// spinning until `max_time`. `None` disables stall detection.
+    pub stall: Option<SimDuration>,
+    /// Restrict instrumentation to the top-level hypotheses at the
+    /// whole-program focus: no refinement along either axis. The
+    /// cheapest search that still concludes something — the second rung
+    /// of a supervisor's degradation ladder.
+    pub top_level_only: bool,
+    /// Heartbeat/cancellation hooks a supervisor can attach to observe
+    /// and interrupt the drive loop. The defaults are inert.
+    pub hooks: DriveHooks,
+}
+
+/// Heartbeat and cancellation hooks into the drive loops.
+///
+/// A supervisor hands the same hooks to a session and its watchdog: the
+/// drive loop stores the current application time into `heartbeat`
+/// every tick, and checks `cancel` at every tick boundary — a set flag
+/// makes [`drive_diagnosis_faulted`] stop at a [`SearchCheckpoint`]
+/// exactly as an injected crash would. Both hooks are optional and the
+/// disarmed default costs nothing on the healthy path.
+#[derive(Debug, Clone, Default)]
+pub struct DriveHooks {
+    /// Written every tick with the tick's application time in µs.
+    pub heartbeat: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
+    /// When set, the faulted driver returns at the next tick boundary
+    /// with a checkpoint (`HaltReason::Cancelled`).
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl DriveHooks {
+    fn beat(&self, now: SimTime) {
+        if let Some(hb) = &self.heartbeat {
+            hb.store(now.as_micros(), std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+    }
 }
 
 impl Default for SearchConfig {
@@ -77,6 +122,9 @@ impl Default for SearchConfig {
             retry_base: SimDuration::from_millis(500),
             retry_cap: SimDuration::from_secs(8),
             retry_max_attempts: 6,
+            stall: None,
+            top_level_only: false,
+            hooks: DriveHooks::default(),
         }
     }
 }
@@ -123,6 +171,9 @@ pub struct Consultant {
     throttled: bool,
     /// Resource names whose admission breaker opened, for the report.
     saturated: Vec<ResourceName>,
+    /// When set, [`Consultant::refine`] is a no-op: the search stays on
+    /// the top-level hypotheses at the whole-program focus.
+    top_level_only: bool,
 }
 
 impl Consultant {
@@ -167,6 +218,7 @@ impl Consultant {
             unreachable: Vec::new(),
             throttled: false,
             saturated: Vec::new(),
+            top_level_only: false,
         };
 
         // Base hypotheses for the whole program.
@@ -231,6 +283,14 @@ impl Consultant {
         self.retry_base = config.retry_base;
         self.retry_cap = config.retry_cap;
         self.retry_max_attempts = config.retry_max_attempts;
+        self.top_level_only = config.top_level_only;
+    }
+
+    /// Restricts (or un-restricts) the search to the top-level
+    /// hypotheses at the whole-program focus. Both drivers apply
+    /// `config.top_level_only` through this before the first tick.
+    pub fn set_top_level_only(&mut self, on: bool) {
+        self.top_level_only = on;
     }
 
     /// Records that `procs` died (with the resource names they and their
@@ -317,6 +377,9 @@ impl Consultant {
 
     /// Refines a true node along both axes.
     fn refine(&mut self, id: ShgNodeId, now: SimTime, collector: &Collector) {
+        if self.top_level_only {
+            return;
+        }
         let hyp = self.shg.node(id).hypothesis;
         let focus = self.shg.node(id).focus.clone();
         // "Why" axis: more specific hypotheses at the same focus.
@@ -746,6 +809,7 @@ pub fn drive_diagnosis(engine: &mut Engine, config: &SearchConfig) -> DiagnosisR
     );
     // Initial expansion at t=0: high-priority pairs are instrumented at
     // search start (paper §3.1).
+    consultant.set_top_level_only(config.top_level_only);
     consultant.tick(SimTime::ZERO, &mut collector);
     collector.apply_perturbation(engine);
 
@@ -758,6 +822,7 @@ pub fn drive_diagnosis(engine: &mut Engine, config: &SearchConfig) -> DiagnosisR
         collector.ingest(&batch);
         consultant.tick(now, &mut collector);
         collector.apply_perturbation(engine);
+        config.hooks.beat(now);
         if consultant.is_quiescent() && !config.run_full_program {
             break;
         }
@@ -825,14 +890,40 @@ impl SearchCheckpoint {
     }
 }
 
+/// Why a faulted drive loop stopped at a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// An injected tool crash fired (`FaultPlan::tool_crash_at`).
+    Crash,
+    /// The watchdog stall deadline expired: no observable search
+    /// progress for `SearchConfig::stall` of application time.
+    Stall,
+    /// An external supervisor set the cancellation hook.
+    Cancelled,
+}
+
+impl fmt::Display for HaltReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HaltReason::Crash => write!(f, "crash"),
+            HaltReason::Stall => write!(f, "stall"),
+            HaltReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
 /// The result of a fault-injected diagnosis session.
 #[derive(Debug, Clone)]
 pub struct DegradedRun {
     /// The diagnosis report (partial if the tool crashed).
     pub report: DiagnosisReport,
-    /// Present iff an injected tool crash interrupted the session;
-    /// feed it back as `resume_from` to finish the diagnosis.
+    /// Present iff the session was interrupted (crash, stall, or
+    /// cancellation); feed it back as `resume_from` to finish the
+    /// diagnosis.
     pub checkpoint: Option<SearchCheckpoint>,
+    /// Why the session stopped at [`DegradedRun::checkpoint`]; `None`
+    /// when it ran to completion.
+    pub halted: Option<HaltReason>,
     /// What the injector actually did.
     pub stats: FaultStats,
     /// On a resumed run: whether the replayed search state matched the
@@ -858,6 +949,7 @@ pub fn drive_diagnosis_faulted(
         return DegradedRun {
             report: drive_diagnosis(engine, config),
             checkpoint: None,
+            halted: None,
             stats: FaultStats::default(),
             resumed_digest_ok: true,
         };
@@ -878,6 +970,19 @@ pub fn drive_diagnosis_faulted(
     let mut now = SimTime::ZERO;
     let max = SimTime::ZERO + config.max_time;
     let mut digest_ok = true;
+    // A crash scheduled at or before the resume point was already taken
+    // on the interrupted run; replay suppresses it. A crash scheduled
+    // *after* the resume point is still armed, so chained
+    // crash/resume/crash sequences replay exactly.
+    let crash_armed = config
+        .faults
+        .tool_crash_at
+        .is_some_and(|t| resume_from.is_none_or(|c| t > c.at));
+    // Watchdog stall tracking: "progress" is any change in the search
+    // state digest. All in application time, so detection is
+    // deterministic and replays identically on resume.
+    let mut last_digest = consultant.digest();
+    let mut last_progress_at = SimTime::ZERO;
     loop {
         now += config.sample;
         for kill in injector.due_kills(now) {
@@ -922,7 +1027,8 @@ pub fn drive_diagnosis_faulted(
         collector.ingest(&batch);
         consultant.tick_faulted(now, &mut collector, &mut injector);
         collector.apply_perturbation(engine);
-        if resume_from.is_none() && injector.crash_due(now) {
+        config.hooks.beat(now);
+        if crash_armed && injector.crash_due(now) {
             // The tool "crashes": checkpoint the search and stop.
             let checkpoint = SearchCheckpoint {
                 at: now,
@@ -931,13 +1037,47 @@ pub fn drive_diagnosis_faulted(
             return DegradedRun {
                 report: consultant.report(&collector, now),
                 checkpoint: Some(checkpoint),
+                halted: Some(HaltReason::Crash),
                 stats: injector.stats(),
-                resumed_digest_ok: true,
+                resumed_digest_ok: digest_ok,
             };
         }
         if let Some(ckpt) = resume_from {
             if now == ckpt.at {
                 digest_ok = consultant.digest() == ckpt.digest;
+            }
+        }
+        if config.hooks.cancelled() {
+            // Cancelled from outside (watchdog or operator): stop at a
+            // tick boundary with a resumable checkpoint.
+            let checkpoint = SearchCheckpoint {
+                at: now,
+                digest: consultant.digest(),
+            };
+            return DegradedRun {
+                report: consultant.report(&collector, now),
+                checkpoint: Some(checkpoint),
+                halted: Some(HaltReason::Cancelled),
+                stats: injector.stats(),
+                resumed_digest_ok: digest_ok,
+            };
+        }
+        if let Some(deadline) = config.stall {
+            let digest = consultant.digest();
+            if digest != last_digest {
+                last_digest = digest;
+                last_progress_at = now;
+            } else if now.as_micros() - last_progress_at.as_micros() >= deadline.as_micros() {
+                // Dead drive loop or hung collector: nothing about the
+                // search has changed for a full stall deadline. Stop at
+                // a checkpoint rather than spinning until max_time.
+                return DegradedRun {
+                    report: consultant.report(&collector, now),
+                    checkpoint: Some(SearchCheckpoint { at: now, digest }),
+                    halted: Some(HaltReason::Stall),
+                    stats: injector.stats(),
+                    resumed_digest_ok: digest_ok,
+                };
             }
         }
         // Unlike the healthy driver there is no bare "engine stopped"
@@ -955,6 +1095,7 @@ pub fn drive_diagnosis_faulted(
     DegradedRun {
         report: consultant.report(&collector, now),
         checkpoint: None,
+        halted: None,
         stats: injector.stats(),
         resumed_digest_ok: digest_ok,
     }
@@ -1286,5 +1427,98 @@ mod tests {
             .find(|o| o.focus == f && o.hypothesis == "CPUbound")
             .expect("node recorded");
         assert_eq!(o.outcome, Outcome::Pruned);
+    }
+
+    #[test]
+    fn stall_deadline_cancels_a_dead_drive_loop() {
+        // Every sample dropped and a data timeout past the horizon: no
+        // experiment ever concludes, the digest never changes, and
+        // without the watchdog the loop would spin until max_time.
+        let wl = hotspot_workload();
+        let mut config = fast_config();
+        config.faults.drop_rate = 1.0;
+        config.data_timeout = SimDuration::from_secs(600);
+        config.max_time = SimDuration::from_secs(300);
+        config.stall = Some(SimDuration::from_secs(2));
+        let mut engine = wl.build_engine();
+        let run = drive_diagnosis_faulted(&mut engine, &config, None);
+        assert_eq!(run.halted, Some(HaltReason::Stall));
+        let ckpt = run.checkpoint.expect("stall leaves a checkpoint");
+        assert!(
+            ckpt.at < SimTime::ZERO + SimDuration::from_secs(10),
+            "stall detected far too late: {}",
+            ckpt.at
+        );
+    }
+
+    #[test]
+    fn cancel_hook_stops_at_a_checkpoint() {
+        let wl = hotspot_workload();
+        let mut config = fast_config();
+        config.faults.drop_rate = 0.01; // non-disabled plan, faulted loop
+        let cancel = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        config.hooks.cancel = Some(cancel);
+        let mut engine = wl.build_engine();
+        let run = drive_diagnosis_faulted(&mut engine, &config, None);
+        assert_eq!(run.halted, Some(HaltReason::Cancelled));
+        let ckpt = run.checkpoint.expect("cancellation leaves a checkpoint");
+        assert_eq!(
+            ckpt.at,
+            SimTime::ZERO + config.sample,
+            "first tick boundary"
+        );
+    }
+
+    #[test]
+    fn top_level_only_restricts_instrumentation_to_whole_program() {
+        let wl = hotspot_workload();
+        let mut config = fast_config();
+        config.top_level_only = true;
+        let mut engine = wl.build_engine();
+        let report = drive_diagnosis(&mut engine, &config);
+        assert!(report.quiescent);
+        assert!(
+            report.outcomes.iter().all(|o| o.focus.is_whole_program()),
+            "refined focus escaped top-level-only mode"
+        );
+        assert!(!report.outcomes.is_empty());
+    }
+
+    #[test]
+    fn a_later_crash_after_resume_fires_and_replays() {
+        // crash -> resume with a later crash -> crash again -> resume:
+        // the chained replay must end bit-identical to a run that never
+        // crashed (same faulted loop, crash armed past the horizon).
+        let wl = hotspot_workload();
+        let mut config = fast_config();
+        config.faults.seed = 3;
+        config.faults.tool_crash_at = Some(SimTime::from_micros(u64::MAX / 2));
+        let mut engine = wl.build_engine();
+        let reference = drive_diagnosis_faulted(&mut engine, &config, None);
+        assert!(reference.checkpoint.is_none());
+
+        config.faults.tool_crash_at = Some(SimTime::from_micros(1_000_000));
+        let mut engine = wl.build_engine();
+        let first = drive_diagnosis_faulted(&mut engine, &config, None);
+        assert_eq!(first.halted, Some(HaltReason::Crash));
+        let ckpt1 = first.checkpoint.expect("first crash checkpoints");
+
+        config.faults.tool_crash_at = Some(SimTime::from_micros(2_000_000));
+        let mut engine = wl.build_engine();
+        let second = drive_diagnosis_faulted(&mut engine, &config, Some(&ckpt1));
+        assert_eq!(second.halted, Some(HaltReason::Crash));
+        assert!(second.resumed_digest_ok, "replay diverged before 2nd crash");
+        let ckpt2 = second.checkpoint.expect("second crash checkpoints");
+        assert!(ckpt2.at > ckpt1.at);
+
+        config.faults.tool_crash_at = Some(SimTime::from_micros(u64::MAX / 2));
+        let mut engine = wl.build_engine();
+        let done = drive_diagnosis_faulted(&mut engine, &config, Some(&ckpt2));
+        assert!(done.checkpoint.is_none());
+        assert!(done.resumed_digest_ok);
+        assert_eq!(
+            done.report.shg_rendering, reference.report.shg_rendering,
+            "chained crash/resume diverged from the uncrashed run"
+        );
     }
 }

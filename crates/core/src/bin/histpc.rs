@@ -5,6 +5,10 @@
 //! histpc run      --app poisson-c [--label L] [--store DIR] [--directives FILE]
 //!                 [--mappings FILE] [--window SECS] [--max-time SECS] [--seed N]
 //!                 [--faults FILE] [--resume FILE] [--admission KNOBS]
+//!                 [--supervised] [--retries N] [--stall-ms T]
+//! histpc supervise --store DIR --apps A,B,C [--label L] [--retries N]
+//!                 [--stall-ms T] [--window SECS] [--max-time SECS] [--seed N]
+//!                 [--faults FILE] [--admission KNOBS]
 //! histpc harvest  --store DIR --app NAME --label L [--mode MODE] [--out FILE]
 //! histpc map      --store DIR --app NAME --from LABEL --to LABEL [--out FILE]
 //! histpc compare  --store DIR --app NAME --from LABEL --to LABEL
@@ -42,6 +46,19 @@
 //! `Unreachable` or `Saturated` verdicts, meaning part of the search
 //! space was never honestly measured.
 //!
+//! `--supervised` wraps the run in the full supervision stack: a
+//! heartbeat watchdog with a stall deadline (`--stall-ms`, default
+//! 30000; also mirrored into the drive loop's deterministic in-loop
+//! stall detector in application time), automatic checkpoint resume
+//! under a bounded retry budget (`--retries`, default 3), and the
+//! escalating degradation ladder (tightened admission control →
+//! top-level-only instrumentation → history-only prognosis). `histpc
+//! supervise` runs one such session per `--apps` entry concurrently
+//! over one shared store. Both print a classified report — every
+//! session ends `completed`, `recovered`, `degraded` or `abandoned` —
+//! and exit 0 when all sessions completed or recovered, 3 when any
+//! ended degraded, and 1 when any was abandoned.
+//!
 //! `lint` statically validates directive and mapping files (kind
 //! auto-detected per file) and prints rustc-style diagnostics with
 //! stable `HLxxx` codes. With `--against` the directives are also
@@ -65,6 +82,7 @@
 
 use histpc::history;
 use histpc::prelude::*;
+use histpc::supervise::SessionDriver;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -73,6 +91,9 @@ fn usage() -> ! {
         "usage:\n  histpc run --app APP [--label L] [--store DIR] [--directives FILE]\n\
          \x20            [--mappings FILE] [--window SECS] [--max-time SECS] [--seed N]\n\
          \x20            [--faults FILE] [--resume FILE] [--admission KNOBS]\n\
+         \x20            [--supervised] [--retries N] [--stall-ms T]\n\
+         \x20 histpc supervise --store DIR --apps A,B,C [--label L] [--retries N]\n\
+         \x20            [--stall-ms T] [--window SECS] [--max-time SECS] [--seed N]\n\
          \x20 histpc harvest --store DIR --app NAME --label L [--mode MODE] [--out FILE]\n\
          \x20 histpc map     --store DIR --app NAME --from LABEL --to LABEL [--out FILE]\n\
          \x20 histpc compare --store DIR --app NAME --from LABEL --to LABEL\n\
@@ -88,7 +109,11 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-/// Parses `--key value` pairs after the subcommand.
+/// Flags that take no value; present means on.
+const BOOLEAN_FLAGS: &[&str] = &["supervised"];
+
+/// Parses `--key value` pairs (and bare boolean flags) after the
+/// subcommand.
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
     let mut i = 0;
@@ -97,6 +122,11 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             eprintln!("unexpected argument {:?}", args[i]);
             usage();
         };
+        if BOOLEAN_FLAGS.contains(&key) {
+            out.insert(key.to_string(), "on".into());
+            i += 1;
+            continue;
+        }
         let Some(value) = args.get(i + 1) else {
             eprintln!("missing value for --{key}");
             usage();
@@ -117,13 +147,13 @@ fn require<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
     }
 }
 
-fn build_workload(app: &str, seed: Option<u64>) -> Box<dyn Workload> {
+fn build_workload(app: &str, seed: Option<u64>) -> Box<dyn Workload + Send + Sync> {
     let poisson = |v: PoissonVersion| {
         let mut wl = PoissonWorkload::new(v);
         if let Some(s) = seed {
             wl = wl.with_seed(s);
         }
-        Box::new(wl) as Box<dyn Workload>
+        Box::new(wl) as Box<dyn Workload + Send + Sync>
     };
     match app {
         "poisson-a" => poisson(PoissonVersion::A),
@@ -161,6 +191,51 @@ fn extraction_mode(mode: &str) -> ExtractionOptions {
 /// errors (1) and usage problems (2) so scripts can tell "the run broke"
 /// from "the run finished but don't fully trust it".
 const EXIT_DEGRADED: u8 = 3;
+
+/// Builds the supervision policy from `--retries` / `--stall-ms`, and
+/// mirrors the stall deadline into the search config's deterministic
+/// in-loop detector (application time) so a wedged drive loop stops at
+/// a checkpoint on its own, watchdog or not. `--stall-ms 0` disables
+/// both.
+fn supervision_flags(
+    flags: &HashMap<String, String>,
+    config: &mut SearchConfig,
+) -> Result<SupervisorConfig, String> {
+    let mut sup = SupervisorConfig::default();
+    if let Some(r) = flags.get("retries") {
+        sup.retry_budget = r.parse().map_err(|_| "bad --retries")?;
+    }
+    let stall_ms: u64 = match flags.get("stall-ms") {
+        Some(t) => t.parse().map_err(|_| "bad --stall-ms")?,
+        None => 30_000,
+    };
+    if stall_ms == 0 {
+        sup.stall = None;
+        config.stall = None;
+    } else {
+        sup.stall = Some(std::time::Duration::from_millis(stall_ms));
+        config.stall = Some(SimDuration::from_millis(stall_ms));
+    }
+    Ok(sup)
+}
+
+/// Prints a supervision report and maps it to an exit code: 1 if any
+/// session was abandoned, 3 if any ended degraded, 0 otherwise.
+fn report_supervision(report: &SupervisionReport) -> ExitCode {
+    print!("{}", report.render());
+    for s in &report.sessions {
+        for note in &s.notes {
+            eprintln!("  [{}] {note}", s.label);
+        }
+    }
+    if report.abandoned() > 0 {
+        ExitCode::FAILURE
+    } else if report.degraded() > 0 {
+        ExitCode::from(EXIT_DEGRADED)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
 
 fn cmd_run(flags: HashMap<String, String>) -> Result<ExitCode, String> {
     let app = require(&flags, "app");
@@ -239,6 +314,17 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<ExitCode, String> {
         None => Session::new(),
     };
     let label = flags.get("label").cloned().unwrap_or_else(|| "run".into());
+    if flags.contains_key("supervised") {
+        if resume.is_some() {
+            return Err("--resume does not combine with --supervised; \
+                        the supervisor manages resumes itself"
+                .into());
+        }
+        let sup = supervision_flags(&flags, &mut config)?;
+        let driver = WorkloadSession::new(&session, workload.as_ref(), config, &label);
+        let report = Supervisor::new(sup).run(&[&driver as &dyn SessionDriver]);
+        return Ok(report_supervision(&report));
+    }
     let d = if !config.faults.is_disabled() || resume.is_some() {
         let dd = session
             .diagnose_faulted(workload.as_ref(), &config, &label, resume.as_ref())
@@ -372,6 +458,82 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `histpc supervise`: drives one diagnosis session per listed
+/// application concurrently over one shared store, each under the full
+/// supervision stack — watchdog, checkpoint auto-resume, degradation
+/// ladder — and prints the classified report.
+fn cmd_supervise(flags: HashMap<String, String>) -> Result<ExitCode, String> {
+    let store_dir = require(&flags, "store");
+    let apps: Vec<&str> = require(&flags, "apps")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if apps.is_empty() {
+        return Err("--apps wants a comma-separated application list".into());
+    }
+    let seed = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed".to_string()))
+        .transpose()?;
+
+    let mut config = SearchConfig {
+        window: SimDuration::from_secs(2),
+        sample: SimDuration::from_millis(250),
+        max_time: SimDuration::from_secs(900),
+        ..SearchConfig::default()
+    };
+    if let Some(w) = flags.get("window") {
+        let secs: f64 = w.parse().map_err(|_| "bad --window")?;
+        config.window = SimDuration::from_secs_f64(secs);
+    }
+    if let Some(m) = flags.get("max-time") {
+        let secs: f64 = m.parse().map_err(|_| "bad --max-time")?;
+        config.max_time = SimDuration::from_secs_f64(secs);
+    }
+    if let Some(path) = flags.get("faults") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        config.faults = FaultPlan::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(knobs) = flags.get("admission") {
+        config.collector.admission =
+            AdmissionConfig::parse_knobs(knobs).map_err(|e| format!("bad --admission: {e}"))?;
+    }
+    let sup = supervision_flags(&flags, &mut config)?;
+
+    let session = Session::with_store(store_dir).map_err(|e| e.to_string())?;
+    let label = flags.get("label").cloned().unwrap_or_else(|| "run".into());
+    let workloads: Vec<Box<dyn Workload + Send + Sync>> =
+        apps.iter().map(|app| build_workload(app, seed)).collect();
+    // Two specs can resolve to the same underlying application (e.g.
+    // poisson-a and poisson-b are both "poisson"); those sessions must
+    // not share a (app, label) record slot, so suffix their labels with
+    // the spec that produced them.
+    let mut name_counts: HashMap<String, usize> = HashMap::new();
+    for w in &workloads {
+        *name_counts.entry(w.app_spec().name).or_insert(0) += 1;
+    }
+    let labels: Vec<String> = workloads
+        .iter()
+        .zip(&apps)
+        .map(|(w, spec)| {
+            if name_counts[&w.app_spec().name] > 1 {
+                format!("{label}-{spec}")
+            } else {
+                label.clone()
+            }
+        })
+        .collect();
+    let drivers: Vec<WorkloadSession> = workloads
+        .iter()
+        .zip(&labels)
+        .map(|(w, label)| WorkloadSession::new(&session, w.as_ref(), config.clone(), label))
+        .collect();
+    let refs: Vec<&dyn SessionDriver> = drivers.iter().map(|d| d as &dyn SessionDriver).collect();
+    let report = Supervisor::new(sup).run(&refs);
+    Ok(report_supervision(&report))
+}
+
 fn cmd_harvest(flags: HashMap<String, String>) -> Result<(), String> {
     let session = Session::with_store(require(&flags, "store")).map_err(|e| e.to_string())?;
     let mode = flags.get("mode").map(String::as_str).unwrap_or("combined");
@@ -490,6 +652,20 @@ fn cmd_ls(flags: HashMap<String, String>) -> Result<(), String> {
                 println!("{app}: {} run(s) — {}", labels.len(), labels.join(", "));
             }
         }
+    }
+    // Surface crash debris: checkpoints whose session never completed
+    // (lint code HL034) can be resumed or deleted, but should not be
+    // silently forgotten.
+    let orphans = store.orphaned_checkpoints().map_err(|e| e.to_string())?;
+    let wanted = flags.get("app");
+    for (app, label) in orphans {
+        if wanted.is_some_and(|w| *w != app) {
+            continue;
+        }
+        println!(
+            "abandoned checkpoint: {app}/{label}.ckpt — interrupted session, \
+             never resumed (resume it or delete the artifact; lint HL034)"
+        );
     }
     Ok(())
 }
@@ -761,6 +937,15 @@ fn main() -> ExitCode {
     }
     if command == "run" {
         return match cmd_run(parse_flags(&args[1..])) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if command == "supervise" {
+        return match cmd_supervise(parse_flags(&args[1..])) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -18,7 +18,11 @@
 //!   between executions, and multi-run combination;
 //! * [`faults`] — deterministic, seeded fault injection (lossy sample
 //!   delivery, failing instrumentation requests, dying nodes, tool
-//!   crashes) used to exercise the consultant's graceful degradation.
+//!   crashes) used to exercise the consultant's graceful degradation;
+//! * [`supervise`] — session supervision: heartbeat watchdogs,
+//!   checkpoint auto-resume under a retry budget, and an escalating
+//!   degradation ladder that classifies every run
+//!   (see [`WorkloadSession`]).
 //!
 //! # Quickstart
 //!
@@ -62,14 +66,18 @@ pub use histpc_instr as instr;
 pub use histpc_lint as lint;
 pub use histpc_resources as resources;
 pub use histpc_sim as sim;
+pub use histpc_supervise as supervise;
 
 pub mod session;
+pub mod supervised;
 
 pub use session::{DegradedDiagnosis, Diagnosis, Session, SessionError};
+pub use supervised::WorkloadSession;
 
 /// The most commonly used names, for glob import.
 pub mod prelude {
     pub use crate::session::{DegradedDiagnosis, Diagnosis, Session, SessionError};
+    pub use crate::supervised::WorkloadSession;
     pub use histpc_consultant::{
         drive_diagnosis, drive_diagnosis_faulted, DegradedRun, DiagnosisReport, NodeOutcome,
         Outcome, PriorityDirective, PriorityLevel, Prune, PruneTarget, SearchCheckpoint,
@@ -88,4 +96,5 @@ pub mod prelude {
         WavefrontWorkload, Workload,
     };
     pub use histpc_sim::{Engine, EngineStatus, MachineModel, SimDuration, SimTime};
+    pub use histpc_supervise::{SupervisionReport, Supervisor, SupervisorConfig};
 }

@@ -6,8 +6,8 @@
 //! across code versions — and feed them into the next diagnosis.
 
 use histpc_consultant::{
-    drive_diagnosis, drive_diagnosis_faulted, DiagnosisReport, HypothesisTree, SearchCheckpoint,
-    SearchConfig, SearchDirectives,
+    drive_diagnosis, drive_diagnosis_faulted, DiagnosisReport, HaltReason, HypothesisTree,
+    SearchCheckpoint, SearchConfig, SearchDirectives,
 };
 use histpc_faults::FaultStats;
 use histpc_history::store::StoreError;
@@ -105,6 +105,9 @@ pub struct DegradedDiagnosis {
     /// The crash checkpoint when the run was interrupted. Also saved as a
     /// `ckpt` artifact when a store is attached.
     pub checkpoint: Option<SearchCheckpoint>,
+    /// Why the run was interrupted (crash, watchdog stall, external
+    /// cancellation); `None` when it completed.
+    pub halted: Option<HaltReason>,
     /// What the injector actually did during the run.
     pub stats: FaultStats,
     /// On a resumed run: whether the replayed search state matched the
@@ -174,6 +177,9 @@ impl Session {
         if let Some(store) = &self.store {
             store.save(&record)?;
             store.save_artifact(&record.app_name, label, "shg", &report.shg_rendering)?;
+            // Supersede any crash checkpoint left under this label by an
+            // earlier interrupted attempt (see diagnose_faulted).
+            store.delete_artifact(&record.app_name, label, "ckpt")?;
         }
         let truth = ground_truth(&pm, &tree, &config.directives);
         Ok(Diagnosis {
@@ -223,6 +229,7 @@ impl Session {
             return Ok(DegradedDiagnosis {
                 diagnosis: None,
                 checkpoint: Some(ckpt),
+                halted: run.halted,
                 stats: run.stats,
                 resumed_digest_ok: run.resumed_digest_ok,
             });
@@ -246,6 +253,10 @@ impl Session {
         if let Some(store) = &self.store {
             store.save(&record)?;
             store.save_artifact(&record.app_name, label, "shg", &report.shg_rendering)?;
+            // A completed run supersedes the crash checkpoint an earlier
+            // interrupted attempt left under this label; without this the
+            // store accumulates dead `ckpt` artifacts (lint HL034).
+            store.delete_artifact(&record.app_name, label, "ckpt")?;
             if config.faults.corrupt_store {
                 let garbled = histpc_faults::corrupt_text(
                     config.faults.seed,
@@ -276,6 +287,7 @@ impl Session {
                 events: engine.events_drained(),
             }),
             checkpoint: None,
+            halted: None,
             stats: run.stats,
             resumed_digest_ok: run.resumed_digest_ok,
         })
@@ -504,6 +516,15 @@ mod tests {
             .load_artifact("synth", "c1", "ckpt")
             .unwrap();
         assert_eq!(SearchCheckpoint::parse(&saved).unwrap(), ckpt);
+        assert_eq!(
+            interrupted.halted,
+            Some(histpc_consultant::HaltReason::Crash)
+        );
+        assert_eq!(
+            session.store().unwrap().orphaned_checkpoints().unwrap(),
+            vec![("synth".to_string(), "c1".to_string())],
+            "interrupted run not reported as an orphaned checkpoint"
+        );
         let resumed = session
             .diagnose_faulted(&wl, &config, "c1", Some(&ckpt))
             .unwrap();
@@ -512,6 +533,22 @@ mod tests {
             "replayed state diverged from the checkpoint"
         );
         assert!(resumed.diagnosis.is_some());
+        // The completed resume supersedes the persisted checkpoint: no
+        // dead ckpt artifact may accumulate in the store.
+        assert!(
+            session
+                .store()
+                .unwrap()
+                .load_artifact("synth", "c1", "ckpt")
+                .is_err(),
+            "stale checkpoint survived a successful resume"
+        );
+        assert!(session
+            .store()
+            .unwrap()
+            .orphaned_checkpoints()
+            .unwrap()
+            .is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

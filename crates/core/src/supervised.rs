@@ -1,0 +1,355 @@
+//! Supervised workload sessions: the glue between [`Session`] and the
+//! [`histpc_supervise`] policy engine.
+//!
+//! [`WorkloadSession`] implements [`SessionDriver`] for a real workload
+//! plus its search config and label, so a [`Supervisor`] can drive any
+//! number of them concurrently over one shared store:
+//!
+//! * attempts run through [`Session::diagnose_faulted`], with the
+//!   supervisor's heartbeat/cancel hooks wired into the drive loop;
+//! * checkpoints round-trip as `histpc-ckpt v1` text, both inline (from
+//!   a halted attempt) and persisted (the store's `ckpt` artifact);
+//! * the degradation ladder maps onto the search config: tightened
+//!   admission control, then top-level-only instrumentation, then a
+//!   history-only [prognosis](WorkloadSession::prognose) computed from
+//!   the application's stored runs without instrumenting anything.
+//!
+//! ```
+//! use histpc::prelude::*;
+//! use histpc::supervise::SessionDriver;
+//!
+//! let workload = SyntheticWorkload::balanced(2, 1, 0.5).with_hotspot(0, 0, 1.0);
+//! let config = SearchConfig {
+//!     window: SimDuration::from_millis(800),
+//!     sample: SimDuration::from_millis(100),
+//!     ..SearchConfig::default()
+//! };
+//! let session = Session::new();
+//! let driver = WorkloadSession::new(&session, &workload, config, "run-1");
+//! let report = Supervisor::new(SupervisorConfig::default()).run(&[&driver]);
+//! assert_eq!(report.completed(), 1);
+//! ```
+
+use crate::session::Session;
+use histpc_consultant::{DriveHooks, HaltReason, Outcome, SearchCheckpoint, SearchConfig};
+use histpc_history::store::StoreError;
+use histpc_sim::workloads::Workload;
+use histpc_supervise::{Attempt, Halt, Hooks, Mode, SessionDriver};
+use std::collections::BTreeMap;
+
+/// How many of the application's most recent stored runs feed the
+/// history-only prognosis.
+const PROGNOSIS_WINDOW: usize = 10;
+
+/// One supervisable diagnosis session: a workload, its search config,
+/// and the label its artifacts live under.
+pub struct WorkloadSession<'a> {
+    session: &'a Session,
+    workload: &'a (dyn Workload + Sync),
+    config: SearchConfig,
+    label: String,
+    app: String,
+    /// `app/label`, the name supervision reports address this session
+    /// by — unambiguous when many apps share one store label.
+    display: String,
+}
+
+impl std::fmt::Debug for WorkloadSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadSession")
+            .field("app", &self.app)
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> WorkloadSession<'a> {
+    /// A driver running `workload` under `config`, labelled `label`,
+    /// persisting through `session`'s store (if it has one).
+    pub fn new(
+        session: &'a Session,
+        workload: &'a (dyn Workload + Sync),
+        config: SearchConfig,
+        label: impl Into<String>,
+    ) -> WorkloadSession<'a> {
+        let app = workload.app_spec().name;
+        let label = label.into();
+        let display = format!("{app}/{label}");
+        WorkloadSession {
+            session,
+            workload,
+            config,
+            label,
+            app,
+            display,
+        }
+    }
+
+    /// The application name this session diagnoses.
+    pub fn app(&self) -> &str {
+        &self.app
+    }
+
+    /// The config an attempt under `mode` actually runs with: the
+    /// session's own config with the supervisor's hooks installed and
+    /// the ladder rung's restrictions applied.
+    fn config_for(&self, mode: Mode, hooks: &Hooks) -> SearchConfig {
+        let mut cfg = self.config.clone();
+        cfg.hooks = DriveHooks {
+            heartbeat: Some(hooks.heartbeat.clone()),
+            cancel: Some(hooks.cancel.clone()),
+        };
+        match mode {
+            Mode::Normal => {}
+            Mode::TightenedAdmission | Mode::TopLevelOnly => {
+                // Tighten admission control to half its configured
+                // bounds (enabling it if it was off) so the load that
+                // wedged the normal attempts is shed at the door.
+                let adm = &mut cfg.collector.admission;
+                adm.enabled = true;
+                adm.max_in_flight = (adm.max_in_flight / 2).max(1);
+                adm.sample_budget = (adm.sample_budget / 2).max(64);
+                if mode == Mode::TopLevelOnly {
+                    cfg.top_level_only = true;
+                }
+            }
+        }
+        cfg
+    }
+}
+
+impl SessionDriver for WorkloadSession<'_> {
+    // The supervisor-facing label is the qualified `app/label` display
+    // name, not the bare store label.
+    #[allow(clippy::misnamed_getters)]
+    fn label(&self) -> &str {
+        &self.display
+    }
+
+    fn attempt(&self, mode: Mode, resume_from: Option<&str>, hooks: &Hooks) -> Attempt {
+        let resume = match resume_from.map(SearchCheckpoint::parse) {
+            Some(Ok(ckpt)) => Some(ckpt),
+            Some(Err(e)) => {
+                return Attempt::Failed {
+                    error: format!("unusable checkpoint: {e}"),
+                }
+            }
+            None => None,
+        };
+        let cfg = self.config_for(mode, hooks);
+        match self
+            .session
+            .diagnose_faulted(self.workload, &cfg, &self.label, resume.as_ref())
+        {
+            Ok(run) => match run.halted {
+                None => Attempt::Done {
+                    digest_ok: run.resumed_digest_ok,
+                },
+                Some(reason) => Attempt::Halted {
+                    checkpoint: run.checkpoint.map(|c| c.to_text()),
+                    reason: match reason {
+                        HaltReason::Crash => Halt::Crash,
+                        HaltReason::Stall => Halt::Stall,
+                        HaltReason::Cancelled => Halt::Cancelled,
+                    },
+                },
+            },
+            Err(crate::session::SessionError::Store(StoreError::Locked { .. })) => {
+                Attempt::Contended
+            }
+            Err(e) => Attempt::Failed {
+                error: e.to_string(),
+            },
+        }
+    }
+
+    fn load_checkpoint(&self) -> Option<String> {
+        self.session
+            .store()?
+            .load_artifact(&self.app, &self.label, "ckpt")
+            .ok()
+    }
+
+    /// The last ladder rung: a prognosis derived purely from the
+    /// application's stored history — which bottlenecks past runs
+    /// concluded, how often, and at what magnitude — with no
+    /// instrumentation at all. Persisted as a `prognosis` artifact
+    /// under the session's label (best effort: a locked store does not
+    /// fail the rung).
+    fn prognose(&self) -> Result<String, String> {
+        let store = self
+            .session
+            .store()
+            .ok_or_else(|| "no store attached".to_string())?;
+        let labels = store.labels(&self.app).map_err(|e| e.to_string())?;
+        let recent = labels.iter().rev().take(PROGNOSIS_WINDOW).rev();
+        let mut runs = 0usize;
+        let mut seen: BTreeMap<(String, String), (usize, f64)> = BTreeMap::new();
+        for label in recent {
+            let Ok(rec) = store.load(&self.app, label) else {
+                continue;
+            };
+            runs += 1;
+            for o in rec.outcomes.iter().filter(|o| o.outcome == Outcome::True) {
+                let entry = seen
+                    .entry((o.hypothesis.clone(), o.focus.to_string()))
+                    .or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += o.last_value;
+            }
+        }
+        if runs == 0 {
+            return Err(format!("no stored history for application {}", self.app));
+        }
+        let mut text = format!("histpc-prognosis v1\napp {}\nruns {runs}\n", self.app);
+        for ((hyp, focus), (count, sum)) in &seen {
+            text.push_str(&format!(
+                "bottleneck {hyp} {focus} seen {count}/{runs} mean {:.4}\n",
+                sum / *count as f64
+            ));
+        }
+        let _ = store.save_artifact(&self.app, &self.label, "prognosis", &text);
+        Ok(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histpc_sim::workloads::SyntheticWorkload;
+    use histpc_sim::{SimDuration, SimTime};
+    use histpc_supervise::{Outcome as SupOutcome, Rung, Supervisor, SupervisorConfig};
+
+    fn fast_config() -> SearchConfig {
+        SearchConfig {
+            window: SimDuration::from_millis(800),
+            sample: SimDuration::from_millis(100),
+            max_time: SimDuration::from_secs(120),
+            ..SearchConfig::default()
+        }
+    }
+
+    fn quick_supervisor() -> Supervisor {
+        Supervisor::new(SupervisorConfig {
+            backoff_base: std::time::Duration::from_micros(200),
+            backoff_cap: std::time::Duration::from_millis(2),
+            stall: None,
+            ..SupervisorConfig::default()
+        })
+    }
+
+    #[test]
+    fn clean_session_completes_and_matches_bare_diagnosis() {
+        let dir = std::env::temp_dir().join(format!("histpc-supglue-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::with_store(&dir).unwrap();
+        let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
+
+        let driver = WorkloadSession::new(&session, &wl, fast_config(), "sup");
+        let report = quick_supervisor().run(&[&driver]);
+        assert_eq!(report.sessions[0].outcome, SupOutcome::Completed);
+
+        // Zero-fault supervised run produces the identical record a bare
+        // Session::diagnose would have.
+        let bare = Session::new().diagnose(&wl, &fast_config(), "sup").unwrap();
+        let stored = session.store().unwrap().load("synth", "sup").unwrap();
+        assert_eq!(
+            histpc_history::format::write_record(&stored),
+            histpc_history::format::write_record(&bare.record),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_crash_recovers_through_the_persisted_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("histpc-suprec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::with_store(&dir).unwrap();
+        let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
+        let mut config = fast_config();
+        config.faults.tool_crash_at = Some(SimTime::from_micros(1_000_000));
+
+        let driver = WorkloadSession::new(&session, &wl, config, "rec");
+        let report = quick_supervisor().run(&[&driver]);
+        assert_eq!(
+            report.sessions[0].outcome,
+            SupOutcome::Recovered { retries: 1 },
+            "notes: {:?}",
+            report.sessions[0].notes
+        );
+        // The recovered run superseded its checkpoint artifact.
+        assert!(session
+            .store()
+            .unwrap()
+            .orphaned_checkpoints()
+            .unwrap()
+            .is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_drive_loop_degrades_down_the_ladder() {
+        let dir = std::env::temp_dir().join(format!("histpc-supstall-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::with_store(&dir).unwrap();
+        let wl = SyntheticWorkload::balanced(2, 1, 0.5).with_hotspot(0, 0, 1.0);
+        // Seed history so the last rung has something to prognose from.
+        session.diagnose(&wl, &fast_config(), "seed").unwrap();
+
+        // Every sample dropped and a data timeout past max_time: the
+        // search can never progress nor conclude, under any rung — only
+        // the in-loop stall detector ends each attempt.
+        let mut config = fast_config();
+        config.faults.drop_rate = 1.0;
+        config.faults.seed = 9;
+        config.data_timeout = SimDuration::from_secs(600);
+        config.max_time = SimDuration::from_secs(300);
+        config.stall = Some(SimDuration::from_secs(2));
+
+        let driver = WorkloadSession::new(&session, &wl, config, "stuck");
+        let report = quick_supervisor().run(&[&driver]);
+        assert_eq!(
+            report.sessions[0].outcome,
+            SupOutcome::Degraded {
+                rung: Rung::HistoryOnly
+            },
+            "notes: {:?}",
+            report.sessions[0].notes
+        );
+        // The prognosis artifact landed, derived from the seed run.
+        let text = session
+            .store()
+            .unwrap()
+            .load_artifact("synth", "stuck", "prognosis")
+            .unwrap();
+        assert!(text.starts_with("histpc-prognosis v1\n"), "{text}");
+        assert!(text.contains("bottleneck "), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prognosis_without_history_abandons() {
+        let dir = std::env::temp_dir().join(format!("histpc-supnohist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::with_store(&dir).unwrap();
+        let wl = SyntheticWorkload::balanced(2, 1, 0.5).with_hotspot(0, 0, 1.0);
+        let mut config = fast_config();
+        config.faults.drop_rate = 1.0;
+        config.faults.seed = 9;
+        config.data_timeout = SimDuration::from_secs(600);
+        config.max_time = SimDuration::from_secs(300);
+        config.stall = Some(SimDuration::from_secs(2));
+
+        let driver = WorkloadSession::new(&session, &wl, config, "doomed");
+        let report = quick_supervisor().run(&[&driver]);
+        assert!(
+            matches!(
+                &report.sessions[0].outcome,
+                SupOutcome::Abandoned { reason } if reason.contains("no stored history")
+            ),
+            "outcome: {:?}",
+            report.sessions[0].outcome
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests of the supervision layer's two recovery contracts:
+//!
+//! * **Idempotent resume under repeated crashes** — a diagnosis cut by
+//!   a tool crash at *every* checkpoint boundary, resumed each time
+//!   from the checkpoint the previous crash left, converges on a final
+//!   record bit-identical to the run that was never interrupted; each
+//!   replay re-derives exactly the state the checkpoint digest
+//!   promised.
+//! * **Zero-fault supervised bit-identity** — a supervised fleet over
+//!   a shared store, with no faults injected, stores exactly the
+//!   records a bare, unsupervised `Session::diagnose` produces, across
+//!   workload shapes.
+
+use histpc::consultant::HaltReason;
+use histpc::history;
+use histpc::prelude::*;
+use histpc::supervise::{Outcome as SupOutcome, SessionDriver};
+use proptest::prelude::*;
+
+fn fast_config() -> SearchConfig {
+    SearchConfig {
+        window: SimDuration::from_millis(800),
+        sample: SimDuration::from_millis(100),
+        max_time: SimDuration::from_secs(60),
+        ..SearchConfig::default()
+    }
+}
+
+proptest! {
+    // Each case chains many full diagnoses; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Crash the search every `step` sample periods past the previous
+    /// checkpoint, resume from each checkpoint, and keep going until a
+    /// resume completes. However many times the run is cut, the final
+    /// record must be the one an uninterrupted diagnosis produces, and
+    /// every replay must match its checkpoint digest.
+    #[test]
+    fn resume_is_idempotent_under_repeated_crashes(
+        step in 2u64..6,
+        hotspot_weight in 1.0f64..3.0,
+    ) {
+        let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, hotspot_weight);
+        let session = Session::new();
+        let reference = session.diagnose(&wl, &fast_config(), "chain").unwrap();
+
+        let sample_us = fast_config().sample.as_micros();
+        let mut next_crash = step * sample_us;
+        let mut ckpt: Option<SearchCheckpoint> = None;
+        let mut cuts = 0u32;
+        let resumed = loop {
+            prop_assert!(cuts < 500, "crash chain did not converge");
+            let mut config = fast_config();
+            config.faults.tool_crash_at = Some(SimTime::from_micros(next_crash));
+            let run = session
+                .diagnose_faulted(&wl, &config, "chain", ckpt.as_ref())
+                .unwrap();
+            prop_assert!(
+                run.resumed_digest_ok,
+                "replayed state diverged from checkpoint after {cuts} cut(s)"
+            );
+            match run.diagnosis {
+                Some(d) => break d,
+                None => {
+                    prop_assert_eq!(run.halted, Some(HaltReason::Crash));
+                    let c = run.checkpoint.expect("crash leaves a checkpoint");
+                    next_crash = c.at.as_micros() + step * sample_us;
+                    ckpt = Some(c);
+                    cuts += 1;
+                }
+            }
+        };
+        prop_assert!(cuts >= 2, "the run was cut only {cuts} time(s)");
+        prop_assert_eq!(
+            history::format::write_record(&resumed.record),
+            history::format::write_record(&reference.record),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A zero-fault supervised fleet (two sessions contending for one
+    /// store) completes without intervention and stores records
+    /// byte-identical to bare diagnoses of the same workloads.
+    #[test]
+    fn zero_fault_supervised_fleet_is_bit_identical(
+        nodes in 1usize..3,
+        procs_per_node in 1usize..3,
+        hotspot_weight in 0.5f64..3.0,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "histpc-supprop-{nodes}-{procs_per_node}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wl = SyntheticWorkload::balanced(nodes, procs_per_node, 0.1)
+            .with_hotspot(0, 0, hotspot_weight);
+        let session = Session::with_store(&dir).unwrap();
+
+        let labels = ["fleet-a", "fleet-b"];
+        let drivers: Vec<WorkloadSession> = labels
+            .iter()
+            .map(|l| WorkloadSession::new(&session, &wl, fast_config(), *l))
+            .collect();
+        let refs: Vec<&dyn SessionDriver> =
+            drivers.iter().map(|d| d as &dyn SessionDriver).collect();
+        let supervisor = Supervisor::new(SupervisorConfig {
+            backoff_base: std::time::Duration::from_micros(200),
+            backoff_cap: std::time::Duration::from_millis(2),
+            ..SupervisorConfig::default()
+        });
+        let report = supervisor.run(&refs);
+        prop_assert_eq!(report.sessions.len(), labels.len());
+        for s in &report.sessions {
+            prop_assert_eq!(&s.outcome, &SupOutcome::Completed, "notes: {:?}", s.notes);
+        }
+
+        let bare = Session::new();
+        let store = session.store().unwrap();
+        for label in labels {
+            let stored = store.load("synth", label).unwrap();
+            let d = bare.diagnose(&wl, &fast_config(), label).unwrap();
+            prop_assert_eq!(
+                history::format::write_record(&stored),
+                history::format::write_record(&d.record),
+            );
+        }
+        prop_assert!(store.orphaned_checkpoints().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

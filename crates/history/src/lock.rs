@@ -27,6 +27,22 @@ pub const LOCK_FILE: &str = "LOCK";
 const RETRY_EVERY: Duration = Duration::from_millis(25);
 const GIVE_UP_AFTER: Duration = Duration::from_secs(2);
 
+/// Distinguishes concurrent acquires (tomb names, backoff decorrelation)
+/// within one process, where the pid alone cannot.
+static ACQUIRE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Deterministic decorrelated backoff: derived from the pid and a
+/// per-acquire nonce (never a wall clock or RNG), so two waiters that
+/// both just broke the same dead lock re-race at different times
+/// instead of stampeding `create_new` in lockstep.
+fn jittered(nonce: u64, attempt: u32) -> Duration {
+    let salt = (u64::from(std::process::id()) ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+        .rotate_left(attempt % 63);
+    let cap_us = 1_000 * u64::from(attempt.min(4) + 1);
+    RETRY_EVERY / 5 + Duration::from_micros(salt % cap_us)
+}
+
 /// Why the lock could not be taken.
 #[derive(Debug)]
 pub enum LockError {
@@ -105,11 +121,26 @@ impl StoreLock {
 
     /// Acquires the store lock, breaking stale (dead-holder) locks and
     /// briefly waiting out live holders.
+    ///
+    /// Dead-holder breaking is hardened against the two-breaker race
+    /// (both waiters read the same dead pid and break "the" lock
+    /// concurrently, the slower one destroying the faster one's fresh
+    /// claim): a break renames the dead file to a per-acquire tomb
+    /// instead of unlinking the shared path — so a given lock
+    /// *generation* can only be broken once — and the breaker re-checks
+    /// the tomb's holder after the rename, restoring a live lock it
+    /// stole by mistake. Every successful `create_new` is then
+    /// re-verified by reading the holder back; a claim that no longer
+    /// names us was broken in the window and we retry with jittered
+    /// backoff rather than assume ownership.
     pub fn acquire(root: &Path) -> Result<StoreLock, LockError> {
         let path = Self::path_in(root);
+        let nonce = ACQUIRE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let me = std::process::id();
         // det-audit: allow(wall-clock) — lock give-up deadline; never
         // feeds recorded data, only bounds how long we wait for a peer.
         let deadline = std::time::Instant::now() + GIVE_UP_AFTER;
+        let mut attempt: u32 = 0;
         loop {
             match std::fs::OpenOptions::new()
                 .write(true)
@@ -118,33 +149,72 @@ impl StoreLock {
             {
                 Ok(mut f) => {
                     use std::io::Write;
-                    write!(f, "{LOCK_HEADER}\npid {}\n", std::process::id())?;
-                    return Ok(StoreLock { path });
+                    write!(f, "{LOCK_HEADER}\npid {me}\n")?;
+                    f.sync_all()?;
+                    drop(f);
+                    // Generation re-check: a waiter that read the
+                    // previous (dead) holder may have broken our fresh
+                    // claim in the window. Only the claim the file
+                    // still names is the real one.
+                    if read_holder(&path)?.unwrap_or(0) == me {
+                        return Ok(StoreLock { path });
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
                     let holder = read_holder(&path)?.unwrap_or(0);
                     if holder == 0 || !pid_alive(holder) {
-                        // Dead (or unidentifiable) holder: break the lock
-                        // and race for it again. remove_file losing the
-                        // race to another breaker is fine.
-                        let _ = std::fs::remove_file(&path);
+                        // Dead (or unidentifiable) holder: break this
+                        // lock generation by renaming it aside. Exactly
+                        // one breaker's rename succeeds; the losers see
+                        // NotFound and simply re-race.
+                        let tomb = path.with_extension(format!("broken.{me}.{nonce}"));
+                        if std::fs::rename(&path, &tomb).is_ok() {
+                            // Re-check what we actually broke: if a
+                            // racing waiter already broke the dead lock
+                            // and re-acquired, the file we renamed is
+                            // its live claim — give it back. hard_link
+                            // refuses to clobber a newer claim, and the
+                            // victim's own post-create re-check covers
+                            // the remainder.
+                            let stolen = read_holder(&tomb)
+                                .ok()
+                                .flatten()
+                                .is_some_and(|p| p != 0 && pid_alive(p));
+                            if stolen {
+                                let _ = std::fs::hard_link(&tomb, &path);
+                            }
+                            let _ = std::fs::remove_file(&tomb);
+                        }
+                    } else {
+                        // det-audit: allow(wall-clock) — same deadline check.
+                        if std::time::Instant::now() >= deadline {
+                            return Err(LockError::Held { pid: holder });
+                        }
+                        std::thread::sleep(RETRY_EVERY);
                         continue;
                     }
-                    // det-audit: allow(wall-clock) — same deadline check.
-                    if std::time::Instant::now() >= deadline {
-                        return Err(LockError::Held { pid: holder });
-                    }
-                    std::thread::sleep(RETRY_EVERY);
                 }
                 Err(e) => return Err(LockError::Io(e)),
             }
+            // Broken a lock or lost our claim: back off a decorrelated
+            // few milliseconds before re-racing `create_new`.
+            attempt += 1;
+            std::thread::sleep(jittered(nonce, attempt));
         }
     }
 }
 
 impl Drop for StoreLock {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        // Release only the claim that is actually ours: if a breaker
+        // stole this generation despite the re-checks, the path now
+        // names the new holder and removing it would unlock a peer.
+        match read_holder(&self.path) {
+            Ok(Some(pid)) if pid == std::process::id() => {
+                let _ = std::fs::remove_file(&self.path);
+            }
+            _ => {}
+        }
     }
 }
 
@@ -207,6 +277,64 @@ mod tests {
             drop(lock);
             h.join().unwrap().unwrap();
         });
+    }
+
+    #[test]
+    fn two_waiters_breaking_one_dead_lock_stay_mutually_exclusive() {
+        // Both threads find the same dead-holder lock and race to break
+        // it, repeatedly. The generation re-check must leave exactly one
+        // holder at a time: an AtomicBool guards the critical section
+        // and trips if both threads ever hold the lock together.
+        use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+        let root = scratch("race");
+        let path = StoreLock::path_in(&root);
+        let in_critical = AtomicBool::new(false);
+        let acquisitions = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let (root, path) = (&root, &path);
+                let (in_critical, acquisitions) = (&in_critical, &acquisitions);
+                handles.push(s.spawn(move || {
+                    for round in 0..20 {
+                        let lock = StoreLock::acquire(root).expect("acquire");
+                        assert!(
+                            !in_critical.swap(true, Ordering::SeqCst),
+                            "two threads held the store lock at once"
+                        );
+                        std::thread::sleep(Duration::from_micros(200));
+                        in_critical.store(false, Ordering::SeqCst);
+                        acquisitions.fetch_add(1, Ordering::SeqCst);
+                        // Every few rounds, "crash" while holding: the
+                        // release is skipped (the file no longer names
+                        // us) and both waiters must race to break the
+                        // dead generation left behind.
+                        if round % 3 == 0 {
+                            let _ =
+                                std::fs::write(path, format!("{LOCK_HEADER}\npid {DEAD_PID}\n"));
+                        }
+                        drop(lock);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(acquisitions.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn lost_claim_is_not_released_by_drop() {
+        // If a breaker replaces our lock file with its own claim, our
+        // drop must not remove the new holder's file.
+        let root = scratch("lostclaim");
+        let path = StoreLock::path_in(&root);
+        let lock = StoreLock::acquire(&root).unwrap();
+        std::fs::write(&path, format!("{LOCK_HEADER}\npid {DEAD_PID}\n")).unwrap();
+        drop(lock);
+        assert!(path.exists(), "drop removed a claim that was not ours");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

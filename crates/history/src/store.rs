@@ -532,6 +532,74 @@ impl ExecutionStore {
         Ok(())
     }
 
+    /// Deletes one auxiliary artifact (journaled, manifest-maintained).
+    /// Returns `Ok(false)` — not an error — when no such artifact
+    /// exists, so callers can unconditionally supersede e.g. a stale
+    /// crash checkpoint after a completed run.
+    pub fn delete_artifact(&self, app: &str, label: &str, ext: &str) -> Result<bool, StoreError> {
+        let target = self.root.join(app).join(format!("{label}.{ext}"));
+        if !target.exists() {
+            return Ok(false);
+        }
+        let _lock = StoreLock::acquire(&self.root)?;
+        let journal = Journal::at(&self.root);
+        journal.append(&JournalEntry::Del {
+            ext: ext.to_string(),
+            app: app.to_string(),
+            label: label.to_string(),
+        })?;
+        std::fs::remove_file(&target)?;
+        if let ManifestState::Loaded(mut m) = Manifest::load(&self.root)? {
+            m.remove(&Self::rel_path(app, label, ext));
+            m.generation += 1;
+            m.save(&self.root)?;
+        }
+        journal.append(&JournalEntry::Ok)?;
+        Ok(true)
+    }
+
+    /// Abandoned session checkpoints: every `ckpt` artifact with no
+    /// matching completed `.record` under the same (application, label),
+    /// sorted. A checkpoint is the one artifact that *should* be
+    /// superseded — a completed run deletes it — so survivors mark
+    /// sessions that crashed and were never resumed to completion.
+    pub fn orphaned_checkpoints(&self) -> Result<Vec<(String, String)>, StoreError> {
+        Ok(orphaned_checkpoints_at(&self.root)?)
+    }
+}
+
+/// [`ExecutionStore::orphaned_checkpoints`] as a read-only scan of a
+/// store root that has not been opened (opening runs recovery, which
+/// mutates): usable from strictly read-only tooling like the linter.
+pub fn orphaned_checkpoints_at(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(root) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let app = entry.file_name().to_string_lossy().to_string();
+        for file in std::fs::read_dir(entry.path())? {
+            let file = file?;
+            let name = file.file_name().to_string_lossy().to_string();
+            let Some(label) = name.strip_suffix(".ckpt") else {
+                continue;
+            };
+            if !entry.path().join(format!("{label}.record")).exists() {
+                out.push((app.clone(), label.to_string()));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+impl ExecutionStore {
     // ------------------------------------------------------------------
     // Maintenance operations (the `histpc store` CLI family)
     // ------------------------------------------------------------------
@@ -945,6 +1013,55 @@ mod tests {
         // Clean reopen does not disturb the generation.
         let again = ExecutionStore::open(store.root()).unwrap();
         assert_eq!(again.generation().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn delete_artifact_is_journaled_and_tolerates_absence() {
+        let store = ExecutionStore::open(tmpdir("delart")).unwrap();
+        store.save(&rec("poisson", "a1")).unwrap();
+        store
+            .save_artifact(
+                "poisson",
+                "a1",
+                "ckpt",
+                "histpc-ckpt v1\nat_us 5\ndigest 9\n",
+            )
+            .unwrap();
+        let gen_before = store.generation().unwrap();
+        assert!(store.delete_artifact("poisson", "a1", "ckpt").unwrap());
+        assert!(!store.root().join("poisson").join("a1.ckpt").exists());
+        assert!(store.generation().unwrap() > gen_before);
+        // The record survives; the second delete is a clean no-op.
+        assert!(store.load("poisson", "a1").is_ok());
+        assert!(!store.delete_artifact("poisson", "a1", "ckpt").unwrap());
+        // Manifest no longer indexes the artifact: fsck finds no drift.
+        let diags = crate::fsck::fsck(store.root());
+        assert!(diags.is_empty(), "unexpected findings: {diags:?}");
+    }
+
+    #[test]
+    fn orphaned_checkpoints_reports_ckpts_without_records() {
+        let store = ExecutionStore::open(tmpdir("orphans")).unwrap();
+        store.save(&rec("poisson", "done")).unwrap();
+        store.save_artifact("poisson", "done", "ckpt", "x").unwrap();
+        store
+            .save_artifact("poisson", "crashed", "ckpt", "x")
+            .unwrap();
+        // An application directory with nothing but a checkpoint: the
+        // session crashed before its first completed run.
+        store.save_artifact("ocean", "c0", "ckpt", "x").unwrap();
+        assert_eq!(
+            store.orphaned_checkpoints().unwrap(),
+            vec![
+                ("ocean".to_string(), "c0".to_string()),
+                ("poisson".to_string(), "crashed".to_string()),
+            ]
+        );
+        // The read-only scan agrees without opening the store.
+        assert_eq!(
+            orphaned_checkpoints_at(store.root()).unwrap(),
+            store.orphaned_checkpoints().unwrap()
+        );
     }
 
     #[test]

@@ -552,3 +552,37 @@ fn mentioned_names(directives: &[LocatedDirective]) -> Vec<(ResourceName, Span)>
 fn selections_of(f: &Focus) -> impl Iterator<Item = ResourceName> + '_ {
     f.selections().filter(|s| !s.is_root()).cloned()
 }
+
+/// HL034: abandoned session checkpoints — a `ckpt` artifact with no
+/// matching completed record under the same (application, label). A
+/// completed run deletes its checkpoint, so a survivor marks a session
+/// that crashed (or stalled and was cancelled) and was never resumed to
+/// completion. Read-only: the store is scanned, not opened.
+pub fn check_abandoned_checkpoints(root: &std::path::Path) -> Vec<Diagnostic> {
+    let Ok(orphans) = histpc_history::store::orphaned_checkpoints_at(root) else {
+        return Vec::new();
+    };
+    orphans
+        .into_iter()
+        .map(|(app, label)| {
+            Diagnostic::warning(
+                "HL034",
+                format!(
+                    "abandoned session checkpoint: {app}/{label}.ckpt has no \
+                     matching completed record"
+                ),
+            )
+            .with_file(
+                root.join(&app)
+                    .join(format!("{label}.ckpt"))
+                    .display()
+                    .to_string(),
+            )
+            .with_suggestion(format!(
+                "resume the session (`histpc run --store {} --label {label} --resume ...`) \
+                 or delete the checkpoint",
+                root.display()
+            ))
+        })
+        .collect()
+}

@@ -114,6 +114,11 @@ pub const ALL: &[CodeInfo] = &[
         Severity::Warning,
         "dominated directive: another run's subtree prune makes it unreachable",
     ),
+    code(
+        "HL034",
+        Severity::Warning,
+        "abandoned session checkpoint: ckpt artifact with no matching completed record",
+    ),
 ];
 
 const fn code(code: &'static str, severity: Severity, summary: &'static str) -> CodeInfo {

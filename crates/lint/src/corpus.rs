@@ -15,7 +15,9 @@
 //! 2. **Passes** — cross-run analyses over the fact tables
 //!    ([`crate::passes`]): directive conflicts (`HL030`), staleness
 //!    (`HL031`), threshold drift (`HL032`), and prune dominance
-//!    (`HL033`).
+//!    (`HL033`). A final store scan reports abandoned session
+//!    checkpoints (`HL034`) — `ckpt` artifacts whose session never
+//!    completed, left behind by a crash nothing ever resumed.
 //!
 //! The conflict pass additionally returns [`ConflictVerdicts`], which
 //! `Session::harvest` consults to down-rank contradictory directives
@@ -250,6 +252,9 @@ impl<'a> CorpusAnalyzer<'a> {
         passes::stale::check(&all, self.opts.recent_window, &mut diags);
         passes::drift::check(&all, &mut diags);
         passes::dominance::check(&all, &mut diags);
+        diags.extend(crate::checks::check_abandoned_checkpoints(
+            self.store.root(),
+        ));
 
         Ok(CorpusAnalysis {
             report: LintReport::from(diags),

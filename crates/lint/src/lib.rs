@@ -44,9 +44,11 @@
 //! | HL031 | warning  | stale directive: resource absent from the application's last-N runs |
 //! | HL032 | warning  | threshold drift: harvested threshold would hide a bottleneck observed in another run |
 //! | HL033 | warning  | dominated directive: another run's subtree prune makes it unreachable |
+//! | HL034 | warning  | abandoned session checkpoint: ckpt artifact with no matching completed record |
 //!
-//! The `HL03x` range is emitted by the cross-run [`corpus`] analyzer
+//! `HL030`–`HL033` are emitted by the cross-run [`corpus`] analyzer
 //! (`histpc lint corpus <store>`) rather than the per-file [`Linter`];
+//! `HL034` comes from both the analyzer and [`Linter::store`];
 //! [`codes`] is the machine-readable registry of every code, and
 //! [`json`] serializes any report as stable `histpc-lint-report/v1`
 //! JSON.
@@ -235,7 +237,8 @@ impl<'a> Linter<'a> {
     /// Adds an execution store to check read-only with
     /// [`histpc_history::fsck`]: record checksum/parse failures
     /// (`HL023`), unclean-shutdown evidence such as stale locks and torn
-    /// journals (`HL024`), and legacy-layout or manifest drift (`HL025`).
+    /// journals (`HL024`), legacy-layout or manifest drift (`HL025`),
+    /// and abandoned session checkpoints (`HL034`).
     pub fn store(mut self, root: impl Into<std::path::PathBuf>) -> Self {
         self.store_roots.push(root.into());
         self
@@ -303,6 +306,7 @@ impl<'a> Linter<'a> {
         }
         for root in &self.store_roots {
             diags.extend(histpc_history::fsck::fsck(root));
+            diags.extend(checks::check_abandoned_checkpoints(root));
         }
         LintReport::from(diags)
     }

@@ -594,3 +594,43 @@ fn hl025_legacy_layout_and_drift() {
     let r = Linter::new().store(&dir).run();
     assert_eq!(r.with_code("HL025").len(), 1, "diags: {:?}", r.diagnostics);
 }
+
+#[test]
+fn hl034_abandoned_session_checkpoint() {
+    let store = seeded_store("hl034");
+    let ckpt = "histpc-ckpt v1\nat_us 5\ndigest 1\n";
+    // A checkpoint whose session completed (a1 has a record) is benign:
+    // it just lost the race with its own cleanup.
+    store.save_artifact("poisson", "a1", "ckpt", ckpt).unwrap();
+    let r = Linter::new().store(store.root()).run();
+    assert!(
+        r.with_code("HL034").is_empty(),
+        "diags: {:?}",
+        r.diagnostics
+    );
+
+    // A checkpoint with no record: the session crashed and nothing ever
+    // resumed it.
+    store
+        .save_artifact("poisson", "ghost", "ckpt", ckpt)
+        .unwrap();
+    let r = Linter::new().store(store.root()).run();
+    let hits = r.with_code("HL034");
+    assert_eq!(hits.len(), 1, "diags: {:?}", r.diagnostics);
+    assert_eq!(hits[0].severity, Severity::Warning);
+    assert!(hits[0].message.contains("poisson/ghost.ckpt"));
+    assert!(hits[0]
+        .suggestion
+        .as_deref()
+        .unwrap_or_default()
+        .contains("resume"));
+
+    // Deleting the orphan clears the finding.
+    assert!(store.delete_artifact("poisson", "ghost", "ckpt").unwrap());
+    let r = Linter::new().store(store.root()).run();
+    assert!(
+        r.with_code("HL034").is_empty(),
+        "diags: {:?}",
+        r.diagnostics
+    );
+}

@@ -396,3 +396,34 @@ fn thousand_run_store_detects_fixtures_and_reanalyzes_incrementally() {
     assert_eq!(incremental.report.diagnostics, cold.report.diagnostics);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn hl034_abandoned_checkpoint_surfaces_in_corpus_analysis() {
+    let dir = scratch("hl034");
+    let store = ExecutionStore::open(&dir).unwrap();
+    store
+        .save(&rec(
+            "app",
+            "A",
+            "r1",
+            &[],
+            vec![o("CPUbound", &[], Outcome::False, 0.01)],
+        ))
+        .unwrap();
+    // A checkpoint whose session never completed — crash debris nothing
+    // resumed. The analyzer reports it alongside the cross-run passes.
+    store
+        .save_artifact(
+            "app",
+            "crashed",
+            "ckpt",
+            "histpc-ckpt v1\nat_us 5\ndigest 1\n",
+        )
+        .unwrap();
+
+    let analysis = analyze(&store);
+    let hits = analysis.report.with_code("HL034");
+    assert_eq!(hits.len(), 1, "report: {:?}", analysis.report.diagnostics);
+    assert!(hits[0].message.contains("app/crashed.ckpt"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

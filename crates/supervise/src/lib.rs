@@ -1,0 +1,934 @@
+//! `histpc-supervise`: session supervision for long-running diagnosis.
+//!
+//! A diagnosis session is a long-lived tool run against a live
+//! application; in the field it hangs, crashes, and contends with its
+//! siblings for the shared execution store. This crate wraps any number
+//! of sessions in a [`Supervisor`] that keeps each one moving to a
+//! *classified* end:
+//!
+//! * **Watchdog** — every drive-loop tick reports a heartbeat; a
+//!   monitor thread watches all heartbeats and, when one goes quiet for
+//!   the stall deadline, raises that session's cancel flag so the drive
+//!   loop stops at a clean checkpoint instead of spinning forever.
+//! * **Auto-resume** — a session that halts (injected tool crash, stall
+//!   cancellation, or a real panic) is retried from its persisted
+//!   checkpoint under a bounded retry budget with capped exponential
+//!   backoff; the deterministic replay machinery makes the resumed
+//!   search provably continue where the crashed one stopped.
+//! * **Degradation ladder** — when the retry budget exhausts, the
+//!   session is re-attempted fresh down an escalating ladder of cheaper
+//!   configurations: admission control tightened
+//!   ([`Rung::TightenAdmission`]), then instrumentation restricted to
+//!   top-level hypotheses ([`Rung::TopLevelOnly`]), and finally a
+//!   history-only prognosis from the store with no instrumentation at
+//!   all ([`Rung::HistoryOnly`]).
+//! * **Classification** — every session ends as exactly one
+//!   [`Outcome`]: `Completed`, `Recovered` (finished after resumes),
+//!   `Degraded` (finished on a ladder rung), or `Abandoned`.
+//!
+//! The crate is deliberately free of histpc dependencies: it knows
+//! nothing about workloads, stores, or search configs. Sessions plug in
+//! through the [`SessionDriver`] trait (implemented by
+//! `histpc::supervised` for real workload sessions), and checkpoints
+//! travel as opaque text. That keeps the policy engine — budgets,
+//! backoff, ladder, classification — testable with scripted mock
+//! drivers, and keeps wall-clock time out of the deterministic crates:
+//! only this crate's watchdog reads the real clock.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Heartbeat and cancellation wiring between one session attempt and
+/// the watchdog. The driver is expected to hand both atomics to its
+/// drive loop: the loop stores a monotonically advancing value into
+/// `heartbeat` as it makes progress and polls `cancel` at safe
+/// stopping points.
+#[derive(Debug, Clone, Default)]
+pub struct Hooks {
+    /// Written by the session as it progresses (any changing value).
+    pub heartbeat: Arc<AtomicU64>,
+    /// Raised by the watchdog; the session should stop at a checkpoint.
+    pub cancel: Arc<AtomicBool>,
+}
+
+/// Why an attempt stopped short of completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Halt {
+    /// The tool crashed (injected or real) and left a checkpoint.
+    Crash,
+    /// The session detected its own lack of progress and stopped.
+    Stall,
+    /// The watchdog (or an operator) raised the cancel flag.
+    Cancelled,
+}
+
+impl std::fmt::Display for Halt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Halt::Crash => "crash",
+            Halt::Stall => "stall",
+            Halt::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// What one attempt at driving a session produced.
+#[derive(Debug)]
+pub enum Attempt {
+    /// The session finished and its artifacts are persisted.
+    Done {
+        /// On a resumed attempt: whether the replayed search state
+        /// matched the checkpoint digest (`true` for fresh attempts).
+        digest_ok: bool,
+    },
+    /// The session stopped at a checkpoint without finishing.
+    Halted {
+        /// The checkpoint to resume from, as opaque text; `None` when
+        /// the halt left nothing behind (the supervisor then asks
+        /// [`SessionDriver::load_checkpoint`] for a persisted one).
+        checkpoint: Option<String>,
+        /// Why it stopped.
+        reason: Halt,
+    },
+    /// The shared store was locked by a sibling; retry shortly. Not
+    /// counted against the retry budget.
+    Contended,
+    /// The attempt failed outright (store error, bad artifacts, ...).
+    Failed {
+        /// Human-readable cause.
+        error: String,
+    },
+}
+
+/// The configuration a [`SessionDriver`] is asked to attempt under —
+/// the supervisor's side of the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The session's own configuration, unmodified.
+    Normal,
+    /// Admission control enabled and tightened: lower in-flight and
+    /// sample budgets shed load before it can wedge the session again.
+    TightenedAdmission,
+    /// Instrumentation restricted to top-level hypotheses at the
+    /// whole-program focus — the cheapest search that still concludes.
+    TopLevelOnly,
+}
+
+/// A rung of the degradation ladder a session ended on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rung {
+    /// Finished under [`Mode::TightenedAdmission`].
+    TightenAdmission,
+    /// Finished under [`Mode::TopLevelOnly`].
+    TopLevelOnly,
+    /// No diagnosis ran at all; a history-only prognosis from the
+    /// store stands in for the report.
+    HistoryOnly,
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Rung::TightenAdmission => "tighten-admission",
+            Rung::TopLevelOnly => "top-level-only",
+            Rung::HistoryOnly => "history-only",
+        })
+    }
+}
+
+/// The final classification of one supervised session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Finished on the first attempt under [`Mode::Normal`].
+    Completed,
+    /// Finished under [`Mode::Normal`] after `retries` resumes.
+    Recovered {
+        /// How many checkpoint resumes it took.
+        retries: u32,
+    },
+    /// Finished only on a degradation-ladder rung.
+    Degraded {
+        /// The rung it finished on.
+        rung: Rung,
+    },
+    /// Nothing worked; the reason of the last failure.
+    Abandoned {
+        /// Why the session was given up on.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Completed => f.write_str("completed"),
+            Outcome::Recovered { retries } => write!(f, "recovered after {retries} resume(s)"),
+            Outcome::Degraded { rung } => write!(f, "degraded ({rung})"),
+            Outcome::Abandoned { reason } => write!(f, "abandoned: {reason}"),
+        }
+    }
+}
+
+/// One supervised session, as the supervisor sees it. Implementations
+/// wrap a workload + config + label and run one attempt per call;
+/// checkpoints are opaque text round-tripped through the store.
+pub trait SessionDriver: Sync {
+    /// The session's label, used to order and address reports.
+    fn label(&self) -> &str;
+
+    /// Runs one attempt under `mode`, resuming from `resume_from` when
+    /// given. `hooks` must be wired into the drive loop so the
+    /// watchdog can observe and cancel the attempt.
+    fn attempt(&self, mode: Mode, resume_from: Option<&str>, hooks: &Hooks) -> Attempt;
+
+    /// Loads this session's persisted checkpoint, if one exists — used
+    /// to resume after a crash that returned nothing (a panic).
+    fn load_checkpoint(&self) -> Option<String>;
+
+    /// Produces the history-only prognosis for [`Rung::HistoryOnly`]:
+    /// a report derived purely from stored runs. `Err` abandons the
+    /// session.
+    fn prognose(&self) -> Result<String, String>;
+}
+
+/// Supervision policy knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Checkpoint resumes allowed per session before the ladder engages.
+    pub retry_budget: u32,
+    /// Wall-clock watchdog deadline: a session whose heartbeat does not
+    /// change for this long is cancelled at its next checkpoint. `None`
+    /// disables the watchdog thread entirely.
+    pub stall: Option<Duration>,
+    /// First retry backoff; doubles per resume.
+    pub backoff_base: Duration,
+    /// Cap on the exponential backoff.
+    pub backoff_cap: Duration,
+    /// Store-contention retries allowed (uncounted, cheap) before the
+    /// session is abandoned as unable to reach the store.
+    pub contention_budget: u32,
+    /// Whether the degradation ladder runs when retries exhaust; with
+    /// `false` the session is abandoned instead.
+    pub ladder: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            retry_budget: 3,
+            stall: Some(Duration::from_secs(30)),
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            contention_budget: 16,
+            ladder: true,
+        }
+    }
+}
+
+/// The classified end of one session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionReport {
+    /// The session's label.
+    pub label: String,
+    /// How it ended.
+    pub outcome: Outcome,
+    /// Total attempts made, ladder rungs included.
+    pub attempts: u32,
+    /// Checkpoint resumes used.
+    pub resumes: u32,
+    /// Times the watchdog cancelled this session for stalling.
+    pub watchdog_barks: u32,
+    /// Human-readable trail of what happened, in order.
+    pub notes: Vec<String>,
+}
+
+/// Everything the supervisor did, one entry per session, sorted by
+/// label — deterministic however the threads interleaved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisionReport {
+    /// Per-session classifications, sorted by label.
+    pub sessions: Vec<SessionReport>,
+}
+
+impl SupervisionReport {
+    /// Sessions that completed on the first normal attempt.
+    pub fn completed(&self) -> usize {
+        self.count(|o| matches!(o, Outcome::Completed))
+    }
+
+    /// Sessions that finished normally after resumes.
+    pub fn recovered(&self) -> usize {
+        self.count(|o| matches!(o, Outcome::Recovered { .. }))
+    }
+
+    /// Sessions that finished on a degradation-ladder rung.
+    pub fn degraded(&self) -> usize {
+        self.count(|o| matches!(o, Outcome::Degraded { .. }))
+    }
+
+    /// Sessions nothing could save.
+    pub fn abandoned(&self) -> usize {
+        self.count(|o| matches!(o, Outcome::Abandoned { .. }))
+    }
+
+    fn count(&self, pred: impl Fn(&Outcome) -> bool) -> usize {
+        self.sessions.iter().filter(|s| pred(&s.outcome)).count()
+    }
+
+    /// Renders the report as stable text, one line per session plus a
+    /// summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::from("histpc-supervision v1\n");
+        for s in &self.sessions {
+            out.push_str(&format!(
+                "session {}: {} [{} attempt(s), {} resume(s), {} bark(s)]\n",
+                s.label, s.outcome, s.attempts, s.resumes, s.watchdog_barks
+            ));
+        }
+        out.push_str(&format!(
+            "summary: {} completed, {} recovered, {} degraded, {} abandoned\n",
+            self.completed(),
+            self.recovered(),
+            self.degraded(),
+            self.abandoned()
+        ));
+        out
+    }
+}
+
+/// Per-session slot the watchdog polls. Arming is a generation counter
+/// (odd = an attempt is live) so the watchdog can reset its notion of
+/// "last progress" exactly when a new attempt starts, without sharing
+/// any lock with the session thread.
+#[derive(Debug, Default)]
+struct WatchSlot {
+    hooks: Hooks,
+    generation: AtomicU64,
+    barks: AtomicU32,
+}
+
+impl WatchSlot {
+    fn arm(&self) {
+        self.hooks.cancel.store(false, Ordering::SeqCst);
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn disarm(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// The watchdog's per-slot memory between polls.
+struct WatchState {
+    generation: u64,
+    last_beat: u64,
+    since: Instant,
+}
+
+/// Shutdown latch for the watchdog: a condvar-paired flag, so the
+/// watchdog sleeps in poll-sized slices but wakes *immediately* when
+/// the last session finishes. (A plain sleep would make every
+/// supervised run pay up to one full poll interval of teardown
+/// latency, dwarfing the supervision overhead on short runs.)
+#[derive(Default)]
+struct Shutdown {
+    done: Mutex<bool>,
+    bell: Condvar,
+}
+
+impl Shutdown {
+    fn signal(&self) {
+        *self.done.lock().expect("shutdown latch poisoned") = true;
+        self.bell.notify_all();
+    }
+
+    /// Sleeps up to `timeout`; returns true once shutdown is signalled.
+    fn wait(&self, timeout: Duration) -> bool {
+        let guard = self.done.lock().expect("shutdown latch poisoned");
+        let (guard, _) = self
+            .bell
+            .wait_timeout_while(guard, timeout, |done| !*done)
+            .expect("shutdown latch poisoned");
+        *guard
+    }
+}
+
+fn watchdog_loop(slots: &[Arc<WatchSlot>], stall: Duration, shutdown: &Shutdown) {
+    let poll = (stall / 8).clamp(Duration::from_millis(2), Duration::from_millis(250));
+    let mut states: Vec<WatchState> = slots
+        .iter()
+        .map(|s| WatchState {
+            generation: s.generation.load(Ordering::SeqCst),
+            last_beat: s.hooks.heartbeat.load(Ordering::SeqCst),
+            since: Instant::now(),
+        })
+        .collect();
+    while !shutdown.wait(poll) {
+        for (slot, state) in slots.iter().zip(states.iter_mut()) {
+            let generation = slot.generation.load(Ordering::SeqCst);
+            let beat = slot.hooks.heartbeat.load(Ordering::SeqCst);
+            if generation != state.generation || beat != state.last_beat {
+                // New attempt, or progress: restart the deadline.
+                state.generation = generation;
+                state.last_beat = beat;
+                state.since = Instant::now();
+                continue;
+            }
+            let armed = generation % 2 == 1;
+            let already_barked = slot.hooks.cancel.load(Ordering::SeqCst);
+            if armed && !already_barked && state.since.elapsed() >= stall {
+                slot.hooks.cancel.store(true, Ordering::SeqCst);
+                slot.barks.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Deterministic backoff: capped exponential in the attempt number,
+/// with a small label-dependent jitter so sibling sessions retrying a
+/// contended store do not re-collide in lockstep.
+fn backoff(cfg: &SupervisorConfig, label: &str, attempt: u32) -> Duration {
+    let shift = attempt.saturating_sub(1).min(16);
+    let base = cfg
+        .backoff_base
+        .saturating_mul(1u32 << shift)
+        .min(cfg.backoff_cap);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let jitter_us = (hash.rotate_left(attempt) % 1000).max(1);
+    base + Duration::from_micros(jitter_us)
+}
+
+/// Drives one session to a classified end. Never panics; a driver
+/// panic is treated as a tool crash and resumed from the persisted
+/// checkpoint.
+fn supervise_one(
+    driver: &dyn SessionDriver,
+    cfg: &SupervisorConfig,
+    slot: &WatchSlot,
+) -> SessionReport {
+    let label = driver.label().to_string();
+    let mut notes: Vec<String> = Vec::new();
+    let mut attempts = 0u32;
+    let mut resumes = 0u32;
+    let mut contended = 0u32;
+    let mut mode = Mode::Normal;
+    let mut resume: Option<String> = None;
+
+    let outcome = loop {
+        attempts += 1;
+        slot.arm();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            driver.attempt(mode, resume.as_deref(), &slot.hooks)
+        }));
+        slot.disarm();
+
+        // Normalize a panic into a crash halt with no inline
+        // checkpoint; the persisted one (if any) is loaded below.
+        let attempt = match result {
+            Ok(a) => a,
+            Err(_) => {
+                notes.push(format!("attempt {attempts}: session panicked"));
+                Attempt::Halted {
+                    checkpoint: None,
+                    reason: Halt::Crash,
+                }
+            }
+        };
+
+        match attempt {
+            Attempt::Done { digest_ok } => {
+                if !digest_ok {
+                    notes.push(format!(
+                        "attempt {attempts}: resumed state diverged from the checkpoint digest"
+                    ));
+                }
+                break match mode {
+                    Mode::Normal if resumes == 0 => Outcome::Completed,
+                    Mode::Normal => Outcome::Recovered { retries: resumes },
+                    Mode::TightenedAdmission => Outcome::Degraded {
+                        rung: Rung::TightenAdmission,
+                    },
+                    Mode::TopLevelOnly => Outcome::Degraded {
+                        rung: Rung::TopLevelOnly,
+                    },
+                };
+            }
+            Attempt::Contended => {
+                contended += 1;
+                if contended > cfg.contention_budget {
+                    break Outcome::Abandoned {
+                        reason: format!("store still contended after {contended} attempts"),
+                    };
+                }
+                std::thread::sleep(backoff(cfg, &label, contended));
+            }
+            Attempt::Halted { checkpoint, reason } => {
+                notes.push(format!("attempt {attempts}: halted ({reason})"));
+                if mode == Mode::Normal && resumes < cfg.retry_budget {
+                    resumes += 1;
+                    resume = checkpoint.or_else(|| driver.load_checkpoint());
+                    std::thread::sleep(backoff(cfg, &label, resumes));
+                    continue;
+                }
+                match escalate(cfg, mode, &mut notes) {
+                    Some(next) => {
+                        mode = next;
+                        resume = None;
+                    }
+                    None => break conclude(driver, cfg, &format!("halted ({reason})"), &mut notes),
+                }
+            }
+            Attempt::Failed { error } => {
+                notes.push(format!("attempt {attempts}: failed: {error}"));
+                if mode == Mode::Normal && resumes < cfg.retry_budget {
+                    resumes += 1;
+                    resume = driver.load_checkpoint();
+                    std::thread::sleep(backoff(cfg, &label, resumes));
+                    continue;
+                }
+                match escalate(cfg, mode, &mut notes) {
+                    Some(next) => {
+                        mode = next;
+                        resume = None;
+                    }
+                    None => break conclude(driver, cfg, &error, &mut notes),
+                }
+            }
+        }
+    };
+
+    SessionReport {
+        label,
+        outcome,
+        attempts,
+        resumes,
+        watchdog_barks: slot.barks.load(Ordering::SeqCst),
+        notes,
+    }
+}
+
+/// The next ladder rung after `mode` fails, or `None` when the ladder
+/// is exhausted (or disabled) and the session must conclude.
+fn escalate(cfg: &SupervisorConfig, mode: Mode, notes: &mut Vec<String>) -> Option<Mode> {
+    if !cfg.ladder {
+        return None;
+    }
+    let next = match mode {
+        Mode::Normal => Some(Mode::TightenedAdmission),
+        Mode::TightenedAdmission => Some(Mode::TopLevelOnly),
+        Mode::TopLevelOnly => None,
+    };
+    if let Some(next) = next {
+        notes.push(format!(
+            "escalating to {}",
+            match next {
+                Mode::TightenedAdmission => "tightened admission control",
+                Mode::TopLevelOnly => "top-level-only instrumentation",
+                Mode::Normal => unreachable!("the ladder never returns to normal"),
+            }
+        ));
+    }
+    next
+}
+
+/// Terminal step: the history-only rung when the ladder is on, a plain
+/// abandonment otherwise.
+fn conclude(
+    driver: &dyn SessionDriver,
+    cfg: &SupervisorConfig,
+    last_error: &str,
+    notes: &mut Vec<String>,
+) -> Outcome {
+    if !cfg.ladder {
+        return Outcome::Abandoned {
+            reason: last_error.to_string(),
+        };
+    }
+    notes.push("escalating to history-only prognosis".to_string());
+    match driver.prognose() {
+        Ok(_) => Outcome::Degraded {
+            rung: Rung::HistoryOnly,
+        },
+        Err(e) => Outcome::Abandoned {
+            reason: format!("{last_error}; prognosis failed: {e}"),
+        },
+    }
+}
+
+/// Supervises any number of concurrent sessions over one shared store.
+#[derive(Debug, Clone, Default)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+}
+
+impl Supervisor {
+    /// A supervisor with the given policy.
+    pub fn new(config: SupervisorConfig) -> Supervisor {
+        Supervisor { config }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// Runs every driver to a classified end, one thread per session
+    /// plus (when a stall deadline is configured) one watchdog thread.
+    /// Returns when all sessions are classified; the report is sorted
+    /// by label.
+    pub fn run(&self, drivers: &[&dyn SessionDriver]) -> SupervisionReport {
+        let slots: Vec<Arc<WatchSlot>> = drivers.iter().map(|_| Arc::default()).collect();
+        let shutdown = Shutdown::default();
+        let mut sessions: Vec<SessionReport> = std::thread::scope(|scope| {
+            if let Some(stall) = self.config.stall {
+                let watch_slots = slots.clone();
+                let shutdown = &shutdown;
+                scope.spawn(move || watchdog_loop(&watch_slots, stall, shutdown));
+            }
+            let handles: Vec<_> = drivers
+                .iter()
+                .zip(&slots)
+                .map(|(driver, slot)| {
+                    let cfg = &self.config;
+                    scope.spawn(move || supervise_one(*driver, cfg, slot))
+                })
+                .collect();
+            let reports = handles
+                .into_iter()
+                .zip(drivers)
+                .map(|(h, driver)| {
+                    h.join().unwrap_or_else(|_| SessionReport {
+                        label: driver.label().to_string(),
+                        outcome: Outcome::Abandoned {
+                            reason: "supervision thread panicked".into(),
+                        },
+                        attempts: 0,
+                        resumes: 0,
+                        watchdog_barks: 0,
+                        notes: Vec::new(),
+                    })
+                })
+                .collect();
+            shutdown.signal();
+            reports
+        });
+        sessions.sort_by(|a, b| a.label.cmp(&b.label));
+        SupervisionReport { sessions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// What a scripted attempt should do.
+    enum Step {
+        Done,
+        DoneDigestBad,
+        Halt(Halt),
+        Panic,
+        Contend,
+        Fail,
+        /// Spin without heartbeats until the watchdog cancels us.
+        WaitForCancel,
+    }
+
+    struct Mock {
+        label: String,
+        steps: Mutex<Vec<Step>>,
+        persisted_ckpt: Option<String>,
+        prognosis: Result<String, String>,
+        modes_seen: Mutex<Vec<Mode>>,
+        resumes_seen: Mutex<Vec<Option<String>>>,
+    }
+
+    impl Mock {
+        fn new(label: &str, steps: Vec<Step>) -> Mock {
+            Mock {
+                label: label.into(),
+                steps: Mutex::new(steps),
+                persisted_ckpt: Some("persisted".into()),
+                prognosis: Ok("prognosis".into()),
+                modes_seen: Mutex::new(Vec::new()),
+                resumes_seen: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl SessionDriver for Mock {
+        fn label(&self) -> &str {
+            &self.label
+        }
+
+        fn attempt(&self, mode: Mode, resume_from: Option<&str>, hooks: &Hooks) -> Attempt {
+            self.modes_seen.lock().unwrap().push(mode);
+            self.resumes_seen
+                .lock()
+                .unwrap()
+                .push(resume_from.map(str::to_string));
+            let step = {
+                let mut steps = self.steps.lock().unwrap();
+                if steps.is_empty() {
+                    Step::Done
+                } else {
+                    steps.remove(0)
+                }
+            };
+            match step {
+                Step::Done => Attempt::Done { digest_ok: true },
+                Step::DoneDigestBad => Attempt::Done { digest_ok: false },
+                Step::Halt(reason) => Attempt::Halted {
+                    checkpoint: Some(format!("ckpt-{reason}")),
+                    reason,
+                },
+                Step::Panic => panic!("injected session panic"),
+                Step::Contend => Attempt::Contended,
+                Step::Fail => Attempt::Failed {
+                    error: "store exploded".into(),
+                },
+                Step::WaitForCancel => {
+                    while !hooks.cancel.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Attempt::Halted {
+                        checkpoint: Some("ckpt-watchdog".into()),
+                        reason: Halt::Cancelled,
+                    }
+                }
+            }
+        }
+
+        fn load_checkpoint(&self) -> Option<String> {
+            self.persisted_ckpt.clone()
+        }
+
+        fn prognose(&self) -> Result<String, String> {
+            self.prognosis.clone()
+        }
+    }
+
+    fn quick_config() -> SupervisorConfig {
+        SupervisorConfig {
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_millis(2),
+            stall: None,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    fn run_one(driver: &Mock, cfg: SupervisorConfig) -> SessionReport {
+        let report = Supervisor::new(cfg).run(&[driver]);
+        assert_eq!(report.sessions.len(), 1);
+        report.sessions.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn clean_session_completes_first_try() {
+        let m = Mock::new("a", vec![Step::Done]);
+        let r = run_one(&m, quick_config());
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.attempts, 1);
+        assert_eq!(r.resumes, 0);
+    }
+
+    #[test]
+    fn crash_resumes_from_its_checkpoint_and_recovers() {
+        let m = Mock::new("a", vec![Step::Halt(Halt::Crash), Step::Done]);
+        let r = run_one(&m, quick_config());
+        assert_eq!(r.outcome, Outcome::Recovered { retries: 1 });
+        assert_eq!(r.attempts, 2);
+        // The second attempt resumed from the checkpoint the halt
+        // returned, not the persisted fallback.
+        let resumes = m.resumes_seen.lock().unwrap();
+        assert_eq!(resumes[1].as_deref(), Some("ckpt-crash"));
+    }
+
+    #[test]
+    fn panic_resumes_from_the_persisted_checkpoint() {
+        let m = Mock::new("a", vec![Step::Panic, Step::Done]);
+        let r = run_one(&m, quick_config());
+        assert_eq!(r.outcome, Outcome::Recovered { retries: 1 });
+        let resumes = m.resumes_seen.lock().unwrap();
+        assert_eq!(resumes[1].as_deref(), Some("persisted"));
+    }
+
+    #[test]
+    fn exhausted_retries_climb_the_ladder() {
+        // Four stalls burn the first attempt and the 3-resume budget;
+        // the tightened-admission rung then completes.
+        let m = Mock::new(
+            "a",
+            vec![
+                Step::Halt(Halt::Stall),
+                Step::Halt(Halt::Stall),
+                Step::Halt(Halt::Stall),
+                Step::Halt(Halt::Stall),
+                Step::Done,
+            ],
+        );
+        let r = run_one(&m, quick_config());
+        assert_eq!(
+            r.outcome,
+            Outcome::Degraded {
+                rung: Rung::TightenAdmission
+            }
+        );
+        let modes = m.modes_seen.lock().unwrap();
+        assert_eq!(modes[4], Mode::TightenedAdmission);
+        // Ladder rungs start fresh, never from a stall checkpoint.
+        assert_eq!(m.resumes_seen.lock().unwrap()[4], None);
+    }
+
+    #[test]
+    fn full_ladder_falls_back_to_history_only() {
+        let always_halt: Vec<Step> = (0..8).map(|_| Step::Halt(Halt::Stall)).collect();
+        let m = Mock::new("a", always_halt);
+        let r = run_one(&m, quick_config());
+        assert_eq!(
+            r.outcome,
+            Outcome::Degraded {
+                rung: Rung::HistoryOnly
+            }
+        );
+        let modes = m.modes_seen.lock().unwrap();
+        assert_eq!(modes[4], Mode::TightenedAdmission);
+        assert_eq!(modes[5], Mode::TopLevelOnly);
+        assert_eq!(modes.len(), 6);
+    }
+
+    #[test]
+    fn failed_prognosis_abandons_with_both_causes() {
+        let mut m = Mock::new("a", (0..8).map(|_| Step::Halt(Halt::Crash)).collect());
+        m.prognosis = Err("no history".into());
+        let r = run_one(&m, quick_config());
+        match r.outcome {
+            Outcome::Abandoned { reason } => {
+                assert!(reason.contains("halted"), "reason: {reason}");
+                assert!(reason.contains("no history"), "reason: {reason}");
+            }
+            other => panic!("expected abandonment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ladder_off_abandons_when_retries_exhaust() {
+        let m = Mock::new("a", (0..8).map(|_| Step::Halt(Halt::Crash)).collect());
+        let cfg = SupervisorConfig {
+            ladder: false,
+            ..quick_config()
+        };
+        let r = run_one(&m, cfg);
+        assert!(matches!(r.outcome, Outcome::Abandoned { .. }));
+        // Exactly 1 + retry_budget attempts, no rungs.
+        assert_eq!(r.attempts, 4);
+    }
+
+    #[test]
+    fn contention_retries_do_not_consume_the_retry_budget() {
+        let m = Mock::new("a", vec![Step::Contend, Step::Contend, Step::Done]);
+        let r = run_one(&m, quick_config());
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.attempts, 3);
+        assert_eq!(r.resumes, 0);
+    }
+
+    #[test]
+    fn endless_contention_abandons() {
+        let m = Mock::new("a", (0..64).map(|_| Step::Contend).collect());
+        let cfg = SupervisorConfig {
+            contention_budget: 3,
+            ..quick_config()
+        };
+        let r = run_one(&m, cfg);
+        assert!(matches!(r.outcome, Outcome::Abandoned { .. }));
+    }
+
+    #[test]
+    fn store_failure_consumes_retries_then_ladder() {
+        let m = Mock::new("a", vec![Step::Fail, Step::Done]);
+        let r = run_one(&m, quick_config());
+        assert_eq!(r.outcome, Outcome::Recovered { retries: 1 });
+    }
+
+    #[test]
+    fn watchdog_cancels_a_silent_session() {
+        let m = Mock::new("a", vec![Step::WaitForCancel, Step::Done]);
+        let cfg = SupervisorConfig {
+            stall: Some(Duration::from_millis(30)),
+            ..quick_config()
+        };
+        let r = run_one(&m, cfg);
+        assert_eq!(r.outcome, Outcome::Recovered { retries: 1 });
+        assert!(r.watchdog_barks >= 1, "watchdog never barked: {r:?}");
+    }
+
+    #[test]
+    fn heartbeats_keep_the_watchdog_quiet() {
+        struct Beater {
+            label: String,
+        }
+        impl SessionDriver for Beater {
+            fn label(&self) -> &str {
+                &self.label
+            }
+            fn attempt(&self, _: Mode, _: Option<&str>, hooks: &Hooks) -> Attempt {
+                for i in 0..20u64 {
+                    hooks.heartbeat.store(i + 1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Attempt::Done { digest_ok: true }
+            }
+            fn load_checkpoint(&self) -> Option<String> {
+                None
+            }
+            fn prognose(&self) -> Result<String, String> {
+                Err("unused".into())
+            }
+        }
+        let b = Beater { label: "a".into() };
+        let cfg = SupervisorConfig {
+            stall: Some(Duration::from_millis(40)),
+            ..quick_config()
+        };
+        let report = Supervisor::new(cfg).run(&[&b]);
+        assert_eq!(report.sessions[0].outcome, Outcome::Completed);
+        assert_eq!(report.sessions[0].watchdog_barks, 0);
+    }
+
+    #[test]
+    fn report_is_sorted_by_label_and_renders_stably() {
+        let c = Mock::new("c", vec![Step::Done]);
+        let a = Mock::new("a", vec![Step::Halt(Halt::Crash), Step::Done]);
+        let b = Mock::new("b", (0..8).map(|_| Step::Halt(Halt::Stall)).collect());
+        let report = Supervisor::new(quick_config()).run(&[&c, &a, &b]);
+        let labels: Vec<&str> = report.sessions.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["a", "b", "c"]);
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.recovered(), 1);
+        assert_eq!(report.degraded(), 1);
+        assert_eq!(report.abandoned(), 0);
+        let text = report.render();
+        assert!(text.starts_with("histpc-supervision v1\n"));
+        assert!(text.contains("session a: recovered after 1 resume(s)"));
+        assert!(text.contains("session b: degraded (history-only)"));
+        assert!(text.contains("summary: 1 completed, 1 recovered, 1 degraded, 0 abandoned"));
+    }
+
+    #[test]
+    fn digest_divergence_is_noted_not_fatal() {
+        let m = Mock::new("a", vec![Step::Halt(Halt::Crash), Step::DoneDigestBad]);
+        let r = run_one(&m, quick_config());
+        assert_eq!(r.outcome, Outcome::Recovered { retries: 1 });
+        assert!(r.notes.iter().any(|n| n.contains("diverged")));
+    }
+}
