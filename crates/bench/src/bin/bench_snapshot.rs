@@ -1,6 +1,7 @@
 //! Per-PR bench snapshot harness: measures diagnosis wall-time for the
-//! Poisson versions A–D, the overload-soak and degraded scenarios, and
-//! raw simulator event throughput, and writes `BENCH_<pr>.json` in the
+//! Poisson versions A–D, the overload-soak and degraded scenarios, the
+//! supervised-vs-bare and daemon-vs-in-process overheads, and raw
+//! simulator event throughput, and writes `BENCH_<pr>.json` in the
 //! stable `histpc-bench-snapshot/v1` schema.
 //!
 //! ```text
@@ -44,7 +45,7 @@ fn read_snapshot(path: &str) -> Snapshot {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out: Option<String> = None;
-    let mut pr: u64 = 8;
+    let mut pr: u64 = 9;
     let mut before_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut quick = false;
@@ -145,6 +146,16 @@ fn main() {
         println!(
             "supervised run : {:>9.1} ms  bare={:.1} ms  overhead={}  identical={}",
             s.supervised_wall_ms, s.bare_wall_ms, overhead, s.identical
+        );
+    }
+    if let Some(d) = &snap.after.daemon {
+        let overhead = d
+            .overhead()
+            .map(|o| format!("{:+.1}%", o * 100.0))
+            .unwrap_or_else(|| "n/a".into());
+        println!(
+            "daemon     run : {:>9.1} ms  in-process={:.1} ms  overhead={}  identical={}",
+            d.daemon_wall_ms, d.inprocess_wall_ms, overhead, d.identical
         );
     }
     println!(

@@ -1,0 +1,615 @@
+//! Daemon soak: N tenants hammer one real `histpcd` child process over
+//! its Unix socket, each session under a randomized (but seeded, fully
+//! reproducible) fault plan drawn from the whole menu — sim-level
+//! faults shipped in the `start` request plus wire-level faults the
+//! client's own [`WireInjector`] inflicts on the transport.
+//!
+//! ```text
+//! daemon_soak [--tenants N] [--sessions M] [--seed S] [--zero-faults]
+//!             [--assert] [--keep] [--daemon-bin PATH]
+//! ```
+//!
+//! The soak checks the daemon acceptance gates:
+//!
+//! * every session a tenant starts terminates with a classification
+//!   (completed / recovered / degraded / abandoned) — flaky wires,
+//!   torn requests, and quota contention included;
+//! * a daemon SIGKILLed mid-serve leaves a store the next incarnation
+//!   fully recovers: the checkpointed lease is re-adopted and runs to
+//!   a classified end with a stored record, the checkpoint-less lease
+//!   is classified abandoned, the damaged lease file is removed, the
+//!   lease epoch advances, and no lease file survives classification;
+//! * after one `repair` pass the shared store has **zero** integrity
+//!   errors, no matter what the fault plans did to it;
+//! * with `--zero-faults`, every session completes and its report body
+//!   is byte-identical to an unsupervised in-process
+//!   `Session::diagnose` of the same workload/config/label — the whole
+//!   daemon stack adds no behaviour on the healthy path.
+//!
+//! With `--assert` the process exits non-zero unless every gate holds;
+//! this is the CI entry point. `--keep` leaves the scratch store on
+//! disk. The `histpcd` binary is found next to this executable unless
+//! `--daemon-bin` points elsewhere (CI must build both packages).
+
+use histpc::faults::WireInjector;
+use histpc::history::format::write_record;
+use histpc::history::fsck::fsck;
+use histpc::history::lease::{self, Lease};
+use histpc::prelude::*;
+use histpc::remote::{Client, Request};
+use histpc_daemon::SessionSpec;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::Duration;
+
+fn bad(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: daemon_soak [--tenants N] [--sessions M] [--seed S] [--zero-faults] \
+         [--assert] [--keep] [--daemon-bin PATH]"
+    );
+    std::process::exit(2);
+}
+
+/// SplitMix64 — a tiny seeded generator so fault plans are a pure
+/// function of `(--seed, tenant, session)` and a failing soak can be
+/// replayed exactly.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, pct: u64) -> bool {
+        self.next() % 100 < pct
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// The faults rolled for one session: the sim-level menu (shipped to
+/// the daemon in the `start` request) plus wire-level client faults
+/// (inflicted locally by the [`WireInjector`]). `wire-daemon-kill` is
+/// not rolled — the kill scenario is staged explicitly below so its
+/// recovery gates stay deterministic.
+fn roll_faults(rng: &mut Rng, plan_seed: u64) -> (FaultPlan, String) {
+    let mut plan = FaultPlan::none();
+    plan.seed = plan_seed;
+    let mut parts = Vec::new();
+    if rng.chance(30) {
+        let at = rng.range(300_000, 2_300_000);
+        plan.tool_crash_at = Some(SimTime::from_micros(at));
+        parts.push(format!("crash@{}us", at));
+    }
+    if rng.chance(20) {
+        plan.torn_write = true;
+        parts.push("torn-write".into());
+    }
+    if rng.chance(20) {
+        plan.partial_journal = true;
+        parts.push("partial-journal".into());
+    }
+    if rng.chance(25) {
+        let flood = 2.0 + (rng.range(0, 40) as f64) / 10.0;
+        plan.sample_flood = flood;
+        parts.push(format!("flood×{flood:.1}"));
+    }
+    if rng.chance(15) {
+        plan.drop_rate = (rng.range(5, 30) as f64) / 100.0;
+        parts.push(format!("drop{:.0}%", plan.drop_rate * 100.0));
+    }
+    if rng.chance(30) {
+        plan.wire_conn_drop_rate = (rng.range(10, 40) as f64) / 100.0;
+        parts.push(format!("conn-drop{:.0}%", plan.wire_conn_drop_rate * 100.0));
+    }
+    if rng.chance(25) {
+        plan.wire_torn_request_rate = (rng.range(5, 30) as f64) / 100.0;
+        parts.push(format!(
+            "torn-req{:.0}%",
+            plan.wire_torn_request_rate * 100.0
+        ));
+    }
+    if rng.chance(15) {
+        plan.wire_slow_client_ms = rng.range(1, 10);
+        parts.push(format!("slow-client{}ms", plan.wire_slow_client_ms));
+    }
+    let summary = if parts.is_empty() {
+        "healthy".to_string()
+    } else {
+        parts.join(" ")
+    };
+    (plan, summary)
+}
+
+/// The in-process mirror of the daemon's per-session search config for
+/// a fault-free spec (window 800ms, sample 100ms, 120s bound, 2s
+/// stall), used for the `--zero-faults` bit-identity gate.
+fn local_config() -> SearchConfig {
+    SearchConfig {
+        window: SimDuration::from_millis(800),
+        sample: SimDuration::from_millis(100),
+        max_time: SimDuration::from_secs(120),
+        stall: Some(SimDuration::from_secs(2)),
+        ..SearchConfig::default()
+    }
+}
+
+/// Spawns `histpcd` on the store/socket and waits for the socket to
+/// appear (the daemon binds it only after lease recovery finishes).
+fn spawn_daemon(bin: &Path, store: &Path, socket: &Path) -> Child {
+    let child = match Command::new(bin)
+        .arg("--store")
+        .arg(store)
+        .arg("--socket")
+        .arg(socket)
+        .arg("--stall-ms")
+        .arg("30000")
+        .spawn()
+    {
+        Ok(c) => c,
+        Err(e) => bad(&format!("cannot spawn {}: {e}", bin.display())),
+    };
+    for _ in 0..200 {
+        if socket.exists() {
+            return child;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    bad(&format!(
+        "daemon never bound {} (is the store locked?)",
+        socket.display()
+    ));
+}
+
+/// One tenant's view of one finished session.
+struct SessionResult {
+    tenant: String,
+    label: String,
+    /// Terminal classification, or an error description.
+    state: String,
+}
+
+fn classified(state: &str) -> bool {
+    matches!(state, "completed" | "recovered" | "degraded" | "abandoned")
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tenants: usize = 8;
+    let mut sessions: usize = 2;
+    let mut seed: u64 = 1;
+    let mut zero_faults = false;
+    let mut check = false;
+    let mut keep = false;
+    let mut daemon_bin: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tenants" => {
+                let Some(value) = args.get(i + 1) else {
+                    bad("missing value for --tenants");
+                };
+                match value.parse::<usize>() {
+                    Ok(v) if v >= 1 => tenants = v,
+                    _ => bad("--tenants wants a count >= 1"),
+                }
+                i += 2;
+            }
+            "--sessions" => {
+                let Some(value) = args.get(i + 1) else {
+                    bad("missing value for --sessions");
+                };
+                match value.parse::<usize>() {
+                    Ok(v) if v >= 1 => sessions = v,
+                    _ => bad("--sessions wants a count >= 1"),
+                }
+                i += 2;
+            }
+            "--seed" => {
+                let Some(value) = args.get(i + 1) else {
+                    bad("missing value for --seed");
+                };
+                match value.parse::<u64>() {
+                    Ok(v) => seed = v,
+                    Err(_) => bad("--seed wants a number"),
+                }
+                i += 2;
+            }
+            "--daemon-bin" => {
+                let Some(value) = args.get(i + 1) else {
+                    bad("missing value for --daemon-bin");
+                };
+                daemon_bin = Some(PathBuf::from(value));
+                i += 2;
+            }
+            "--zero-faults" => {
+                zero_faults = true;
+                i += 1;
+            }
+            "--assert" => {
+                check = true;
+                i += 1;
+            }
+            "--keep" => {
+                keep = true;
+                i += 1;
+            }
+            other => bad(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    // The daemon executable: next to us in the target dir unless
+    // overridden. (It lives in another crate, so `cargo run --bin
+    // daemon_soak` alone does not build it — CI builds the workspace.)
+    let bin = daemon_bin.unwrap_or_else(|| {
+        std::env::current_exe()
+            .expect("current_exe")
+            .with_file_name("histpcd")
+    });
+    if !bin.exists() {
+        bad(&format!(
+            "no histpcd at {} — build it (cargo build -p histpc-daemon) or pass --daemon-bin",
+            bin.display()
+        ));
+    }
+
+    let dir = std::env::temp_dir().join(format!("histpc-dsoak-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        bad(&format!("cannot create scratch dir: {e}"));
+    }
+    let store = dir.join("store");
+    let socket = dir.join("histpcd.sock");
+
+    // One plan per (tenant, session), a pure function of the seed.
+    // Labels are globally unique: all tenants share one store app
+    // namespace, which is exactly the contention under test.
+    let mut rng = Rng(seed);
+    let mut plans: Vec<Vec<(FaultPlan, String, u64)>> = Vec::with_capacity(tenants);
+    for t in 0..tenants {
+        let mut row = Vec::with_capacity(sessions);
+        for s in 0..sessions {
+            let idx = (t * sessions + s) as u64;
+            let plan_seed = seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let (plan, summary) = if zero_faults {
+                (FaultPlan::none(), "healthy".to_string())
+            } else {
+                roll_faults(&mut rng, plan_seed)
+            };
+            row.push((plan, summary, plan_seed));
+        }
+        plans.push(row);
+    }
+
+    println!(
+        "daemon_soak: {tenants} tenant(s) × {sessions} session(s), seed {seed}{}",
+        if zero_faults { ", zero faults" } else { "" }
+    );
+    for (t, row) in plans.iter().enumerate() {
+        for (s, (_, summary, _)) in row.iter().enumerate() {
+            println!("  plan soak-t{t:02}-s{s:02}: {summary}");
+        }
+    }
+
+    let mut child = spawn_daemon(&bin, &store, &socket);
+
+    // Pre-kill epoch, for the recovery gate.
+    let epoch_before = {
+        let mut probe = Client::new(&socket, "soak-probe");
+        match probe.expect_ok(&Request::new("health")) {
+            Ok(h) => h.get("epoch").and_then(|v| v.parse::<u64>().ok()),
+            Err(e) => {
+                let _ = child.kill();
+                bad(&format!("daemon health probe failed: {e}"));
+            }
+        }
+    };
+
+    // The fleet: one thread per tenant, each starting all its sessions
+    // (exercising the slot bulkhead) then attaching each to its
+    // classified end. Wire-faulted plans get a faulty client; the
+    // retrying Client plus idempotent `start` must absorb every tear.
+    let results: Vec<SessionResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, row) in plans.iter().enumerate() {
+            let socket = &socket;
+            handles.push(scope.spawn(move || {
+                let tenant = format!("tenant-{t:02}");
+                let mut out = Vec::with_capacity(row.len());
+                for (s, (plan, _, plan_seed)) in row.iter().enumerate() {
+                    let label = format!("soak-t{t:02}-s{s:02}");
+                    let mut client = Client::new(socket, &tenant);
+                    client.max_attempts = 8;
+                    if plan.touches_wire() {
+                        client = client.with_injector(WireInjector::new(plan.clone()));
+                    }
+                    let mut req = Request::new("start")
+                        .arg("app", "tester")
+                        .arg("label", &label)
+                        .arg("seed", plan_seed);
+                    if !zero_faults {
+                        req = req.arg("faults", plan.to_text());
+                    }
+                    if let Err(e) = client.expect_ok(&req) {
+                        out.push(SessionResult {
+                            tenant: tenant.clone(),
+                            label,
+                            state: format!("start failed: {e}"),
+                        });
+                        continue;
+                    }
+                    let attach = Request::new("attach")
+                        .arg("label", &label)
+                        .arg("wait-ms", 120_000u64);
+                    let state = match client.expect_ok(&attach) {
+                        Ok(resp) => resp.get("state").unwrap_or("missing-state").to_string(),
+                        Err(e) => format!("attach failed: {e}"),
+                    };
+                    out.push(SessionResult {
+                        tenant: tenant.clone(),
+                        label,
+                        state,
+                    });
+                }
+                out
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("tenant thread panicked"))
+            .collect()
+    });
+
+    for r in &results {
+        println!("  {}/{}: {}", r.tenant, r.label, r.state);
+        if !classified(&r.state) {
+            eprintln!("  unclassified: {}/{}: {}", r.tenant, r.label, r.state);
+        }
+    }
+    let all_classified = results.iter().all(|r| classified(&r.state));
+
+    // --- Kill + recovery scenario (skipped under --zero-faults) -----
+    //
+    // SIGKILL the serving daemon, stage the exact disk state a
+    // mid-session crash leaves (a halted session's checkpoint with its
+    // lease, a lease with no checkpoint, a torn lease file), then
+    // restart and hold the next incarnation to its recovery contract.
+    let mut recovery_gates: Vec<(&'static str, bool)> = Vec::new();
+    if zero_faults {
+        let mut client = Client::new(&socket, "soak-probe");
+        let _ = client.expect_ok(&Request::new("shutdown"));
+        let _ = child.wait();
+    } else {
+        child.kill().expect("SIGKILL daemon");
+        let _ = child.wait();
+        println!("killed histpcd (pid {}) mid-serve", child.id());
+
+        let crash_spec = SessionSpec {
+            app: "tester".into(),
+            label: "kill-crashed".into(),
+            seed: Some(5),
+            window_ms: 800,
+            sample_ms: 100,
+            max_time_ms: 120_000,
+            faults: Some("histpc-faults v1\nseed 5\ncrash-tool 1000000\n".into()),
+            budget: None,
+        };
+        let store_app = histpc::apps::build_workload("tester", Some(5))
+            .expect("tester app")
+            .app_spec()
+            .name;
+        {
+            // In-process: run the session to its crash-halt so a real
+            // checkpoint exists, exactly as the dead daemon would have
+            // left it. The scope drops the store lock before restart.
+            let session = Session::with_store(&store).expect("store reopens after SIGKILL");
+            let workload = histpc::apps::build_workload("tester", Some(5)).expect("tester app");
+            let mut config = local_config();
+            config.faults =
+                FaultPlan::parse(crash_spec.faults.as_deref().unwrap()).expect("crash plan");
+            let run = session
+                .diagnose_faulted(workload.as_ref(), &config, "kill-crashed", None)
+                .expect("crash-halt run");
+            assert!(run.halted.is_some(), "crash plan must halt the session");
+        }
+        lease::write_lease(
+            &store,
+            &Lease {
+                tenant: "team-kill".into(),
+                app: store_app.clone(),
+                label: "kill-crashed".into(),
+                epoch: epoch_before.unwrap_or(1),
+                state: "active".into(),
+                spec: crash_spec.to_spec_line(),
+            },
+        )
+        .expect("write crashed lease");
+        lease::write_lease(
+            &store,
+            &Lease {
+                tenant: "team-kill".into(),
+                app: store_app,
+                label: "kill-hopeless".into(),
+                epoch: epoch_before.unwrap_or(1),
+                state: "active".into(),
+                spec: String::new(),
+            },
+        )
+        .expect("write hopeless lease");
+        std::fs::write(
+            store.join(lease::LEASE_DIR).join("torn.lease"),
+            "histpc-frame v1 99 deadbeef\ntruncated",
+        )
+        .expect("write torn lease");
+
+        let mut child2 = spawn_daemon(&bin, &store, &socket);
+        let mut client = Client::new(&socket, "team-kill");
+        let health = client
+            .expect_ok(&Request::new("health"))
+            .expect("health after restart");
+        let epoch_after: Option<u64> = health.get("epoch").and_then(|v| v.parse().ok());
+        let adopted: u64 = health
+            .get("adopted")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        println!(
+            "restart: epoch {:?} -> {:?}, {adopted} lease(s) re-adopted",
+            epoch_before, epoch_after
+        );
+
+        let crashed = client
+            .expect_ok(
+                &Request::new("attach")
+                    .arg("label", "kill-crashed")
+                    .arg("wait-ms", 120_000u64),
+            )
+            .expect("attach re-adopted session");
+        let crashed_state = crashed.get("state").unwrap_or("missing").to_string();
+        let report_body = client
+            .expect_ok(&Request::new("report").arg("label", "kill-crashed"))
+            .map(|r| r.body().len())
+            .unwrap_or(0);
+        let hopeless = client
+            .expect_ok(&Request::new("attach").arg("label", "kill-hopeless"))
+            .expect("attach abandoned session");
+        println!(
+            "  kill-crashed: {crashed_state} (adopted={}, report {} line(s)); \
+             kill-hopeless: {}",
+            crashed.get("adopted").unwrap_or("?"),
+            report_body,
+            hopeless.get("state").unwrap_or("missing"),
+        );
+
+        let leases_left = lease::read_leases(&store).map(|l| l.len()).unwrap_or(99);
+        let _ = client.expect_ok(&Request::new("shutdown"));
+        let _ = child2.wait();
+
+        recovery_gates.push((
+            "restarted daemon re-adopted the checkpointed lease",
+            adopted >= 1
+                && matches!(crashed_state.as_str(), "completed" | "recovered")
+                && crashed.get("adopted") == Some("1"),
+        ));
+        recovery_gates.push((
+            "re-adopted session stored a readable record",
+            report_body > 0,
+        ));
+        recovery_gates.push((
+            "checkpoint-less lease was classified abandoned",
+            hopeless.get("state") == Some("abandoned"),
+        ));
+        recovery_gates.push((
+            "lease epoch advanced across the kill",
+            matches!((epoch_before, epoch_after), (Some(b), Some(a)) if a > b),
+        ));
+        recovery_gates.push(("no lease file survives classification", leases_left == 0));
+    }
+
+    // Post-mortem store maintenance, with every daemon gone: one
+    // repair pass, then a read-only integrity walk.
+    let session = Session::with_store(&store).expect("store reopens after shutdown");
+    let store_handle = session.store().expect("soak session has a store");
+    let notes = match store_handle.repair() {
+        Ok(n) => n,
+        Err(e) => bad(&format!("store repair failed: {e}")),
+    };
+    for n in &notes {
+        println!("repair: {n}");
+    }
+    let findings = fsck(store_handle.root());
+    let errors: Vec<_> = findings.iter().filter(|d| d.is_error()).collect();
+    let warnings = findings.len() - errors.len();
+    println!(
+        "fsck: {} error(s), {warnings} warning(s) after repair",
+        errors.len()
+    );
+    for d in &errors {
+        eprintln!("  {d}");
+    }
+
+    // Zero-fault bit-identity: what the daemon stored and reported
+    // must be exactly what a bare in-process diagnose produces.
+    let mut divergent = Vec::new();
+    if zero_faults {
+        let bare = Session::new();
+        let store_app = histpc::apps::build_workload("tester", Some(0))
+            .expect("tester app")
+            .app_spec()
+            .name;
+        for (t, row) in plans.iter().enumerate() {
+            for (s, (_, _, plan_seed)) in row.iter().enumerate() {
+                let label = format!("soak-t{t:02}-s{s:02}");
+                let stored = match store_handle.load(&store_app, &label) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        divergent.push(format!("{label}: stored record unreadable: {e}"));
+                        continue;
+                    }
+                };
+                let workload =
+                    histpc::apps::build_workload("tester", Some(*plan_seed)).expect("tester app");
+                let d = bare
+                    .diagnose(workload.as_ref(), &local_config(), &label)
+                    .expect("zero-fault config lints clean");
+                if write_record(&stored) != write_record(&d.record) {
+                    divergent.push(format!(
+                        "{label}: stored record differs from bare diagnosis"
+                    ));
+                }
+            }
+        }
+        for m in &divergent {
+            eprintln!("identity: {m}");
+        }
+    }
+
+    if !keep {
+        let _ = std::fs::remove_dir_all(&dir);
+    } else {
+        println!("kept store at {}", dir.display());
+    }
+
+    if check {
+        let mut failed = false;
+        let mut gate = |name: &str, ok: bool| {
+            if ok {
+                println!("PASS: {name}");
+            } else {
+                eprintln!("FAIL: {name}");
+                failed = true;
+            }
+        };
+        gate(
+            "every session terminated with a classification",
+            all_classified && results.len() == tenants * sessions,
+        );
+        gate(
+            "store is fsck-clean after one repair pass",
+            errors.is_empty(),
+        );
+        for (name, ok) in &recovery_gates {
+            gate(name, *ok);
+        }
+        if zero_faults {
+            gate(
+                "zero-fault fleet completed without intervention",
+                results.iter().all(|r| r.state == "completed"),
+            );
+            gate(
+                "reports byte-identical to in-process diagnoses",
+                divergent.is_empty(),
+            );
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

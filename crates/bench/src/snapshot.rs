@@ -3,10 +3,10 @@
 //! The repo carries a measured perf trajectory: each PR that touches the
 //! hot path lands a `BENCH_<pr>.json` produced by the `bench_snapshot`
 //! binary, holding diagnosis wall-times for the Poisson versions A–D,
-//! the overload-soak, degraded-run, corpus-analysis and supervised-
-//! vs-bare scenarios, and raw simulator event throughput — once as
-//! measured on the parent commit ("before") and once on the PR itself
-//! ("after").
+//! the overload-soak, degraded-run, corpus-analysis, supervised-
+//! vs-bare and daemon-vs-in-process scenarios, and raw simulator event
+//! throughput — once as measured on the parent commit ("before") and
+//! once on the PR itself ("after").
 //!
 //! Every field except the wall-clock timings is a deterministic function
 //! of (workload, config, seed); those *non-timing invariants* are what
@@ -149,6 +149,36 @@ impl SupervisedMeasurement {
     }
 }
 
+/// Timing and invariants of the daemon-vs-in-process scenario: the
+/// same zero-fault sessions run once through a live [`histpc_daemon`]
+/// instance over its Unix socket (start/attach/report round trips
+/// included) and once directly via `Session::diagnose`, so the
+/// snapshot tracks the full service-stack overhead and holds the wire
+/// to bit-identical reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonMeasurement {
+    /// Host wall-clock time of the daemon-served sessions in ms (timing).
+    pub daemon_wall_ms: f64,
+    /// Host wall-clock time of the in-process sessions in ms (timing).
+    pub inprocess_wall_ms: f64,
+    /// Sessions run through each leg (deterministic).
+    pub sessions: u64,
+    /// Daemon sessions classified `completed` (deterministic; must
+    /// equal `sessions` on the zero-fault path).
+    pub completed: u64,
+    /// Every daemon report body byte-identical to the in-process
+    /// record (deterministic).
+    pub identical: bool,
+}
+
+impl DaemonMeasurement {
+    /// Service overhead as a fraction of the in-process wall time
+    /// (timing-derived; e.g. `0.10` = 10% slower through the daemon).
+    pub fn overhead(&self) -> Option<f64> {
+        (self.inprocess_wall_ms > 0.0).then(|| self.daemon_wall_ms / self.inprocess_wall_ms - 1.0)
+    }
+}
+
 /// Raw simulator event throughput.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimMeasurement {
@@ -176,6 +206,9 @@ pub struct PhaseMeasurements {
     pub corpus: Option<CorpusMeasurement>,
     /// Supervised-vs-bare overhead (absent in snapshots predating PR 8).
     pub supervised: Option<SupervisedMeasurement>,
+    /// Daemon-vs-in-process overhead (absent in snapshots predating
+    /// PR 9).
+    pub daemon: Option<DaemonMeasurement>,
     /// Raw simulator throughput.
     pub sim: SimMeasurement,
 }
@@ -526,6 +559,99 @@ pub fn measure_supervised_quick() -> SupervisedMeasurement {
     supervised_vs_bare(&wl, &config)
 }
 
+/// Runs `sessions` zero-fault diagnoses of the catalogue `tester` app
+/// twice — once through a live daemon over its Unix socket (start,
+/// attach, report) and once directly in-process — and reports both
+/// wall times plus the bit-identity of every daemon report body
+/// against the in-process record.
+pub fn measure_daemon(sessions: usize) -> DaemonMeasurement {
+    use histpc::history::format::write_record;
+    use histpc::remote::{Client, Request};
+    use histpc_daemon::{Daemon, DaemonConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    // Distinct scratch roots even when several measurements run in one
+    // process (the test harness does).
+    static RUN: AtomicUsize = AtomicUsize::new(0);
+    let run = RUN.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("histpc-bench-daemon-{run}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let config = SearchConfig {
+        window: SimDuration::from_millis(800),
+        sample: SimDuration::from_millis(100),
+        max_time: SimDuration::from_secs(120),
+        stall: Some(SimDuration::from_secs(2)),
+        ..SearchConfig::default()
+    };
+
+    // Daemon leg: every round trip (handshake, start, bounded attach,
+    // report) is part of the measured service overhead.
+    let socket = dir.join("d.sock");
+    let daemon =
+        Daemon::start(DaemonConfig::new(dir.join("store"), &socket)).expect("daemon starts");
+    let mut client = Client::new(&socket, "bench");
+    let mut completed = 0u64;
+    let mut remote: Vec<String> = Vec::with_capacity(sessions);
+    let t = Instant::now();
+    for i in 0..sessions {
+        let label = format!("bench-{i:02}");
+        client
+            .expect_ok(
+                &Request::new("start")
+                    .arg("app", "tester")
+                    .arg("label", &label)
+                    .arg("seed", i as u64),
+            )
+            .expect("start accepted");
+        let done = client
+            .expect_ok(
+                &Request::new("attach")
+                    .arg("label", &label)
+                    .arg("wait-ms", 120_000u64),
+            )
+            .expect("attach returns");
+        if done.get("state") == Some("completed") {
+            completed += 1;
+        }
+        let report = client
+            .expect_ok(&Request::new("report").arg("label", &label))
+            .expect("report returns");
+        remote.push(format!("{}\n", report.body().join("\n")));
+    }
+    let daemon_wall_ms = ms(t);
+    client
+        .expect_ok(&Request::new("shutdown"))
+        .expect("shutdown");
+    daemon.join();
+
+    // In-process leg: the same workloads, config and labels, straight
+    // through `Session::diagnose` into its own scratch store.
+    let local_dir = dir.join("local");
+    let session = Session::with_store(&local_dir).expect("scratch store opens");
+    let mut local: Vec<String> = Vec::with_capacity(sessions);
+    let t = Instant::now();
+    for i in 0..sessions {
+        let wl = histpc::apps::build_workload("tester", Some(i as u64)).expect("tester app");
+        let d = session
+            .diagnose(wl.as_ref(), &config, &format!("bench-{i:02}"))
+            .expect("zero-fault config lints clean");
+        local.push(write_record(&d.record));
+    }
+    let inprocess_wall_ms = ms(t);
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    DaemonMeasurement {
+        daemon_wall_ms,
+        inprocess_wall_ms,
+        sessions: sessions as u64,
+        completed,
+        identical: remote == local,
+    }
+}
+
 /// Times a raw (collector-free) engine run of a Poisson version,
 /// draining in driver-sized steps, and reports event throughput.
 pub fn measure_sim_throughput(
@@ -578,6 +704,7 @@ pub fn measure_full() -> PhaseMeasurements {
         degraded: Some(measure_degraded()),
         corpus: Some(measure_corpus(1000)),
         supervised: Some(measure_supervised()),
+        daemon: Some(measure_daemon(4)),
         sim: measure_sim_throughput(
             PoissonVersion::D,
             SimDuration::from_secs(900),
@@ -595,6 +722,7 @@ pub fn measure_quick() -> PhaseMeasurements {
         degraded: None,
         corpus: Some(measure_corpus(60)),
         supervised: Some(measure_supervised_quick()),
+        daemon: Some(measure_daemon(2)),
         sim: measure_sim_throughput(
             PoissonVersion::A,
             SimDuration::from_secs(20),
@@ -811,6 +939,34 @@ pub fn invariant_regressions(want: &PhaseMeasurements, got: &PhaseMeasurements) 
         (Some(_), None) => out.push("supervised: scenario missing".into()),
         (Some(w), Some(g)) => {
             let s = "supervised";
+            diff(
+                &mut out,
+                s,
+                "sessions",
+                w.sessions.to_string(),
+                g.sessions.to_string(),
+            );
+            diff(
+                &mut out,
+                s,
+                "completed",
+                w.completed.to_string(),
+                g.completed.to_string(),
+            );
+            diff(
+                &mut out,
+                s,
+                "identical",
+                w.identical.to_string(),
+                g.identical.to_string(),
+            );
+        }
+    }
+    match (&want.daemon, &got.daemon) {
+        (None, _) => {}
+        (Some(_), None) => out.push("daemon: scenario missing".into()),
+        (Some(w), Some(g)) => {
+            let s = "daemon";
             diff(
                 &mut out,
                 s,
@@ -1257,6 +1413,15 @@ fn phase_to_json(p: &PhaseMeasurements) -> Json {
             ("identical".into(), Json::Bool(s.identical)),
         ])
     });
+    let daemon = p.daemon.as_ref().map_or(Json::Null, |d| {
+        Json::Obj(vec![
+            ("daemon_wall_ms".into(), Json::Num(d.daemon_wall_ms)),
+            ("inprocess_wall_ms".into(), Json::Num(d.inprocess_wall_ms)),
+            ("sessions".into(), num(d.sessions)),
+            ("completed".into(), num(d.completed)),
+            ("identical".into(), Json::Bool(d.identical)),
+        ])
+    });
     Json::Obj(vec![
         (
             "diagnosis".into(),
@@ -1266,6 +1431,7 @@ fn phase_to_json(p: &PhaseMeasurements) -> Json {
         ("degraded".into(), degraded),
         ("corpus".into(), corpus),
         ("supervised".into(), supervised),
+        ("daemon".into(), daemon),
         (
             "sim".into(),
             Json::Obj(vec![
@@ -1440,6 +1606,18 @@ fn phase_from_json(j: &Json) -> Result<PhaseMeasurements, String> {
             identical: field_bool(s, "identical")?,
         }),
     };
+    // Absent in snapshots predating PR 9 — parse both missing and null
+    // as "not measured".
+    let daemon = match j.get("daemon") {
+        None | Some(Json::Null) => None,
+        Some(d) => Some(DaemonMeasurement {
+            daemon_wall_ms: field_f64(d, "daemon_wall_ms")?,
+            inprocess_wall_ms: field_f64(d, "inprocess_wall_ms")?,
+            sessions: field_u64(d, "sessions")?,
+            completed: field_u64(d, "completed")?,
+            identical: field_bool(d, "identical")?,
+        }),
+    };
     let sim = field(j, "sim")?;
     Ok(PhaseMeasurements {
         diagnosis,
@@ -1447,6 +1625,7 @@ fn phase_from_json(j: &Json) -> Result<PhaseMeasurements, String> {
         degraded,
         corpus,
         supervised,
+        daemon,
         sim: SimMeasurement {
             wall_ms: field_f64(sim, "wall_ms")?,
             events: field_u64(sim, "events")?,
@@ -1510,6 +1689,13 @@ mod tests {
                 completed: 1,
                 identical: true,
             }),
+            daemon: Some(DaemonMeasurement {
+                daemon_wall_ms: 220.0,
+                inprocess_wall_ms: 200.0,
+                sessions: 4,
+                completed: 4,
+                identical: true,
+            }),
             sim: SimMeasurement {
                 wall_ms: 100.0,
                 events: 123_456,
@@ -1555,6 +1741,7 @@ mod tests {
         let mut phase = sample_phase();
         phase.corpus = None;
         phase.supervised = None;
+        phase.daemon = None;
         let with_null = Snapshot {
             schema: SCHEMA.into(),
             pr: 6,
@@ -1564,15 +1751,21 @@ mod tests {
         .to_json();
         assert!(with_null.contains("\"corpus\": null"));
         assert!(with_null.contains("\"supervised\": null"));
+        assert!(with_null.contains("\"daemon\": null"));
         let without_key: String = with_null
             .lines()
-            .filter(|l| !l.contains("\"corpus\"") && !l.contains("\"supervised\""))
+            .filter(|l| {
+                !l.contains("\"corpus\"")
+                    && !l.contains("\"supervised\"")
+                    && !l.contains("\"daemon\"")
+            })
             .collect::<Vec<_>>()
             .join("\n");
         for text in [with_null, without_key] {
             let back = Snapshot::parse(&text).expect("legacy snapshot parses");
             assert!(back.after.corpus.is_none());
             assert!(back.after.supervised.is_none());
+            assert!(back.after.daemon.is_none());
             assert!(invariant_regressions(&back.after, &sample_phase()).is_empty());
         }
     }
@@ -1593,6 +1786,23 @@ mod tests {
         assert!(msgs.iter().any(|m| m.contains("completed")));
         let s = a.supervised.as_ref().unwrap();
         assert!((s.overhead().unwrap() - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daemon_overhead_is_timing_only() {
+        let a = sample_phase();
+        let mut b = sample_phase();
+        b.daemon.as_mut().unwrap().daemon_wall_ms *= 10.0;
+        b.daemon.as_mut().unwrap().inprocess_wall_ms *= 0.5;
+        assert!(invariant_regressions(&a, &b).is_empty());
+        b.daemon.as_mut().unwrap().identical = false;
+        b.daemon.as_mut().unwrap().completed = 0;
+        let msgs = invariant_regressions(&a, &b);
+        assert_eq!(msgs.len(), 2, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("identical")));
+        assert!(msgs.iter().any(|m| m.contains("completed")));
+        let d = a.daemon.as_ref().unwrap();
+        assert!((d.overhead().unwrap() - 0.1).abs() < 1e-9);
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! histpc lint     FILE... [--against STORE/APP/LABEL] [--deny-warnings] [--format F]
 //! histpc lint     corpus STORE [--last N] [--deny-warnings] [--format F]
 //! histpc store    fsck|repair|compact|migrate --store DIR [--deny-warnings]
+//! histpc daemon   start --store DIR --socket PATH [--tenant-slots N]
+//!                 [--tenant-budget N] [--idle-ms T] [--retries N] [--stall-ms T]
+//! histpc daemon   stop|status --socket PATH
+//! histpc run      --remote SOCK --app APP [--label L] [--tenant T] [--seed N]
+//!                 [--window SECS] [--max-time SECS] [--faults FILE] [--budget N]
 //! ```
 //!
 //! Applications: `poisson-a`, `poisson-b`, `poisson-c`, `poisson-d`,
@@ -79,9 +84,21 @@
 //! and salvages or quarantines damaged records; `compact` reindexes the
 //! manifest and resets the journal; `migrate` upgrades a v0 loose-file
 //! store to the checksummed v1 layout in place.
+//!
+//! `daemon` manages a `histpcd` diagnosis daemon: `start` launches the
+//! `histpcd` binary that ships next to `histpc` and waits for its
+//! socket; `stop` asks it to shut down (in-flight sessions finish
+//! classified first); `status` prints its health line. `run --remote
+//! SOCK` then runs the diagnosis *on* such a daemon instead of
+//! in-process — start (idempotent, so lost responses retry safely),
+//! attach until the session is classified, fetch and print the stored
+//! report. Remote runs exit with the supervised-run codes: 0 for
+//! completed/recovered, 3 for degraded, 1 for abandoned or transport
+//! failure.
 
 use histpc::history;
 use histpc::prelude::*;
+use histpc::remote::{Client, Request};
 use histpc::supervise::SessionDriver;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -102,7 +119,12 @@ fn usage() -> ! {
          \x20 histpc ls      --store DIR [--app NAME]\n\
          \x20 histpc lint    FILE... [--against STORE/APP/LABEL] [--deny-warnings] [--format F]\n\
          \x20 histpc lint    corpus STORE [--last N] [--deny-warnings] [--format F]\n\
-         \x20 histpc store   fsck|repair|compact|migrate --store DIR [--deny-warnings]\n\n\
+         \x20 histpc store   fsck|repair|compact|migrate --store DIR [--deny-warnings]\n\
+         \x20 histpc daemon  start --store DIR --socket PATH [--tenant-slots N]\n\
+         \x20            [--tenant-budget N] [--idle-ms T] [--retries N] [--stall-ms T]\n\
+         \x20 histpc daemon  stop|status --socket PATH\n\
+         \x20 histpc run     --remote SOCK --app APP [--label L] [--tenant T] [--seed N]\n\
+         \x20            [--window SECS] [--max-time SECS] [--faults FILE] [--budget N]\n\n\
          apps: poisson-a poisson-b poisson-c poisson-d ocean tester sweep3d\n\
          modes: priorities prunes general-prunes historic-prunes combined combined+thresholds"
     );
@@ -148,23 +170,10 @@ fn require<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
 }
 
 fn build_workload(app: &str, seed: Option<u64>) -> Box<dyn Workload + Send + Sync> {
-    let poisson = |v: PoissonVersion| {
-        let mut wl = PoissonWorkload::new(v);
-        if let Some(s) = seed {
-            wl = wl.with_seed(s);
-        }
-        Box::new(wl) as Box<dyn Workload + Send + Sync>
-    };
-    match app {
-        "poisson-a" => poisson(PoissonVersion::A),
-        "poisson-b" => poisson(PoissonVersion::B),
-        "poisson-c" => poisson(PoissonVersion::C),
-        "poisson-d" => poisson(PoissonVersion::D),
-        "ocean" => Box::new(OceanWorkload::new()),
-        "tester" => Box::new(TesterWorkload::new()),
-        "sweep3d" => Box::new(histpc::sim::workloads::WavefrontWorkload::new()),
-        other => {
-            eprintln!("unknown application {other:?}");
+    match histpc::apps::build_workload(app, seed) {
+        Ok(wl) => wl,
+        Err(msg) => {
+            eprintln!("{msg}");
             usage();
         }
     }
@@ -219,8 +228,29 @@ fn supervision_flags(
     Ok(sup)
 }
 
-/// Prints a supervision report and maps it to an exit code: 1 if any
-/// session was abandoned, 3 if any ended degraded, 0 otherwise.
+/// Exit-code precedence for supervised (and remote) runs — the *worst*
+/// session outcome wins, in this strict order:
+///
+/// 1. any `abandoned` session ⇒ exit 1 (hard failure),
+/// 2. else any `degraded` session ⇒ exit 3 ([`EXIT_DEGRADED`]),
+/// 3. else ⇒ exit 0 (`recovered` counts as success: the retries are
+///    noted in the report, but the diagnosis itself is whole).
+///
+/// A report carrying both abandoned and degraded sessions therefore
+/// exits 1, never 3: a lost session is strictly worse news than a
+/// degraded one, and scripts branch on the code alone.
+fn supervision_exit_code(report: &SupervisionReport) -> u8 {
+    if report.abandoned() > 0 {
+        1
+    } else if report.degraded() > 0 {
+        EXIT_DEGRADED
+    } else {
+        0
+    }
+}
+
+/// Prints a supervision report and maps it to an exit code via the
+/// worst-wins precedence of [`supervision_exit_code`].
 fn report_supervision(report: &SupervisionReport) -> ExitCode {
     print!("{}", report.render());
     for s in &report.sessions {
@@ -228,16 +258,13 @@ fn report_supervision(report: &SupervisionReport) -> ExitCode {
             eprintln!("  [{}] {note}", s.label);
         }
     }
-    if report.abandoned() > 0 {
-        ExitCode::FAILURE
-    } else if report.degraded() > 0 {
-        ExitCode::from(EXIT_DEGRADED)
-    } else {
-        ExitCode::SUCCESS
-    }
+    ExitCode::from(supervision_exit_code(report))
 }
 
 fn cmd_run(flags: HashMap<String, String>) -> Result<ExitCode, String> {
+    if let Some(sock) = flags.get("remote") {
+        return cmd_run_remote(sock, &flags);
+    }
     let app = require(&flags, "app");
     let seed = flags
         .get("seed")
@@ -458,6 +485,166 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `histpc run --remote SOCK`: runs the session on a `histpcd` daemon
+/// over its Unix socket instead of in-process. The client retries
+/// transport failures and `busy`/`quota` refusals with capped
+/// exponential backoff (honouring the daemon's retry hints); `start`
+/// is idempotent per (tenant, label) so those retries can never
+/// double-run a session.
+fn cmd_run_remote(sock: &str, flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    let app = require(flags, "app");
+    let label = flags.get("label").cloned().unwrap_or_else(|| "run".into());
+    let tenant = flags.get("tenant").cloned().unwrap_or_else(|| "cli".into());
+
+    let mut req = Request::new("start").arg("app", app).arg("label", &label);
+    if let Some(seed) = flags.get("seed") {
+        let seed: u64 = seed.parse().map_err(|_| "bad --seed")?;
+        req = req.arg("seed", seed);
+    }
+    if let Some(w) = flags.get("window") {
+        let secs: f64 = w.parse().map_err(|_| "bad --window")?;
+        req = req.arg("window-ms", (secs * 1000.0) as u64);
+    }
+    if let Some(m) = flags.get("max-time") {
+        let secs: f64 = m.parse().map_err(|_| "bad --max-time")?;
+        req = req.arg("max-time-ms", (secs * 1000.0) as u64);
+    }
+    if let Some(path) = flags.get("faults") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        req = req.arg("faults", text);
+    }
+    if let Some(b) = flags.get("budget") {
+        let b: u64 = b.parse().map_err(|_| "bad --budget")?;
+        req = req.arg("budget", b);
+    }
+
+    let mut client = Client::new(sock, &tenant);
+    let started = client.expect_ok(&req).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{sock}: session {} {}",
+        started.get("id").unwrap_or("?"),
+        if started.get("accepted") == Some("1") {
+            "accepted"
+        } else {
+            "already known"
+        }
+    );
+    let done = client
+        .expect_ok(
+            &Request::new("attach")
+                .arg("label", &label)
+                .arg("wait-ms", 600_000u64),
+        )
+        .map_err(|e| e.to_string())?;
+    let state = done.get("state").unwrap_or("unknown").to_string();
+    if state == "running" {
+        return Err(format!(
+            "session {tenant}/{label} still running after attach wait"
+        ));
+    }
+    let report = client
+        .expect_ok(&Request::new("report").arg("label", &label))
+        .map_err(|e| e.to_string())?;
+    for line in report.body() {
+        println!("{line}");
+    }
+    let detail = report.get("detail").unwrap_or_default();
+    if detail.is_empty() {
+        eprintln!("session {tenant}/{label}: {state}");
+    } else {
+        eprintln!("session {tenant}/{label}: {detail}");
+    }
+    // Same worst-wins precedence as local supervised runs (this run is
+    // the only session in the report).
+    Ok(match state.as_str() {
+        "completed" | "recovered" => ExitCode::SUCCESS,
+        "degraded" => ExitCode::from(EXIT_DEGRADED),
+        _ => ExitCode::FAILURE,
+    })
+}
+
+/// `histpc daemon start|stop|status`: manages a `histpcd` serving one
+/// store over a Unix socket. `start` launches the `histpcd` binary that
+/// ships next to `histpc` and waits for the socket to appear — by then
+/// the daemon has finished lease recovery and is accepting. `stop` is a
+/// clean shutdown: in-flight sessions still end classified.
+fn cmd_daemon(args: &[String]) -> Result<ExitCode, String> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err("daemon needs an action: start, stop or status".into());
+    };
+    let flags = parse_flags(rest);
+    match action.as_str() {
+        "start" => {
+            let store = require(&flags, "store");
+            let sock = require(&flags, "socket");
+            let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+            let histpcd = exe.with_file_name("histpcd");
+            if !histpcd.exists() {
+                return Err(format!(
+                    "{}: histpcd binary not found next to histpc",
+                    histpcd.display()
+                ));
+            }
+            let mut cmd = std::process::Command::new(&histpcd);
+            cmd.arg("--store").arg(store).arg("--socket").arg(sock);
+            for flag in [
+                "tenant-slots",
+                "tenant-budget",
+                "idle-ms",
+                "retries",
+                "stall-ms",
+            ] {
+                if let Some(v) = flags.get(flag) {
+                    cmd.arg(format!("--{flag}")).arg(v);
+                }
+            }
+            let child = cmd
+                .spawn()
+                .map_err(|e| format!("spawn {}: {e}", histpcd.display()))?;
+            let sock_path = std::path::Path::new(sock);
+            for _ in 0..200 {
+                if sock_path.exists() {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            if !sock_path.exists() {
+                return Err(format!("daemon did not bind {sock} within 10s"));
+            }
+            println!("histpcd started (pid {}) serving {sock}", child.id());
+            Ok(ExitCode::SUCCESS)
+        }
+        "stop" => {
+            let sock = require(&flags, "socket");
+            let mut client = Client::new(sock, "cli");
+            client
+                .expect_ok(&Request::new("shutdown"))
+                .map_err(|e| e.to_string())?;
+            println!("{sock}: shutting down");
+            Ok(ExitCode::SUCCESS)
+        }
+        "status" => {
+            let sock = require(&flags, "socket");
+            let mut client = Client::new(sock, "cli");
+            let health = client
+                .expect_ok(&Request::new("health"))
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{sock}: {} (epoch {}, {} active, {} done, {} adopted)",
+                health.get("state").unwrap_or("?"),
+                health.get("epoch").unwrap_or("?"),
+                health.get("active").unwrap_or("?"),
+                health.get("done").unwrap_or("?"),
+                health.get("adopted").unwrap_or("?"),
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!(
+            "unknown daemon action {other:?}: want start, stop or status"
+        )),
+    }
+}
+
 /// `histpc supervise`: drives one diagnosis session per listed
 /// application concurrently over one shared store, each under the full
 /// supervision stack — watchdog, checkpoint auto-resume, degradation
@@ -632,7 +819,8 @@ fn cmd_shg(flags: HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_ls(flags: HashMap<String, String>) -> Result<(), String> {
-    let store = ExecutionStore::open(require(&flags, "store")).map_err(|e| e.to_string())?;
+    let store_dir = require(&flags, "store");
+    let store = ExecutionStore::open(store_dir).map_err(|e| e.to_string())?;
     match flags.get("app") {
         Some(app) => {
             for label in store.labels(app).map_err(|e| e.to_string())? {
@@ -665,6 +853,18 @@ fn cmd_ls(flags: HashMap<String, String>) -> Result<(), String> {
         println!(
             "abandoned checkpoint: {app}/{label}.ckpt — interrupted session, \
              never resumed (resume it or delete the artifact; lint HL034)"
+        );
+    }
+    // Likewise daemon debris: a lease whose session left no checkpoint
+    // cannot be re-adopted — a restarting `histpcd` will classify it
+    // abandoned (lint code HL035).
+    let leases = history::lease::orphaned_leases_at(std::path::Path::new(store_dir))
+        .map_err(|e| e.to_string())?;
+    for (file, why) in leases {
+        println!(
+            "orphaned lease: {}/{file} — {why} (a restarting daemon classifies \
+             it abandoned; lint HL035)",
+            history::lease::LEASE_DIR
         );
     }
     Ok(())
@@ -944,6 +1144,15 @@ fn main() -> ExitCode {
             }
         };
     }
+    if command == "daemon" {
+        return match cmd_daemon(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if command == "supervise" {
         return match cmd_supervise(parse_flags(&args[1..])) {
             Ok(code) => code,
@@ -969,5 +1178,78 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histpc::supervise::{Outcome as SupOutcome, Rung, SessionReport};
+
+    fn session(label: &str, outcome: SupOutcome) -> SessionReport {
+        SessionReport {
+            label: label.into(),
+            outcome,
+            attempts: 1,
+            resumes: 0,
+            watchdog_barks: 0,
+            notes: Vec::new(),
+        }
+    }
+
+    /// The exit-code precedence is worst-wins: a report with both an
+    /// abandoned and a degraded session exits 1 (hard failure), never
+    /// 3 — and recovered sessions alone still exit 0.
+    #[test]
+    fn supervision_exit_codes_are_worst_wins() {
+        let ok = SupervisionReport {
+            sessions: vec![
+                session("a", SupOutcome::Completed),
+                session("b", SupOutcome::Recovered { retries: 2 }),
+            ],
+        };
+        assert_eq!(supervision_exit_code(&ok), 0);
+
+        let degraded = SupervisionReport {
+            sessions: vec![
+                session("a", SupOutcome::Completed),
+                session(
+                    "b",
+                    SupOutcome::Degraded {
+                        rung: Rung::HistoryOnly,
+                    },
+                ),
+            ],
+        };
+        assert_eq!(supervision_exit_code(&degraded), EXIT_DEGRADED);
+
+        let abandoned = SupervisionReport {
+            sessions: vec![session(
+                "a",
+                SupOutcome::Abandoned {
+                    reason: "gone".into(),
+                },
+            )],
+        };
+        assert_eq!(supervision_exit_code(&abandoned), 1);
+
+        // Mixed: abandoned outranks degraded.
+        let mixed = SupervisionReport {
+            sessions: vec![
+                session(
+                    "a",
+                    SupOutcome::Degraded {
+                        rung: Rung::TopLevelOnly,
+                    },
+                ),
+                session(
+                    "b",
+                    SupOutcome::Abandoned {
+                        reason: "gone".into(),
+                    },
+                ),
+            ],
+        };
+        assert_eq!(supervision_exit_code(&mixed), 1);
     }
 }

@@ -22,7 +22,10 @@
 //! * [`supervise`] — session supervision: heartbeat watchdogs,
 //!   checkpoint auto-resume under a retry budget, and an escalating
 //!   degradation ladder that classifies every run
-//!   (see [`WorkloadSession`]).
+//!   (see [`WorkloadSession`]);
+//! * [`remote`] — the `histpcd/v1` wire protocol and retrying client
+//!   for `histpcd` (`crates/daemon`), the crash-tolerant
+//!   diagnosis-as-a-service daemon with lease-based session recovery.
 //!
 //! # Quickstart
 //!
@@ -68,9 +71,13 @@ pub use histpc_resources as resources;
 pub use histpc_sim as sim;
 pub use histpc_supervise as supervise;
 
+pub mod apps;
+pub mod remote;
 pub mod session;
 pub mod supervised;
 
+pub use apps::build_workload;
+pub use remote::{Client, RemoteError, Request, Response};
 pub use session::{DegradedDiagnosis, Diagnosis, Session, SessionError};
 pub use supervised::WorkloadSession;
 

@@ -60,6 +60,10 @@ fn fault_plan_round_trips_through_text() {
         slow_collector: SimDuration::from_millis(40),
         request_storm_rate: 0.25,
         request_storm_burst: 8,
+        wire_conn_drop_rate: 0.1,
+        wire_torn_request_rate: 0.05,
+        wire_slow_client_ms: 20,
+        wire_daemon_kill_after: 2,
     };
     let parsed = FaultPlan::parse(&plan.to_text()).expect("plan text parses");
     assert_eq!(parsed, plan);

@@ -1,0 +1,108 @@
+//! `histpcd` — the diagnosis daemon executable.
+//!
+//! ```text
+//! histpcd --store DIR --socket PATH [--tenant-slots N] [--tenant-budget N]
+//!         [--idle-ms T] [--retries N] [--stall-ms T]
+//! ```
+//!
+//! Runs lease recovery, binds the socket, and serves until a client
+//! sends `shutdown`. Exit code 0 on a clean shutdown, 1 on startup
+//! failure, 2 on usage errors.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use histpc_daemon::{Daemon, DaemonConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: histpcd --store DIR --socket PATH [--tenant-slots N] \
+         [--tenant-budget N] [--idle-ms T] [--retries N] [--stall-ms T]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut store: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut tenant_slots: usize = 2;
+    let mut tenant_budget: u64 = 4096;
+    let mut idle_ms: u64 = 30_000;
+    let mut retries: u32 = 3;
+    let mut stall_ms: u64 = 30_000;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("missing value for {flag}");
+            usage();
+        };
+        match flag {
+            "--store" => store = Some(value.clone()),
+            "--socket" => socket = Some(value.clone()),
+            "--tenant-slots" => match value.parse() {
+                Ok(v) if v >= 1 => tenant_slots = v,
+                _ => usage(),
+            },
+            "--tenant-budget" => match value.parse() {
+                Ok(v) => tenant_budget = v,
+                _ => usage(),
+            },
+            "--idle-ms" => match value.parse() {
+                Ok(v) => idle_ms = v,
+                _ => usage(),
+            },
+            "--retries" => match value.parse() {
+                Ok(v) => retries = v,
+                _ => usage(),
+            },
+            "--stall-ms" => match value.parse() {
+                Ok(v) => stall_ms = v,
+                _ => usage(),
+            },
+            _ => {
+                eprintln!("unknown flag {flag:?}");
+                usage();
+            }
+        }
+        i += 2;
+    }
+    let (Some(store), Some(socket)) = (store, socket) else {
+        usage();
+    };
+
+    let mut cfg = DaemonConfig::new(store, socket);
+    cfg.tenant_slots = tenant_slots;
+    cfg.tenant_sample_budget = tenant_budget;
+    cfg.idle_timeout = Duration::from_millis(idle_ms);
+    cfg.retry_budget = retries;
+    cfg.stall = if stall_ms == 0 {
+        None
+    } else {
+        Some(Duration::from_millis(stall_ms))
+    };
+
+    let daemon = match Daemon::start(cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("histpcd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let adoption = daemon.adoption();
+    println!(
+        "histpcd: serving on {} (epoch {}; adoption: {} re-adopted, {} completed, \
+         {} abandoned, {} damaged)",
+        daemon.socket().display(),
+        daemon.epoch(),
+        adoption.adopted.len(),
+        adoption.completed.len(),
+        adoption.abandoned.len(),
+        adoption.damaged.len(),
+    );
+    daemon.join();
+    println!("histpcd: shut down");
+    ExitCode::SUCCESS
+}

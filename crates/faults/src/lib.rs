@@ -118,6 +118,19 @@ pub struct FaultPlan {
     pub request_storm_rate: f64,
     /// Size of each storm burst.
     pub request_storm_burst: u64,
+    /// Probability that a daemon client's connection drops mid-exchange
+    /// (wire level; consumed by [`WireInjector`], never by the sim).
+    pub wire_conn_drop_rate: f64,
+    /// Probability that a request line is torn mid-byte before the
+    /// daemon sees a full line (wire level).
+    pub wire_torn_request_rate: f64,
+    /// Extra real-time delay a slow client inserts before each request,
+    /// in milliseconds (wire level). 0 disables it.
+    pub wire_slow_client_ms: u64,
+    /// Kill the daemon process after this many accepted sessions
+    /// (wire/harness level; consumed by the soak harness, which
+    /// SIGKILLs the real `histpcd` child). 0 disables it.
+    pub wire_daemon_kill_after: u64,
 }
 
 impl Default for FaultPlan {
@@ -147,11 +160,21 @@ impl FaultPlan {
             slow_collector: SimDuration::ZERO,
             request_storm_rate: 0.0,
             request_storm_burst: 0,
+            wire_conn_drop_rate: 0.0,
+            wire_torn_request_rate: 0.0,
+            wire_slow_client_ms: 0,
+            wire_daemon_kill_after: 0,
         }
     }
 
-    /// True if the plan injects nothing; the drive loop uses this to
-    /// bypass the injector entirely.
+    /// True if the plan injects nothing *into the simulation*; the
+    /// drive loop uses this to bypass the injector entirely.
+    ///
+    /// Wire-level faults ([`FaultPlan::touches_wire`]) deliberately do
+    /// NOT enable the plan here: they perturb the transport between a
+    /// daemon client and `histpcd`, never the diagnosis itself, so a
+    /// wire-faults-only plan must keep the bit-identical zero-cost sim
+    /// path.
     pub fn is_disabled(&self) -> bool {
         self.drop_rate == 0.0
             && self.delay_rate == 0.0
@@ -178,6 +201,27 @@ impl FaultPlan {
         self.drop_rate > 0.0 || self.delay_rate > 0.0 || self.reorder_rate > 0.0
     }
 
+    /// True if any wire-level (daemon transport) fault is set.
+    pub fn touches_wire(&self) -> bool {
+        self.wire_conn_drop_rate > 0.0
+            || self.wire_torn_request_rate > 0.0
+            || self.wire_slow_client_ms > 0
+            || self.wire_daemon_kill_after > 0
+    }
+
+    /// A copy of the plan with every wire-level fault cleared — the
+    /// part of the plan the daemon should feed into the sim-level
+    /// injector after the transport has already taken its toll.
+    pub fn without_wire(&self) -> FaultPlan {
+        FaultPlan {
+            wire_conn_drop_rate: 0.0,
+            wire_torn_request_rate: 0.0,
+            wire_slow_client_ms: 0,
+            wire_daemon_kill_after: 0,
+            ..self.clone()
+        }
+    }
+
     /// Parse a fault plan from its text form.
     ///
     /// The format is line-oriented: a `histpc-faults v1` header, then
@@ -200,6 +244,10 @@ impl FaultPlan {
     /// sample-flood 5
     /// slow-collector 200000
     /// request-storm 0.25 8
+    /// wire-conn-drop 0.10
+    /// wire-torn-request 0.05
+    /// wire-slow-client 20
+    /// wire-daemon-kill 3
     /// ```
     ///
     /// Durations and timestamps are in microseconds, matching
@@ -286,6 +334,18 @@ impl FaultPlan {
                     plan.request_storm_rate = parse_rate(&words, 0, n, "request-storm")?;
                     plan.request_storm_burst = parse_u64(&words, 1, n, "request-storm")?;
                 }
+                "wire-conn-drop" => {
+                    plan.wire_conn_drop_rate = parse_rate(&words, 0, n, "wire-conn-drop")?;
+                }
+                "wire-torn-request" => {
+                    plan.wire_torn_request_rate = parse_rate(&words, 0, n, "wire-torn-request")?;
+                }
+                "wire-slow-client" => {
+                    plan.wire_slow_client_ms = parse_u64(&words, 0, n, "wire-slow-client")?;
+                }
+                "wire-daemon-kill" => {
+                    plan.wire_daemon_kill_after = parse_u64(&words, 0, n, "wire-daemon-kill")?;
+                }
                 other => return Err(format!("line {n}: unknown fault kind `{other}`")),
             }
         }
@@ -355,6 +415,24 @@ impl FaultPlan {
             out.push_str(&format!(
                 "request-storm {} {}\n",
                 self.request_storm_rate, self.request_storm_burst
+            ));
+        }
+        if self.wire_conn_drop_rate > 0.0 {
+            out.push_str(&format!("wire-conn-drop {}\n", self.wire_conn_drop_rate));
+        }
+        if self.wire_torn_request_rate > 0.0 {
+            out.push_str(&format!(
+                "wire-torn-request {}\n",
+                self.wire_torn_request_rate
+            ));
+        }
+        if self.wire_slow_client_ms > 0 {
+            out.push_str(&format!("wire-slow-client {}\n", self.wire_slow_client_ms));
+        }
+        if self.wire_daemon_kill_after > 0 {
+            out.push_str(&format!(
+                "wire-daemon-kill {}\n",
+                self.wire_daemon_kill_after
             ));
         }
         out
@@ -586,6 +664,106 @@ impl FaultInjector {
     }
 }
 
+/// What the wire does to one client→daemon exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// The exchange goes through untouched.
+    Clean,
+    /// The request line is torn mid-byte: the daemon receives a
+    /// truncated line (or nothing) and must answer with a protocol
+    /// error the client can retry on.
+    TornRequest,
+    /// The connection drops before the response arrives; the client
+    /// must reconnect and retry (idempotently).
+    ConnDrop,
+}
+
+/// Counters of what the wire injector actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Exchanges whose request line was torn.
+    pub torn_requests: u64,
+    /// Exchanges whose connection was dropped.
+    pub conn_drops: u64,
+    /// Exchanges delayed by the slow-client fault.
+    pub slowed: u64,
+}
+
+/// Client-side injector for the wire-level fault kinds: connection
+/// drops, torn request lines, and slow-client delays, drawn from their
+/// own seeded substream (6) so enabling wire faults never perturbs the
+/// sim-level fault pattern. The `wire-daemon-kill` kind is not drawn
+/// here — the soak harness consumes it directly (it SIGKILLs the real
+/// daemon process after N accepted sessions).
+#[derive(Debug, Clone)]
+pub struct WireInjector {
+    plan: FaultPlan,
+    rng: Rng,
+    stats: WireStats,
+}
+
+impl WireInjector {
+    /// Build a wire injector for a plan; draws derive from `plan.seed`.
+    pub fn new(plan: FaultPlan) -> WireInjector {
+        let root = Rng::new(plan.seed);
+        WireInjector {
+            rng: root.substream(6),
+            stats: WireStats::default(),
+            plan,
+        }
+    }
+
+    /// What the injector did so far.
+    pub fn stats(&self) -> WireStats {
+        self.stats
+    }
+
+    /// Draw the fate of one request exchange. With no wire fault rates
+    /// configured this returns [`WireFault::Clean`] without consuming
+    /// randomness.
+    pub fn next_fault(&mut self) -> WireFault {
+        if self.plan.wire_torn_request_rate > 0.0
+            && self.rng.next_f64() < self.plan.wire_torn_request_rate
+        {
+            self.stats.torn_requests += 1;
+            return WireFault::TornRequest;
+        }
+        if self.plan.wire_conn_drop_rate > 0.0
+            && self.rng.next_f64() < self.plan.wire_conn_drop_rate
+        {
+            self.stats.conn_drops += 1;
+            return WireFault::ConnDrop;
+        }
+        WireFault::Clean
+    }
+
+    /// Real-time delay a slow client inserts before each request, if
+    /// configured. Counted per call.
+    pub fn slow_client_delay(&mut self) -> Option<std::time::Duration> {
+        if self.plan.wire_slow_client_ms == 0 {
+            return None;
+        }
+        self.stats.slowed += 1;
+        Some(std::time::Duration::from_millis(
+            self.plan.wire_slow_client_ms,
+        ))
+    }
+
+    /// Tear a request line at a seed-drawn byte offset (at least one
+    /// byte short of complete; possibly empty), modelling a client cut
+    /// off mid-send.
+    pub fn tear_line(&mut self, line: &str) -> String {
+        if line.is_empty() {
+            return String::new();
+        }
+        let mut cut = self.rng.next_below(line.len() as u64) as usize;
+        while cut > 0 && !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        line[..cut].to_string()
+    }
+}
+
 /// Deterministically corrupt a history-store text artifact: truncate it
 /// at a seed-drawn point between 20 % and 80 % of its length, modelling
 /// a crash mid-write. The result is guaranteed to differ from `text`
@@ -658,6 +836,10 @@ mod tests {
             slow_collector: SimDuration::from_millis(2),
             request_storm_rate: 0.5,
             request_storm_burst: 4,
+            wire_conn_drop_rate: 0.0,
+            wire_torn_request_rate: 0.0,
+            wire_slow_client_ms: 0,
+            wire_daemon_kill_after: 0,
         }
     }
 
@@ -859,6 +1041,97 @@ mod tests {
         assert_eq!(a, run(3));
         assert_ne!(a, run(4));
         assert!(a.contains(&4) && a.contains(&0));
+    }
+
+    #[test]
+    fn wire_faults_round_trip_but_do_not_enable_the_sim_plan() {
+        let mut plan = FaultPlan::none();
+        plan.wire_conn_drop_rate = 0.1;
+        plan.wire_torn_request_rate = 0.05;
+        plan.wire_slow_client_ms = 20;
+        plan.wire_daemon_kill_after = 3;
+        assert!(plan.touches_wire());
+        // Wire faults live on the transport, not in the sim: the plan
+        // still counts as disabled so a zero-sim-fault remote run keeps
+        // the bit-identical bypass path.
+        assert!(plan.is_disabled());
+        let parsed = FaultPlan::parse(&plan.to_text()).unwrap();
+        assert_eq!(parsed, plan);
+        let stripped = plan.without_wire();
+        assert!(!stripped.touches_wire());
+        assert_eq!(stripped, FaultPlan::none());
+        // And a mixed plan strips to its sim half.
+        plan.drop_rate = 0.2;
+        assert!(!plan.is_disabled());
+        assert_eq!(plan.without_wire().drop_rate, 0.2);
+    }
+
+    #[test]
+    fn wire_parse_rejects_garbage() {
+        assert!(FaultPlan::parse("histpc-faults v1\nwire-conn-drop 1.5\n").is_err());
+        assert!(FaultPlan::parse("histpc-faults v1\nwire-torn-request\n").is_err());
+        assert!(FaultPlan::parse("histpc-faults v1\nwire-slow-client x\n").is_err());
+        assert!(FaultPlan::parse("histpc-faults v1\nwire-daemon-kill\n").is_err());
+    }
+
+    #[test]
+    fn wire_injector_is_deterministic_and_independent() {
+        let mut plan = FaultPlan::none();
+        plan.seed = 11;
+        plan.wire_conn_drop_rate = 0.3;
+        plan.wire_torn_request_rate = 0.2;
+        let run = |plan: &FaultPlan| {
+            let mut w = WireInjector::new(plan.clone());
+            (0..64).map(|_| w.next_fault()).collect::<Vec<_>>()
+        };
+        let a = run(&plan);
+        assert_eq!(a, run(&plan));
+        let mut other = plan.clone();
+        other.seed = 12;
+        assert_ne!(a, run(&other));
+        assert!(a.contains(&WireFault::Clean));
+        assert!(a.contains(&WireFault::ConnDrop));
+        assert!(a.contains(&WireFault::TornRequest));
+        // Enabling wire faults must not shift sim-level draws: the
+        // sample substream is independent of substream 6.
+        let base: Vec<Interval> = (0..50).map(|i| iv(0, i * 100, i * 100 + 90)).collect();
+        let mut sim_plan = lossy_plan();
+        sim_plan.kills.clear();
+        let mut with_wire = sim_plan.clone();
+        with_wire.wire_conn_drop_rate = 0.5;
+        let drain = |p: FaultPlan| {
+            let mut inj = FaultInjector::new(p);
+            inj.filter_intervals(base.clone(), SimTime::from_micros(10_000))
+        };
+        assert_eq!(drain(sim_plan), drain(with_wire));
+    }
+
+    #[test]
+    fn wire_injector_clean_plan_draws_nothing() {
+        let mut w = WireInjector::new(FaultPlan::none());
+        for _ in 0..8 {
+            assert_eq!(w.next_fault(), WireFault::Clean);
+        }
+        assert_eq!(w.slow_client_delay(), None);
+        assert_eq!(w.stats(), WireStats::default());
+    }
+
+    #[test]
+    fn slow_client_and_tear_line_behave() {
+        let mut plan = FaultPlan::none();
+        plan.wire_slow_client_ms = 15;
+        plan.wire_torn_request_rate = 1.0;
+        let mut w = WireInjector::new(plan);
+        assert_eq!(
+            w.slow_client_delay(),
+            Some(std::time::Duration::from_millis(15))
+        );
+        let line = "start tenant=alpha app=poisson-a label=r1";
+        let torn = w.tear_line(line);
+        assert!(torn.len() < line.len());
+        assert!(line.starts_with(&torn));
+        assert_eq!(w.tear_line(""), "");
+        assert!(w.stats().slowed == 1);
     }
 
     #[test]

@@ -67,26 +67,52 @@ pub fn fsck(root: &Path) -> Vec<Diagnostic> {
 
 fn check_lock(root: &Path, out: &mut Vec<Diagnostic>) {
     let lock_path = StoreLock::path_in(root);
-    match lock::read_holder(&lock_path) {
+    // Judge holder epochs against the store's persisted lease epoch, so
+    // fsck spots a previous daemon incarnation's lock even when the
+    // holder pid was reused by a live process.
+    let store_epoch = match crate::lease::current_epoch(root) {
+        0 => None,
+        e => Some(e),
+    };
+    match lock::read_holder_meta(&lock_path) {
         Ok(None) => {}
-        Ok(Some(0)) => out.push(
+        Ok(Some(meta)) if meta.pid == 0 => out.push(
             unclean(
                 &lock_path,
                 "malformed lock file (holder unknown)".to_string(),
             )
             .with_suggestion("reopen the store or run `histpc store repair` to clear it"),
         ),
-        Ok(Some(pid)) if lock::pid_alive(pid) => out.push(unclean(
-            &lock_path,
-            format!("store is locked by live process {pid} (a session may be writing right now)"),
-        )),
-        Ok(Some(pid)) => out.push(
+        Ok(Some(meta)) if !lock::pid_alive(meta.pid) => out.push(
             unclean(
                 &lock_path,
-                format!("stale lock left by dead process {pid} (unclean shutdown)"),
+                format!(
+                    "stale lock left by dead process {} (unclean shutdown)",
+                    meta.pid
+                ),
             )
             .with_suggestion("reopen the store or run `histpc store repair` to recover"),
         ),
+        Ok(Some(meta)) if lock::holder_stale_for(meta, store_epoch) => out.push(
+            unclean(
+                &lock_path,
+                format!(
+                    "stale lock from daemon epoch {} (store is at epoch {}); \
+                     holder pid {} may be a reused pid",
+                    meta.epoch.unwrap_or(0),
+                    store_epoch.unwrap_or(0),
+                    meta.pid
+                ),
+            )
+            .with_suggestion("reopen the store or run `histpc store repair` to recover"),
+        ),
+        Ok(Some(meta)) => out.push(unclean(
+            &lock_path,
+            format!(
+                "store is locked by live process {} (a session may be writing right now)",
+                meta.pid
+            ),
+        )),
         Err(e) => out.push(err(&lock_path, format!("cannot read lock file: {e}"))),
     }
 }
@@ -187,6 +213,11 @@ fn check_data_files(root: &Path, out: &mut Vec<Diagnostic>, m: Option<&Manifest>
         let Ok(entry) = entry else { continue };
         let Ok(ft) = entry.file_type() else { continue };
         if !ft.is_dir() {
+            continue;
+        }
+        if entry.file_name().to_string_lossy() == crate::lease::LEASE_DIR {
+            // Daemon control state, not data; orphaned leases are
+            // HL035's job (`histpc_history::lease::orphaned_leases_at`).
             continue;
         }
         let dir = entry.path();
@@ -449,6 +480,52 @@ mod tests {
         let diags = fsck(&dir);
         assert_eq!(codes(&diags), vec![CODE_LEGACY], "got {diags:?}");
         assert!(diags[0].message.contains("not in the manifest index"));
+    }
+
+    #[test]
+    fn lease_dir_is_not_data() {
+        // Daemon leases and the epoch counter live under LEASES/; a
+        // clean store stays clean with them present (no drift, no
+        // legacy findings).
+        let store = store_with_record("leases");
+        crate::lease::next_epoch(store.root()).unwrap();
+        crate::lease::write_lease(
+            store.root(),
+            &crate::lease::Lease {
+                tenant: "t1".into(),
+                app: "poisson".into(),
+                label: "a1".into(),
+                epoch: 1,
+                state: "active".into(),
+                spec: String::new(),
+            },
+        )
+        .unwrap();
+        let diags = fsck(store.root());
+        assert!(diags.is_empty(), "unexpected findings: {diags:?}");
+    }
+
+    #[test]
+    fn old_epoch_lock_is_stale_even_with_live_pid() {
+        let store = store_with_record("epochlock");
+        // Store is at epoch 2; a lock from epoch 1 whose pid is alive
+        // (ours, standing in for a reused pid) is a previous daemon
+        // incarnation — HL024 stale, not a live holder.
+        crate::lease::next_epoch(store.root()).unwrap();
+        crate::lease::next_epoch(store.root()).unwrap();
+        std::fs::write(
+            StoreLock::path_in(store.root()),
+            format!(
+                "{}\npid {}\nepoch 1\n",
+                lock::LOCK_HEADER,
+                std::process::id()
+            ),
+        )
+        .unwrap();
+        let diags = fsck(store.root());
+        let d = diags.iter().find(|d| d.code == CODE_UNCLEAN).unwrap();
+        assert!(d.message.contains("daemon epoch 1"), "got {diags:?}");
+        assert!(d.message.contains("epoch 2"), "got {diags:?}");
     }
 
     #[test]

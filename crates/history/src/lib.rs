@@ -11,9 +11,9 @@
 //! * [`store`] — a crash-consistent, directory-backed multi-execution
 //!   store: checksum-framed records ([`frame`]), a write-ahead
 //!   [`journal`], advisory multi-session [`lock`]ing, a versioned
-//!   [`manifest`], a read-only checker ([`fsck`]), and an advisory
+//!   [`manifest`], a read-only checker ([`fsck`]), an advisory
 //!   per-record derived-fact sidecar ([`factcache`]) for incremental
-//!   corpus analysis.
+//!   corpus analysis, and crash-safe daemon session [`lease`]s.
 //! * [`format`] — a line-oriented, human-diffable text serialization.
 //! * [`extract`] — directive harvesting: priorities from true/false
 //!   outcomes, historic prunes (trivial functions, false pairs, redundant
@@ -36,6 +36,7 @@ pub mod format;
 pub mod frame;
 pub mod fsck;
 pub mod journal;
+pub mod lease;
 pub mod lock;
 pub mod manifest;
 pub mod mapping;
@@ -51,6 +52,7 @@ pub use extract::{
 pub use factcache::FactCache;
 pub use format::FormatError;
 pub use fsck::fsck;
+pub use lease::Lease;
 pub use mapping::{LocatedMap, MappingSet};
 pub use record::ExecutionRecord;
 pub use store::{ExecutionStore, StoreError};

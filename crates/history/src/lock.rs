@@ -6,6 +6,7 @@
 //! ```text
 //! histpc-lock v1
 //! pid 41172
+//! epoch 7
 //! ```
 //!
 //! A crashed holder leaves the file behind; acquisition (and `fsck`)
@@ -13,6 +14,15 @@
 //! automatically. Contention against a *live* holder retries briefly —
 //! store mutations are millisecond-scale — and then fails with
 //! [`LockError::Held`] rather than deadlocking two sessions.
+//!
+//! The optional `epoch` line is written by daemon incarnations (see
+//! [`set_lease_epoch`]). PID liveness alone cannot tell a daemon's *own
+//! pre-crash* lock apart from a live foreign holder when the OS reuses
+//! the pid; a monotonic per-store lease epoch can. A holder whose
+//! recorded epoch is *older* than the current process epoch is a
+//! previous incarnation on the same store and is broken as stale even
+//! if its pid happens to name a live (reused) process. Plain CLI
+//! sessions never set an epoch and are judged by pid liveness alone.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -30,6 +40,28 @@ const GIVE_UP_AFTER: Duration = Duration::from_secs(2);
 /// Distinguishes concurrent acquires (tomb names, backoff decorrelation)
 /// within one process, where the pid alone cannot.
 static ACQUIRE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The current process's lease epoch; 0 means "unset" (plain CLI
+/// session). Stamped into every lock file this process writes.
+static LEASE_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Declares this process's monotonic lease epoch (a daemon incarnation
+/// number, persisted per store and bumped on every daemon start). Locks
+/// written afterwards carry an `epoch N` line, and [`StoreLock::acquire`]
+/// treats any holder with a *strictly older* epoch as stale — a previous
+/// incarnation of the daemon on this store — even if its pid was reused
+/// by a live process. Passing 0 clears the epoch.
+pub fn set_lease_epoch(epoch: u64) {
+    LEASE_EPOCH.store(epoch, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// The lease epoch declared via [`set_lease_epoch`], if any.
+pub fn lease_epoch() -> Option<u64> {
+    match LEASE_EPOCH.load(std::sync::atomic::Ordering::SeqCst) {
+        0 => None,
+        e => Some(e),
+    }
+}
 
 /// Deterministic decorrelated backoff: derived from the pid and a
 /// per-acquire nonce (never a wall clock or RNG), so two waiters that
@@ -89,21 +121,76 @@ pub fn pid_alive(pid: u32) -> bool {
     }
 }
 
+/// Who a lock file says holds it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HolderMeta {
+    /// Holder pid; 0 if the file was malformed (unknown, treated stale).
+    pub pid: u32,
+    /// Lease epoch the holder declared, if any (daemon incarnations
+    /// only; plain CLI locks carry no epoch line).
+    pub epoch: Option<u64>,
+}
+
 /// Reads the pid recorded in a lock file. `Ok(None)` if the file does
 /// not exist; a malformed file reads as pid 0 (unknown, treated stale).
 pub fn read_holder(lock_path: &Path) -> io::Result<Option<u32>> {
+    Ok(read_holder_meta(lock_path)?.map(|m| m.pid))
+}
+
+/// Reads the full holder metadata (pid + optional lease epoch) from a
+/// lock file. `Ok(None)` if the file does not exist; a malformed file
+/// reads as pid 0 with no epoch.
+pub fn read_holder_meta(lock_path: &Path) -> io::Result<Option<HolderMeta>> {
     match std::fs::read_to_string(lock_path) {
         Ok(text) => {
             let mut lines = text.lines();
             let header_ok = lines.next().map(str::trim) == Some(LOCK_HEADER);
-            let pid = lines
-                .next()
-                .and_then(|l| l.trim().strip_prefix("pid "))
-                .and_then(|p| p.trim().parse().ok());
-            Ok(Some(if header_ok { pid.unwrap_or(0) } else { 0 }))
+            if !header_ok {
+                return Ok(Some(HolderMeta {
+                    pid: 0,
+                    epoch: None,
+                }));
+            }
+            let mut pid = None;
+            let mut epoch = None;
+            for line in lines {
+                let line = line.trim();
+                if let Some(p) = line.strip_prefix("pid ") {
+                    pid = p.trim().parse().ok();
+                } else if let Some(e) = line.strip_prefix("epoch ") {
+                    epoch = e.trim().parse().ok();
+                }
+            }
+            Ok(Some(HolderMeta {
+                pid: pid.unwrap_or(0),
+                epoch,
+            }))
         }
         Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
         Err(e) => Err(e),
+    }
+}
+
+/// True if this holder should be treated as stale and broken: an
+/// unidentifiable or dead pid, or a declared epoch strictly older than
+/// this process's own lease epoch (a previous daemon incarnation whose
+/// pid may have been reused by an unrelated live process).
+pub fn holder_is_stale(meta: HolderMeta) -> bool {
+    holder_stale_for(meta, lease_epoch())
+}
+
+/// [`holder_is_stale`] against an explicit epoch instead of the
+/// process-global one. A holder is stale when its pid is unidentifiable
+/// or dead, or when both sides declare an epoch and the holder's is
+/// strictly older. A holder without an epoch line (plain CLI session)
+/// is judged by pid liveness alone.
+pub fn holder_stale_for(meta: HolderMeta, ours: Option<u64>) -> bool {
+    if meta.pid == 0 || !pid_alive(meta.pid) {
+        return true;
+    }
+    match (meta.epoch, ours) {
+        (Some(theirs), Some(ours)) => theirs < ours,
+        _ => false,
     }
 }
 
@@ -149,7 +236,10 @@ impl StoreLock {
             {
                 Ok(mut f) => {
                     use std::io::Write;
-                    write!(f, "{LOCK_HEADER}\npid {me}\n")?;
+                    match lease_epoch() {
+                        Some(e) => write!(f, "{LOCK_HEADER}\npid {me}\nepoch {e}\n")?,
+                        None => write!(f, "{LOCK_HEADER}\npid {me}\n")?,
+                    }
                     f.sync_all()?;
                     drop(f);
                     // Generation re-check: a waiter that read the
@@ -161,8 +251,12 @@ impl StoreLock {
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                    let holder = read_holder(&path)?.unwrap_or(0);
-                    if holder == 0 || !pid_alive(holder) {
+                    let meta = read_holder_meta(&path)?.unwrap_or(HolderMeta {
+                        pid: 0,
+                        epoch: None,
+                    });
+                    let holder = meta.pid;
+                    if holder_is_stale(meta) {
                         // Dead (or unidentifiable) holder: break this
                         // lock generation by renaming it aside. Exactly
                         // one breaker's rename succeeds; the losers see
@@ -176,10 +270,10 @@ impl StoreLock {
                             // refuses to clobber a newer claim, and the
                             // victim's own post-create re-check covers
                             // the remainder.
-                            let stolen = read_holder(&tomb)
+                            let stolen = read_holder_meta(&tomb)
                                 .ok()
                                 .flatten()
-                                .is_some_and(|p| p != 0 && pid_alive(p));
+                                .is_some_and(|m| !holder_is_stale(m));
                             if stolen {
                                 let _ = std::fs::hard_link(&tomb, &path);
                             }
@@ -343,5 +437,69 @@ mod tests {
         if Path::new("/proc").exists() {
             assert!(!pid_alive(DEAD_PID));
         }
+    }
+
+    #[test]
+    fn holder_meta_parses_with_and_without_epoch() {
+        let root = scratch("meta");
+        let path = StoreLock::path_in(&root);
+        std::fs::write(&path, format!("{LOCK_HEADER}\npid 41172\n")).unwrap();
+        assert_eq!(
+            read_holder_meta(&path).unwrap(),
+            Some(HolderMeta {
+                pid: 41172,
+                epoch: None
+            })
+        );
+        std::fs::write(&path, format!("{LOCK_HEADER}\npid 41172\nepoch 7\n")).unwrap();
+        assert_eq!(
+            read_holder_meta(&path).unwrap(),
+            Some(HolderMeta {
+                pid: 41172,
+                epoch: Some(7)
+            })
+        );
+        assert_eq!(read_holder(&path).unwrap(), Some(41172));
+        std::fs::write(&path, "not a lock\n").unwrap();
+        assert_eq!(
+            read_holder_meta(&path).unwrap(),
+            Some(HolderMeta {
+                pid: 0,
+                epoch: None
+            })
+        );
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(read_holder_meta(&path).unwrap(), None);
+    }
+
+    #[test]
+    fn epoch_staleness_rules() {
+        let me = std::process::id();
+        let live = |epoch| HolderMeta { pid: me, epoch };
+        // A live holder with no epoch is never epoch-stale.
+        assert!(!holder_stale_for(live(None), None));
+        assert!(!holder_stale_for(live(None), Some(9)));
+        // Same or newer epoch: live. Strictly older: a previous
+        // incarnation — stale even though the pid is alive.
+        assert!(!holder_stale_for(live(Some(3)), Some(3)));
+        assert!(!holder_stale_for(live(Some(4)), Some(3)));
+        assert!(holder_stale_for(live(Some(2)), Some(3)));
+        // Without a local epoch, a holder epoch is ignored.
+        assert!(!holder_stale_for(live(Some(2)), None));
+        // Dead or unknown pids stay stale regardless of epoch.
+        assert!(holder_stale_for(
+            HolderMeta {
+                pid: DEAD_PID,
+                epoch: Some(99)
+            },
+            None
+        ));
+        assert!(holder_stale_for(
+            HolderMeta {
+                pid: 0,
+                epoch: None
+            },
+            None
+        ));
     }
 }

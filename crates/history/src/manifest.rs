@@ -186,8 +186,9 @@ impl Manifest {
 
 /// Lists every data file in the store as `(rel_path, abs_path)`, sorted
 /// by relative path. Data files live one level down
-/// (`<app>/<label>.<ext>`); `.tmp`/`.corrupt` suffixes and the
-/// top-level control files are excluded.
+/// (`<app>/<label>.<ext>`); `.tmp`/`.corrupt` suffixes, the top-level
+/// control files, and the daemon's `LEASES/` control directory are
+/// excluded.
 pub fn scan_data_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
     let mut out = Vec::new();
     for entry in std::fs::read_dir(root)? {
@@ -196,6 +197,9 @@ pub fn scan_data_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
             continue;
         }
         let app = entry.file_name().to_string_lossy().to_string();
+        if app == crate::lease::LEASE_DIR {
+            continue;
+        }
         for file in std::fs::read_dir(entry.path())? {
             let file = file?;
             if !file.file_type()?.is_file() {
@@ -292,6 +296,10 @@ mod tests {
         std::fs::write(app.join("a1.shg"), "graph\n").unwrap();
         std::fs::write(app.join("a2.record.tmp"), "half").unwrap();
         std::fs::write(app.join("a3.record.corrupt"), "bad").unwrap();
+        // Daemon control state is not data: LEASES/ never indexes.
+        let leases = root.join(crate::lease::LEASE_DIR);
+        std::fs::create_dir_all(&leases).unwrap();
+        std::fs::write(leases.join("t1--x-00000000.lease"), "lease").unwrap();
         let mut m = Manifest::default();
         m.rebuild_index(&root).unwrap();
         let rels: Vec<&str> = m.entries.iter().map(|e| e.rel_path.as_str()).collect();

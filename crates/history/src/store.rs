@@ -584,6 +584,9 @@ pub fn orphaned_checkpoints_at(root: &Path) -> std::io::Result<Vec<(String, Stri
             continue;
         }
         let app = entry.file_name().to_string_lossy().to_string();
+        if app == crate::lease::LEASE_DIR {
+            continue;
+        }
         for file in std::fs::read_dir(entry.path())? {
             let file = file?;
             let name = file.file_name().to_string_lossy().to_string();

@@ -586,3 +586,31 @@ pub fn check_abandoned_checkpoints(root: &std::path::Path) -> Vec<Diagnostic> {
         })
         .collect()
 }
+
+/// HL035: orphaned daemon leases — a `histpcd` session lease with no
+/// checkpoint to re-adopt the session from (or a damaged lease file).
+/// A restarting daemon classifies such sessions abandoned; until one
+/// runs, the lease sits in the store recording work that silently went
+/// nowhere. Read-only: the store is scanned, not opened.
+pub fn check_orphaned_leases(root: &std::path::Path) -> Vec<Diagnostic> {
+    let Ok(orphans) = histpc_history::lease::orphaned_leases_at(root) else {
+        return Vec::new();
+    };
+    orphans
+        .into_iter()
+        .map(|(file, why)| {
+            Diagnostic::warning("HL035", format!("orphaned daemon lease: {why}"))
+                .with_file(
+                    root.join(histpc_history::lease::LEASE_DIR)
+                        .join(&file)
+                        .display()
+                        .to_string(),
+                )
+                .with_suggestion(
+                    "restart the daemon to classify the session abandoned, \
+                     or delete the lease file"
+                        .to_string(),
+                )
+        })
+        .collect()
+}

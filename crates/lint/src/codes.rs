@@ -119,6 +119,11 @@ pub const ALL: &[CodeInfo] = &[
         Severity::Warning,
         "abandoned session checkpoint: ckpt artifact with no matching completed record",
     ),
+    code(
+        "HL035",
+        Severity::Warning,
+        "orphaned daemon lease: lease with no checkpoint to re-adopt the session from",
+    ),
 ];
 
 const fn code(code: &'static str, severity: Severity, summary: &'static str) -> CodeInfo {

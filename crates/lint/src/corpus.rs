@@ -255,6 +255,7 @@ impl<'a> CorpusAnalyzer<'a> {
         diags.extend(crate::checks::check_abandoned_checkpoints(
             self.store.root(),
         ));
+        diags.extend(crate::checks::check_orphaned_leases(self.store.root()));
 
         Ok(CorpusAnalysis {
             report: LintReport::from(diags),

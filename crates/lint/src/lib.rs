@@ -45,10 +45,12 @@
 //! | HL032 | warning  | threshold drift: harvested threshold would hide a bottleneck observed in another run |
 //! | HL033 | warning  | dominated directive: another run's subtree prune makes it unreachable |
 //! | HL034 | warning  | abandoned session checkpoint: ckpt artifact with no matching completed record |
+//! | HL035 | warning  | orphaned daemon lease: lease with no checkpoint to re-adopt the session from |
 //!
 //! `HL030`–`HL033` are emitted by the cross-run [`corpus`] analyzer
 //! (`histpc lint corpus <store>`) rather than the per-file [`Linter`];
-//! `HL034` comes from both the analyzer and [`Linter::store`];
+//! `HL034` and `HL035` come from both the analyzer and
+//! [`Linter::store`];
 //! [`codes`] is the machine-readable registry of every code, and
 //! [`json`] serializes any report as stable `histpc-lint-report/v1`
 //! JSON.
@@ -238,7 +240,8 @@ impl<'a> Linter<'a> {
     /// [`histpc_history::fsck`]: record checksum/parse failures
     /// (`HL023`), unclean-shutdown evidence such as stale locks and torn
     /// journals (`HL024`), legacy-layout or manifest drift (`HL025`),
-    /// and abandoned session checkpoints (`HL034`).
+    /// abandoned session checkpoints (`HL034`), and orphaned daemon
+    /// leases (`HL035`).
     pub fn store(mut self, root: impl Into<std::path::PathBuf>) -> Self {
         self.store_roots.push(root.into());
         self
@@ -307,6 +310,7 @@ impl<'a> Linter<'a> {
         for root in &self.store_roots {
             diags.extend(histpc_history::fsck::fsck(root));
             diags.extend(checks::check_abandoned_checkpoints(root));
+            diags.extend(checks::check_orphaned_leases(root));
         }
         LintReport::from(diags)
     }

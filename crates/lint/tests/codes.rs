@@ -634,3 +634,81 @@ fn hl034_abandoned_session_checkpoint() {
         r.diagnostics
     );
 }
+
+#[test]
+fn hl035_orphaned_daemon_lease() {
+    use histpc_history::lease::{self, Lease};
+
+    let store = seeded_store("hl035");
+    let root = store.root().to_path_buf();
+
+    // A lease whose session has a checkpoint is re-adoptable: a
+    // restarting daemon resumes it, so there is nothing to warn about.
+    let ckpt = "histpc-ckpt v1\nat_us 5\ndigest 1\n";
+    store.save_artifact("poisson", "a1", "ckpt", ckpt).unwrap();
+    lease::write_lease(
+        &root,
+        &Lease {
+            tenant: "team-a".into(),
+            app: "poisson".into(),
+            label: "a1".into(),
+            epoch: 1,
+            state: "active".into(),
+            spec: String::new(),
+        },
+    )
+    .unwrap();
+    let r = Linter::new().store(&root).run();
+    assert!(
+        r.with_code("HL035").is_empty(),
+        "diags: {:?}",
+        r.diagnostics
+    );
+
+    // A lease with no checkpoint cannot be re-adopted; a damaged lease
+    // file names nothing at all. Both are HL035.
+    lease::write_lease(
+        &root,
+        &Lease {
+            tenant: "team-b".into(),
+            app: "poisson".into(),
+            label: "ghost".into(),
+            epoch: 1,
+            state: "active".into(),
+            spec: String::new(),
+        },
+    )
+    .unwrap();
+    std::fs::write(
+        root.join(lease::LEASE_DIR).join("torn.lease"),
+        "histpc-frame v1 99 deadbeef\ntruncated",
+    )
+    .unwrap();
+    let r = Linter::new().store(&root).run();
+    let hits = r.with_code("HL035");
+    assert_eq!(hits.len(), 2, "diags: {:?}", r.diagnostics);
+    assert!(hits.iter().all(|h| h.severity == Severity::Warning));
+    assert!(
+        hits.iter().any(|h| h.message.contains("poisson/ghost")),
+        "hits: {hits:?}"
+    );
+    assert!(
+        hits.iter().any(|h| h.message.contains("damaged")),
+        "hits: {hits:?}"
+    );
+    assert!(hits[0]
+        .suggestion
+        .as_deref()
+        .unwrap_or_default()
+        .contains("daemon"));
+
+    // Clearing the debris clears the findings.
+    assert!(lease::remove_lease(&root, "team-b", "ghost").unwrap());
+    std::fs::remove_file(root.join(lease::LEASE_DIR).join("torn.lease")).unwrap();
+    let r = Linter::new().store(&root).run();
+    assert!(
+        r.with_code("HL035").is_empty(),
+        "diags: {:?}",
+        r.diagnostics
+    );
+}
