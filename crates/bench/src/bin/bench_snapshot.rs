@@ -45,7 +45,7 @@ fn read_snapshot(path: &str) -> Snapshot {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out: Option<String> = None;
-    let mut pr: u64 = 9;
+    let mut pr: u64 = 10;
     let mut before_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut quick = false;
@@ -156,6 +156,17 @@ fn main() {
         println!(
             "daemon     run : {:>9.1} ms  in-process={:.1} ms  overhead={}  identical={}",
             d.daemon_wall_ms, d.inprocess_wall_ms, overhead, d.identical
+        );
+    }
+    if let Some(p) = &snap.after.poison {
+        let retention = p
+            .retention()
+            .map(|r| format!("{:.0}%", r * 100.0))
+            .unwrap_or_else(|| "n/a".into());
+        println!(
+            "poisoned   run : {:>9.1} ms  injected={} audits={} revocations={} \
+             mislabeled={} retention={}",
+            p.wall_ms, p.injected, p.audits, p.revocations, p.mislabeled, retention
         );
     }
     println!(

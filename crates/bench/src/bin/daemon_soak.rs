@@ -401,6 +401,8 @@ fn main() {
             max_time_ms: 120_000,
             faults: Some("histpc-faults v1\nseed 5\ncrash-tool 1000000\n".into()),
             budget: None,
+            harvest_from: None,
+            audit_budget: None,
         };
         let store_app = histpc::apps::build_workload("tester", Some(5))
             .expect("tester app")

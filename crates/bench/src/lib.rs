@@ -11,6 +11,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod poison;
 pub mod snapshot;
 
 pub use experiments::*;
+pub use poison::{run_poison_soak, run_poison_version, PoisonKind, PoisonSoak};

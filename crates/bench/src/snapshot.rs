@@ -179,6 +179,51 @@ impl DaemonMeasurement {
     }
 }
 
+/// Timing and invariants of the poisoned-vs-clean scenario: Poisson
+/// version D diagnosed three ways — unguided, steered by clean
+/// harvested history, and steered by the same history with every
+/// poison kind applied at the acceptance rate and the shadow-audit
+/// loop armed — so the snapshot tracks what trusting history costs
+/// when the history lies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoisonMeasurement {
+    /// Host wall-clock time of the whole scenario in ms (timing).
+    pub wall_ms: f64,
+    /// Every bottleneck the unguided run finds survived the poisoned
+    /// history (deterministic; must stay true).
+    pub complete: bool,
+    /// Adversarial directive edits injected (deterministic).
+    pub injected: u64,
+    /// Audit outcomes the poisoned run recorded (deterministic).
+    pub audits: u64,
+    /// Audits that convicted and revoked their directive (deterministic).
+    pub revocations: u64,
+    /// Revocations naming anything but the poisoned source
+    /// (deterministic; must stay 0).
+    pub mislabeled: u64,
+    /// App time of the last bottleneck in the unguided run, in
+    /// microseconds (deterministic).
+    pub base_us: Option<u64>,
+    /// Same, steered by clean history (deterministic).
+    pub clean_us: Option<u64>,
+    /// Same, steered by poisoned history with audits armed
+    /// (deterministic).
+    pub poisoned_us: Option<u64>,
+    /// Trust-ledger score of the poisoned source after the run
+    /// (deterministic).
+    pub score: u64,
+}
+
+impl PoisonMeasurement {
+    /// Fraction of the clean-history saving the poisoned run kept
+    /// (deterministic-derived; the acceptance floor is 0.5).
+    pub fn retention(&self) -> Option<f64> {
+        let (base, clean, poisoned) = (self.base_us?, self.clean_us?, self.poisoned_us?);
+        let clean_saving = base.saturating_sub(clean);
+        (clean_saving > 0).then(|| base.saturating_sub(poisoned) as f64 / clean_saving as f64)
+    }
+}
+
 /// Raw simulator event throughput.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimMeasurement {
@@ -209,6 +254,8 @@ pub struct PhaseMeasurements {
     /// Daemon-vs-in-process overhead (absent in snapshots predating
     /// PR 9).
     pub daemon: Option<DaemonMeasurement>,
+    /// Poisoned-vs-clean history (absent in snapshots predating PR 10).
+    pub poison: Option<PoisonMeasurement>,
     /// Raw simulator throughput.
     pub sim: SimMeasurement,
 }
@@ -652,6 +699,26 @@ pub fn measure_daemon(sessions: usize) -> DaemonMeasurement {
     }
 }
 
+/// Times the poisoned-vs-clean scenario: version D under the combined
+/// poison plan at the acceptance rate, with the shadow-audit loop
+/// armed at the soak budget.
+pub fn measure_poison() -> PoisonMeasurement {
+    let t = Instant::now();
+    let r = crate::run_poison_version(PoissonVersion::D, &crate::PoisonKind::All.plan());
+    PoisonMeasurement {
+        wall_ms: ms(t),
+        complete: r.missed.is_empty(),
+        injected: r.summary.total() as u64,
+        audits: r.audits as u64,
+        revocations: r.revocations as u64,
+        mislabeled: r.mislabeled_revocations as u64,
+        base_us: r.base_us,
+        clean_us: r.clean_us,
+        poisoned_us: r.poisoned_us,
+        score: u64::from(r.score),
+    }
+}
+
 /// Times a raw (collector-free) engine run of a Poisson version,
 /// draining in driver-sized steps, and reports event throughput.
 pub fn measure_sim_throughput(
@@ -705,6 +772,7 @@ pub fn measure_full() -> PhaseMeasurements {
         corpus: Some(measure_corpus(1000)),
         supervised: Some(measure_supervised()),
         daemon: Some(measure_daemon(4)),
+        poison: Some(measure_poison()),
         sim: measure_sim_throughput(
             PoissonVersion::D,
             SimDuration::from_secs(900),
@@ -723,6 +791,9 @@ pub fn measure_quick() -> PhaseMeasurements {
         corpus: Some(measure_corpus(60)),
         supervised: Some(measure_supervised_quick()),
         daemon: Some(measure_daemon(2)),
+        // The poison scenario needs three full version-D diagnoses —
+        // release-profile territory.
+        poison: None,
         sim: measure_sim_throughput(
             PoissonVersion::A,
             SimDuration::from_secs(20),
@@ -987,6 +1058,76 @@ pub fn invariant_regressions(want: &PhaseMeasurements, got: &PhaseMeasurements) 
                 "identical",
                 w.identical.to_string(),
                 g.identical.to_string(),
+            );
+        }
+    }
+    match (&want.poison, &got.poison) {
+        (None, _) => {}
+        (Some(_), None) => out.push("poison: scenario missing".into()),
+        (Some(w), Some(g)) => {
+            let s = "poison";
+            diff(
+                &mut out,
+                s,
+                "complete",
+                w.complete.to_string(),
+                g.complete.to_string(),
+            );
+            diff(
+                &mut out,
+                s,
+                "injected",
+                w.injected.to_string(),
+                g.injected.to_string(),
+            );
+            diff(
+                &mut out,
+                s,
+                "audits",
+                w.audits.to_string(),
+                g.audits.to_string(),
+            );
+            diff(
+                &mut out,
+                s,
+                "revocations",
+                w.revocations.to_string(),
+                g.revocations.to_string(),
+            );
+            diff(
+                &mut out,
+                s,
+                "mislabeled",
+                w.mislabeled.to_string(),
+                g.mislabeled.to_string(),
+            );
+            diff(
+                &mut out,
+                s,
+                "base_us",
+                format!("{:?}", w.base_us),
+                format!("{:?}", g.base_us),
+            );
+            diff(
+                &mut out,
+                s,
+                "clean_us",
+                format!("{:?}", w.clean_us),
+                format!("{:?}", g.clean_us),
+            );
+            diff(
+                &mut out,
+                s,
+                "poisoned_us",
+                format!("{:?}", w.poisoned_us),
+                format!("{:?}", g.poisoned_us),
+            );
+            diff(
+                &mut out,
+                s,
+                "score",
+                w.score.to_string(),
+                g.score.to_string(),
             );
         }
     }
@@ -1422,6 +1563,20 @@ fn phase_to_json(p: &PhaseMeasurements) -> Json {
             ("identical".into(), Json::Bool(d.identical)),
         ])
     });
+    let poison = p.poison.as_ref().map_or(Json::Null, |x| {
+        Json::Obj(vec![
+            ("wall_ms".into(), Json::Num(x.wall_ms)),
+            ("complete".into(), Json::Bool(x.complete)),
+            ("injected".into(), num(x.injected)),
+            ("audits".into(), num(x.audits)),
+            ("revocations".into(), num(x.revocations)),
+            ("mislabeled".into(), num(x.mislabeled)),
+            ("base_us".into(), opt_num(x.base_us)),
+            ("clean_us".into(), opt_num(x.clean_us)),
+            ("poisoned_us".into(), opt_num(x.poisoned_us)),
+            ("score".into(), num(x.score)),
+        ])
+    });
     Json::Obj(vec![
         (
             "diagnosis".into(),
@@ -1432,6 +1587,7 @@ fn phase_to_json(p: &PhaseMeasurements) -> Json {
         ("corpus".into(), corpus),
         ("supervised".into(), supervised),
         ("daemon".into(), daemon),
+        ("poison".into(), poison),
         (
             "sim".into(),
             Json::Obj(vec![
@@ -1618,6 +1774,34 @@ fn phase_from_json(j: &Json) -> Result<PhaseMeasurements, String> {
             identical: field_bool(d, "identical")?,
         }),
     };
+    // Absent in snapshots predating PR 10 — parse both missing and null
+    // as "not measured".
+    let poison = match j.get("poison") {
+        None | Some(Json::Null) => None,
+        Some(x) => {
+            let opt_us = |key: &str| -> Result<Option<u64>, String> {
+                match field(x, key)? {
+                    Json::Null => Ok(None),
+                    v => v
+                        .as_u64()
+                        .map(Some)
+                        .ok_or_else(|| format!("{key:?} is not an integer")),
+                }
+            };
+            Some(PoisonMeasurement {
+                wall_ms: field_f64(x, "wall_ms")?,
+                complete: field_bool(x, "complete")?,
+                injected: field_u64(x, "injected")?,
+                audits: field_u64(x, "audits")?,
+                revocations: field_u64(x, "revocations")?,
+                mislabeled: field_u64(x, "mislabeled")?,
+                base_us: opt_us("base_us")?,
+                clean_us: opt_us("clean_us")?,
+                poisoned_us: opt_us("poisoned_us")?,
+                score: field_u64(x, "score")?,
+            })
+        }
+    };
     let sim = field(j, "sim")?;
     Ok(PhaseMeasurements {
         diagnosis,
@@ -1626,6 +1810,7 @@ fn phase_from_json(j: &Json) -> Result<PhaseMeasurements, String> {
         corpus,
         supervised,
         daemon,
+        poison,
         sim: SimMeasurement {
             wall_ms: field_f64(sim, "wall_ms")?,
             events: field_u64(sim, "events")?,
@@ -1696,6 +1881,18 @@ mod tests {
                 completed: 4,
                 identical: true,
             }),
+            poison: Some(PoisonMeasurement {
+                wall_ms: 3000.75,
+                complete: true,
+                injected: 266,
+                audits: 119,
+                revocations: 87,
+                mislabeled: 0,
+                base_us: Some(324_000_000),
+                clean_us: Some(20_250_000),
+                poisoned_us: Some(69_750_000),
+                score: 0,
+            }),
             sim: SimMeasurement {
                 wall_ms: 100.0,
                 events: 123_456,
@@ -1742,6 +1939,7 @@ mod tests {
         phase.corpus = None;
         phase.supervised = None;
         phase.daemon = None;
+        phase.poison = None;
         let with_null = Snapshot {
             schema: SCHEMA.into(),
             pr: 6,
@@ -1752,12 +1950,14 @@ mod tests {
         assert!(with_null.contains("\"corpus\": null"));
         assert!(with_null.contains("\"supervised\": null"));
         assert!(with_null.contains("\"daemon\": null"));
+        assert!(with_null.contains("\"poison\": null"));
         let without_key: String = with_null
             .lines()
             .filter(|l| {
                 !l.contains("\"corpus\"")
                     && !l.contains("\"supervised\"")
                     && !l.contains("\"daemon\"")
+                    && !l.contains("\"poison\"")
             })
             .collect::<Vec<_>>()
             .join("\n");
@@ -1766,8 +1966,28 @@ mod tests {
             assert!(back.after.corpus.is_none());
             assert!(back.after.supervised.is_none());
             assert!(back.after.daemon.is_none());
+            assert!(back.after.poison.is_none());
             assert!(invariant_regressions(&back.after, &sample_phase()).is_empty());
         }
+    }
+
+    #[test]
+    fn poison_fields_are_deterministic_except_wall_time() {
+        let a = sample_phase();
+        let mut b = sample_phase();
+        b.poison.as_mut().unwrap().wall_ms *= 10.0;
+        assert!(invariant_regressions(&a, &b).is_empty());
+        b.poison.as_mut().unwrap().complete = false;
+        b.poison.as_mut().unwrap().mislabeled = 3;
+        b.poison.as_mut().unwrap().poisoned_us = Some(300_000_000);
+        let msgs = invariant_regressions(&a, &b);
+        assert_eq!(msgs.len(), 3, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("complete")));
+        assert!(msgs.iter().any(|m| m.contains("mislabeled")));
+        assert!(msgs.iter().any(|m| m.contains("poisoned_us")));
+        let p = a.poison.as_ref().unwrap();
+        let retention = p.retention().unwrap();
+        assert!(retention > 0.5, "fixture retention {retention}");
     }
 
     #[test]

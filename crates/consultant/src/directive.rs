@@ -57,6 +57,50 @@ impl PriorityLevel {
     }
 }
 
+/// Where a directive came from: the stored run whose extraction
+/// produced it and the store manifest generation current at harvest
+/// time. Provenance rides beside the directives in a side table keyed
+/// by canonical line (see [`SearchDirectives::provenance_of`]) so that
+/// directive equality, hashing, and `to_text` never see it — a
+/// provenance-stamped set serializes byte-identically to an unstamped
+/// one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Provenance {
+    /// Source run id, `app/label` (daemon harvests prefix the tenant).
+    pub source_run: String,
+    /// Store manifest generation at harvest time (0 for v0 stores).
+    pub generation: u64,
+}
+
+impl Provenance {
+    /// A provenance marker.
+    pub fn new(source_run: impl Into<String>, generation: u64) -> Provenance {
+        Provenance {
+            source_run: source_run.into(),
+            generation,
+        }
+    }
+
+    /// Stable `source@generation` rendering, as written by
+    /// [`SearchDirectives::to_annotated_text`].
+    pub fn tag(&self) -> String {
+        format!("{}@{}", self.source_run, self.generation)
+    }
+
+    /// Parses the `source@generation` form (the generation is the part
+    /// after the *last* `@`, so source run ids may contain `@`).
+    pub fn parse_tag(s: &str) -> Option<Provenance> {
+        let (source, gen) = s.rsplit_once('@')?;
+        if source.is_empty() {
+            return None;
+        }
+        Some(Provenance {
+            source_run: source.to_string(),
+            generation: gen.parse().ok()?,
+        })
+    }
+}
+
 /// What a pruning directive removes.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum PruneTarget {
@@ -103,6 +147,17 @@ impl Prune {
             },
         }
     }
+
+    /// The canonical `prune ...` line this directive serializes to (no
+    /// trailing newline) — the stable key for provenance and trust
+    /// bookkeeping.
+    pub fn line(&self) -> String {
+        let hyp = self.hypothesis.as_deref().unwrap_or("*");
+        match &self.target {
+            PruneTarget::Resource(r) => format!("prune {hyp} resource {r}"),
+            PruneTarget::Pair(f) => format!("prune {hyp} pair {f}"),
+        }
+    }
 }
 
 /// A priority directive for one hypothesis/focus pair.
@@ -116,6 +171,18 @@ pub struct PriorityDirective {
     pub level: PriorityLevel,
 }
 
+impl PriorityDirective {
+    /// The canonical `priority ...` line (no trailing newline).
+    pub fn line(&self) -> String {
+        format!(
+            "priority {} {} {}",
+            self.level.name(),
+            self.hypothesis,
+            self.focus
+        )
+    }
+}
+
 /// A threshold directive for one hypothesis.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThresholdDirective {
@@ -123,6 +190,13 @@ pub struct ThresholdDirective {
     pub hypothesis: String,
     /// Fraction of execution time (0..1).
     pub value: f64,
+}
+
+impl ThresholdDirective {
+    /// The canonical `threshold ...` line (no trailing newline).
+    pub fn line(&self) -> String {
+        format!("threshold {} {}", self.hypothesis, self.value)
+    }
 }
 
 /// A complete set of search directives.
@@ -136,6 +210,11 @@ pub struct SearchDirectives {
     pub thresholds: Vec<ThresholdDirective>,
     /// Index for exact-pair priority lookups.
     priority_index: HashMap<(String, Focus), PriorityLevel>,
+    /// Provenance side table, keyed by canonical directive line. Never
+    /// consulted by equality or serialization (`to_text`): a stamped
+    /// set and an unstamped one are byte-identical on disk unless the
+    /// caller asks for [`to_annotated_text`](Self::to_annotated_text).
+    provenance: HashMap<String, Provenance>,
 }
 
 impl SearchDirectives {
@@ -169,6 +248,78 @@ impl SearchDirectives {
     /// True if (hypothesis, focus) is pruned.
     pub fn is_pruned(&self, hyp: &str, focus: &Focus) -> bool {
         self.prunes.iter().any(|p| p.matches(hyp, focus))
+    }
+
+    /// The first prune that removes (hypothesis, focus), if any — the
+    /// one a shadow audit would hold accountable.
+    pub fn prune_matching(&self, hyp: &str, focus: &Focus) -> Option<&Prune> {
+        self.prunes.iter().find(|p| p.matches(hyp, focus))
+    }
+
+    /// Removes the directive serializing to `line`, along with its
+    /// provenance entry. Returns true if anything was removed. This is
+    /// how a shadow audit **revokes** a convicted directive mid-search:
+    /// once removed, `is_pruned`/`threshold_for` stop honouring it and
+    /// the consultant can reopen the subtree it was hiding.
+    pub fn remove_by_line(&mut self, line: &str) -> bool {
+        let before = self.len();
+        self.prunes.retain(|p| p.line() != line);
+        let mut removed_pairs = Vec::new();
+        self.priorities.retain(|p| {
+            if p.line() == line {
+                removed_pairs.push((p.hypothesis.clone(), p.focus.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        for key in removed_pairs {
+            self.priority_index.remove(&key);
+        }
+        self.thresholds.retain(|t| t.line() != line);
+        self.provenance.remove(line);
+        self.len() != before
+    }
+
+    /// Records where the directive serializing to `line` came from.
+    pub fn set_provenance(&mut self, line: impl Into<String>, p: Provenance) {
+        self.provenance.insert(line.into(), p);
+    }
+
+    /// The recorded provenance of the directive serializing to `line`.
+    pub fn provenance_of(&self, line: &str) -> Option<&Provenance> {
+        self.provenance.get(line)
+    }
+
+    /// Stamps every directive that does not yet carry provenance with
+    /// `source_run@generation`. Harvest calls this so each applied
+    /// prune/priority/threshold can name the run that caused it.
+    pub fn stamp_provenance(&mut self, source_run: &str, generation: u64) {
+        for line in self.lines() {
+            self.provenance
+                .entry(line)
+                .or_insert_with(|| Provenance::new(source_run, generation));
+        }
+    }
+
+    /// Copies provenance from `from` for every directive present in
+    /// `self` that lacks it — used after filtering/merging a stamped
+    /// set so the survivors keep naming their source runs.
+    pub fn adopt_provenance(&mut self, from: &SearchDirectives) {
+        for line in self.lines() {
+            if let Some(p) = from.provenance.get(&line) {
+                self.provenance.entry(line).or_insert_with(|| p.clone());
+            }
+        }
+    }
+
+    /// Canonical lines of every directive, in serialization order.
+    pub fn lines(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(self.prunes.iter().map(Prune::line));
+        out.extend(self.priorities.iter().map(PriorityDirective::line));
+        out.extend(self.thresholds.iter().map(ThresholdDirective::line));
+        out
     }
 
     /// The priority of (hypothesis, focus); Medium unless directed.
@@ -218,32 +369,44 @@ impl SearchDirectives {
         for t in &other.thresholds {
             self.add_threshold(t.clone());
         }
+        self.adopt_provenance(other);
     }
 
-    /// Serializes to the line-oriented text form.
+    /// Serializes to the line-oriented text form. Provenance is never
+    /// written — harvest baselines, fact-cache keys, and conflict-pass
+    /// dedupe lines all compare this output byte-for-byte.
     pub fn to_text(&self) -> String {
+        self.render(false)
+    }
+
+    /// Like [`to_text`](Self::to_text) but appends ` from source@gen`
+    /// to every directive with recorded provenance. The output is
+    /// still parseable: [`parse`](Self::parse) recovers both the
+    /// directives and their provenance.
+    pub fn to_annotated_text(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, annotated: bool) -> String {
         let mut out = String::from("# histpc search directives v1\n");
-        for p in &self.prunes {
-            let hyp = p.hypothesis.as_deref().unwrap_or("*");
-            match &p.target {
-                PruneTarget::Resource(r) => {
-                    out.push_str(&format!("prune {hyp} resource {r}\n"));
-                }
-                PruneTarget::Pair(f) => {
-                    out.push_str(&format!("prune {hyp} pair {f}\n"));
-                }
+        let mut push = |line: String, prov: &HashMap<String, Provenance>| match prov
+            .get(&line)
+            .filter(|_| annotated)
+        {
+            Some(p) => out.push_str(&format!("{line} from {}\n", p.tag())),
+            None => {
+                out.push_str(&line);
+                out.push('\n');
             }
+        };
+        for p in &self.prunes {
+            push(p.line(), &self.provenance);
         }
         for p in &self.priorities {
-            out.push_str(&format!(
-                "priority {} {} {}\n",
-                p.level.name(),
-                p.hypothesis,
-                p.focus
-            ));
+            push(p.line(), &self.provenance);
         }
         for t in &self.thresholds {
-            out.push_str(&format!("threshold {} {}\n", t.hypothesis, t.value));
+            push(t.line(), &self.provenance);
         }
         out
     }
@@ -260,7 +423,8 @@ impl SearchDirectives {
         }
     }
 
-    /// Builds a directive set from located directives (spans discarded).
+    /// Builds a directive set from located directives (spans discarded,
+    /// parsed provenance annotations preserved).
     pub fn from_located(located: &[LocatedDirective]) -> SearchDirectives {
         let mut out = SearchDirectives::none();
         for l in located {
@@ -268,6 +432,9 @@ impl SearchDirectives {
                 Directive::Prune(p) => out.add_prune(p.clone()),
                 Directive::Priority(p) => out.add_priority(p.clone()),
                 Directive::Threshold(t) => out.add_threshold(t.clone()),
+            }
+            if let Some(p) = &l.provenance {
+                out.set_provenance(l.directive.line(), p.clone());
             }
         }
         out
@@ -295,6 +462,15 @@ impl Directive {
             Directive::Threshold(t) => Some(&t.hypothesis),
         }
     }
+
+    /// The canonical line this directive serializes to.
+    pub fn line(&self) -> String {
+        match self {
+            Directive::Prune(p) => p.line(),
+            Directive::Priority(p) => p.line(),
+            Directive::Threshold(t) => t.line(),
+        }
+    }
 }
 
 /// A parsed directive together with the source spans linters need to
@@ -310,6 +486,8 @@ pub struct LocatedDirective {
     pub hypothesis_span: Span,
     /// Span of the target/value part of the line.
     pub value_span: Span,
+    /// Provenance parsed from a trailing ` from source@gen` annotation.
+    pub provenance: Option<Provenance>,
 }
 
 const DIRECTIVE_KINDS: [&str; 3] = ["prune", "priority", "threshold"];
@@ -335,9 +513,24 @@ pub fn parse_with_spans(text: &str, file: &str) -> (Vec<LocatedDirective>, Vec<D
     (located, diags)
 }
 
+/// Splits a trailing ` from source@gen` provenance annotation off a
+/// token list. Only splits when the annotation actually parses, so a
+/// hypothesis or resource that merely resembles one is left alone.
+fn split_provenance<'a, 'b>(
+    tokens: &'b [histpc_resources::diag::Token<'a>],
+) -> (&'b [histpc_resources::diag::Token<'a>], Option<Provenance>) {
+    if tokens.len() >= 4 && tokens[tokens.len() - 2].text == "from" {
+        if let Some(p) = Provenance::parse_tag(tokens[tokens.len() - 1].text) {
+            return (&tokens[..tokens.len() - 2], Some(p));
+        }
+    }
+    (tokens, None)
+}
+
 /// Parses one non-blank, non-comment directive line.
 fn parse_line(raw: &str, lineno: usize, file: &str) -> Result<LocatedDirective, Diagnostic> {
     let tokens = tokenize(raw);
+    let (tokens, provenance) = split_provenance(&tokens);
     let kind = tokens[0];
     let line_span = Span::new(
         lineno,
@@ -398,6 +591,7 @@ fn parse_line(raw: &str, lineno: usize, file: &str) -> Result<LocatedDirective, 
                 span: line_span,
                 hypothesis_span: hyp.span(lineno),
                 value_span,
+                provenance,
             })
         }
         "priority" => {
@@ -438,6 +632,7 @@ fn parse_line(raw: &str, lineno: usize, file: &str) -> Result<LocatedDirective, 
                 span: line_span,
                 hypothesis_span: hyp.span(lineno),
                 value_span,
+                provenance,
             })
         }
         "threshold" => {
@@ -470,6 +665,7 @@ fn parse_line(raw: &str, lineno: usize, file: &str) -> Result<LocatedDirective, 
                 span: line_span,
                 hypothesis_span: hyp.span(lineno),
                 value_span: value_tok.span(lineno),
+                provenance,
             })
         }
         other => {
@@ -669,6 +865,106 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.threshold_for("CPUbound"), Some(0.1));
         assert_eq!(a.prunes.len(), 1);
+    }
+
+    #[test]
+    fn provenance_is_invisible_to_text_and_survives_annotation() {
+        let mut d = SearchDirectives::none();
+        d.add_prune(Prune {
+            hypothesis: Some("CPUbound".into()),
+            target: PruneTarget::Resource(n("/Code/diff.f")),
+        });
+        d.add_threshold(ThresholdDirective {
+            hypothesis: "CPUbound".into(),
+            value: 0.25,
+        });
+        let plain = d.to_text();
+        d.stamp_provenance("app/run1", 7);
+        // Stamping never perturbs the canonical serialization.
+        assert_eq!(d.to_text(), plain);
+        let annotated = d.to_annotated_text();
+        assert!(annotated.contains("prune CPUbound resource /Code/diff.f from app/run1@7"));
+        assert!(annotated.contains("threshold CPUbound 0.25 from app/run1@7"));
+        // Round trip: directives and provenance both come back.
+        let parsed = SearchDirectives::parse(&annotated).unwrap();
+        assert_eq!(parsed.prunes, d.prunes);
+        assert_eq!(
+            parsed.provenance_of("prune CPUbound resource /Code/diff.f"),
+            Some(&Provenance::new("app/run1", 7))
+        );
+        // And the canonical text of the round-tripped set is unchanged.
+        assert_eq!(parsed.to_text(), plain);
+    }
+
+    #[test]
+    fn stamp_does_not_overwrite_existing_provenance() {
+        let mut d = SearchDirectives::none();
+        d.add_threshold(ThresholdDirective {
+            hypothesis: "CPUbound".into(),
+            value: 0.3,
+        });
+        d.set_provenance("threshold CPUbound 0.3", Provenance::new("app/old", 1));
+        d.stamp_provenance("app/new", 9);
+        assert_eq!(
+            d.provenance_of("threshold CPUbound 0.3"),
+            Some(&Provenance::new("app/old", 1))
+        );
+    }
+
+    #[test]
+    fn merge_adopts_provenance_of_adopted_directives() {
+        let mut a = SearchDirectives::none();
+        let mut b = SearchDirectives::none();
+        b.add_prune(Prune {
+            hypothesis: None,
+            target: PruneTarget::Resource(n("/Machine")),
+        });
+        b.stamp_provenance("app/src", 3);
+        a.merge(&b);
+        assert_eq!(
+            a.provenance_of("prune * resource /Machine"),
+            Some(&Provenance::new("app/src", 3))
+        );
+    }
+
+    #[test]
+    fn provenance_tag_roundtrip_and_rejects_garbage() {
+        let p = Provenance::new("tenant/app/run", 12);
+        assert_eq!(Provenance::parse_tag(&p.tag()), Some(p));
+        assert_eq!(Provenance::parse_tag("nogeneration"), None);
+        assert_eq!(Provenance::parse_tag("run@notanumber"), None);
+        assert_eq!(Provenance::parse_tag("@7"), None);
+    }
+
+    #[test]
+    fn remove_by_line_revokes_exactly_one_directive() {
+        let mut d = SearchDirectives::none();
+        d.add_prune(Prune {
+            hypothesis: Some("CPUbound".into()),
+            target: PruneTarget::Pair(wp()),
+        });
+        d.add_priority(PriorityDirective {
+            hypothesis: "CPUbound".into(),
+            focus: wp(),
+            level: PriorityLevel::Low,
+        });
+        d.add_threshold(ThresholdDirective {
+            hypothesis: "CPUbound".into(),
+            value: 0.9,
+        });
+        d.stamp_provenance("app/evil", 4);
+        assert!(d.remove_by_line("prune CPUbound pair </Code,/Machine,/Process,/SyncObject>"));
+        assert!(!d.is_pruned("CPUbound", &wp()));
+        assert_eq!(
+            d.provenance_of("prune CPUbound pair </Code,/Machine,/Process,/SyncObject>"),
+            None
+        );
+        assert!(d.remove_by_line("priority low CPUbound </Code,/Machine,/Process,/SyncObject>"));
+        assert_eq!(d.priority_of("CPUbound", &wp()), PriorityLevel::Medium);
+        assert!(d.remove_by_line("threshold CPUbound 0.9"));
+        assert_eq!(d.threshold_for("CPUbound"), None);
+        assert!(d.is_empty());
+        assert!(!d.remove_by_line("threshold CPUbound 0.9"));
     }
 
     #[test]

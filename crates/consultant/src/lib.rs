@@ -19,15 +19,17 @@
 
 pub mod directive;
 pub mod hypothesis;
+pub mod poison;
 pub mod report;
 pub mod search;
 pub mod shg;
 
 pub use directive::{
-    Directive, LocatedDirective, PriorityDirective, PriorityLevel, Prune, PruneTarget,
+    Directive, LocatedDirective, PriorityDirective, PriorityLevel, Provenance, Prune, PruneTarget,
     SearchDirectives, ThresholdDirective,
 };
 pub use hypothesis::{Hypothesis, HypothesisId, HypothesisTree};
+pub use poison::{poison_directives, PoisonSummary};
 pub use report::{DiagnosisReport, NodeOutcome, Outcome};
 pub use search::{
     drive_diagnosis, drive_diagnosis_faulted, Consultant, DegradedRun, DriveHooks, HaltReason,

@@ -83,6 +83,30 @@ pub struct NodeOutcome {
     pub samples: u64,
 }
 
+/// The outcome of one shadow audit: a history directive that was
+/// probed anyway, and whether the probe vindicated it (`passed`) or
+/// convicted it (a **revocation** — the directive was removed from the
+/// live set and the affected SHG subtree reopened).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditOutcome {
+    /// Canonical line of the audited directive.
+    pub directive: String,
+    /// Source run the directive was harvested from (provenance).
+    pub source_run: String,
+    /// Store generation the directive was harvested at (provenance).
+    pub generation: u64,
+    /// Hypothesis of the probed pair.
+    pub hypothesis: String,
+    /// Focus of the probed pair (whole-program for threshold audits).
+    pub focus: Focus,
+    /// True if the probe agreed with the directive.
+    pub passed: bool,
+    /// The fraction of execution time the probe observed.
+    pub observed: f64,
+    /// Application time the audit concluded.
+    pub at: SimTime,
+}
+
 /// The result of one diagnosis session.
 #[derive(Debug, Clone)]
 pub struct DiagnosisReport {
@@ -114,6 +138,11 @@ pub struct DiagnosisReport {
     pub admission: histpc_instr::AdmissionStats,
     /// The rendered Search History Graph (list-box form, fig. 2).
     pub shg_rendering: String,
+    /// Shadow-audit outcomes (empty at audit budget 0, keeping
+    /// budget-0 runs identical to pre-audit baselines). Failed entries
+    /// are revocations: their directive was removed mid-search and the
+    /// pruned subtree reopened.
+    pub audits: Vec<AuditOutcome>,
 }
 
 impl DiagnosisReport {
@@ -180,6 +209,12 @@ impl DiagnosisReport {
     pub fn time_of_last_bottleneck(&self) -> Option<SimTime> {
         self.outcomes.iter().filter_map(|o| o.first_true_at).max()
     }
+
+    /// The audits that convicted their directive: each one names the
+    /// source run whose guidance was revoked mid-search.
+    pub fn revocations(&self) -> Vec<&AuditOutcome> {
+        self.audits.iter().filter(|a| !a.passed).collect()
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +250,7 @@ mod tests {
             saturated: Vec::new(),
             admission: Default::default(),
             shg_rendering: String::new(),
+            audits: Vec::new(),
         }
     }
 

@@ -17,13 +17,15 @@
 //! 5. Pruned (hypothesis, focus) pairs are recorded but never
 //!    instrumented; Low-priority pairs sort behind their Medium siblings.
 
-use crate::directive::{PriorityLevel, SearchDirectives};
+use crate::directive::{
+    PriorityDirective, PriorityLevel, Provenance, PruneTarget, SearchDirectives,
+};
 use crate::hypothesis::{HypothesisId, HypothesisTree};
-use crate::report::{DiagnosisReport, NodeOutcome, Outcome};
+use crate::report::{AuditOutcome, DiagnosisReport, NodeOutcome, Outcome};
 use crate::shg::{NodeState, Shg, ShgNodeId};
 use histpc_faults::{FaultInjector, FaultPlan, FaultStats, KillTarget, RequestFault};
 use histpc_instr::{AdmitOutcome, Collector, CollectorConfig, RequestClass, SampleBatch};
-use histpc_resources::ResourceName;
+use histpc_resources::{Focus, ResourceName, CODE, MACHINE, PROCESS, SYNC_OBJECT};
 use histpc_sim::{Engine, EngineStatus, ProcId, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::fmt;
@@ -75,6 +77,15 @@ pub struct SearchConfig {
     /// Heartbeat/cancellation hooks a supervisor can attach to observe
     /// and interrupt the drive loop. The defaults are inert.
     pub hooks: DriveHooks,
+    /// Shadow-audit budget: how many history-pruned subtrees,
+    /// history-lowered pairs, and raised thresholds get probe
+    /// instrumentation anyway, so lying directives can be caught and
+    /// **revoked** mid-search. Audit probes ride the admission layer's
+    /// reserved `Backing` class, so they cannot be shed by the same
+    /// overload that history mispredicts. 0 (the default) disables
+    /// auditing entirely and keeps runs bit-identical to pre-audit
+    /// baselines.
+    pub audit_budget: u32,
 }
 
 /// Heartbeat and cancellation hooks into the drive loops.
@@ -125,6 +136,7 @@ impl Default for SearchConfig {
             stall: None,
             top_level_only: false,
             hooks: DriveHooks::default(),
+            audit_budget: 0,
         }
     }
 }
@@ -139,6 +151,18 @@ impl SearchConfig {
 
 fn window_start(now: SimTime, window: SimDuration) -> SimTime {
     SimTime(now.as_micros().saturating_sub(window.as_micros()))
+}
+
+/// The directive a shadow-audit probe holds accountable: its canonical
+/// line (the revocation key) and the provenance naming the source run
+/// that will answer for a contradiction.
+#[derive(Debug, Clone)]
+struct AuditTag {
+    line: String,
+    provenance: Provenance,
+    /// Best fraction observed under a raised-threshold audit that has
+    /// not tripped — what an untripped audit reports as its evidence.
+    max_seen: f64,
 }
 
 /// The online Performance Consultant.
@@ -174,7 +198,42 @@ pub struct Consultant {
     /// When set, [`Consultant::refine`] is a no-op: the search stays on
     /// the top-level hypotheses at the whole-program focus.
     top_level_only: bool,
+    /// Shadow-audit slots available (0 = auditing off; the audit maps
+    /// below then stay empty and every audit branch is dead code).
+    audit_budget: u32,
+    /// Shadow-audit slots consumed so far.
+    audits_assigned: u32,
+    /// Probe nodes standing in for history-pruned pairs: if one tests
+    /// True, its prune lied and is revoked.
+    prune_audits: HashMap<ShgNodeId, AuditTag>,
+    /// Probe nodes promoted from history-lowered priority: if one tests
+    /// True, the "unimportant" claim lied and is revoked.
+    low_audits: HashMap<ShgNodeId, AuditTag>,
+    /// Canonical lines of every pair prune ever armed as a probe.
+    /// Pair prunes whose line is absent keep a budget slot reserved
+    /// (see [`Consultant::reserved_prune_slots`]) so the unbounded
+    /// lowered-pair class cannot starve them.
+    probed_prune_lines: std::collections::HashSet<String>,
+    /// Raised-threshold watches, one per suspect hypothesis: a False
+    /// conclusion whose value clears the *default* threshold convicts
+    /// the raise. Vec (not map) for deterministic report ordering.
+    threshold_audits: Vec<(HypothesisId, AuditTag)>,
+    /// Concluded audits, in conclusion order.
+    audit_outcomes: Vec<AuditOutcome>,
+    /// Failed audits per source run this session, feeding the
+    /// wholesale-distrust escalation ([`SOURCE_REVOCATION_FAILURES`]).
+    audit_failures: HashMap<String, u32>,
+    /// Source runs already revoked wholesale this session.
+    revoked_sources: Vec<String>,
 }
+
+/// Once a single session has caught this many of a source run's
+/// directives lying, the session stops auditing the source one
+/// directive at a time and revokes everything it contributed: each
+/// audit costs a probe's conclusion window, and a source with three
+/// independent convictions has forfeited the benefit of the doubt for
+/// the rest of its guidance.
+pub const SOURCE_REVOCATION_FAILURES: u32 = 3;
 
 impl Consultant {
     /// Creates a consultant and performs the initial expansion: the SHG
@@ -219,6 +278,15 @@ impl Consultant {
             throttled: false,
             saturated: Vec::new(),
             top_level_only: false,
+            audit_budget: 0,
+            audits_assigned: 0,
+            prune_audits: HashMap::new(),
+            low_audits: HashMap::new(),
+            probed_prune_lines: std::collections::HashSet::new(),
+            threshold_audits: Vec::new(),
+            audit_outcomes: Vec::new(),
+            audit_failures: HashMap::new(),
+            revoked_sources: Vec::new(),
         };
 
         // Base hypotheses for the whole program.
@@ -293,6 +361,415 @@ impl Consultant {
         self.top_level_only = on;
     }
 
+    /// Arms the shadow-audit loop with `budget` probe slots. Both
+    /// drivers call this right after construction and before the first
+    /// tick — including on resume, so replayed digests stay comparable.
+    /// Budget 0 returns immediately: every audit structure stays empty
+    /// and the search is bit-identical to a pre-audit consultant.
+    ///
+    /// Only directives that carry [`Provenance`] are auditable — an
+    /// audit that cannot name a source run has nobody to hold
+    /// accountable, and hand-written directive files stay exempt.
+    pub fn enable_audits(&mut self, budget: u32, collector: &Collector) {
+        self.audit_budget = budget;
+        if budget == 0 {
+            return;
+        }
+        // Stale mappings first, and statically: a directive whose focus
+        // names a resource this program does not have was harvested
+        // against another code version and can never match an interval.
+        // The binder already knows every name, so detection costs no
+        // probe slot and draws nothing from the budget.
+        self.detect_stale_mappings(collector);
+        // Raised-threshold watches: a provenance-carrying threshold
+        // above the hypothesis default silently converts true
+        // conclusions into false ones, so watch every conclusion under
+        // it for values that clear the default.
+        let suspects: Vec<(HypothesisId, AuditTag)> = self
+            .directives
+            .thresholds
+            .iter()
+            .filter_map(|t| {
+                let hyp = self.tree.by_name(&t.hypothesis)?;
+                if t.value <= self.tree.get(hyp).default_threshold {
+                    return None;
+                }
+                let line = t.line();
+                let provenance = self.directives.provenance_of(&line)?.clone();
+                Some((
+                    hyp,
+                    AuditTag {
+                        line,
+                        provenance,
+                        max_seen: 0.0,
+                    },
+                ))
+            })
+            .collect();
+        for s in suspects {
+            if self.audits_assigned >= self.audit_budget {
+                break;
+            }
+            self.audits_assigned += 1;
+            self.threshold_audits.push(s);
+        }
+        // The initial expansion ran before audits were armed: convert
+        // nodes pruned by provenance-carrying directives into probes.
+        for id in self.shg.ids().collect::<Vec<_>>() {
+            if self.audits_assigned >= self.audit_budget {
+                break;
+            }
+            if self.shg.node(id).state != NodeState::Pruned {
+                continue;
+            }
+            let hyp = self.shg.node(id).hypothesis;
+            if self.tree.get(hyp).metric.is_none() {
+                continue;
+            }
+            let name = self.tree.get(hyp).name.clone();
+            let focus = self.shg.node(id).focus.clone();
+            let Some(tag) = self.prune_audit_tag(&name, &focus) else {
+                continue;
+            };
+            self.audits_assigned += 1;
+            self.probed_prune_lines.insert(tag.line.clone());
+            let node = self.shg.node_mut(id);
+            node.state = NodeState::Pending;
+            // High priority: a probe is only worth its slot if it
+            // concludes before the search has spent the time the prune
+            // claimed to save. The budget bounds how many pairs this
+            // front-loads.
+            node.priority = PriorityLevel::High;
+            self.pending.push(id);
+            self.prune_audits.insert(id, tag);
+        }
+        // Ditto for history-lowered pairs: promote an audited sample to
+        // Medium so the claim "this pair doesn't matter" actually gets
+        // tested this run instead of starving behind its siblings.
+        // Lowered-pair audits draw only on what the pair prunes — the
+        // lies that hide bottlenecks outright — have not reserved.
+        let lowered_budget = self
+            .audit_budget
+            .saturating_sub(self.reserved_prune_slots());
+        for id in self.pending.clone() {
+            if self.audits_assigned >= lowered_budget {
+                break;
+            }
+            if self.shg.node(id).priority != PriorityLevel::Low
+                || self.prune_audits.contains_key(&id)
+            {
+                continue;
+            }
+            let name = self.tree.get(self.shg.node(id).hypothesis).name.clone();
+            let line = PriorityDirective {
+                hypothesis: name,
+                focus: self.shg.node(id).focus.clone(),
+                level: PriorityLevel::Low,
+            }
+            .line();
+            let Some(provenance) = self.directives.provenance_of(&line).cloned() else {
+                continue;
+            };
+            self.audits_assigned += 1;
+            self.shg.node_mut(id).priority = PriorityLevel::Medium;
+            self.low_audits.insert(
+                id,
+                AuditTag {
+                    line,
+                    provenance,
+                    max_seen: 0.0,
+                },
+            );
+        }
+    }
+
+    /// Budget slots held back for pair prunes whose probe has not been
+    /// armed yet. An exact-pair prune hides a bottleneck outright — the
+    /// most dangerous lie history can tell — but its SHG node often
+    /// does not exist until the search refines down to it, while the
+    /// lowered-pair promotions (an unbounded class: every Low priority
+    /// is a candidate) arm eagerly. Without the reservation a modest
+    /// budget is gone before the first pruned pair is ever created and
+    /// the lie is applied unprobed.
+    fn reserved_prune_slots(&self) -> u32 {
+        self.directives
+            .prunes
+            .iter()
+            .filter(|p| matches!(p.target, PruneTarget::Pair(_)))
+            .filter(|p| {
+                let line = p.line();
+                !self.probed_prune_lines.contains(&line)
+                    && self.directives.provenance_of(&line).is_some()
+            })
+            .count() as u32
+    }
+
+    /// Convicts every provenance-carrying directive whose focus names a
+    /// resource absent from the bound application. Each detection is
+    /// recorded as a failed audit at t=0, the directive is dropped, and
+    /// the failures count toward the source's wholesale-revocation
+    /// escalation — a source that shipped three stale mappings loses
+    /// every directive before the search spends a single probe on it.
+    fn detect_stale_mappings(&mut self, collector: &Collector) {
+        let wp = Focus::whole_program([CODE, MACHINE, PROCESS, SYNC_OBJECT]);
+        let mut stale: Vec<(String, Provenance, String, Focus)> = Vec::new();
+        for p in &self.directives.prunes {
+            let line = p.line();
+            let Some(prov) = self.directives.provenance_of(&line) else {
+                continue;
+            };
+            let focus = match &p.target {
+                PruneTarget::Pair(f) => f.clone(),
+                PruneTarget::Resource(r) => wp.with_selection(r.clone()),
+            };
+            if collector.binder().compile(&focus).names_unknown_resource() {
+                let hyp = p.hypothesis.clone().unwrap_or_else(|| "*".to_string());
+                stale.push((line, prov.clone(), hyp, focus));
+            }
+        }
+        for p in &self.directives.priorities {
+            let line = p.line();
+            let Some(prov) = self.directives.provenance_of(&line) else {
+                continue;
+            };
+            if collector
+                .binder()
+                .compile(&p.focus)
+                .names_unknown_resource()
+            {
+                stale.push((line, prov.clone(), p.hypothesis.clone(), p.focus.clone()));
+            }
+        }
+        let mut sources: Vec<String> = Vec::new();
+        for (line, prov, hypothesis, focus) in stale {
+            self.audit_outcomes.push(AuditOutcome {
+                directive: line.clone(),
+                source_run: prov.source_run.clone(),
+                generation: prov.generation,
+                hypothesis,
+                focus,
+                passed: false,
+                observed: 0.0,
+                at: SimTime::ZERO,
+            });
+            *self
+                .audit_failures
+                .entry(prov.source_run.clone())
+                .or_insert(0) += 1;
+            self.directives.remove_by_line(&line);
+            if !sources.contains(&prov.source_run) {
+                sources.push(prov.source_run.clone());
+            }
+        }
+        for s in sources {
+            self.escalate_distrust(&s, SimTime::ZERO, collector);
+        }
+    }
+
+    /// The audit tag for the prune currently hiding (name, focus), if
+    /// that prune is an exact-pair claim carrying provenance.
+    ///
+    /// Only pair prunes are falsifiable by a single probe: they claim
+    /// one specific pair is false. Subtree prunes (the redundant
+    /// Machine hierarchy, trivial functions, the SyncObject policy
+    /// prunes) encode structural claims — a True probe under one
+    /// proves duplication, not a lie — so they are cross-checked
+    /// statically (HL030 trust conflicts) rather than probed.
+    fn prune_audit_tag(&self, name: &str, focus: &histpc_resources::Focus) -> Option<AuditTag> {
+        let p = self.directives.prune_matching(name, focus)?;
+        if !matches!(p.target, PruneTarget::Pair(_)) {
+            return None;
+        }
+        let line = p.line();
+        let provenance = self.directives.provenance_of(&line)?.clone();
+        Some(AuditTag {
+            line,
+            provenance,
+            max_seen: 0.0,
+        })
+    }
+
+    /// Records one concluded audit.
+    fn record_audit(
+        &mut self,
+        tag: &AuditTag,
+        id: ShgNodeId,
+        passed: bool,
+        observed: f64,
+        at: SimTime,
+    ) {
+        let n = self.shg.node(id);
+        self.audit_outcomes.push(AuditOutcome {
+            directive: tag.line.clone(),
+            source_run: tag.provenance.source_run.clone(),
+            generation: tag.provenance.generation,
+            hypothesis: self.tree.get(n.hypothesis).name.clone(),
+            focus: n.focus.clone(),
+            passed,
+            observed,
+            at,
+        });
+        if !passed {
+            *self
+                .audit_failures
+                .entry(tag.provenance.source_run.clone())
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// The wholesale-distrust escalation: once `source` has
+    /// [`SOURCE_REVOCATION_FAILURES`] convictions this session, every
+    /// directive it contributed is revoked at once — its pruned
+    /// subtrees reopen, its raised thresholds fall back to the
+    /// defaults (rescuing the conclusions they buried), and its
+    /// priorities stop steering. Convicting lies one probe at a time
+    /// costs a conclusion window each; a source caught lying three
+    /// times has forfeited the benefit of the doubt.
+    fn escalate_distrust(&mut self, source: &str, now: SimTime, collector: &Collector) {
+        if self.audit_failures.get(source).copied().unwrap_or(0) < SOURCE_REVOCATION_FAILURES
+            || self.revoked_sources.iter().any(|s| s == source)
+        {
+            return;
+        }
+        self.revoked_sources.push(source.to_string());
+        let doomed: Vec<String> = self
+            .directives
+            .lines()
+            .into_iter()
+            .filter(|l| {
+                self.directives
+                    .provenance_of(l)
+                    .is_some_and(|p| p.source_run == source)
+            })
+            .collect();
+        let rescue: Vec<HypothesisId> = self
+            .directives
+            .thresholds
+            .iter()
+            .filter(|t| doomed.contains(&t.line()))
+            .filter_map(|t| self.tree.by_name(&t.hypothesis))
+            .collect();
+        for line in &doomed {
+            self.directives.remove_by_line(line);
+        }
+        self.reopen_pruned(now);
+        for hyp in rescue {
+            let default = self.tree.get(hyp).default_threshold;
+            self.requeue_hidden(hyp, None, default, now, collector);
+        }
+    }
+
+    /// After a prune revocation: every Pruned node no longer covered by
+    /// any surviving prune goes back to Pending — the subtree the lie
+    /// was hiding reopens.
+    fn reopen_pruned(&mut self, _now: SimTime) {
+        for id in self.shg.ids().collect::<Vec<_>>() {
+            if self.shg.node(id).state != NodeState::Pruned {
+                continue;
+            }
+            let hyp = self.shg.node(id).hypothesis;
+            if self.tree.get(hyp).metric.is_none() {
+                continue;
+            }
+            let name = self.tree.get(hyp).name.clone();
+            let focus = self.shg.node(id).focus.clone();
+            if self.directives.is_pruned(&name, &focus) {
+                continue;
+            }
+            // The node was parked at whatever priority it held when the
+            // prune hit it; the surviving directives may rank it High
+            // (a truth pair whose poisoned prune just fell) — re-ask
+            // them, or the reopened pair queues behind the entire
+            // Medium class and the revocation saves nothing.
+            let priority = self.directives.priority_of(&name, &focus);
+            let node = self.shg.node_mut(id);
+            node.state = NodeState::Pending;
+            node.priority = priority;
+            self.pending.push(id);
+        }
+    }
+
+    /// After a threshold revocation: False non-persistent conclusions
+    /// of the same hypothesis whose honestly-measured value clears the
+    /// restored default were hidden by the same lie — flip them and
+    /// resume the search under them.
+    fn requeue_hidden(
+        &mut self,
+        hyp: HypothesisId,
+        except: Option<ShgNodeId>,
+        default: f64,
+        now: SimTime,
+        collector: &Collector,
+    ) {
+        for id in self.shg.ids().collect::<Vec<_>>() {
+            if Some(id) == except {
+                continue;
+            }
+            let node = self.shg.node(id);
+            if node.hypothesis != hyp
+                || node.state != NodeState::False
+                || node.persistent
+                || node.last_value <= default
+            {
+                continue;
+            }
+            let node = self.shg.node_mut(id);
+            node.state = NodeState::True;
+            node.first_true_at = Some(now);
+            self.refine(id, now, collector);
+        }
+    }
+
+    /// Audit bookkeeping for a node that just concluded in phase 1.
+    /// Probe audits (prune/low) conclude with their node: True convicts
+    /// the directive, False vindicates it. Threshold watches trip when
+    /// the node tested False but its value clears the default — the
+    /// raise was hiding a well-observed bottleneck.
+    fn note_audit_conclusion(
+        &mut self,
+        id: ShgNodeId,
+        fraction: f64,
+        now: SimTime,
+        collector: &Collector,
+    ) {
+        let state = self.shg.node(id).state;
+        if let Some(tag) = self
+            .prune_audits
+            .remove(&id)
+            .or_else(|| self.low_audits.remove(&id))
+        {
+            let convicted = state == NodeState::True;
+            self.record_audit(&tag, id, !convicted, fraction, now);
+            if convicted {
+                self.directives.remove_by_line(&tag.line);
+                self.reopen_pruned(now);
+                self.escalate_distrust(&tag.provenance.source_run, now, collector);
+            }
+        }
+        let hyp = self.shg.node(id).hypothesis;
+        let Some(pos) = self.threshold_audits.iter().position(|(h, _)| *h == hyp) else {
+            return;
+        };
+        let default = self.tree.get(hyp).default_threshold;
+        if state == NodeState::False && fraction > default {
+            let (_, tag) = self.threshold_audits.remove(pos);
+            self.record_audit(&tag, id, false, fraction, now);
+            self.directives.remove_by_line(&tag.line);
+            // The convicted threshold was hiding this very conclusion:
+            // flip it, resume the search under it, and rescue any other
+            // conclusion the same lie already buried.
+            let node = self.shg.node_mut(id);
+            node.state = NodeState::True;
+            node.first_true_at = Some(now);
+            self.refine(id, now, collector);
+            self.requeue_hidden(hyp, Some(id), default, now, collector);
+            self.escalate_distrust(&tag.provenance.source_run, now, collector);
+        } else {
+            let tag = &mut self.threshold_audits[pos].1;
+            tag.max_seen = tag.max_seen.max(fraction);
+        }
+    }
+
     /// Records that `procs` died (with the resource names they and their
     /// node answer to). Subsequent faulted ticks mark every unconcluded
     /// experiment stranded on dead processes as `Unreachable`.
@@ -355,6 +832,31 @@ impl Consultant {
             return;
         }
         if self.directives.is_pruned(&name, &focus) {
+            // Shadow audit: within budget, a pruned pair with
+            // provenance becomes a probe instead of a dead node — if
+            // the probe tests True, the prune lied and is revoked.
+            if self.audits_assigned < self.audit_budget && self.tree.get(hyp).metric.is_some() {
+                if let Some(tag) = self.prune_audit_tag(&name, &focus) {
+                    self.audits_assigned += 1;
+                    self.probed_prune_lines.insert(tag.line.clone());
+                    let (id, created) = self.shg.add(
+                        hyp,
+                        focus,
+                        NodeState::Pending,
+                        // High, as at arm time: a conviction is only
+                        // useful before the prune's savings are spent.
+                        PriorityLevel::High,
+                        false,
+                        parent,
+                        now,
+                    );
+                    if created {
+                        self.pending.push(id);
+                        self.prune_audits.insert(id, tag);
+                    }
+                    return;
+                }
+            }
             self.shg.add(
                 hyp,
                 focus,
@@ -367,6 +869,44 @@ impl Consultant {
             return;
         }
         let priority = self.directives.priority_of(&name, &focus);
+        // Shadow audit: within budget, a history-lowered pair with
+        // provenance is promoted back to Medium so the "unimportant"
+        // claim actually gets tested this run. Slots reserved for
+        // not-yet-armed pair-prune probes are off limits here too.
+        if priority == PriorityLevel::Low
+            && self.audits_assigned + self.reserved_prune_slots() < self.audit_budget
+        {
+            let line = PriorityDirective {
+                hypothesis: name.clone(),
+                focus: focus.clone(),
+                level: PriorityLevel::Low,
+            }
+            .line();
+            if let Some(provenance) = self.directives.provenance_of(&line).cloned() {
+                self.audits_assigned += 1;
+                let (id, created) = self.shg.add(
+                    hyp,
+                    focus,
+                    NodeState::Pending,
+                    PriorityLevel::Medium,
+                    false,
+                    parent,
+                    now,
+                );
+                if created {
+                    self.pending.push(id);
+                    self.low_audits.insert(
+                        id,
+                        AuditTag {
+                            line,
+                            provenance,
+                            max_seen: 0.0,
+                        },
+                    );
+                }
+                return;
+            }
+        }
         let (id, created) =
             self.shg
                 .add(hyp, focus, NodeState::Pending, priority, false, parent, now);
@@ -602,6 +1142,7 @@ impl Consultant {
                     collector.settle(pid);
                 }
             }
+            self.note_audit_conclusion(id, fraction, now, collector);
         }
 
         // 2. Persistent pairs keep testing for the entire run: a False
@@ -662,9 +1203,17 @@ impl Consultant {
                 // throttled — sustained overload must slow the search,
                 // not stop it, or a long flood would starve every
                 // untested hypothesis into `Unknown`.
+                // Audit probes also ride the reserved Backing class:
+                // shedding them under the very overload history
+                // mispredicted would blind the audit exactly when it
+                // matters most.
                 let class = {
                     let n = self.shg.node(id);
-                    if n.persistent || n.priority == PriorityLevel::High {
+                    if n.persistent
+                        || n.priority == PriorityLevel::High
+                        || self.prune_audits.contains_key(&id)
+                        || self.low_audits.contains_key(&id)
+                    {
                         RequestClass::Backing
                     } else {
                         RequestClass::Refinement
@@ -780,6 +1329,22 @@ impl Consultant {
                 }
             })
             .collect();
+        // Untripped raised-threshold watches pass: across the whole
+        // run, nothing the default threshold would have caught was
+        // hidden. Their evidence is the best fraction observed.
+        let mut audits = self.audit_outcomes.clone();
+        for (hyp, tag) in &self.threshold_audits {
+            audits.push(AuditOutcome {
+                directive: tag.line.clone(),
+                source_run: tag.provenance.source_run.clone(),
+                generation: tag.provenance.generation,
+                hypothesis: self.tree.get(*hyp).name.clone(),
+                focus: collector.space().whole_program(),
+                passed: true,
+                observed: tag.max_seen,
+                at: self.quiesced_at.unwrap_or(now),
+            });
+        }
         DiagnosisReport {
             app_name: collector.binder().app().name.clone(),
             app_version: collector.binder().app().version.clone(),
@@ -792,6 +1357,7 @@ impl Consultant {
             saturated: self.saturated.clone(),
             admission: *collector.admission().stats(),
             shg_rendering: self.shg.render(&self.tree),
+            audits,
         }
     }
 }
@@ -810,6 +1376,7 @@ pub fn drive_diagnosis(engine: &mut Engine, config: &SearchConfig) -> DiagnosisR
     // Initial expansion at t=0: high-priority pairs are instrumented at
     // search start (paper §3.1).
     consultant.set_top_level_only(config.top_level_only);
+    consultant.enable_audits(config.audit_budget, &collector);
     consultant.tick(SimTime::ZERO, &mut collector);
     collector.apply_perturbation(engine);
 
@@ -964,6 +1531,7 @@ pub fn drive_diagnosis_faulted(
         &collector,
     );
     consultant.set_fault_policy(config);
+    consultant.enable_audits(config.audit_budget, &collector);
     consultant.tick_faulted(SimTime::ZERO, &mut collector, &mut injector);
     collector.apply_perturbation(engine);
 
@@ -1520,5 +2088,137 @@ mod tests {
             done.report.shg_rendering, reference.report.shg_rendering,
             "chained crash/resume diverged from the uncrashed run"
         );
+    }
+
+    #[test]
+    fn audited_poison_prune_is_revoked_and_bottleneck_recovered() {
+        let wl = hotspot_workload();
+        let mut engine = wl.build_engine();
+        let base = drive_diagnosis(&mut engine, &fast_config());
+        let truth = base.bottleneck_set();
+        assert!(!truth.is_empty());
+
+        // Poison: prune every true pair, with provenance naming the liar.
+        let mut directives = SearchDirectives::none();
+        for (h, f) in &truth {
+            directives.add_prune(Prune {
+                hypothesis: Some(h.clone()),
+                target: PruneTarget::Pair(f.clone()),
+            });
+        }
+        directives.stamp_provenance("app/evil", 7);
+
+        let mut config = fast_config().with_directives(directives);
+        config.audit_budget = 64;
+        let mut engine = wl.build_engine();
+        let audited = drive_diagnosis(&mut engine, &config);
+        let found = audited.bottleneck_set();
+        for t in &truth {
+            assert!(found.contains(t), "poisoned prune still hid {t:?}");
+        }
+        let revs = audited.revocations();
+        assert!(!revs.is_empty(), "no revocations despite lying prunes");
+        for r in revs {
+            assert_eq!(r.source_run, "app/evil");
+            assert_eq!(r.generation, 7);
+            assert!(r.directive.starts_with("prune "));
+        }
+    }
+
+    #[test]
+    fn audited_raised_threshold_is_revoked_and_conclusions_flip() {
+        let wl = hotspot_workload();
+        let mut engine = wl.build_engine();
+        let base = drive_diagnosis(&mut engine, &fast_config());
+        let cpu_truth: Vec<_> = base
+            .bottleneck_set()
+            .into_iter()
+            .filter(|(h, _)| h == "CPUbound")
+            .collect();
+        assert!(!cpu_truth.is_empty());
+
+        // Poison: a near-1.0 CPUbound threshold hides every CPU
+        // conclusion; the raised-threshold watch must catch the first
+        // well-observed False that clears the default and revoke it.
+        let mut directives = SearchDirectives::none();
+        directives.add_threshold(ThresholdDirective {
+            hypothesis: "CPUbound".into(),
+            value: 0.99,
+        });
+        directives.stamp_provenance("app/evil", 3);
+        let mut config = fast_config().with_directives(directives);
+        config.audit_budget = 4;
+        let mut engine = wl.build_engine();
+        let audited = drive_diagnosis(&mut engine, &config);
+        let found = audited.bottleneck_set();
+        for t in &cpu_truth {
+            assert!(found.contains(t), "raised threshold still hid {t:?}");
+        }
+        let revs = audited.revocations();
+        assert_eq!(revs.len(), 1, "expected exactly the threshold revocation");
+        assert_eq!(revs[0].source_run, "app/evil");
+        assert_eq!(revs[0].directive, "threshold CPUbound 0.99");
+        assert!(revs[0].observed > 0.2, "revocation carries the evidence");
+    }
+
+    #[test]
+    fn honest_prune_audit_passes_and_keeps_the_directive() {
+        let wl = hotspot_workload();
+        let mut engine = wl.build_engine();
+        let base = drive_diagnosis(&mut engine, &fast_config());
+        let io_focus = base
+            .outcomes
+            .iter()
+            .find(|o| o.hypothesis == "ExcessiveIOBlockingTime")
+            .expect("base run tests the IO hypothesis")
+            .focus
+            .clone();
+
+        // An honest prune: there is no IO bottleneck, so the probe
+        // vindicates the directive and nothing is revoked.
+        let mut directives = SearchDirectives::none();
+        directives.add_prune(Prune {
+            hypothesis: Some("ExcessiveIOBlockingTime".into()),
+            target: PruneTarget::Pair(io_focus),
+        });
+        directives.stamp_provenance("app/honest", 2);
+        let mut config = fast_config().with_directives(directives);
+        config.audit_budget = 2;
+        let mut engine = wl.build_engine();
+        let r = drive_diagnosis(&mut engine, &config);
+        assert!(r.revocations().is_empty());
+        assert_eq!(r.audits.len(), 1);
+        assert!(r.audits[0].passed);
+        assert_eq!(r.audits[0].source_run, "app/honest");
+        assert_eq!(r.audits[0].generation, 2);
+    }
+
+    #[test]
+    fn budget_zero_is_bit_identical_to_unstamped_run() {
+        let wl = hotspot_workload();
+        let mut directives = SearchDirectives::none();
+        directives.add_prune(Prune {
+            hypothesis: Some("CPUbound".into()),
+            target: PruneTarget::Resource(n("/Code/app.c/f1")),
+        });
+        let mut engine = wl.build_engine();
+        let plain = drive_diagnosis(
+            &mut engine,
+            &fast_config().with_directives(directives.clone()),
+        );
+
+        // Same directives, provenance-stamped, audits armed at budget 0:
+        // the report must be indistinguishable from the unstamped run.
+        let mut stamped = directives.clone();
+        stamped.stamp_provenance("app/run1", 5);
+        let mut config = fast_config().with_directives(stamped);
+        config.audit_budget = 0;
+        let mut engine = wl.build_engine();
+        let audited = drive_diagnosis(&mut engine, &config);
+        assert_eq!(plain.outcomes, audited.outcomes);
+        assert_eq!(plain.end_time, audited.end_time);
+        assert_eq!(plain.pairs_tested, audited.pairs_tested);
+        assert_eq!(plain.shg_rendering, audited.shg_rendering);
+        assert!(audited.audits.is_empty());
     }
 }

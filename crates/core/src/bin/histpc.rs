@@ -5,11 +5,12 @@
 //! histpc run      --app poisson-c [--label L] [--store DIR] [--directives FILE]
 //!                 [--mappings FILE] [--window SECS] [--max-time SECS] [--seed N]
 //!                 [--faults FILE] [--resume FILE] [--admission KNOBS]
-//!                 [--supervised] [--retries N] [--stall-ms T]
+//!                 [--audit-budget N] [--supervised] [--retries N] [--stall-ms T]
 //! histpc supervise --store DIR --apps A,B,C [--label L] [--retries N]
 //!                 [--stall-ms T] [--window SECS] [--max-time SECS] [--seed N]
 //!                 [--faults FILE] [--admission KNOBS]
 //! histpc harvest  --store DIR --app NAME --label L [--mode MODE] [--out FILE]
+//!                 [--provenance]
 //! histpc map      --store DIR --app NAME --from LABEL --to LABEL [--out FILE]
 //! histpc compare  --store DIR --app NAME --from LABEL --to LABEL
 //! histpc profile  --app APP [--for SECS]
@@ -18,11 +19,13 @@
 //! histpc lint     FILE... [--against STORE/APP/LABEL] [--deny-warnings] [--format F]
 //! histpc lint     corpus STORE [--last N] [--deny-warnings] [--format F]
 //! histpc store    fsck|repair|compact|migrate --store DIR [--deny-warnings]
+//! histpc store    trust --store DIR [--format json]
 //! histpc daemon   start --store DIR --socket PATH [--tenant-slots N]
 //!                 [--tenant-budget N] [--idle-ms T] [--retries N] [--stall-ms T]
 //! histpc daemon   stop|status --socket PATH
 //! histpc run      --remote SOCK --app APP [--label L] [--tenant T] [--seed N]
 //!                 [--window SECS] [--max-time SECS] [--faults FILE] [--budget N]
+//!                 [--harvest-from L] [--audit-budget N]
 //! ```
 //!
 //! Applications: `poisson-a`, `poisson-b`, `poisson-c`, `poisson-d`,
@@ -80,10 +83,22 @@
 //!
 //! `store` maintains a history store's on-disk health. `fsck` checks it
 //! read-only (HL023 integrity errors, HL024 unclean-shutdown warnings,
-//! HL025 legacy/drift warnings); `repair` recovers interrupted writes
-//! and salvages or quarantines damaged records; `compact` reindexes the
-//! manifest and resets the journal; `migrate` upgrades a v0 loose-file
-//! store to the checksummed v1 layout in place.
+//! HL025 legacy/drift warnings; known sidecars like `FACTS` and `TRUST`
+//! are listed as skipped notes — each is self-checking); `repair`
+//! recovers interrupted writes and salvages or quarantines damaged
+//! records; `compact` reindexes the manifest and resets the journal;
+//! `migrate` upgrades a v0 loose-file store to the checksummed v1
+//! layout in place. `trust` prints the store's trust ledger — per
+//! source-run scores, audit tallies, charged conflicts, and revoked
+//! directive lines — as a table, or as a `histpc-lint-report/v1` JSON
+//! object with `--format json` (quarantined sources are HL036
+//! warnings, pinned revocations HL037).
+//!
+//! `run --audit-budget N` turns on online shadow audits: up to N
+//! history-pruned or history-lowered pairs get probe instrumentation
+//! anyway (riding the backing-store admission reserve), and a probe
+//! that contradicts its directive revokes it mid-run, reopens the
+//! affected subtree, and charges the lie to the source run's trust.
 //!
 //! `daemon` manages a `histpcd` diagnosis daemon: `start` launches the
 //! `histpcd` binary that ships next to `histpc` and waits for its
@@ -108,10 +123,11 @@ fn usage() -> ! {
         "usage:\n  histpc run --app APP [--label L] [--store DIR] [--directives FILE]\n\
          \x20            [--mappings FILE] [--window SECS] [--max-time SECS] [--seed N]\n\
          \x20            [--faults FILE] [--resume FILE] [--admission KNOBS]\n\
-         \x20            [--supervised] [--retries N] [--stall-ms T]\n\
+         \x20            [--audit-budget N] [--supervised] [--retries N] [--stall-ms T]\n\
          \x20 histpc supervise --store DIR --apps A,B,C [--label L] [--retries N]\n\
          \x20            [--stall-ms T] [--window SECS] [--max-time SECS] [--seed N]\n\
          \x20 histpc harvest --store DIR --app NAME --label L [--mode MODE] [--out FILE]\n\
+         \x20            [--provenance]\n\
          \x20 histpc map     --store DIR --app NAME --from LABEL --to LABEL [--out FILE]\n\
          \x20 histpc compare --store DIR --app NAME --from LABEL --to LABEL\n\
          \x20 histpc profile --app APP [--for SECS]\n\
@@ -120,11 +136,13 @@ fn usage() -> ! {
          \x20 histpc lint    FILE... [--against STORE/APP/LABEL] [--deny-warnings] [--format F]\n\
          \x20 histpc lint    corpus STORE [--last N] [--deny-warnings] [--format F]\n\
          \x20 histpc store   fsck|repair|compact|migrate --store DIR [--deny-warnings]\n\
+         \x20 histpc store   trust --store DIR [--format json]\n\
          \x20 histpc daemon  start --store DIR --socket PATH [--tenant-slots N]\n\
          \x20            [--tenant-budget N] [--idle-ms T] [--retries N] [--stall-ms T]\n\
          \x20 histpc daemon  stop|status --socket PATH\n\
          \x20 histpc run     --remote SOCK --app APP [--label L] [--tenant T] [--seed N]\n\
-         \x20            [--window SECS] [--max-time SECS] [--faults FILE] [--budget N]\n\n\
+         \x20            [--window SECS] [--max-time SECS] [--faults FILE] [--budget N]\n\
+         \x20            [--harvest-from L] [--audit-budget N]\n\n\
          apps: poisson-a poisson-b poisson-c poisson-d ocean tester sweep3d\n\
          modes: priorities prunes general-prunes historic-prunes combined combined+thresholds"
     );
@@ -132,7 +150,7 @@ fn usage() -> ! {
 }
 
 /// Flags that take no value; present means on.
-const BOOLEAN_FLAGS: &[&str] = &["supervised"];
+const BOOLEAN_FLAGS: &[&str] = &["supervised", "provenance"];
 
 /// Parses `--key value` pairs (and bare boolean flags) after the
 /// subcommand.
@@ -285,6 +303,9 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<ExitCode, String> {
     if let Some(m) = flags.get("max-time") {
         let secs: f64 = m.parse().map_err(|_| "bad --max-time")?;
         config.max_time = SimDuration::from_secs_f64(secs);
+    }
+    if let Some(b) = flags.get("audit-budget") {
+        config.audit_budget = b.parse().map_err(|_| "bad --audit-budget")?;
     }
     let mut linted_files = false;
     if let Some(path) = flags.get("directives") {
@@ -455,6 +476,25 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<ExitCode, String> {
             adm.breaker_readmits
         );
     }
+    if !d.report.audits.is_empty() {
+        let revoked = d.report.revocations();
+        println!(
+            "shadow audits: {} probe(s), {} pass(es), {} directive(s) revoked",
+            d.report.audits.len(),
+            d.report.audits.len() - revoked.len(),
+            revoked.len()
+        );
+        for a in &revoked {
+            println!(
+                "  revoked `{}` from {}@{} (probe observed {:.1}% at t={})",
+                a.directive,
+                a.source_run,
+                a.generation,
+                a.observed * 100.0,
+                a.at
+            );
+        }
+    }
     println!("bottlenecks found: {}", d.report.bottleneck_count());
     for b in d.report.bottlenecks().iter().take(15) {
         println!(
@@ -516,6 +556,13 @@ fn cmd_run_remote(sock: &str, flags: &HashMap<String, String>) -> Result<ExitCod
     if let Some(b) = flags.get("budget") {
         let b: u64 = b.parse().map_err(|_| "bad --budget")?;
         req = req.arg("budget", b);
+    }
+    if let Some(from) = flags.get("harvest-from") {
+        req = req.arg("harvest-from", from);
+    }
+    if let Some(b) = flags.get("audit-budget") {
+        let b: u32 = b.parse().map_err(|_| "bad --audit-budget")?;
+        req = req.arg("audit-budget", b);
     }
 
     let mut client = Client::new(sock, &tenant);
@@ -733,7 +780,14 @@ fn cmd_harvest(flags: HashMap<String, String>) -> Result<(), String> {
             &extraction_mode(mode),
         )
         .map_err(|e| e.to_string())?;
-    let text = directives.to_text();
+    // --provenance annotates each line with its `from source@generation`
+    // tag; the default stays byte-identical to the classic format so
+    // existing directive files and diffs are unaffected.
+    let text = if flags.contains_key("provenance") {
+        directives.to_annotated_text()
+    } else {
+        directives.to_text()
+    };
     match flags.get("out") {
         Some(path) => {
             std::fs::write(path, &text).map_err(|e| e.to_string())?;
@@ -1031,10 +1085,11 @@ fn cmd_lint_corpus(
 /// finds errors — or any warning under `--deny-warnings`.
 fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
     let Some((action, rest)) = args.split_first() else {
-        return Err("store needs an action: fsck, repair, compact or migrate".into());
+        return Err("store needs an action: fsck, repair, compact, migrate or trust".into());
     };
     let mut store_dir: Option<String> = None;
     let mut deny_warnings = false;
+    let mut format = "text".to_string();
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -1049,12 +1104,22 @@ fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
                 store_dir = Some(value.clone());
                 i += 2;
             }
+            "--format" => {
+                let Some(value) = rest.get(i + 1) else {
+                    return Err("missing value for --format".into());
+                };
+                format = value.clone();
+                i += 2;
+            }
             other => return Err(format!("unknown store argument {other:?}")),
         }
     }
     let Some(store_dir) = store_dir else {
         return Err("store needs --store DIR".into());
     };
+    if format != "text" && format != "json" {
+        return Err(format!("unknown --format {format:?}: want text or json"));
+    }
 
     match action.as_str() {
         "fsck" => {
@@ -1073,7 +1138,12 @@ fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
                 eprintln!("\n{trailer} emitted");
             }
             let has_errors = diags.iter().any(|d| d.is_error());
-            Ok(if has_errors || (deny_warnings && !diags.is_empty()) {
+            // Notes (e.g. "skipped: sidecar") are informational and
+            // never fail the check, even under --deny-warnings.
+            let has_warnings = diags
+                .iter()
+                .any(|d| d.severity == histpc::lint::Severity::Warning);
+            Ok(if has_errors || (deny_warnings && has_warnings) {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
@@ -1108,8 +1178,85 @@ fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
             println!("{store_dir}: migrated {n} record(s) to the v1 framed layout");
             Ok(ExitCode::SUCCESS)
         }
+        "trust" => {
+            let ledger = history::trust::TrustLedger::load(std::path::Path::new(&store_dir));
+            if format == "json" {
+                // The same `histpc-lint-report/v1` JSON envelope the lint
+                // commands emit: quarantined sources as HL036 warnings,
+                // pinned revocations as HL037 warnings, everything else
+                // as notes — one stable schema for all machine readers.
+                let mut diags = Vec::new();
+                for (source, e) in ledger.sources() {
+                    let verdict = ledger.verdict(source);
+                    let summary = format!(
+                        "trust {}/{} for {source}: {} audit(s) passed, {} failed, \
+                         {} conflict(s) charged",
+                        e.score,
+                        history::trust::FULL_SCORE,
+                        e.audits_passed,
+                        e.audits_failed,
+                        e.conflicts.len()
+                    );
+                    diags.push(match verdict {
+                        history::trust::TrustVerdict::Quarantined => {
+                            histpc::lint::Diagnostic::warning(
+                                "HL036",
+                                format!("{summary} — quarantined, directives withheld"),
+                            )
+                        }
+                        history::trust::TrustVerdict::Downweighted => {
+                            histpc::lint::Diagnostic::note(
+                                "HL036",
+                                format!("{summary} — down-weighted, prunes/thresholds dropped"),
+                            )
+                        }
+                        history::trust::TrustVerdict::Trusted => {
+                            histpc::lint::Diagnostic::note("HL036", summary)
+                        }
+                    });
+                    for line in &e.revoked {
+                        diags.push(histpc::lint::Diagnostic::warning(
+                            "HL037",
+                            format!("revoked for {source}: `{line}` (failed its shadow audit)"),
+                        ));
+                    }
+                }
+                // Ledger iteration is BTreeMap-ordered, so the report
+                // is already deterministic.
+                let report = histpc::lint::LintReport { diagnostics: diags };
+                print!("{}", histpc::lint::report_to_json(&report));
+                return Ok(ExitCode::SUCCESS);
+            }
+            if ledger.is_empty() {
+                println!("{store_dir}: no trust entries (every source at full trust)");
+                return Ok(ExitCode::SUCCESS);
+            }
+            println!(
+                "{:<40} {:>5}  {:<12} {:>6} {:>6} {:>9} {:>7}",
+                "source", "score", "verdict", "passed", "failed", "conflicts", "revoked"
+            );
+            for (source, e) in ledger.sources() {
+                let verdict = match ledger.verdict(source) {
+                    history::trust::TrustVerdict::Trusted => "trusted",
+                    history::trust::TrustVerdict::Downweighted => "down-weighted",
+                    history::trust::TrustVerdict::Quarantined => "quarantined",
+                };
+                println!(
+                    "{source:<40} {:>5}  {verdict:<12} {:>6} {:>6} {:>9} {:>7}",
+                    e.score,
+                    e.audits_passed,
+                    e.audits_failed,
+                    e.conflicts.len(),
+                    e.revoked.len()
+                );
+                for line in &e.revoked {
+                    println!("  revoked: {line}");
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
         other => Err(format!(
-            "unknown store action {other:?}: want fsck, repair, compact or migrate"
+            "unknown store action {other:?}: want fsck, repair, compact, migrate or trust"
         )),
     }
 }

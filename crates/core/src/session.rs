@@ -7,12 +7,13 @@
 
 use histpc_consultant::{
     drive_diagnosis, drive_diagnosis_faulted, DiagnosisReport, HaltReason, HypothesisTree,
-    SearchCheckpoint, SearchConfig, SearchDirectives,
+    PriorityLevel, SearchCheckpoint, SearchConfig, SearchDirectives,
 };
 use histpc_faults::FaultStats;
 use histpc_history::store::StoreError;
 use histpc_history::{
     extract, ground_truth, ExecutionRecord, ExecutionStore, ExtractionOptions, MappingSet,
+    TrustLedger, TrustVerdict,
 };
 use histpc_instr::PostmortemData;
 use histpc_lint::{Diagnostic, LintReport, Linter, SourceCache};
@@ -181,6 +182,7 @@ impl Session {
             // earlier interrupted attempt (see diagnose_faulted).
             store.delete_artifact(&record.app_name, label, "ckpt")?;
         }
+        self.absorb_audits(&report);
         let truth = ground_truth(&pm, &tree, &config.directives);
         Ok(Diagnosis {
             report,
@@ -276,6 +278,19 @@ impl Session {
                 store.inject_torn_journal(&record.app_name, label, cut)?;
             }
         }
+        // Audit feedback runs only on the completed path: a resumed run
+        // replays the same audits, and absorbing them twice would
+        // double-count the trust updates.
+        self.absorb_audits(&report);
+        if let Some(store) = &self.store {
+            if config.faults.trust_ledger_corrupt {
+                let path = store.root().join(histpc_history::trust::TRUST_FILE);
+                let current =
+                    std::fs::read_to_string(&path).unwrap_or_else(|_| TrustLedger::new().to_text());
+                let garbled = histpc_faults::corrupt_text(config.faults.seed ^ 0x7257, &current);
+                let _ = std::fs::write(&path, garbled);
+            }
+        }
         let truth = ground_truth(&pm, &tree, &config.directives);
         Ok(DegradedDiagnosis {
             diagnosis: Some(Diagnosis {
@@ -302,30 +317,168 @@ impl Session {
     /// conflict-free corpus the vetting is a no-op and the result is
     /// bit-identical to raw extraction. Runs dropped directives are
     /// noted on stderr.
+    ///
+    /// Every returned directive carries [`Provenance`] naming
+    /// `app/label` and the store generation at harvest time, and the
+    /// whole set is weighed against the store's **trust ledger** — see
+    /// [`Session::harvest_scoped`] for the rules.
+    ///
+    /// [`Provenance`]: histpc_consultant::Provenance
     pub fn harvest(
         &self,
         app: &str,
         label: &str,
         opts: &ExtractionOptions,
     ) -> Result<SearchDirectives, SessionError> {
+        self.harvest_scoped(app, label, opts, None)
+    }
+
+    /// [`Session::harvest`] with an optional tenant scope (the daemon
+    /// prefixes each tenant so one tenant's poisoned history can never
+    /// taint another's trust).
+    ///
+    /// Trust-weighted harvesting, in order:
+    ///
+    /// 1. Extracted directives are stamped with provenance
+    ///    `source@generation`, where source is `app/label` (or
+    ///    `tenant/app/label`).
+    /// 2. Each `HL030` conflict the corpus pass finds decays the trust
+    ///    of *both* runs involved, once per distinct contradicted pair
+    ///    — chronically contradicted sources slide toward quarantine.
+    /// 3. Corpus down-ranking drops contradicted directives (as ever).
+    /// 4. The ledger's verdict on the source gates the rest: a
+    ///    **quarantined** source contributes nothing (`HL036`); a
+    ///    **down-weighted** source keeps only its priorities, with
+    ///    High demoted to Medium — prunes and thresholds, the kinds
+    ///    that silently remove search work, are dropped.
+    /// 5. Directive lines a shadow audit already **revoked** for this
+    ///    source are dropped (`HL037`): a convicted lie stays dead no
+    ///    matter how often the record is re-harvested.
+    pub fn harvest_scoped(
+        &self,
+        app: &str,
+        label: &str,
+        opts: &ExtractionOptions,
+        tenant: Option<&str>,
+    ) -> Result<SearchDirectives, SessionError> {
         let store = self
             .store
             .as_ref()
             .expect("harvest from store requires Session::with_store");
         let rec = store.load(app, label)?;
-        let harvested = extract(&rec, opts);
+        let mut harvested = extract(&rec, opts);
+        let source = match tenant {
+            Some(t) => format!("{t}/{app}/{label}"),
+            None => format!("{app}/{label}"),
+        };
+        let generation = store.generation().ok().flatten().unwrap_or(0);
+        // Stamp before any filtering so every survivor can name its
+        // source run in audits, revocations, and reports.
+        harvested.stamp_provenance(&source, generation);
+
+        let mut ledger = TrustLedger::load(store.root());
+        let mut ledger_dirty = false;
         let analysis = histpc_lint::CorpusAnalyzer::new(store).analyze()?;
-        let (vetted, dropped) =
+        // Every HL030 conflict decays both sides' trust, once per
+        // distinct contradicted pair.
+        for v in analysis.verdicts.iter() {
+            let key = format!("{}/{} {} {}", v.app, v.version, v.hypothesis, v.focus);
+            for src_label in [&v.prune_source, &v.priority_source] {
+                let src = match tenant {
+                    Some(t) => format!("{t}/{}/{src_label}", v.app),
+                    None => format!("{}/{src_label}", v.app),
+                };
+                ledger_dirty |= ledger.record_conflict(&src, &key);
+            }
+        }
+        let (mut vetted, dropped) =
             analysis
                 .verdicts
                 .down_rank(&harvested, &rec.app_name, &rec.app_version);
+        vetted.adopt_provenance(&harvested);
         if dropped > 0 {
             eprintln!(
                 "harvest: down-ranked {dropped} directive(s) from {app}/{label} \
                  contradicted elsewhere in the corpus (see `histpc lint corpus`)"
             );
         }
+
+        // Trust gate on the source run as a whole.
+        let mut vetted = match ledger.verdict(&source) {
+            TrustVerdict::Trusted => vetted,
+            TrustVerdict::Quarantined => {
+                eprintln!(
+                    "harvest: source {source} is quarantined (trust {} < {}); \
+                     applying none of its {} directive(s) (HL036)",
+                    ledger.score(&source),
+                    histpc_history::trust::QUARANTINE_FLOOR,
+                    vetted.len(),
+                );
+                SearchDirectives::none()
+            }
+            TrustVerdict::Downweighted => {
+                let mut out = SearchDirectives::none();
+                let mut demoted = 0usize;
+                for p in &vetted.priorities {
+                    let mut p = p.clone();
+                    if p.level == PriorityLevel::High {
+                        p.level = PriorityLevel::Medium;
+                        demoted += 1;
+                    }
+                    out.add_priority(p);
+                }
+                out.stamp_provenance(&source, generation);
+                eprintln!(
+                    "harvest: source {source} is down-weighted (trust {} < {}); \
+                     dropped its prunes/thresholds, demoted {demoted} High priorit{}",
+                    ledger.score(&source),
+                    histpc_history::trust::DOWNWEIGHT_BELOW,
+                    if demoted == 1 { "y" } else { "ies" },
+                );
+                out
+            }
+        };
+
+        // Revoked lines stay dead (HL037).
+        let mut revoked_dropped = 0usize;
+        for line in vetted.lines() {
+            if ledger.is_revoked(&source, &line) {
+                vetted.remove_by_line(&line);
+                revoked_dropped += 1;
+            }
+        }
+        if revoked_dropped > 0 {
+            eprintln!(
+                "harvest: dropped {revoked_dropped} directive(s) from {source} \
+                 previously revoked by shadow audits (HL037)"
+            );
+        }
+
+        if ledger_dirty {
+            // Non-fatal: worst case the next session re-learns the
+            // same distrust from the same corpus.
+            let _ = ledger.save(store.root());
+        }
         Ok(vetted)
+    }
+
+    /// Feeds a finished report's shadow-audit outcomes into the trust
+    /// ledger: passes slowly restore trust, failures halve it, and
+    /// every revoked directive line is pinned so no later harvest can
+    /// resurrect it. No-op without a store or without audits.
+    fn absorb_audits(&self, report: &DiagnosisReport) {
+        let Some(store) = &self.store else { return };
+        if report.audits.is_empty() {
+            return;
+        }
+        let mut ledger = TrustLedger::load(store.root());
+        for a in &report.audits {
+            ledger.record_audit(&a.source_run, a.passed);
+            if !a.passed {
+                ledger.record_revocation(&a.source_run, &a.directive);
+            }
+        }
+        let _ = ledger.save(store.root());
     }
 
     /// Harvests directives from a record of a *different* execution or
@@ -708,6 +861,132 @@ mod tests {
         let raw1 = extract(&store.load("app", "r1").unwrap(), &opts);
         let vetted1 = session.harvest("app", "r1", &opts).unwrap();
         assert_eq!(vetted1.prunes.len(), raw1.prunes.len() - 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_audits_decay_trust_and_pin_revocations() {
+        use histpc_consultant::directive::{Prune, PruneTarget};
+
+        let dir = std::env::temp_dir().join(format!("histpc-trustaudit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::with_store(&dir).unwrap();
+        let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
+        let base = session.diagnose(&wl, &fast_config(), "r1").unwrap();
+
+        // Poison: prune every true bottleneck pair, claiming r1 as the
+        // source. Shadow audits probe within budget, convict the lies,
+        // and the session must charge them to r1's trust.
+        let mut poisoned = SearchDirectives::none();
+        for (h, f) in base.report.bottleneck_set() {
+            poisoned.add_prune(Prune {
+                hypothesis: Some(h.clone()),
+                target: PruneTarget::Pair(f.clone()),
+            });
+        }
+        poisoned.stamp_provenance("synth/r1", 1);
+        let mut config = fast_config();
+        config.directives = poisoned;
+        config.audit_budget = 64;
+        let audited = session.diagnose(&wl, &config, "r2").unwrap();
+        let revoked = audited.report.revocations();
+        assert!(!revoked.is_empty(), "no poisoned prune was convicted");
+        assert!(revoked.iter().all(|a| a.source_run == "synth/r1"));
+
+        let ledger = TrustLedger::load(&dir);
+        assert!(
+            ledger.score("synth/r1") < histpc_history::trust::FULL_SCORE,
+            "failed audits left trust untouched"
+        );
+        for a in &revoked {
+            assert!(
+                ledger.is_revoked("synth/r1", &a.directive),
+                "revocation of `{}` was not pinned",
+                a.directive
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn harvest_drops_revoked_lines_and_gates_on_trust() {
+        let dir = std::env::temp_dir().join(format!("histpc-trustgate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::with_store(&dir).unwrap();
+        let wl = SyntheticWorkload::balanced(2, 2, 0.1).with_hotspot(0, 1, 2.0);
+        session.diagnose(&wl, &fast_config(), "r1").unwrap();
+        let opts = ExtractionOptions::priorities_and_safe_prunes();
+        let full = session.harvest("synth", "r1", &opts).unwrap();
+        assert!(!full.is_empty());
+        // Every harvested directive names its source run.
+        for line in full.lines() {
+            let p = full.provenance_of(&line).expect("unstamped directive");
+            assert_eq!(p.source_run, "synth/r1");
+        }
+
+        // Pin a revocation for one line the extraction produces: the
+        // next harvest must drop exactly that line (HL037).
+        let victim = full.lines().into_iter().next().unwrap();
+        let mut ledger = TrustLedger::load(&dir);
+        ledger.record_revocation("synth/r1", &victim);
+        ledger.save(&dir).unwrap();
+        let vetted = session.harvest("synth", "r1", &opts).unwrap();
+        assert_eq!(vetted.len(), full.len() - 1);
+        assert!(!vetted.lines().contains(&victim));
+
+        // Decay to down-weighted: only priorities survive, High demoted.
+        let mut ledger = TrustLedger::load(&dir);
+        ledger.record_audit("synth/r1", false); // 1000 -> 500
+        ledger.save(&dir).unwrap();
+        let weighted = session.harvest("synth", "r1", &opts).unwrap();
+        assert!(weighted.prunes.is_empty() && weighted.thresholds.is_empty());
+        assert!(!weighted.priorities.is_empty());
+        assert!(weighted
+            .priorities
+            .iter()
+            .all(|p| p.level != PriorityLevel::High));
+
+        // Decay past the floor: a quarantined source contributes nothing.
+        let mut ledger = TrustLedger::load(&dir);
+        ledger.record_audit("synth/r1", false); // 500 -> 250
+        ledger.record_audit("synth/r1", false); // 250 -> 125, quarantined
+        ledger.save(&dir).unwrap();
+        let gone = session.harvest("synth", "r1", &opts).unwrap();
+        assert!(gone.is_empty(), "quarantined source still harvested");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trust_ledger_corrupt_fault_recovers_to_full_trust() {
+        let dir = std::env::temp_dir().join(format!("histpc-trustcorr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::with_store(&dir).unwrap();
+        let wl = SyntheticWorkload::balanced(2, 1, 0.5).with_hotspot(0, 0, 1.0);
+        let mut ledger = TrustLedger::new();
+        ledger.record_audit("synth/r0", false);
+        ledger.save(&dir).unwrap();
+
+        let mut config = fast_config();
+        config.faults.trust_ledger_corrupt = true;
+        session
+            .diagnose_faulted(&wl, &config, "c1", None)
+            .unwrap()
+            .diagnosis
+            .unwrap();
+        // The fault garbled the TRUST file in place...
+        let on_disk = std::fs::read_to_string(dir.join(histpc_history::trust::TRUST_FILE)).unwrap();
+        assert!(
+            TrustLedger::parse(&on_disk).is_none(),
+            "fault left TRUST parseable"
+        );
+        // ...and the checksum frame makes the load fail safe: the next
+        // session sees a fresh ledger (conservative full trust), not a
+        // half-parsed one.
+        let recovered = TrustLedger::load(&dir);
+        assert_eq!(
+            recovered.score("synth/r0"),
+            histpc_history::trust::FULL_SCORE
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

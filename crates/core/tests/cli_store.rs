@@ -176,6 +176,68 @@ fn migrate_upgrades_a_v0_store_in_place() {
 }
 
 #[test]
+fn trust_subcommand_reports_the_ledger_and_fsck_skips_it() {
+    let dir = scratch("trust");
+    let store = record_run(&dir);
+
+    // A fresh store has no ledger.
+    let empty = store_cmd("trust", &store, &[]);
+    assert!(empty.status.success());
+    assert!(
+        String::from_utf8_lossy(&empty.stdout).contains("no trust entries"),
+        "empty ledger not reported"
+    );
+
+    // Seed a ledger: one down-weighted source with a pinned revocation.
+    let mut ledger = history::trust::TrustLedger::new();
+    ledger.record_audit("synth/r1", false);
+    ledger.record_revocation("synth/r1", "prune CPUbound resource /Code/a.c");
+    ledger.save(&store).unwrap();
+
+    let text = store_cmd("trust", &store, &[]);
+    assert!(text.status.success());
+    let stdout = String::from_utf8_lossy(&text.stdout);
+    assert!(stdout.contains("synth/r1"), "source missing:\n{stdout}");
+    assert!(
+        stdout.contains("down-weighted"),
+        "verdict missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("revoked: prune CPUbound resource /Code/a.c"),
+        "revoked line missing:\n{stdout}"
+    );
+
+    // JSON rides the stable lint-report schema: the revocation is an
+    // HL037 warning a machine reader can key on.
+    let json = store_cmd("trust", &store, &["--format", "json"]);
+    assert!(json.status.success());
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(
+        stdout.contains("\"schema\": \"histpc-lint-report/v1\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("HL037"),
+        "revocation not in JSON:\n{stdout}"
+    );
+
+    // The TRUST sidecar is invisible to integrity checking: fsck lists
+    // it as a skipped note and --deny-warnings still passes.
+    let fsck = store_cmd("fsck", &store, &["--deny-warnings"]);
+    assert!(
+        fsck.status.success(),
+        "TRUST sidecar failed fsck:\n{}",
+        String::from_utf8_lossy(&fsck.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&fsck.stderr).contains("skipped: sidecar"),
+        "sidecar not listed as skipped"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn compact_clears_litter_and_bad_usage_is_rejected() {
     let dir = scratch("compact");
     let store = record_run(&dir);

@@ -64,6 +64,10 @@ fn fault_plan_round_trips_through_text() {
         wire_torn_request_rate: 0.05,
         wire_slow_client_ms: 20,
         wire_daemon_kill_after: 2,
+        poison_prune_rate: 0.25,
+        poison_threshold_rate: 0.2,
+        stale_mapping_rate: 0.1,
+        trust_ledger_corrupt: true,
     };
     let parsed = FaultPlan::parse(&plan.to_text()).expect("plan text parses");
     assert_eq!(parsed, plan);

@@ -171,6 +171,13 @@ pub struct SessionSpec {
     /// Requested sample-budget slice; defaults to an equal share of
     /// the tenant budget across its slots.
     pub budget: Option<u64>,
+    /// Label of a prior run of the same application to harvest search
+    /// directives from, trust-weighted per tenant: the harvest runs
+    /// through [`Session::harvest_scoped`] with this tenant's scope, so
+    /// one tenant's poisoned history can never taint another's trust.
+    pub harvest_from: Option<String>,
+    /// Shadow-audit budget for harvested directives (0 = off).
+    pub audit_budget: Option<u32>,
 }
 
 impl SessionSpec {
@@ -197,9 +204,19 @@ impl SessionSpec {
                 Some(v) => Some(v.parse().map_err(|_| format!("bad budget={v:?}"))?),
                 None => None,
             },
+            harvest_from: req.get("harvest-from").map(str::to_string),
+            audit_budget: match req.get("audit-budget") {
+                Some(v) => Some(v.parse().map_err(|_| format!("bad audit-budget={v:?}"))?),
+                None => None,
+            },
         };
         if spec.label.is_empty() || spec.label.contains('/') {
             return Err(format!("bad label {:?}", spec.label));
+        }
+        if let Some(from) = &spec.harvest_from {
+            if from.is_empty() || from.contains('/') {
+                return Err(format!("bad harvest-from {from:?}"));
+            }
         }
         if let Some(text) = &spec.faults {
             FaultPlan::parse(text).map_err(|e| format!("bad fault plan: {e}"))?;
@@ -224,6 +241,12 @@ impl SessionSpec {
         }
         if let Some(budget) = self.budget {
             req = req.arg("budget", budget);
+        }
+        if let Some(from) = &self.harvest_from {
+            req = req.arg("harvest-from", from);
+        }
+        if let Some(b) = self.audit_budget {
+            req = req.arg("audit-budget", b);
         }
         req.to_line()
             .strip_prefix("start ")
@@ -383,13 +406,37 @@ impl Inner {
                     return;
                 }
             };
-            let config = match spec.search_config(budget, inner.cfg.tenant_slots) {
+            let mut config = match spec.search_config(budget, inner.cfg.tenant_slots) {
                 Ok(c) => c,
                 Err(e) => {
                     inner.finish(&key, "abandoned", format!("abandoned: {e}"));
                     return;
                 }
             };
+            if let Some(from) = &spec.harvest_from {
+                // Trust-weighted harvest scoped to this tenant: source
+                // runs are keyed `tenant/app/label` in the ledger, so a
+                // tenant that poisons its own history only ever taints
+                // its own trust. A failed harvest degrades to an
+                // unguided run rather than killing the session —
+                // history is an accelerant, never a requirement.
+                let app_name = workload.app_spec().name;
+                match inner.session.harvest_scoped(
+                    &app_name,
+                    from,
+                    &histpc::history::ExtractionOptions::priorities_and_safe_prunes(),
+                    Some(&tenant),
+                ) {
+                    Ok(directives) => {
+                        config.directives = directives;
+                        config.audit_budget = spec.audit_budget.unwrap_or(0);
+                    }
+                    Err(e) => eprintln!(
+                        "histpcd: harvest-from {app_name}/{from} failed for {key}: {e}; \
+                         running without history"
+                    ),
+                }
+            }
             let driver = DaemonDriver {
                 inner: WorkloadSession::new(&inner.session, workload.as_ref(), config, &spec.label),
                 cancel,
@@ -666,6 +713,8 @@ fn placeholder_spec(lease: &Lease) -> SessionSpec {
         max_time_ms: 0,
         faults: None,
         budget: None,
+        harvest_from: None,
+        audit_budget: None,
     }
 }
 
@@ -1112,10 +1161,21 @@ mod tests {
             max_time_ms: 120_000,
             faults: Some("histpc-faults v1\nseed 3\ndrop 0.2\n".into()),
             budget: Some(512),
+            harvest_from: Some("run 0".into()),
+            audit_budget: Some(16),
         };
         let line = spec.to_spec_line();
         assert!(!line.contains('\n'));
         assert_eq!(SessionSpec::from_spec_line(&line).unwrap(), spec);
+    }
+
+    #[test]
+    fn spec_rejects_bad_harvest_from() {
+        let req = Request::new("start")
+            .arg("app", "tester")
+            .arg("label", "ok")
+            .arg("harvest-from", "a/b");
+        assert!(SessionSpec::from_request(&req).is_err());
     }
 
     #[test]
@@ -1152,6 +1212,8 @@ mod tests {
                     max_time_ms: 120_000,
                     faults: None,
                     budget: Some(budget),
+                    harvest_from: None,
+                    audit_budget: None,
                 },
                 store_app: "Tester".into(),
                 state: SessionState::Running,
@@ -1248,6 +1310,8 @@ mod tests {
             max_time_ms: 120_000,
             faults: faults.map(str::to_string),
             budget: None,
+            harvest_from: None,
+            audit_budget: None,
         };
         // Zero-fault: admission stays untouched (bit-identity).
         let cfg = mk(None).search_config(2048, 2).unwrap();

@@ -86,6 +86,55 @@ fn start_attach_report_is_bit_identical_to_in_process() {
 }
 
 #[test]
+fn harvest_from_steers_a_second_session_with_tenant_scoped_trust() {
+    let root = scratch("harvestfrom");
+    let cfg = DaemonConfig::new(root.join("store"), root.join("d.sock"));
+    let daemon = Daemon::start(cfg).unwrap();
+    let mut client = Client::new(root.join("d.sock"), "team-a");
+
+    client.expect_ok(&start_req("tester", "base")).unwrap();
+    let done = attach(&mut client, "base");
+    assert_eq!(done.get("state"), Some("completed"), "{done:?}");
+
+    // A directed re-run harvesting from the first, with shadow audits
+    // on. The daemon scopes the harvest to this tenant: its trust
+    // ledger sources are keyed `team-a/Tester/base`.
+    let resp = client
+        .expect_ok(
+            &start_req("tester", "directed")
+                .arg("harvest-from", "base")
+                .arg("audit-budget", 8u64),
+        )
+        .unwrap();
+    assert_eq!(resp.get("accepted"), Some("1"));
+    let done = attach(&mut client, "directed");
+    assert_eq!(done.get("state"), Some("completed"), "{done:?}");
+    let report = client
+        .expect_ok(&Request::new("report").arg("label", "directed"))
+        .unwrap();
+    assert_eq!(report.get("state"), Some("completed"));
+
+    // The audit loop ran end to end: probes were assigned against the
+    // harvested prunes, their outcomes were absorbed into the trust
+    // ledger, and every source key is tenant-scoped. (Outcomes may
+    // include failures — "safe" prunes generalize over subtrees the
+    // base run never fully tested, and a probe concluding True there
+    // is exactly the contradiction the audit exists to catch.)
+    let ledger = histpc::history::trust::TrustLedger::load(&root.join("store"));
+    assert!(!ledger.is_empty(), "budget-8 audits left no ledger entry");
+    for (source, _) in ledger.sources() {
+        assert!(
+            source.starts_with("team-a/") && source.ends_with("/base"),
+            "trust source {source:?} not tenant-scoped to team-a/<app>/base"
+        );
+    }
+
+    client.expect_ok(&Request::new("shutdown")).unwrap();
+    daemon.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn unknown_sessions_apps_and_verbs_err_cleanly() {
     let root = scratch("badreq");
     let cfg = DaemonConfig::new(root.join("store"), root.join("d.sock"));
@@ -134,6 +183,8 @@ fn crashed_daemon_leases_are_readopted_or_abandoned() {
         max_time_ms: 120_000,
         faults: Some("histpc-faults v1\nseed 5\ncrash-tool 1000000\n".into()),
         budget: None,
+        harvest_from: None,
+        audit_budget: None,
     };
     // Leases name the app the way the *store* keys it (the resolved
     // AppSpec name), which need not equal the catalogue spec string.

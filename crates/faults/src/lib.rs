@@ -23,6 +23,10 @@
 //! * **tool crash / store corruption** — crash the consultant itself
 //!   mid-search ([`FaultInjector::crash_due`]) and truncate
 //!   history-store writes ([`corrupt_text`]);
+//! * **history poison** — adversarial harvested directives
+//!   (`poison-prune`, `poison-threshold`, `stale-mapping`; applied by
+//!   `histpc-consultant`'s poison module before the search starts) and
+//!   trust-ledger sidecar corruption (`trust-ledger-corrupt`);
 //! * **overload** — flood the collector with phantom sample traffic
 //!   ([`FaultInjector::flood_units`]), slow every instrumentation
 //!   insertion (`slow-collector`, folded into
@@ -131,6 +135,20 @@ pub struct FaultPlan {
     /// (wire/harness level; consumed by the soak harness, which
     /// SIGKILLs the real `histpcd` child). 0 disables it.
     pub wire_daemon_kill_after: u64,
+    /// Probability that a true-bottleneck pair gains an adversarial
+    /// pair-prune directive at harvest (history poison; consumed by
+    /// `histpc-consultant`'s `poison` module, never by the sim).
+    pub poison_prune_rate: f64,
+    /// Probability that a bottlenecked hypothesis gains an adversarial
+    /// near-1.0 threshold directive at harvest (history poison).
+    pub poison_threshold_rate: f64,
+    /// Probability that a harvested directive's resource/focus is
+    /// rewritten to a nonexistent name — a mapping gone stale across
+    /// code versions (history poison).
+    pub stale_mapping_rate: f64,
+    /// Corrupt the store's `TRUST` sidecar after the run's feedback is
+    /// written — as if the tool died mid-save of the trust ledger.
+    pub trust_ledger_corrupt: bool,
 }
 
 impl Default for FaultPlan {
@@ -164,6 +182,10 @@ impl FaultPlan {
             wire_torn_request_rate: 0.0,
             wire_slow_client_ms: 0,
             wire_daemon_kill_after: 0,
+            poison_prune_rate: 0.0,
+            poison_threshold_rate: 0.0,
+            stale_mapping_rate: 0.0,
+            trust_ledger_corrupt: false,
         }
     }
 
@@ -174,7 +196,12 @@ impl FaultPlan {
     /// NOT enable the plan here: they perturb the transport between a
     /// daemon client and `histpcd`, never the diagnosis itself, so a
     /// wire-faults-only plan must keep the bit-identical zero-cost sim
-    /// path.
+    /// path. History-poison rates ([`FaultPlan::touches_poison`]) are
+    /// likewise excluded — they corrupt the *harvested guidance* before
+    /// the search ever starts, not the simulation under it. The
+    /// `trust-ledger-corrupt` fault does enable the plan: like
+    /// `corrupt-store` it is staged through the faulted session path,
+    /// which damages the sidecar after the run's feedback is saved.
     pub fn is_disabled(&self) -> bool {
         self.drop_rate == 0.0
             && self.delay_rate == 0.0
@@ -186,7 +213,16 @@ impl FaultPlan {
             && !self.corrupt_store
             && !self.torn_write
             && !self.partial_journal
+            && !self.trust_ledger_corrupt
             && !self.touches_overload()
+    }
+
+    /// True if any history-poison rate is set (adversarial directives
+    /// injected at harvest; never touches the sim).
+    pub fn touches_poison(&self) -> bool {
+        self.poison_prune_rate > 0.0
+            || self.poison_threshold_rate > 0.0
+            || self.stale_mapping_rate > 0.0
     }
 
     /// True if any overload-class fault is set.
@@ -248,6 +284,10 @@ impl FaultPlan {
     /// wire-torn-request 0.05
     /// wire-slow-client 20
     /// wire-daemon-kill 3
+    /// poison-prune 0.25
+    /// poison-threshold 0.25
+    /// stale-mapping 0.10
+    /// trust-ledger-corrupt
     /// ```
     ///
     /// Durations and timestamps are in microseconds, matching
@@ -346,6 +386,16 @@ impl FaultPlan {
                 "wire-daemon-kill" => {
                     plan.wire_daemon_kill_after = parse_u64(&words, 0, n, "wire-daemon-kill")?;
                 }
+                "poison-prune" => {
+                    plan.poison_prune_rate = parse_rate(&words, 0, n, "poison-prune")?;
+                }
+                "poison-threshold" => {
+                    plan.poison_threshold_rate = parse_rate(&words, 0, n, "poison-threshold")?;
+                }
+                "stale-mapping" => {
+                    plan.stale_mapping_rate = parse_rate(&words, 0, n, "stale-mapping")?;
+                }
+                "trust-ledger-corrupt" => plan.trust_ledger_corrupt = true,
                 other => return Err(format!("line {n}: unknown fault kind `{other}`")),
             }
         }
@@ -434,6 +484,21 @@ impl FaultPlan {
                 "wire-daemon-kill {}\n",
                 self.wire_daemon_kill_after
             ));
+        }
+        if self.poison_prune_rate > 0.0 {
+            out.push_str(&format!("poison-prune {}\n", self.poison_prune_rate));
+        }
+        if self.poison_threshold_rate > 0.0 {
+            out.push_str(&format!(
+                "poison-threshold {}\n",
+                self.poison_threshold_rate
+            ));
+        }
+        if self.stale_mapping_rate > 0.0 {
+            out.push_str(&format!("stale-mapping {}\n", self.stale_mapping_rate));
+        }
+        if self.trust_ledger_corrupt {
+            out.push_str("trust-ledger-corrupt\n");
         }
         out
     }
@@ -840,6 +905,10 @@ mod tests {
             wire_torn_request_rate: 0.0,
             wire_slow_client_ms: 0,
             wire_daemon_kill_after: 0,
+            poison_prune_rate: 0.25,
+            poison_threshold_rate: 0.25,
+            stale_mapping_rate: 0.25,
+            trust_ledger_corrupt: true,
         }
     }
 
@@ -851,6 +920,24 @@ mod tests {
         let mut want = plan.clone();
         want.kills.sort_by_key(|k| k.at);
         assert_eq!(parsed, want);
+    }
+
+    #[test]
+    fn poison_only_plan_stays_disabled_for_the_sim() {
+        // History poison corrupts harvested guidance, not the sim: a
+        // poison-rates-only plan must keep the zero-cost drive path.
+        let mut plan = FaultPlan::none();
+        plan.poison_prune_rate = 0.25;
+        plan.poison_threshold_rate = 0.1;
+        plan.stale_mapping_rate = 0.1;
+        assert!(plan.is_disabled());
+        assert!(plan.touches_poison());
+        let parsed = FaultPlan::parse(&plan.to_text()).unwrap();
+        assert_eq!(parsed, plan);
+        // Ledger corruption is store-level, staged like corrupt-store:
+        // it must force the faulted session path.
+        plan.trust_ledger_corrupt = true;
+        assert!(!plan.is_disabled());
     }
 
     #[test]

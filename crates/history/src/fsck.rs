@@ -213,6 +213,7 @@ fn check_data_files(root: &Path, out: &mut Vec<Diagnostic>, m: Option<&Manifest>
         let Ok(entry) = entry else { continue };
         let Ok(ft) = entry.file_type() else { continue };
         if !ft.is_dir() {
+            check_root_file(&entry.path(), out);
             continue;
         }
         if entry.file_name().to_string_lossy() == crate::lease::LEASE_DIR {
@@ -257,6 +258,44 @@ fn check_data_files(root: &Path, out: &mut Vec<Diagnostic>, m: Option<&Manifest>
             // check below.
         }
     }
+}
+
+/// Root files are either control files (LOCK/JOURNAL/MANIFEST — checked
+/// by their own passes above), *sidecars* (derived caches like `FACTS`
+/// and crash-safe accumulators like `TRUST`), or litter. Sidecars are
+/// deliberately invisible to integrity checking: each carries its own
+/// checksum frame and fails safe to a rebuild/fresh-start on damage, so
+/// fsck only names them as skipped. Anything else in the root is a
+/// warning — the store never puts data files there.
+fn check_root_file(path: &Path, out: &mut Vec<Diagnostic>) {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().to_string())
+        .unwrap_or_default();
+    let base = name.strip_suffix(".tmp").unwrap_or(&name);
+    if matches!(base, lock::LOCK_FILE | JOURNAL_FILE | MANIFEST_FILE) {
+        return; // control files: covered by their own checks
+    }
+    if matches!(
+        base,
+        crate::factcache::FACTCACHE_FILE | crate::trust::TRUST_FILE
+    ) {
+        out.push(
+            Diagnostic::note(
+                CODE_UNCLEAN,
+                format!("skipped: sidecar ({base} is self-checking and fails safe to a rebuild)"),
+            )
+            .with_file(path.display().to_string()),
+        );
+        return;
+    }
+    out.push(
+        unclean(
+            path,
+            format!("unknown file {name:?} in the store root (not a control file or sidecar)"),
+        )
+        .with_suggestion("the store never writes data files to its root; remove it by hand"),
+    );
 }
 
 fn check_record(path: &Path, out: &mut Vec<Diagnostic>, store_is_v1: bool) {
@@ -526,6 +565,40 @@ mod tests {
         let d = diags.iter().find(|d| d.code == CODE_UNCLEAN).unwrap();
         assert!(d.message.contains("daemon epoch 1"), "got {diags:?}");
         assert!(d.message.contains("epoch 2"), "got {diags:?}");
+    }
+
+    #[test]
+    fn sidecars_are_skipped_and_root_litter_is_flagged() {
+        let store = store_with_record("sidecars");
+        // Known sidecars — even damaged ones — are listed as skipped
+        // notes: each is self-checking and fails safe to a rebuild.
+        std::fs::write(store.root().join(crate::trust::TRUST_FILE), "garbage").unwrap();
+        std::fs::write(
+            store.root().join(crate::factcache::FACTCACHE_FILE),
+            "garbage",
+        )
+        .unwrap();
+        let diags = fsck(store.root());
+        let notes: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Note)
+            .collect();
+        assert_eq!(notes.len(), 2, "got {diags:?}");
+        assert!(notes.iter().all(|d| d.message.contains("skipped: sidecar")));
+        assert!(
+            diags.iter().all(|d| d.severity == Severity::Note),
+            "sidecar damage must not raise errors or warnings: {diags:?}"
+        );
+
+        // An unknown root file is litter: warning, not silence.
+        std::fs::write(store.root().join("NOTES.txt"), "scratch").unwrap();
+        let diags = fsck(store.root());
+        let d = diags
+            .iter()
+            .find(|d| d.severity == Severity::Warning)
+            .expect("unknown root file not flagged");
+        assert_eq!(d.code, CODE_UNCLEAN);
+        assert!(d.message.contains("NOTES.txt"), "got {diags:?}");
     }
 
     #[test]

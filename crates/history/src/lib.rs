@@ -13,7 +13,9 @@
 //!   [`journal`], advisory multi-session [`lock`]ing, a versioned
 //!   [`manifest`], a read-only checker ([`fsck`]), an advisory
 //!   per-record derived-fact sidecar ([`factcache`]) for incremental
-//!   corpus analysis, and crash-safe daemon session [`lease`]s.
+//!   corpus analysis, crash-safe daemon session [`lease`]s, and a
+//!   per-source-run [`trust`] ledger fed by shadow audits and corpus
+//!   conflicts.
 //! * [`format`] — a line-oriented, human-diffable text serialization.
 //! * [`extract`] — directive harvesting: priorities from true/false
 //!   outcomes, historic prunes (trivial functions, false pairs, redundant
@@ -42,6 +44,7 @@ pub mod manifest;
 pub mod mapping;
 pub mod record;
 pub mod store;
+pub mod trust;
 
 pub use combine::{intersect, union};
 pub use compare::{compare, ComparisonReport, PairDiff};
@@ -56,3 +59,4 @@ pub use lease::Lease;
 pub use mapping::{LocatedMap, MappingSet};
 pub use record::ExecutionRecord;
 pub use store::{ExecutionStore, StoreError};
+pub use trust::{TrustLedger, TrustVerdict};

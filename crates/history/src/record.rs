@@ -161,6 +161,7 @@ mod tests {
             saturated: Vec::new(),
             admission: Default::default(),
             shg_rendering: String::new(),
+            audits: Vec::new(),
         };
         (report, space)
     }

@@ -134,6 +134,17 @@ impl CompiledFocus {
         &self.procs
     }
 
+    /// True if any selection in the focus names a resource this
+    /// application does not have — a mapping carried across a code
+    /// version that renamed or removed it. Such a focus can never match
+    /// an interval, so a directive aimed at it is provably stale.
+    pub fn names_unknown_resource(&self) -> bool {
+        matches!(self.code, CodeSel::Nothing)
+            || matches!(self.machine, MachineSel::Nothing)
+            || matches!(self.process, ProcSel::Nothing)
+            || matches!(self.sync, SyncSel::Nothing)
+    }
+
     /// True if the code selection names a single function (the narrowest
     /// code constraint; used by the cost model).
     pub fn is_single_function(&self) -> bool {

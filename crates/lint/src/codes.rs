@@ -124,6 +124,16 @@ pub const ALL: &[CodeInfo] = &[
         Severity::Warning,
         "orphaned daemon lease: lease with no checkpoint to re-adopt the session from",
     ),
+    code(
+        "HL036",
+        Severity::Warning,
+        "quarantined source: trust fell below the floor, its directives are withheld",
+    ),
+    code(
+        "HL037",
+        Severity::Warning,
+        "revoked directive: a failed shadow audit convicted it, harvests drop it",
+    ),
 ];
 
 const fn code(code: &'static str, severity: Severity, summary: &'static str) -> CodeInfo {

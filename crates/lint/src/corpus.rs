@@ -69,6 +69,12 @@ pub struct ConflictVerdict {
     pub hypothesis: String,
     /// Focus of the contradicted pair.
     pub focus: Focus,
+    /// Label of the run whose extraction harvests the prune side.
+    /// Harvest feeds this into the trust ledger: a run whose guidance
+    /// is chronically contradicted decays toward quarantine.
+    pub prune_source: String,
+    /// Label of the run whose extraction harvests the high priority.
+    pub priority_source: String,
 }
 
 /// The conflict pass's output: every contradicted pair, ready for

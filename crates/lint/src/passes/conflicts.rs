@@ -78,6 +78,8 @@ pub fn check(facts: &[RecordFacts], diags: &mut Vec<Diagnostic>) -> ConflictVerd
                     version: version.to_string(),
                     hypothesis: pri.hypothesis.clone(),
                     focus: pri.focus.clone(),
+                    prune_source: prune_src.label.clone(),
+                    priority_source: pri_src.label.clone(),
                 });
             }
         }
